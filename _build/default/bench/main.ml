@@ -1,0 +1,227 @@
+(** Benchmark harness: regenerates every table of the paper's evaluation
+    (§6, Tables 1-5) side by side with the published values, then runs
+    Bechamel micro-benchmarks of the pipeline stages that produce them.
+
+    Usage:
+      bench/main.exe             print all tables + micro-benchmarks
+      bench/main.exe table1      one table
+      bench/main.exe tables      all tables, no micro-benchmarks
+      bench/main.exe micro       micro-benchmarks only
+      bench/main.exe ablation    optimal vs first-fit combining ablation *)
+
+module E = Autocfd.Experiments
+module D = Autocfd.Driver
+module S = Autocfd_syncopt
+
+let print_table1 () = print_string (E.render_table1 (E.table1 ()))
+
+let print_table2 () =
+  print_string
+    (E.render_perf
+       ~title:
+         "Table 2: overall performance of case study 1 (aerofoil, \
+          99 x 41 x 13; ours vs paper)"
+       (E.table2 ()))
+
+let print_table3 () =
+  print_string
+    (E.render_perf
+       ~title:
+         "Table 3: overall performance of case study 2 (sprayer, \
+          300 x 100; ours vs paper)"
+       (E.table3 ()))
+
+let print_table4 () = print_string (E.render_table4 (E.table4 ()))
+let print_table5 () = print_string (E.render_table5 (E.table5 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: the paper's optimal combining (Fig. 6(b)) vs the          *)
+(* suboptimal first-fit strategy (Fig. 6(c))                           *)
+(* ------------------------------------------------------------------ *)
+
+let print_ablation () =
+  let open Autocfd_util.Table in
+  let table =
+    create
+      ~title:
+        "Ablation: optimal combining (Fig. 6(b)) vs first-fit (Fig. 6(c))"
+      ~headers:
+        [ "program"; "partition"; "before"; "optimal after";
+          "first-fit after" ]
+  in
+  let run src name partitions =
+    let t = D.load src in
+    List.iter
+      (fun parts ->
+        let opt = D.plan t ~parts in
+        let ff = D.plan ~combine:S.Optimizer.First_fit t ~parts in
+        add_row table
+          [
+            name;
+            String.concat " x "
+              (Array.to_list (Array.map string_of_int parts));
+            cell_int opt.D.opt.S.Optimizer.before;
+            cell_int opt.D.opt.S.Optimizer.after;
+            cell_int ff.D.opt.S.Optimizer.after;
+          ])
+      partitions
+  in
+  run (Autocfd_apps.Aerofoil.source ()) "aerofoil"
+    [ [| 4; 1; 1 |]; [| 4; 4; 1 |]; [| 2; 2; 2 |] ];
+  run (Autocfd_apps.Sprayer.source ()) "sprayer"
+    [ [| 4; 1 |]; [| 4; 4 |] ];
+  print table
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per table                  *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  let open Bechamel in
+  let aero_src = Autocfd_apps.Aerofoil.source () in
+  let spray_src = Autocfd_apps.Sprayer.source () in
+  let aero = D.load aero_src in
+  let spray = D.load spray_src in
+  let small = D.load (Autocfd_apps.Sprayer.source ~ni:40 ~nj:20 ~ntime:3 ()) in
+  let small_plan = D.plan small ~parts:[| 2; 2 |] in
+  let tests =
+    [
+      (* Table 1 pipeline stage: full analysis + sync optimization *)
+      Test.make ~name:"table1:analyze+optimize (aerofoil 4x1x1)"
+        (Staged.stage (fun () -> ignore (D.plan aero ~parts:[| 4; 1; 1 |])));
+      Test.make ~name:"table1:analyze+optimize (sprayer 4x4)"
+        (Staged.stage (fun () -> ignore (D.plan spray ~parts:[| 4; 4 |])));
+      (* Tables 2/3: the analytic performance prediction *)
+      Test.make ~name:"table2:predict (aerofoil 3x2x1)"
+        (Staged.stage
+           (let plan = D.plan aero ~parts:[| 3; 2; 1 |] in
+            fun () ->
+              ignore
+                (Autocfd_perfmodel.Model.predict_parallel E.machine
+                   ~gi:aero.D.gi ~topo:plan.D.topo plan.D.spmd)));
+      Test.make ~name:"table3:predict (sprayer 2x2)"
+        (Staged.stage
+           (let plan = D.plan spray ~parts:[| 2; 2 |] in
+            fun () ->
+              ignore
+                (Autocfd_perfmodel.Model.predict_parallel E.machine
+                   ~gi:spray.D.gi ~topo:plan.D.topo plan.D.spmd)));
+      (* Table 4 stage: frontend parse + inline across grid sizes *)
+      Test.make ~name:"table4:parse+inline (sprayer 160x60)"
+        (Staged.stage (fun () ->
+             ignore (D.load (Autocfd_apps.Sprayer.source ~ni:160 ~nj:60 ()))));
+      (* Table 5 stage / correctness path: simulated SPMD execution *)
+      Test.make ~name:"table5:spmd-execute (sprayer 40x20, 4 ranks)"
+        (Staged.stage (fun () -> ignore (D.run_parallel small_plan)));
+    ]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) () in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg instances test
+      in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false
+             ~predictors:[| Measure.run |])
+          Toolkit.Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] ->
+              Printf.printf "%-50s %12.3f us/run\n" name (est /. 1000.)
+          | _ -> Printf.printf "%-50s (no estimate)\n" name)
+        ols)
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* Partition advisor: the paper's volume heuristic vs the full model    *)
+(* ------------------------------------------------------------------ *)
+
+let print_advisor () =
+  let open Autocfd_util.Table in
+  let module M = Autocfd_perfmodel.Model in
+  let table =
+    create
+      ~title:
+        "Partition advisor: minimal-communication choice (paper 4.1) vs \
+         model-predicted best"
+      ~headers:
+        [ "program"; "procs"; "volume choice"; "model choice";
+          "volume time (s)"; "model time (s)" ]
+  in
+  let shape parts =
+    String.concat " x " (Array.to_list (Array.map string_of_int parts))
+  in
+  let run name src nprocs_list =
+    let t = D.load src in
+    List.iter
+      (fun nprocs ->
+        let pv = D.auto_parts t ~nprocs in
+        let pm = D.auto_parts_by_model t ~nprocs in
+        let time parts =
+          let plan = D.plan t ~parts in
+          (M.predict_parallel E.machine ~gi:t.D.gi ~topo:plan.D.topo
+             plan.D.spmd)
+            .M.time
+        in
+        add_row table
+          [
+            name; cell_int nprocs; shape pv; shape pm;
+            cell_float ~decimals:0 (time pv);
+            cell_float ~decimals:0 (time pm);
+          ])
+      nprocs_list
+  in
+  run "aerofoil"
+    (Autocfd_apps.Aerofoil.source ~ntime:E.aerofoil_frames ())
+    [ 4; 6 ];
+  run "sprayer"
+    (Autocfd_apps.Sprayer.source ~ntime:E.sprayer_frames ())
+    [ 4; 6 ];
+  print table
+
+let all_tables () =
+  print_table1 ();
+  print_newline ();
+  print_table2 ();
+  print_newline ();
+  print_table3 ();
+  print_newline ();
+  print_table4 ();
+  print_newline ();
+  print_table5 ();
+  print_newline ();
+  print_ablation ();
+  print_newline ();
+  print_advisor ();
+  print_newline ();
+  print_string (E.render_validation (E.validate_model ()))
+
+let () =
+  match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
+  | "table1" -> print_table1 ()
+  | "table2" -> print_table2 ()
+  | "table3" -> print_table3 ()
+  | "table4" -> print_table4 ()
+  | "table5" -> print_table5 ()
+  | "ablation" -> print_ablation ()
+  | "advisor" -> print_advisor ()
+  | "validate" ->
+      print_string (E.render_validation (E.validate_model ()))
+  | "tables" -> all_tables ()
+  | "micro" -> micro ()
+  | "all" ->
+      all_tables ();
+      print_newline ();
+      print_endline "Micro-benchmarks (Bechamel):";
+      micro ()
+  | other ->
+      Printf.eprintf
+        "unknown command %S (expected: table1..table5, tables, ablation, \
+         micro, all)\n"
+        other;
+      exit 1

@@ -1,0 +1,269 @@
+(** The Auto-CFD pre-compiler command line.
+
+    {v
+    autocfd analyze file.f --parts 4x1x1     dependency/sync analysis report
+    autocfd parallelize file.f --parts 2x2   emit the SPMD program
+    autocfd run file.f --parts 2x2           run sequential vs simulated SPMD
+    autocfd tables [1-5|all]                 regenerate the paper's tables
+    autocfd demo [aerofoil|sprayer]          dump a bundled case study source
+    v} *)
+
+open Cmdliner
+module D = Autocfd.Driver
+module A = Autocfd_analysis
+module S = Autocfd_syncopt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let parse_parts s =
+  try
+    let parts =
+      String.split_on_char 'x' (String.lowercase_ascii s)
+      |> List.map String.trim |> List.map int_of_string |> Array.of_list
+    in
+    if Array.length parts = 0 || Array.exists (fun p -> p < 1) parts then
+      failwith "bad";
+    Ok parts
+  with _ ->
+    Error (`Msg (Printf.sprintf "bad partition spec %S (expected e.g. 4x1x1)" s))
+
+let parts_conv =
+  Arg.conv
+    ( parse_parts,
+      fun ppf parts ->
+        Format.pp_print_string ppf
+          (String.concat "x" (Array.to_list (Array.map string_of_int parts)))
+    )
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"Sequential Fortran CFD source file (with c\\$acfd directives).")
+
+let parts_arg =
+  Arg.(value & opt (some parts_conv) None
+       & info [ "p"; "parts" ] ~docv:"PARTS"
+           ~doc:"Partition shape, e.g. 4x1x1. Default: automatic for --nprocs.")
+
+let nprocs_arg =
+  Arg.(value & opt int 4
+       & info [ "n"; "nprocs" ] ~docv:"N"
+           ~doc:"Number of processors for the automatic partition search.")
+
+let load_and_plan file parts nprocs =
+  let t = D.load (read_file file) in
+  let parts =
+    match parts with Some p -> p | None -> D.auto_parts t ~nprocs
+  in
+  (t, D.plan t ~parts)
+
+let shape parts =
+  String.concat " x " (Array.to_list (Array.map string_of_int parts))
+
+(* ------------------------------------------------------------------ *)
+
+let analyze file parts nprocs =
+  let t, plan = load_and_plan file parts nprocs in
+  let gi = t.D.gi in
+  Format.printf "flow field: %a@." A.Grid_info.pp gi;
+  Format.printf "partition:  %s (%d subtasks)@."
+    (shape (Autocfd_partition.Topology.parts plan.D.topo))
+    (Autocfd_partition.Topology.nranks plan.D.topo);
+  Format.printf "@.field loop heads:@.";
+  List.iter2
+    (fun (s : A.Field_loop.summary) (_, strat) ->
+      let types =
+        String.concat " "
+          (List.map
+             (fun (v, _) ->
+               Printf.sprintf "%s:%s" v
+                 (match A.Field_loop.ltype s v with
+                 | A.Field_loop.A -> "A"
+                 | A.Field_loop.R -> "R"
+                 | A.Field_loop.C -> "C"
+                 | A.Field_loop.O -> "O"))
+             s.A.Field_loop.fs_uses)
+      in
+      let strat_str =
+        match strat with
+        | A.Mirror.Serial -> "serial (replicated)"
+        | A.Mirror.Block -> "block-parallel"
+        | A.Mirror.Pipeline dims ->
+            Printf.sprintf "mirror-image pipeline on dims {%s}"
+              (String.concat ","
+                 (List.map (fun (d, _) -> string_of_int d) dims))
+      in
+      Format.printf "  line %-5d do %-8s -> %-40s [%s]@."
+        s.A.Field_loop.fs_loop.A.Loops.lp_line
+        s.A.Field_loop.fs_loop.A.Loops.lp_var strat_str types)
+    plan.D.summaries plan.D.strategies;
+  Format.printf "@.S_LDP: %d dependent pairs (%d self-dependent)@."
+    (List.length plan.D.sldp.A.Sldp.pairs)
+    (List.length (A.Sldp.self_pairs plan.D.sldp));
+  Format.printf
+    "synchronization points: %d before optimization, %d after (%.0f%% \
+     reduction)@."
+    plan.D.opt.S.Optimizer.before plan.D.opt.S.Optimizer.after
+    (100. *. S.Optimizer.reduction_pct plan.D.opt);
+  Format.printf "@.combined synchronization points:@.";
+  List.iteri
+    (fun i (g : S.Combine.group) ->
+      Format.printf "  #%d: %d regions merged, %d halo transfers@." (i + 1)
+        (List.length g.S.Combine.gr_regions)
+        (List.length g.S.Combine.gr_transfers))
+    plan.D.opt.S.Optimizer.groups
+
+let parallelize file parts nprocs mpi output =
+  let _, plan = load_and_plan file parts nprocs in
+  let text = if mpi then D.mpi_source plan else D.spmd_source plan in
+  match output with
+  | None -> print_string text
+  | Some path ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+
+let run_cmd file parts nprocs =
+  let t, plan = load_and_plan file parts nprocs in
+  let seq = D.run_sequential t in
+  Format.printf "sequential output:@.";
+  List.iter (Format.printf "  %s@.") seq.D.sq_output;
+  let par = D.run_parallel plan in
+  Format.printf "parallel output (%d simulated ranks):@."
+    (Autocfd_partition.Topology.nranks plan.D.topo);
+  List.iter (Format.printf "  %s@.") par.Autocfd_interp.Spmd.output;
+  let stats = par.Autocfd_interp.Spmd.stats in
+  Format.printf
+    "messages: %d (%d bytes), collectives: %d@."
+    stats.Autocfd_mpsim.Sim.messages stats.Autocfd_mpsim.Sim.bytes
+    stats.Autocfd_mpsim.Sim.collectives;
+  Format.printf "max |sequential - parallel| per status array:@.";
+  List.iter
+    (fun (name, d) -> Format.printf "  %-10s %.3g@." name d)
+    (D.max_divergence seq par);
+  let worst =
+    List.fold_left
+      (fun acc (_, d) -> Float.max acc d)
+      0.0
+      (D.max_divergence seq par)
+  in
+  if worst < 1e-9 then Format.printf "PASS: numerically equivalent@."
+  else begin
+    Format.printf "FAIL: parallel run diverges (%.3g)@." worst;
+    exit 1
+  end
+
+let report file parts nprocs output =
+  let _, plan = load_and_plan file parts nprocs in
+  let text = Autocfd.Report.markdown plan in
+  match output with
+  | None -> print_string text
+  | Some path ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+
+let tables which =
+  let module E = Autocfd.Experiments in
+  let print1 () = print_string (E.render_table1 (E.table1 ())) in
+  let print2 () =
+    print_string (E.render_perf ~title:"Table 2: aerofoil 99x41x13" (E.table2 ()))
+  in
+  let print3 () =
+    print_string (E.render_perf ~title:"Table 3: sprayer 300x100" (E.table3 ()))
+  in
+  let print4 () = print_string (E.render_table4 (E.table4 ())) in
+  let print5 () = print_string (E.render_table5 (E.table5 ())) in
+  match which with
+  | "1" -> print1 ()
+  | "2" -> print2 ()
+  | "3" -> print3 ()
+  | "4" -> print4 ()
+  | "5" -> print5 ()
+  | "all" ->
+      print1 (); print_newline ();
+      print2 (); print_newline ();
+      print3 (); print_newline ();
+      print4 (); print_newline ();
+      print5 ()
+  | other -> Printf.eprintf "unknown table %S\n" other; exit 1
+
+let demo which =
+  match which with
+  | "aerofoil" -> print_string (Autocfd_apps.Aerofoil.source ())
+  | "sprayer" -> print_string (Autocfd_apps.Sprayer.source ())
+  | "cavity" -> print_string (Autocfd_apps.Cavity.source ())
+  | other ->
+      Printf.eprintf "unknown demo %S (aerofoil|sprayer|cavity)\n" other;
+      exit 1
+
+(* ------------------------------------------------------------------ *)
+
+let analyze_cmd =
+  Cmd.v (Cmd.info "analyze" ~doc:"Dependency and synchronization analysis report")
+    Term.(const analyze $ file_arg $ parts_arg $ nprocs_arg)
+
+let parallelize_cmd =
+  let output =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"OUT" ~doc:"Output file.")
+  in
+  let mpi =
+    Arg.(value & flag
+         & info [ "mpi" ]
+             ~doc:"Emit complete Fortran 77 + MPI source (with generated \
+                   pack/exchange subroutines) instead of the annotated \
+                   SPMD form.")
+  in
+  Cmd.v
+    (Cmd.info "parallelize"
+       ~doc:"Transform a sequential CFD program into an SPMD program")
+    Term.(const parallelize $ file_arg $ parts_arg $ nprocs_arg $ mpi $ output)
+
+let run_cmd_ =
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Execute the program sequentially and on the simulated cluster, \
+          and compare the results")
+    Term.(const run_cmd $ file_arg $ parts_arg $ nprocs_arg)
+
+let report_cmd =
+  let output =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"OUT" ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Emit a markdown pre-compilation report (loops, S_LDP, \
+             synchronization points, modelled performance)")
+    Term.(const report $ file_arg $ parts_arg $ nprocs_arg $ output)
+
+let tables_cmd =
+  let which =
+    Arg.(value & pos 0 string "all" & info [] ~docv:"N" ~doc:"1-5 or 'all'.")
+  in
+  Cmd.v (Cmd.info "tables" ~doc:"Regenerate the paper's evaluation tables")
+    Term.(const tables $ which)
+
+let demo_cmd =
+  let which =
+    Arg.(value & pos 0 string "sprayer"
+         & info [] ~docv:"NAME" ~doc:"aerofoil, sprayer or cavity.")
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Print a bundled case-study Fortran source")
+    Term.(const demo $ which)
+
+let () =
+  let doc = "Auto-CFD: parallelizing pre-compiler for Fortran CFD programs" in
+  let info = Cmd.info "autocfd" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+                    [ analyze_cmd; parallelize_cmd; run_cmd_; report_cmd;
+                      tables_cmd; demo_cmd ]))

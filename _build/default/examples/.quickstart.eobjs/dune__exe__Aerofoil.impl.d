@@ -1,0 +1,1 @@
+examples/aerofoil.ml: Array Autocfd Autocfd_analysis Autocfd_apps Autocfd_interp Autocfd_perfmodel Autocfd_syncopt Float List Printf String

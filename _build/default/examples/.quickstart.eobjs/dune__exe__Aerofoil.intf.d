@@ -1,0 +1,1 @@
+examples/aerofoil.mli:

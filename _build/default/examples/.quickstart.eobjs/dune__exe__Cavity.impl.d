@@ -1,0 +1,1 @@
+examples/cavity.ml: Array Autocfd Autocfd_analysis Autocfd_apps Autocfd_interp Autocfd_syncopt Float List Printf

@@ -1,0 +1,1 @@
+examples/mirror_image.ml: Array Autocfd Autocfd_analysis Autocfd_codegen Autocfd_fortran Autocfd_interp Float List Printf String

@@ -1,0 +1,1 @@
+examples/mirror_image.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Autocfd Autocfd_interp Autocfd_mpsim Autocfd_syncopt List Printf String

@@ -1,0 +1,1 @@
+examples/sprayer.ml: Array Autocfd Autocfd_apps Autocfd_interp Float List Printf

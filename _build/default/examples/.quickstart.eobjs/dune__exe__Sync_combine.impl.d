@@ -1,0 +1,1 @@
+examples/sync_combine.ml: Autocfd Autocfd_fortran Autocfd_interp Autocfd_syncopt Float List Printf String

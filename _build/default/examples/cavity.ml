@@ -1,0 +1,50 @@
+(** Lid-driven cavity flow — a third demonstration program.
+
+    Run with: dune exec examples/cavity.exe
+
+    The canonical CFD validation problem: a square cavity whose lid moves
+    at constant speed.  The stream-function SOR solve is self-dependent in
+    both directions (mirror-image pipelining), and the outer convergence
+    iteration is a backward-GOTO while loop — the classic F77 pattern —
+    which the analysis recognizes as a carrying loop.  The example prints
+    the vortex strength for a few Reynolds-style lid speeds and validates
+    each parallel run against its sequential one. *)
+
+module D = Autocfd.Driver
+module I = Autocfd_interp
+
+let vortex_strength (arrays : (string * I.Value.arr) list) =
+  match List.assoc_opt "psi" arrays with
+  | None -> nan
+  | Some psi ->
+      Array.fold_left (fun a x -> Float.max a (Float.abs x)) 0.0
+        psi.I.Value.data
+
+let () =
+  print_endline "=== Lid-driven cavity (mirror-image SOR + goto while loop) ===";
+  let t0 = D.load (Autocfd_apps.Cavity.source ~n:21 ~maxit:15 ~npsi:4 ()) in
+  let plan = D.plan t0 ~parts:[| 2; 2 |] in
+  Printf.printf "synchronizations: %d before -> %d after\n"
+    plan.D.opt.Autocfd_syncopt.Optimizer.before
+    plan.D.opt.Autocfd_syncopt.Optimizer.after;
+  Printf.printf "while-style carrying loops recognized: %d\n\n"
+    (List.length plan.D.sldp.Autocfd_analysis.Sldp.virtual_spans);
+  Printf.printf "%-10s %-18s %-12s %s\n" "lid speed" "vortex strength"
+    "divergence" "status";
+  List.iter
+    (fun ulid ->
+      let t =
+        D.load (Autocfd_apps.Cavity.source ~n:21 ~maxit:15 ~npsi:4 ~ulid ())
+      in
+      let p = D.plan t ~parts:[| 2; 2 |] in
+      let seq = D.run_sequential t in
+      let par = D.run_parallel p in
+      let worst =
+        List.fold_left (fun a (_, d) -> Float.max a d) 0.0
+          (D.max_divergence seq par)
+      in
+      Printf.printf "%-10.2f %-18.6f %-12.3g %s\n" ulid
+        (vortex_strength seq.D.sq_arrays)
+        worst
+        (if worst = 0.0 then "OK" else "MISMATCH"))
+    [ 0.5; 1.0; 2.0 ]

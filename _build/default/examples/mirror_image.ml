@@ -1,0 +1,145 @@
+(** Mirror-image decomposition (paper §4.2, Figs. 3 and 4).
+
+    Run with: dune exec examples/mirror_image.exe
+
+    Shows the two self-dependent loops of the paper's Fig. 3:
+
+    - Fig. 3(a): a one-directional recurrence — only dependences in the
+      lexicographic order; classic wavefront pipelining applies;
+    - Fig. 3(b): a Gauss-Seidel sweep with dependences both along and
+      against the lexicographic order — "not parallelizable by traditional
+      methods"; the mirror-image decomposition splits the dependence graph
+      by access direction: the flow subgraph is pipelined, the mirror
+      (anti) subgraph is satisfied by the pre-sweep halo exchange.
+
+    Both loops are then executed on 4 simulated ranks and compared with
+    the sequential result. *)
+
+module D = Autocfd.Driver
+module A = Autocfd_analysis
+
+let fig3a =
+  {|
+c$acfd grid(m, n)
+c$acfd status(v)
+      program fig3a
+      parameter (m = 18, n = 14)
+      real v(m, n)
+      integer i, j, it
+      do i = 1, m
+        do j = 1, n
+          v(i, j) = float(i) + 0.5 * float(j)
+        end do
+      end do
+      do it = 1, 10
+        do i = 2, m
+          do j = 2, n
+            v(i, j) = 0.5 * (v(i-1, j) + v(i, j-1))
+          end do
+        end do
+      end do
+      write(*,*) v(m, n)
+      end
+|}
+
+let fig3b =
+  {|
+c$acfd grid(m, n)
+c$acfd status(v)
+      program fig3b
+      parameter (m = 18, n = 14)
+      real v(m, n)
+      integer i, j, it
+      do i = 1, m
+        do j = 1, n
+          v(i, j) = float(i) + 0.5 * float(j)
+        end do
+      end do
+      do it = 1, 10
+        do i = 2, m - 1
+          do j = 2, n - 1
+            v(i, j) = 0.25 * (v(i-1, j) + v(i+1, j) + v(i, j-1) + v(i, j+1))
+          end do
+        end do
+      end do
+      write(*,*) v(m/2, n/2)
+      end
+|}
+
+let show name source =
+  Printf.printf "--- %s ---\n" name;
+  let t = D.load source in
+  let plan = D.plan t ~parts:[| 2; 2 |] in
+  let env = A.Env.of_unit t.D.inlined in
+  List.iter
+    (fun (s : A.Field_loop.summary) ->
+      match A.Mirror.decompose ~ndims:2 env s "v" with
+      | None -> ()
+      | Some de ->
+          Printf.printf "self-dependent loop at line %d:\n"
+            s.A.Field_loop.fs_loop.A.Loops.lp_line;
+          List.iter
+            (fun (vec, cls) ->
+              Printf.printf "  offset vector (%s): %s subgraph\n"
+                (String.concat ","
+                   (Array.to_list (Array.map string_of_int vec)))
+                (match cls with
+                | A.Mirror.Flow -> "flow  (pipelined)"
+                | A.Mirror.Anti -> "anti  (mirror image: pre-exchanged halo)"))
+            de.A.Mirror.de_vectors)
+    plan.D.summaries;
+  List.iter
+    (fun (_, strat) ->
+      match strat with
+      | A.Mirror.Pipeline dims ->
+          Printf.printf "strategy: pipeline over dims {%s}\n"
+            (String.concat ","
+               (List.map (fun (d, _) -> string_of_int d) dims))
+      | _ -> ())
+    plan.D.strategies;
+  let seq = D.run_sequential t in
+  let par = D.run_parallel plan in
+  let worst =
+    List.fold_left (fun a (_, d) -> Float.max a d) 0.0
+      (D.max_divergence seq par)
+  in
+  Printf.printf "sequential: %s | 4 ranks: %s | max divergence %g -> %s\n\n"
+    (String.concat "" seq.D.sq_output)
+    (String.concat "" par.Autocfd_interp.Spmd.output)
+    worst
+    (if worst = 0.0 then "OK" else "MISMATCH")
+
+let show_skew () =
+  (* the paper's alternative for Fig. 3(a)-style loops: loop skewing *)
+  print_endline "--- loop skewing (the Fig. 3(a) alternative) ---";
+  let p = Autocfd_fortran.Parser.parse fig3b in
+  let gi = A.Grid_info.of_program p in
+  let u = Autocfd_fortran.Inline.program p in
+  let u', n = Autocfd_codegen.Skew.transform_unit gi u in
+  Printf.printf "nests skewed: %d\n" n;
+  let run unit_ =
+    let m = Autocfd_interp.Machine.create unit_ in
+    Autocfd_interp.Machine.run m;
+    Autocfd_interp.Machine.output m
+  in
+  Printf.printf "original: %s | skewed: %s -> %s\n"
+    (String.concat "" (run u))
+    (String.concat "" (run u'))
+    (if run u = run u' then "OK (identical)" else "MISMATCH");
+  print_endline "skewed inner loop sweeps the anti-diagonal wavefront:";
+  let text = Autocfd_fortran.Pretty.unit_ u' in
+  String.split_on_char '\n' text
+  |> List.filter (fun l ->
+         let has needle =
+           let nh = String.length l and nn = String.length needle in
+           let rec go i = i + nn <= nh && (String.sub l i nn = needle || go (i + 1)) in
+           nn > 0 && go 0
+         in
+         has "acfdsk")
+  |> List.iteri (fun i l -> if i < 4 then print_endline l)
+
+let () =
+  print_endline "=== Mirror-image decomposition (paper Figs. 3-4) ===\n";
+  show "Fig. 3(a): one-directional recurrence (wavefront)" fig3a;
+  show "Fig. 3(b): Gauss-Seidel (mirror-image decomposition)" fig3b;
+  show_skew ()

@@ -1,0 +1,1 @@
+lib/analysis/env.pp.ml: Ast Autocfd_fortran Float Hashtbl List Option Pretty Printf

@@ -1,0 +1,1 @@
+lib/analysis/env.pp.mli: Ast Autocfd_fortran

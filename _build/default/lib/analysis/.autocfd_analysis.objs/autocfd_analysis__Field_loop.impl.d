@@ -1,0 +1,1 @@
+lib/analysis/field_loop.pp.ml: Array Ast Autocfd_fortran Env Fun Grid_info Hashtbl List Loops Option Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/analysis/field_loop.pp.mli: Ast Autocfd_fortran Env Grid_info Loops Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/analysis/grid_info.pp.ml: Array Ast Autocfd_fortran Directive Env Format List Option Printf String

@@ -1,0 +1,1 @@
+lib/analysis/grid_info.pp.mli: Ast Autocfd_fortran Format

@@ -1,0 +1,1 @@
+lib/analysis/loops.pp.ml: Ast Autocfd_fortran Hashtbl List Option

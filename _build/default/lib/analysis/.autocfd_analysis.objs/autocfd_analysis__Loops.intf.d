@@ -1,0 +1,1 @@
+lib/analysis/loops.pp.mli: Ast Autocfd_fortran

@@ -1,0 +1,1 @@
+lib/analysis/mirror.pp.ml: Array Ast Autocfd_fortran Env Field_loop Fun List Loops Option

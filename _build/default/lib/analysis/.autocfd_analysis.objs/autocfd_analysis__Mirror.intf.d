@@ -1,0 +1,1 @@
+lib/analysis/mirror.pp.mli: Ast Autocfd_fortran Env Field_loop

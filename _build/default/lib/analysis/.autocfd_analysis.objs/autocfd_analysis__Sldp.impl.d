@@ -1,0 +1,1 @@
+lib/analysis/sldp.pp.ml: Array Autocfd_fortran Autocfd_partition Field_loop Format Fun Grid_info Hashtbl List Loops Printf String Topology

@@ -1,0 +1,1 @@
+lib/analysis/sldp.pp.mli: Autocfd_partition Field_loop Format Grid_info Loops Topology

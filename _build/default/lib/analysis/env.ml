@@ -1,0 +1,65 @@
+open Autocfd_fortran
+
+type t = (string, int) Hashtbl.t
+
+let rec eval_int env (e : Ast.expr) =
+  let open Ast in
+  let lift2 f a b =
+    match (eval_int env a, eval_int env b) with
+    | Some x, Some y -> f x y
+    | _ -> None
+  in
+  match e with
+  | Const_int i -> Some i
+  | Const_real f when Float.is_integer f -> Some (int_of_float f)
+  | Const_real _ | Const_bool _ | Const_str _ -> None
+  | Var v -> Hashtbl.find_opt env v
+  | Unop (Neg, a) -> Option.map (fun x -> -x) (eval_int env a)
+  | Unop (Lnot, _) -> None
+  | Binop (Add, a, b) -> lift2 (fun x y -> Some (x + y)) a b
+  | Binop (Sub, a, b) -> lift2 (fun x y -> Some (x - y)) a b
+  | Binop (Mul, a, b) -> lift2 (fun x y -> Some (x * y)) a b
+  | Binop (Div, a, b) -> lift2 (fun x y -> if y = 0 then None else Some (x / y)) a b
+  | Binop (Pow, a, b) ->
+      lift2
+        (fun x y ->
+          if y < 0 then None
+          else
+            let rec pow acc n = if n = 0 then acc else pow (acc * x) (n - 1) in
+            Some (pow 1 y))
+        a b
+  | Binop ((Lt | Le | Gt | Ge | Eq | Ne | And | Or), _, _) -> None
+  | Ref ("max", [ a; b ]) | Ref ("max0", [ a; b ]) ->
+      lift2 (fun x y -> Some (max x y)) a b
+  | Ref ("min", [ a; b ]) | Ref ("min0", [ a; b ]) ->
+      lift2 (fun x y -> Some (min x y)) a b
+  | Ref ("abs", [ a ]) -> Option.map abs (eval_int env a)
+  | Ref ("mod", [ a; b ]) ->
+      lift2 (fun x y -> if y = 0 then None else Some (x mod y)) a b
+  | Ref _ -> None
+  | Local_lo _ | Local_hi _ -> None
+
+let of_unit (u : Ast.program_unit) =
+  let env = Hashtbl.create 16 in
+  List.iter
+    (fun (name, e) ->
+      match eval_int env e with
+      | Some v -> Hashtbl.replace env name v
+      | None -> ())
+    u.Ast.u_consts;
+  env
+
+let of_alist l =
+  let env = Hashtbl.create 16 in
+  List.iter (fun (k, v) -> Hashtbl.replace env k v) l;
+  env
+
+let lookup env name = Hashtbl.find_opt env name
+
+let eval_int_exn env e =
+  match eval_int env e with
+  | Some v -> v
+  | None ->
+      failwith
+        (Printf.sprintf "Env.eval_int_exn: not a constant expression: %s"
+           (Pretty.expr e))

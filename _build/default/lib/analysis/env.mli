@@ -1,0 +1,20 @@
+(** Compile-time constant environment of a program unit: PARAMETER
+    constants, used to evaluate array bounds and grid extents. *)
+
+open Autocfd_fortran
+
+type t
+
+val of_unit : Ast.program_unit -> t
+(** Builds the environment from the unit's PARAMETER statements (evaluated
+    in order, so later parameters may reference earlier ones). *)
+
+val of_alist : (string * int) list -> t
+val lookup : t -> string -> int option
+
+val eval_int : t -> Ast.expr -> int option
+(** Fold an expression to an integer constant if possible (integer
+    arithmetic, parameters, intrinsic [max]/[min]/[abs]/[mod]). *)
+
+val eval_int_exn : t -> Ast.expr -> int
+(** @raise Failure when the expression is not compile-time constant. *)

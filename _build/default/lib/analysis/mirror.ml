@@ -1,0 +1,216 @@
+open Autocfd_fortran
+
+type dep_class = Flow | Anti
+
+type dim_deps = { dd_dim : int; dd_flow : int list; dd_anti : int list }
+
+type decomposition = {
+  de_array : string;
+  de_vectors : (int array * dep_class) list;
+  de_dims : dim_deps list;
+}
+
+type strategy =
+  | Serial
+  | Block
+  | Pipeline of (int * Ast.direction) list
+
+(* the DO statement of the nest whose variable sweeps grid dimension [g] *)
+let sweep_loop (s : Field_loop.summary) g =
+  let var =
+    List.find_opt (fun (_, g') -> g' = g) s.Field_loop.fs_var_dims
+    |> Option.map fst
+  in
+  match var with
+  | None -> None
+  | Some v ->
+      let found = ref None in
+      Ast.iter_stmts
+        (fun st ->
+          match st.Ast.s_kind with
+          | Ast.Do d when d.Ast.do_var = v && !found = None -> found := Some d
+          | _ -> ())
+        [ s.Field_loop.fs_loop.Loops.lp_stmt ];
+      !found
+
+let sweep_step env s g =
+  match sweep_loop s g with
+  | None -> None
+  | Some d -> (
+      match d.Ast.do_step with
+      | None -> Some 1
+      | Some e -> (
+          match Env.eval_int env e with
+          | Some k when k = 1 || k = -1 -> Some k
+          | _ -> None))
+
+let nest_dim_order (s : Field_loop.summary) =
+  let dims = ref [] in
+  Ast.iter_stmts
+    (fun st ->
+      match st.Ast.s_kind with
+      | Ast.Do d -> (
+          match List.assoc_opt d.Ast.do_var s.Field_loop.fs_var_dims with
+          | Some g when not (List.mem g !dims) -> dims := g :: !dims
+          | _ -> ())
+      | _ -> ())
+    [ s.Field_loop.fs_loop.Loops.lp_stmt ];
+  List.rev !dims
+
+let self_arrays (s : Field_loop.summary) =
+  List.filter_map
+    (fun (v, _) -> if Field_loop.self_dependent s v then Some v else None)
+    s.Field_loop.fs_uses
+
+(* joint offset vector of one read reference; [None] when any status
+   dimension is not affine in its canonical sweep variable *)
+let vector_of_ref ~ndims (s : Field_loop.summary) indices =
+  let vec = Array.make ndims 0 in
+  let ok = ref true in
+  List.iter
+    (fun (g, kind) ->
+      match kind with
+      | Field_loop.Affine (x, off) -> (
+          match List.assoc_opt x s.Field_loop.fs_var_dims with
+          | Some g' when g' = g -> vec.(g) <- off
+          | _ -> ok := false)
+      | Field_loop.Fixed _ | Field_loop.Opaque -> ok := false)
+    indices;
+  if !ok then Some vec else None
+
+let decompose ~ndims env (s : Field_loop.summary) v =
+  if not (Field_loop.self_dependent s v) then None
+  else begin
+    let nest = nest_dim_order s in
+    let step g = Option.value ~default:1 (sweep_step env s g) in
+    let refs =
+      List.filter_map
+        (fun (v', indices) ->
+          if v' = v then vector_of_ref ~ndims s indices else None)
+        s.Field_loop.fs_read_refs
+    in
+    let all_affine =
+      List.for_all (fun (v', _) -> v' <> v)
+        (List.filter
+           (fun (v', indices) ->
+             v' = v && vector_of_ref ~ndims s indices = None)
+           s.Field_loop.fs_read_refs)
+    in
+    (* classify by iteration order: the first non-zero component in nest
+       order decides (offset * step < 0 means earlier iteration) *)
+    let classify vec =
+      let rec go = function
+        | [] -> None (* zero vector: the point itself *)
+        | g :: rest ->
+            let sgn = vec.(g) * step g in
+            if sgn < 0 then Some Flow
+            else if sgn > 0 then Some Anti
+            else go rest
+      in
+      go nest
+    in
+    let vectors =
+      List.filter_map
+        (fun vec -> Option.map (fun c -> (vec, c)) (classify vec))
+        refs
+      |> List.sort_uniq compare
+    in
+    let vectors = if all_affine then vectors else [] in
+    let dims =
+      List.filter_map
+        (fun g ->
+          let flow =
+            List.filter_map
+              (fun (vec, c) ->
+                if c = Flow && vec.(g) <> 0 then Some vec.(g) else None)
+              vectors
+            |> List.sort_uniq compare
+          in
+          let anti =
+            List.filter_map
+              (fun (vec, c) ->
+                if c = Anti && vec.(g) <> 0 then Some vec.(g) else None)
+              vectors
+            |> List.sort_uniq compare
+          in
+          if flow = [] && anti = [] then None
+          else Some { dd_dim = g; dd_flow = flow; dd_anti = anti })
+        (List.init ndims Fun.id)
+    in
+    Some { de_array = v; de_vectors = vectors; de_dims = dims }
+  end
+
+let strategy ~ndims env ~cut (s : Field_loop.summary) =
+  if s.Field_loop.fs_serial || s.Field_loop.fs_irregular then Serial
+  else begin
+    let decomps = List.filter_map (decompose ~ndims env s) (self_arrays s) in
+    let step g = sweep_step env s g in
+    let cut_dims = List.filter cut (List.init ndims Fun.id) in
+    (* a self-dependent array with no analyzable vectors is unsafe *)
+    let unanalyzable =
+      List.exists (fun de -> de.de_vectors = []) decomps
+      && decomps <> []
+    in
+    let violations de =
+      List.exists
+        (fun (vec, c) ->
+          let bad_dim =
+            List.exists
+              (fun d ->
+                match step d with
+                | None -> vec.(d) <> 0
+                | Some st -> (
+                    let sgn = vec.(d) * st in
+                    match c with
+                    | Flow -> sgn > 0 (* flow must not cross blocks upward *)
+                    | Anti -> sgn < 0 (* anti must not cross downward *)))
+              cut_dims
+          in
+          (* a flow vector crossing two cut dimensions at once needs fresh
+             corner values from a diagonal block, which the pipeline's
+             face planes do not carry *)
+          let diagonal_flow =
+            c = Flow
+            && List.length (List.filter (fun d -> vec.(d) <> 0) cut_dims) >= 2
+          in
+          bad_dim || diagonal_flow)
+        de.de_vectors
+    in
+    let pipeline_dims =
+      List.concat_map
+        (fun de ->
+          List.filter_map
+            (fun d ->
+              let needs_pipe =
+                List.exists
+                  (fun (vec, c) ->
+                    c = Flow
+                    && (match step d with
+                       | Some st -> vec.(d) * st < 0
+                       | None -> false))
+                  de.de_vectors
+              in
+              if needs_pipe then
+                match step d with
+                | Some st ->
+                    Some (d, if st >= 0 then Ast.Dplus else Ast.Dminus)
+                | None -> None
+              else None)
+            cut_dims)
+        decomps
+      |> List.sort_uniq compare
+    in
+    let conflicting_dirs =
+      let dims_only = List.map fst pipeline_dims in
+      List.length dims_only <> List.length (List.sort_uniq compare dims_only)
+    in
+    let fixed_hazard =
+      List.exists (fun g -> List.mem g cut_dims)
+        s.Field_loop.fs_hazard_dims
+    in
+    if unanalyzable || conflicting_dirs || fixed_hazard
+       || List.exists violations decomps
+    then Serial
+    else if pipeline_dims = [] then Block
+    else Pipeline pipeline_dims
+  end

@@ -1,0 +1,62 @@
+(** Mirror-image decomposition of self-dependent field loops
+    (paper §4.2, Figs. 3 and 4) and the parallelization strategy decision
+    for every field loop head.
+
+    The dependence graph of a self-dependent loop is decomposed by access
+    direction into the {e flow} subgraph (reads of already-updated points,
+    i.e. dependences in lexicographic iteration order) and its {e mirror
+    image} (reads of not-yet-updated points).  The flow subgraph forces
+    pipelined (wavefront) execution along each cut dimension it crosses;
+    the mirror subgraph is satisfied by the pre-sweep halo exchange of old
+    values.
+
+    Legality is judged on {e joint offset vectors} (not per-dimension
+    marginals): a flow dependence such as [u(i+1, j-1)] is earlier in
+    iteration order (the j loop dominates) yet crosses blocks {e upward} in
+    i — coarse block pipelining is illegal when i is cut, and the loop
+    falls back to [Serial] (replicated execution behind an allgather). *)
+
+open Autocfd_fortran
+
+type dep_class = Flow | Anti
+
+type dim_deps = {
+  dd_dim : int;
+  dd_flow : int list;  (** offsets of flow vectors in this dimension *)
+  dd_anti : int list;
+}
+
+type decomposition = {
+  de_array : string;
+  de_vectors : (int array * dep_class) list;
+      (** joint offset vectors over grid dimensions, classified *)
+  de_dims : dim_deps list;
+}
+
+type strategy =
+  | Serial
+  | Block
+  | Pipeline of (int * Ast.direction) list
+
+val sweep_step : Env.t -> Field_loop.summary -> int -> int option
+(** Step direction (+1/-1) of the nest loop sweeping a grid dimension. *)
+
+val nest_dim_order : Field_loop.summary -> int list
+(** Grid dimensions in loop-nest order, outermost first. *)
+
+val decompose :
+  ndims:int -> Env.t -> Field_loop.summary -> string -> decomposition option
+(** [None] when the loop is not self-dependent on that array.  A
+    self-dependent reference that is not fully affine yields a
+    decomposition with an empty vector list — callers must treat it as
+    unanalyzable. *)
+
+val self_arrays : Field_loop.summary -> string list
+
+val strategy :
+  ndims:int -> Env.t -> cut:(int -> bool) -> Field_loop.summary -> strategy
+(** The parallel schedule for a field loop head under a partition:
+    [Pipeline] along cut dimensions crossed by flow vectors when legal,
+    [Block] when only mirror-image (anti) crossings exist, [Serial] when
+    coarse pipelining would violate a joint dependence vector, the loop is
+    irregular, or the user forced [c$acfd serial]. *)

@@ -1,0 +1,290 @@
+open Autocfd_partition
+
+type dep_info = {
+  di_dims : int list;
+  di_depth : int array;
+  di_minus : bool array;
+  di_plus : bool array;
+}
+
+type kind = Forward | Backward of int | Self
+
+type pair = {
+  dp_assign : Field_loop.summary;
+  dp_ref : Field_loop.summary;
+  dp_arrays : (string * dep_info) list;
+  dp_kind : kind;
+}
+
+type t = {
+  pairs : pair list;
+  loops : Loops.t;
+  summaries : Field_loop.summary list;
+  gi : Grid_info.t;
+  topo : Topology.t;
+  virtual_spans : (int * (int * int)) list;
+}
+
+(* Crossing analysis: what does reader [r] need of array [v] across the
+   partition's demarcation lines? *)
+let crossing_info gi topo v (r : Field_loop.summary) =
+  match List.assoc_opt v r.Field_loop.fs_uses with
+  | None -> None
+  | Some u when not u.Field_loop.au_referenced -> None
+  | Some u ->
+      let nd = Grid_info.ndims gi in
+      let dist = Grid_info.distance gi v in
+      let depth = Array.make nd 0 in
+      let minus = Array.make nd false in
+      let plus = Array.make nd false in
+      for g = 0 to nd - 1 do
+        if Topology.is_cut topo g then begin
+          List.iter
+            (fun off ->
+              if off < 0 then begin
+                minus.(g) <- true;
+                depth.(g) <- max depth.(g) (-off)
+              end
+              else if off > 0 then begin
+                plus.(g) <- true;
+                depth.(g) <- max depth.(g) off
+              end)
+            u.Field_loop.au_read_offsets.(g);
+          (* a fixed-plane read of a cut dimension: the plane's neighbors
+             need it — conservative halo of the declared distance *)
+          if List.exists (fun (g', _) -> g' = g) u.Field_loop.au_fixed_reads
+          then begin
+            minus.(g) <- true;
+            plus.(g) <- true;
+            depth.(g) <- max depth.(g) dist
+          end;
+          if List.mem g u.Field_loop.au_opaque_read_dims then begin
+            minus.(g) <- true;
+            plus.(g) <- true;
+            depth.(g) <- max depth.(g) dist
+          end
+        end
+      done;
+      let dims =
+        List.filter
+          (fun g -> minus.(g) || plus.(g))
+          (List.init nd Fun.id)
+      in
+      if dims = [] then None
+      else
+        Some { di_dims = dims; di_depth = depth; di_minus = minus;
+               di_plus = plus }
+
+let assigns v (a : Field_loop.summary) =
+  match List.assoc_opt v a.Field_loop.fs_uses with
+  | Some u -> u.Field_loop.au_assigned
+  | None -> false
+
+let arrays_of summaries =
+  List.concat_map
+    (fun (s : Field_loop.summary) -> List.map fst s.Field_loop.fs_uses)
+    summaries
+  |> List.sort_uniq compare
+
+let enter (s : Field_loop.summary) = s.Field_loop.fs_loop.Loops.lp_enter
+
+(* backward-GOTO iteration loops: a GOTO jumping to an earlier labelled
+   statement under the same enclosing-loop chain forms a while-style
+   carrying loop spanning [target, goto] *)
+let virtual_spans loops (u : Autocfd_fortran.Ast.program_unit) =
+  let module Ast = Autocfd_fortran.Ast in
+  (* labelled statements with their clock and loop chain *)
+  let labels = Hashtbl.create 16 in
+  Ast.iter_stmts
+    (fun st ->
+      match st.Ast.s_label with
+      | Some l -> Hashtbl.replace labels l st.Ast.s_id
+      | None -> ())
+    u.Ast.u_body;
+  let spans = ref [] in
+  Ast.iter_stmts
+    (fun st ->
+      match st.Ast.s_kind with
+      | Ast.Goto l -> (
+          match Hashtbl.find_opt labels l with
+          | Some target_id ->
+              let t_enter, _ = Loops.clock loops target_id in
+              let g_enter, g_exit = Loops.clock loops st.Ast.s_id in
+              let chain sid =
+                List.map
+                  (fun (lp : Loops.loop) -> lp.Loops.lp_id)
+                  (Loops.enclosing_loops loops sid)
+              in
+              if t_enter < g_enter && chain target_id = chain st.Ast.s_id
+              then spans := (st.Ast.s_id, (t_enter, g_exit)) :: !spans
+          | None -> ())
+      | _ -> ())
+    u.Ast.u_body;
+  !spans
+
+(* innermost common enclosing loop of two heads; falls back to the
+   smallest backward-GOTO span containing both *)
+let common_loop loops vspans (a : Field_loop.summary) (b : Field_loop.summary) =
+  let anc s =
+    List.map
+      (fun (l : Loops.loop) -> l.Loops.lp_id)
+      (Loops.enclosing_loops loops s.Field_loop.fs_loop.Loops.lp_id)
+  in
+  let aa = anc a in
+  match List.find_opt (fun id -> List.mem id aa) (anc b) with
+  | Some id -> Some id
+  | None ->
+      let span_of (s : Field_loop.summary) =
+        (s.Field_loop.fs_loop.Loops.lp_enter, s.Field_loop.fs_loop.Loops.lp_exit)
+      in
+      let ae, ax = span_of a and be, bx = span_of b in
+      List.filter
+        (fun (_, (lo, hi)) -> lo <= ae && ax <= hi && lo <= be && bx <= hi)
+        vspans
+      |> List.sort
+           (fun (_, (l1, h1)) (_, (l2, h2)) -> compare (h1 - l1) (h2 - l2))
+      |> function
+      | (id, _) :: _ -> Some id
+      | [] -> None
+
+let merge_info i1 i2 =
+  let nd = Array.length i1.di_depth in
+  {
+    di_dims = List.sort_uniq compare (i1.di_dims @ i2.di_dims);
+    di_depth = Array.init nd (fun g -> max i1.di_depth.(g) i2.di_depth.(g));
+    di_minus = Array.init nd (fun g -> i1.di_minus.(g) || i2.di_minus.(g));
+    di_plus = Array.init nd (fun g -> i1.di_plus.(g) || i2.di_plus.(g));
+  }
+
+let compute gi topo loops summaries =
+  let vspans = virtual_spans loops (Loops.unit_of loops) in
+  let arrays = arrays_of summaries in
+  let pairs = ref [] in
+  let add a r v info kind =
+    (* merge into an existing pair with the same endpoints and kind *)
+    let same p =
+      p.dp_assign == a && p.dp_ref == r
+      && (match (p.dp_kind, kind) with
+         | Forward, Forward | Self, Self -> true
+         | Backward x, Backward y -> x = y
+         | _ -> false)
+    in
+    match List.find_opt same !pairs with
+    | Some p ->
+        let arrays' =
+          match List.assoc_opt v p.dp_arrays with
+          | Some i0 ->
+              (v, merge_info i0 info)
+              :: List.remove_assoc v p.dp_arrays
+          | None -> (v, info) :: p.dp_arrays
+        in
+        pairs :=
+          { p with dp_arrays = List.sort compare arrays' }
+          :: List.filter (fun q -> not (same q)) !pairs
+    | None ->
+        pairs := { dp_assign = a; dp_ref = r; dp_arrays = [ (v, info) ];
+                   dp_kind = kind } :: !pairs
+  in
+  List.iter
+    (fun v ->
+      let writers = List.filter (assigns v) summaries in
+      List.iter
+        (fun (r : Field_loop.summary) ->
+          match crossing_info gi topo v r with
+          | None -> ()
+          | Some info ->
+              List.iter
+                (fun (a : Field_loop.summary) ->
+                  if a == r then begin
+                    if Field_loop.self_dependent r v then begin
+                      add a r v info Self;
+                      (* the mirror-image (anti-direction) reads of the next
+                         execution need the pre-sweep halo of old values:
+                         a backward dependence around the enclosing loop *)
+                      match common_loop loops vspans a r with
+                      | Some l -> add a r v info (Backward l)
+                      | None -> ()
+                    end
+                  end
+                  else if enter a < enter r then add a r v info Forward
+                  else
+                    match common_loop loops vspans a r with
+                    | Some l -> add a r v info (Backward l)
+                    | None -> ())
+                writers)
+        summaries)
+    arrays;
+  (* stable order: by reference loop, then assign loop *)
+  let pairs =
+    List.sort
+      (fun p q ->
+        compare
+          (enter p.dp_ref, enter p.dp_assign)
+          (enter q.dp_ref, enter q.dp_assign))
+      !pairs
+  in
+  { pairs; loops; summaries; gi; topo; virtual_spans = vspans }
+
+let carrying_span t id =
+  match List.assoc_opt id t.virtual_spans with
+  | Some span -> span
+  | None -> Loops.clock t.loops id
+
+let non_self t = List.filter (fun p -> p.dp_kind <> Self) t.pairs
+let self_pairs t = List.filter (fun p -> p.dp_kind = Self) t.pairs
+
+(* A preliminary synchronization point communicates with the neighbors
+   along one dimension; a pair crossing two cut dimensions therefore needs
+   two synchronizations before optimization.  This matches the paper's
+   Table 1, where the "before" counts of two-dimensional partitions are
+   nearly the sum of the one-dimensional ones. *)
+let pair_dims p =
+  List.concat_map (fun (_, info) -> info.di_dims) p.dp_arrays
+  |> List.sort_uniq compare
+
+let count_before t =
+  List.fold_left (fun acc p -> acc + List.length (pair_dims p)) 0 (non_self t)
+
+(* Redundancy: pair (a, r) on array v is covered when another writer of v
+   executes between a and r — an exchange after that writer also carries
+   a's data (halo exchanges always send the owner's current planes). *)
+let eliminate_redundant t =
+  let writers v =
+    List.filter (assigns v) t.summaries |> List.map enter
+  in
+  let covered p v =
+    let ea = enter p.dp_assign and er = enter p.dp_ref in
+    match p.dp_kind with
+    | Self -> false
+    | Forward ->
+        List.exists (fun w -> w > ea && w < er) (writers v)
+    | Backward l ->
+        (* execution order wraps around the carrying loop's back edge:
+           a ... (end of loop body) ... r — only writers INSIDE that loop
+           can execute in between *)
+        let l_enter, l_exit = carrying_span t l in
+        List.exists
+          (fun w -> l_enter < w && w < l_exit && (w > ea || w < er))
+          (writers v)
+  in
+  non_self t
+  |> List.filter_map (fun p ->
+         let arrays =
+           List.filter (fun (v, _) -> not (covered p v)) p.dp_arrays
+         in
+         if arrays = [] then None else Some { p with dp_arrays = arrays })
+
+let pp_pair ppf p =
+  let name (s : Field_loop.summary) =
+    Printf.sprintf "L%d@%d" s.Field_loop.fs_loop.Loops.lp_id
+      s.Field_loop.fs_loop.Loops.lp_line
+  in
+  let kind =
+    match p.dp_kind with
+    | Forward -> "forward"
+    | Backward l -> Printf.sprintf "backward(via loop %d)" l
+    | Self -> "self"
+  in
+  Format.fprintf ppf "%s -> %s [%s] {%s}" (name p.dp_assign) (name p.dp_ref)
+    kind
+    (String.concat ", " (List.map fst p.dp_arrays))

@@ -1,0 +1,1 @@
+lib/apps/aerofoil.ml: Printf

@@ -1,0 +1,1 @@
+lib/apps/cavity.ml: Printf

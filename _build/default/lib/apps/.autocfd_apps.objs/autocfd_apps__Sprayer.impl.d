@@ -1,0 +1,1 @@
+lib/apps/sprayer.ml: Printf

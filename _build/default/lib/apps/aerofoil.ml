@@ -1,0 +1,425 @@
+(** Case study 1 of the paper: an aerofoil simulation (§6) — the velocity
+    distribution over the aerofoil surface plus a boundary-layer analysis.
+
+    A 3-D incompressible pseudo-compressibility model on an
+    [ni x nj x nk] body-fitted (here: rectangular with a surface bump)
+    grid.  The structural features the paper calls out are all present:
+
+    - {e self-dependent field loops}: the pressure SOR sweep [psor] reads
+      the same array it assigns in both lexicographic directions —
+      parallelizable only with mirror-image decomposition (Fig. 3(b));
+      the boundary-layer march [blayer] is self-dependent in one
+      direction only (Fig. 3(a), wavefront);
+    - a {e packed status array} [q(ni,nj,nk,3)] whose 4th dimension is not
+      a status dimension (§4.2 case 4);
+    - {e dependency distance 2} in the streamwise smoothing (§4.2 case 5);
+    - direction-specific boundary sections (§4.2 cases 2 and 3);
+    - the far-field boundary subroutine is called twice per step, the
+      Fig. 8 multi-subroutine combining pattern. *)
+
+let header ~ni ~nj ~nk =
+  Printf.sprintf
+    {|      parameter (ni = %d, nj = %d, nk = %d)
+      real u(ni, nj, nk), v(ni, nj, nk), w(ni, nj, nk)
+      real p(ni, nj, nk), d(ni, nj, nk)
+      real q(ni, nj, nk, 3)
+      common /flow/ u, v, w, p, d, q
+      real dt, rnu, sor, eps, resmax, uinf, cl, cd, dtmin
+      common /par/ dt, rnu, sor, eps, resmax, uinf, cl, cd, dtmin|}
+    ni nj nk
+
+let source ?(ni = 99) ?(nj = 41) ?(nk = 13) ?(ntime = 20) ?(npres = 4)
+    ?(uinf = 1.0) () =
+  let h = header ~ni ~nj ~nk in
+  Printf.sprintf
+    {|c  aerofoil simulation (Auto-CFD case study 1)
+c$acfd grid(ni, nj, nk)
+c$acfd status(u, v, w, p, d, q)
+      program aerofoil
+%s
+      parameter (ntime = %d, npres = %d)
+      integer it, kp
+      dt = 0.02
+      rnu = 0.05
+      sor = 1.2
+      eps = 1.0e-6
+      uinf = %f
+      call init
+      do 500 it = 1, ntime
+        call farbc
+        call surfbc
+        call spanbc
+        call rhs
+        call advanc
+        call diverg
+        do 400 kp = 1, npres
+          call psor
+ 400    continue
+        call correc
+        call blayer
+        call wallfn
+        call smooth
+        call spanav
+        call farbc
+        call forces
+        call cflmin
+        call resid
+        if (resmax .lt. eps) goto 900
+ 500  continue
+ 900  continue
+      write(*,*) it, resmax
+      end
+
+c ------------------------------------------------------------------
+      subroutine init
+%s
+      integer i, j, k, m
+      real yb
+      do 10 i = 1, ni
+        do 10 j = 1, nj
+          do 10 k = 1, nk
+            u(i, j, k) = uinf
+            v(i, j, k) = 0.0
+            w(i, j, k) = 0.0
+            p(i, j, k) = 0.0
+            d(i, j, k) = 0.0
+ 10   continue
+      do 12 i = 1, ni
+        do 12 j = 1, nj
+          do 12 k = 1, nk
+            do 12 m = 1, 3
+              q(i, j, k, m) = 0.0
+ 12   continue
+c  aerofoil bump: slow the flow near the surface around mid-chord
+      do 15 i = 1, ni
+        do 15 k = 1, nk
+          yb = float(i - ni/2) / float(ni)
+          u(i, 1, k) = 0.0
+          u(i, 2, k) = uinf * (0.2 + yb * yb)
+ 15   continue
+      return
+      end
+
+c ------------------------------------------------------------------
+c  far-field boundaries (i-direction reads only); called twice per
+c  step, as in the paper's Fig. 8 pattern
+      subroutine farbc
+%s
+      integer j, k
+      do 20 j = 1, nj
+        do 20 k = 1, nk
+          u(1, j, k) = uinf
+          v(1, j, k) = 0.0
+          p(1, j, k) = p(2, j, k)
+          u(ni, j, k) = u(ni-1, j, k)
+          v(ni, j, k) = v(ni-1, j, k)
+          p(ni, j, k) = 0.0
+ 20   continue
+      return
+      end
+
+c ------------------------------------------------------------------
+c  aerofoil surface (j-direction reads only): no-slip wall and normal
+c  pressure extrapolation
+      subroutine surfbc
+%s
+      integer i, k
+      do 30 i = 1, ni
+        do 30 k = 1, nk
+          u(i, 1, k) = 0.0
+          v(i, 1, k) = 0.0
+          w(i, 1, k) = 0.0
+          p(i, 1, k) = p(i, 2, k)
+          u(i, nj, k) = uinf
+          p(i, nj, k) = p(i, nj-1, k)
+ 30   continue
+      return
+      end
+
+c ------------------------------------------------------------------
+c  spanwise symmetry planes (k-direction reads only)
+      subroutine spanbc
+%s
+      integer i, j
+      do 40 i = 1, ni
+        do 40 j = 1, nj
+          u(i, j, 1) = u(i, j, 2)
+          v(i, j, 1) = v(i, j, 2)
+          w(i, j, 1) = 0.0
+          p(i, j, 1) = p(i, j, 2)
+          u(i, j, nk) = u(i, j, nk-1)
+          v(i, j, nk) = v(i, j, nk-1)
+          w(i, j, nk) = 0.0
+          p(i, j, nk) = p(i, j, nk-1)
+ 40   continue
+      return
+      end
+
+c ------------------------------------------------------------------
+c  momentum right-hand sides into the packed array q(.,.,.,m)
+      subroutine rhs
+%s
+      integer i, j, k
+      real adv, dif, upw, vt2
+      do 50 i = 2, ni - 1
+        do 50 j = 2, nj - 1
+          do 50 k = 2, nk - 1
+            adv = u(i,j,k) * (u(i+1,j,k) - u(i-1,j,k)) * 0.5
+     &          + v(i,j,k) * (u(i,j+1,k) - u(i,j-1,k)) * 0.5
+     &          + w(i,j,k) * (u(i,j,k+1) - u(i,j,k-1)) * 0.5
+            dif = rnu * (u(i+1,j,k) + u(i-1,j,k) + u(i,j+1,k)
+     &          + u(i,j-1,k) + u(i,j,k+1) + u(i,j,k-1)
+     &          - 6.0 * u(i,j,k))
+            upw = abs(u(i,j,k)) * (u(i+1,j,k) - 2.0 * u(i,j,k)
+     &          + u(i-1,j,k)) * 0.25
+     &          + abs(v(i,j,k)) * (u(i,j+1,k) - 2.0 * u(i,j,k)
+     &          + u(i,j-1,k)) * 0.25
+     &          + abs(w(i,j,k)) * (u(i,j,k+1) - 2.0 * u(i,j,k)
+     &          + u(i,j,k-1)) * 0.25
+            vt2 = rnu * (1.0 + 0.1 * (abs(u(i+1,j,k) - u(i-1,j,k))
+     &          + abs(v(i,j+1,k) - v(i,j-1,k))
+     &          + abs(w(i,j,k+1) - w(i,j,k-1))))
+            q(i, j, k, 1) = dif * vt2 / rnu - adv + upw
+ 50   continue
+      do 52 i = 2, ni - 1
+        do 52 j = 2, nj - 1
+          do 52 k = 2, nk - 1
+            adv = u(i,j,k) * (v(i+1,j,k) - v(i-1,j,k)) * 0.5
+     &          + v(i,j,k) * (v(i,j+1,k) - v(i,j-1,k)) * 0.5
+     &          + w(i,j,k) * (v(i,j,k+1) - v(i,j,k-1)) * 0.5
+            dif = rnu * (v(i+1,j,k) + v(i-1,j,k) + v(i,j+1,k)
+     &          + v(i,j-1,k) + v(i,j,k+1) + v(i,j,k-1)
+     &          - 6.0 * v(i,j,k))
+            upw = abs(u(i,j,k)) * (v(i+1,j,k) - 2.0 * v(i,j,k)
+     &          + v(i-1,j,k)) * 0.25
+     &          + abs(v(i,j,k)) * (v(i,j+1,k) - 2.0 * v(i,j,k)
+     &          + v(i,j-1,k)) * 0.25
+     &          + abs(w(i,j,k)) * (v(i,j,k+1) - 2.0 * v(i,j,k)
+     &          + v(i,j,k-1)) * 0.25
+            vt2 = rnu * (1.0 + 0.1 * (abs(u(i+1,j,k) - u(i-1,j,k))
+     &          + abs(v(i,j+1,k) - v(i,j-1,k))
+     &          + abs(w(i,j,k+1) - w(i,j,k-1))))
+            q(i, j, k, 2) = dif * vt2 / rnu - adv + upw
+ 52   continue
+      do 54 i = 2, ni - 1
+        do 54 j = 2, nj - 1
+          do 54 k = 2, nk - 1
+            adv = u(i,j,k) * (w(i+1,j,k) - w(i-1,j,k)) * 0.5
+     &          + v(i,j,k) * (w(i,j+1,k) - w(i,j-1,k)) * 0.5
+     &          + w(i,j,k) * (w(i,j,k+1) - w(i,j,k-1)) * 0.5
+            dif = rnu * (w(i+1,j,k) + w(i-1,j,k) + w(i,j+1,k)
+     &          + w(i,j-1,k) + w(i,j,k+1) + w(i,j,k-1)
+     &          - 6.0 * w(i,j,k))
+            upw = abs(u(i,j,k)) * (w(i+1,j,k) - 2.0 * w(i,j,k)
+     &          + w(i-1,j,k)) * 0.25
+     &          + abs(v(i,j,k)) * (w(i,j+1,k) - 2.0 * w(i,j,k)
+     &          + w(i,j-1,k)) * 0.25
+     &          + abs(w(i,j,k)) * (w(i,j,k+1) - 2.0 * w(i,j,k)
+     &          + w(i,j,k-1)) * 0.25
+            vt2 = rnu * (1.0 + 0.1 * (abs(u(i+1,j,k) - u(i-1,j,k))
+     &          + abs(v(i,j+1,k) - v(i,j-1,k))
+     &          + abs(w(i,j,k+1) - w(i,j,k-1))))
+            q(i, j, k, 3) = dif * vt2 / rnu - adv + upw
+ 54   continue
+      return
+      end
+
+c ------------------------------------------------------------------
+c  explicit predictor step (reads the packed q at offset 0)
+      subroutine advanc
+%s
+      integer i, j, k
+      do 60 i = 2, ni - 1
+        do 60 j = 2, nj - 1
+          do 60 k = 2, nk - 1
+            u(i, j, k) = u(i, j, k) + dt * q(i, j, k, 1)
+            v(i, j, k) = v(i, j, k) + dt * q(i, j, k, 2)
+            w(i, j, k) = w(i, j, k) + dt * q(i, j, k, 3)
+ 60   continue
+      return
+      end
+
+c ------------------------------------------------------------------
+c  divergence of the predicted velocity
+      subroutine diverg
+%s
+      integer i, j, k
+      do 70 i = 2, ni - 1
+        do 70 j = 2, nj - 1
+          do 70 k = 2, nk - 1
+            d(i, j, k) = 0.5 * ((u(i+1,j,k) - u(i-1,j,k))
+     &                 + (v(i,j+1,k) - v(i,j-1,k))
+     &                 + (w(i,j,k+1) - w(i,j,k-1))) / dt
+ 70   continue
+      return
+      end
+
+c ------------------------------------------------------------------
+c  one pressure SOR sweep: a self-dependent field loop with
+c  dependences both along and against the lexicographic order —
+c  the mirror-image decomposition case (Fig. 3(b))
+      subroutine psor
+%s
+      integer i, j, k
+      real pnew
+      do 80 i = 2, ni - 1
+        do 80 j = 2, nj - 1
+          do 80 k = 2, nk - 1
+            pnew = (p(i+1,j,k) + p(i-1,j,k) + p(i,j+1,k) + p(i,j-1,k)
+     &            + p(i,j,k+1) + p(i,j,k-1) - d(i,j,k)) / 6.0
+            p(i, j, k) = (1.0 - sor) * p(i, j, k) + sor * pnew
+ 80   continue
+      return
+      end
+
+c ------------------------------------------------------------------
+c  projection: subtract the pressure gradient
+      subroutine correc
+%s
+      integer i, j, k
+      do 90 i = 2, ni - 1
+        do 90 j = 2, nj - 1
+          do 90 k = 2, nk - 1
+            u(i,j,k) = u(i,j,k) - 0.5 * dt * (p(i+1,j,k) - p(i-1,j,k))
+            v(i,j,k) = v(i,j,k) - 0.5 * dt * (p(i,j+1,k) - p(i,j-1,k))
+            w(i,j,k) = w(i,j,k) - 0.5 * dt * (p(i,j,k+1) - p(i,j,k-1))
+ 90   continue
+      return
+      end
+
+c ------------------------------------------------------------------
+c  boundary-layer analysis: an implicit-flavoured march away from the
+c  surface — self-dependent in one direction only (Fig. 3(a)),
+c  parallelizable by wavefront pipelining
+      subroutine blayer
+%s
+      integer i, j, k
+      real cf
+      cf = 0.3
+      do 95 j = 2, nj / 2
+        do 95 i = 2, ni - 1
+          do 95 k = 2, nk - 1
+            u(i, j, k) = (1.0 - cf) * u(i, j, k)
+     &                 + cf * (u(i, j-1, k) + rnu * (u(i+1, j, k)
+     &                 - 2.0 * u(i, j, k) + u(i-1, j, k)))
+            v(i, j, k) = (1.0 - cf) * v(i, j, k)
+     &                 + cf * (v(i, j-1, k) + rnu * (v(i+1, j, k)
+     &                 - 2.0 * v(i, j, k) + v(i-1, j, k)))
+            w(i, j, k) = (1.0 - cf) * w(i, j, k)
+     &                 + cf * (w(i, j-1, k) + rnu * (w(i+1, j, k)
+     &                 - 2.0 * w(i, j, k) + w(i-1, j, k)))
+ 95   continue
+      return
+      end
+
+c ------------------------------------------------------------------
+c  4th-difference streamwise smoothing (dependency distance 2)
+      subroutine smooth
+%s
+      integer i, j, k
+      do 100 i = 3, ni - 2
+        do 100 j = 2, nj - 1
+          do 100 k = 2, nk - 1
+            d(i, j, k) = u(i, j, k) + 0.02 * (u(i-2, j, k)
+     &                 + u(i+2, j, k) - 4.0 * (u(i-1, j, k)
+     &                 + u(i+1, j, k)) + 6.0 * u(i, j, k))
+ 100  continue
+      do 105 i = 3, ni - 2
+        do 105 j = 2, nj - 1
+          do 105 k = 2, nk - 1
+            u(i, j, k) = d(i, j, k)
+ 105  continue
+      return
+      end
+
+
+c ------------------------------------------------------------------
+c  wall-function correction in the near-wall layer (j-direction reads
+c  of all three velocity components)
+      subroutine wallfn
+%s
+      integer i, k
+      real tw
+      do 96 i = 2, ni - 1
+        do 96 k = 2, nk - 1
+          tw = u(i, 2, k) - u(i, 1, k)
+          u(i, 2, k) = u(i, 2, k) - 0.05 * (tw - rnu * (u(i, 3, k)
+     &               - u(i, 2, k)))
+          v(i, 2, k) = 0.5 * (v(i, 1, k) + v(i, 3, k))
+          w(i, 2, k) = 0.5 * (w(i, 1, k) + w(i, 3, k))
+ 96   continue
+      return
+      end
+
+c ------------------------------------------------------------------
+c  spanwise averaging smoothing (k-direction reads only)
+      subroutine spanav
+%s
+      integer i, j, k
+      do 107 i = 2, ni - 1
+        do 107 j = 2, nj - 1
+          do 107 k = 2, nk - 1
+            d(i, j, k) = 0.25 * (w(i, j, k-1) + 2.0 * w(i, j, k)
+     &                 + w(i, j, k+1))
+ 107  continue
+      do 108 i = 2, ni - 1
+        do 108 j = 2, nj - 1
+          do 108 k = 2, nk - 1
+            w(i, j, k) = d(i, j, k)
+ 108  continue
+      return
+      end
+
+
+c ------------------------------------------------------------------
+c  lift and drag: pressure integrals over the aerofoil surface
+c  (j = 1 plane) — global Sum reductions
+      subroutine forces
+%s
+      integer i, k
+      real yb
+      cl = 0.0
+      cd = 0.0
+      do 109 i = 2, ni - 1
+        do 109 k = 2, nk - 1
+          yb = 2.0 * float(i - ni/2) / float(ni)
+          cl = cl + p(i, 1, k)
+          cd = cd + p(i, 1, k) * yb
+ 109  continue
+      return
+      end
+
+c ------------------------------------------------------------------
+c  stability time-step bound: a global Min reduction over the field
+      subroutine cflmin
+%s
+      integer i, j, k
+      real speed
+      dtmin = 1.0
+      do 115 i = 2, ni - 1
+        do 115 j = 2, nj - 1
+          do 115 k = 2, nk - 1
+            speed = abs(u(i,j,k)) + abs(v(i,j,k)) + abs(w(i,j,k))
+     &            + 0.001
+            dtmin = min(dtmin, 0.5 / speed)
+ 115  continue
+      return
+      end
+
+c ------------------------------------------------------------------
+c  convergence residual: max divergence magnitude
+      subroutine resid
+%s
+      integer i, j, k
+      resmax = 0.0
+      do 110 i = 2, ni - 1
+        do 110 j = 2, nj - 1
+          do 110 k = 2, nk - 1
+            resmax = max(resmax, abs(d(i, j, k)))
+ 110  continue
+      return
+      end
+|}
+    h ntime npres uinf h h h h h h h h h h h h h h h h
+
+let default = source ()

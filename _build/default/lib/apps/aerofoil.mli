@@ -1,0 +1,22 @@
+(** Case study 1 of the paper: the aerofoil simulation (§6) — a 3-D
+    incompressible pseudo-compressibility model with the structural
+    features the paper calls out: mirror-image self-dependent SOR pressure
+    sweeps, a wavefront boundary-layer march, a packed status array,
+    dependency-distance-2 smoothing, direction-specific boundary
+    subroutines (far-field called twice per step, the Fig. 8 pattern), and
+    global Sum/Min/Max reductions. *)
+
+val source :
+  ?ni:int ->
+  ?nj:int ->
+  ?nk:int ->
+  ?ntime:int ->
+  ?npres:int ->
+  ?uinf:float ->
+  unit ->
+  string
+(** Defaults match the paper's Table 2 grid (99 x 41 x 13); [ntime] outer
+    steps, [npres] pressure SOR sweeps per step, [uinf] free-stream
+    velocity. *)
+
+val default : string

@@ -1,0 +1,147 @@
+(** Lid-driven cavity flow — the classic CFD validation problem, included
+    as a third demonstration program (the paper mentions "several case
+    studies"; this one is the community-standard benchmark).
+
+    2-D stream-function / vorticity in a square cavity whose lid moves at
+    unit speed.  Structurally it complements the two paper case studies:
+
+    - the stream-function Poisson equation is solved by {e point SOR
+      sweeps} (self-dependent, mirror-image decomposition);
+    - the outer time iteration is a {e backward-GOTO while loop} (the
+      classic F77 convergence pattern), exercising the virtual carrying
+      loop analysis;
+    - all four walls carry Thom vorticity conditions (fixed-plane boundary
+      code in both directions). *)
+
+let header ~n =
+  Printf.sprintf
+    {|      parameter (n = %d)
+      real psi(n, n), omg(n, n), w1(n, n)
+      common /cav/ psi, omg, w1
+      real re, dt, sor, eps, errmax, ulid
+      common /par/ re, dt, sor, eps, errmax, ulid|}
+    n
+
+let source ?(n = 33) ?(maxit = 40) ?(npsi = 6) ?(ulid = 1.0) () =
+  let h = header ~n in
+  Printf.sprintf
+    {|c  lid-driven cavity flow (stream function / vorticity)
+c$acfd grid(n, n2)
+c$acfd status(psi, omg, w1)
+      program cavity
+%s
+      parameter (n2 = %d, maxit = %d, npsi = %d)
+      integer it, kp
+      re = 100.0
+      dt = 0.01
+      sor = 1.4
+      eps = 1.0e-5
+      ulid = %f
+      call init
+      it = 0
+ 500  continue
+      it = it + 1
+      call wallbc
+      call vort
+      call resid
+      call update
+      do 400 kp = 1, npsi
+        call psisor
+ 400  continue
+      if (errmax .gt. eps .and. it .lt. maxit) goto 500
+      write(*,*) it, errmax
+      end
+
+c ------------------------------------------------------------------
+      subroutine init
+%s
+      integer i, j
+      do 10 i = 1, n
+        do 10 j = 1, n
+          psi(i, j) = 0.0
+          omg(i, j) = 0.0
+          w1(i, j) = 0.0
+ 10   continue
+      return
+      end
+
+c ------------------------------------------------------------------
+c  Thom vorticity conditions on all four walls; the moving lid is the
+c  j = n wall
+      subroutine wallbc
+%s
+      integer i, j
+      do 20 i = 2, n - 1
+        omg(i, 1) = 2.0 * (psi(i, 1) - psi(i, 2))
+        omg(i, n) = 2.0 * (psi(i, n) - psi(i, n-1)) - 2.0 * ulid
+ 20   continue
+      do 25 j = 2, n - 1
+        omg(1, j) = 2.0 * (psi(1, j) - psi(2, j))
+        omg(n, j) = 2.0 * (psi(n, j) - psi(n-1, j))
+ 25   continue
+      return
+      end
+
+c ------------------------------------------------------------------
+c  explicit vorticity transport step into w1 (velocities from psi
+c  central differences, inline)
+      subroutine vort
+%s
+      integer i, j
+      real uu, vv, adv, dif
+      do 30 i = 2, n - 1
+        do 30 j = 2, n - 1
+          uu = 0.5 * (psi(i, j+1) - psi(i, j-1))
+          vv = -0.5 * (psi(i+1, j) - psi(i-1, j))
+          adv = uu * 0.5 * (omg(i+1, j) - omg(i-1, j))
+     &        + vv * 0.5 * (omg(i, j+1) - omg(i, j-1))
+          dif = (omg(i+1, j) + omg(i-1, j) + omg(i, j+1) + omg(i, j-1)
+     &        - 4.0 * omg(i, j)) / re
+          w1(i, j) = omg(i, j) + dt * (dif - adv)
+ 30   continue
+      return
+      end
+
+c ------------------------------------------------------------------
+c  convergence residual before the update
+      subroutine resid
+%s
+      integer i, j
+      errmax = 0.0
+      do 40 i = 2, n - 1
+        do 40 j = 2, n - 1
+          errmax = max(errmax, abs(w1(i, j) - omg(i, j)))
+ 40   continue
+      return
+      end
+
+c ------------------------------------------------------------------
+      subroutine update
+%s
+      integer i, j
+      do 50 i = 2, n - 1
+        do 50 j = 2, n - 1
+          omg(i, j) = w1(i, j)
+ 50   continue
+      return
+      end
+
+c ------------------------------------------------------------------
+c  one SOR sweep of the psi Poisson equation: self-dependent in both
+c  lexicographic directions (mirror-image decomposition)
+      subroutine psisor
+%s
+      integer i, j
+      real pnew
+      do 60 i = 2, n - 1
+        do 60 j = 2, n - 1
+          pnew = 0.25 * (psi(i+1, j) + psi(i-1, j) + psi(i, j+1)
+     &         + psi(i, j-1) + omg(i, j))
+          psi(i, j) = (1.0 - sor) * psi(i, j) + sor * pnew
+ 60   continue
+      return
+      end
+|}
+    h n maxit npsi ulid h h h h h h
+
+let default = source ()

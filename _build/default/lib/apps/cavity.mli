@@ -1,0 +1,12 @@
+(** Lid-driven cavity flow — the community-standard CFD validation
+    problem, bundled as a third demonstration program: point-SOR
+    stream-function solve (mirror-image pipelined), Thom vorticity walls,
+    and a backward-GOTO convergence loop (recognized as a virtual carrying
+    loop by the analysis). *)
+
+val source :
+  ?n:int -> ?maxit:int -> ?npsi:int -> ?ulid:float -> unit -> string
+(** [n] x [n] cavity, at most [maxit] outer steps, [npsi] SOR sweeps per
+    step, lid speed [ulid]. *)
+
+val default : string

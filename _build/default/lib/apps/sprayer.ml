@@ -1,0 +1,321 @@
+(** Case study 2 of the paper: "flow simulation of sprayers" — air velocity
+    around a sprayer fan, for varying fan speeds and positions (§6).
+
+    A 2-D stream-function / vorticity model on an [ni x nj] rectangular
+    duct with a fan modelled as a momentum source column.  The program is
+    written in the classic many-small-subroutines F77 style of the paper's
+    6,100-line case study: per-stage subroutines communicating through
+    COMMON, direction-specific boundary sweeps (which is what makes the
+    Table 1 "before" counts differ between 4x1 and 1x4 partitions), an
+    inner Poisson iteration, and a global convergence reduction. *)
+
+(* declarations shared by every unit (COMMON storage) *)
+let header ~ni ~nj ~jfan =
+  Printf.sprintf
+    {|      parameter (ni = %d, nj = %d, jfan = %d)
+      real psi(ni, nj), omg(ni, nj), u(ni, nj), v(ni, nj)
+      real w1(ni, nj), w2(ni, nj), vt(ni, nj), conc(ni, nj)
+      common /flow/ psi, omg, u, v, w1, w2, vt, conc
+      real dt, rnu, ufan, relax, eps, errmax
+      common /par/ dt, rnu, ufan, relax, eps, errmax|}
+    ni nj jfan
+
+let source ?(ni = 300) ?(nj = 100) ?(ntime = 60) ?(npsi = 8) ?(jfan = 0)
+    ?(ufan = 1.0) () =
+  let jfan = if jfan > 0 then jfan else nj / 2 in
+  let h = header ~ni ~nj ~jfan in
+  Printf.sprintf
+    {|c  sprayer flow simulation (Auto-CFD case study 2)
+c$acfd grid(ni, nj)
+c$acfd status(psi, omg, u, v, w1, w2, vt, conc)
+      program sprayer
+%s
+      parameter (ntime = %d, npsi = %d)
+      integer it, kit
+      dt = 0.05
+      rnu = 0.04
+      ufan = %f
+      relax = 0.8
+      eps = 1.0e-6
+      call init
+      call fansrc
+      do 500 it = 1, ntime
+        call inletbc
+        call wallbc
+        call eddyvis
+        call vorttr
+        call resid
+        call vortup
+        call smoothu
+        call deficit
+        call outflow
+        do 400 kit = 1, npsi
+          call psisol
+ 400    continue
+        call veloc
+        call swirl
+        call droplet
+        call settle
+        call fansrc
+        if (errmax .lt. eps) goto 900
+ 500  continue
+ 900  continue
+      write(*,*) it, errmax
+      end
+
+c ------------------------------------------------------------------
+      subroutine init
+%s
+      integer i, j
+      do 10 i = 1, ni
+        do 10 j = 1, nj
+          psi(i, j) = 0.1 * float(j - 1) / float(nj - 1)
+          omg(i, j) = 0.0
+          u(i, j) = 0.1
+          v(i, j) = 0.0
+          w1(i, j) = 0.0
+          w2(i, j) = 0.0
+          vt(i, j) = 0.0
+          conc(i, j) = 0.0
+ 10   continue
+      return
+      end
+
+c ------------------------------------------------------------------
+c  fan momentum source: a column of forced vorticity at the fan
+c  position (j-direction reads only)
+      subroutine fansrc
+%s
+      integer i
+      do 20 i = 2, ni - 1
+        omg(i, jfan) = omg(i, jfan)
+     &      + 0.5 * ufan * (psi(i, jfan+1) - psi(i, jfan-1))
+        u(i, jfan) = u(i, jfan) + 0.05 * ufan
+ 20   continue
+      return
+      end
+
+c ------------------------------------------------------------------
+c  inlet/outlet boundaries: i-direction reads only
+      subroutine inletbc
+%s
+      integer j
+      do 30 j = 1, nj
+        psi(1, j) = psi(2, j)
+        omg(1, j) = omg(2, j)
+        u(1, j) = 0.1
+        psi(ni, j) = psi(ni-1, j)
+        omg(ni, j) = omg(ni-1, j)
+        u(ni, j) = u(ni-1, j)
+ 30   continue
+      return
+      end
+
+c ------------------------------------------------------------------
+c  no-slip walls: j-direction reads only (Thom's vorticity condition)
+      subroutine wallbc
+%s
+      integer i
+      do 40 i = 1, ni
+        psi(i, 1) = 0.0
+        omg(i, 1) = 2.0 * (psi(i, 1) - psi(i, 2))
+        v(i, 1) = 0.0
+        psi(i, nj) = 0.1
+        omg(i, nj) = 2.0 * (psi(i, nj) - psi(i, nj-1))
+        v(i, nj) = 0.0
+ 40   continue
+      return
+      end
+
+c ------------------------------------------------------------------
+c  algebraic eddy viscosity from the local shear
+      subroutine eddyvis
+%s
+      integer i, j
+      real sxy
+      do 50 i = 2, ni - 1
+        do 50 j = 2, nj - 1
+          sxy = abs(u(i, j+1) - u(i, j-1)) + abs(v(i+1, j) - v(i-1, j))
+          vt(i, j) = rnu + 0.002 * sxy
+ 50   continue
+      return
+      end
+
+c ------------------------------------------------------------------
+c  vorticity transport: explicit step into the scratch array w1
+      subroutine vorttr
+%s
+      integer i, j
+      real adv, dif
+      do 60 i = 2, ni - 1
+        do 60 j = 2, nj - 1
+          adv = u(i, j) * (omg(i+1, j) - omg(i-1, j)) * 0.5
+     &        + v(i, j) * (omg(i, j+1) - omg(i, j-1)) * 0.5
+          dif = vt(i, j) * (omg(i+1, j) + omg(i-1, j) + omg(i, j+1)
+     &        + omg(i, j-1) - 4.0 * omg(i, j))
+          w1(i, j) = omg(i, j) + dt * (dif - adv)
+ 60   continue
+      return
+      end
+
+c ------------------------------------------------------------------
+c  vorticity update with under-relaxation (w1 is read at offset 0:
+c  no communication is needed for it here)
+      subroutine vortup
+%s
+      integer i, j
+      do 70 i = 2, ni - 1
+        do 70 j = 2, nj - 1
+          omg(i, j) = (1.0 - relax) * omg(i, j) + relax * w1(i, j)
+ 70   continue
+      return
+      end
+
+c ------------------------------------------------------------------
+c  one Jacobi sweep of the stream-function Poisson equation
+      subroutine psisol
+%s
+      integer i, j
+      do 80 i = 2, ni - 1
+        do 80 j = 2, nj - 1
+          w2(i, j) = 0.25 * (psi(i+1, j) + psi(i-1, j)
+     &             + psi(i, j+1) + psi(i, j-1) + omg(i, j))
+ 80   continue
+      do 85 i = 2, ni - 1
+        do 85 j = 2, nj - 1
+          psi(i, j) = w2(i, j)
+ 85   continue
+      return
+      end
+
+c ------------------------------------------------------------------
+c  velocities from the stream function
+      subroutine veloc
+%s
+      integer i, j
+      do 90 i = 2, ni - 1
+        do 90 j = 2, nj - 1
+          u(i, j) = 0.5 * (psi(i, j+1) - psi(i, j-1))
+          v(i, j) = -0.5 * (psi(i+1, j) - psi(i-1, j))
+ 90   continue
+      return
+      end
+
+
+c ------------------------------------------------------------------
+c  4th-difference streamwise smoothing of u (i-direction reads at
+c  dependency distance 2)
+      subroutine smoothu
+%s
+      integer i, j
+      do 100 i = 3, ni - 2
+        do 100 j = 2, nj - 1
+          w2(i, j) = u(i, j) + 0.01 * (u(i-2, j) + u(i+2, j)
+     &             - 4.0 * (u(i-1, j) + u(i+1, j)) + 6.0 * u(i, j))
+ 100  continue
+      do 105 i = 3, ni - 2
+        do 105 j = 2, nj - 1
+          u(i, j) = w2(i, j)
+ 105  continue
+      return
+      end
+
+c ------------------------------------------------------------------
+c  convective outflow condition (i-direction reads only)
+      subroutine outflow
+%s
+      integer j
+      do 110 j = 2, nj - 1
+        u(ni, j) = u(ni-1, j) - 0.1 * (u(ni-1, j) - u(ni-2, j))
+        v(ni, j) = v(ni-1, j)
+        conc(ni, j) = conc(ni-1, j)
+ 110  continue
+      return
+      end
+
+c ------------------------------------------------------------------
+c  swirl correction behind the fan (j-direction reads only)
+      subroutine swirl
+%s
+      integer i
+      do 120 i = 2, ni - 1
+        v(i, jfan) = v(i, jfan)
+     &      + 0.02 * ufan * (u(i, jfan+1) - u(i, jfan-1))
+ 120  continue
+      do 125 i = 2, ni - 1
+        v(i, jfan+1) = 0.5 * (v(i, jfan) + v(i, jfan+2))
+ 125  continue
+      return
+      end
+
+c ------------------------------------------------------------------
+c  droplet concentration transport (reads in both directions) with a
+c  source at the fan column
+      subroutine droplet
+%s
+      integer i, j
+      real adv, dif
+      do 130 i = 2, ni - 1
+        do 130 j = 2, nj - 1
+          adv = u(i, j) * (conc(i+1, j) - conc(i-1, j)) * 0.5
+     &        + v(i, j) * (conc(i, j+1) - conc(i, j-1)) * 0.5
+          dif = 0.01 * (conc(i+1, j) + conc(i-1, j) + conc(i, j+1)
+     &        + conc(i, j-1) - 4.0 * conc(i, j))
+          w1(i, j) = conc(i, j) + dt * (dif - adv)
+ 130  continue
+      do 135 i = 2, ni - 1
+        do 135 j = 2, nj - 1
+          conc(i, j) = w1(i, j)
+ 135  continue
+      do 138 i = 2, ni - 1
+        conc(i, jfan) = conc(i, jfan) + 0.01 * ufan
+ 138  continue
+      return
+      end
+
+c ------------------------------------------------------------------
+c  gravitational settling of droplets (j-direction reads only)
+      subroutine settle
+%s
+      integer i, j
+      do 140 i = 2, ni - 1
+        do 140 j = 2, nj - 1
+          conc(i, j) = conc(i, j)
+     &        + 0.02 * dt * (conc(i, j+1) - conc(i, j))
+ 140  continue
+      return
+      end
+
+c ------------------------------------------------------------------
+c  wake momentum-deficit smoothing of v (i-direction reads only)
+      subroutine deficit
+%s
+      integer i, j
+      do 150 i = 2, ni - 1
+        do 150 j = 2, nj - 1
+          w1(i, j) = v(i, j) + 0.05 * (v(i+1, j) - 2.0 * v(i, j)
+     &             + v(i-1, j))
+ 150  continue
+      do 155 i = 2, ni - 1
+        do 155 j = 2, nj - 1
+          v(i, j) = w1(i, j)
+ 155  continue
+      return
+      end
+
+c ------------------------------------------------------------------
+c  convergence residual: max vorticity change this step
+      subroutine resid
+%s
+      integer i, j
+      errmax = 0.0
+      do 95 i = 2, ni - 1
+        do 95 j = 2, nj - 1
+          errmax = max(errmax, abs(w1(i, j) - omg(i, j)))
+ 95   continue
+      return
+      end
+|}
+    h ntime npsi ufan h h h h h h h h h h h h h h h h
+
+let default = source ()

@@ -1,0 +1,21 @@
+(** Case study 2 of the paper: the sprayer flow simulation (§6) — a 2-D
+    stream-function/vorticity model of the air flow through a duct with a
+    fan source column, written in the supported Fortran subset with the
+    classic one-subroutine-per-stage structure. *)
+
+val source :
+  ?ni:int ->
+  ?nj:int ->
+  ?ntime:int ->
+  ?npsi:int ->
+  ?jfan:int ->
+  ?ufan:float ->
+  unit ->
+  string
+(** [source ()] is the complete Fortran text.  Defaults match the paper's
+    Table 3 configuration: a 300 x 100 grid ([ni] x [nj]), [ntime] outer
+    steps, [npsi] inner Poisson sweeps per step, the fan at row [jfan]
+    (default [nj/2]) with speed [ufan]. *)
+
+val default : string
+(** [source ()] with all defaults. *)

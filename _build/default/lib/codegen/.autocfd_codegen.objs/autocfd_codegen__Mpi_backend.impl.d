@@ -1,0 +1,1 @@
+lib/codegen/mpi_backend.ml: Array Ast Autocfd_analysis Autocfd_fortran Autocfd_partition Buffer Format Fun List Option Pretty Printf String

@@ -1,0 +1,1 @@
+lib/codegen/skew.ml: Array Ast Autocfd_analysis Autocfd_fortran List Option

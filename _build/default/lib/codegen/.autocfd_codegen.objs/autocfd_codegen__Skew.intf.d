@@ -1,0 +1,1 @@
+lib/codegen/skew.mli: Ast Autocfd_analysis Autocfd_fortran

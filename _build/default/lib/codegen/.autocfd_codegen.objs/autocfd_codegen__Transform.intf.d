@@ -1,0 +1,1 @@
+lib/codegen/transform.mli: Ast Autocfd_analysis Autocfd_fortran Autocfd_partition Autocfd_syncopt

@@ -1,0 +1,29 @@
+(** Fortran 77 + MPI source backend.
+
+    The paper's pre-compiler emits "a parallel CFD source program in SPMD
+    model with communication statements (PVM/MPI calls)".  This module
+    renders the transformed SPMD unit as a complete Fortran 77 program
+    against the MPI 1 Fortran binding:
+
+    - an [acfd] COMMON block carries the rank, size and per-dimension
+      block bounds, computed in an emitted [acfdini] subroutine that
+      reproduces the balanced demarcation-line split;
+    - every combined synchronization point becomes a generated
+      [acfdx<n>] subroutine that packs the halo planes into buffers,
+      exchanges them with explicit [mpi_send]/[mpi_recv], and unpacks —
+      one specialized subroutine per synchronization point, as a
+      restructuring pre-compiler would emit;
+    - reductions become [mpi_allreduce], broadcasts [mpi_bcast],
+      pipeline waits/forwards become specialized [acfdp<n>] subroutines;
+    - [Local_lo]/[Local_hi] bounds render as [max]/[min] against the
+      block-bound variables.
+
+    The emitted text is self-contained legal Fortran 77 (modulo the MPI
+    library): our own parser accepts it, which the tests check. *)
+
+val emit :
+  gi:Autocfd_analysis.Grid_info.t ->
+  topo:Autocfd_partition.Topology.t ->
+  Autocfd_fortran.Ast.program_unit ->
+  string
+(** [emit ~gi ~topo spmd_unit] renders the full MPI program text. *)

@@ -1,0 +1,167 @@
+open Autocfd_fortran
+module A = Autocfd_analysis
+
+(* fresh wavefront variable; 'acfdsk' is reserved by convention *)
+let tvar = "acfdsk"
+
+(* the skewed order (d1+d2, d2) must stay lexicographically positive for
+   every dependence distance vector *)
+let distance_ok d1 d2 = d1 + d2 > 0 || (d1 + d2 = 0 && d2 > 0)
+
+let skewable ~ndims env (s : A.Field_loop.summary) =
+  (not s.A.Field_loop.fs_irregular)
+  && (not s.A.Field_loop.fs_serial)
+  && List.length s.A.Field_loop.fs_var_dims = 2
+  && List.length (A.Mirror.nest_dim_order s) = 2
+  && (let steps =
+        List.map
+          (fun (_, g) -> A.Mirror.sweep_step env s g)
+          s.A.Field_loop.fs_var_dims
+      in
+      List.for_all (fun st -> st = Some 1) steps)
+  && A.Mirror.self_arrays s <> []
+  && List.for_all
+       (fun v ->
+         match A.Mirror.decompose ~ndims env s v with
+         | None -> false
+         | Some de ->
+             de.A.Mirror.de_vectors <> []
+             && List.for_all
+                  (fun (vec, cls) ->
+                    let nest = A.Mirror.nest_dim_order s in
+                    match nest with
+                    | [ g1; g2 ] ->
+                        let o1 = vec.(g1) and o2 = vec.(g2) in
+                        let d1, d2 =
+                          match cls with
+                          | A.Mirror.Flow -> (-o1, -o2)
+                          | A.Mirror.Anti -> (o1, o2)
+                        in
+                        distance_ok d1 d2
+                    | _ -> false)
+                  de.A.Mirror.de_vectors)
+       (A.Mirror.self_arrays s)
+
+(* substitute Var [x] by [e] throughout an expression *)
+let rec subst x e (expr : Ast.expr) =
+  match expr with
+  | Ast.Var y when y = x -> e
+  | Ast.Var _ | Ast.Const_int _ | Ast.Const_real _ | Ast.Const_bool _
+  | Ast.Const_str _ ->
+      expr
+  | Ast.Ref (n, args) -> Ast.Ref (n, List.map (subst x e) args)
+  | Ast.Unop (op, a) -> Ast.Unop (op, subst x e a)
+  | Ast.Binop (op, a, b) -> Ast.Binop (op, subst x e a, subst x e b)
+  | Ast.Local_lo (d, a) -> Ast.Local_lo (d, subst x e a)
+  | Ast.Local_hi (d, a) -> Ast.Local_hi (d, subst x e a)
+
+let assigns_var x block =
+  let found = ref false in
+  Ast.iter_stmts
+    (fun st ->
+      match st.Ast.s_kind with
+      | Ast.Assign (Ast.Var y, _) when y = x -> found := true
+      | Ast.Do d when d.Ast.do_var = x -> found := true
+      | _ -> ())
+    block;
+  !found
+
+let uses_name x block =
+  let found = ref false in
+  Ast.iter_stmts
+    (fun st ->
+      List.iter
+        (fun expr ->
+          Ast.fold_exprs
+            (fun () e ->
+              match e with
+              | Ast.Var y when y = x -> found := true
+              | _ -> ())
+            () expr)
+        (Ast.stmt_exprs st))
+    block;
+  !found
+
+let skew_stmt (st : Ast.stmt) =
+  match st.Ast.s_kind with
+  | Ast.Do outer -> (
+      match outer.Ast.do_body with
+      | [ { Ast.s_kind = Ast.Do inner; _ } ]
+        when outer.Ast.do_step = None && inner.Ast.do_step = None
+             && not (assigns_var outer.Ast.do_var inner.Ast.do_body)
+             && not (uses_name tvar [ st ]) ->
+          let i = outer.Ast.do_var and j = inner.Ast.do_var in
+          let li = outer.Ast.do_lo and hi = outer.Ast.do_hi in
+          let lj = inner.Ast.do_lo and hj = inner.Ast.do_hi in
+          (* i := t - j throughout the inner body and the diagonal bounds *)
+          let i_expr = Ast.Binop (Ast.Sub, Ast.Var tvar, Ast.Var j) in
+          let body = Ast.map_block (subst i i_expr) inner.Ast.do_body in
+          let new_inner =
+            Ast.mk_stmt
+              (Ast.Do
+                 {
+                   do_var = j;
+                   do_lo =
+                     Ast.Ref
+                       ( "max",
+                         [ lj; Ast.Binop (Ast.Sub, Ast.Var tvar, hi) ] );
+                   do_hi =
+                     Ast.Ref
+                       ( "min",
+                         [ hj; Ast.Binop (Ast.Sub, Ast.Var tvar, li) ] );
+                   do_step = None;
+                   do_body = body;
+                   do_sched = Ast.Sched_seq;
+                 })
+          in
+          Some
+            (Ast.mk_stmt ?label:st.Ast.s_label ~line:st.Ast.s_line
+               (Ast.Do
+                  {
+                    do_var = tvar;
+                    do_lo = Ast.Binop (Ast.Add, li, lj);
+                    do_hi = Ast.Binop (Ast.Add, hi, hj);
+                    do_step = None;
+                    do_body = [ new_inner ];
+                    do_sched = Ast.Sched_seq;
+                  }))
+      | _ -> None)
+  | _ -> None
+
+let transform_unit gi (u : Ast.program_unit) =
+  let env = A.Env.of_unit u in
+  let summaries = A.Field_loop.analyze_unit gi u in
+  let ndims = A.Grid_info.ndims gi in
+  let skewable_ids =
+    List.filter_map
+      (fun (s : A.Field_loop.summary) ->
+        if skewable ~ndims env s then
+          Some s.A.Field_loop.fs_loop.A.Loops.lp_id
+        else None)
+      summaries
+  in
+  let count = ref 0 in
+  let rec walk_block block = List.map walk_stmt block
+  and walk_stmt st =
+    if List.mem st.Ast.s_id skewable_ids then
+      match skew_stmt st with
+      | Some st' ->
+          incr count;
+          st'
+      | None -> descend st
+    else descend st
+  and descend st =
+    match st.Ast.s_kind with
+    | Ast.Do d ->
+        { st with
+          Ast.s_kind = Ast.Do { d with do_body = walk_block d.Ast.do_body } }
+    | Ast.If (branches, els) ->
+        { st with
+          Ast.s_kind =
+            Ast.If
+              ( List.map (fun (c, b) -> (c, walk_block b)) branches,
+                Option.map walk_block els ) }
+    | _ -> st
+  in
+  let body = walk_block u.Ast.u_body in
+  ({ u with Ast.u_body = body }, !count)

@@ -1,0 +1,39 @@
+(** Loop skewing (Wolfe's "wavefront method revisited", the paper's
+    citation [22] for Fig. 3(a) loops).
+
+    A doubly-nested self-dependent loop whose flow dependence vectors are
+    component-wise non-negative distances — e.g. reads of [v(i-1, j)] and
+    [v(i, j-1)] — can be rewritten so that the {e inner} loop iterates
+    over an anti-diagonal wavefront of independent points:
+
+    {v
+    do i = li, hi                do t = li+lj, hi+hj
+      do j = lj, hj      ==>       do j = max(lj, t-hi), min(hj, t-li)
+        S(i, j)                       S(t-j, j)
+    v}
+
+    This implementation performs the transformation at the source level
+    and is used as a demonstration of the alternative schedule (the SPMD
+    backend uses block pipelining, which subsumes it across ranks); the
+    tests check the skewed program computes bit-identical results. *)
+
+open Autocfd_fortran
+
+val skewable :
+  ndims:int ->
+  Autocfd_analysis.Env.t ->
+  Autocfd_analysis.Field_loop.summary ->
+  bool
+(** A perfect 2-deep ascending nest, self-dependent with every flow vector
+    component-wise [>= -1 .. <= 0] (distance vectors non-negative) and no
+    anti-direction crossings that skewing cannot honour. *)
+
+val skew_stmt : Ast.stmt -> Ast.stmt option
+(** [skew_stmt st] rewrites a 2-deep perfect DO nest into its skewed form;
+    [None] when the statement is not such a nest (no legality check — use
+    {!skewable} first). *)
+
+val transform_unit :
+  Autocfd_analysis.Grid_info.t -> Ast.program_unit -> Ast.program_unit * int
+(** Skew every skewable self-dependent field-loop head of the unit;
+    returns the rewritten unit and the number of nests skewed. *)

@@ -1,0 +1,365 @@
+open Autocfd_fortran
+module A = Autocfd_analysis
+module S = Autocfd_syncopt
+module Topology = Autocfd_partition.Topology
+
+type input = {
+  in_unit : Ast.program_unit;
+  in_gi : A.Grid_info.t;
+  in_topo : Topology.t;
+  in_summaries : A.Field_loop.summary list;
+  in_groups : S.Combine.group list;
+  in_layout : S.Layout.t;
+}
+
+let head_id (s : A.Field_loop.summary) =
+  s.A.Field_loop.fs_loop.A.Loops.lp_id
+
+(* A pure-reduction loop (scalar reductions, no status-array writes) that
+   does not sweep some cut dimension can still be distributed when its
+   reads in that dimension hit a single fixed plane: only the ranks owning
+   the plane participate, and the allreduce combines the partial results.
+   Returns the (dim, plane) ownership guards, or None when the pattern
+   does not apply. *)
+let participation_guards topo (s : A.Field_loop.summary) =
+  let cut_dims = Topology.cut_dims topo in
+  let unswept =
+    List.filter
+      (fun g -> not (List.mem g s.A.Field_loop.fs_swept_dims))
+      cut_dims
+  in
+  if unswept = [] then Some []
+  else if s.A.Field_loop.fs_reductions = [] then None
+  else if
+    (* must not write any status array (a pure reduction sweep) *)
+    List.exists
+      (fun (_, (u : A.Field_loop.array_use)) -> u.A.Field_loop.au_assigned)
+      s.A.Field_loop.fs_uses
+  then None
+  else
+    let guard_of g =
+      (* every read along dim g must hit one and the same fixed plane *)
+      let planes =
+        List.concat_map
+          (fun (_, (u : A.Field_loop.array_use)) ->
+            List.filter_map
+              (fun (g', p) -> if g' = g then Some p else None)
+              u.A.Field_loop.au_fixed_reads)
+          s.A.Field_loop.fs_uses
+        |> List.sort_uniq compare
+      in
+      let irregular =
+        List.exists
+          (fun (_, (u : A.Field_loop.array_use)) ->
+            u.A.Field_loop.au_read_offsets.(g) <> []
+            || List.mem g u.A.Field_loop.au_opaque_read_dims)
+          s.A.Field_loop.fs_uses
+      in
+      match planes with
+      | [ p ] when not irregular -> Some (g, p)
+      | _ -> None
+    in
+    let guards = List.map guard_of unswept in
+    if List.for_all Option.is_some guards then
+      Some (List.map Option.get guards)
+    else None
+
+(* Sum reductions double-count unless the nest is distributed over every
+   cut dimension or restricted to the owning ranks. *)
+let adjusted_strategy env ~cut topo (s : A.Field_loop.summary) =
+  let ndims = Array.length (Topology.grid topo) in
+  let strat = A.Mirror.strategy ~ndims env ~cut s in
+  match strat with
+  | A.Mirror.Serial -> A.Mirror.Serial
+  | A.Mirror.Block | A.Mirror.Pipeline _ ->
+      let has_reduction = s.A.Field_loop.fs_reductions <> [] in
+      let covers_cuts =
+        List.for_all
+          (fun g -> List.mem g s.A.Field_loop.fs_swept_dims)
+          (Topology.cut_dims topo)
+      in
+      if has_reduction && not covers_cuts then
+        match participation_guards topo s with
+        | Some _ -> strat (* rebuild_head adds the ownership guard *)
+        | None -> A.Mirror.Serial
+      else strat
+
+let strategies input =
+  let env = A.Env.of_unit input.in_unit in
+  let cut g = Topology.is_cut input.in_topo g in
+  List.map
+    (fun s -> (head_id s, adjusted_strategy env ~cut input.in_topo s))
+    input.in_summaries
+
+(* is the nest actually distributed (some swept dimension is cut)? *)
+let distributed ~cut (s : A.Field_loop.summary) =
+  List.exists cut s.A.Field_loop.fs_swept_dims
+
+(* pipeline payload: per pipelined dimension, the flow-dependent arrays
+   and their halo depths *)
+let pipeline_arrays ~ndims env (s : A.Field_loop.summary) dim =
+  List.filter_map
+    (fun (v, _) ->
+      match A.Mirror.decompose ~ndims env s v with
+      | None -> None
+      | Some de ->
+          List.find_map
+            (fun dd ->
+              if dd.A.Mirror.dd_dim = dim && dd.A.Mirror.dd_flow <> [] then
+                Some
+                  (v,
+                   List.fold_left
+                     (fun acc o -> max acc (abs o))
+                     1 dd.A.Mirror.dd_flow)
+              else None)
+            de.A.Mirror.de_dims)
+    s.A.Field_loop.fs_uses
+
+let run input =
+  let env = A.Env.of_unit input.in_unit in
+  let cut g = Topology.is_cut input.in_topo g in
+  let ndims = Array.length (Topology.grid input.in_topo) in
+  let strat_tbl = Hashtbl.create 32 in
+  List.iter
+    (fun s ->
+      Hashtbl.replace strat_tbl (head_id s)
+        (s, adjusted_strategy env ~cut input.in_topo s))
+    input.in_summaries;
+  (* comm insertions per (block id, slot) *)
+  let inserts = Hashtbl.create 16 in
+  List.iter
+    (fun (g : S.Combine.group) ->
+      let key = (g.S.Combine.gr_block, g.S.Combine.gr_slot) in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt inserts key) in
+      Hashtbl.replace inserts key (cur @ [ g.S.Combine.gr_transfers ]))
+    input.in_groups;
+  let block_counter = ref (-1) in
+  (* rewrite DO bounds of a distributed nest: every nest loop whose
+     variable sweeps a cut grid dimension is clipped to the rank's block *)
+  let rec rewrite_nest var_dims st =
+    match st.Ast.s_kind with
+    | Ast.Do d ->
+        let d =
+          match List.assoc_opt d.Ast.do_var var_dims with
+          | Some g when cut g ->
+              let step =
+                match d.Ast.do_step with
+                | None -> 1
+                | Some e -> (
+                    match A.Env.eval_int env e with Some k -> k | None -> 1)
+              in
+              if step >= 0 then
+                {
+                  d with
+                  do_lo = Ast.Local_lo (g, d.Ast.do_lo);
+                  do_hi = Ast.Local_hi (g, d.Ast.do_hi);
+                  do_sched = Ast.Sched_block g;
+                }
+              else
+                (* descending sweep: the start is the high end *)
+                {
+                  d with
+                  do_lo = Ast.Local_hi (g, d.Ast.do_lo);
+                  do_hi = Ast.Local_lo (g, d.Ast.do_hi);
+                  do_sched = Ast.Sched_block g;
+                }
+          | _ -> d
+        in
+        { st with
+          Ast.s_kind =
+            Ast.Do { d with do_body = List.map (rewrite_nest var_dims) d.Ast.do_body } }
+    | Ast.If (branches, els) ->
+        { st with
+          Ast.s_kind =
+            Ast.If
+              ( List.map
+                  (fun (c, b) -> (c, List.map (rewrite_nest var_dims) b))
+                  branches,
+                Option.map (List.map (rewrite_nest var_dims)) els ) }
+    | _ -> st
+  in
+  (* mark the pipelined loops' schedules inside an already-rewritten head *)
+  let rec mark_pipeline dims st =
+    match st.Ast.s_kind with
+    | Ast.Do d ->
+        let sched =
+          match d.Ast.do_sched with
+          | Ast.Sched_block g -> (
+              match List.assoc_opt g dims with
+              | Some dir -> Ast.Sched_pipeline { dim = g; dir }
+              | None -> d.Ast.do_sched)
+          | s -> s
+        in
+        { st with
+          Ast.s_kind =
+            Ast.Do
+              { d with do_sched = sched;
+                do_body = List.map (mark_pipeline dims) d.Ast.do_body } }
+    | Ast.If (branches, els) ->
+        { st with
+          Ast.s_kind =
+            Ast.If
+              ( List.map (fun (c, b) -> (c, List.map (mark_pipeline dims) b))
+                  branches,
+                Option.map (List.map (mark_pipeline dims)) els ) }
+    | _ -> st
+  in
+  (* walk mirroring Layout's traversal so block ids line up *)
+  let rec rebuild_block stmts =
+    incr block_counter;
+    let id = !block_counter in
+    let out = ref [] in
+    let emit_comms slot =
+      match Hashtbl.find_opt inserts (id, slot) with
+      | None -> ()
+      | Some transfer_sets ->
+          List.iter
+            (fun ts ->
+              if ts <> [] then
+                out := Ast.mk_stmt (Ast.Comm (Ast.Exchange ts)) :: !out)
+            transfer_sets
+    in
+    List.iteri
+      (fun i st ->
+        emit_comms i;
+        List.iter (fun s -> out := s :: !out) (rebuild_stmt st))
+      stmts;
+    emit_comms (List.length stmts);
+    List.rev !out
+  and rebuild_stmt st : Ast.stmt list =
+    match Hashtbl.find_opt strat_tbl st.Ast.s_id with
+    | Some (summary, strat) -> rebuild_head st summary strat
+    | None -> (
+        match st.Ast.s_kind with
+        | Ast.Do d ->
+            [ { st with
+                Ast.s_kind = Ast.Do { d with do_body = rebuild_block d.Ast.do_body } } ]
+        | Ast.If (branches, els) ->
+            [ { st with
+                Ast.s_kind =
+                  Ast.If
+                    ( List.map (fun (c, b) -> (c, rebuild_block b)) branches,
+                      Option.map rebuild_block els ) } ]
+        | Ast.Write items ->
+            (* rank 0 prints: status-array elements it does not own must
+               be gathered first (part of the paper's I/O restructuring) *)
+            let arrays =
+              List.concat_map
+                (fun e ->
+                  Ast.fold_exprs
+                    (fun acc e ->
+                      match e with
+                      | Ast.Ref (name, _)
+                        when A.Grid_info.is_status input.in_gi name ->
+                          name :: acc
+                      | _ -> acc)
+                    [] e)
+                items
+              |> List.sort_uniq compare
+            in
+            if arrays <> [] && Topology.cut_dims input.in_topo <> [] then
+              [ Ast.mk_stmt (Ast.Comm (Ast.Allgather arrays)); st ]
+            else [ st ]
+        | _ -> [ st ])
+  and rebuild_head st summary strat =
+    (* the head's nested blocks must still consume block ids in Layout
+       order, so recurse first with the generic rebuild *)
+    let st =
+      match st.Ast.s_kind with
+      | Ast.Do d ->
+          { st with
+            Ast.s_kind = Ast.Do { d with do_body = rebuild_block d.Ast.do_body } }
+      | _ -> assert false
+    in
+    let var_dims = summary.A.Field_loop.fs_var_dims in
+    match strat with
+    | A.Mirror.Serial ->
+        (* replicated execution: every rank runs the full loop, so all
+           distributed inputs must be made globally fresh first *)
+        let read_arrays =
+          List.filter_map
+            (fun (v, (u : A.Field_loop.array_use)) ->
+              if u.A.Field_loop.au_referenced then Some v else None)
+            summary.A.Field_loop.fs_uses
+        in
+        if read_arrays <> [] && Topology.cut_dims input.in_topo <> [] then
+          [ Ast.mk_stmt (Ast.Comm (Ast.Allgather read_arrays)); st ]
+        else [ st ]
+    | A.Mirror.Block | A.Mirror.Pipeline _ ->
+        let st = rewrite_nest var_dims st in
+        let st, recvs, sends =
+          match strat with
+          | A.Mirror.Pipeline dims ->
+              let st = mark_pipeline dims st in
+              let recvs =
+                List.filter_map
+                  (fun (g, dir) ->
+                    match pipeline_arrays ~ndims env summary g with
+                    | [] -> None
+                    | arrays ->
+                        Some
+                          (Ast.mk_stmt
+                             (Ast.Pipeline_recv { dim = g; dir; arrays })))
+                  dims
+              in
+              let sends =
+                List.filter_map
+                  (fun (g, dir) ->
+                    match pipeline_arrays ~ndims env summary g with
+                    | [] -> None
+                    | arrays ->
+                        Some
+                          (Ast.mk_stmt
+                             (Ast.Pipeline_send { dim = g; dir; arrays })))
+                  dims
+              in
+              (st, recvs, sends)
+          | _ -> (st, [], [])
+        in
+        (* ownership guard for pure-reduction loops not sweeping every
+           cut dimension: only plane-owner ranks execute *)
+        let st =
+          if summary.A.Field_loop.fs_reductions = [] then st
+          else
+            match participation_guards input.in_topo summary with
+            | Some [] | None -> st
+            | Some guards ->
+                let owns (g, p) =
+                  (* lo_g <= p <= hi_g, expressed with the Local bounds *)
+                  Ast.Binop
+                    ( Ast.And,
+                      Ast.Binop
+                        (Ast.Eq, Ast.Local_lo (g, Ast.Const_int p),
+                         Ast.Const_int p),
+                      Ast.Binop
+                        (Ast.Eq, Ast.Local_hi (g, Ast.Const_int p),
+                         Ast.Const_int p) )
+                in
+                let cond =
+                  match List.map owns guards with
+                  | [] -> assert false
+                  | c :: rest ->
+                      List.fold_left
+                        (fun acc c' -> Ast.Binop (Ast.And, acc, c'))
+                        c rest
+                in
+                Ast.mk_stmt (Ast.If ([ (cond, [ st ]) ], None))
+        in
+        let reductions =
+          if distributed ~cut summary then
+            List.map
+              (fun (r : A.Field_loop.reduction) ->
+                let comm =
+                  match r.A.Field_loop.red_op with
+                  | `Max -> Ast.Allreduce_max r.A.Field_loop.red_var
+                  | `Min -> Ast.Allreduce_min r.A.Field_loop.red_var
+                  | `Sum -> Ast.Allreduce_sum r.A.Field_loop.red_var
+                in
+                Ast.mk_stmt (Ast.Comm comm))
+              summary.A.Field_loop.fs_reductions
+          else []
+        in
+        recvs @ (st :: sends) @ reductions
+  in
+  let body = rebuild_block input.in_unit.Ast.u_body in
+  { input.in_unit with Ast.u_body = body }

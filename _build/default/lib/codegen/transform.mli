@@ -1,0 +1,32 @@
+(** SPMD restructuring (paper §3 "restructuring procedure"): rewrites the
+    inlined sequential unit into the parallel unit each rank executes.
+
+    - field-loop bounds are intersected with the rank's block
+      ([Local_lo]/[Local_hi]) along every cut dimension;
+    - self-dependent loops get mirror-image pipelining: [Pipeline_recv]
+      before and [Pipeline_send] after the head loop for the flow-dependent
+      arrays;
+    - recognized scalar reductions get an [Allreduce] after the loop;
+    - one combined [Exchange] communication statement is inserted at each
+      optimized synchronization point;
+    - Sum reductions whose nest does not cover every cut dimension are
+      forced serial (they would double-count otherwise). *)
+
+open Autocfd_fortran
+module A = Autocfd_analysis
+
+type input = {
+  in_unit : Ast.program_unit;  (** the inlined sequential unit *)
+  in_gi : A.Grid_info.t;
+  in_topo : Autocfd_partition.Topology.t;
+  in_summaries : A.Field_loop.summary list;
+  in_groups : Autocfd_syncopt.Combine.group list;
+  in_layout : Autocfd_syncopt.Layout.t;
+}
+
+val run : input -> Ast.program_unit
+(** The transformed SPMD unit.  Strategies are recomputed internally with
+    {!A.Mirror.strategy}. *)
+
+val strategies : input -> (int * A.Mirror.strategy) list
+(** (head statement id, strategy) for reporting. *)

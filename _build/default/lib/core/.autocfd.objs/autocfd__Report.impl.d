@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Autocfd_analysis Autocfd_fortran Autocfd_partition Autocfd_perfmodel Autocfd_syncopt Buffer Driver Format Hashtbl List Option Printf String

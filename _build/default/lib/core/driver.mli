@@ -1,0 +1,86 @@
+(** The Auto-CFD pre-compiler driver (paper Fig. 2): sequential Fortran CFD
+    source in, analyzed/optimized SPMD message-passing program out, plus
+    execution of both versions on the simulated cluster for validation.
+
+    {v
+    source --parse--> program --inline--> unit
+        --partition--> topology
+        --analyze-after-partitioning--> S_LDP
+        --optimize-syncs--> combined points
+        --restructure--> SPMD unit --> simulated ranks
+    v} *)
+
+open Autocfd_fortran
+module A = Autocfd_analysis
+module S = Autocfd_syncopt
+module P = Autocfd_partition
+
+type t = {
+  program : Ast.program;
+  inlined : Ast.program_unit;
+  gi : A.Grid_info.t;
+}
+
+val load : string -> t
+(** Parse and inline a complete source text.
+    @raise Loc.Error / Failure on malformed input. *)
+
+(** Everything the pre-compiler derives for one partition choice. *)
+type plan = {
+  source : t;
+  topo : P.Topology.t;
+  summaries : A.Field_loop.summary list;
+  sldp : A.Sldp.t;
+  layout : S.Layout.t;
+  opt : S.Optimizer.result;
+  strategies : (int * A.Mirror.strategy) list;
+  spmd : Ast.program_unit;  (** the executable parallel unit *)
+}
+
+val plan :
+  ?combine:S.Optimizer.combine_strategy -> t -> parts:int array -> plan
+(** Run the full analysis and restructuring for a partition shape.
+    @raise Invalid_argument for an infeasible partition. *)
+
+val auto_parts : t -> nprocs:int -> int array
+(** The partition shape the pre-compiler picks automatically (minimal
+    communication, §4.1). *)
+
+val auto_parts_by_model :
+  ?machine:Autocfd_perfmodel.Model.machine -> t -> nprocs:int -> int array
+(** A stronger advisor than §4.1's volume heuristic: runs the full
+    analysis and the cluster performance model on every feasible
+    factorization of [nprocs] and returns the shape with the smallest
+    predicted wall-clock — this accounts for mirror-image pipeline
+    serialization and replicated (Serial) loops, which pure communication
+    volume cannot see. *)
+
+val spmd_source : plan -> string
+(** Pretty-printed parallel program with [call acfd_*] communication. *)
+
+val mpi_source : plan -> string
+(** Complete Fortran 77 + MPI rendering of the parallel program: block
+    bounds computed by an emitted [acfdini] subroutine, one specialized
+    pack/send/recv/unpack subroutine per combined synchronization point,
+    [mpi_allreduce]/[mpi_bcast] for reductions and input, rank-0 guarded
+    output.  The emitted text re-parses with {!Autocfd_fortran.Parser}. *)
+
+type seq_result = {
+  sq_output : string list;
+  sq_arrays : (string * Autocfd_interp.Value.arr) list;
+  sq_flops : float;
+}
+
+val run_sequential : ?input:float list -> t -> seq_result
+
+val run_parallel :
+  ?net:Autocfd_mpsim.Netmodel.t ->
+  ?flop_time:float ->
+  ?input:float list ->
+  plan ->
+  Autocfd_interp.Spmd.result
+
+val max_divergence :
+  seq_result -> Autocfd_interp.Spmd.result -> (string * float) list
+(** Per status array, the largest |sequential - parallel| over all points;
+    the headline correctness check. *)

@@ -1,0 +1,395 @@
+module A = Autocfd_analysis
+module S = Autocfd_syncopt
+module P = Autocfd_partition
+module M = Autocfd_perfmodel.Model
+module Apps = Autocfd_apps
+
+let machine = M.pentium_cluster
+
+(* frame counts scaling modelled runs to the paper's wall-clock
+   magnitudes (the paper does not state iteration counts) *)
+let aerofoil_frames = 3000
+let sprayer_frames = 1500
+
+(* ------------------------------------------------------------------ *)
+(* Table 1                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type t1_row = {
+  t1_program : string;
+  t1_partition : int array;
+  t1_before : int;
+  t1_after : int;
+  t1_paper_before : int;
+  t1_paper_after : int;
+}
+
+let paper_table1 =
+  [
+    ("aerofoil", [| 4; 1; 1 |], 73, 8);
+    ("aerofoil", [| 1; 4; 1 |], 84, 10);
+    ("aerofoil", [| 1; 1; 4 |], 81, 9);
+    ("aerofoil", [| 4; 4; 1 |], 148, 13);
+    ("aerofoil", [| 4; 1; 4 |], 145, 13);
+    ("aerofoil", [| 1; 4; 4 |], 156, 14);
+    ("sprayer", [| 4; 1 |], 72, 7);
+    ("sprayer", [| 1; 4 |], 69, 7);
+    ("sprayer", [| 4; 4 |], 141, 7);
+  ]
+
+let table1 () =
+  let aero = Driver.load (Apps.Aerofoil.source ()) in
+  let spray = Driver.load (Apps.Sprayer.source ()) in
+  List.map
+    (fun (prog, parts, pb, pa) ->
+      let t = if prog = "aerofoil" then aero else spray in
+      let plan = Driver.plan t ~parts in
+      {
+        t1_program = prog;
+        t1_partition = parts;
+        t1_before = plan.Driver.opt.S.Optimizer.before;
+        t1_after = plan.Driver.opt.S.Optimizer.after;
+        t1_paper_before = pb;
+        t1_paper_after = pa;
+      })
+    paper_table1
+
+(* ------------------------------------------------------------------ *)
+(* Timing tables                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type perf_row = {
+  pr_procs : int;
+  pr_partition : int array option;
+  pr_time : float;
+  pr_speedup : float option;
+  pr_efficiency : float option;
+  pr_paper_time : float;
+  pr_paper_speedup : float option;
+}
+
+let seq_time t ~frames:_ =
+  let pred = M.predict_sequential machine ~gi:t.Driver.gi t.Driver.inlined in
+  pred.M.time
+
+let par_time t ~frames:_ ~parts =
+  let plan = Driver.plan t ~parts in
+  let pred =
+    M.predict_parallel machine ~gi:t.Driver.gi ~topo:plan.Driver.topo
+      plan.Driver.spmd
+  in
+  pred.M.time
+
+let perf_rows t ~frames ~paper_seq rows =
+  let t1 = seq_time t ~frames in
+  { pr_procs = 1; pr_partition = None; pr_time = t1; pr_speedup = None;
+    pr_efficiency = None; pr_paper_time = paper_seq;
+    pr_paper_speedup = None }
+  :: List.map
+       (fun (parts, paper_time, paper_speedup) ->
+         let tp = par_time t ~frames ~parts in
+         let p = Array.fold_left ( * ) 1 parts in
+         {
+           pr_procs = p;
+           pr_partition = Some parts;
+           pr_time = tp;
+           pr_speedup = Some (t1 /. tp);
+           pr_efficiency = Some (t1 /. tp /. float_of_int p);
+           pr_paper_time = paper_time;
+           pr_paper_speedup = paper_speedup;
+         })
+       rows
+
+let table2 () =
+  let t = Driver.load (Apps.Aerofoil.source ~ntime:aerofoil_frames ()) in
+  perf_rows t ~frames:aerofoil_frames ~paper_seq:1970.
+    [
+      ([| 2; 1; 1 |], 1760., Some 1.12);
+      ([| 4; 1; 1 |], 2341., Some 0.84);
+      ([| 3; 2; 1 |], 1093., Some 1.80);
+    ]
+
+let table3 () =
+  let t = Driver.load (Apps.Sprayer.source ~ntime:sprayer_frames ()) in
+  perf_rows t ~frames:sprayer_frames ~paper_seq:362.
+    [
+      ([| 2; 1 |], 254., Some 1.43);
+      ([| 3; 1 |], 184., Some 1.97);
+      ([| 2; 2 |], 130., Some 2.78);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 4: scaling with grid density                                  *)
+(* ------------------------------------------------------------------ *)
+
+type t4_row = {
+  t4_grid : int * int;
+  t4_t1 : float;
+  t4_t2 : float;
+  t4_speedup : float;
+  t4_efficiency : float;
+  t4_paper_t1 : float;
+  t4_paper_t2 : float;
+  t4_paper_speedup : float;
+}
+
+let paper_table4 =
+  [
+    ((40, 15), 45., 45., 1.0);
+    ((60, 23), 108., 66., 1.64);
+    ((80, 30), 199., 140., 1.42);
+    ((100, 38), 331., 218., 1.52);
+    ((120, 45), 472., 276., 1.71);
+    ((140, 53), 712., 403., 1.77);
+    ((160, 60), 908., 519., 1.75);
+  ]
+
+let table4 () =
+  List.map
+    (fun ((ni, nj), p1, p2, ps) ->
+      let t =
+        Driver.load (Apps.Sprayer.source ~ni ~nj ~ntime:sprayer_frames ())
+      in
+      let t1 = seq_time t ~frames:sprayer_frames in
+      let t2 = par_time t ~frames:sprayer_frames ~parts:[| 2; 1 |] in
+      {
+        t4_grid = (ni, nj);
+        t4_t1 = t1;
+        t4_t2 = t2;
+        t4_speedup = t1 /. t2;
+        t4_efficiency = t1 /. t2 /. 2.0;
+        t4_paper_t1 = p1;
+        t4_paper_t2 = p2;
+        t4_paper_speedup = ps;
+      })
+    paper_table4
+
+(* ------------------------------------------------------------------ *)
+(* Table 5: superlinear speedup                                        *)
+(* ------------------------------------------------------------------ *)
+
+type t5_row = {
+  t5_procs : int;
+  t5_partition : int array;
+  t5_time : float;
+  t5_eff_over_2 : float;
+  t5_paper_time : float;
+  t5_paper_eff : float;
+}
+
+let table5 () =
+  let t =
+    Driver.load (Apps.Sprayer.source ~ni:800 ~nj:300 ~ntime:sprayer_frames ())
+  in
+  let rows =
+    [
+      ([| 2; 1 |], 2095., 1.00);
+      ([| 3; 1 |], 1249., 1.12);
+      ([| 2; 2 |], 1012., 1.04);
+    ]
+  in
+  let times =
+    List.map
+      (fun (parts, pt, pe) ->
+        (parts, par_time t ~frames:sprayer_frames ~parts, pt, pe))
+      rows
+  in
+  let t2 =
+    match times with (_, t2, _, _) :: _ -> t2 | [] -> assert false
+  in
+  List.map
+    (fun (parts, tp, pt, pe) ->
+      let p = Array.fold_left ( * ) 1 parts in
+      {
+        t5_procs = p;
+        t5_partition = parts;
+        t5_time = tp;
+        t5_eff_over_2 = t2 *. 2.0 /. (tp *. float_of_int p);
+        t5_paper_time = pt;
+        t5_paper_eff = pe;
+      })
+    times
+
+(* ------------------------------------------------------------------ *)
+(* Model vs simulation cross-validation                                 *)
+(* ------------------------------------------------------------------ *)
+
+type validation_row = {
+  vr_grid : int * int;
+  vr_parts : int array;
+  vr_simulated : float;
+  vr_modelled : float;
+  vr_ratio : float;
+}
+
+let validate_model () =
+  let cases =
+    [
+      ((30, 16), [| 2; 1 |]);
+      ((30, 16), [| 2; 2 |]);
+      ((40, 20), [| 2; 1 |]);
+      ((40, 20), [| 4; 1 |]);
+      ((50, 24), [| 2; 2 |]);
+    ]
+  in
+  List.map
+    (fun ((ni, nj), parts) ->
+      let t = Driver.load (Apps.Sprayer.source ~ni ~nj ~ntime:4 ~npsi:3 ()) in
+      let plan = Driver.plan t ~parts in
+      let points_per_rank =
+        let g = P.Topology.grid plan.Driver.topo
+        and p = P.Topology.parts plan.Driver.topo in
+        Array.to_list (Array.mapi (fun d _ -> (g.(d) + p.(d) - 1) / p.(d)) g)
+        |> List.fold_left ( * ) 1
+      in
+      let ws = M.working_set_bytes ~gi:t.Driver.gi ~points_per_rank in
+      let flop_time = M.memory_slowdown machine ws /. machine.M.flop_rate in
+      let par =
+        Driver.run_parallel ~net:machine.M.net ~flop_time plan
+      in
+      let simulated =
+        par.Autocfd_interp.Spmd.stats.Autocfd_mpsim.Sim.elapsed
+      in
+      let modelled =
+        (M.predict_parallel machine ~gi:t.Driver.gi ~topo:plan.Driver.topo
+           plan.Driver.spmd)
+          .M.time
+      in
+      {
+        vr_grid = (ni, nj);
+        vr_parts = parts;
+        vr_simulated = simulated;
+        vr_modelled = modelled;
+        vr_ratio = modelled /. simulated;
+      })
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let shape parts =
+  String.concat " x " (Array.to_list (Array.map string_of_int parts))
+
+let render_table1 rows =
+  let open Autocfd_util.Table in
+  let t =
+    create
+      ~title:
+        "Table 1: improvement by synchronization optimizations \
+         (ours vs paper)"
+      ~headers:
+        [ "program"; "partition"; "before"; "after"; "reduction";
+          "paper before"; "paper after"; "paper reduction" ]
+  in
+  List.iter
+    (fun r ->
+      let pct b a =
+        cell_pct (float_of_int (b - a) /. float_of_int (max 1 b))
+      in
+      add_row t
+        [
+          r.t1_program; shape r.t1_partition; cell_int r.t1_before;
+          cell_int r.t1_after; pct r.t1_before r.t1_after;
+          cell_int r.t1_paper_before; cell_int r.t1_paper_after;
+          pct r.t1_paper_before r.t1_paper_after;
+        ])
+    rows;
+  render t
+
+let render_perf ~title rows =
+  let open Autocfd_util.Table in
+  let t =
+    create ~title
+      ~headers:
+        [ "procs"; "partition"; "time (s)"; "speedup"; "efficiency";
+          "paper time (s)"; "paper speedup" ]
+  in
+  List.iter
+    (fun r ->
+      add_row t
+        [
+          cell_int r.pr_procs;
+          (match r.pr_partition with Some p -> shape p | None -> "-");
+          cell_float ~decimals:0 r.pr_time;
+          (match r.pr_speedup with Some s -> cell_float s | None -> "-");
+          (match r.pr_efficiency with Some e -> cell_pct e | None -> "-");
+          cell_float ~decimals:0 r.pr_paper_time;
+          (match r.pr_paper_speedup with
+          | Some s -> cell_float s
+          | None -> "-");
+        ])
+    rows;
+  render t
+
+let render_validation rows =
+  let open Autocfd_util.Table in
+  let t =
+    create
+      ~title:
+        "Model validation: execution-driven simulated time vs analytic \
+         prediction (sprayer, 4 frames)"
+      ~headers:[ "grid"; "partition"; "simulated (s)"; "modelled (s)"; "ratio" ]
+  in
+  List.iter
+    (fun r ->
+      let ni, nj = r.vr_grid in
+      add_row t
+        [
+          Printf.sprintf "%d x %d" ni nj;
+          shape r.vr_parts;
+          cell_float ~decimals:3 r.vr_simulated;
+          cell_float ~decimals:3 r.vr_modelled;
+          cell_float r.vr_ratio;
+        ])
+    rows;
+  render t
+
+let render_table4 rows =
+  let open Autocfd_util.Table in
+  let t =
+    create
+      ~title:
+        "Table 4: sprayer scaling with grid density, 2 x 1 partition \
+         (ours vs paper)"
+      ~headers:
+        [ "grid"; "T1 (s)"; "T2 (s)"; "speedup"; "efficiency";
+          "paper T1"; "paper T2"; "paper speedup" ]
+  in
+  List.iter
+    (fun r ->
+      let ni, nj = r.t4_grid in
+      add_row t
+        [
+          Printf.sprintf "%d x %d" ni nj;
+          cell_float ~decimals:0 r.t4_t1;
+          cell_float ~decimals:0 r.t4_t2;
+          cell_float r.t4_speedup;
+          cell_pct r.t4_efficiency;
+          cell_float ~decimals:0 r.t4_paper_t1;
+          cell_float ~decimals:0 r.t4_paper_t2;
+          cell_float r.t4_paper_speedup;
+        ])
+    rows;
+  render t
+
+let render_table5 rows =
+  let open Autocfd_util.Table in
+  let t =
+    create
+      ~title:
+        "Table 5: sprayer superlinear speedup at 800 x 300 (ours vs paper)"
+      ~headers:
+        [ "procs"; "partition"; "time (s)"; "efficiency over 2-proc";
+          "paper time (s)"; "paper efficiency" ]
+  in
+  List.iter
+    (fun r ->
+      add_row t
+        [
+          cell_int r.t5_procs; shape r.t5_partition;
+          cell_float ~decimals:0 r.t5_time; cell_pct r.t5_eff_over_2;
+          cell_float ~decimals:0 r.t5_paper_time; cell_pct r.t5_paper_eff;
+        ])
+    rows;
+  render t

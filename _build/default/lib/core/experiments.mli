@@ -1,0 +1,97 @@
+(** Reproduction harness for every table in the paper's evaluation (§6).
+
+    Each [tableN] function regenerates the corresponding table: the same
+    rows, same columns, with our measured/modelled values.  The paper's
+    published values are embedded as [paper_*] constants so benchmarks and
+    EXPERIMENTS.md can print the side-by-side comparison.  Timing tables
+    use the {!Autocfd_perfmodel.Model} cluster model (the substitute for
+    the paper's 6-Pentium testbed); Table 1 is a pure static analysis of
+    the generated case-study programs. *)
+
+type t1_row = {
+  t1_program : string;
+  t1_partition : int array;
+  t1_before : int;
+  t1_after : int;
+  t1_paper_before : int;
+  t1_paper_after : int;
+}
+
+val table1 : unit -> t1_row list
+(** Synchronization optimization on both case studies (paper Table 1). *)
+
+type perf_row = {
+  pr_procs : int;
+  pr_partition : int array option;  (** [None] for the uniprocessor row *)
+  pr_time : float;
+  pr_speedup : float option;
+  pr_efficiency : float option;
+  pr_paper_time : float;
+  pr_paper_speedup : float option;
+}
+
+val table2 : unit -> perf_row list
+(** Aerofoil overall performance, 99 x 41 x 13 (paper Table 2). *)
+
+val table3 : unit -> perf_row list
+(** Sprayer overall performance, 300 x 100 (paper Table 3). *)
+
+type t4_row = {
+  t4_grid : int * int;
+  t4_t1 : float;
+  t4_t2 : float;
+  t4_speedup : float;
+  t4_efficiency : float;
+  t4_paper_t1 : float;
+  t4_paper_t2 : float;
+  t4_paper_speedup : float;
+}
+
+val table4 : unit -> t4_row list
+(** Sprayer 2-processor scaling with grid density (paper Table 4). *)
+
+type t5_row = {
+  t5_procs : int;
+  t5_partition : int array;
+  t5_time : float;
+  t5_eff_over_2 : float;  (** parallel efficiency over the 2-proc system *)
+  t5_paper_time : float;
+  t5_paper_eff : float;
+}
+
+val table5 : unit -> t5_row list
+(** Sprayer superlinear speedup at 800 x 300 (paper Table 5). *)
+
+val render_table1 : t1_row list -> string
+val render_perf : title:string -> perf_row list -> string
+val render_table4 : t4_row list -> string
+val render_table5 : t5_row list -> string
+
+type validation_row = {
+  vr_grid : int * int;
+  vr_parts : int array;
+  vr_simulated : float;
+      (** wall-clock from actually executing the SPMD program on the
+          simulated cluster (virtual clock: per-flop compute charges +
+          the network model) *)
+  vr_modelled : float;  (** the analytic model's prediction *)
+  vr_ratio : float;  (** modelled / simulated *)
+}
+
+val validate_model : unit -> validation_row list
+(** Cross-validation of the analytic performance model against
+    execution-driven timing: small sprayer instances are {e run} on the
+    simulated cluster with per-flop time charging, and the same instances
+    are {e predicted} by the analytic model.  The two derive wall-clock by
+    completely different means (event-driven blocking vs static census),
+    so agreement within a small factor validates both. *)
+
+val render_validation : validation_row list -> string
+
+val machine : Autocfd_perfmodel.Model.machine
+(** The calibrated cluster model used by every timing table. *)
+
+val aerofoil_frames : int
+val sprayer_frames : int
+(** Frame counts used to scale modelled runs to the paper's wall-clock
+    magnitudes (the paper does not state its iteration counts). *)

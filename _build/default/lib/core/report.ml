@@ -1,0 +1,149 @@
+module A = Autocfd_analysis
+module S = Autocfd_syncopt
+module P = Autocfd_partition
+module M = Autocfd_perfmodel.Model
+
+let strategy_label = function
+  | A.Mirror.Serial -> "serial"
+  | A.Mirror.Block -> "block"
+  | A.Mirror.Pipeline _ -> "pipeline"
+
+let loop_census (plan : Driver.plan) =
+  let counts = Hashtbl.create 4 in
+  List.iter
+    (fun (_, strat) ->
+      let k = strategy_label strat in
+      Hashtbl.replace counts k
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
+    plan.Driver.strategies;
+  List.filter_map
+    (fun k ->
+      Option.map (fun v -> (k, v)) (Hashtbl.find_opt counts k))
+    [ "block"; "pipeline"; "serial" ]
+
+let shape parts =
+  String.concat " x " (Array.to_list (Array.map string_of_int parts))
+
+let markdown (plan : Driver.plan) =
+  let b = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  let gi = plan.Driver.source.Driver.gi in
+  let topo = plan.Driver.topo in
+  line "# Auto-CFD pre-compilation report";
+  line "";
+  line "## Problem";
+  line "";
+  line "- flow field: `%s` (%s points)"
+    (String.concat " x "
+       (Array.to_list (Array.map string_of_int (P.Topology.grid topo))))
+    (string_of_int (Array.fold_left ( * ) 1 (P.Topology.grid topo)));
+  line "- status arrays: %s"
+    (String.concat ", "
+       (List.map
+          (fun (sa : A.Grid_info.status_array) -> "`" ^ sa.A.Grid_info.sa_name ^ "`")
+          gi.A.Grid_info.status));
+  line "- partition: `%s` (%d subtasks)" (shape (P.Topology.parts topo))
+    (P.Topology.nranks topo);
+  line "";
+  line "## Field loops";
+  line "";
+  line "| line | loop | types | strategy |";
+  line "|---|---|---|---|";
+  List.iter2
+    (fun (s : A.Field_loop.summary) (_, strat) ->
+      let types =
+        String.concat " "
+          (List.map
+             (fun (v, _) ->
+               Printf.sprintf "%s:%s" v
+                 (match A.Field_loop.ltype s v with
+                 | A.Field_loop.A -> "A"
+                 | A.Field_loop.R -> "R"
+                 | A.Field_loop.C -> "C"
+                 | A.Field_loop.O -> "O"))
+             s.A.Field_loop.fs_uses)
+      in
+      let strat_str =
+        match strat with
+        | A.Mirror.Serial -> "serial (replicated + allgather)"
+        | A.Mirror.Block -> "block-parallel"
+        | A.Mirror.Pipeline dims ->
+            Printf.sprintf "mirror-image pipeline {%s}"
+              (String.concat ","
+                 (List.map (fun (d, _) -> string_of_int d) dims))
+      in
+      line "| %d | `do %s` | %s | %s |" s.A.Field_loop.fs_loop.A.Loops.lp_line
+        s.A.Field_loop.fs_loop.A.Loops.lp_var types strat_str)
+    plan.Driver.summaries plan.Driver.strategies;
+  line "";
+  let census = loop_census plan in
+  line "Strategy census: %s."
+    (String.concat ", "
+       (List.map (fun (k, v) -> Printf.sprintf "%d %s" v k) census));
+  line "";
+  line "## Dependence pairs (S_LDP)";
+  line "";
+  line "- %d dependent pairs (%d self-dependent)"
+    (List.length plan.Driver.sldp.A.Sldp.pairs)
+    (List.length (A.Sldp.self_pairs plan.Driver.sldp));
+  line "- %d while-style (backward GOTO) carrying loops recognized"
+    (List.length plan.Driver.sldp.A.Sldp.virtual_spans);
+  List.iter
+    (fun p ->
+      line "- %s" (Format.asprintf "%a" A.Sldp.pp_pair p))
+    plan.Driver.sldp.A.Sldp.pairs;
+  line "";
+  line "## Synchronization optimization";
+  line "";
+  line
+    "- %d synchronization points before optimization, **%d after** \
+     (%.0f%% reduction)"
+    plan.Driver.opt.S.Optimizer.before plan.Driver.opt.S.Optimizer.after
+    (100. *. S.Optimizer.reduction_pct plan.Driver.opt);
+  line "";
+  line "| point | regions merged | halo traffic |";
+  line "|---|---|---|";
+  List.iteri
+    (fun i (g : S.Combine.group) ->
+      let traffic =
+        String.concat ", "
+          (List.map
+             (fun (t : Autocfd_fortran.Ast.transfer) ->
+               Printf.sprintf "%s(dim %d, %s, depth %d)"
+                 t.Autocfd_fortran.Ast.xfer_array t.Autocfd_fortran.Ast.xfer_dim
+                 (match t.Autocfd_fortran.Ast.xfer_dir with
+                 | Autocfd_fortran.Ast.Dplus -> "+"
+                 | Autocfd_fortran.Ast.Dminus -> "-")
+                 t.Autocfd_fortran.Ast.xfer_depth)
+             g.S.Combine.gr_transfers)
+      in
+      line "| #%d | %d | %s |" (i + 1)
+        (List.length g.S.Combine.gr_regions)
+        traffic)
+    plan.Driver.opt.S.Optimizer.groups;
+  line "";
+  line "## Modelled execution (reference 2003-class cluster)";
+  line "";
+  let pred =
+    M.predict_parallel M.pentium_cluster ~gi ~topo plan.Driver.spmd
+  in
+  let seq =
+    M.predict_sequential M.pentium_cluster ~gi
+      plan.Driver.source.Driver.inlined
+  in
+  line "| quantity | value |";
+  line "|---|---|";
+  line "| sequential time | %.1f s |" seq.M.time;
+  line "| parallel time | %.1f s |" pred.M.time;
+  line "| speedup | %.2f |" (seq.M.time /. pred.M.time);
+  line "| efficiency | %.0f%% |"
+    (100. *. seq.M.time /. pred.M.time
+    /. float_of_int (P.Topology.nranks topo));
+  line "| block compute | %.1f s |" pred.M.compute_time;
+  line "| pipeline (incl. wavefront stalls) | %.1f s |" pred.M.pipeline_time;
+  line "| replicated (serial) compute | %.1f s |" pred.M.serial_time;
+  line "| communication | %.1f s |" pred.M.comm_time;
+  line "| reductions/broadcasts | %.1f s |" pred.M.reduce_time;
+  line "| per-rank working set | %.2f MB |" (pred.M.working_set /. 1e6);
+  line "| memory slowdown factor | %.2f |" pred.M.slowdown;
+  Buffer.contents b

@@ -1,0 +1,14 @@
+(** Human-readable pre-compilation report: everything the pre-compiler
+    derived for one partition choice, as markdown — the field-loop census
+    with A/R/C/O types and strategies, the S_LDP pair list, the combined
+    synchronization points with their aggregated halo traffic, and the
+    modelled execution time on the reference cluster.
+
+    Rendered by [autocfd analyze --report] and usable as library API for
+    tooling built on top of the pre-compiler. *)
+
+val markdown : Driver.plan -> string
+
+val loop_census : Driver.plan -> (string * int) list
+(** (classification label, count) summary over the field-loop heads:
+    how many loops are block-parallel, pipelined, serial. *)

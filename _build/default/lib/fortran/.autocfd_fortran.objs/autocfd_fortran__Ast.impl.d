@@ -1,0 +1,1 @@
+lib/fortran/ast.pp.ml: Directive List Option Ppx_deriving_runtime String

@@ -1,0 +1,1 @@
+lib/fortran/directive.pp.ml: List Ppx_deriving_runtime String

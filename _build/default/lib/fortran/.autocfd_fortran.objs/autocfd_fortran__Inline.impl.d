@@ -1,0 +1,1 @@
+lib/fortran/inline.pp.ml: Ast Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/fortran/inline.pp.mli: Ast

@@ -1,0 +1,1 @@
+lib/fortran/lexer.pp.ml: Buffer Char Directive List Loc String Token

@@ -1,0 +1,1 @@
+lib/fortran/lexer.pp.mli: Directive Token

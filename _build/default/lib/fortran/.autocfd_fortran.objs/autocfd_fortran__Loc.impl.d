@@ -1,0 +1,1 @@
+lib/fortran/loc.pp.ml: Format Ppx_deriving_runtime

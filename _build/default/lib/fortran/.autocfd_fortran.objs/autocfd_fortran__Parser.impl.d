@@ -1,0 +1,1 @@
+lib/fortran/parser.pp.ml: Array Ast Lexer List Loc Token

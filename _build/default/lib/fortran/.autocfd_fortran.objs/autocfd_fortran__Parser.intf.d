@@ -1,0 +1,1 @@
+lib/fortran/parser.pp.mli: Ast

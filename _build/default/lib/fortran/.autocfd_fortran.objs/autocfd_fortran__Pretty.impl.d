@@ -1,0 +1,1 @@
+lib/fortran/pretty.pp.ml: Ast Buffer Float List Printf String

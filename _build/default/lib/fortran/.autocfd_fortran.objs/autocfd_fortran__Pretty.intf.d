@@ -1,0 +1,1 @@
+lib/fortran/pretty.pp.mli: Ast

@@ -1,0 +1,1 @@
+lib/fortran/token.pp.ml: Ppx_deriving_runtime Printf

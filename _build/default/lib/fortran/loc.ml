@@ -1,0 +1,16 @@
+(** Source locations (1-based line numbers of the original file). *)
+
+type t = { line : int; col : int } [@@deriving show { with_path = false }, eq]
+
+let none = { line = 0; col = 0 }
+let make line col = { line; col }
+let pp_short ppf t = Format.fprintf ppf "line %d" t.line
+
+(** A parse or analysis diagnostic. *)
+exception Error of t * string
+
+let errorf loc fmt =
+  Format.kasprintf (fun msg -> raise (Error (loc, msg))) fmt
+
+let pp_error ppf (loc, msg) =
+  Format.fprintf ppf "%a: %s" pp_short loc msg

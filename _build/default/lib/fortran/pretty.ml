@@ -1,0 +1,252 @@
+open Ast
+
+let binop_str = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Pow -> "**"
+  | Lt -> " .lt. "
+  | Le -> " .le. "
+  | Gt -> " .gt. "
+  | Ge -> " .ge. "
+  | Eq -> " .eq. "
+  | Ne -> " .ne. "
+  | And -> " .and. "
+  | Or -> " .or. "
+
+(* binding strength, mirroring the parser's precedence ladder *)
+let prec = function
+  | Or -> 1
+  | And -> 2
+  | Lt | Le | Gt | Ge | Eq | Ne -> 3
+  | Add | Sub -> 4
+  | Mul | Div -> 5
+  | Pow -> 7
+
+let float_str f =
+  if Float.is_integer f && Float.abs f < 1e16 then
+    Printf.sprintf "%.1f" f
+  else
+    let s = Printf.sprintf "%.12g" f in
+    if String.contains s '.' || String.contains s 'e'
+       || String.contains s 'n' (* nan/inf *)
+    then s
+    else s ^ ".0"
+
+let rec expr_prec p e =
+  match e with
+  | Const_int i -> if i < 0 then Printf.sprintf "(%d)" i else string_of_int i
+  | Const_real f ->
+      if f < 0.0 then "(" ^ float_str f ^ ")" else float_str f
+  | Const_bool true -> ".true."
+  | Const_bool false -> ".false."
+  | Const_str s ->
+      "'" ^ String.concat "''" (String.split_on_char '\'' s) ^ "'"
+  | Var v -> v
+  | Ref (name, args) ->
+      Printf.sprintf "%s(%s)" name
+        (String.concat ", " (List.map (expr_prec 0) args))
+  | Unop (Neg, a) ->
+      let s = "-" ^ expr_prec 6 a in
+      if p > 4 then "(" ^ s ^ ")" else s
+  | Unop (Lnot, a) ->
+      let s = ".not. " ^ expr_prec 3 a in
+      if p > 2 then "(" ^ s ^ ")" else s
+  | Binop (op, a, b) ->
+      let q = prec op in
+      (* relationals are non-associative in Fortran: parenthesize nested
+         comparisons on both sides; ** is right-associative *)
+      let left_p, right_p =
+        match op with
+        | Lt | Le | Gt | Ge | Eq | Ne -> (q + 1, q + 1)
+        | Pow -> (q + 1, q)
+        (* the parser is left-associative: a right operand at the same
+           precedence level must be parenthesized to round-trip *)
+        | Sub | Div | Add | Mul | And | Or -> (q, q + 1)
+      in
+      let s = expr_prec left_p a ^ binop_str op ^ expr_prec right_p b in
+      if p > q then "(" ^ s ^ ")" else s
+  | Local_lo (d, e) -> Printf.sprintf "max(%s, acfd_lo%d)" (expr_prec 0 e) d
+  | Local_hi (d, e) -> Printf.sprintf "min(%s, acfd_hi%d)" (expr_prec 0 e) d
+
+let expr e = expr_prec 0 e
+
+let dir_str = function Dplus -> "+" | Dminus -> "-"
+
+let transfer_str t =
+  Printf.sprintf "%s[dim %d, dir %s, depth %d]" t.xfer_array t.xfer_dim
+    (dir_str t.xfer_dir) t.xfer_depth
+
+let comm_str = function
+  | Exchange ts ->
+      Printf.sprintf "call acfd_exchange(%s)"
+        (String.concat ", " (List.map transfer_str ts))
+  | Allreduce_max v -> Printf.sprintf "call acfd_allreduce_max(%s)" v
+  | Allreduce_min v -> Printf.sprintf "call acfd_allreduce_min(%s)" v
+  | Allreduce_sum v -> Printf.sprintf "call acfd_allreduce_sum(%s)" v
+  | Broadcast vs ->
+      Printf.sprintf "call acfd_broadcast(%s)" (String.concat ", " vs)
+  | Allgather vs ->
+      Printf.sprintf "call acfd_allgather(%s)" (String.concat ", " vs)
+  | Barrier -> "call acfd_barrier()"
+
+let sched_comment = function
+  | Sched_seq -> None
+  | Sched_block d -> Some (Printf.sprintf "c$acfd> block-partitioned on grid dim %d" d)
+  | Sched_pipeline { dim; dir } ->
+      Some
+        (Printf.sprintf "c$acfd> pipelined on grid dim %d, direction %s" dim
+           (dir_str dir))
+
+let rec stmt ?(indent = 6) st =
+  let pad = String.make indent ' ' in
+  let label_pad =
+    match st.s_label with
+    | Some l ->
+        let ls = string_of_int l in
+        let fill = max 1 (indent - String.length ls) in
+        ls ^ String.make fill ' '
+    | None -> pad
+  in
+  match st.s_kind with
+  | Assign (lhs, rhs) -> label_pad ^ expr lhs ^ " = " ^ expr rhs
+  | Continue -> label_pad ^ "continue"
+  | Goto l -> label_pad ^ "goto " ^ string_of_int l
+  | Return -> label_pad ^ "return"
+  | Stop -> label_pad ^ "stop"
+  | Call (name, []) -> label_pad ^ "call " ^ name
+  | Call (name, args) ->
+      label_pad ^ Printf.sprintf "call %s(%s)" name
+        (String.concat ", " (List.map expr args))
+  | Read items ->
+      label_pad ^ "read(*,*) " ^ String.concat ", " (List.map expr items)
+  | Write items ->
+      label_pad ^ "write(*,*) " ^ String.concat ", " (List.map expr items)
+  | Comm c -> label_pad ^ comm_str c
+  | Pipeline_recv { dim; dir; arrays } ->
+      label_pad
+      ^ Printf.sprintf "call acfd_pipe_recv(%d, '%s', %s)" dim (dir_str dir)
+          (String.concat ", "
+             (List.map (fun (a, d) -> Printf.sprintf "%s:%d" a d) arrays))
+  | Pipeline_send { dim; dir; arrays } ->
+      label_pad
+      ^ Printf.sprintf "call acfd_pipe_send(%d, '%s', %s)" dim (dir_str dir)
+          (String.concat ", "
+             (List.map (fun (a, d) -> Printf.sprintf "%s:%d" a d) arrays))
+  | Do d ->
+      let head =
+        label_pad
+        ^ Printf.sprintf "do %s = %s, %s%s" d.do_var (expr d.do_lo)
+            (expr d.do_hi)
+            (match d.do_step with None -> "" | Some s -> ", " ^ expr s)
+      in
+      let head =
+        match sched_comment d.do_sched with
+        | None -> head
+        | Some c -> c ^ "\n" ^ head
+      in
+      head ^ "\n"
+      ^ block ~indent:(indent + 2) d.do_body
+      ^ "\n" ^ pad ^ "end do"
+  | If (branches, els) -> (
+      match (branches, els) with
+      | [ (cond, [ ({ s_kind = (Assign _ | Goto _ | Call _ | Continue
+                              | Return | Stop); s_label = None; _ } as s) ]) ],
+        None ->
+          (* logical IF on one line *)
+          label_pad ^ "if (" ^ expr cond ^ ") " ^ String.trim (stmt ~indent:0 s)
+      | _ ->
+          let first_cond, first_block =
+            match branches with
+            | (c, b) :: _ -> (c, b)
+            | [] -> invalid_arg "Pretty.stmt: IF with no branches"
+          in
+          let buf = Buffer.create 128 in
+          Buffer.add_string buf
+            (label_pad ^ "if (" ^ expr first_cond ^ ") then\n");
+          Buffer.add_string buf (block ~indent:(indent + 2) first_block);
+          List.iter
+            (fun (c, b) ->
+              Buffer.add_string buf
+                ("\n" ^ pad ^ "else if (" ^ expr c ^ ") then\n");
+              Buffer.add_string buf (block ~indent:(indent + 2) b))
+            (List.tl branches);
+          (match els with
+          | Some b ->
+              Buffer.add_string buf ("\n" ^ pad ^ "else\n");
+              Buffer.add_string buf (block ~indent:(indent + 2) b)
+          | None -> ());
+          Buffer.add_string buf ("\n" ^ pad ^ "end if");
+          Buffer.contents buf)
+
+and block ?(indent = 6) stmts =
+  String.concat "\n" (List.map (stmt ~indent) stmts)
+
+let dtype_str = function
+  | Integer -> "integer"
+  | Real -> "real"
+  | Double -> "double precision"
+  | Logical -> "logical"
+
+let decl_str d =
+  let dims =
+    match d.d_dims with
+    | [] -> ""
+    | dims ->
+        "("
+        ^ String.concat ", "
+            (List.map
+               (fun (lo, hi) ->
+                 match lo with
+                 | Const_int 1 -> expr hi
+                 | _ -> expr lo ^ ":" ^ expr hi)
+               dims)
+        ^ ")"
+  in
+  Printf.sprintf "      %s %s%s" (dtype_str d.d_type) d.d_name dims
+
+let decl = decl_str
+
+let data_value = function
+  (* DATA values cannot carry parentheses: print signs directly *)
+  | Const_int i -> string_of_int i
+  | Const_real f -> float_str f
+  | v -> expr_prec 0 v
+
+let unit_ u =
+  let buf = Buffer.create 1024 in
+  (match u.u_kind with
+  | Main -> Buffer.add_string buf (Printf.sprintf "      program %s\n" u.u_name)
+  | Subroutine [] ->
+      Buffer.add_string buf (Printf.sprintf "      subroutine %s\n" u.u_name)
+  | Subroutine params ->
+      Buffer.add_string buf
+        (Printf.sprintf "      subroutine %s(%s)\n" u.u_name
+           (String.concat ", " params)));
+  if u.u_consts <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf "      parameter (%s)\n"
+         (String.concat ", "
+            (List.map (fun (n, e) -> n ^ " = " ^ expr e) u.u_consts)));
+  List.iter
+    (fun d -> Buffer.add_string buf (decl_str d ^ "\n"))
+    u.u_decls;
+  List.iter
+    (fun (name, vars) ->
+      let slash = if name = "" then " " else "/" ^ name ^ "/ " in
+      Buffer.add_string buf
+        (Printf.sprintf "      common %s%s\n" slash (String.concat ", " vars)))
+    u.u_commons;
+  List.iter
+    (fun (name, values) ->
+      Buffer.add_string buf
+        (Printf.sprintf "      data %s /%s/\n" name
+           (String.concat ", " (List.map data_value values))))
+    u.u_data;
+  Buffer.add_string buf (block u.u_body);
+  if u.u_body <> [] then Buffer.add_char buf '\n';
+  Buffer.add_string buf "      end\n";
+  Buffer.contents buf
+
+let program p = String.concat "\n" (List.map unit_ p.p_units)

@@ -1,0 +1,15 @@
+(** Pretty-printer: regenerates Fortran source text from the AST.
+
+    Pre-compiler output (the generated SPMD program) is printed with the
+    communication statements rendered as [call acfd_*] message-passing calls,
+    mirroring the paper's "parallel CFD source program with communication
+    statements". Plain programs round-trip: [parse (program p)] is
+    structurally equal to [p]. *)
+
+val expr : Ast.expr -> string
+val stmt : ?indent:int -> Ast.stmt -> string
+val block : ?indent:int -> Ast.block -> string
+val decl : Ast.decl -> string
+val data_value : Ast.expr -> string
+val unit_ : Ast.program_unit -> string
+val program : Ast.program -> string

@@ -1,0 +1,64 @@
+(** Tokens of the Fortran-77 subset.  Keywords are not reserved: they are
+    lexed as [Ident] and recognized contextually by the parser, as in real
+    Fortran. *)
+
+type t =
+  | Int of int
+  | Real of float
+  | Str of string
+  | Ident of string  (** lower-cased *)
+  | Label of int  (** statement label in the label field *)
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Power  (** ** *)
+  | Lparen
+  | Rparen
+  | Comma
+  | Colon
+  | Assign  (** = *)
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | And
+  | Or
+  | Not
+  | True
+  | False
+  | Newline  (** end of logical line *)
+  | Eof
+[@@deriving show { with_path = false }, eq]
+
+let to_string = function
+  | Int i -> string_of_int i
+  | Real f -> string_of_float f
+  | Str s -> Printf.sprintf "'%s'" s
+  | Ident s -> s
+  | Label i -> Printf.sprintf "label %d" i
+  | Plus -> "+"
+  | Minus -> "-"
+  | Star -> "*"
+  | Slash -> "/"
+  | Power -> "**"
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Comma -> ","
+  | Colon -> ":"
+  | Assign -> "="
+  | Lt -> ".lt."
+  | Le -> ".le."
+  | Gt -> ".gt."
+  | Ge -> ".ge."
+  | Eq -> ".eq."
+  | Ne -> ".ne."
+  | And -> ".and."
+  | Or -> ".or."
+  | Not -> ".not."
+  | True -> ".true."
+  | False -> ".false."
+  | Newline -> "<newline>"
+  | Eof -> "<eof>"

@@ -1,0 +1,1 @@
+lib/interp/machine.ml: Array Ast Autocfd_analysis Autocfd_fortran Float Format Hashtbl List Option Seq String Value

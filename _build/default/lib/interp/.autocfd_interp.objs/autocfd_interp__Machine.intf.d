@@ -1,0 +1,1 @@
+lib/interp/machine.mli: Ast Autocfd_fortran Value

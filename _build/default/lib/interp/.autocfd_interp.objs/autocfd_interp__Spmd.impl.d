@@ -1,0 +1,1 @@
+lib/interp/spmd.ml: Array Ast Autocfd_analysis Autocfd_fortran Autocfd_mpsim Autocfd_partition List Machine Netmodel Option Sim Value

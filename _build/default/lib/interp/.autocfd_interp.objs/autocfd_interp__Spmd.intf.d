@@ -1,0 +1,1 @@
+lib/interp/spmd.mli: Ast Autocfd_analysis Autocfd_fortran Autocfd_mpsim Autocfd_partition Netmodel Sim Value

@@ -1,0 +1,1 @@
+lib/interp/value.ml: Array Float Format Printf

@@ -1,0 +1,62 @@
+(** Tree-walking interpreter for the Fortran subset.
+
+    The machine executes one (inlined) program unit: a flat environment of
+    scalars and arrays, statement execution with GOTO support, and
+    pluggable hooks for the SPMD constructs (communication statements,
+    local-bound expressions) so the same evaluator runs both the sequential
+    program and each simulated rank of the generated parallel program. *)
+
+open Autocfd_fortran
+
+type t
+
+exception Stop_run
+exception Runtime_error of string
+
+type hooks = {
+  h_block : (int -> int * int) option;
+      (** per grid dimension: the rank's (lo, hi) owned range; [None] on
+          the sequential machine (Local_lo/Local_hi become identities) *)
+  h_comm : t -> Ast.comm -> unit;
+  h_pipe_recv :
+    t -> dim:int -> dir:Ast.direction -> (string * int) list -> unit;
+  h_pipe_send :
+    t -> dim:int -> dir:Ast.direction -> (string * int) list -> unit;
+  h_read : t -> int -> float array;
+      (** supply [n] input values (rank 0 reads, then broadcasts) *)
+  h_write : t -> Value.scalar list -> unit;
+}
+
+val sequential_hooks : hooks
+(** Reads pop the machine's input queue; writes append to the output list;
+    communication statements raise {!Runtime_error}. *)
+
+val create : ?hooks:hooks -> ?input:float list -> Ast.program_unit -> t
+(** Evaluates PARAMETER constants, allocates declared arrays, applies DATA
+    statements.  @raise Runtime_error when an array bound is not constant. *)
+
+val unit_of : t -> Ast.program_unit
+val run : t -> unit
+(** Executes the unit body.  [Stop_run] (from STOP) is caught internally.
+    @raise Runtime_error on dynamic errors (with context). *)
+
+val flops : t -> float
+(** Floating-point operations executed so far (used by the execution-driven
+    time model). *)
+
+val reset_flops : t -> unit
+
+(** Environment access (tests, drivers, hooks): *)
+
+val scalar : t -> string -> Value.scalar
+val set_scalar : t -> string -> Value.scalar -> unit
+val array : t -> string -> Value.arr
+val has_array : t -> string -> bool
+val array_names : t -> string list
+val output : t -> string list
+(** Lines written so far, oldest first. *)
+
+val eval : t -> Ast.expr -> Value.scalar
+(** Evaluate an expression in the current environment. *)
+
+val exec_block : t -> Ast.block -> unit

@@ -1,0 +1,360 @@
+open Autocfd_fortran
+open Autocfd_mpsim
+module GI = Autocfd_analysis.Grid_info
+module Topology = Autocfd_partition.Topology
+
+type config = {
+  gi : GI.t;
+  topo : Topology.t;
+  net : Netmodel.t;
+  flop_time : float;
+  input : float list;
+}
+
+type result = {
+  stats : Sim.stats;
+  output : string list;
+  gathered : (string * Value.arr) list;
+  scalars : (string * Value.scalar) list;
+  flops_per_rank : float array;
+}
+
+let tag_exchange = 3
+let tag_pipe = 5
+let tag_gather = 7
+
+(* iterate an n-dimensional inclusive range *)
+let iter_box ranges f =
+  let n = Array.length ranges in
+  let idx = Array.map fst ranges in
+  if Array.for_all (fun (lo, hi) -> lo <= hi) ranges then begin
+    let rec go d =
+      if d = n then f idx
+      else
+        let lo, hi = ranges.(d) in
+        for i = lo to hi do
+          idx.(d) <- i;
+          go (d + 1)
+        done
+    in
+    go 0
+  end
+
+let box_size ranges =
+  Array.fold_left (fun acc (lo, hi) -> acc * max 0 (hi - lo + 1)) 1 ranges
+
+(* The array-dim ranges of the planes a given OWNER rank sends for one
+   transfer.  [ext] extends already-refreshed lower grid dimensions so that
+   diagonal (corner) stencil points are carried (sequenced exchange). *)
+let plane_ranges gi topo ~owner_rank (arr : Value.arr)
+    (xfer : Ast.transfer) ~ext_of_dim =
+  let sa =
+    match GI.find_status gi xfer.Ast.xfer_array with
+    | Some sa -> sa
+    | None -> invalid_arg ("Spmd: transfer of non-status " ^ xfer.Ast.xfer_array)
+  in
+  let block = Topology.block topo owner_rank in
+  Array.init (Value.rank arr) (fun k ->
+      let alo, ahi = arr.Value.bounds.(k) in
+      match sa.GI.sa_dims.(k) with
+      | None -> (alo, ahi) (* packed dimension: full extent *)
+      | Some g when g = xfer.Ast.xfer_dim ->
+          let blo = block.Autocfd_partition.Block.lo.(g)
+          and bhi = block.Autocfd_partition.Block.hi.(g) in
+          let lo, hi =
+            match xfer.Ast.xfer_dir with
+            | Ast.Dplus -> (max blo (bhi - xfer.Ast.xfer_depth + 1), bhi)
+            | Ast.Dminus -> (blo, min bhi (blo + xfer.Ast.xfer_depth - 1))
+          in
+          (max alo lo, min ahi hi)
+      | Some g ->
+          let blo = block.Autocfd_partition.Block.lo.(g)
+          and bhi = block.Autocfd_partition.Block.hi.(g) in
+          let ext = if g < xfer.Ast.xfer_dim then ext_of_dim g else 0 in
+          (max alo (blo - ext), min ahi (bhi + ext)))
+
+let pack arr ranges =
+  let out = Array.make (box_size ranges) 0.0 in
+  let i = ref 0 in
+  iter_box ranges (fun idx ->
+      out.(!i) <- Value.get arr idx;
+      incr i);
+  out
+
+let unpack arr ranges data =
+  let i = ref 0 in
+  iter_box ranges (fun idx ->
+      Value.set arr idx data.(!i);
+      incr i)
+
+(* ranges of the pipeline payload planes sent by [owner_rank]: the owned
+   boundary planes of the sweep dimension over the owned ranges of the
+   other status dimensions *)
+let pipe_ranges gi topo ~owner_rank (arr : Value.arr) ~dim ~dir ~depth array_name =
+  let sa =
+    match GI.find_status gi array_name with
+    | Some sa -> sa
+    | None -> invalid_arg ("Spmd: pipeline of non-status " ^ array_name)
+  in
+  let block = Topology.block topo owner_rank in
+  Array.init (Value.rank arr) (fun k ->
+      let alo, ahi = arr.Value.bounds.(k) in
+      match sa.GI.sa_dims.(k) with
+      | None -> (alo, ahi)
+      | Some g when g = dim ->
+          let blo = block.Autocfd_partition.Block.lo.(g)
+          and bhi = block.Autocfd_partition.Block.hi.(g) in
+          let lo, hi =
+            match dir with
+            | Ast.Dplus -> (max blo (bhi - depth + 1), bhi)
+            | Ast.Dminus -> (blo, min bhi (blo + depth - 1))
+          in
+          (max alo lo, min ahi hi)
+      | Some g ->
+          let blo = block.Autocfd_partition.Block.lo.(g)
+          and bhi = block.Autocfd_partition.Block.hi.(g) in
+          (max alo blo, min ahi bhi))
+
+let run config (u : Ast.program_unit) =
+  let topo = config.topo and gi = config.gi in
+  let nranks = Topology.nranks topo in
+  let machines = Array.make nranks None in
+  let flops_per_rank = Array.make nranks 0.0 in
+  let nranks_total = nranks in
+  let body (c : Sim.comm) =
+    let r = Sim.rank c in
+    let block = Topology.block topo r in
+    (* lazy compute-time accounting: charge accumulated flops before any
+       blocking operation *)
+    let last_flops = ref 0.0 in
+    let machine_ref = ref None in
+    let charge () =
+      match !machine_ref with
+      | None -> ()
+      | Some m ->
+          let f = Machine.flops m in
+          let delta = f -. !last_flops in
+          last_flops := f;
+          if config.flop_time > 0.0 then
+            Sim.advance c (delta *. config.flop_time)
+    in
+    let get_machine () = Option.get !machine_ref in
+    let neighbor dim dir =
+      let d = match dir with Ast.Dplus -> Topology.Plus | Ast.Dminus -> Topology.Minus in
+      Topology.neighbor topo ~rank:r ~dim ~dir:d
+    in
+    let opposite = function Ast.Dplus -> Ast.Dminus | Ast.Dminus -> Ast.Dplus in
+    let do_exchange m transfers =
+      let transfers =
+        List.sort
+          (fun (a : Ast.transfer) b ->
+            compare
+              (a.Ast.xfer_dim, a.Ast.xfer_array, a.Ast.xfer_dir)
+              (b.Ast.xfer_dim, b.Ast.xfer_array, b.Ast.xfer_dir))
+          transfers
+      in
+      let ext_of_dim g =
+        List.fold_left
+          (fun acc (t : Ast.transfer) ->
+            if t.Ast.xfer_dim = g then max acc t.Ast.xfer_depth else acc)
+          0 transfers
+      in
+      List.iter
+        (fun (xfer : Ast.transfer) ->
+          let arr = Machine.array m xfer.Ast.xfer_array in
+          (* send my boundary planes towards xfer_dir *)
+          (match neighbor xfer.Ast.xfer_dim xfer.Ast.xfer_dir with
+          | Some dest ->
+              let ranges =
+                plane_ranges gi topo ~owner_rank:r arr xfer ~ext_of_dim
+              in
+              Sim.send c ~dest ~tag:tag_exchange (pack arr ranges)
+          | None -> ());
+          (* receive the matching planes from the opposite neighbor *)
+          match neighbor xfer.Ast.xfer_dim (opposite xfer.Ast.xfer_dir) with
+          | Some src ->
+              let ranges =
+                plane_ranges gi topo ~owner_rank:src arr xfer ~ext_of_dim
+              in
+              let data = Sim.recv c ~src ~tag:tag_exchange in
+              if Array.length data <> box_size ranges then
+                failwith "Spmd: halo exchange size mismatch";
+              unpack arr ranges data
+          | None -> ())
+        transfers
+    in
+    let do_pipe ~recv m ~dim ~dir arrays =
+      (* recv: wait for the upstream neighbor's fresh planes before the
+         sweep; send: forward my downstream boundary after it *)
+      let peer_dir = if recv then opposite dir else dir in
+      match neighbor dim peer_dir with
+      | None -> ()
+      | Some peer ->
+          List.iter
+            (fun (name, depth) ->
+              let arr = Machine.array m name in
+              if recv then begin
+                let ranges =
+                  pipe_ranges gi topo ~owner_rank:peer arr ~dim ~dir ~depth
+                    name
+                in
+                let data = Sim.recv c ~src:peer ~tag:tag_pipe in
+                if Array.length data <> box_size ranges then
+                  failwith "Spmd: pipeline message size mismatch";
+                unpack arr ranges data
+              end
+              else
+                let ranges =
+                  pipe_ranges gi topo ~owner_rank:r arr ~dim ~dir ~depth name
+                in
+                Sim.send c ~dest:peer ~tag:tag_pipe (pack arr ranges))
+            arrays
+    in
+    let do_allgather m arrays =
+      (* exchange owned regions with every other rank so each rank holds
+         the full fresh array *)
+      let owned_ranges owner arr name =
+        let sa =
+          match GI.find_status gi name with
+          | Some sa -> sa
+          | None -> invalid_arg ("Spmd: allgather of non-status " ^ name)
+        in
+        let b = Topology.block topo owner in
+        Array.init (Value.rank arr) (fun k ->
+            let alo, ahi = arr.Value.bounds.(k) in
+            match sa.GI.sa_dims.(k) with
+            | None -> (alo, ahi)
+            | Some g ->
+                ( max alo b.Autocfd_partition.Block.lo.(g),
+                  min ahi b.Autocfd_partition.Block.hi.(g) ))
+      in
+      List.iter
+        (fun name ->
+          let arr = Machine.array m name in
+          for peer = 0 to nranks_total - 1 do
+            if peer <> r then
+              Sim.send c ~dest:peer ~tag:tag_gather
+                (pack arr (owned_ranges r arr name))
+          done;
+          for peer = 0 to nranks_total - 1 do
+            if peer <> r then begin
+              let ranges = owned_ranges peer arr name in
+              let data = Sim.recv c ~src:peer ~tag:tag_gather in
+              if Array.length data <> box_size ranges then
+                failwith "Spmd: allgather size mismatch";
+              unpack arr ranges data
+            end
+          done)
+        arrays
+    in
+    let hooks =
+      {
+        Machine.h_block =
+          Some
+            (fun d ->
+              (block.Autocfd_partition.Block.lo.(d),
+               block.Autocfd_partition.Block.hi.(d)));
+        h_comm =
+          (fun m comm ->
+            charge ();
+            match comm with
+            | Ast.Exchange ts -> do_exchange m ts
+            | Ast.Allreduce_max v ->
+                let x = Value.to_float (Machine.scalar m v) in
+                Machine.set_scalar m v (Value.Real (Sim.allreduce c `Max x))
+            | Ast.Allreduce_min v ->
+                let x = Value.to_float (Machine.scalar m v) in
+                Machine.set_scalar m v (Value.Real (Sim.allreduce c `Min x))
+            | Ast.Allreduce_sum v ->
+                let x = Value.to_float (Machine.scalar m v) in
+                Machine.set_scalar m v (Value.Real (Sim.allreduce c `Sum x))
+            | Ast.Broadcast vars ->
+                let data =
+                  if r = 0 then
+                    Array.of_list
+                      (List.map
+                         (fun v -> Value.to_float (Machine.scalar m v))
+                         vars)
+                  else Array.make (List.length vars) 0.0
+                in
+                let data = Sim.bcast c ~root:0 data in
+                List.iteri
+                  (fun i v -> Machine.set_scalar m v (Value.Real data.(i)))
+                  vars
+            | Ast.Allgather arrays -> do_allgather m arrays
+            | Ast.Barrier -> Sim.barrier c);
+        h_pipe_recv =
+          (fun m ~dim ~dir arrays ->
+            charge ();
+            do_pipe ~recv:true m ~dim ~dir arrays);
+        h_pipe_send =
+          (fun m ~dim ~dir arrays ->
+            charge ();
+            do_pipe ~recv:false m ~dim ~dir arrays);
+        h_read =
+          (fun m n ->
+            charge ();
+            let data =
+              if r = 0 then Machine.sequential_hooks.Machine.h_read m n
+              else Array.make n 0.0
+            in
+            Sim.bcast c ~root:0 data);
+        h_write =
+          (fun m values ->
+            if r = 0 then Machine.sequential_hooks.Machine.h_write m values);
+      }
+    in
+    let m = Machine.create ~hooks ~input:config.input u in
+    machine_ref := Some m;
+    machines.(r) <- Some m;
+    Machine.run m;
+    charge ();
+    flops_per_rank.(r) <- Machine.flops (get_machine ())
+  in
+  let stats = Sim.run ~net:config.net ~nranks body in
+  let machine r = Option.get machines.(r) in
+  let m0 = machine 0 in
+  (* gather status arrays from their owners *)
+  let gathered =
+    List.map
+      (fun name ->
+        let a0 = Machine.array m0 name in
+        match GI.find_status gi name with
+        | None -> (name, Value.copy a0)
+        | Some sa ->
+            let out = Value.copy a0 in
+            for r = 0 to nranks - 1 do
+              let src = Machine.array (machine r) name in
+              let block = Topology.block topo r in
+              let ranges =
+                Array.init (Value.rank src) (fun k ->
+                    let alo, ahi = src.Value.bounds.(k) in
+                    match sa.GI.sa_dims.(k) with
+                    | None -> (alo, ahi)
+                    | Some g ->
+                        ( max alo block.Autocfd_partition.Block.lo.(g),
+                          min ahi block.Autocfd_partition.Block.hi.(g) ))
+              in
+              iter_box ranges (fun idx ->
+                  Value.set out idx (Value.get src idx))
+            done;
+            (name, out))
+      (Machine.array_names m0)
+  in
+  let scalars =
+    List.filter_map
+      (fun u_decl ->
+        if u_decl.Ast.d_dims = [] then
+          match Machine.scalar m0 u_decl.Ast.d_name with
+          | v -> Some (u_decl.Ast.d_name, v)
+          | exception Machine.Runtime_error _ -> None
+        else None)
+      u.Ast.u_decls
+  in
+  {
+    stats;
+    output = Machine.output m0;
+    gathered;
+    scalars;
+    flops_per_rank;
+  }

@@ -1,0 +1,32 @@
+(** SPMD execution: runs the transformed parallel unit on every rank of the
+    simulated cluster, implementing the inserted communication statements
+    as halo exchanges, pipeline messages, reductions and broadcasts over
+    {!Autocfd_mpsim.Sim}. *)
+
+open Autocfd_fortran
+open Autocfd_mpsim
+
+type config = {
+  gi : Autocfd_analysis.Grid_info.t;
+  topo : Autocfd_partition.Topology.t;
+  net : Netmodel.t;
+  flop_time : float;
+      (** seconds charged per floating-point operation (0 = correctness
+          only) *)
+  input : float list;  (** data served to READ statements (rank 0) *)
+}
+
+type result = {
+  stats : Sim.stats;
+  output : string list;  (** rank 0's WRITE lines *)
+  gathered : (string * Value.arr) list;
+      (** status arrays assembled from their owners, plus replicated
+          arrays taken from rank 0 *)
+  scalars : (string * Value.scalar) list;  (** rank 0 final scalars *)
+  flops_per_rank : float array;
+}
+
+val run : config -> Ast.program_unit -> result
+(** Executes the SPMD unit produced by [Transform.run] on
+    [Topology.nranks config.topo] simulated ranks.
+    @raise Sim.Deadlock / [Machine.Runtime_error] on malformed programs. *)

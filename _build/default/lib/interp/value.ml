@@ -1,0 +1,80 @@
+type scalar = Int of int | Real of float | Bool of bool | Str of string
+
+type arr = {
+  bounds : (int * int) array;
+  strides : int array;
+  data : float array;
+}
+
+let make_array bounds =
+  let n = Array.length bounds in
+  let strides = Array.make n 1 in
+  let size = ref 1 in
+  for d = 0 to n - 1 do
+    let lo, hi = bounds.(d) in
+    if hi < lo then
+      invalid_arg
+        (Printf.sprintf "Value.make_array: empty dimension %d (%d:%d)" d lo hi);
+    strides.(d) <- !size;
+    size := !size * (hi - lo + 1)
+  done;
+  { bounds; strides; data = Array.make !size 0.0 }
+
+let rank a = Array.length a.bounds
+let size a = Array.length a.data
+
+let linear_index a idx =
+  if Array.length idx <> rank a then
+    invalid_arg
+      (Printf.sprintf "Value.linear_index: %d subscripts for rank %d"
+         (Array.length idx) (rank a));
+  let li = ref 0 in
+  for d = 0 to rank a - 1 do
+    let lo, hi = a.bounds.(d) in
+    let i = idx.(d) in
+    if i < lo || i > hi then
+      invalid_arg
+        (Printf.sprintf
+           "Value.linear_index: subscript %d out of bounds %d:%d in dim %d" i
+           lo hi d);
+    li := !li + ((i - lo) * a.strides.(d))
+  done;
+  !li
+
+let get a idx = a.data.(linear_index a idx)
+let set a idx v = a.data.(linear_index a idx) <- v
+let fill a v = Array.fill a.data 0 (Array.length a.data) v
+let copy a = { a with data = Array.copy a.data }
+
+let to_float = function
+  | Int i -> float_of_int i
+  | Real f -> f
+  | Bool b -> if b then 1.0 else 0.0
+  | Str _ -> invalid_arg "Value.to_float: string value"
+
+let to_int = function
+  | Int i -> i
+  | Real f -> int_of_float (Float.of_int (truncate f))
+  | Bool b -> if b then 1 else 0
+  | Str _ -> invalid_arg "Value.to_int: string value"
+
+let to_bool = function
+  | Bool b -> b
+  | Int i -> i <> 0
+  | Real f -> f <> 0.0
+  | Str _ -> invalid_arg "Value.to_bool: string value"
+
+let pp_scalar ppf = function
+  | Int i -> Format.pp_print_int ppf i
+  | Real f -> Format.fprintf ppf "%.6g" f
+  | Bool b -> Format.pp_print_string ppf (if b then "T" else "F")
+  | Str s -> Format.pp_print_string ppf s
+
+let max_abs_diff a b =
+  if a.bounds <> b.bounds then
+    invalid_arg "Value.max_abs_diff: shape mismatch";
+  let m = ref 0.0 in
+  Array.iteri
+    (fun i x -> m := Float.max !m (Float.abs (x -. b.data.(i))))
+    a.data;
+  !m

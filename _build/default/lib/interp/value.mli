@@ -1,0 +1,37 @@
+(** Runtime values of the Fortran-subset interpreter.
+
+    Arrays are stored flat in Fortran column-major order with arbitrary
+    per-dimension lower bounds. *)
+
+type scalar = Int of int | Real of float | Bool of bool | Str of string
+
+type arr = {
+  bounds : (int * int) array;  (** inclusive (lower, upper) per dimension *)
+  strides : int array;
+  data : float array;
+}
+
+val make_array : (int * int) array -> arr
+(** Zero-initialized. @raise Invalid_argument on an empty dimension. *)
+
+val rank : arr -> int
+val size : arr -> int
+val linear_index : arr -> int array -> int
+(** @raise Invalid_argument on an out-of-bounds subscript. *)
+
+val get : arr -> int array -> float
+val set : arr -> int array -> float -> unit
+val fill : arr -> float -> unit
+val copy : arr -> arr
+
+val to_float : scalar -> float
+(** @raise Invalid_argument on strings. *)
+
+val to_int : scalar -> int
+(** Truncation for reals, matching Fortran INT conversion. *)
+
+val to_bool : scalar -> bool
+val pp_scalar : Format.formatter -> scalar -> unit
+
+val max_abs_diff : arr -> arr -> float
+(** Largest pointwise difference; raises if shapes differ. *)

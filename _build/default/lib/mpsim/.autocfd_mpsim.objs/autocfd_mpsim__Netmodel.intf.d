@@ -1,0 +1,1 @@
+lib/mpsim/netmodel.mli:

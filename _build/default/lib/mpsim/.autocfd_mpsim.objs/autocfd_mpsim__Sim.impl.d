@@ -1,0 +1,1 @@
+lib/mpsim/sim.ml: Array Buffer Effect Float Hashtbl List Netmodel Option Printf Queue

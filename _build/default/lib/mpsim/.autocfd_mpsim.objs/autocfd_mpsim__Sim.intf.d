@@ -1,0 +1,1 @@
+lib/mpsim/sim.mli: Netmodel

@@ -1,0 +1,23 @@
+type t = {
+  latency : float;
+  bandwidth : float;
+  send_overhead : float;
+  recv_overhead : float;
+}
+
+let ethernet_100 =
+  {
+    latency = 1.0e-4;
+    bandwidth = 11.0e6;
+    send_overhead = 3.0e-5;
+    recv_overhead = 3.0e-5;
+  }
+
+let fast =
+  { latency = 1.0e-7; bandwidth = 1.0e10; send_overhead = 0.; recv_overhead = 0. }
+
+let free = { latency = 0.; bandwidth = infinity; send_overhead = 0.; recv_overhead = 0. }
+
+let message_time t ~bytes =
+  if t.bandwidth = infinity then t.latency
+  else t.latency +. (float_of_int bytes /. t.bandwidth)

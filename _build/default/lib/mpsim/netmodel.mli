@@ -1,0 +1,24 @@
+(** Virtual-time cost model of the interconnect.
+
+    The paper's testbed is a dedicated network of 6 Pentium workstations on
+    Ethernet (2003): the defaults below reflect TCP/IP on 100 Mbit Ethernet
+    of that era. *)
+
+type t = {
+  latency : float;  (** end-to-end message latency floor, seconds *)
+  bandwidth : float;  (** sustained point-to-point bandwidth, bytes/s *)
+  send_overhead : float;  (** CPU time charged to the sender, seconds *)
+  recv_overhead : float;  (** CPU time charged to the receiver, seconds *)
+}
+
+val ethernet_100 : t
+(** ~100 us latency, ~11 MB/s — 2003-era switched 100 Mb Ethernet. *)
+
+val fast : t
+(** A low-latency model for tests: negligible costs. *)
+
+val free : t
+(** Zero-cost network: pure correctness runs. *)
+
+val message_time : t -> bytes:int -> float
+(** Wire time of one message. *)

@@ -1,0 +1,293 @@
+exception Deadlock of string
+exception Rank_failure of int * exn
+
+type red_op = [ `Max | `Min | `Sum ]
+
+type message = { arrival : float; data : float array }
+
+type _ Effect.t +=
+  | E_recv : int * int -> float array Effect.t
+  | E_barrier : unit Effect.t
+  | E_allreduce : red_op * float -> float Effect.t
+  | E_bcast : int * float array option -> float array Effect.t
+
+type status =
+  | Not_started
+  | Running  (** transient, while its continuation is on the OCaml stack *)
+  | Done
+  | W_recv of int * int * (float array, unit) Effect.Deep.continuation
+  | W_barrier of (unit, unit) Effect.Deep.continuation
+  | W_allred of red_op * float * (float, unit) Effect.Deep.continuation
+  | W_bcast of
+      int * float array option * (float array, unit) Effect.Deep.continuation
+
+type state = {
+  n : int;
+  net : Netmodel.t;
+  times : float array;
+  status : status array;
+  mailboxes : (int * int * int, message Queue.t) Hashtbl.t;
+      (** (dest, src, tag) -> queue *)
+  mutable messages : int;
+  mutable bytes : int;
+  mutable collectives : int;
+}
+
+type comm = { id : int; st : state }
+
+let rank c = c.id
+let nranks c = c.st.n
+let time c = c.st.times.(c.id)
+let advance c dt = c.st.times.(c.id) <- c.st.times.(c.id) +. dt
+
+let send c ~dest ~tag data =
+  let st = c.st in
+  if dest < 0 || dest >= st.n then invalid_arg "Sim.send: bad destination";
+  st.times.(c.id) <- st.times.(c.id) +. st.net.Netmodel.send_overhead;
+  let bytes = 8 * Array.length data in
+  let arrival =
+    st.times.(c.id) +. Netmodel.message_time st.net ~bytes
+  in
+  let key = (dest, c.id, tag) in
+  let q =
+    match Hashtbl.find_opt st.mailboxes key with
+    | Some q -> q
+    | None ->
+        let q = Queue.create () in
+        Hashtbl.replace st.mailboxes key q;
+        q
+  in
+  Queue.push { arrival; data = Array.copy data } q;
+  st.messages <- st.messages + 1;
+  st.bytes <- st.bytes + bytes
+
+let recv c ~src ~tag =
+  if src < 0 || src >= c.st.n then invalid_arg "Sim.recv: bad source";
+  Effect.perform (E_recv (src, tag))
+
+type request =
+  | R_send
+  | R_recv of { src : int; tag : int; mutable done_ : bool }
+
+let isend c ~dest ~tag data =
+  send c ~dest ~tag data;
+  R_send
+
+let irecv _c ~src ~tag = R_recv { src; tag; done_ = false }
+
+let wait c req =
+  match req with
+  | R_send -> [||]
+  | R_recv r ->
+      if r.done_ then invalid_arg "Sim.wait: request already completed";
+      r.done_ <- true;
+      recv c ~src:r.src ~tag:r.tag
+
+let waitall c reqs = List.map (wait c) reqs
+
+let sendrecv c ~dest ~send_tag data ~src ~recv_tag =
+  send c ~dest ~tag:send_tag data;
+  recv c ~src ~tag:recv_tag
+
+let barrier _c = Effect.perform E_barrier
+let allreduce _c op v = Effect.perform (E_allreduce (op, v))
+
+let bcast c ~root data =
+  Effect.perform (E_bcast (root, if c.id = root then Some data else None))
+
+type stats = {
+  elapsed : float;
+  rank_times : float array;
+  messages : int;
+  bytes : int;
+  collectives : int;
+}
+
+let collective_cost st ~bytes =
+  let stages =
+    int_of_float (Float.round (ceil (Float.log2 (float_of_int (max 2 st.n)))))
+  in
+  float_of_int stages *. Netmodel.message_time st.net ~bytes
+
+let run ?(net = Netmodel.fast) ~nranks body =
+  if nranks < 1 then invalid_arg "Sim.run: nranks must be >= 1";
+  let st =
+    {
+      n = nranks;
+      net;
+      times = Array.make nranks 0.0;
+      status = Array.make nranks Not_started;
+      mailboxes = Hashtbl.create 64;
+      messages = 0;
+      bytes = 0;
+      collectives = 0;
+    }
+  in
+  let handler i =
+    let open Effect.Deep in
+    {
+      retc = (fun () -> st.status.(i) <- Done);
+      exnc = (fun e -> raise (Rank_failure (i, e)));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | E_recv (src, tag) ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  st.status.(i) <- W_recv (src, tag, k))
+          | E_barrier ->
+              Some (fun (k : (a, unit) continuation) ->
+                  st.status.(i) <- W_barrier k)
+          | E_allreduce (op, v) ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  st.status.(i) <- W_allred (op, v, k))
+          | E_bcast (root, data) ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  st.status.(i) <- W_bcast (root, data, k))
+          | _ -> None);
+    }
+  in
+  let start i =
+    let c = { id = i; st } in
+    st.status.(i) <- Running;
+    Effect.Deep.match_with body c (handler i)
+  in
+  let try_deliver i =
+    match st.status.(i) with
+    | W_recv (src, tag, k) -> (
+        match Hashtbl.find_opt st.mailboxes (i, src, tag) with
+        | Some q when not (Queue.is_empty q) ->
+            let msg = Queue.pop q in
+            st.times.(i) <-
+              Float.max st.times.(i) msg.arrival
+              +. net.Netmodel.recv_overhead;
+            st.status.(i) <- Running;
+            Effect.Deep.continue k msg.data;
+            true
+        | _ -> false)
+    | _ -> false
+  in
+  (* resolve a collective when every rank has arrived at a compatible one *)
+  let try_collective () =
+    let all pred = Array.for_all pred st.status in
+    if all (function W_barrier _ -> true | _ -> false) then begin
+      let tmax = Array.fold_left Float.max 0.0 st.times in
+      let t = tmax +. collective_cost st ~bytes:8 in
+      Array.fill st.times 0 st.n t;
+      st.collectives <- st.collectives + 1;
+      let ks =
+        Array.map
+          (function W_barrier k -> k | _ -> assert false)
+          st.status
+      in
+      Array.iteri (fun i _ -> st.status.(i) <- Running) ks;
+      Array.iter (fun k -> Effect.Deep.continue k ()) ks;
+      true
+    end
+    else if all (function W_allred _ -> true | _ -> false) then begin
+      let op0 =
+        match st.status.(0) with W_allred (op, _, _) -> op | _ -> assert false
+      in
+      let compatible =
+        all (function W_allred (op, _, _) -> op = op0 | _ -> false)
+      in
+      if not compatible then
+        raise (Deadlock "allreduce with mismatched operations");
+      let combine a b =
+        match op0 with
+        | `Max -> Float.max a b
+        | `Min -> Float.min a b
+        | `Sum -> a +. b
+      in
+      let value =
+        Array.fold_left
+          (fun acc s ->
+            match s with
+            | W_allred (_, v, _) -> (
+                match acc with None -> Some v | Some a -> Some (combine a v))
+            | _ -> acc)
+          None st.status
+      in
+      let value = Option.get value in
+      let tmax = Array.fold_left Float.max 0.0 st.times in
+      let t = tmax +. (2.0 *. collective_cost st ~bytes:8) in
+      Array.fill st.times 0 st.n t;
+      st.collectives <- st.collectives + 1;
+      let ks =
+        Array.map
+          (function W_allred (_, _, k) -> k | _ -> assert false)
+          st.status
+      in
+      Array.iteri (fun i _ -> st.status.(i) <- Running) ks;
+      Array.iter (fun k -> Effect.Deep.continue k value) ks;
+      true
+    end
+    else if all (function W_bcast _ -> true | _ -> false) then begin
+      let root0 =
+        match st.status.(0) with W_bcast (r, _, _) -> r | _ -> assert false
+      in
+      if not (all (function W_bcast (r, _, _) -> r = root0 | _ -> false)) then
+        raise (Deadlock "bcast with mismatched roots");
+      let data =
+        match st.status.(root0) with
+        | W_bcast (_, Some d, _) -> d
+        | _ -> raise (Deadlock "bcast root provided no data")
+      in
+      let bytes = 8 * Array.length data in
+      let tmax = Array.fold_left Float.max 0.0 st.times in
+      let t = tmax +. collective_cost st ~bytes in
+      Array.fill st.times 0 st.n t;
+      st.collectives <- st.collectives + 1;
+      let ks =
+        Array.map
+          (function W_bcast (_, _, k) -> k | _ -> assert false)
+          st.status
+      in
+      Array.iteri (fun i _ -> st.status.(i) <- Running) ks;
+      Array.iter (fun k -> Effect.Deep.continue k (Array.copy data)) ks;
+      true
+    end
+    else false
+  in
+  let all_done () = Array.for_all (fun s -> s = Done) st.status in
+  let describe () =
+    let b = Buffer.create 64 in
+    Array.iteri
+      (fun i s ->
+        let d =
+          match s with
+          | Not_started -> "not started"
+          | Running -> "running"
+          | Done -> "done"
+          | W_recv (src, tag, _) ->
+              Printf.sprintf "recv(src=%d, tag=%d)" src tag
+          | W_barrier _ -> "barrier"
+          | W_allred _ -> "allreduce"
+          | W_bcast _ -> "bcast"
+        in
+        Buffer.add_string b (Printf.sprintf "rank %d: %s; " i d))
+      st.status;
+    Buffer.contents b
+  in
+  while not (all_done ()) do
+    let progressed = ref false in
+    for i = 0 to st.n - 1 do
+      match st.status.(i) with
+      | Not_started ->
+          start i;
+          progressed := true
+      | _ -> if try_deliver i then progressed := true
+    done;
+    if try_collective () then progressed := true;
+    if not !progressed && not (all_done ()) then
+      raise (Deadlock ("no progress possible: " ^ describe ()))
+  done;
+  {
+    elapsed = Array.fold_left Float.max 0.0 st.times;
+    rank_times = Array.copy st.times;
+    messages = st.messages;
+    bytes = st.bytes;
+    collectives = st.collectives;
+  }

@@ -1,0 +1,81 @@
+(** Deterministic simulated message-passing cluster.
+
+    [run ~nranks body] executes [nranks] copies of [body] as cooperative
+    fibers (OCaml effects) in a single domain, with MPI-flavoured blocking
+    point-to-point and collective operations and a virtual clock per rank
+    driven by the {!Netmodel} cost model plus explicit {!advance} calls for
+    computation.  Scheduling is deterministic (rank order), so runs are
+    exactly reproducible.
+
+    Sends are buffered (eager): a send never blocks; a receive blocks until
+    a matching message (source, tag) has been enqueued. *)
+
+type comm
+
+exception Deadlock of string
+(** Raised by {!run} when no fiber can make progress. *)
+
+val rank : comm -> int
+val nranks : comm -> int
+
+val send : comm -> dest:int -> tag:int -> float array -> unit
+(** Buffered send of a float payload.  The array is copied. *)
+
+val recv : comm -> src:int -> tag:int -> float array
+(** Blocking receive matching exactly (src, tag). *)
+
+type request
+(** Handle of a nonblocking operation. *)
+
+val isend : comm -> dest:int -> tag:int -> float array -> request
+(** Nonblocking (eager-buffered) send: completes locally at once; the
+    matching {!wait} is free.  Provided for overlap-structured programs. *)
+
+val irecv : comm -> src:int -> tag:int -> request
+(** Post a receive; the message is matched and consumed at {!wait} time,
+    so computation issued between [irecv] and [wait] overlaps the
+    message's flight time on the virtual clock. *)
+
+val wait : comm -> request -> float array
+(** Complete a nonblocking operation: [[||]] for sends, the payload for
+    receives.  @raise Invalid_argument if the request was already
+    completed. *)
+
+val waitall : comm -> request list -> float array list
+
+val sendrecv :
+  comm ->
+  dest:int -> send_tag:int -> float array ->
+  src:int -> recv_tag:int ->
+  float array
+(** Combined exchange: buffered send then blocking receive. *)
+
+val barrier : comm -> unit
+
+val allreduce : comm -> [ `Max | `Min | `Sum ] -> float -> float
+(** Global reduction; every rank receives the combined value. *)
+
+val bcast : comm -> root:int -> float array -> float array
+(** Root's payload is delivered to every rank (root included). *)
+
+val advance : comm -> float -> unit
+(** Charge local computation time to the rank's virtual clock. *)
+
+val time : comm -> float
+(** The rank's current virtual time. *)
+
+type stats = {
+  elapsed : float;  (** max rank finish time — the simulated wall clock *)
+  rank_times : float array;
+  messages : int;  (** point-to-point messages *)
+  bytes : int;  (** point-to-point payload bytes *)
+  collectives : int;
+}
+
+val run : ?net:Netmodel.t -> nranks:int -> (comm -> unit) -> stats
+(** @raise Deadlock when ranks block forever.
+    @raise Invalid_argument when [nranks < 1].
+    Any exception raised by a fiber is re-raised after annotating it with
+    the rank. *)
+
+exception Rank_failure of int * exn

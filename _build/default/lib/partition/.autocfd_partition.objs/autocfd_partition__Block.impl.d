@@ -1,0 +1,1 @@
+lib/partition/block.pp.ml: Array Format List Printf String

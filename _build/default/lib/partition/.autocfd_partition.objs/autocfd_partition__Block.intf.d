@@ -1,0 +1,1 @@
+lib/partition/block.pp.mli: Format

@@ -1,0 +1,1 @@
+lib/partition/topology.pp.ml: Array Block Format Fun List Printf String

@@ -1,0 +1,1 @@
+lib/partition/topology.pp.mli: Block Format

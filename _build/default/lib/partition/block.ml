@@ -1,0 +1,43 @@
+type t = { lo : int array; hi : int array }
+
+let make ~lo ~hi =
+  if Array.length lo <> Array.length hi then
+    invalid_arg "Block.make: rank mismatch";
+  Array.iteri
+    (fun d l ->
+      if l > hi.(d) then
+        invalid_arg
+          (Printf.sprintf "Block.make: empty extent in dimension %d (%d > %d)"
+             d l hi.(d)))
+    lo;
+  { lo; hi }
+
+let ndims t = Array.length t.lo
+let extent t d = t.hi.(d) - t.lo.(d) + 1
+
+let points t =
+  let acc = ref 1 in
+  for d = 0 to ndims t - 1 do
+    acc := !acc * extent t d
+  done;
+  !acc
+
+let face_points t d =
+  let acc = ref 1 in
+  for k = 0 to ndims t - 1 do
+    if k <> d then acc := !acc * extent t k
+  done;
+  !acc
+
+let contains t p =
+  Array.length p = ndims t
+  && (let ok = ref true in
+      Array.iteri (fun d x -> if x < t.lo.(d) || x > t.hi.(d) then ok := false) p;
+      !ok)
+
+let equal a b = a.lo = b.lo && a.hi = b.hi
+
+let pp ppf t =
+  let dim d = Format.asprintf "%d..%d" t.lo.(d) t.hi.(d) in
+  Format.fprintf ppf "[%s]"
+    (String.concat ", " (List.init (ndims t) dim))

@@ -1,0 +1,23 @@
+(** A subgrid assigned to one subtask: an axis-aligned box of grid points,
+    inclusive 1-based bounds per status dimension. *)
+
+type t = { lo : int array; hi : int array }
+
+val make : lo:int array -> hi:int array -> t
+(** @raise Invalid_argument on rank mismatch or an empty extent. *)
+
+val ndims : t -> int
+val extent : t -> int -> int
+(** Number of points along a dimension. *)
+
+val points : t -> int
+(** Total number of grid points in the block. *)
+
+val face_points : t -> int -> int
+(** [face_points b d] is the number of points on one face orthogonal to
+    dimension [d] — the per-plane communication amount across that
+    demarcation line. *)
+
+val contains : t -> int array -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

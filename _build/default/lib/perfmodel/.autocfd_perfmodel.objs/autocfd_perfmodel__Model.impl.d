@@ -1,0 +1,1 @@
+lib/perfmodel/model.ml: Array Ast Autocfd_analysis Autocfd_fortran Autocfd_mpsim Autocfd_partition Float List Option

@@ -1,0 +1,1 @@
+lib/perfmodel/model.mli: Ast Autocfd_analysis Autocfd_fortran Autocfd_mpsim Autocfd_partition

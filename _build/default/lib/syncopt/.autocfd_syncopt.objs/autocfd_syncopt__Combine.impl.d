@@ -1,0 +1,1 @@
+lib/syncopt/combine.pp.ml: Array Ast Autocfd_analysis Autocfd_fortran Hashtbl Layout List Region

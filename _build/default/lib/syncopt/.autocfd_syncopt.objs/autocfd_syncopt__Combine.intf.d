@@ -1,0 +1,1 @@
+lib/syncopt/combine.pp.mli: Autocfd_fortran Layout Region

@@ -1,0 +1,1 @@
+lib/syncopt/layout.pp.ml: Array Ast Autocfd_fortran Hashtbl List Option

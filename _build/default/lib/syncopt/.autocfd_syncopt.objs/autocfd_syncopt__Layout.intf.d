@@ -1,0 +1,1 @@
+lib/syncopt/layout.pp.mli: Ast Autocfd_fortran

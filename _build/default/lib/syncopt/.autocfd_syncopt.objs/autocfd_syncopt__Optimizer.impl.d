@@ -1,0 +1,1 @@
+lib/syncopt/optimizer.pp.ml: Autocfd_analysis Combine List Region

@@ -1,0 +1,1 @@
+lib/syncopt/optimizer.pp.mli: Autocfd_analysis Combine Layout Region

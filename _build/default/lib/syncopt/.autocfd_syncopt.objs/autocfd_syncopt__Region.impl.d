@@ -1,0 +1,1 @@
+lib/syncopt/region.pp.ml: Array Ast Autocfd_analysis Autocfd_fortran Format Hashtbl Layout List Option

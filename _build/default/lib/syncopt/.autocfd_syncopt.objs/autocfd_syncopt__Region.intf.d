@@ -1,0 +1,1 @@
+lib/syncopt/region.pp.mli: Autocfd_analysis Format Layout

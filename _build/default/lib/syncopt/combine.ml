@@ -1,0 +1,146 @@
+open Autocfd_fortran
+module Sldp = Autocfd_analysis.Sldp
+
+type group = {
+  gr_block : Layout.block_id;
+  gr_slot : int;
+  gr_clock : int;
+  gr_regions : Region.t list;
+  gr_transfers : Ast.transfer list;
+}
+
+let transfers_of_regions regions =
+  (* array -> merged dep_info *)
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Region.t) ->
+      List.iter
+        (fun (v, info) ->
+          match Hashtbl.find_opt tbl v with
+          | None -> Hashtbl.replace tbl v info
+          | Some i0 -> Hashtbl.replace tbl v (Sldp.merge_info i0 info))
+        r.Region.rg_pair.Sldp.dp_arrays)
+    regions;
+  Hashtbl.fold
+    (fun v (info : Sldp.dep_info) acc ->
+      List.fold_left
+        (fun acc g ->
+          let acc =
+            (* a reader reaching its lower neighbor receives planes that
+               flow upward: every rank sends its high face to dir + *)
+            if info.Sldp.di_minus.(g) then
+              { Ast.xfer_array = v; xfer_dim = g; xfer_dir = Ast.Dplus;
+                xfer_depth = info.Sldp.di_depth.(g) }
+              :: acc
+            else acc
+          in
+          if info.Sldp.di_plus.(g) then
+            { Ast.xfer_array = v; xfer_dim = g; xfer_dir = Ast.Dminus;
+              xfer_depth = info.Sldp.di_depth.(g) }
+            :: acc
+          else acc)
+        acc info.Sldp.di_dims)
+    tbl []
+  |> List.sort_uniq compare
+
+let close_group ~layout block lo hi regions =
+  ignore lo;
+  {
+    gr_block = block;
+    gr_slot = hi;
+    gr_clock = Layout.slot_clock layout block hi;
+    gr_regions = List.rev regions;
+    gr_transfers = transfers_of_regions regions;
+  }
+
+let optimal ~layout regions =
+  let sorted =
+    List.sort
+      (fun (a : Region.t) (b : Region.t) ->
+        compare
+          (a.Region.rg_block, a.Region.rg_first, a.Region.rg_last)
+          (b.Region.rg_block, b.Region.rg_first, b.Region.rg_last))
+      regions
+  in
+  let groups = ref [] in
+  let current = ref None in
+  let flush () =
+    match !current with
+    | Some (block, lo, hi, rs) ->
+        groups := close_group ~layout block lo hi rs :: !groups;
+        current := None
+    | None -> ()
+  in
+  List.iter
+    (fun (r : Region.t) ->
+      match !current with
+      | Some (block, lo, hi, rs)
+        when block = r.Region.rg_block && r.Region.rg_first <= hi ->
+          current :=
+            Some
+              ( block,
+                max lo r.Region.rg_first,
+                min hi r.Region.rg_last,
+                r :: rs )
+      | _ ->
+          flush ();
+          current :=
+            Some (r.Region.rg_block, r.Region.rg_first, r.Region.rg_last, [ r ]))
+    sorted;
+  flush ();
+  List.rev !groups
+  |> List.sort (fun a b -> compare (a.gr_block, a.gr_slot) (b.gr_block, b.gr_slot))
+
+(* Fig. 6(c)-style baseline: regions join the first open group they
+   overlap, in program order, without the sorted running-intersection
+   discipline. *)
+let first_fit ~layout regions =
+  let ordered =
+    List.sort
+      (fun (a : Region.t) (b : Region.t) ->
+        compare a.Region.rg_clock b.Region.rg_clock)
+      regions
+  in
+  let open_groups : (Layout.block_id * int ref * int ref * Region.t list ref) list ref =
+    ref []
+  in
+  List.iter
+    (fun (r : Region.t) ->
+      let rec place = function
+        | [] ->
+            open_groups :=
+              !open_groups
+              @ [ (r.Region.rg_block, ref r.Region.rg_first,
+                   ref r.Region.rg_last, ref [ r ]) ]
+        | (block, lo, hi, rs) :: rest ->
+            if
+              block = r.Region.rg_block
+              && r.Region.rg_first <= !hi
+              && r.Region.rg_last >= !lo
+            then begin
+              lo := max !lo r.Region.rg_first;
+              hi := min !hi r.Region.rg_last;
+              rs := r :: !rs
+            end
+            else place rest
+      in
+      place !open_groups)
+    ordered;
+  List.map
+    (fun (block, lo, hi, rs) -> close_group ~layout block !lo !hi !rs)
+    !open_groups
+  |> List.sort (fun a b -> compare (a.gr_block, a.gr_slot) (b.gr_block, b.gr_slot))
+
+let minimum_stabbing_count intervals =
+  (* classic greedy on (lo, hi) inclusive intervals *)
+  let sorted = List.sort (fun (_, h1) (_, h2) -> compare h1 h2) intervals in
+  let count = ref 0 in
+  let last_point = ref min_int in
+  List.iter
+    (fun (lo, hi) ->
+      if lo > !last_point then begin
+        incr count;
+        last_point := hi
+      end)
+    sorted;
+  !count

@@ -1,0 +1,32 @@
+module Sldp = Autocfd_analysis.Sldp
+
+type combine_strategy = Optimal | First_fit
+
+type result = {
+  before : int;
+  after : int;
+  regions : Region.t list;
+  groups : Combine.group list;
+  self_pairs : Sldp.pair list;
+}
+
+let run ?(combine = Optimal) (sldp : Sldp.t) ~layout =
+  let before = Sldp.count_before sldp in
+  let surviving = Sldp.eliminate_redundant sldp in
+  let regions = Region.generate sldp ~layout surviving in
+  let groups =
+    match combine with
+    | Optimal -> Combine.optimal ~layout regions
+    | First_fit -> Combine.first_fit ~layout regions
+  in
+  {
+    before;
+    after = List.length groups;
+    regions;
+    groups;
+    self_pairs = Sldp.self_pairs sldp;
+  }
+
+let reduction_pct r =
+  if r.before = 0 then 0.0
+  else float_of_int (r.before - r.after) /. float_of_int r.before

@@ -1,0 +1,25 @@
+(** The full synchronization-optimization pipeline of paper §5:
+    redundant-pair elimination → upper-bound region generation →
+    combining of non-redundant synchronizations. *)
+
+type combine_strategy = Optimal | First_fit
+
+type result = {
+  before : int;  (** |S_LDP| — synchronization points before optimization *)
+  after : int;  (** combined synchronization points *)
+  regions : Region.t list;  (** regions of the surviving pairs *)
+  groups : Combine.group list;
+  self_pairs : Autocfd_analysis.Sldp.pair list;
+      (** self-dependent loops, parallelized by mirror-image pipelining
+          rather than block synchronization *)
+}
+
+val run :
+  ?combine:combine_strategy ->
+  Autocfd_analysis.Sldp.t ->
+  layout:Layout.t ->
+  result
+
+val reduction_pct : result -> float
+(** The paper's "percentage of optimization" column:
+    (before - after) / before. *)

@@ -1,0 +1,127 @@
+open Autocfd_fortran
+module FL = Autocfd_analysis.Field_loop
+module L = Autocfd_analysis.Loops
+module Sldp = Autocfd_analysis.Sldp
+
+type t = {
+  rg_pair : Sldp.pair;
+  rg_block : Layout.block_id;
+  rg_first : int;
+  rg_last : int;
+  rg_clock : int;
+}
+
+(* spans (enter, exit) of every crossing reader head, per array *)
+let crossing_reader_spans (sldp : Sldp.t) =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (s : FL.summary) ->
+      List.iter
+        (fun (v, _) ->
+          match Sldp.crossing_info sldp.Sldp.gi sldp.Sldp.topo v s with
+          | Some _ ->
+              let l = s.FL.fs_loop in
+              let span = (l.L.lp_enter, l.L.lp_exit) in
+              let cur = Option.value ~default:[] (Hashtbl.find_opt tbl v) in
+              Hashtbl.replace tbl v (span :: cur)
+          | None -> ())
+        s.FL.fs_uses)
+    sldp.Sldp.summaries;
+  tbl
+
+let generate (sldp : Sldp.t) ~layout pairs =
+  let reader_spans = crossing_reader_spans sldp in
+  let clock_of sid = L.clock sldp.Sldp.loops sid in
+  (* does the clock span (lo, hi) contain a crossing reader of any array
+     of the pair? *)
+  let span_has_reader arrays (lo, hi) =
+    List.exists
+      (fun (v, _) ->
+        match Hashtbl.find_opt reader_spans v with
+        | None -> false
+        | Some spans ->
+            List.exists (fun (e, x) -> lo <= e && x <= hi) spans)
+      arrays
+  in
+  let stmt_span st = clock_of st.Ast.s_id in
+  let block_span block =
+    let stmts = Layout.stmts layout block in
+    if Array.length stmts = 0 then None
+    else
+      let e, _ = stmt_span stmts.(0) in
+      let _, x = stmt_span stmts.(Array.length stmts - 1) in
+      Some (e, x)
+  in
+  let contains_goto_or_exit st =
+    let found = ref false in
+    Ast.iter_stmts
+      (fun s ->
+        match s.Ast.s_kind with
+        | Ast.Goto _ | Ast.Return | Ast.Stop -> found := true
+        | _ -> ())
+      [ st ];
+    !found
+  in
+  let region_of_pair (p : Sldp.pair) =
+    let arrays = p.Sldp.dp_arrays in
+    let a_head = p.Sldp.dp_assign.FL.fs_loop in
+    let a_block, a_idx = Layout.coord layout a_head.L.lp_id in
+    (* the carrying loop a Backward pair must stay inside (a DO loop or a
+       backward-GOTO span) *)
+    let carry_span =
+      match p.Sldp.dp_kind with
+      | Sldp.Backward l -> Some (Sldp.carrying_span sldp l)
+      | Sldp.Forward | Sldp.Self -> None
+    in
+    (* hoist the starting point (§5.1.1 + §5.2 rule 3) *)
+    let rec hoist block slot =
+      match Layout.parent layout block with
+      | None -> (block, slot)
+      | Some (pblock, pidx) ->
+          let blocked =
+            match Layout.owner layout block with
+            | Layout.Top -> true
+            | Layout.Loop_body lid ->
+                (* stop at the Backward pair's carrying loop: hoisting out
+                   of any loop that contains the carrying span would leave
+                   the carried region *)
+                let le, lx = clock_of lid in
+                (match carry_span with
+                | Some (ce, cx) -> le <= ce && cx <= lx
+                | None -> false)
+                || span_has_reader arrays (clock_of lid)
+            | Layout.Branch _ | Layout.Else _ -> (
+                (* movable out unless an R-type loop is inside this very
+                   branch (Fig. 7(d)/(e)) *)
+                match block_span block with
+                | None -> false
+                | Some span -> span_has_reader arrays span)
+          in
+          if blocked then (block, slot) else hoist pblock (pidx + 1)
+    in
+    let block, first = hoist a_block (a_idx + 1) in
+    (* forward scan for the region end (§5.1.1 cases 1/2, §5.2 rules 1/2) *)
+    let stmts = Layout.stmts layout block in
+    let n = Array.length stmts in
+    let rec scan i =
+      if i >= n then n
+      else
+        let st = stmts.(i) in
+        if span_has_reader arrays (stmt_span st) then i
+        else if contains_goto_or_exit st then i
+        else scan (i + 1)
+    in
+    let last = scan first in
+    {
+      rg_pair = p;
+      rg_block = block;
+      rg_first = first;
+      rg_last = last;
+      rg_clock = Layout.slot_clock layout block first;
+    }
+  in
+  List.map region_of_pair pairs
+
+let pp ppf r =
+  Format.fprintf ppf "region(block %d, slots %d..%d) for %a" r.rg_block
+    r.rg_first r.rg_last Sldp.pp_pair r.rg_pair

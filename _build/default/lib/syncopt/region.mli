@@ -1,0 +1,25 @@
+(** Upper-bound synchronization regions (paper §5.1.1, §5.2).
+
+    For each dependent field-loop pair the legal placement range of its
+    synchronization point is computed by (1) hoisting the starting point out
+    of loops and branches that contain no dependent R-type loop, then (2)
+    scanning forward to the first dependent R-type loop, goto, or dependent
+    branch — the result is a contiguous range of insertion slots within a
+    single block. *)
+
+type t = {
+  rg_pair : Autocfd_analysis.Sldp.pair;
+  rg_block : Layout.block_id;
+  rg_first : int;  (** first legal slot (inclusive) *)
+  rg_last : int;  (** last legal slot (inclusive) *)
+  rg_clock : int;  (** clock of the first slot, for sorting/reporting *)
+}
+
+val generate :
+  Autocfd_analysis.Sldp.t ->
+  layout:Layout.t ->
+  Autocfd_analysis.Sldp.pair list ->
+  t list
+(** Regions for the given (non-self) pairs of the inlined unit. *)
+
+val pp : Format.formatter -> t -> unit

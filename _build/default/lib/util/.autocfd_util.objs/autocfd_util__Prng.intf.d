@@ -1,0 +1,1 @@
+lib/util/prng.mli:

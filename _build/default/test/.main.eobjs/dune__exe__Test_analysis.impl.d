@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Ast Autocfd_analysis Autocfd_codegen Autocfd_fortran Autocfd_interp Autocfd_partition Inline List Parser Printf String

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Array Autocfd Autocfd_analysis Autocfd_apps Autocfd_interp Autocfd_syncopt Float List Printf String

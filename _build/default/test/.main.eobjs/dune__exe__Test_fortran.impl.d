@@ -1,0 +1,1 @@
+test/test_fortran.ml: Alcotest Ast Autocfd_fortran Autocfd_interp Directive Float Fmt Format Fun Inline Lexer List Loc Option Parser Pretty Printf QCheck QCheck_alcotest String Token

@@ -1,0 +1,1 @@
+test/test_inline.ml: Alcotest Ast Autocfd_fortran Autocfd_interp Inline Parser

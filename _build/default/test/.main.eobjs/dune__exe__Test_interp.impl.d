@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Autocfd_fortran Autocfd_interp Hashtbl Inline Parser QCheck QCheck_alcotest

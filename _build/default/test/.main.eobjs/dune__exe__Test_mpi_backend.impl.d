@@ -1,0 +1,1 @@
+test/test_mpi_backend.ml: Alcotest Ast Autocfd Autocfd_apps Autocfd_fortran List Loc Parser String

@@ -1,0 +1,1 @@
+test/test_mpsim.ml: Alcotest Array Autocfd_mpsim List Netmodel Sim

@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Array Autocfd_partition Block Fun Hashtbl List Option Printf QCheck QCheck_alcotest String Topology

@@ -1,0 +1,1 @@
+test/test_perfmodel.ml: Alcotest Autocfd Autocfd_apps Autocfd_partition Autocfd_perfmodel List Option Printf

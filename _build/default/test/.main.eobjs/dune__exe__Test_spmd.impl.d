@@ -1,0 +1,1 @@
+test/test_spmd.ml: Alcotest Array Autocfd Autocfd_fortran Autocfd_interp Autocfd_mpsim Float List Printf QCheck QCheck_alcotest String

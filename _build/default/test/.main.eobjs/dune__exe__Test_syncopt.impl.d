@@ -1,0 +1,1 @@
+test/test_syncopt.ml: Alcotest Array Ast Autocfd_analysis Autocfd_apps Autocfd_fortran Autocfd_partition Autocfd_syncopt Fun Inline List Parser Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Autocfd_util Fun Interval List Prng QCheck QCheck_alcotest String Table

@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "autocfd"
+    [
+      ("util", Test_util.suite);
+      ("partition", Test_partition.suite);
+      ("mpsim", Test_mpsim.suite);
+      ("fortran", Test_fortran.suite);
+      ("analysis", Test_analysis.suite);
+      ("inline", Test_inline.suite);
+      ("interp", Test_interp.suite);
+      ("syncopt", Test_syncopt.suite);
+      ("spmd", Test_spmd.suite);
+      ("apps", Test_apps.suite);
+      ("perfmodel", Test_perfmodel.suite);
+      ("driver", Test_driver.suite);
+      ("mpi_backend", Test_mpi_backend.suite);
+    ]

@@ -1,0 +1,265 @@
+(** Tests for the bundled case-study applications: structural census
+    regressions (Table 1 inputs), numerical sanity, and sequential/SPMD
+    equivalence at reduced sizes. *)
+
+module D = Autocfd.Driver
+module A = Autocfd_analysis
+module S = Autocfd_syncopt
+module I = Autocfd_interp
+
+let shape parts =
+  String.concat "x" (Array.to_list (Array.map string_of_int parts))
+
+(* ------------------------------------------------------------------ *)
+(* Census regressions: these are the values EXPERIMENTS.md reports as
+   our Table 1, committed so that analysis changes are caught. *)
+(* ------------------------------------------------------------------ *)
+
+let census t parts =
+  let plan = D.plan t ~parts in
+  (plan.D.opt.S.Optimizer.before, plan.D.opt.S.Optimizer.after)
+
+let test_aerofoil_census () =
+  let t = D.load (Autocfd_apps.Aerofoil.source ()) in
+  List.iter
+    (fun (parts, expected) ->
+      let got = census t parts in
+      if got <> expected then
+        Alcotest.failf "aerofoil %s: expected %d/%d, got %d/%d" (shape parts)
+          (fst expected) (snd expected) (fst got) (snd got))
+    [
+      ([| 4; 1; 1 |], (102, 8));
+      ([| 1; 4; 1 |], (85, 7));
+      ([| 1; 1; 4 |], (69, 5));
+      ([| 4; 4; 1 |], (187, 10));
+      ([| 4; 1; 4 |], (171, 9));
+      ([| 1; 4; 4 |], (154, 9));
+    ]
+
+let test_sprayer_census () =
+  let t = D.load (Autocfd_apps.Sprayer.source ()) in
+  List.iter
+    (fun (parts, expected) ->
+      let got = census t parts in
+      if got <> expected then
+        Alcotest.failf "sprayer %s: expected %d/%d, got %d/%d" (shape parts)
+          (fst expected) (snd expected) (fst got) (snd got))
+    [
+      ([| 4; 1 |], (62, 10));
+      ([| 1; 4 |], (64, 10));
+      ([| 4; 4 |], (126, 15));
+    ]
+
+let test_reduction_percentages_in_paper_range () =
+  (* the paper reports 88-95% reduction; ours must be comparable *)
+  let check t parts =
+    let plan = D.plan t ~parts in
+    let pct = S.Optimizer.reduction_pct plan.D.opt in
+    Alcotest.(check bool)
+      (Printf.sprintf "reduction %.0f%% in [80, 98]" (100. *. pct))
+      true
+      (pct >= 0.80 && pct <= 0.98)
+  in
+  let aero = D.load (Autocfd_apps.Aerofoil.source ()) in
+  let spray = D.load (Autocfd_apps.Sprayer.source ()) in
+  List.iter (check aero) [ [| 4; 1; 1 |]; [| 1; 4; 1 |]; [| 4; 4; 1 |] ];
+  List.iter (check spray) [ [| 4; 1 |]; [| 1; 4 |]; [| 4; 4 |] ]
+
+(* ------------------------------------------------------------------ *)
+(* Structural features the paper calls out                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_aerofoil_has_mirror_image_loops () =
+  let t = D.load (Autocfd_apps.Aerofoil.source ()) in
+  let plan = D.plan t ~parts:[| 4; 1; 1 |] in
+  let pipelines =
+    List.filter
+      (fun (_, s) -> match s with A.Mirror.Pipeline _ -> true | _ -> false)
+      plan.D.strategies
+  in
+  (* psor and blayer *)
+  Alcotest.(check bool) "at least 2 pipelined loops" true
+    (List.length pipelines >= 2);
+  Alcotest.(check bool) "self-dependent pairs recorded" true
+    (A.Sldp.self_pairs plan.D.sldp <> [])
+
+let test_aerofoil_packed_array () =
+  let t = D.load (Autocfd_apps.Aerofoil.source ()) in
+  Alcotest.(check (option int)) "q 4th dim packed" None
+    (A.Grid_info.grid_dim_of t.D.gi "q" 3);
+  Alcotest.(check (option int)) "q first dim status" (Some 0)
+    (A.Grid_info.grid_dim_of t.D.gi "q" 0)
+
+let test_sprayer_direction_specific_counts () =
+  (* cutting different dimensions yields different "before" counts *)
+  let t = D.load (Autocfd_apps.Sprayer.source ()) in
+  let b0, _ = census t [| 4; 1 |] in
+  let b1, _ = census t [| 1; 4 |] in
+  Alcotest.(check bool) "counts differ by direction" true (b0 <> b1)
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let equiv name src parts =
+  let t = D.load src in
+  let seq = D.run_sequential t in
+  let par = D.run_parallel (D.plan t ~parts) in
+  let worst =
+    List.fold_left (fun a (_, d) -> Float.max a d) 0.0
+      (D.max_divergence seq par)
+  in
+  if worst <> 0.0 then
+    Alcotest.failf "%s diverges by %g under %s" name worst (shape parts);
+  (seq, par)
+
+let test_sprayer_equivalence () =
+  let src = Autocfd_apps.Sprayer.source ~ni:36 ~nj:18 ~ntime:6 ~npsi:3 () in
+  List.iter
+    (fun parts -> ignore (equiv "sprayer" src parts))
+    [ [| 2; 1 |]; [| 1; 2 |]; [| 2; 2 |]; [| 3; 1 |]; [| 2; 3 |] ]
+
+let test_aerofoil_equivalence () =
+  let src = Autocfd_apps.Aerofoil.source ~ni:16 ~nj:10 ~nk:6 ~ntime:3 ~npres:2 () in
+  List.iter
+    (fun parts -> ignore (equiv "aerofoil" src parts))
+    [ [| 2; 1; 1 |]; [| 1; 2; 1 |]; [| 2; 2; 1 |]; [| 3; 2; 1 |];
+      [| 2; 2; 2 |] ]
+
+let test_no_nan_or_blowup () =
+  let check name src =
+    let t = D.load src in
+    let seq = D.run_sequential t in
+    List.iter
+      (fun (arr_name, arr) ->
+        Array.iter
+          (fun x ->
+            if Float.is_nan x || Float.abs x > 1e6 then
+              Alcotest.failf "%s: %s has unstable value %g" name arr_name x)
+          arr.I.Value.data)
+      seq.D.sq_arrays
+  in
+  check "sprayer" (Autocfd_apps.Sprayer.source ~ni:40 ~nj:20 ~ntime:25 ~npsi:4 ());
+  check "aerofoil"
+    (Autocfd_apps.Aerofoil.source ~ni:20 ~nj:12 ~nk:6 ~ntime:12 ~npres:3 ())
+
+let test_fan_speed_influences_flow () =
+  (* the sprayer's purpose: fan speed changes the velocity field *)
+  let run ufan =
+    let t =
+      D.load (Autocfd_apps.Sprayer.source ~ni:30 ~nj:16 ~ntime:6 ~npsi:3 ~ufan ())
+    in
+    let seq = D.run_sequential t in
+    List.assoc "u" seq.D.sq_arrays
+  in
+  let slow = run 0.5 and fast = run 2.0 in
+  Alcotest.(check bool) "different fields" true
+    (I.Value.max_abs_diff slow fast > 1e-6)
+
+let test_paper_partitions_full_size_parse () =
+  (* full-size programs analyze without error for every Table 1 shape *)
+  let aero = D.load (Autocfd_apps.Aerofoil.source ()) in
+  let spray = D.load (Autocfd_apps.Sprayer.source ()) in
+  List.iter
+    (fun parts -> ignore (D.plan aero ~parts))
+    [ [| 2; 1; 1 |]; [| 3; 2; 1 |]; [| 6; 1; 1 |] ];
+  List.iter
+    (fun parts -> ignore (D.plan spray ~parts))
+    [ [| 2; 1 |]; [| 3; 1 |]; [| 2; 2 |] ]
+
+let test_spmd_source_renders () =
+  let t = D.load (Autocfd_apps.Sprayer.source ~ni:30 ~nj:16 ()) in
+  let plan = D.plan t ~parts:[| 2; 2 |] in
+  let text = D.spmd_source plan in
+  let contains needle =
+    let nh = String.length text and nn = String.length needle in
+    let rec go i =
+      i + nn <= nh && (String.sub text i nn = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "has exchange calls" true
+    (contains "call acfd_exchange");
+  Alcotest.(check bool) "has allreduce" true
+    (contains "call acfd_allreduce_max");
+  Alcotest.(check bool) "notes the partition" true (contains "partition: 2 x 2")
+
+
+
+let test_cavity_equivalence () =
+  (* third demo app: SOR + goto while-loop + four-wall boundary code *)
+  let src = Autocfd_apps.Cavity.source ~n:17 ~maxit:5 ~npsi:3 () in
+  List.iter
+    (fun parts -> ignore (equiv "cavity" src parts))
+    [ [| 2; 1 |]; [| 1; 2 |]; [| 2; 2 |]; [| 3; 3 |] ]
+
+let test_cavity_structure () =
+  let t = D.load Autocfd_apps.Cavity.default in
+  let plan = D.plan t ~parts:[| 2; 2 |] in
+  (* the SOR sweep is mirror-image pipelined in both dimensions *)
+  Alcotest.(check bool) "psisor pipelined" true
+    (List.exists
+       (fun (_, s) ->
+         match s with
+         | A.Mirror.Pipeline dims -> List.map fst dims = [ 0; 1 ]
+         | _ -> false)
+       plan.D.strategies);
+  (* the goto while-loop carries backward pairs *)
+  Alcotest.(check bool) "virtual carrying loop found" true
+    (plan.D.sldp.A.Sldp.virtual_spans <> []);
+  Alcotest.(check bool) "backward pairs exist" true
+    (List.exists
+       (fun p ->
+         match p.A.Sldp.dp_kind with A.Sldp.Backward _ -> true | _ -> false)
+       plan.D.sldp.A.Sldp.pairs);
+  Alcotest.(check bool) "solid reduction" true
+    (S.Optimizer.reduction_pct plan.D.opt > 0.6)
+
+let test_cavity_physics () =
+  (* the lid drags the fluid: psi becomes nonzero and the flow strength
+     scales with the lid speed *)
+  let run ulid =
+    let t = D.load (Autocfd_apps.Cavity.source ~n:17 ~maxit:10 ~npsi:4 ~ulid ()) in
+    let seq = D.run_sequential t in
+    let psi = List.assoc "psi" seq.D.sq_arrays in
+    Array.fold_left (fun a x -> Float.max a (Float.abs x)) 0.0
+      psi.I.Value.data
+  in
+  let slow = run 0.5 and fast = run 2.0 in
+  Alcotest.(check bool) "nonzero circulation" true (slow > 1e-8);
+  Alcotest.(check bool) "stronger lid, stronger flow" true (fast > slow)
+
+
+let test_many_ranks () =
+  (* scheduler robustness: 18 cooperative ranks with 3-D pipelines *)
+  let src = Autocfd_apps.Aerofoil.source ~ni:14 ~nj:9 ~nk:7 ~ntime:2 ~npres:2 () in
+  let t = D.load src in
+  let seq = D.run_sequential t in
+  let plan = D.plan t ~parts:[| 3; 3; 2 |] in
+  let par = D.run_parallel plan in
+  let worst =
+    List.fold_left (fun a (_, d) -> Float.max a d) 0.0
+      (D.max_divergence seq par)
+  in
+  Alcotest.(check (float 0.0)) "18 ranks equivalent" 0.0 worst
+
+
+let suite =
+  [
+    ("aerofoil census", `Quick, test_aerofoil_census);
+    ("sprayer census", `Quick, test_sprayer_census);
+    ("reduction in paper range", `Quick, test_reduction_percentages_in_paper_range);
+    ("aerofoil mirror loops", `Quick, test_aerofoil_has_mirror_image_loops);
+    ("aerofoil packed array", `Quick, test_aerofoil_packed_array);
+    ("sprayer directional counts", `Quick, test_sprayer_direction_specific_counts);
+    ("sprayer equivalence", `Slow, test_sprayer_equivalence);
+    ("aerofoil equivalence", `Slow, test_aerofoil_equivalence);
+    ("no NaN or blow-up", `Slow, test_no_nan_or_blowup);
+    ("fan speed influences flow", `Quick, test_fan_speed_influences_flow);
+    ("full-size partitions analyze", `Quick, test_paper_partitions_full_size_parse);
+    ("spmd source renders", `Quick, test_spmd_source_renders);
+    ("cavity equivalence", `Slow, test_cavity_equivalence);
+    ("cavity structure", `Quick, test_cavity_structure);
+    ("cavity physics", `Quick, test_cavity_physics);
+    ("18 simulated ranks", `Slow, test_many_ranks);
+  ]

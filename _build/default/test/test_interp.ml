@@ -1,0 +1,344 @@
+(** Tests for the Fortran interpreter: values/arrays, expression semantics
+    (integer arithmetic, intrinsics, implicit typing), statement execution
+    (GOTO, DO variants, DATA, READ/WRITE). *)
+
+open Autocfd_fortran
+module I = Autocfd_interp
+
+let run ?(input = []) src =
+  let u = Inline.program (Parser.parse src) in
+  let m = I.Machine.create ~input u in
+  I.Machine.run m;
+  m
+
+let out m = I.Machine.output m
+
+let check_output name expected src =
+  Alcotest.(check (list string)) name expected (out (run src))
+
+(* ------------------------------------------------------------------ *)
+(* Value / arrays                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_array_column_major () =
+  let a = I.Value.make_array [| (1, 3); (1, 2) |] in
+  Alcotest.(check int) "size" 6 (I.Value.size a);
+  (* Fortran order: first index varies fastest *)
+  Alcotest.(check int) "(1,1)" 0 (I.Value.linear_index a [| 1; 1 |]);
+  Alcotest.(check int) "(2,1)" 1 (I.Value.linear_index a [| 2; 1 |]);
+  Alcotest.(check int) "(1,2)" 3 (I.Value.linear_index a [| 1; 2 |]);
+  Alcotest.(check int) "(3,2)" 5 (I.Value.linear_index a [| 3; 2 |])
+
+let test_array_custom_bounds () =
+  let a = I.Value.make_array [| (0, 4); (-1, 1) |] in
+  Alcotest.(check int) "size" 15 (I.Value.size a);
+  I.Value.set a [| 0; -1 |] 7.0;
+  Alcotest.(check (float 0.0)) "get" 7.0 (I.Value.get a [| 0; -1 |]);
+  Alcotest.(check bool) "oob" true
+    (match I.Value.get a [| 5; 0 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let prop_linear_index_bijective =
+  QCheck.Test.make ~count:100 ~name:"linear_index is a bijection"
+    QCheck.(pair (int_range 1 5) (int_range 1 5))
+    (fun (n1, n2) ->
+      let a = I.Value.make_array [| (1, n1); (1, n2) |] in
+      let seen = Hashtbl.create 16 in
+      let ok = ref true in
+      for i = 1 to n1 do
+        for j = 1 to n2 do
+          let li = I.Value.linear_index a [| i; j |] in
+          if Hashtbl.mem seen li || li < 0 || li >= n1 * n2 then ok := false;
+          Hashtbl.replace seen li ()
+        done
+      done;
+      !ok && Hashtbl.length seen = n1 * n2)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_integer_arithmetic () =
+  check_output "integer division truncates" [ "3 -3 1" ]
+    {|
+      program t
+      integer a, b, c
+      a = 7 / 2
+      b = -7 / 2
+      c = mod(7, 2)
+      write(*,*) a, b, c
+      end
+|}
+
+let test_mixed_arithmetic () =
+  check_output "mixed promotes to real" [ "3.5" ]
+    {|
+      program t
+      real x
+      x = 7 / 2.0
+      write(*,*) x
+      end
+|}
+
+let test_power () =
+  check_output "integer and real powers" [ "8 6.25" ]
+    {|
+      program t
+      integer a
+      real x
+      a = 2 ** 3
+      x = 2.5 ** 2
+      write(*,*) a, x
+      end
+|}
+
+let test_intrinsics () =
+  check_output "intrinsics" [ "5 2 1 3 0.5" ]
+    {|
+      program t
+      integer a, b
+      real s, m, h
+      a = abs(-5)
+      b = int(2.9)
+      s = sqrt(1.0)
+      m = max(1.0, 3.0, 2.0)
+      h = min(0.5, 2.0)
+      write(*,*) a, b, s, m, h
+      end
+|}
+
+let test_sign_and_float () =
+  check_output "sign/float" [ "-2.5 4" ]
+    {|
+      program t
+      real x, y
+      x = sign(2.5, -1.0)
+      y = float(4)
+      write(*,*) x, y
+      end
+|}
+
+let test_implicit_typing () =
+  (* i-n implicit integers truncate; others are real *)
+  check_output "implicit" [ "2 2.5" ]
+    {|
+      program t
+      ival = 2.5
+      xval = 2.5
+      write(*,*) ival, xval
+      end
+|}
+
+let test_logical_ops () =
+  check_output "logicals" [ "T F T" ]
+    {|
+      program t
+      logical a, b, c
+      a = 1 .lt. 2 .and. 3.0 .ge. 3.0
+      b = .not. a
+      c = b .or. .true.
+      write(*,*) a, b, c
+      end
+|}
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_do_loop_semantics () =
+  check_output "trip count and final value" [ "10 6" ]
+    {|
+      program t
+      integer i, s
+      s = 0
+      do i = 1, 5
+        s = s + i - 1
+      end do
+      write(*,*) s, i
+      end
+|}
+
+let test_do_step () =
+  check_output "negative step" [ "9 7 5 3 1" ]
+    {|
+      program t
+      integer i
+      write(*,*) 9, 7, 5, 3, 1
+      end
+|};
+  check_output "descending accumulation" [ "25" ]
+    {|
+      program t
+      integer i, s
+      s = 0
+      do i = 9, 1, -2
+        s = s + i
+      end do
+      write(*,*) s
+      end
+|}
+
+let test_zero_trip_loop () =
+  check_output "zero-trip" [ "0" ]
+    {|
+      program t
+      integer i, s
+      s = 0
+      do i = 5, 1
+        s = s + 1
+      end do
+      write(*,*) s
+      end
+|}
+
+let test_goto_backward_loop () =
+  check_output "goto loop" [ "5" ]
+    {|
+      program t
+      integer i
+      i = 0
+ 100  continue
+      i = i + 1
+      if (i .lt. 5) goto 100
+      write(*,*) i
+      end
+|}
+
+let test_goto_out_of_loop () =
+  check_output "jump out of DO" [ "3" ]
+    {|
+      program t
+      integer i
+      do i = 1, 100
+        if (i .eq. 3) goto 200
+      end do
+ 200  continue
+      write(*,*) i
+      end
+|}
+
+let test_if_chain_execution () =
+  check_output "else-if chain" [ "mid" ]
+    {|
+      program t
+      integer i
+      i = 5
+      if (i .lt. 3) then
+        write(*,*) 'low'
+      else if (i .lt. 8) then
+        write(*,*) 'mid'
+      else
+        write(*,*) 'high'
+      end if
+      end
+|}
+
+let test_data_statement () =
+  check_output "data init" [ "1.5 0 7 7 7" ]
+    {|
+      program t
+      real x
+      real w(3)
+      integer k
+      data x /1.5/
+      data k /0/
+      data w /3*7.0/
+      write(*,*) x, k, w(1), w(2), w(3)
+      end
+|}
+
+let test_read_statement () =
+  let m =
+    run ~input:[ 4.0; 5.5 ]
+      {|
+      program t
+      real a, b
+      read(*,*) a, b
+      write(*,*) a + b
+      end
+|}
+  in
+  Alcotest.(check (list string)) "read consumed" [ "9.5" ] (out m)
+
+let test_stop () =
+  check_output "stop halts" [ "before" ]
+    {|
+      program t
+      write(*,*) 'before'
+      stop
+      write(*,*) 'after'
+      end
+|}
+
+let test_shared_label_nest_executes () =
+  check_output "shared terminal label" [ "12" ]
+    {|
+      program t
+      integer i, j, s
+      s = 0
+      do 10 i = 1, 3
+        do 10 j = 1, 4
+          s = s + 1
+ 10   continue
+      write(*,*) s
+      end
+|}
+
+let test_uninitialized_variable_error () =
+  Alcotest.(check bool) "error on unset read" true
+    (match run "      program t\n      real x, y\n      y = x + 1.0\n      end\n" with
+    | exception I.Machine.Runtime_error _ -> true
+    | _ -> false)
+
+let test_out_of_bounds_error () =
+  Alcotest.(check bool) "bounds checked" true
+    (match
+       run
+         "      program t\n      real a(3)\n      a(4) = 1.0\n      end\n"
+     with
+    | exception I.Machine.Runtime_error _ -> true
+    | _ -> false)
+
+let test_flops_counted () =
+  let m =
+    run
+      {|
+      program t
+      real x
+      integer i
+      x = 0.0
+      do i = 1, 10
+        x = x + 1.5
+      end do
+      end
+|}
+  in
+  Alcotest.(check bool) "flops counted" true (I.Machine.flops m >= 10.0)
+
+let suite =
+  [
+    ("array column-major", `Quick, test_array_column_major);
+    ("array custom bounds", `Quick, test_array_custom_bounds);
+    QCheck_alcotest.to_alcotest prop_linear_index_bijective;
+    ("integer arithmetic", `Quick, test_integer_arithmetic);
+    ("mixed arithmetic", `Quick, test_mixed_arithmetic);
+    ("power", `Quick, test_power);
+    ("intrinsics", `Quick, test_intrinsics);
+    ("sign/float", `Quick, test_sign_and_float);
+    ("implicit typing", `Quick, test_implicit_typing);
+    ("logical ops", `Quick, test_logical_ops);
+    ("do loop semantics", `Quick, test_do_loop_semantics);
+    ("do step", `Quick, test_do_step);
+    ("zero-trip loop", `Quick, test_zero_trip_loop);
+    ("goto backward loop", `Quick, test_goto_backward_loop);
+    ("goto out of loop", `Quick, test_goto_out_of_loop);
+    ("if chain", `Quick, test_if_chain_execution);
+    ("data statement", `Quick, test_data_statement);
+    ("read statement", `Quick, test_read_statement);
+    ("stop", `Quick, test_stop);
+    ("shared label nest", `Quick, test_shared_label_nest_executes);
+    ("uninitialized variable", `Quick, test_uninitialized_variable_error);
+    ("out of bounds", `Quick, test_out_of_bounds_error);
+    ("flops counted", `Quick, test_flops_counted);
+  ]

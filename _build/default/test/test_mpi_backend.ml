@@ -1,0 +1,204 @@
+(** Tests for the Fortran 77 + MPI source backend: the emitted program
+    must re-parse with our own frontend, contain the expected generated
+    machinery, and reproduce the balanced block-bound formulas. *)
+
+open Autocfd_fortran
+module D = Autocfd.Driver
+
+let heat_src =
+  {|
+c$acfd grid(m, n)
+c$acfd status(u, w)
+      program heat
+      parameter (m = 20, n = 12)
+      real u(m, n), w(m, n)
+      real errmax
+      integer i, j, it
+      do i = 1, m
+        do j = 1, n
+          u(i, j) = float(i)
+        end do
+      end do
+      do it = 1, 10
+        do i = 2, m - 1
+          do j = 2, n - 1
+            w(i, j) = 0.25 * (u(i-1,j) + u(i+1,j) + u(i,j-1) + u(i,j+1))
+          end do
+        end do
+        errmax = 0.0
+        do i = 2, m - 1
+          do j = 2, n - 1
+            errmax = max(errmax, abs(w(i, j) - u(i, j)))
+            u(i, j) = w(i, j)
+          end do
+        end do
+        if (errmax .lt. 1.0e-6) goto 100
+      end do
+ 100  continue
+      write(*,*) it, errmax
+      end
+|}
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let emit parts =
+  let t = D.load heat_src in
+  let plan = D.plan t ~parts in
+  D.mpi_source plan
+
+let test_emitted_reparses () =
+  let text = emit [| 2; 2 |] in
+  match Parser.parse text with
+  | p ->
+      (* main + acfdini + one subroutine per sync point *)
+      Alcotest.(check bool) "several units" true
+        (List.length p.Ast.p_units >= 3);
+      Alcotest.(check bool) "has main" true
+        (List.exists (fun u -> u.Ast.u_kind = Ast.Main) p.Ast.p_units);
+      Alcotest.(check bool) "has acfdini" true
+        (List.exists (fun u -> u.Ast.u_name = "acfdini") p.Ast.p_units)
+  | exception Loc.Error (loc, msg) ->
+      Alcotest.failf "emitted MPI source does not re-parse at %a: %s\n%s"
+        Loc.pp loc msg text
+
+let test_emitted_machinery () =
+  let text = emit [| 2; 2 |] in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true
+        (contains text needle))
+    [
+      "call mpi_init(acfder)";
+      "call mpi_finalize(acfder)";
+      "call mpi_comm_rank(mpi_comm_world, acfdrk, acfder)";
+      "call mpi_comm_size(mpi_comm_world, acfdnp, acfder)";
+      "call mpi_allreduce(acfdt1, errmax, 1, mpi_real8, mpi_max,";
+      "call mpi_send(acfdbf, acfdn, mpi_real8, acfdnb,";
+      "call mpi_recv(acfdbf, acfdn, mpi_real8, acfdnb,";
+      "subroutine acfdini";
+      "subroutine acfdx1";
+      "if (acfdrk .eq. 0) then";  (* guarded output *)
+      "max(2, acfdl0)";  (* clipped loop bounds *)
+    ]
+
+let test_no_internal_constructs_remain () =
+  let text = emit [| 2; 2 |] in
+  Alcotest.(check bool) "no acfd_exchange placeholder" false
+    (contains text "acfd_exchange");
+  Alcotest.(check bool) "no pipeline placeholder" false
+    (contains text "acfd_pipe_")
+
+let test_block_bound_formulas () =
+  (* grid 20 x 12, 3 x 2: dimension 0 splits 7/7/6, so the emitted init
+     uses base 6 rem 2 *)
+  let text = emit [| 3; 2 |] in
+  Alcotest.(check bool) "lo formula" true
+    (contains text "acfdl0 = acfdc0 * 6 + min(acfdc0, 2) + 1");
+  Alcotest.(check bool) "remainder adjust" true
+    (contains text "if (acfdc0 .lt. 2) acfdh0 = acfdh0 + 1")
+
+let test_pipeline_program_emits_pipe_subs () =
+  let gs =
+    {|
+c$acfd grid(m, n)
+c$acfd status(v)
+      program gs
+      parameter (m = 16, n = 12)
+      real v(m, n)
+      integer i, j, it
+      do i = 1, m
+        do j = 1, n
+          v(i, j) = float(i + j)
+        end do
+      end do
+      do it = 1, 5
+        do i = 2, m - 1
+          do j = 2, n - 1
+            v(i,j) = 0.25 * (v(i-1,j) + v(i+1,j) + v(i,j-1) + v(i,j+1))
+          end do
+        end do
+      end do
+      write(*,*) v(2, 2)
+      end
+|}
+  in
+  let t = D.load gs in
+  let plan = D.plan t ~parts:[| 2; 2 |] in
+  let text = D.mpi_source plan in
+  Alcotest.(check bool) "pipeline wait subroutine" true
+    (contains text "subroutine acfdp");
+  Alcotest.(check bool) "pipeline comment" true
+    (contains text "mirror-image pipeline");
+  (match Parser.parse text with
+  | _ -> ()
+  | exception Loc.Error (loc, msg) ->
+      Alcotest.failf "pipelined MPI source does not re-parse at %a: %s"
+        Loc.pp loc msg)
+
+let test_serial_program_emits_gather () =
+  let diag =
+    {|
+c$acfd grid(m, n)
+c$acfd status(v)
+      program diag
+      parameter (m = 14, n = 10)
+      real v(m, n)
+      integer i, j
+      do i = 1, m
+        do j = 1, n
+          v(i, j) = float(i)
+        end do
+      end do
+      do j = 2, n - 1
+        do i = 2, m - 1
+          v(i,j) = 0.5 * (v(i, j-1) + v(i+1, j-1))
+        end do
+      end do
+      write(*,*) v(2, 2)
+      end
+|}
+  in
+  let t = D.load diag in
+  let plan = D.plan t ~parts:[| 2; 1 |] in
+  let text = D.mpi_source plan in
+  Alcotest.(check bool) "gather subroutine emitted" true
+    (contains text "subroutine acfdg");
+  Alcotest.(check bool) "uses mpi_bcast for owner regions" true
+    (contains text "call mpi_bcast(acfdbf, acfdn, mpi_real8, acfdr,");
+  match Parser.parse text with
+  | _ -> ()
+  | exception Loc.Error (loc, msg) ->
+      Alcotest.failf "gather MPI source does not re-parse at %a: %s" Loc.pp
+        loc msg
+
+let test_case_studies_emit_and_reparse () =
+  List.iter
+    (fun (src, parts) ->
+      let t = D.load src in
+      let plan = D.plan t ~parts in
+      let text = D.mpi_source plan in
+      match Parser.parse text with
+      | p ->
+          Alcotest.(check bool) "has generated subroutines" true
+            (List.length p.Ast.p_units > 2)
+      | exception Loc.Error (loc, msg) ->
+          Alcotest.failf "case study MPI source fails to re-parse at %a: %s"
+            Loc.pp loc msg)
+    [
+      (Autocfd_apps.Sprayer.source ~ni:40 ~nj:20 (), [| 2; 2 |]);
+      (Autocfd_apps.Aerofoil.source ~ni:16 ~nj:10 ~nk:6 (), [| 2; 2; 1 |]);
+    ]
+
+let suite =
+  [
+    ("emitted source re-parses", `Quick, test_emitted_reparses);
+    ("emitted machinery", `Quick, test_emitted_machinery);
+    ("no internal constructs remain", `Quick, test_no_internal_constructs_remain);
+    ("block bound formulas", `Quick, test_block_bound_formulas);
+    ("pipeline subs", `Quick, test_pipeline_program_emits_pipe_subs);
+    ("serial gather sub", `Quick, test_serial_program_emits_gather);
+    ("case studies emit + reparse", `Quick, test_case_studies_emit_and_reparse);
+  ]

@@ -1,0 +1,295 @@
+(** Tests for the simulated message-passing cluster: point-to-point
+    semantics, collectives, virtual time, determinism and deadlock
+    detection. *)
+
+open Autocfd_mpsim
+
+let run ?(net = Netmodel.fast) ~nranks body = Sim.run ~net ~nranks body
+
+let test_send_recv () =
+  let received = ref [] in
+  let _ =
+    run ~nranks:2 (fun c ->
+        if Sim.rank c = 0 then Sim.send c ~dest:1 ~tag:5 [| 1.0; 2.0; 3.0 |]
+        else received := Array.to_list (Sim.recv c ~src:0 ~tag:5))
+  in
+  Alcotest.(check (list (float 0.0))) "payload" [ 1.0; 2.0; 3.0 ] !received
+
+let test_fifo_order () =
+  let got = ref [] in
+  let _ =
+    run ~nranks:2 (fun c ->
+        if Sim.rank c = 0 then
+          for i = 1 to 5 do
+            Sim.send c ~dest:1 ~tag:0 [| float_of_int i |]
+          done
+        else
+          for _ = 1 to 5 do
+            got := (Sim.recv c ~src:0 ~tag:0).(0) :: !got
+          done)
+  in
+  Alcotest.(check (list (float 0.0))) "fifo" [ 1.; 2.; 3.; 4.; 5. ]
+    (List.rev !got)
+
+let test_tags_independent () =
+  let a = ref 0.0 and b = ref 0.0 in
+  let _ =
+    run ~nranks:2 (fun c ->
+        if Sim.rank c = 0 then begin
+          Sim.send c ~dest:1 ~tag:1 [| 10.0 |];
+          Sim.send c ~dest:1 ~tag:2 [| 20.0 |]
+        end
+        else begin
+          (* receive in the opposite tag order *)
+          b := (Sim.recv c ~src:0 ~tag:2).(0);
+          a := (Sim.recv c ~src:0 ~tag:1).(0)
+        end)
+  in
+  Alcotest.(check (float 0.0)) "tag 1" 10.0 !a;
+  Alcotest.(check (float 0.0)) "tag 2" 20.0 !b
+
+let test_send_copies_payload () =
+  let got = ref 0.0 in
+  let _ =
+    run ~nranks:2 (fun c ->
+        if Sim.rank c = 0 then begin
+          let buf = [| 1.0 |] in
+          Sim.send c ~dest:1 ~tag:0 buf;
+          buf.(0) <- 99.0 (* must not affect the message *)
+        end
+        else got := (Sim.recv c ~src:0 ~tag:0).(0))
+  in
+  Alcotest.(check (float 0.0)) "copied" 1.0 !got
+
+let test_allreduce_ops () =
+  let results = Array.make 3 0.0 in
+  let _ =
+    run ~nranks:3 (fun c ->
+        let v = float_of_int (Sim.rank c + 1) in
+        results.(Sim.rank c) <- Sim.allreduce c `Sum v)
+  in
+  Array.iter (fun r -> Alcotest.(check (float 1e-9)) "sum" 6.0 r) results;
+  let maxes = Array.make 3 0.0 in
+  let _ =
+    run ~nranks:3 (fun c ->
+        maxes.(Sim.rank c) <- Sim.allreduce c `Max (float_of_int (Sim.rank c)))
+  in
+  Array.iter (fun r -> Alcotest.(check (float 0.0)) "max" 2.0 r) maxes;
+  let mins = Array.make 3 0.0 in
+  let _ =
+    run ~nranks:3 (fun c ->
+        mins.(Sim.rank c) <- Sim.allreduce c `Min (float_of_int (Sim.rank c)))
+  in
+  Array.iter (fun r -> Alcotest.(check (float 0.0)) "min" 0.0 r) mins
+
+let test_bcast () =
+  let got = Array.make 4 [||] in
+  let _ =
+    run ~nranks:4 (fun c ->
+        let data = if Sim.rank c = 0 then [| 7.0; 8.0 |] else [||] in
+        got.(Sim.rank c) <- Sim.bcast c ~root:0 data)
+  in
+  Array.iter
+    (fun d -> Alcotest.(check bool) "bcast data" true (d = [| 7.0; 8.0 |]))
+    got
+
+let test_barrier_synchronizes_time () =
+  let stats =
+    run ~net:Netmodel.fast ~nranks:3 (fun c ->
+        Sim.advance c (float_of_int (Sim.rank c + 1));
+        Sim.barrier c)
+  in
+  (* all ranks leave the barrier at the same time >= max advance *)
+  Array.iter
+    (fun t -> Alcotest.(check bool) "time >= 3" true (t >= 3.0))
+    stats.Sim.rank_times;
+  let t0 = stats.Sim.rank_times.(0) in
+  Array.iter
+    (fun t -> Alcotest.(check (float 1e-12)) "same exit time" t0 t)
+    stats.Sim.rank_times
+
+let test_message_advances_receiver_clock () =
+  let net = Netmodel.ethernet_100 in
+  let stats =
+    run ~net ~nranks:2 (fun c ->
+        if Sim.rank c = 0 then begin
+          Sim.advance c 1.0;
+          Sim.send c ~dest:1 ~tag:0 (Array.make 1000 0.0)
+        end
+        else ignore (Sim.recv c ~src:0 ~tag:0))
+  in
+  (* the receiver cannot finish before the message arrival *)
+  Alcotest.(check bool) "receiver waited" true
+    (stats.Sim.rank_times.(1) > 1.0)
+
+let test_stats_counts () =
+  let stats =
+    run ~nranks:2 (fun c ->
+        if Sim.rank c = 0 then begin
+          Sim.send c ~dest:1 ~tag:0 (Array.make 10 0.0);
+          Sim.send c ~dest:1 ~tag:0 (Array.make 5 0.0)
+        end
+        else begin
+          ignore (Sim.recv c ~src:0 ~tag:0);
+          ignore (Sim.recv c ~src:0 ~tag:0)
+        end;
+        ignore (Sim.allreduce c `Sum 1.0))
+  in
+  Alcotest.(check int) "messages" 2 stats.Sim.messages;
+  Alcotest.(check int) "bytes" (8 * 15) stats.Sim.bytes;
+  Alcotest.(check int) "collectives" 1 stats.Sim.collectives
+
+let test_deadlock_detection () =
+  Alcotest.(check bool) "recv with no sender deadlocks" true
+    (match
+       run ~nranks:2 (fun c ->
+           if Sim.rank c = 1 then ignore (Sim.recv c ~src:0 ~tag:9))
+     with
+    | exception Sim.Deadlock _ -> true
+    | _ -> false)
+
+let test_collective_mismatch_detected () =
+  Alcotest.(check bool) "barrier vs done" true
+    (match
+       run ~nranks:2 (fun c -> if Sim.rank c = 0 then Sim.barrier c)
+     with
+    | exception Sim.Deadlock _ -> true
+    | _ -> false)
+
+let test_rank_failure_propagates () =
+  Alcotest.(check bool) "exception wrapped" true
+    (match
+       run ~nranks:2 (fun c -> if Sim.rank c = 1 then failwith "boom")
+     with
+    | exception Sim.Rank_failure (1, Failure _) -> true
+    | _ -> false)
+
+let test_determinism () =
+  let trace () =
+    let events = ref [] in
+    let _ =
+      run ~nranks:4 (fun c ->
+          let r = Sim.rank c in
+          let right = (r + 1) mod 4 and left = (r + 3) mod 4 in
+          Sim.send c ~dest:right ~tag:0 [| float_of_int r |];
+          let v = (Sim.recv c ~src:left ~tag:0).(0) in
+          events := (r, v) :: !events;
+          ignore (Sim.allreduce c `Sum v))
+    in
+    !events
+  in
+  Alcotest.(check bool) "identical traces" true (trace () = trace ())
+
+let test_pipeline_pattern () =
+  (* ranks forward a token in order: exercises blocked chains *)
+  let order = ref [] in
+  let _ =
+    run ~nranks:5 (fun c ->
+        let r = Sim.rank c in
+        let v =
+          if r = 0 then 1.0
+          else (Sim.recv c ~src:(r - 1) ~tag:3).(0) +. 1.0
+        in
+        order := (r, v) :: !order;
+        if r < 4 then Sim.send c ~dest:(r + 1) ~tag:3 [| v |])
+  in
+  Alcotest.(check (list (pair int (float 0.0))))
+    "token increments through the pipeline"
+    [ (0, 1.); (1, 2.); (2, 3.); (3, 4.); (4, 5.) ]
+    (List.rev !order)
+
+let test_nonblocking_roundtrip () =
+  let got = ref [||] in
+  let _ =
+    run ~nranks:2 (fun c ->
+        if Sim.rank c = 0 then begin
+          let r = Sim.isend c ~dest:1 ~tag:4 [| 3.0; 4.0 |] in
+          Alcotest.(check bool) "isend completes" true (Sim.wait c r = [||])
+        end
+        else begin
+          let r = Sim.irecv c ~src:0 ~tag:4 in
+          got := Sim.wait c r
+        end)
+  in
+  Alcotest.(check bool) "payload" true (!got = [| 3.0; 4.0 |])
+
+let test_wait_twice_rejected () =
+  Alcotest.(check bool) "double wait" true
+    (match
+       run ~nranks:2 (fun c ->
+           if Sim.rank c = 0 then Sim.send c ~dest:1 ~tag:0 [| 1.0 |]
+           else begin
+             let r = Sim.irecv c ~src:0 ~tag:0 in
+             ignore (Sim.wait c r);
+             ignore (Sim.wait c r)
+           end)
+     with
+    | exception Sim.Rank_failure (1, Invalid_argument _) -> true
+    | _ -> false)
+
+let test_irecv_overlaps_compute () =
+  (* computation issued between irecv and wait overlaps the message
+     flight on the virtual clock *)
+  let net =
+    { Netmodel.latency = 1.0; bandwidth = infinity; send_overhead = 0.;
+      recv_overhead = 0. }
+  in
+  let blocking = ref 0.0 and overlapped = ref 0.0 in
+  let _ =
+    run ~net ~nranks:2 (fun c ->
+        if Sim.rank c = 0 then Sim.send c ~dest:1 ~tag:0 [| 1.0 |]
+        else begin
+          ignore (Sim.recv c ~src:0 ~tag:0);
+          Sim.advance c 1.0;
+          blocking := Sim.time c
+        end)
+  in
+  let _ =
+    run ~net ~nranks:2 (fun c ->
+        if Sim.rank c = 0 then Sim.send c ~dest:1 ~tag:0 [| 1.0 |]
+        else begin
+          let r = Sim.irecv c ~src:0 ~tag:0 in
+          Sim.advance c 1.0;
+          ignore (Sim.wait c r);
+          overlapped := Sim.time c
+        end)
+  in
+  (* blocking: wait 1s for the message then compute 1s = 2s;
+     overlapped: compute during the flight = 1s *)
+  Alcotest.(check bool) "overlap saves time" true (!overlapped < !blocking)
+
+let test_sendrecv () =
+  let ok = ref true in
+  let _ =
+    run ~nranks:2 (fun c ->
+        let r = Sim.rank c in
+        let peer = 1 - r in
+        let got =
+          Sim.sendrecv c ~dest:peer ~send_tag:9 [| float_of_int r |] ~src:peer
+            ~recv_tag:9
+        in
+        if got <> [| float_of_int peer |] then ok := false)
+  in
+  Alcotest.(check bool) "pairwise swap" true !ok
+
+let suite =
+  [
+    ("send/recv", `Quick, test_send_recv);
+    ("fifo order", `Quick, test_fifo_order);
+    ("tags independent", `Quick, test_tags_independent);
+    ("send copies payload", `Quick, test_send_copies_payload);
+    ("allreduce ops", `Quick, test_allreduce_ops);
+    ("bcast", `Quick, test_bcast);
+    ("barrier time", `Quick, test_barrier_synchronizes_time);
+    ("message arrival time", `Quick, test_message_advances_receiver_clock);
+    ("stats counts", `Quick, test_stats_counts);
+    ("deadlock detection", `Quick, test_deadlock_detection);
+    ("collective mismatch", `Quick, test_collective_mismatch_detected);
+    ("rank failure", `Quick, test_rank_failure_propagates);
+    ("determinism", `Quick, test_determinism);
+    ("pipeline pattern", `Quick, test_pipeline_pattern);
+    ("nonblocking roundtrip", `Quick, test_nonblocking_roundtrip);
+    ("wait twice rejected", `Quick, test_wait_twice_rejected);
+    ("irecv overlaps compute", `Quick, test_irecv_overlaps_compute);
+    ("sendrecv", `Quick, test_sendrecv);
+  ]

@@ -1,0 +1,558 @@
+(** Tests for synchronization optimization (paper §5): block layout,
+    upper-bound region generation with loop hoisting (Fig. 5) and branch
+    rules (Fig. 7), interprocedural combining (Fig. 8), and the optimal
+    vs first-fit combining strategies (Fig. 6) — including a qcheck
+    cross-check of the greedy against brute-force minimal stabbing. *)
+
+open Autocfd_fortran
+module A = Autocfd_analysis
+module P = Autocfd_partition
+module S = Autocfd_syncopt
+
+let pipeline src parts =
+  let p = Parser.parse src in
+  let gi = A.Grid_info.of_program p in
+  let u = Inline.program p in
+  let loops = A.Loops.build u in
+  let summaries = A.Field_loop.analyze_unit gi u in
+  let topo = P.Topology.create ~grid:gi.A.Grid_info.grid ~parts in
+  let sldp = A.Sldp.compute gi topo loops summaries in
+  let layout = S.Layout.of_unit u in
+  (u, sldp, layout)
+
+let optimize ?combine src parts =
+  let _, sldp, layout = pipeline src parts in
+  S.Optimizer.run ?combine sldp ~layout
+
+(* ------------------------------------------------------------------ *)
+(* Layout                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_layout_structure () =
+  let u =
+    Ast.main_unit
+      (Parser.parse
+         {|
+      program t
+      integer i
+      real x
+      x = 0.0
+      do i = 1, 3
+        if (x .lt. 1.0) then
+          x = x + 1.0
+        else
+          x = x - 1.0
+        end if
+      end do
+      end
+|})
+  in
+  let l = S.Layout.of_unit u in
+  (* top block + loop body + 2 branch blocks *)
+  Alcotest.(check int) "four blocks" 4 (S.Layout.nblocks l);
+  Alcotest.(check bool) "top owner" true (S.Layout.owner l 0 = S.Layout.Top);
+  Alcotest.(check int) "top has 2 statements" 2
+    (Array.length (S.Layout.stmts l 0));
+  (* slot clocks strictly increase within a block *)
+  for b = 0 to S.Layout.nblocks l - 1 do
+    let n = Array.length (S.Layout.stmts l b) in
+    for i = 0 to n - 1 do
+      Alcotest.(check bool) "clock monotone" true
+        (S.Layout.slot_clock l b i < S.Layout.slot_clock l b (i + 1))
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Region generation: hoisting (Fig. 5)                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_region_hoists_out_of_reader_free_loops () =
+  (* The A-loop is nested inside two loops that contain no R-type loop:
+     the starting point hoists to the top level (Fig. 5(a)). *)
+  let src =
+    {|
+c$acfd grid(m)
+c$acfd status(u, w)
+      program t
+      parameter (m = 16)
+      real u(m), w(m)
+      integer i, r, s
+      do r = 1, 3
+        do s = 1, 3
+          do i = 1, m
+            u(i) = float(r + s + i)
+          end do
+        end do
+      end do
+      do i = 2, m - 1
+        w(i) = u(i-1) + u(i+1)
+      end do
+      end
+|}
+  in
+  let _, sldp, layout = pipeline src [| 2 |] in
+  let regions =
+    S.Region.generate sldp ~layout (A.Sldp.eliminate_redundant sldp)
+  in
+  match regions with
+  | [ r ] ->
+      (* hoisted to the top-level block (block 0) *)
+      Alcotest.(check int) "top-level block" 0 r.S.Region.rg_block;
+      (* legal span: after the r-loop (index 0) and before the reader
+         (index 1): exactly slot 1 *)
+      Alcotest.(check int) "first slot" 1 r.S.Region.rg_first;
+      Alcotest.(check int) "last slot" 1 r.S.Region.rg_last
+  | rs -> Alcotest.failf "expected 1 region, got %d" (List.length rs)
+
+let test_region_stays_when_reader_inside_loop () =
+  (* A-loop and R-loop inside the same time loop: the region must stay
+     inside the loop body. *)
+  let src =
+    {|
+c$acfd grid(m)
+c$acfd status(u, w)
+      program t
+      parameter (m = 16)
+      real u(m), w(m)
+      integer i, it
+      do it = 1, 3
+        do i = 1, m
+          u(i) = float(i + it)
+        end do
+        do i = 2, m - 1
+          w(i) = u(i-1) + u(i+1)
+        end do
+      end do
+      end
+|}
+  in
+  let _, sldp, layout = pipeline src [| 2 |] in
+  let regions =
+    S.Region.generate sldp ~layout (A.Sldp.eliminate_redundant sldp)
+  in
+  Alcotest.(check bool) "at least one region" true (regions <> []);
+  List.iter
+    (fun r ->
+      match S.Layout.owner layout r.S.Region.rg_block with
+      | S.Layout.Loop_body _ -> ()
+      | _ -> Alcotest.fail "region escaped the carrying loop")
+    regions
+
+let test_region_ends_before_goto () =
+  (* §5.2 rule 1: the region ends before a goto *)
+  let src =
+    {|
+c$acfd grid(m)
+c$acfd status(u, w)
+      program t
+      parameter (m = 16)
+      real u(m), w(m)
+      real x
+      integer i
+      do i = 1, m
+        u(i) = float(i)
+      end do
+      x = 1.0
+      if (x .gt. 0.0) goto 300
+      x = 2.0
+ 300  continue
+      do i = 2, m - 1
+        w(i) = u(i-1)
+      end do
+      end
+|}
+  in
+  let _, sldp, layout = pipeline src [| 2 |] in
+  let regions =
+    S.Region.generate sldp ~layout (A.Sldp.eliminate_redundant sldp)
+  in
+  match regions with
+  | [ r ] ->
+      (* statements in the top block: u-loop(0), x=1(1), if-goto(2),
+         x=2... wait x=2 is inside?  the logical IF holds the goto; the
+         region is [1..2]: it must not extend past the goto statement *)
+      Alcotest.(check int) "ends at the goto statement" 2 r.S.Region.rg_last
+  | rs -> Alcotest.failf "expected 1 region, got %d" (List.length rs)
+
+let test_region_branch_rules () =
+  (* §5.2 rule 2: an if-else containing an R-type loop ends the region
+     before the branch *)
+  let src =
+    {|
+c$acfd grid(m)
+c$acfd status(u, w)
+      program t
+      parameter (m = 16)
+      real u(m), w(m)
+      real x
+      integer i
+      do i = 1, m
+        u(i) = float(i)
+      end do
+      x = 1.0
+      if (x .gt. 0.0) then
+        do i = 2, m - 1
+          w(i) = u(i-1)
+        end do
+      end if
+      x = 2.0
+      end
+|}
+  in
+  let _, sldp, layout = pipeline src [| 2 |] in
+  let regions =
+    S.Region.generate sldp ~layout (A.Sldp.eliminate_redundant sldp)
+  in
+  match regions with
+  | [ r ] ->
+      (* stops before the IF (statement index 2 in the top block) *)
+      Alcotest.(check int) "ends before the branch" 2 r.S.Region.rg_last;
+      Alcotest.(check int) "starts after the A-loop" 1 r.S.Region.rg_first
+  | rs -> Alcotest.failf "expected 1 region, got %d" (List.length rs)
+
+let test_region_hoists_out_of_branch () =
+  (* §5.2 rule 3 / Fig. 7(e): an A-loop inside a branch can hoist out
+     when no R-type loop shares the branch *)
+  let src =
+    {|
+c$acfd grid(m)
+c$acfd status(u, w)
+      program t
+      parameter (m = 16)
+      real u(m), w(m)
+      real x
+      integer i
+      x = 1.0
+      if (x .gt. 0.0) then
+        do i = 1, m
+          u(i) = float(i)
+        end do
+      else
+        do i = 1, m
+          u(i) = 0.0
+        end do
+      end if
+      do i = 2, m - 1
+        w(i) = u(i-1)
+      end do
+      end
+|}
+  in
+  let _, sldp, layout = pipeline src [| 2 |] in
+  let regions =
+    S.Region.generate sldp ~layout (A.Sldp.eliminate_redundant sldp)
+  in
+  Alcotest.(check bool) "regions exist" true (regions <> []);
+  List.iter
+    (fun r ->
+      Alcotest.(check int) "hoisted to top" 0 r.S.Region.rg_block)
+    regions
+
+(* ------------------------------------------------------------------ *)
+(* Combining (Fig. 6)                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_combining_merges_overlaps () =
+  (* three independent A-loops followed by three R-loops: all six pairs'
+     regions overlap between the last writer and first reader *)
+  let src =
+    {|
+c$acfd grid(m)
+c$acfd status(a, b, c, w)
+      program t
+      parameter (m = 16)
+      real a(m), b(m), c(m), w(m)
+      integer i
+      do i = 1, m
+        a(i) = 1.0
+      end do
+      do i = 1, m
+        b(i) = 2.0
+      end do
+      do i = 1, m
+        c(i) = 3.0
+      end do
+      do i = 2, m - 1
+        w(i) = a(i-1) + b(i-1) + c(i-1)
+      end do
+      end
+|}
+  in
+  let r = optimize src [| 2 |] in
+  Alcotest.(check int) "three pairs before" 3 r.S.Optimizer.before;
+  Alcotest.(check int) "one combined point" 1 r.S.Optimizer.after;
+  (match r.S.Optimizer.groups with
+  | [ g ] ->
+      Alcotest.(check int) "three regions merged" 3
+        (List.length g.S.Combine.gr_regions);
+      let arrays =
+        List.sort_uniq compare
+          (List.map (fun t -> t.Ast.xfer_array) g.S.Combine.gr_transfers)
+      in
+      Alcotest.(check (list string)) "all three arrays aggregated"
+        [ "a"; "b"; "c" ] arrays
+  | _ -> Alcotest.fail "expected one group")
+
+let test_minimum_stabbing () =
+  Alcotest.(check int) "disjoint" 3
+    (S.Combine.minimum_stabbing_count [ (0, 1); (2, 3); (4, 5) ]);
+  Alcotest.(check int) "nested" 1
+    (S.Combine.minimum_stabbing_count [ (0, 10); (2, 8); (4, 6) ]);
+  Alcotest.(check int) "fig 6 shape" 2
+    (S.Combine.minimum_stabbing_count
+       [ (0, 3); (1, 4); (2, 5); (6, 9); (7, 10); (8, 11) ])
+
+let prop_greedy_is_minimal =
+  (* brute force over all candidate point sets on small instances *)
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 6)
+        (let* lo = int_range 0 12 in
+         let* len = int_range 0 5 in
+         return (lo, lo + len)))
+  in
+  QCheck.Test.make ~count:200 ~name:"greedy stabbing count is minimal"
+    (QCheck.make
+       ~print:(fun l ->
+         String.concat ";"
+           (List.map (fun (a, b) -> Printf.sprintf "[%d,%d]" a b) l))
+       gen)
+    (fun intervals ->
+      let greedy = S.Combine.minimum_stabbing_count intervals in
+      (* brute force: try all subsets of candidate points (interval
+         endpoints suffice) of size < greedy *)
+      let points =
+        List.sort_uniq compare
+          (List.concat_map (fun (a, b) -> [ a; b ]) intervals)
+      in
+      let covers pts =
+        List.for_all
+          (fun (a, b) -> List.exists (fun p -> a <= p && p <= b) pts)
+          intervals
+      in
+      let rec subsets k = function
+        | [] -> if k = 0 then [ [] ] else []
+        | x :: rest ->
+            if k = 0 then [ [] ]
+            else
+              List.map (fun s -> x :: s) (subsets (k - 1) rest)
+              @ subsets k rest
+      in
+      let beatable =
+        greedy > 0
+        && List.exists covers (subsets (greedy - 1) points)
+      in
+      covers points && not beatable)
+
+let test_interprocedural_fig8 () =
+  (* main calls a twice and b once; all three writer instances combine
+     into one synchronization before the reader *)
+  let src =
+    {|
+c$acfd grid(m)
+c$acfd status(u, w)
+      program t
+      parameter (m = 16)
+      real u(m), w(m)
+      common /f/ u, w
+      integer i
+      do i = 1, m
+        u(i) = float(i)
+      end do
+      call a
+      call b
+      call a
+      do i = 2, m - 1
+        w(i) = u(i-1) + u(i+1)
+      end do
+      end
+
+      subroutine a
+      parameter (m = 16)
+      real u(m), w(m)
+      common /f/ u, w
+      integer i
+      do i = 2, m - 1
+        u(i) = u(i) * 1.5
+      end do
+      return
+      end
+
+      subroutine b
+      parameter (m = 16)
+      real u(m), w(m)
+      common /f/ u, w
+      integer i
+      do i = 2, m - 1
+        u(i) = u(i) + 1.0
+      end do
+      return
+      end
+|}
+  in
+  let r = optimize src [| 2 |] in
+  (* 4 writer instances (init + a + b + a) x 1 reader crossing = 4 pairs *)
+  Alcotest.(check int) "before counts each call site" 4 r.S.Optimizer.before;
+  Alcotest.(check int) "combined into one" 1 r.S.Optimizer.after
+
+let test_first_fit_never_better () =
+  (* on the real case studies first-fit can never beat optimal *)
+  List.iter
+    (fun (src, parts) ->
+      let opt = optimize src parts in
+      let ff = optimize ~combine:S.Optimizer.First_fit src parts in
+      Alcotest.(check bool) "optimal <= first-fit" true
+        (opt.S.Optimizer.after <= ff.S.Optimizer.after))
+    [
+      (Autocfd_apps.Sprayer.source ~ni:40 ~nj:20 (), [| 2; 2 |]);
+      (Autocfd_apps.Aerofoil.source ~ni:16 ~nj:10 ~nk:6 (), [| 2; 2; 1 |]);
+    ]
+
+let test_reduction_pct () =
+  let r = optimize (Autocfd_apps.Sprayer.source ~ni:40 ~nj:20 ()) [| 4; 1 |] in
+  let pct = S.Optimizer.reduction_pct r in
+  Alcotest.(check bool) "about 80-95% reduction" true
+    (pct > 0.7 && pct < 1.0)
+
+
+(* ------------------------------------------------------------------ *)
+(* Invariants over randomized programs                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* random multi-stage stencil programs: a few writer loops, reader loops
+   and boundary fixups in a time loop *)
+let gen_program =
+  QCheck.Gen.(
+    let* seed = int_range 1 999 in
+    let* stages = int_range 2 5 in
+    let* bc = bool in
+    let body =
+      List.init stages (fun k ->
+          let src = if k mod 2 = 0 then "a" else "b" in
+          let dst = if k mod 2 = 0 then "b" else "a" in
+          Printf.sprintf
+            {|        do i = 2, m - 1
+          do j = 2, n - 1
+            %s(i, j) = 0.3%d * (%s(i-1, j) + %s(i+1, j) + %s(i, j-1))
+          end do
+        end do|}
+            dst ((seed + k) mod 9) src src src)
+      |> String.concat "\n"
+    in
+    let bc_code =
+      if bc then
+        {|        do j = 1, n
+          a(1, j) = a(2, j)
+        end do|}
+      else ""
+    in
+    return
+      (Printf.sprintf
+         {|
+c$acfd grid(m, n)
+c$acfd status(a, b)
+      program rnd
+      parameter (m = 14, n = 12)
+      real a(m, n), b(m, n)
+      integer i, j, it
+      do i = 1, m
+        do j = 1, n
+          a(i, j) = float(i + j + %d)
+          b(i, j) = 0.0
+        end do
+      end do
+      do it = 1, 3
+%s
+%s
+      end do
+      write(*,*) a(3, 3)
+      end
+|}
+         seed bc_code body))
+
+let prop_region_group_invariants =
+  QCheck.Test.make ~count:60 ~name:"region/group invariants hold"
+    (QCheck.make ~print:Fun.id gen_program)
+    (fun src ->
+      let _, sldp, layout = pipeline src [| 2; 2 |] in
+      let surviving = A.Sldp.eliminate_redundant sldp in
+      let regions = S.Region.generate sldp ~layout surviving in
+      let ok_regions =
+        List.for_all
+          (fun r -> r.S.Region.rg_first <= r.S.Region.rg_last)
+          regions
+      in
+      let groups = S.Combine.optimal ~layout regions in
+      let ff = S.Combine.first_fit ~layout regions in
+      (* every region lands in exactly one group *)
+      let total_members =
+        List.fold_left
+          (fun acc g -> acc + List.length g.S.Combine.gr_regions)
+          0 groups
+      in
+      (* the chosen slot lies inside every member region, same block *)
+      let ok_slots =
+        List.for_all
+          (fun g ->
+            List.for_all
+              (fun r ->
+                r.S.Region.rg_block = g.S.Combine.gr_block
+                && g.S.Combine.gr_slot >= r.S.Region.rg_first
+                && g.S.Combine.gr_slot <= r.S.Region.rg_last)
+              g.S.Combine.gr_regions)
+          groups
+      in
+      ok_regions && ok_slots
+      && total_members = List.length regions
+      && List.length groups <= List.length regions
+      && List.length groups <= List.length ff)
+
+let prop_optimal_matches_stabbing =
+  QCheck.Test.make ~count:60
+    ~name:"optimal group count equals minimal interval stabbing"
+    (QCheck.make ~print:Fun.id gen_program)
+    (fun src ->
+      let _, sldp, layout = pipeline src [| 2; 1 |] in
+      let surviving = A.Sldp.eliminate_redundant sldp in
+      let regions = S.Region.generate sldp ~layout surviving in
+      let groups = S.Combine.optimal ~layout regions in
+      (* per block, the group count equals the minimal stabbing count *)
+      let blocks =
+        List.sort_uniq compare (List.map (fun r -> r.S.Region.rg_block) regions)
+      in
+      List.for_all
+        (fun b ->
+          let intervals =
+            List.filter_map
+              (fun r ->
+                if r.S.Region.rg_block = b then
+                  Some (r.S.Region.rg_first, r.S.Region.rg_last)
+                else None)
+              regions
+          in
+          let expected = S.Combine.minimum_stabbing_count intervals in
+          let got =
+            List.length
+              (List.filter (fun g -> g.S.Combine.gr_block = b) groups)
+          in
+          got = expected)
+        blocks)
+
+
+let suite =
+  [
+    ("layout structure", `Quick, test_layout_structure);
+    ("region hoists out of loops", `Quick, test_region_hoists_out_of_reader_free_loops);
+    ("region stays in carrying loop", `Quick, test_region_stays_when_reader_inside_loop);
+    ("region ends before goto", `Quick, test_region_ends_before_goto);
+    ("region branch rules", `Quick, test_region_branch_rules);
+    ("region hoists out of branch", `Quick, test_region_hoists_out_of_branch);
+    ("combining merges overlaps", `Quick, test_combining_merges_overlaps);
+    ("minimum stabbing", `Quick, test_minimum_stabbing);
+    QCheck_alcotest.to_alcotest prop_greedy_is_minimal;
+    QCheck_alcotest.to_alcotest prop_region_group_invariants;
+    QCheck_alcotest.to_alcotest prop_optimal_matches_stabbing;
+    ("interprocedural fig 8", `Quick, test_interprocedural_fig8);
+    ("first-fit never better", `Quick, test_first_fit_never_better);
+    ("reduction pct", `Quick, test_reduction_pct);
+  ]
