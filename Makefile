@@ -1,0 +1,28 @@
+# Convenience wrapper around dune; `make check` is the PR gate CI runs.
+
+.PHONY: all build test check bench bench-json trace clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+check: build test
+
+bench:
+	dune exec bench/main.exe -- tables
+
+bench-json:
+	dune exec bench/main.exe -- --json
+
+# profile the bundled example on 4 simulated ranks; load trace.json in
+# https://ui.perfetto.dev or chrome://tracing
+trace:
+	dune exec bin/autocfd_cli.exe -- trace examples/heat2d.f --parts 2x2 \
+	  --out trace.json --metrics metrics.json
+
+clean:
+	dune clean

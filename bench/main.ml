@@ -7,7 +7,10 @@
       bench/main.exe table1      one table
       bench/main.exe tables      all tables, no micro-benchmarks
       bench/main.exe micro       micro-benchmarks only
-      bench/main.exe ablation    optimal vs first-fit combining ablation *)
+      bench/main.exe ablation    optimal vs first-fit combining ablation
+      bench/main.exe --json      write BENCH_tables.json (tables 1-5 +
+                                 model validation, machine-readable, for
+                                 diffing the perf trajectory across PRs) *)
 
 module E = Autocfd.Experiments
 module D = Autocfd.Driver
@@ -184,6 +187,14 @@ let print_advisor () =
     [ 4; 6 ];
   print table
 
+let write_json () =
+  let path = "BENCH_tables.json" in
+  let oc = open_out path in
+  output_string oc (Autocfd_obs.Json.pretty (E.tables_json ()));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
 let all_tables () =
   print_table1 ();
   print_newline ();
@@ -213,6 +224,7 @@ let () =
   | "validate" ->
       print_string (E.render_validation (E.validate_model ()))
   | "tables" -> all_tables ()
+  | "--json" | "json" -> write_json ()
   | "micro" -> micro ()
   | "all" ->
       all_tables ();
@@ -221,7 +233,7 @@ let () =
       micro ()
   | other ->
       Printf.eprintf
-        "unknown command %S (expected: table1..table5, tables, ablation, \
-         micro, all)\n"
+        "unknown command %S (expected: table1..table5, tables, --json, \
+         ablation, micro, all)\n"
         other;
       exit 1

@@ -2,9 +2,17 @@
 
     {v
     autocfd analyze file.f --parts 4x1x1     dependency/sync analysis report
+    autocfd analyze file.f --report          full markdown report (incl. the
+                                             measured per-rank / per-sync tables)
     autocfd parallelize file.f --parts 2x2   emit the SPMD program
-    autocfd run file.f --parts 2x2           run sequential vs simulated SPMD
-    autocfd tables [1-5|all]                 regenerate the paper's tables
+    autocfd run file.f --parts 2x2 [--json]  run sequential vs simulated SPMD
+    autocfd trace file.f --parts 2x2 \
+        --out trace.json                     profile the simulated execution:
+                                             Chrome trace_event JSON (load in
+                                             Perfetto / chrome://tracing), plus
+                                             --metrics m.json for the compact
+                                             per-rank / per-sync metrics
+    autocfd tables [1-5|all] [--json]        regenerate the paper's tables
     autocfd demo [aerofoil|sprayer]          dump a bundled case study source
     v} *)
 
@@ -12,6 +20,7 @@ open Cmdliner
 module D = Autocfd.Driver
 module A = Autocfd_analysis
 module S = Autocfd_syncopt
+module Obs = Autocfd_obs
 
 let read_file path =
   let ic = open_in_bin path in
@@ -64,9 +73,19 @@ let load_and_plan file parts nprocs =
 let shape parts =
   String.concat " x " (Array.to_list (Array.map string_of_int parts))
 
+let write_file path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
 (* ------------------------------------------------------------------ *)
 
-let analyze file parts nprocs =
+let analyze file parts nprocs report =
+  if report then
+    let _, plan = load_and_plan file parts nprocs in
+    print_string (Autocfd.Report.markdown plan)
+  else
   let t, plan = load_and_plan file parts nprocs in
   let gi = t.D.gi in
   Format.printf "flow field: %a@." A.Grid_info.pp gi;
@@ -128,35 +147,75 @@ let parallelize file parts nprocs mpi output =
       close_out oc;
       Printf.printf "wrote %s\n" path
 
-let run_cmd file parts nprocs =
+let run_cmd file parts nprocs json =
   let t, plan = load_and_plan file parts nprocs in
   let seq = D.run_sequential t in
-  Format.printf "sequential output:@.";
-  List.iter (Format.printf "  %s@.") seq.D.sq_output;
-  let par = D.run_parallel plan in
-  Format.printf "parallel output (%d simulated ranks):@."
-    (Autocfd_partition.Topology.nranks plan.D.topo);
-  List.iter (Format.printf "  %s@.") par.Autocfd_interp.Spmd.output;
+  let tracer = if json then Some (Obs.Trace.create ()) else None in
+  let par = D.run_parallel ?tracer plan in
   let stats = par.Autocfd_interp.Spmd.stats in
-  Format.printf
-    "messages: %d (%d bytes), collectives: %d@."
-    stats.Autocfd_mpsim.Sim.messages stats.Autocfd_mpsim.Sim.bytes
-    stats.Autocfd_mpsim.Sim.collectives;
-  Format.printf "max |sequential - parallel| per status array:@.";
-  List.iter
-    (fun (name, d) -> Format.printf "  %-10s %.3g@." name d)
-    (D.max_divergence seq par);
+  let divergence = D.max_divergence seq par in
   let worst =
-    List.fold_left
-      (fun acc (_, d) -> Float.max acc d)
-      0.0
-      (D.max_divergence seq par)
+    List.fold_left (fun acc (_, d) -> Float.max acc d) 0.0 divergence
   in
-  if worst < 1e-9 then Format.printf "PASS: numerically equivalent@."
-  else begin
-    Format.printf "FAIL: parallel run diverges (%.3g)@." worst;
-    exit 1
-  end
+  (if json then
+     let module J = Obs.Json in
+     let doc =
+       J.Obj
+         [
+           ("schema", J.Str "autocfd-run/1");
+           ("ranks", J.Int (Autocfd_partition.Topology.nranks plan.D.topo));
+           ( "output",
+             J.List
+               (List.map (fun s -> J.Str s) par.Autocfd_interp.Spmd.output) );
+           ( "divergence",
+             J.Obj (List.map (fun (n, d) -> (n, J.Float d)) divergence) );
+           ("equivalent", J.Bool (worst < 1e-9));
+           ( "metrics",
+             match tracer with
+             | Some tr -> Obs.Metrics.to_json (Obs.Metrics.of_trace tr)
+             | None -> J.Null );
+         ]
+     in
+     print_endline (J.pretty doc)
+   else begin
+     Format.printf "sequential output:@.";
+     List.iter (Format.printf "  %s@.") seq.D.sq_output;
+     Format.printf "parallel output (%d simulated ranks):@."
+       (Autocfd_partition.Topology.nranks plan.D.topo);
+     List.iter (Format.printf "  %s@.") par.Autocfd_interp.Spmd.output;
+     Format.printf "messages: %d (%d bytes), collectives: %d@."
+       stats.Autocfd_mpsim.Sim.messages stats.Autocfd_mpsim.Sim.bytes
+       stats.Autocfd_mpsim.Sim.collectives;
+     Format.printf "max |sequential - parallel| per status array:@.";
+     List.iter
+       (fun (name, d) -> Format.printf "  %-10s %.3g@." name d)
+       divergence;
+     if worst < 1e-9 then Format.printf "PASS: numerically equivalent@."
+     else Format.printf "FAIL: parallel run diverges (%.3g)@." worst
+   end);
+  if worst >= 1e-9 then exit 1
+
+let trace_cmd file parts nprocs out metrics_out =
+  let _, plan = load_and_plan file parts nprocs in
+  let result, tracer = D.run_traced plan in
+  write_file out (Obs.Chrome.to_string tracer);
+  let m = Obs.Metrics.of_trace tracer in
+  (match metrics_out with
+  | Some path -> write_file path (Obs.Json.pretty (Obs.Metrics.to_json m))
+  | None -> ());
+  let stats = result.Autocfd_interp.Spmd.stats in
+  Printf.printf
+    "%d ranks, %d trace events; %.3f s simulated (%d messages, %d bytes)\n"
+    (Obs.Trace.nranks tracer) (Obs.Trace.length tracer)
+    stats.Autocfd_mpsim.Sim.elapsed stats.Autocfd_mpsim.Sim.messages
+    stats.Autocfd_mpsim.Sim.bytes;
+  Array.iter
+    (fun (r : Obs.Metrics.rank_row) ->
+      Printf.printf
+        "  rank %d: compute %.3f s, comm %.3f s, blocked %.3f s\n"
+        r.Obs.Metrics.rr_rank r.Obs.Metrics.rr_compute r.Obs.Metrics.rr_comm
+        r.Obs.Metrics.rr_blocked)
+    m.Obs.Metrics.ranks
 
 let report file parts nprocs output =
   let _, plan = load_and_plan file parts nprocs in
@@ -169,8 +228,10 @@ let report file parts nprocs output =
       close_out oc;
       Printf.printf "wrote %s\n" path
 
-let tables which =
+let tables which json =
   let module E = Autocfd.Experiments in
+  if json then print_endline (Obs.Json.pretty (E.tables_json ()))
+  else
   let print1 () = print_string (E.render_table1 (E.table1 ())) in
   let print2 () =
     print_string (E.render_perf ~title:"Table 2: aerofoil 99x41x13" (E.table2 ()))
@@ -206,8 +267,16 @@ let demo which =
 (* ------------------------------------------------------------------ *)
 
 let analyze_cmd =
+  let report =
+    Arg.(value & flag
+         & info [ "report" ]
+             ~doc:"Emit the full markdown report instead of the plain-text \
+                   summary (same output as the 'report' verb, including the \
+                   measured per-rank time breakdown and per-sync-point \
+                   traffic tables).")
+  in
   Cmd.v (Cmd.info "analyze" ~doc:"Dependency and synchronization analysis report")
-    Term.(const analyze $ file_arg $ parts_arg $ nprocs_arg)
+    Term.(const analyze $ file_arg $ parts_arg $ nprocs_arg $ report)
 
 let parallelize_cmd =
   let output =
@@ -226,13 +295,40 @@ let parallelize_cmd =
        ~doc:"Transform a sequential CFD program into an SPMD program")
     Term.(const parallelize $ file_arg $ parts_arg $ nprocs_arg $ mpi $ output)
 
+let json_flag ~what =
+  Arg.(value & flag & info [ "json" ] ~doc:("Emit " ^ what ^ " as JSON."))
+
 let run_cmd_ =
   Cmd.v
     (Cmd.info "run"
        ~doc:
          "Execute the program sequentially and on the simulated cluster, \
           and compare the results")
-    Term.(const run_cmd $ file_arg $ parts_arg $ nprocs_arg)
+    Term.(const run_cmd $ file_arg $ parts_arg $ nprocs_arg
+          $ json_flag ~what:"the comparison and per-rank metrics")
+
+let trace_cmd_ =
+  let out =
+    Arg.(value & opt string "trace.json"
+         & info [ "o"; "out" ] ~docv:"OUT"
+             ~doc:"Chrome trace_event output file (load in Perfetto or \
+                   chrome://tracing).")
+  in
+  let metrics =
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ] ~docv:"FILE"
+             ~doc:"Also write the compact per-rank / per-sync-point metrics \
+                   JSON to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Profile the program on the simulated cluster: execute it with the \
+          reference machine's calibrated network and per-flop cost while \
+          recording every compute, send/recv, collective and blocked \
+          interval, then export a Chrome trace_event JSON timeline (one \
+          track per rank) plus optional machine-readable metrics")
+    Term.(const trace_cmd $ file_arg $ parts_arg $ nprocs_arg $ out $ metrics)
 
 let report_cmd =
   let output =
@@ -250,7 +346,8 @@ let tables_cmd =
     Arg.(value & pos 0 string "all" & info [] ~docv:"N" ~doc:"1-5 or 'all'.")
   in
   Cmd.v (Cmd.info "tables" ~doc:"Regenerate the paper's evaluation tables")
-    Term.(const tables $ which)
+    Term.(const tables $ which
+          $ json_flag ~what:"every table (1-5) plus model validation")
 
 let demo_cmd =
   let which =
@@ -265,5 +362,5 @@ let () =
   let doc = "Auto-CFD: parallelizing pre-compiler for Fortran CFD programs" in
   let info = Cmd.info "autocfd" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-                    [ analyze_cmd; parallelize_cmd; run_cmd_; report_cmd;
-                      tables_cmd; demo_cmd ]))
+                    [ analyze_cmd; parallelize_cmd; run_cmd_; trace_cmd_;
+                      report_cmd; tables_cmd; demo_cmd ]))

@@ -1,0 +1,38 @@
+c  2-D Jacobi heat relaxation with a global convergence reduction.
+c  The smallest complete input for the Auto-CFD pre-compiler: one
+c  block-parallel sweep pair plus a max-reduction, enough to exercise
+c  halo exchange, allreduce and the tracer.  Try:
+c
+c    autocfd analyze examples/heat2d.f --parts 2x2
+c    autocfd run     examples/heat2d.f --parts 2x2
+c    autocfd trace   examples/heat2d.f --parts 2x2 --out trace.json
+c
+c$acfd grid(m, n)
+c$acfd status(u, w)
+      program heat2d
+      parameter (m = 60, n = 30, ntime = 40)
+      real u(m, n), w(m, n)
+      real errmax, eps
+      integer i, j, it
+      eps = 1.0e-4
+      do 10 i = 1, m
+        do 10 j = 1, n
+          u(i, j) = 0.001 * float(i) * float(i) + 0.02 * float(j)
+          w(i, j) = 0.0
+ 10   continue
+      do 500 it = 1, ntime
+        do 100 i = 2, m - 1
+          do 100 j = 2, n - 1
+            w(i, j) = 0.25 * (u(i-1,j) + u(i+1,j) + u(i,j-1) + u(i,j+1))
+ 100    continue
+        errmax = 0.0
+        do 200 i = 2, m - 1
+          do 200 j = 2, n - 1
+            errmax = max(errmax, abs(w(i, j) - u(i, j)))
+            u(i, j) = w(i, j)
+ 200    continue
+        if (errmax .lt. eps) goto 900
+ 500  continue
+ 900  continue
+      write(*,*) it, errmax
+      end

@@ -162,7 +162,7 @@ let run_sequential ?(input = []) t =
   }
 
 let run_parallel ?(net = M.Netmodel.fast) ?(flop_time = 0.0) ?(input = [])
-    plan =
+    ?tracer plan =
   let config =
     {
       I.Spmd.gi = plan.source.gi;
@@ -170,9 +170,34 @@ let run_parallel ?(net = M.Netmodel.fast) ?(flop_time = 0.0) ?(input = [])
       net;
       flop_time;
       input;
+      tracer;
     }
   in
   I.Spmd.run config plan.spmd
+
+(* per-flop charge matching the reference machine under the plan's per-rank
+   working set (same calibration as the model-validation experiments) *)
+let calibrated_flop_time ?(machine = Autocfd_perfmodel.Model.pentium_cluster)
+    plan =
+  let module PM = Autocfd_perfmodel.Model in
+  let points_per_rank =
+    let g = P.Topology.grid plan.topo and p = P.Topology.parts plan.topo in
+    Array.to_list (Array.mapi (fun d _ -> (g.(d) + p.(d) - 1) / p.(d)) g)
+    |> List.fold_left ( * ) 1
+  in
+  let ws = PM.working_set_bytes ~gi:plan.source.gi ~points_per_rank in
+  PM.memory_slowdown machine ws /. machine.PM.flop_rate
+
+let run_traced ?(machine = Autocfd_perfmodel.Model.pentium_cluster)
+    ?(input = []) plan =
+  let module PM = Autocfd_perfmodel.Model in
+  let tracer = Autocfd_obs.Trace.create () in
+  let result =
+    run_parallel ~net:machine.PM.net
+      ~flop_time:(calibrated_flop_time ~machine plan)
+      ~input ~tracer plan
+  in
+  (result, tracer)
 
 let max_divergence seq par =
   List.filter_map

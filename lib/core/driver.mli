@@ -77,8 +77,26 @@ val run_parallel :
   ?net:Autocfd_mpsim.Netmodel.t ->
   ?flop_time:float ->
   ?input:float list ->
+  ?tracer:Autocfd_obs.Trace.t ->
   plan ->
   Autocfd_interp.Spmd.result
+
+val calibrated_flop_time :
+  ?machine:Autocfd_perfmodel.Model.machine -> plan -> float
+(** Seconds per floating-point operation on the reference machine, with
+    the memory-pressure slowdown for the plan's per-rank working set
+    applied (the calibration the model-validation experiments use). *)
+
+val run_traced :
+  ?machine:Autocfd_perfmodel.Model.machine ->
+  ?input:float list ->
+  plan ->
+  Autocfd_interp.Spmd.result * Autocfd_obs.Trace.t
+(** Execute the plan on the simulated cluster with the reference machine's
+    network and calibrated per-flop charge, recording a full execution
+    trace: per-rank compute/comm/blocked events and per-sync-point phases
+    (see {!Autocfd_obs.Trace}); export with {!Autocfd_obs.Chrome} or
+    summarize with {!Autocfd_obs.Metrics}. *)
 
 val max_divergence :
   seq_result -> Autocfd_interp.Spmd.result -> (string * float) list

@@ -393,3 +393,99 @@ let render_table5 rows =
         ])
     rows;
   render t
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable rendering (BENCH_tables.json)                      *)
+(* ------------------------------------------------------------------ *)
+
+module J = Autocfd_obs.Json
+
+let tables_json () =
+  let parts_json p =
+    J.Str (String.concat "x" (Array.to_list (Array.map string_of_int p)))
+  in
+  let opt f = function Some v -> f v | None -> J.Null in
+  let t1 =
+    List.map
+      (fun r ->
+        J.Obj
+          [
+            ("program", J.Str r.t1_program);
+            ("partition", parts_json r.t1_partition);
+            ("before", J.Int r.t1_before);
+            ("after", J.Int r.t1_after);
+            ("paper_before", J.Int r.t1_paper_before);
+            ("paper_after", J.Int r.t1_paper_after);
+          ])
+      (table1 ())
+  in
+  let perf rows =
+    List.map
+      (fun r ->
+        J.Obj
+          [
+            ("procs", J.Int r.pr_procs);
+            ("partition", opt parts_json r.pr_partition);
+            ("time", J.Float r.pr_time);
+            ("speedup", opt (fun s -> J.Float s) r.pr_speedup);
+            ("efficiency", opt (fun e -> J.Float e) r.pr_efficiency);
+            ("paper_time", J.Float r.pr_paper_time);
+            ("paper_speedup", opt (fun s -> J.Float s) r.pr_paper_speedup);
+          ])
+      rows
+  in
+  let t4 =
+    List.map
+      (fun r ->
+        let ni, nj = r.t4_grid in
+        J.Obj
+          [
+            ("grid", J.Str (Printf.sprintf "%dx%d" ni nj));
+            ("t1", J.Float r.t4_t1);
+            ("t2", J.Float r.t4_t2);
+            ("speedup", J.Float r.t4_speedup);
+            ("efficiency", J.Float r.t4_efficiency);
+            ("paper_t1", J.Float r.t4_paper_t1);
+            ("paper_t2", J.Float r.t4_paper_t2);
+            ("paper_speedup", J.Float r.t4_paper_speedup);
+          ])
+      (table4 ())
+  in
+  let t5 =
+    List.map
+      (fun r ->
+        J.Obj
+          [
+            ("procs", J.Int r.t5_procs);
+            ("partition", parts_json r.t5_partition);
+            ("time", J.Float r.t5_time);
+            ("eff_over_2", J.Float r.t5_eff_over_2);
+            ("paper_time", J.Float r.t5_paper_time);
+            ("paper_eff", J.Float r.t5_paper_eff);
+          ])
+      (table5 ())
+  in
+  let validation =
+    List.map
+      (fun r ->
+        let ni, nj = r.vr_grid in
+        J.Obj
+          [
+            ("grid", J.Str (Printf.sprintf "%dx%d" ni nj));
+            ("partition", parts_json r.vr_parts);
+            ("simulated", J.Float r.vr_simulated);
+            ("modelled", J.Float r.vr_modelled);
+            ("ratio", J.Float r.vr_ratio);
+          ])
+      (validate_model ())
+  in
+  J.Obj
+    [
+      ("schema", J.Str "autocfd-bench/1");
+      ("table1", J.List t1);
+      ("table2", J.List (perf (table2 ())));
+      ("table3", J.List (perf (table3 ())));
+      ("table4", J.List t4);
+      ("table5", J.List t5);
+      ("validation", J.List validation);
+    ]

@@ -95,3 +95,8 @@ val aerofoil_frames : int
 val sprayer_frames : int
 (** Frame counts used to scale modelled runs to the paper's wall-clock
     magnitudes (the paper does not state its iteration counts). *)
+
+val tables_json : unit -> Autocfd_obs.Json.t
+(** Every table (1-5) plus the model-validation rows as one JSON document
+    (schema ["autocfd-bench/1"]) — the diffable perf trajectory written to
+    [BENCH_tables.json] by [bench/main.exe --json]. *)

@@ -2,6 +2,7 @@ module A = Autocfd_analysis
 module S = Autocfd_syncopt
 module P = Autocfd_partition
 module M = Autocfd_perfmodel.Model
+module Obs = Autocfd_obs
 
 let strategy_label = function
   | A.Mirror.Serial -> "serial"
@@ -24,7 +25,7 @@ let loop_census (plan : Driver.plan) =
 let shape parts =
   String.concat " x " (Array.to_list (Array.map string_of_int parts))
 
-let markdown (plan : Driver.plan) =
+let rec markdown (plan : Driver.plan) =
   let b = Buffer.create 4096 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
   let gi = plan.Driver.source.Driver.gi in
@@ -146,4 +147,59 @@ let markdown (plan : Driver.plan) =
   line "| reductions/broadcasts | %.1f s |" pred.M.reduce_time;
   line "| per-rank working set | %.2f MB |" (pred.M.working_set /. 1e6);
   line "| memory slowdown factor | %.2f |" pred.M.slowdown;
+  line "";
+  measured_section b plan;
   Buffer.contents b
+
+and measured_section b (plan : Driver.plan) =
+  let line fmt =
+    Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt
+  in
+  line "## Measured execution (simulated cluster)";
+  line "";
+  match Driver.run_traced plan with
+  | exception e ->
+      line "_not measured: execution failed (%s)_"
+        (Printexc.to_string e)
+  | result, tracer ->
+      let stats = result.Autocfd_interp.Spmd.stats in
+      let m = Obs.Metrics.of_trace tracer in
+      line
+        "Execution-driven timing (calibrated per-flop charge + network \
+         model): **%.2f s** simulated wall clock, %d messages, %d bytes, \
+         %d collectives."
+        stats.Autocfd_mpsim.Sim.elapsed stats.Autocfd_mpsim.Sim.messages
+        stats.Autocfd_mpsim.Sim.bytes stats.Autocfd_mpsim.Sim.collectives;
+      line "";
+      line "### Per-rank time breakdown";
+      line "";
+      line "| rank | compute (s) | comm (s) | blocked (s) | finish (s) | blocked %% |";
+      line "|---|---|---|---|---|---|";
+      Array.iter
+        (fun (r : Obs.Metrics.rank_row) ->
+          line "| %d | %.3f | %.3f | %.3f | %.3f | %.1f%% |"
+            r.Obs.Metrics.rr_rank r.Obs.Metrics.rr_compute
+            r.Obs.Metrics.rr_comm r.Obs.Metrics.rr_blocked
+            r.Obs.Metrics.rr_finish
+            (if r.Obs.Metrics.rr_finish > 0.0 then
+               100. *. r.Obs.Metrics.rr_blocked /. r.Obs.Metrics.rr_finish
+             else 0.0))
+        m.Obs.Metrics.ranks;
+      line "";
+      line "### Per-sync-point traffic";
+      line "";
+      line
+        "| # | sync point | loop | entries | messages | bytes | comm (s) | \
+         blocked (s) |";
+      line "|---|---|---|---|---|---|---|---|";
+      List.iter
+        (fun (s : Obs.Metrics.sync_row) ->
+          line "| %d | `%s` | %s | %d | %d | %d | %.3f | %.3f |"
+            s.Obs.Metrics.sr_id s.Obs.Metrics.sr_label
+            (match s.Obs.Metrics.sr_loop with
+            | Some v -> "`do " ^ v ^ "`"
+            | None -> "—")
+            s.Obs.Metrics.sr_executions s.Obs.Metrics.sr_messages
+            s.Obs.Metrics.sr_bytes s.Obs.Metrics.sr_comm_time
+            s.Obs.Metrics.sr_blocked_time)
+        m.Obs.Metrics.syncs

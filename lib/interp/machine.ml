@@ -19,11 +19,11 @@ type t = {
 
 and hooks = {
   h_block : (int -> int * int) option;
-  h_comm : t -> Ast.comm -> unit;
+  h_comm : t -> sid:int -> Ast.comm -> unit;
   h_pipe_recv :
-    t -> dim:int -> dir:Ast.direction -> (string * int) list -> unit;
+    t -> sid:int -> dim:int -> dir:Ast.direction -> (string * int) list -> unit;
   h_pipe_send :
-    t -> dim:int -> dir:Ast.direction -> (string * int) list -> unit;
+    t -> sid:int -> dim:int -> dir:Ast.direction -> (string * int) list -> unit;
   h_read : t -> int -> float array;
   h_write : t -> Value.scalar list -> unit;
 }
@@ -49,9 +49,15 @@ let default_write t values =
 let sequential_hooks =
   {
     h_block = None;
-    h_comm = (fun _ _ -> error "communication statement on the sequential machine");
-    h_pipe_recv = (fun _ ~dim:_ ~dir:_ _ -> error "pipeline recv on the sequential machine");
-    h_pipe_send = (fun _ ~dim:_ ~dir:_ _ -> error "pipeline send on the sequential machine");
+    h_comm =
+      (fun _ ~sid:_ _ ->
+        error "communication statement on the sequential machine");
+    h_pipe_recv =
+      (fun _ ~sid:_ ~dim:_ ~dir:_ _ ->
+        error "pipeline recv on the sequential machine");
+    h_pipe_send =
+      (fun _ ~sid:_ ~dim:_ ~dir:_ _ ->
+        error "pipeline send on the sequential machine");
     h_read = default_read;
     h_write = default_write;
   }
@@ -323,11 +329,11 @@ and exec t st =
       let values = t.hooks.h_read t (List.length items) in
       List.iteri (fun i it -> assign t it (Value.Real values.(i))) items
   | Ast.Write items -> t.hooks.h_write t (List.map (eval t) items)
-  | Ast.Comm c -> t.hooks.h_comm t c
+  | Ast.Comm c -> t.hooks.h_comm t ~sid:st.Ast.s_id c
   | Ast.Pipeline_recv { dim; dir; arrays } ->
-      t.hooks.h_pipe_recv t ~dim ~dir arrays
+      t.hooks.h_pipe_recv t ~sid:st.Ast.s_id ~dim ~dir arrays
   | Ast.Pipeline_send { dim; dir; arrays } ->
-      t.hooks.h_pipe_send t ~dim ~dir arrays
+      t.hooks.h_pipe_send t ~sid:st.Ast.s_id ~dim ~dir arrays
 
 (* ------------------------------------------------------------------ *)
 (* Construction                                                        *)

@@ -17,11 +17,14 @@ type hooks = {
   h_block : (int -> int * int) option;
       (** per grid dimension: the rank's (lo, hi) owned range; [None] on
           the sequential machine (Local_lo/Local_hi become identities) *)
-  h_comm : t -> Ast.comm -> unit;
+  h_comm : t -> sid:int -> Ast.comm -> unit;
+      (** [sid] is the communication statement's [Ast.s_id]; the SPMD
+          executor uses it to attribute the operation to its combined
+          synchronization point for tracing *)
   h_pipe_recv :
-    t -> dim:int -> dir:Ast.direction -> (string * int) list -> unit;
+    t -> sid:int -> dim:int -> dir:Ast.direction -> (string * int) list -> unit;
   h_pipe_send :
-    t -> dim:int -> dir:Ast.direction -> (string * int) list -> unit;
+    t -> sid:int -> dim:int -> dir:Ast.direction -> (string * int) list -> unit;
   h_read : t -> int -> float array;
       (** supply [n] input values (rank 0 reads, then broadcasts) *)
   h_write : t -> Value.scalar list -> unit;

@@ -2,6 +2,7 @@ open Autocfd_fortran
 open Autocfd_mpsim
 module GI = Autocfd_analysis.Grid_info
 module Topology = Autocfd_partition.Topology
+module Trace = Autocfd_obs.Trace
 
 type config = {
   gi : GI.t;
@@ -9,6 +10,7 @@ type config = {
   net : Netmodel.t;
   flop_time : float;
   input : float list;
+  tracer : Trace.t option;
 }
 
 type result = {
@@ -22,6 +24,68 @@ type result = {
 let tag_exchange = 3
 let tag_pipe = 5
 let tag_gather = 7
+
+(* ------------------------------------------------------------------ *)
+(* Sync-point table: every communication statement of the SPMD unit,   *)
+(* numbered in program order and labelled for tracing                  *)
+(* ------------------------------------------------------------------ *)
+
+type sync_info = {
+  si_id : int;
+  si_label : string;
+  si_loop : string option;  (* enclosing DO variable *)
+}
+
+let dir_str = function Ast.Dplus -> "+" | Ast.Dminus -> "-"
+
+let describe_comm = function
+  | Ast.Exchange ts ->
+      "halo "
+      ^ String.concat " "
+          (List.map
+             (fun (t : Ast.transfer) ->
+               Printf.sprintf "%s(d%d%s,%d)" t.Ast.xfer_array t.Ast.xfer_dim
+                 (dir_str t.Ast.xfer_dir) t.Ast.xfer_depth)
+             ts)
+  | Ast.Allreduce_max v -> "allreduce max " ^ v
+  | Ast.Allreduce_min v -> "allreduce min " ^ v
+  | Ast.Allreduce_sum v -> "allreduce sum " ^ v
+  | Ast.Broadcast vars -> "bcast " ^ String.concat "," vars
+  | Ast.Allgather arrays -> "allgather " ^ String.concat "," arrays
+  | Ast.Barrier -> "barrier"
+
+let sync_points (u : Ast.program_unit) =
+  let tbl = Hashtbl.create 32 in
+  let next = ref 0 in
+  let add sid label loop =
+    Hashtbl.replace tbl sid
+      { si_id = !next; si_label = label; si_loop = loop };
+    incr next
+  in
+  let rec walk loop stmts =
+    List.iter
+      (fun (st : Ast.stmt) ->
+        match st.Ast.s_kind with
+        | Ast.Do d -> walk (Some d.Ast.do_var) d.Ast.do_body
+        | Ast.If (branches, els) ->
+            List.iter (fun (_, b) -> walk loop b) branches;
+            Option.iter (walk loop) els
+        | Ast.Comm c -> add st.Ast.s_id (describe_comm c) loop
+        | Ast.Pipeline_recv { dim; dir; arrays } ->
+            add st.Ast.s_id
+              (Printf.sprintf "pipe recv d%d%s %s" dim (dir_str dir)
+                 (String.concat "," (List.map fst arrays)))
+              loop
+        | Ast.Pipeline_send { dim; dir; arrays } ->
+            add st.Ast.s_id
+              (Printf.sprintf "pipe send d%d%s %s" dim (dir_str dir)
+                 (String.concat "," (List.map fst arrays)))
+              loop
+        | _ -> ())
+      stmts
+  in
+  walk None u.Ast.u_body;
+  tbl
 
 (* iterate an n-dimensional inclusive range *)
 let iter_box ranges f =
@@ -121,6 +185,11 @@ let run config (u : Ast.program_unit) =
   let machines = Array.make nranks None in
   let flops_per_rank = Array.make nranks 0.0 in
   let nranks_total = nranks in
+  let sync_tbl =
+    match config.tracer with
+    | None -> Hashtbl.create 1
+    | Some _ -> sync_points u
+  in
   let body (c : Sim.comm) =
     let r = Sim.rank c in
     let block = Topology.block topo r in
@@ -142,6 +211,35 @@ let run config (u : Ast.program_unit) =
     let neighbor dim dir =
       let d = match dir with Ast.Dplus -> Topology.Plus | Ast.Dminus -> Topology.Minus in
       Topology.neighbor topo ~rank:r ~dim ~dir:d
+    in
+    (* run a communication hook body inside its sync-point phase: set the
+       rank's sync context (so simulator events recorded within attribute
+       their messages and blocked time to this point) and emit the phase
+       span tagged with the enclosing loop variable and iteration *)
+    let traced m sid f =
+      match config.tracer with
+      | None -> f ()
+      | Some tr -> (
+          match Hashtbl.find_opt sync_tbl sid with
+          | None -> f ()
+          | Some si ->
+              let iter =
+                match si.si_loop with
+                | None -> None
+                | Some v -> (
+                    match Machine.scalar m v with
+                    | Value.Int i -> Some i
+                    | Value.Real x -> Some (int_of_float x)
+                    | Value.Bool _ | Value.Str _ -> None
+                    | exception Machine.Runtime_error _ -> None)
+              in
+              let t0 = Sim.time c in
+              Trace.set_sync tr ~rank:r ~sync:si.si_id;
+              Fun.protect
+                ~finally:(fun () -> Trace.clear_sync tr ~rank:r)
+                f;
+              Trace.phase tr ~rank:r ~t0 ~t1:(Sim.time c) ~sync:si.si_id
+                ~label:si.si_label ?loop:si.si_loop ?iter ())
     in
     let opposite = function Ast.Dplus -> Ast.Dminus | Ast.Dminus -> Ast.Dplus in
     let do_exchange m transfers =
@@ -255,42 +353,47 @@ let run config (u : Ast.program_unit) =
               (block.Autocfd_partition.Block.lo.(d),
                block.Autocfd_partition.Block.hi.(d)));
         h_comm =
-          (fun m comm ->
+          (fun m ~sid comm ->
             charge ();
-            match comm with
-            | Ast.Exchange ts -> do_exchange m ts
-            | Ast.Allreduce_max v ->
-                let x = Value.to_float (Machine.scalar m v) in
-                Machine.set_scalar m v (Value.Real (Sim.allreduce c `Max x))
-            | Ast.Allreduce_min v ->
-                let x = Value.to_float (Machine.scalar m v) in
-                Machine.set_scalar m v (Value.Real (Sim.allreduce c `Min x))
-            | Ast.Allreduce_sum v ->
-                let x = Value.to_float (Machine.scalar m v) in
-                Machine.set_scalar m v (Value.Real (Sim.allreduce c `Sum x))
-            | Ast.Broadcast vars ->
-                let data =
-                  if r = 0 then
-                    Array.of_list
-                      (List.map
-                         (fun v -> Value.to_float (Machine.scalar m v))
-                         vars)
-                  else Array.make (List.length vars) 0.0
-                in
-                let data = Sim.bcast c ~root:0 data in
-                List.iteri
-                  (fun i v -> Machine.set_scalar m v (Value.Real data.(i)))
-                  vars
-            | Ast.Allgather arrays -> do_allgather m arrays
-            | Ast.Barrier -> Sim.barrier c);
+            traced m sid (fun () ->
+                match comm with
+                | Ast.Exchange ts -> do_exchange m ts
+                | Ast.Allreduce_max v ->
+                    let x = Value.to_float (Machine.scalar m v) in
+                    Machine.set_scalar m v
+                      (Value.Real (Sim.allreduce c `Max x))
+                | Ast.Allreduce_min v ->
+                    let x = Value.to_float (Machine.scalar m v) in
+                    Machine.set_scalar m v
+                      (Value.Real (Sim.allreduce c `Min x))
+                | Ast.Allreduce_sum v ->
+                    let x = Value.to_float (Machine.scalar m v) in
+                    Machine.set_scalar m v
+                      (Value.Real (Sim.allreduce c `Sum x))
+                | Ast.Broadcast vars ->
+                    let data =
+                      if r = 0 then
+                        Array.of_list
+                          (List.map
+                             (fun v -> Value.to_float (Machine.scalar m v))
+                             vars)
+                      else Array.make (List.length vars) 0.0
+                    in
+                    let data = Sim.bcast c ~root:0 data in
+                    List.iteri
+                      (fun i v ->
+                        Machine.set_scalar m v (Value.Real data.(i)))
+                      vars
+                | Ast.Allgather arrays -> do_allgather m arrays
+                | Ast.Barrier -> Sim.barrier c));
         h_pipe_recv =
-          (fun m ~dim ~dir arrays ->
+          (fun m ~sid ~dim ~dir arrays ->
             charge ();
-            do_pipe ~recv:true m ~dim ~dir arrays);
+            traced m sid (fun () -> do_pipe ~recv:true m ~dim ~dir arrays));
         h_pipe_send =
-          (fun m ~dim ~dir arrays ->
+          (fun m ~sid ~dim ~dir arrays ->
             charge ();
-            do_pipe ~recv:false m ~dim ~dir arrays);
+            traced m sid (fun () -> do_pipe ~recv:false m ~dim ~dir arrays));
         h_read =
           (fun m n ->
             charge ();
@@ -311,7 +414,7 @@ let run config (u : Ast.program_unit) =
     charge ();
     flops_per_rank.(r) <- Machine.flops (get_machine ())
   in
-  let stats = Sim.run ~net:config.net ~nranks body in
+  let stats = Sim.run ~net:config.net ?tracer:config.tracer ~nranks body in
   let machine r = Option.get machines.(r) in
   let m0 = machine 0 in
   (* gather status arrays from their owners *)

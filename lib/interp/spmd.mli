@@ -14,6 +14,12 @@ type config = {
       (** seconds charged per floating-point operation (0 = correctness
           only) *)
   input : float list;  (** data served to READ statements (rank 0) *)
+  tracer : Autocfd_obs.Trace.t option;
+      (** when set, the run records a full execution trace: simulator
+          events plus one phase span per combined synchronization point
+          entry, tagged with the sync-point id (program order over the
+          unit's communication statements), a human-readable label, the
+          enclosing DO variable and its current iteration *)
 }
 
 type result = {

@@ -1,3 +1,5 @@
+module Trace = Autocfd_obs.Trace
+
 exception Deadlock of string
 exception Rank_failure of int * exn
 
@@ -31,6 +33,10 @@ type state = {
   mutable messages : int;
   mutable bytes : int;
   mutable collectives : int;
+  rank_sends : int array;
+  rank_recvs : int array;
+  rank_blocked : float array;
+  tracer : Trace.t option;
 }
 
 type comm = { id : int; st : state }
@@ -38,12 +44,20 @@ type comm = { id : int; st : state }
 let rank c = c.id
 let nranks c = c.st.n
 let time c = c.st.times.(c.id)
-let advance c dt = c.st.times.(c.id) <- c.st.times.(c.id) +. dt
+
+let advance c dt =
+  let t0 = c.st.times.(c.id) in
+  c.st.times.(c.id) <- t0 +. dt;
+  match c.st.tracer with
+  | Some tr when dt <> 0.0 ->
+      Trace.record tr ~rank:c.id ~t0 ~t1:(t0 +. dt) Trace.Compute
+  | _ -> ()
 
 let send c ~dest ~tag data =
   let st = c.st in
   if dest < 0 || dest >= st.n then invalid_arg "Sim.send: bad destination";
-  st.times.(c.id) <- st.times.(c.id) +. st.net.Netmodel.send_overhead;
+  let t0 = st.times.(c.id) in
+  st.times.(c.id) <- t0 +. st.net.Netmodel.send_overhead;
   let bytes = 8 * Array.length data in
   let arrival =
     st.times.(c.id) +. Netmodel.message_time st.net ~bytes
@@ -59,7 +73,13 @@ let send c ~dest ~tag data =
   in
   Queue.push { arrival; data = Array.copy data } q;
   st.messages <- st.messages + 1;
-  st.bytes <- st.bytes + bytes
+  st.bytes <- st.bytes + bytes;
+  st.rank_sends.(c.id) <- st.rank_sends.(c.id) + 1;
+  match st.tracer with
+  | Some tr ->
+      Trace.record tr ~rank:c.id ~t0 ~t1:st.times.(c.id)
+        (Trace.Send { dest; tag; bytes })
+  | None -> ()
 
 let recv c ~src ~tag =
   if src < 0 || src >= c.st.n then invalid_arg "Sim.recv: bad source";
@@ -101,6 +121,9 @@ type stats = {
   messages : int;
   bytes : int;
   collectives : int;
+  rank_sends : int array;
+  rank_recvs : int array;
+  rank_blocked : float array;
 }
 
 let collective_cost st ~bytes =
@@ -109,8 +132,9 @@ let collective_cost st ~bytes =
   in
   float_of_int stages *. Netmodel.message_time st.net ~bytes
 
-let run ?(net = Netmodel.fast) ~nranks body =
+let run ?(net = Netmodel.fast) ?tracer ~nranks body =
   if nranks < 1 then invalid_arg "Sim.run: nranks must be >= 1";
+  (match tracer with Some tr -> Trace.prepare tr ~nranks | None -> ());
   let st =
     {
       n = nranks;
@@ -121,6 +145,10 @@ let run ?(net = Netmodel.fast) ~nranks body =
       messages = 0;
       bytes = 0;
       collectives = 0;
+      rank_sends = Array.make nranks 0;
+      rank_recvs = Array.make nranks 0;
+      rank_blocked = Array.make nranks 0.0;
+      tracer;
     }
   in
   let handler i =
@@ -160,23 +188,52 @@ let run ?(net = Netmodel.fast) ~nranks body =
         match Hashtbl.find_opt st.mailboxes (i, src, tag) with
         | Some q when not (Queue.is_empty q) ->
             let msg = Queue.pop q in
-            st.times.(i) <-
-              Float.max st.times.(i) msg.arrival
-              +. net.Netmodel.recv_overhead;
+            let t0 = st.times.(i) in
+            let arrive = Float.max t0 msg.arrival in
+            let t1 = arrive +. net.Netmodel.recv_overhead in
+            st.times.(i) <- t1;
+            st.rank_recvs.(i) <- st.rank_recvs.(i) + 1;
+            st.rank_blocked.(i) <- st.rank_blocked.(i) +. (arrive -. t0);
+            (match st.tracer with
+            | Some tr ->
+                if arrive > t0 then
+                  Trace.record tr ~rank:i ~t0 ~t1:arrive
+                    (Trace.Blocked { src; tag });
+                Trace.record tr ~rank:i ~t0:arrive ~t1
+                  (Trace.Recv { src; tag; bytes = 8 * Array.length msg.data })
+            | None -> ());
             st.status.(i) <- Running;
             Effect.Deep.continue k msg.data;
             true
         | _ -> false)
     | _ -> false
   in
+  (* advance every clock to the collective's completion time, attributing
+     the assembly wait as blocked-idle and the cost itself as comm *)
+  let collective_advance ~op ~bytes ~cost =
+    let tmax = Array.fold_left Float.max 0.0 st.times in
+    let t = tmax +. cost in
+    Array.iteri
+      (fun i ti ->
+        st.rank_blocked.(i) <- st.rank_blocked.(i) +. Float.max 0.0 (tmax -. ti);
+        match st.tracer with
+        | Some tr ->
+            if tmax > ti then
+              Trace.record tr ~rank:i ~t0:ti ~t1:tmax
+                (Trace.Blocked { src = -1; tag = -1 });
+            Trace.record tr ~rank:i ~t0:tmax ~t1:t
+              (Trace.Collective { op; bytes })
+        | None -> ())
+      st.times;
+    Array.fill st.times 0 st.n t;
+    st.collectives <- st.collectives + 1
+  in
   (* resolve a collective when every rank has arrived at a compatible one *)
   let try_collective () =
     let all pred = Array.for_all pred st.status in
     if all (function W_barrier _ -> true | _ -> false) then begin
-      let tmax = Array.fold_left Float.max 0.0 st.times in
-      let t = tmax +. collective_cost st ~bytes:8 in
-      Array.fill st.times 0 st.n t;
-      st.collectives <- st.collectives + 1;
+      collective_advance ~op:"barrier" ~bytes:8
+        ~cost:(collective_cost st ~bytes:8);
       let ks =
         Array.map
           (function W_barrier k -> k | _ -> assert false)
@@ -211,10 +268,8 @@ let run ?(net = Netmodel.fast) ~nranks body =
           None st.status
       in
       let value = Option.get value in
-      let tmax = Array.fold_left Float.max 0.0 st.times in
-      let t = tmax +. (2.0 *. collective_cost st ~bytes:8) in
-      Array.fill st.times 0 st.n t;
-      st.collectives <- st.collectives + 1;
+      collective_advance ~op:"allreduce" ~bytes:8
+        ~cost:(2.0 *. collective_cost st ~bytes:8);
       let ks =
         Array.map
           (function W_allred (_, _, k) -> k | _ -> assert false)
@@ -236,10 +291,8 @@ let run ?(net = Netmodel.fast) ~nranks body =
         | _ -> raise (Deadlock "bcast root provided no data")
       in
       let bytes = 8 * Array.length data in
-      let tmax = Array.fold_left Float.max 0.0 st.times in
-      let t = tmax +. collective_cost st ~bytes in
-      Array.fill st.times 0 st.n t;
-      st.collectives <- st.collectives + 1;
+      collective_advance ~op:"bcast" ~bytes
+        ~cost:(collective_cost st ~bytes);
       let ks =
         Array.map
           (function W_bcast (_, _, k) -> k | _ -> assert false)
@@ -253,7 +306,7 @@ let run ?(net = Netmodel.fast) ~nranks body =
   in
   let all_done () = Array.for_all (fun s -> s = Done) st.status in
   let describe () =
-    let b = Buffer.create 64 in
+    let b = Buffer.create 128 in
     Array.iteri
       (fun i s ->
         let d =
@@ -262,10 +315,14 @@ let run ?(net = Netmodel.fast) ~nranks body =
           | Running -> "running"
           | Done -> "done"
           | W_recv (src, tag, _) ->
-              Printf.sprintf "recv(src=%d, tag=%d)" src tag
-          | W_barrier _ -> "barrier"
-          | W_allred _ -> "allreduce"
-          | W_bcast _ -> "bcast"
+              Printf.sprintf "blocked on recv(src=%d, tag=%d) at t=%.9g" src
+                tag st.times.(i)
+          | W_barrier _ ->
+              Printf.sprintf "blocked in barrier at t=%.9g" st.times.(i)
+          | W_allred _ ->
+              Printf.sprintf "blocked in allreduce at t=%.9g" st.times.(i)
+          | W_bcast _ ->
+              Printf.sprintf "blocked in bcast at t=%.9g" st.times.(i)
         in
         Buffer.add_string b (Printf.sprintf "rank %d: %s; " i d))
       st.status;
@@ -290,4 +347,7 @@ let run ?(net = Netmodel.fast) ~nranks body =
     messages = st.messages;
     bytes = st.bytes;
     collectives = st.collectives;
+    rank_sends = Array.copy st.rank_sends;
+    rank_recvs = Array.copy st.rank_recvs;
+    rank_blocked = Array.copy st.rank_blocked;
   }

@@ -70,12 +70,30 @@ type stats = {
   messages : int;  (** point-to-point messages *)
   bytes : int;  (** point-to-point payload bytes *)
   collectives : int;
+  rank_sends : int array;  (** point-to-point messages sent per rank *)
+  rank_recvs : int array;  (** point-to-point messages received per rank *)
+  rank_blocked : float array;
+      (** per rank, virtual seconds spent idle: waiting for a message that
+          had not yet arrived, or for the other ranks to assemble at a
+          collective *)
 }
 
-val run : ?net:Netmodel.t -> nranks:int -> (comm -> unit) -> stats
-(** @raise Deadlock when ranks block forever.
+val run :
+  ?net:Netmodel.t ->
+  ?tracer:Autocfd_obs.Trace.t ->
+  nranks:int ->
+  (comm -> unit) ->
+  stats
+(** @raise Deadlock when ranks block forever; the message lists, for every
+    blocked rank, the (src, tag) it is waiting on and its virtual time.
     @raise Invalid_argument when [nranks < 1].
     Any exception raised by a fiber is re-raised after annotating it with
-    the rank. *)
+    the rank.
+
+    When [tracer] is given, every virtual-clock mutation is recorded as an
+    {!Autocfd_obs.Trace} event (compute, send/recv overheads, blocked
+    intervals with the matched (src, tag), collective assembly and cost),
+    partitioning each rank's timeline exactly; simulated timings are
+    identical with and without a tracer. *)
 
 exception Rank_failure of int * exn

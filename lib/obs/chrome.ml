@@ -1,0 +1,85 @@
+let us seconds = seconds *. 1e6
+
+let event_json (e : Trace.event) =
+  let name, cat, args =
+    match e.Trace.ev_kind with
+    | Trace.Compute -> ("compute", "compute", [])
+    | Trace.Send { dest; tag; bytes } ->
+        ( Printf.sprintf "send \xe2\x86\x92%d" dest,
+          "comm",
+          [ ("dest", Json.Int dest); ("tag", Json.Int tag);
+            ("bytes", Json.Int bytes) ] )
+    | Trace.Recv { src; tag; bytes } ->
+        ( Printf.sprintf "recv \xe2\x86\x90%d" src,
+          "comm",
+          [ ("src", Json.Int src); ("tag", Json.Int tag);
+            ("bytes", Json.Int bytes) ] )
+    | Trace.Blocked { src; tag } ->
+        if src < 0 then ("blocked (collective)", "blocked", [])
+        else
+          ( Printf.sprintf "blocked \xe2\x86\x90%d" src,
+            "blocked",
+            [ ("src", Json.Int src); ("tag", Json.Int tag) ] )
+    | Trace.Collective { op; bytes } ->
+        (op, "collective", [ ("bytes", Json.Int bytes) ])
+    | Trace.Phase { label; loop; iter } ->
+        ( label,
+          "phase",
+          (match loop with Some v -> [ ("loop", Json.Str v) ] | None -> [])
+          @ (match iter with Some i -> [ ("iter", Json.Int i) ] | None -> [])
+        )
+  in
+  let args =
+    if e.Trace.ev_sync >= 0 then ("sync", Json.Int e.Trace.ev_sync) :: args
+    else args
+  in
+  Json.Obj
+    [
+      ("name", Json.Str name);
+      ("cat", Json.Str cat);
+      ("ph", Json.Str "X");
+      ("ts", Json.Float (us e.Trace.ev_t0));
+      ("dur", Json.Float (us (e.Trace.ev_t1 -. e.Trace.ev_t0)));
+      ("pid", Json.Int 0);
+      ("tid", Json.Int e.Trace.ev_rank);
+      ("args", Json.Obj args);
+    ]
+
+let metadata nranks =
+  let meta name tid args =
+    Json.Obj
+      [
+        ("name", Json.Str name);
+        ("ph", Json.Str "M");
+        ("pid", Json.Int 0);
+        ("tid", Json.Int tid);
+        ("args", Json.Obj args);
+      ]
+  in
+  meta "process_name" 0
+    [ ("name", Json.Str "autocfd simulated cluster") ]
+  :: List.init nranks (fun r ->
+         meta "thread_name" r
+           [ ("name", Json.Str (Printf.sprintf "rank %d" r)) ])
+
+let json tr =
+  (* phase slices are emitted before the slices they contain so viewers
+     that respect emission order nest them correctly; complete events are
+     otherwise order-independent *)
+  let phases, rest =
+    List.partition
+      (fun (e : Trace.event) ->
+        match e.Trace.ev_kind with Trace.Phase _ -> true | _ -> false)
+      (Trace.events tr)
+  in
+  Json.Obj
+    [
+      ("traceEvents",
+       Json.List
+         (metadata (Trace.nranks tr)
+         @ List.map event_json phases
+         @ List.map event_json rest));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let to_string tr = Json.to_string (json tr)

@@ -1,0 +1,11 @@
+(** Chrome [trace_event] export: the traced run as a JSON document loadable
+    in [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}.
+
+    Each simulated rank becomes one thread (tid = rank) of a single
+    process; every trace event becomes a complete ("ph":"X") slice with
+    virtual-time timestamps in microseconds.  Slice categories: [compute],
+    [comm], [blocked], [collective] and [phase] (the combined
+    synchronization points, enclosing their constituent slices). *)
+
+val json : Trace.t -> Json.t
+val to_string : Trace.t -> string

@@ -1,0 +1,34 @@
+(** Minimal JSON tree, printer and parser.
+
+    The observability layer emits Chrome [trace_event] files and compact
+    metrics documents; this module is the (dependency-free) substrate.  The
+    printer produces RFC 8259 output; the parser accepts everything the
+    printer emits (used by the round-trip tests and by tooling that diffs
+    [BENCH_tables.json] across revisions). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+(** Compact (single-line) rendering.  Non-finite floats render as [null];
+    finite floats use the shortest decimal form that round-trips. *)
+
+val pretty : t -> string
+(** Two-space indented rendering, for human-facing output files. *)
+
+val of_string : string -> t
+(** @raise Parse_error on malformed input or trailing garbage. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on other constructors. *)
+
+val to_float_exn : t -> float
+(** Numeric coercion of [Int] or [Float].  @raise Parse_error otherwise. *)

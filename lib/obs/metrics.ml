@@ -1,0 +1,156 @@
+type rank_row = {
+  rr_rank : int;
+  rr_compute : float;
+  rr_comm : float;
+  rr_blocked : float;
+  rr_finish : float;
+}
+
+type sync_row = {
+  sr_id : int;
+  sr_label : string;
+  sr_loop : string option;
+  sr_executions : int;
+  sr_messages : int;
+  sr_bytes : int;
+  sr_comm_time : float;
+  sr_blocked_time : float;
+  sr_phase_time : float;
+}
+
+type t = {
+  ranks : rank_row array;
+  syncs : sync_row list;
+  elapsed : float;
+  messages : int;
+  bytes : int;
+}
+
+type sync_acc = {
+  mutable a_label : string;
+  mutable a_loop : string option;
+  mutable a_executions : int;
+  mutable a_messages : int;
+  mutable a_bytes : int;
+  mutable a_comm : float;
+  mutable a_blocked : float;
+  mutable a_phase : float;
+}
+
+let of_trace tr =
+  let n = Trace.nranks tr in
+  let compute = Array.make n 0.0
+  and comm = Array.make n 0.0
+  and blocked = Array.make n 0.0
+  and finish = Array.make n 0.0 in
+  let messages = ref 0 and bytes = ref 0 in
+  let syncs : (int, sync_acc) Hashtbl.t = Hashtbl.create 16 in
+  let acc id =
+    match Hashtbl.find_opt syncs id with
+    | Some a -> a
+    | None ->
+        let a =
+          { a_label = ""; a_loop = None; a_executions = 0; a_messages = 0;
+            a_bytes = 0; a_comm = 0.0; a_blocked = 0.0; a_phase = 0.0 }
+        in
+        Hashtbl.replace syncs id a;
+        a
+  in
+  List.iter
+    (fun (e : Trace.event) ->
+      let r = e.Trace.ev_rank in
+      let dur = e.Trace.ev_t1 -. e.Trace.ev_t0 in
+      if r >= 0 && r < n then finish.(r) <- Float.max finish.(r) e.Trace.ev_t1;
+      let tagged = e.Trace.ev_sync >= 0 in
+      match e.Trace.ev_kind with
+      | Trace.Compute -> if r >= 0 && r < n then compute.(r) <- compute.(r) +. dur
+      | Trace.Send { bytes = b; _ } ->
+          if r >= 0 && r < n then comm.(r) <- comm.(r) +. dur;
+          incr messages;
+          bytes := !bytes + b;
+          if tagged then begin
+            let a = acc e.Trace.ev_sync in
+            a.a_messages <- a.a_messages + 1;
+            a.a_bytes <- a.a_bytes + b;
+            a.a_comm <- a.a_comm +. dur
+          end
+      | Trace.Recv _ | Trace.Collective _ ->
+          if r >= 0 && r < n then comm.(r) <- comm.(r) +. dur;
+          if tagged then begin
+            let a = acc e.Trace.ev_sync in
+            a.a_comm <- a.a_comm +. dur
+          end
+      | Trace.Blocked _ ->
+          if r >= 0 && r < n then blocked.(r) <- blocked.(r) +. dur;
+          if tagged then begin
+            let a = acc e.Trace.ev_sync in
+            a.a_blocked <- a.a_blocked +. dur
+          end
+      | Trace.Phase { label; loop; _ } ->
+          if tagged then begin
+            let a = acc e.Trace.ev_sync in
+            a.a_label <- label;
+            (match loop with Some _ -> a.a_loop <- loop | None -> ());
+            a.a_executions <- a.a_executions + 1;
+            a.a_phase <- a.a_phase +. dur
+          end)
+    (Trace.events tr);
+  let ranks =
+    Array.init n (fun r ->
+        { rr_rank = r; rr_compute = compute.(r); rr_comm = comm.(r);
+          rr_blocked = blocked.(r); rr_finish = finish.(r) })
+  in
+  let syncs =
+    Hashtbl.fold
+      (fun id (a : sync_acc) rows ->
+        { sr_id = id; sr_label = a.a_label; sr_loop = a.a_loop;
+          sr_executions = a.a_executions; sr_messages = a.a_messages;
+          sr_bytes = a.a_bytes; sr_comm_time = a.a_comm;
+          sr_blocked_time = a.a_blocked; sr_phase_time = a.a_phase }
+        :: rows)
+      syncs []
+    |> List.sort (fun a b -> compare a.sr_id b.sr_id)
+  in
+  {
+    ranks;
+    syncs;
+    elapsed = Array.fold_left Float.max 0.0 finish;
+    messages = !messages;
+    bytes = !bytes;
+  }
+
+let to_json m =
+  let rank_json (r : rank_row) =
+    Json.Obj
+      [
+        ("rank", Json.Int r.rr_rank);
+        ("compute", Json.Float r.rr_compute);
+        ("comm", Json.Float r.rr_comm);
+        ("blocked", Json.Float r.rr_blocked);
+        ("finish", Json.Float r.rr_finish);
+      ]
+  in
+  let sync_json (s : sync_row) =
+    Json.Obj
+      [
+        ("id", Json.Int s.sr_id);
+        ("label", Json.Str s.sr_label);
+        ("loop",
+         match s.sr_loop with Some v -> Json.Str v | None -> Json.Null);
+        ("executions", Json.Int s.sr_executions);
+        ("messages", Json.Int s.sr_messages);
+        ("bytes", Json.Int s.sr_bytes);
+        ("comm_time", Json.Float s.sr_comm_time);
+        ("blocked_time", Json.Float s.sr_blocked_time);
+        ("phase_time", Json.Float s.sr_phase_time);
+      ]
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str "autocfd-metrics/1");
+      ("elapsed", Json.Float m.elapsed);
+      ("messages", Json.Int m.messages);
+      ("bytes", Json.Int m.bytes);
+      ("ranks", Json.List (List.map rank_json (Array.to_list m.ranks)));
+      ("sync_points", Json.List (List.map sync_json m.syncs));
+    ]

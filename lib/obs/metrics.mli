@@ -1,0 +1,37 @@
+(** Derived metrics of one traced run: where did every simulated second go
+    (per rank: compute / communication / blocked-idle), and which combined
+    synchronization point is responsible for every message, byte and
+    blocked second. *)
+
+type rank_row = {
+  rr_rank : int;
+  rr_compute : float;  (** seconds charged by [Sim.advance] *)
+  rr_comm : float;  (** send/recv overheads + collective costs *)
+  rr_blocked : float;  (** idle waiting on messages or collectives *)
+  rr_finish : float;  (** the rank's final virtual time *)
+}
+
+type sync_row = {
+  sr_id : int;  (** sync-point id (program order in the SPMD unit) *)
+  sr_label : string;
+  sr_loop : string option;  (** enclosing DO variable, if any *)
+  sr_executions : int;  (** phase entries across all ranks *)
+  sr_messages : int;
+  sr_bytes : int;
+  sr_comm_time : float;  (** summed over ranks *)
+  sr_blocked_time : float;  (** summed over ranks *)
+  sr_phase_time : float;  (** total rank-seconds inside the phase *)
+}
+
+type t = {
+  ranks : rank_row array;
+  syncs : sync_row list;  (** ascending sync-point id; executed points only *)
+  elapsed : float;
+  messages : int;
+  bytes : int;
+}
+
+val of_trace : Trace.t -> t
+
+val to_json : t -> Json.t
+(** Compact machine-readable document (schema version ["autocfd-metrics/1"]). *)

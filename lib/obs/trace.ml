@@ -1,0 +1,58 @@
+type kind =
+  | Compute
+  | Send of { dest : int; tag : int; bytes : int }
+  | Recv of { src : int; tag : int; bytes : int }
+  | Blocked of { src : int; tag : int }
+  | Collective of { op : string; bytes : int }
+  | Phase of { label : string; loop : string option; iter : int option }
+
+type event = {
+  ev_rank : int;
+  ev_t0 : float;
+  ev_t1 : float;
+  ev_sync : int;
+  ev_kind : kind;
+}
+
+type t = {
+  mutable nranks : int;
+  mutable ctx : int array;  (* per-rank current sync-point id, -1 = none *)
+  mutable rev_events : event list;
+  mutable count : int;
+}
+
+let create () = { nranks = 0; ctx = [||]; rev_events = []; count = 0 }
+
+let prepare t ~nranks =
+  t.nranks <- max t.nranks nranks;
+  if Array.length t.ctx < nranks then begin
+    let ctx = Array.make nranks (-1) in
+    Array.blit t.ctx 0 ctx 0 (Array.length t.ctx);
+    t.ctx <- ctx
+  end
+
+let current_sync t rank =
+  if rank >= 0 && rank < Array.length t.ctx then t.ctx.(rank) else -1
+
+let set_sync t ~rank ~sync =
+  if rank >= 0 && rank < Array.length t.ctx then t.ctx.(rank) <- sync
+
+let clear_sync t ~rank = set_sync t ~rank ~sync:(-1)
+
+let push t ev =
+  t.rev_events <- ev :: t.rev_events;
+  t.count <- t.count + 1
+
+let record t ~rank ~t0 ~t1 kind =
+  push t
+    { ev_rank = rank; ev_t0 = t0; ev_t1 = t1;
+      ev_sync = current_sync t rank; ev_kind = kind }
+
+let phase t ~rank ~t0 ~t1 ~sync ~label ?loop ?iter () =
+  push t
+    { ev_rank = rank; ev_t0 = t0; ev_t1 = t1; ev_sync = sync;
+      ev_kind = Phase { label; loop; iter } }
+
+let events t = List.rev t.rev_events
+let nranks t = t.nranks
+let length t = t.count

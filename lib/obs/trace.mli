@@ -1,0 +1,72 @@
+(** Structured execution tracing for the simulated cluster.
+
+    A tracer is an append-only buffer of per-rank timed events on the
+    simulator's virtual clock.  The simulator ({!Autocfd_mpsim.Sim})
+    records every mutation of a rank's clock — computation, send and
+    receive overheads, blocked-idle intervals and collective costs — so a
+    complete trace partitions each rank's timeline exactly: per rank,
+    compute + comm + blocked = finish time.
+
+    The SPMD executor additionally marks {e phases}: the interval a rank
+    spends inside one combined synchronization point (halo exchange,
+    pipeline handoff, reduction, broadcast, allgather), tagged with the
+    sync-point id, its enclosing loop variable and current iteration.
+    While a phase is open, the rank's {e sync context} is set, so the
+    simulator-level events recorded inside it inherit the sync-point id —
+    that is what lets {!Metrics} attribute every byte and every blocked
+    second to a specific synchronization point.
+
+    Tracing is strictly opt-in: when no tracer is passed to the simulator,
+    not a single event is allocated and simulated timings are unchanged. *)
+
+type kind =
+  | Compute
+  | Send of { dest : int; tag : int; bytes : int }
+  | Recv of { src : int; tag : int; bytes : int }
+  | Blocked of { src : int; tag : int }
+      (** idle, waiting on (src, tag); [src = -1] means waiting for a
+          collective to assemble *)
+  | Collective of { op : string; bytes : int }
+  | Phase of { label : string; loop : string option; iter : int option }
+
+type event = {
+  ev_rank : int;
+  ev_t0 : float;  (** virtual seconds *)
+  ev_t1 : float;
+  ev_sync : int;  (** combined sync-point id; [-1] outside any phase *)
+  ev_kind : kind;
+}
+
+type t
+
+val create : unit -> t
+
+val prepare : t -> nranks:int -> unit
+(** Called by the simulator at the start of a run; sizes the per-rank sync
+    context.  Idempotent; events recorded earlier are kept. *)
+
+val record : t -> rank:int -> t0:float -> t1:float -> kind -> unit
+(** Append one event; its sync id is the rank's current context. *)
+
+val set_sync : t -> rank:int -> sync:int -> unit
+val clear_sync : t -> rank:int -> unit
+
+val phase :
+  t ->
+  rank:int ->
+  t0:float ->
+  t1:float ->
+  sync:int ->
+  label:string ->
+  ?loop:string ->
+  ?iter:int ->
+  unit ->
+  unit
+(** Append a phase-span event (recorded with [ev_sync = sync] regardless
+    of the current context). *)
+
+val events : t -> event list
+(** All events in recording order (per rank: non-decreasing [ev_t0]). *)
+
+val nranks : t -> int
+val length : t -> int

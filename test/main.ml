@@ -4,6 +4,7 @@ let () =
       ("util", Test_util.suite);
       ("partition", Test_partition.suite);
       ("mpsim", Test_mpsim.suite);
+      ("obs", Test_obs.suite);
       ("fortran", Test_fortran.suite);
       ("analysis", Test_analysis.suite);
       ("inline", Test_inline.suite);

@@ -123,7 +123,9 @@ let test_report_markdown () =
       Alcotest.(check bool) ("report contains " ^ needle) true (contains needle))
     [ "# Auto-CFD pre-compilation report"; "## Field loops";
       "## Dependence pairs (S_LDP)"; "## Synchronization optimization";
-      "block-parallel"; "speedup" ];
+      "block-parallel"; "speedup";
+      "## Measured execution (simulated cluster)";
+      "### Per-rank time breakdown"; "### Per-sync-point traffic" ];
   Alcotest.(check bool) "census sums to heads" true
     (List.fold_left (fun a (_, v) -> a + v) 0 (Autocfd.Report.loop_census plan)
     = List.length plan.D.strategies)

@@ -272,6 +272,74 @@ let test_sendrecv () =
   in
   Alcotest.(check bool) "pairwise swap" true !ok
 
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+  in
+  go 0
+
+let test_per_rank_counts_conserved () =
+  (* ring exchange plus two extra point-to-point messages: every send must
+     be matched by exactly one recv, per rank and in total *)
+  let stats =
+    run ~nranks:4 (fun c ->
+        let r = Sim.rank c in
+        let right = (r + 1) mod 4 and left = (r + 3) mod 4 in
+        Sim.send c ~dest:right ~tag:0 [| float_of_int r |];
+        ignore (Sim.recv c ~src:left ~tag:0);
+        if r = 0 then begin
+          Sim.send c ~dest:2 ~tag:1 [| 1.0 |];
+          Sim.send c ~dest:2 ~tag:1 [| 2.0 |]
+        end;
+        if r = 2 then begin
+          ignore (Sim.recv c ~src:0 ~tag:1);
+          ignore (Sim.recv c ~src:0 ~tag:1)
+        end)
+  in
+  let total a = Array.fold_left ( + ) 0 a in
+  Alcotest.(check int) "sends = messages" stats.Sim.messages
+    (total stats.Sim.rank_sends);
+  Alcotest.(check int) "recvs = messages" stats.Sim.messages
+    (total stats.Sim.rank_recvs);
+  Alcotest.(check int) "rank 0 sends" 3 stats.Sim.rank_sends.(0);
+  Alcotest.(check int) "rank 2 recvs" 3 stats.Sim.rank_recvs.(2);
+  Alcotest.(check int) "rank 1 sends" 1 stats.Sim.rank_sends.(1)
+
+let test_blocked_time_attributed () =
+  (* the receiver sits idle for the whole message flight: latency 1s *)
+  let net =
+    { Netmodel.latency = 1.0; bandwidth = infinity; send_overhead = 0.;
+      recv_overhead = 0. }
+  in
+  let stats =
+    run ~net ~nranks:2 (fun c ->
+        if Sim.rank c = 0 then Sim.send c ~dest:1 ~tag:0 [| 1.0 |]
+        else ignore (Sim.recv c ~src:0 ~tag:0))
+  in
+  Alcotest.(check (float 1e-9)) "receiver blocked for the latency" 1.0
+    stats.Sim.rank_blocked.(1);
+  Alcotest.(check (float 1e-9)) "sender never blocked" 0.0
+    stats.Sim.rank_blocked.(0)
+
+let test_deadlock_names_stuck_ranks () =
+  (* ranks 1 and 2 block on receives nobody sends; the diagnostic must
+     name each stuck rank with the (src, tag) it is waiting on *)
+  match
+    run ~nranks:3 (fun c ->
+        Sim.advance c 0.5;
+        if Sim.rank c = 1 then ignore (Sim.recv c ~src:0 ~tag:7);
+        if Sim.rank c = 2 then ignore (Sim.recv c ~src:0 ~tag:9))
+  with
+  | exception Sim.Deadlock msg ->
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) ("message mentions " ^ needle) true
+            (contains msg needle))
+        [ "rank 0: done"; "rank 1: blocked on recv(src=0, tag=7)";
+          "rank 2: blocked on recv(src=0, tag=9)"; "t=0.5" ]
+  | _ -> Alcotest.fail "expected Deadlock"
+
 let suite =
   [
     ("send/recv", `Quick, test_send_recv);
@@ -292,4 +360,7 @@ let suite =
     ("wait twice rejected", `Quick, test_wait_twice_rejected);
     ("irecv overlaps compute", `Quick, test_irecv_overlaps_compute);
     ("sendrecv", `Quick, test_sendrecv);
+    ("per-rank counts conserved", `Quick, test_per_rank_counts_conserved);
+    ("blocked time attributed", `Quick, test_blocked_time_attributed);
+    ("deadlock names stuck ranks", `Quick, test_deadlock_names_stuck_ranks);
   ]

@@ -1,0 +1,222 @@
+(** Tests for the observability layer: the JSON codec, the tracer's exact
+    time-accounting invariant, Chrome export, sync-point attribution and
+    the zero-overhead-when-off guarantee. *)
+
+module Obs = Autocfd_obs
+module J = Obs.Json
+open Autocfd_mpsim
+module D = Autocfd.Driver
+
+let heat =
+  {|
+c$acfd grid(m, n)
+c$acfd status(u, w)
+      program heat
+      parameter (m = 20, n = 10, ntime = 4)
+      real u(m, n), w(m, n)
+      real errmax
+      integer i, j, it
+      do 10 i = 1, m
+        do 10 j = 1, n
+          u(i, j) = 0.01 * float(i) * float(i) + 0.02 * float(j)
+ 10   continue
+      do 500 it = 1, ntime
+        do 100 i = 2, m - 1
+          do 100 j = 2, n - 1
+            w(i, j) = 0.25 * (u(i-1,j) + u(i+1,j) + u(i,j-1) + u(i,j+1))
+ 100    continue
+        errmax = 0.0
+        do 200 i = 2, m - 1
+          do 200 j = 2, n - 1
+            errmax = max(errmax, abs(w(i, j) - u(i, j)))
+            u(i, j) = w(i, j)
+ 200    continue
+ 500  continue
+      write(*,*) errmax
+      end
+|}
+
+let traced_heat =
+  lazy
+    (let t = D.load heat in
+     let plan = D.plan t ~parts:[| 2; 2 |] in
+     let result, tracer = D.run_traced plan in
+     (result, tracer))
+
+(* a simulator-level workload exercising every event kind *)
+let ring_body tracer =
+  Sim.run ~net:Netmodel.ethernet_100 ?tracer ~nranks:3 (fun c ->
+      let r = Sim.rank c in
+      Sim.advance c (0.001 *. float_of_int (r + 1));
+      let right = (r + 1) mod 3 and left = (r + 2) mod 3 in
+      Sim.send c ~dest:right ~tag:0 (Array.make 100 (float_of_int r));
+      ignore (Sim.recv c ~src:left ~tag:0);
+      ignore (Sim.allreduce c `Max (float_of_int r));
+      ignore (Sim.bcast c ~root:0 (if r = 0 then [| 1.0; 2.0 |] else [||]));
+      Sim.barrier c)
+
+(* ------------------------------------------------------------------ *)
+(* JSON codec                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let doc =
+    J.Obj
+      [
+        ("a", J.Int 42);
+        ("b", J.Float 0.1);
+        ("c", J.Str "quote \" backslash \\ newline \n unicode \xe2\x86\x92");
+        ("d", J.List [ J.Null; J.Bool true; J.Bool false ]);
+        ("e", J.Obj []);
+        ("tiny", J.Float 1.0000000000000002);
+      ]
+  in
+  let parsed = J.of_string (J.to_string doc) in
+  Alcotest.(check bool) "value round-trips" true (parsed = doc);
+  Alcotest.(check string) "serialization is a fixpoint" (J.to_string doc)
+    (J.to_string parsed);
+  Alcotest.(check bool) "pretty parses to the same value" true
+    (J.of_string (J.pretty doc) = doc)
+
+let test_json_errors () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("rejects " ^ s) true
+        (match J.of_string s with
+        | exception J.Parse_error _ -> true
+        | _ -> false))
+    [ "{"; "[1,]"; "tru"; "\"unterminated"; "1 2"; "{\"a\" 1}" ]
+
+(* ------------------------------------------------------------------ *)
+(* Tracer invariants on the raw simulator                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_events_monotone_per_rank () =
+  let tracer = Obs.Trace.create () in
+  let _ = ring_body (Some tracer) in
+  let last = Array.make (Obs.Trace.nranks tracer) 0.0 in
+  List.iter
+    (fun (e : Obs.Trace.event) ->
+      Alcotest.(check bool) "span is forward" true (e.ev_t1 >= e.ev_t0);
+      match e.ev_kind with
+      | Obs.Trace.Phase _ -> () (* phases enclose other events *)
+      | _ ->
+          Alcotest.(check bool) "no overlap within a rank" true
+            (e.ev_t0 >= last.(e.ev_rank) -. 1e-12);
+          last.(e.ev_rank) <- e.ev_t1)
+    (Obs.Trace.events tracer)
+
+let test_breakdown_sums_to_finish () =
+  let tracer = Obs.Trace.create () in
+  let stats = ring_body (Some tracer) in
+  let m = Obs.Metrics.of_trace tracer in
+  Array.iter
+    (fun (r : Obs.Metrics.rank_row) ->
+      Alcotest.(check (float 1e-9)) "compute+comm+blocked = finish"
+        r.Obs.Metrics.rr_finish
+        (r.Obs.Metrics.rr_compute +. r.Obs.Metrics.rr_comm
+        +. r.Obs.Metrics.rr_blocked))
+    m.Obs.Metrics.ranks;
+  Alcotest.(check (float 1e-9)) "metrics elapsed = stats elapsed"
+    stats.Sim.elapsed m.Obs.Metrics.elapsed;
+  Alcotest.(check int) "messages counted" stats.Sim.messages
+    m.Obs.Metrics.messages;
+  Alcotest.(check int) "bytes counted" stats.Sim.bytes m.Obs.Metrics.bytes
+
+let test_tracing_off_identical_stats () =
+  let with_tracer = ring_body (Some (Obs.Trace.create ())) in
+  let without = ring_body None in
+  Alcotest.(check bool) "identical Sim.stats" true (with_tracer = without)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: traced SPMD execution of a real plan                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_spmd_trace_accounts_elapsed () =
+  let result, tracer = Lazy.force traced_heat in
+  let stats = result.Autocfd_interp.Spmd.stats in
+  let m = Obs.Metrics.of_trace tracer in
+  Array.iter
+    (fun (r : Obs.Metrics.rank_row) ->
+      Alcotest.(check (float 1e-9)) "compute+comm+blocked = finish"
+        r.Obs.Metrics.rr_finish
+        (r.Obs.Metrics.rr_compute +. r.Obs.Metrics.rr_comm
+        +. r.Obs.Metrics.rr_blocked))
+    m.Obs.Metrics.ranks;
+  let max_finish =
+    Array.fold_left
+      (fun acc (r : Obs.Metrics.rank_row) ->
+        Float.max acc r.Obs.Metrics.rr_finish)
+      0.0 m.Obs.Metrics.ranks
+  in
+  Alcotest.(check (float 1e-9)) "ranks account for the elapsed time"
+    stats.Autocfd_mpsim.Sim.elapsed max_finish
+
+let test_spmd_sync_attribution () =
+  let _, tracer = Lazy.force traced_heat in
+  let m = Obs.Metrics.of_trace tracer in
+  let syncs = m.Obs.Metrics.syncs in
+  Alcotest.(check bool) "sync table nonempty" true (syncs <> []);
+  let has p = List.exists p syncs in
+  let mentions s sub =
+    let nh = String.length s and nn = String.length sub in
+    let rec go i = i + nn <= nh && (String.sub s i nn = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "a halo exchange inside do it" true
+    (has (fun s ->
+         mentions s.Obs.Metrics.sr_label "halo"
+         && s.Obs.Metrics.sr_loop = Some "it"));
+  Alcotest.(check bool) "the max reduction appears" true
+    (has (fun s -> mentions s.Obs.Metrics.sr_label "allreduce max"));
+  List.iter
+    (fun (s : Obs.Metrics.sync_row) ->
+      Alcotest.(check bool) "executions positive" true
+        (s.Obs.Metrics.sr_executions > 0))
+    syncs;
+  (* every simulated message is attributed to some sync point: the SPMD
+     executor only communicates inside combined synchronization points *)
+  Alcotest.(check int) "all messages attributed" m.Obs.Metrics.messages
+    (List.fold_left (fun a s -> a + s.Obs.Metrics.sr_messages) 0 syncs)
+
+let test_chrome_export_roundtrip () =
+  let _, tracer = Lazy.force traced_heat in
+  let text = Obs.Chrome.to_string tracer in
+  let doc = J.of_string text in
+  let evs =
+    match J.member "traceEvents" doc with
+    | Some (J.List l) -> l
+    | _ -> Alcotest.fail "traceEvents missing"
+  in
+  (* every trace event plus one process_name and one thread_name per rank *)
+  Alcotest.(check int) "event count"
+    (Obs.Trace.length tracer + Obs.Trace.nranks tracer + 1)
+    (List.length evs);
+  List.iter
+    (fun e ->
+      match J.member "ph" e with
+      | Some (J.Str "M") -> ()
+      | Some (J.Str "X") ->
+          let num k =
+            match J.member k e with
+            | Some v -> J.to_float_exn v
+            | None -> Alcotest.fail (k ^ " missing")
+          in
+          Alcotest.(check bool) "ts >= 0" true (num "ts" >= 0.0);
+          Alcotest.(check bool) "dur >= 0" true (num "dur" >= 0.0)
+      | _ -> Alcotest.fail "unexpected event phase")
+    evs;
+  Alcotest.(check string) "serialization fixpoint" (J.to_string doc)
+    (J.to_string (J.of_string (J.to_string doc)))
+
+let suite =
+  [
+    ("json roundtrip", `Quick, test_json_roundtrip);
+    ("json errors", `Quick, test_json_errors);
+    ("events monotone per rank", `Quick, test_events_monotone_per_rank);
+    ("breakdown sums to finish", `Quick, test_breakdown_sums_to_finish);
+    ("tracing off: identical stats", `Quick, test_tracing_off_identical_stats);
+    ("spmd trace accounts elapsed", `Quick, test_spmd_trace_accounts_elapsed);
+    ("spmd sync attribution", `Quick, test_spmd_sync_attribution);
+    ("chrome export roundtrip", `Quick, test_chrome_export_roundtrip);
+  ]
