@@ -8,9 +8,11 @@
       bench/main.exe tables      all tables, no micro-benchmarks
       bench/main.exe micro       micro-benchmarks only
       bench/main.exe ablation    optimal vs first-fit combining ablation
+      bench/main.exe engine      tree-walking vs compiled execution engine
       bench/main.exe --json      write BENCH_tables.json (tables 1-5 +
-                                 model validation, machine-readable, for
-                                 diffing the perf trajectory across PRs) *)
+                                 model validation + engine speedup,
+                                 machine-readable, for diffing the perf
+                                 trajectory across PRs) *)
 
 module E = Autocfd.Experiments
 module D = Autocfd.Driver
@@ -87,6 +89,9 @@ let micro () =
   let spray = D.load spray_src in
   let small = D.load (Autocfd_apps.Sprayer.source ~ni:40 ~nj:20 ~ntime:3 ()) in
   let small_plan = D.plan small ~parts:[| 2; 2 |] in
+  let small_aero =
+    D.load (Autocfd_apps.Aerofoil.source ~ni:16 ~nj:10 ~nk:6 ~ntime:2 ())
+  in
   let tests =
     [
       (* Table 1 pipeline stage: full analysis + sync optimization *)
@@ -116,6 +121,28 @@ let micro () =
       (* Table 5 stage / correctness path: simulated SPMD execution *)
       Test.make ~name:"table5:spmd-execute (sprayer 40x20, 4 ranks)"
         (Staged.stage (fun () -> ignore (D.run_parallel small_plan)));
+      (* Execution engines head to head on the same simulated runs *)
+      Test.make ~name:"engine:tree-walk (sprayer 40x20, 4 ranks)"
+        (Staged.stage (fun () ->
+             ignore
+               (D.run_parallel ~engine:Autocfd_interp.Spmd.Tree small_plan)));
+      Test.make ~name:"engine:compiled (sprayer 40x20, 4 ranks)"
+        (Staged.stage (fun () ->
+             ignore
+               (D.run_parallel ~engine:Autocfd_interp.Spmd.Compiled
+                  small_plan)));
+      Test.make ~name:"engine:tree-walk (aerofoil 16x10x6, 4 ranks)"
+        (Staged.stage
+           (let plan = D.plan small_aero ~parts:[| 2; 2; 1 |] in
+            fun () ->
+              ignore
+                (D.run_parallel ~engine:Autocfd_interp.Spmd.Tree plan)));
+      Test.make ~name:"engine:compiled (aerofoil 16x10x6, 4 ranks)"
+        (Staged.stage
+           (let plan = D.plan small_aero ~parts:[| 2; 2; 1 |] in
+            fun () ->
+              ignore
+                (D.run_parallel ~engine:Autocfd_interp.Spmd.Compiled plan)));
     ]
   in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
@@ -223,6 +250,7 @@ let () =
   | "advisor" -> print_advisor ()
   | "validate" ->
       print_string (E.render_validation (E.validate_model ()))
+  | "engine" -> print_string (E.render_engine (E.engine_bench ()))
   | "tables" -> all_tables ()
   | "--json" | "json" -> write_json ()
   | "micro" -> micro ()

@@ -151,18 +151,33 @@ type seq_result = {
   sq_flops : float;
 }
 
-let run_sequential ?(input = []) t =
-  let m = I.Machine.create ~input t.inlined in
-  I.Machine.run m;
-  {
-    sq_output = I.Machine.output m;
-    sq_arrays =
-      List.map (fun n -> (n, I.Machine.array m n)) (I.Machine.array_names m);
-    sq_flops = I.Machine.flops m;
-  }
+let run_sequential ?(engine = I.Spmd.Compiled) ?(input = []) t =
+  match engine with
+  | I.Spmd.Tree ->
+      let m = I.Machine.create ~input t.inlined in
+      I.Machine.run m;
+      {
+        sq_output = I.Machine.output m;
+        sq_arrays =
+          List.map
+            (fun n -> (n, I.Machine.array m n))
+            (I.Machine.array_names m);
+        sq_flops = I.Machine.flops m;
+      }
+  | I.Spmd.Compiled ->
+      let st = I.Compile.create ~input (I.Compile.of_unit t.inlined) in
+      I.Compile.run st;
+      {
+        sq_output = I.Compile.output st;
+        sq_arrays =
+          List.map
+            (fun n -> (n, I.Compile.array st n))
+            (I.Compile.array_names st);
+        sq_flops = I.Compile.flops st;
+      }
 
-let run_parallel ?(net = M.Netmodel.fast) ?(flop_time = 0.0) ?(input = [])
-    ?tracer plan =
+let run_parallel ?engine ?(net = M.Netmodel.fast) ?(flop_time = 0.0)
+    ?(input = []) ?tracer plan =
   let config =
     {
       I.Spmd.gi = plan.source.gi;
@@ -173,7 +188,7 @@ let run_parallel ?(net = M.Netmodel.fast) ?(flop_time = 0.0) ?(input = [])
       tracer;
     }
   in
-  I.Spmd.run config plan.spmd
+  I.Spmd.run ?engine config plan.spmd
 
 (* per-flop charge matching the reference machine under the plan's per-rank
    working set (same calibration as the model-validation experiments) *)

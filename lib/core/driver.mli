@@ -71,9 +71,13 @@ type seq_result = {
   sq_flops : float;
 }
 
-val run_sequential : ?input:float list -> t -> seq_result
+val run_sequential :
+  ?engine:Autocfd_interp.Spmd.engine -> ?input:float list -> t -> seq_result
+(** Executes the inlined sequential unit.  [engine] selects the evaluator
+    (default [Compiled]); results are bit-identical either way. *)
 
 val run_parallel :
+  ?engine:Autocfd_interp.Spmd.engine ->
   ?net:Autocfd_mpsim.Netmodel.t ->
   ?flop_time:float ->
   ?input:float list ->

@@ -265,6 +265,75 @@ let validate_model () =
     cases
 
 (* ------------------------------------------------------------------ *)
+(* Execution-engine benchmark: tree-walking vs compiled                *)
+(* ------------------------------------------------------------------ *)
+
+type engine_row = {
+  er_program : string;
+  er_parts : int array;
+  er_tree_s : float;
+  er_compiled_s : float;
+  er_speedup : float;
+  er_identical : bool;
+}
+
+let results_identical (a : Autocfd_interp.Spmd.result)
+    (b : Autocfd_interp.Spmd.result) =
+  let arrays_eq =
+    List.length a.Autocfd_interp.Spmd.gathered
+    = List.length b.Autocfd_interp.Spmd.gathered
+    && List.for_all2
+         (fun (na, aa) (nb, ab) ->
+           na = nb
+           && aa.Autocfd_interp.Value.bounds = ab.Autocfd_interp.Value.bounds
+           && aa.Autocfd_interp.Value.data = ab.Autocfd_interp.Value.data)
+         a.Autocfd_interp.Spmd.gathered b.Autocfd_interp.Spmd.gathered
+  in
+  arrays_eq
+  && a.Autocfd_interp.Spmd.scalars = b.Autocfd_interp.Spmd.scalars
+  && a.Autocfd_interp.Spmd.flops_per_rank = b.Autocfd_interp.Spmd.flops_per_rank
+  && a.Autocfd_interp.Spmd.output = b.Autocfd_interp.Spmd.output
+  && a.Autocfd_interp.Spmd.stats = b.Autocfd_interp.Spmd.stats
+
+let engine_bench () =
+  let time_run f =
+    ignore (f ());
+    (* warm: populate compile + plan caches *)
+    let reps = 3 in
+    let t0 = Sys.time () in
+    for _ = 1 to reps do
+      ignore (f ())
+    done;
+    (Sys.time () -. t0) /. float_of_int reps
+  in
+  let case name source parts =
+    let t = Driver.load source in
+    let plan = Driver.plan t ~parts in
+    let run engine () = Driver.run_parallel ~engine plan in
+    let tree = run Autocfd_interp.Spmd.Tree in
+    let compiled = run Autocfd_interp.Spmd.Compiled in
+    let identical = results_identical (tree ()) (compiled ()) in
+    let tree_s = time_run tree in
+    let compiled_s = time_run compiled in
+    {
+      er_program = name;
+      er_parts = parts;
+      er_tree_s = tree_s;
+      er_compiled_s = compiled_s;
+      er_speedup = tree_s /. compiled_s;
+      er_identical = identical;
+    }
+  in
+  [
+    case "aerofoil"
+      (Apps.Aerofoil.source ~ni:24 ~nj:12 ~nk:8 ~ntime:2 ())
+      [| 2; 2; 1 |];
+    case "sprayer"
+      (Apps.Sprayer.source ~ni:80 ~nj:40 ~ntime:4 ())
+      [| 2; 2 |];
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -341,6 +410,30 @@ let render_validation rows =
           cell_float ~decimals:3 r.vr_simulated;
           cell_float ~decimals:3 r.vr_modelled;
           cell_float r.vr_ratio;
+        ])
+    rows;
+  render t
+
+let render_engine rows =
+  let open Autocfd_util.Table in
+  let t =
+    create
+      ~title:
+        "Execution engine: tree-walking interpreter vs compiled closure IR \
+         (simulated SPMD run, identical results)"
+      ~headers:
+        [ "program"; "partition"; "tree (s)"; "compiled (s)"; "speedup";
+          "identical" ]
+  in
+  List.iter
+    (fun r ->
+      add_row t
+        [
+          r.er_program; shape r.er_parts;
+          cell_float ~decimals:3 r.er_tree_s;
+          cell_float ~decimals:3 r.er_compiled_s;
+          cell_float r.er_speedup;
+          (if r.er_identical then "yes" else "NO");
         ])
     rows;
   render t
@@ -479,6 +572,20 @@ let tables_json () =
           ])
       (validate_model ())
   in
+  let engine =
+    List.map
+      (fun r ->
+        J.Obj
+          [
+            ("program", J.Str r.er_program);
+            ("partition", parts_json r.er_parts);
+            ("tree_s", J.Float r.er_tree_s);
+            ("compiled_s", J.Float r.er_compiled_s);
+            ("speedup", J.Float r.er_speedup);
+            ("identical", J.Bool r.er_identical);
+          ])
+      (engine_bench ())
+  in
   J.Obj
     [
       ("schema", J.Str "autocfd-bench/1");
@@ -488,4 +595,5 @@ let tables_json () =
       ("table4", J.List t4);
       ("table5", J.List t5);
       ("validation", J.List validation);
+      ("engine", J.List engine);
     ]

@@ -88,6 +88,25 @@ val validate_model : unit -> validation_row list
 
 val render_validation : validation_row list -> string
 
+type engine_row = {
+  er_program : string;
+  er_parts : int array;
+  er_tree_s : float;  (** mean wall-clock of a tree-walking SPMD run *)
+  er_compiled_s : float;  (** same run on the compiled closure IR *)
+  er_speedup : float;  (** tree / compiled *)
+  er_identical : bool;
+      (** gathered arrays, scalars, WRITE output, per-rank flop counts and
+          simulator stats all bit-identical between the two engines *)
+}
+
+val engine_bench : unit -> engine_row list
+(** Head-to-head of the two execution engines on a small aerofoil and
+    sprayer instance: each case is executed on the simulated cluster with
+    both engines, results are checked for bit-identity, then each engine
+    is timed over repeated runs. *)
+
+val render_engine : engine_row list -> string
+
 val machine : Autocfd_perfmodel.Model.machine
 (** The calibrated cluster model used by every timing table. *)
 
@@ -97,6 +116,7 @@ val sprayer_frames : int
     magnitudes (the paper does not state its iteration counts). *)
 
 val tables_json : unit -> Autocfd_obs.Json.t
-(** Every table (1-5) plus the model-validation rows as one JSON document
-    (schema ["autocfd-bench/1"]) — the diffable perf trajectory written to
+(** Every table (1-5), the model-validation rows and the execution-engine
+    benchmark (key ["engine"]) as one JSON document (schema
+    ["autocfd-bench/1"]) — the diffable perf trajectory written to
     [BENCH_tables.json] by [bench/main.exe --json]. *)

@@ -1,0 +1,1087 @@
+open Autocfd_fortran
+
+(* Same dynamic-error/stop exceptions as the tree-walking machine, so
+   callers catch one exception set regardless of engine. *)
+let error fmt = Format.kasprintf (fun m -> raise (Machine.Runtime_error m)) fmt
+
+exception Jump of int
+
+(* ------------------------------------------------------------------ *)
+(* Compiled unit and runtime state                                     *)
+(* ------------------------------------------------------------------ *)
+
+type slot_kind = KInt | KReal | KBool | KDyn
+
+type cu = {
+  cu_unit : Ast.program_unit;
+  sc_index : (string, int) Hashtbl.t;
+  sc_names : string array;
+  sc_kinds : slot_kind array;
+  sc_types : Ast.dtype array;  (* assignment conversion target per slot *)
+  sc_init : (int * Value.scalar) list;  (* PARAMETER + scalar DATA *)
+  ar_index : (string, int) Hashtbl.t;
+  ar_names : string array;  (* sorted *)
+  ar_template : Value.arr array;  (* bounds + DATA contents, copied per state *)
+  mutable cu_body : state -> unit;
+}
+
+and state = {
+  cu : cu;
+  sf : float array;  (* real slots *)
+  si : int array;  (* integer slots *)
+  sb : bool array;  (* logical slots *)
+  sd : Value.scalar array;  (* dynamically-typed slots (rare) *)
+  sset : bool array;
+  arrs : Value.arr array;
+  adata : float array array;  (* arrs.(i).data, one indirection less *)
+  mutable flops : float;
+  mutable input : float list;
+  mutable out_rev : string list;
+  hooks : hooks;
+}
+
+and hooks = {
+  h_block : (int -> int * int) option;
+  h_comm : state -> sid:int -> Ast.comm -> unit;
+  h_pipe_recv :
+    state -> sid:int -> dim:int -> dir:Ast.direction -> (string * int) list
+    -> unit;
+  h_pipe_send :
+    state -> sid:int -> dim:int -> dir:Ast.direction -> (string * int) list
+    -> unit;
+  h_read : state -> int -> float array;
+  h_write : state -> Value.scalar list -> unit;
+}
+
+let default_read st n =
+  let out = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    match st.input with
+    | [] -> error "READ: input exhausted"
+    | x :: rest ->
+        out.(i) <- x;
+        st.input <- rest
+  done;
+  out
+
+let default_write st values =
+  let line =
+    String.concat " "
+      (List.map (fun v -> Format.asprintf "%a" Value.pp_scalar v) values)
+  in
+  st.out_rev <- line :: st.out_rev
+
+let sequential_hooks =
+  {
+    h_block = None;
+    h_comm =
+      (fun _ ~sid:_ _ ->
+        error "communication statement on the sequential machine");
+    h_pipe_recv =
+      (fun _ ~sid:_ ~dim:_ ~dir:_ _ ->
+        error "pipeline recv on the sequential machine");
+    h_pipe_send =
+      (fun _ ~sid:_ ~dim:_ ~dir:_ _ ->
+        error "pipeline send on the sequential machine");
+    h_read = default_read;
+    h_write = default_write;
+  }
+
+(* Flop accounting: identical increments in identical program positions as
+   Machine.charge, so flop totals (and hence simulated compute times) are
+   bit-identical. *)
+let ch st = st.flops <- st.flops +. 1.0
+
+(* ------------------------------------------------------------------ *)
+(* Typed closure IR                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type cexp =
+  | F of (state -> float)
+  | I of (state -> int)
+  | B of (state -> bool)
+  | D of (state -> Value.scalar)  (* statically unknown: full dispatch *)
+
+let as_float = function
+  | F f -> f
+  | I f -> fun st -> float_of_int (f st)
+  | B f -> fun st -> if f st then 1.0 else 0.0
+  | D f -> fun st -> Value.to_float (f st)
+
+let as_int = function
+  | I f -> f
+  | F f -> fun st -> truncate (f st)  (* = Value.to_int of a Real *)
+  | B f -> fun st -> if f st then 1 else 0
+  | D f -> fun st -> Value.to_int (f st)
+
+let as_bool = function
+  | B f -> f
+  | I f -> fun st -> f st <> 0
+  | F f -> fun st -> f st <> 0.0
+  | D f -> fun st -> Value.to_bool (f st)
+
+let as_scalar = function
+  | F f -> fun st -> Value.Real (f st)
+  | I f -> fun st -> Value.Int (f st)
+  | B f -> fun st -> Value.Bool (f st)
+  | D f -> f
+
+(* compile context: the cu minus the body *)
+type ctx = {
+  x_sc : (string, int) Hashtbl.t;
+  x_kinds : slot_kind array;
+  x_types : Ast.dtype array;
+  x_ar : (string, int) Hashtbl.t;
+  x_bounds : (int * int) array array;
+}
+
+let unset_var x : 'a = error "variable '%s' used before being set" x
+
+(* ------------------------------------------------------------------ *)
+(* Array references: precomputed strides, fused offsets                *)
+(* ------------------------------------------------------------------ *)
+
+let strides_of bounds =
+  let n = Array.length bounds in
+  let strides = Array.make n 1 in
+  let size = ref 1 in
+  for d = 0 to n - 1 do
+    let lo, hi = bounds.(d) in
+    strides.(d) <- !size;
+    size := !size * (hi - lo + 1)
+  done;
+  strides
+
+let base_of bounds strides =
+  let b = ref 0 in
+  Array.iteri (fun d (lo, _) -> b := !b + (lo * strides.(d))) bounds;
+  !b
+
+let idx_str idx =
+  String.concat "," (Array.to_list (Array.map string_of_int idx))
+
+(* mirror Machine's wrapped Value.linear_index failure on a read *)
+let fail_ref name bounds idx : 'a =
+  let n = Array.length bounds in
+  if Array.length idx <> n then
+    error "%s(%s): Value.linear_index: %d subscripts for rank %d" name
+      (idx_str idx) (Array.length idx) n
+  else begin
+    let msg = ref "" in
+    (try
+       Array.iteri
+         (fun d i ->
+           let lo, hi = bounds.(d) in
+           if i < lo || i > hi then begin
+             msg :=
+               Printf.sprintf
+                 "Value.linear_index: subscript %d out of bounds %d:%d in \
+                  dim %d"
+                 i lo hi d;
+             raise Exit
+           end)
+         idx
+     with Exit -> ());
+    error "%s(%s): %s" name (idx_str idx) !msg
+  end
+
+(* mirror Machine.assign's wrapped failure on a write (no index list) *)
+let fail_set name bounds idx : 'a =
+  let n = Array.length bounds in
+  if Array.length idx <> n then
+    error "%s: Value.linear_index: %d subscripts for rank %d" name
+      (Array.length idx) n
+  else begin
+    let msg = ref "" in
+    (try
+       Array.iteri
+         (fun d i ->
+           let lo, hi = bounds.(d) in
+           if i < lo || i > hi then begin
+             msg :=
+               Printf.sprintf
+                 "Value.linear_index: subscript %d out of bounds %d:%d in \
+                  dim %d"
+                 i lo hi d;
+             raise Exit
+           end)
+         idx
+     with Exit -> ());
+    error "%s: %s" name !msg
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Expression compilation                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rec comp ctx (e : Ast.expr) : cexp =
+  match e with
+  | Ast.Const_int i -> I (fun _ -> i)
+  | Ast.Const_real f -> F (fun _ -> f)
+  | Ast.Const_bool b -> B (fun _ -> b)
+  | Ast.Const_str s -> D (fun _ -> Value.Str s)
+  | Ast.Var x -> comp_var ctx x
+  | Ast.Ref (name, args) ->
+      if Hashtbl.mem ctx.x_ar name then comp_ref ctx name args
+      else comp_intrinsic ctx name args
+  | Ast.Unop (Ast.Neg, a) -> (
+      match comp ctx a with
+      | I f -> I (fun st -> -f st)
+      | F f ->
+          F
+            (fun st ->
+              ch st;
+              -.f st)
+      | B f ->
+          F
+            (fun st ->
+              ch st;
+              if f st then -1.0 else -0.0)
+      | D f ->
+          D
+            (fun st ->
+              match f st with
+              | Value.Int i -> Value.Int (-i)
+              | v ->
+                  ch st;
+                  Value.Real (-.Value.to_float v)))
+  | Ast.Unop (Ast.Lnot, a) ->
+      let f = as_bool (comp ctx a) in
+      B (fun st -> not (f st))
+  | Ast.Binop (op, a, b) -> comp_binop ctx op a b
+  | Ast.Local_lo (d, a) ->
+      let f = as_int (comp ctx a) in
+      I
+        (fun st ->
+          let v = f st in
+          match st.hooks.h_block with
+          | None -> v
+          | Some g -> max v (fst (g d)))
+  | Ast.Local_hi (d, a) ->
+      let f = as_int (comp ctx a) in
+      I
+        (fun st ->
+          let v = f st in
+          match st.hooks.h_block with
+          | None -> v
+          | Some g -> min v (snd (g d)))
+
+and comp_var ctx x =
+  match Hashtbl.find_opt ctx.x_sc x with
+  | None -> D (fun _ -> unset_var x)
+  | Some i -> (
+      match ctx.x_kinds.(i) with
+      | KInt -> I (fun st -> if st.sset.(i) then st.si.(i) else unset_var x)
+      | KReal -> F (fun st -> if st.sset.(i) then st.sf.(i) else unset_var x)
+      | KBool -> B (fun st -> if st.sset.(i) then st.sb.(i) else unset_var x)
+      | KDyn -> D (fun st -> if st.sset.(i) then st.sd.(i) else unset_var x))
+
+and comp_ref ctx name args =
+  let slot = Hashtbl.find ctx.x_ar name in
+  let bounds = ctx.x_bounds.(slot) in
+  let rank = Array.length bounds in
+  let idxf = Array.of_list (List.map (fun a -> as_int (comp ctx a)) args) in
+  if Array.length idxf <> rank then
+    F
+      (fun st ->
+        let idx = Array.map (fun f -> f st) idxf in
+        fail_ref name bounds idx)
+  else begin
+    let strides = strides_of bounds in
+    let base = base_of bounds strides in
+    match idxf with
+    | [| f1 |] ->
+        let lo1, hi1 = bounds.(0) in
+        F
+          (fun st ->
+            let i1 = f1 st in
+            if i1 < lo1 || i1 > hi1 then fail_ref name bounds [| i1 |]
+            else st.adata.(slot).(i1 - lo1))
+    | [| f1; f2 |] ->
+        let lo1, hi1 = bounds.(0) and lo2, hi2 = bounds.(1) in
+        let s2 = strides.(1) in
+        F
+          (fun st ->
+            let i1 = f1 st in
+            let i2 = f2 st in
+            if i1 < lo1 || i1 > hi1 || i2 < lo2 || i2 > hi2 then
+              fail_ref name bounds [| i1; i2 |]
+            else st.adata.(slot).(i1 + (i2 * s2) - base))
+    | [| f1; f2; f3 |] ->
+        let lo1, hi1 = bounds.(0)
+        and lo2, hi2 = bounds.(1)
+        and lo3, hi3 = bounds.(2) in
+        let s2 = strides.(1) and s3 = strides.(2) in
+        F
+          (fun st ->
+            let i1 = f1 st in
+            let i2 = f2 st in
+            let i3 = f3 st in
+            if
+              i1 < lo1 || i1 > hi1 || i2 < lo2 || i2 > hi2 || i3 < lo3
+              || i3 > hi3
+            then fail_ref name bounds [| i1; i2; i3 |]
+            else st.adata.(slot).(i1 + (i2 * s2) + (i3 * s3) - base))
+    | _ ->
+        F
+          (fun st ->
+            let idx = Array.map (fun f -> f st) idxf in
+            let off = ref (-base) in
+            Array.iteri
+              (fun d i ->
+                let lo, hi = bounds.(d) in
+                if i < lo || i > hi then fail_ref name bounds idx;
+                off := !off + (i * strides.(d)))
+              idx;
+            st.adata.(slot).(!off))
+  end
+
+(* the (state -> float -> unit) store side of an array element *)
+and comp_ref_set ctx name args : state -> float -> unit =
+  let slot = Hashtbl.find ctx.x_ar name in
+  let bounds = ctx.x_bounds.(slot) in
+  let rank = Array.length bounds in
+  let idxf = Array.of_list (List.map (fun a -> as_int (comp ctx a)) args) in
+  if Array.length idxf <> rank then fun st _ ->
+    let idx = Array.map (fun f -> f st) idxf in
+    fail_set name bounds idx
+  else begin
+    let strides = strides_of bounds in
+    let base = base_of bounds strides in
+    match idxf with
+    | [| f1 |] ->
+        let lo1, hi1 = bounds.(0) in
+        fun st v ->
+          let i1 = f1 st in
+          if i1 < lo1 || i1 > hi1 then fail_set name bounds [| i1 |]
+          else st.adata.(slot).(i1 - lo1) <- v
+    | [| f1; f2 |] ->
+        let lo1, hi1 = bounds.(0) and lo2, hi2 = bounds.(1) in
+        let s2 = strides.(1) in
+        fun st v ->
+          let i1 = f1 st in
+          let i2 = f2 st in
+          if i1 < lo1 || i1 > hi1 || i2 < lo2 || i2 > hi2 then
+            fail_set name bounds [| i1; i2 |]
+          else st.adata.(slot).(i1 + (i2 * s2) - base) <- v
+    | [| f1; f2; f3 |] ->
+        let lo1, hi1 = bounds.(0)
+        and lo2, hi2 = bounds.(1)
+        and lo3, hi3 = bounds.(2) in
+        let s2 = strides.(1) and s3 = strides.(2) in
+        fun st v ->
+          let i1 = f1 st in
+          let i2 = f2 st in
+          let i3 = f3 st in
+          if
+            i1 < lo1 || i1 > hi1 || i2 < lo2 || i2 > hi2 || i3 < lo3
+            || i3 > hi3
+          then fail_set name bounds [| i1; i2; i3 |]
+          else st.adata.(slot).(i1 + (i2 * s2) + (i3 * s3) - base) <- v
+    | _ ->
+        fun st v ->
+          let idx = Array.map (fun f -> f st) idxf in
+          let off = ref (-base) in
+          Array.iteri
+            (fun d i ->
+              let lo, hi = bounds.(d) in
+              if i < lo || i > hi then fail_set name bounds idx;
+              off := !off + (i * strides.(d)))
+            idx;
+          st.adata.(slot).(!off) <- v
+  end
+
+and comp_binop ctx op a b =
+  let ca = comp ctx a and cb = comp ctx b in
+  let open Ast in
+  match op with
+  | And ->
+      let fa = as_bool ca and fb = as_bool cb in
+      B (fun st -> fa st && fb st)
+  | Or ->
+      let fa = as_bool ca and fb = as_bool cb in
+      B (fun st -> fa st || fb st)
+  | Lt | Le | Gt | Ge | Eq | Ne -> (
+      let fa = as_float ca and fb = as_float cb in
+      let cmp g =
+        B
+          (fun st ->
+            let x = fa st in
+            let y = fb st in
+            g x y)
+      in
+      match op with
+      | Lt -> cmp (fun x y -> x < y)
+      | Le -> cmp (fun x y -> x <= y)
+      | Gt -> cmp (fun x y -> x > y)
+      | Ge -> cmp (fun x y -> x >= y)
+      | Eq -> cmp (fun x y -> x = y)
+      | Ne -> cmp (fun x y -> x <> y)
+      | _ -> assert false)
+  | Add | Sub | Mul | Div | Pow -> (
+      match (ca, cb) with
+      | I fa, I fb -> (
+          match op with
+          | Add -> I (fun st -> fa st + fb st)
+          | Sub -> I (fun st -> fa st - fb st)
+          | Mul -> I (fun st -> fa st * fb st)
+          | Div ->
+              I
+                (fun st ->
+                  let x = fa st in
+                  let y = fb st in
+                  if y = 0 then error "integer division by zero" else x / y)
+          | Pow -> (
+              let ipow x y =
+                let rec pow acc n = if n = 0 then acc else pow (acc * x) (n - 1) in
+                pow 1 y
+              in
+              (* a non-negative constant exponent keeps the result integer *)
+              match b with
+              | Ast.Const_int y when y >= 0 ->
+                  I (fun st -> ipow (fa st) y)
+              | _ ->
+                  D
+                    (fun st ->
+                      let x = fa st in
+                      let y = fb st in
+                      if y < 0 then
+                        Value.Real
+                          (Float.pow (float_of_int x) (float_of_int y))
+                      else Value.Int (ipow x y)))
+          | _ -> assert false)
+      | (D _, _ | _, D _) ->
+          (* a statically-unknown operand: replicate the machine's dynamic
+             dispatch exactly (including its Int/Int no-charge rule) *)
+          let fa = as_scalar ca and fb = as_scalar cb in
+          D
+            (fun st ->
+              let va = fa st in
+              let vb = fb st in
+              match (va, vb) with
+              | Value.Int x, Value.Int y -> (
+                  match op with
+                  | Add -> Value.Int (x + y)
+                  | Sub -> Value.Int (x - y)
+                  | Mul -> Value.Int (x * y)
+                  | Div ->
+                      if y = 0 then error "integer division by zero"
+                      else Value.Int (x / y)
+                  | Pow ->
+                      if y < 0 then
+                        Value.Real
+                          (Float.pow (float_of_int x) (float_of_int y))
+                      else
+                        let rec pow acc n =
+                          if n = 0 then acc else pow (acc * x) (n - 1)
+                        in
+                        Value.Int (pow 1 y)
+                  | _ -> assert false)
+              | va, vb -> (
+                  ch st;
+                  let x = Value.to_float va and y = Value.to_float vb in
+                  match op with
+                  | Add -> Value.Real (x +. y)
+                  | Sub -> Value.Real (x -. y)
+                  | Mul -> Value.Real (x *. y)
+                  | Div -> Value.Real (x /. y)
+                  | Pow -> Value.Real (Float.pow x y)
+                  | _ -> assert false))
+      | _ -> (
+          (* at least one statically-real (or logical) operand: the float
+             fast path, one flop charged like the machine's mixed case *)
+          let fa = as_float ca and fb = as_float cb in
+          let arith g =
+            F
+              (fun st ->
+                let x = fa st in
+                let y = fb st in
+                ch st;
+                g x y)
+          in
+          match op with
+          | Add -> arith (fun x y -> x +. y)
+          | Sub -> arith (fun x y -> x -. y)
+          | Mul -> arith (fun x y -> x *. y)
+          | Div -> arith (fun x y -> x /. y)
+          | Pow -> arith Float.pow
+          | _ -> assert false))
+
+and comp_intrinsic ctx name args =
+  let bad fmt = Printf.ksprintf (fun m -> F (fun _ -> error "%s" m)) fmt in
+  let f1 g =
+    match args with
+    | [ a ] ->
+        let f = as_float (comp ctx a) in
+        F
+          (fun st ->
+            ch st;
+            g (f st))
+    | _ -> bad "intrinsic %s expects 1 argument" name
+  in
+  let fold2 g =
+    match args with
+    | a :: rest when rest <> [] ->
+        let fa = as_float (comp ctx a) in
+        let frest = List.map (fun e -> as_float (comp ctx e)) rest in
+        F
+          (fun st ->
+            List.fold_left
+              (fun acc f ->
+                ch st;
+                g acc (f st))
+              (fa st) frest)
+    | _ -> bad "intrinsic %s expects at least 2 arguments" name
+  in
+  match name with
+  | "abs" -> (
+      match args with
+      | [ a ] -> (
+          match comp ctx a with
+          | I f -> I (fun st -> abs (f st))
+          | F f ->
+              F
+                (fun st ->
+                  ch st;
+                  Float.abs (f st))
+          | B f ->
+              F
+                (fun st ->
+                  ch st;
+                  if f st then 1.0 else 0.0)
+          | D f ->
+              D
+                (fun st ->
+                  match f st with
+                  | Value.Int i -> Value.Int (abs i)
+                  | v ->
+                      ch st;
+                      Value.Real (Float.abs (Value.to_float v))))
+      | _ -> bad "abs expects 1 argument")
+  | "sqrt" -> f1 Float.sqrt
+  | "exp" -> f1 Float.exp
+  | "log" -> f1 Float.log
+  | "sin" -> f1 Float.sin
+  | "cos" -> f1 Float.cos
+  | "tan" -> f1 Float.tan
+  | "atan" -> f1 Float.atan
+  | "max" | "amax1" -> fold2 Float.max
+  | "min" | "amin1" -> fold2 Float.min
+  | "max0" -> (
+      match args with
+      | [ a; b ] ->
+          let fa = as_int (comp ctx a) and fb = as_int (comp ctx b) in
+          I (fun st -> max (fa st) (fb st))
+      | _ -> bad "max0 expects 2 arguments")
+  | "min0" -> (
+      match args with
+      | [ a; b ] ->
+          let fa = as_int (comp ctx a) and fb = as_int (comp ctx b) in
+          I (fun st -> min (fa st) (fb st))
+      | _ -> bad "min0 expects 2 arguments")
+  | "mod" -> (
+      match args with
+      | [ a; b ] -> (
+          match (comp ctx a, comp ctx b) with
+          | I fa, I fb ->
+              I
+                (fun st ->
+                  let x = fa st in
+                  let y = fb st in
+                  if y = 0 then error "mod by zero" else x mod y)
+          | (D _, _ | _, D _) as pair ->
+              let fa = as_scalar (fst pair) and fb = as_scalar (snd pair) in
+              D
+                (fun st ->
+                  match (fa st, fb st) with
+                  | Value.Int x, Value.Int y ->
+                      if y = 0 then error "mod by zero" else Value.Int (x mod y)
+                  | va, vb ->
+                      ch st;
+                      Value.Real
+                        (Float.rem (Value.to_float va) (Value.to_float vb)))
+          | ca, cb ->
+              let fa = as_float ca and fb = as_float cb in
+              F
+                (fun st ->
+                  let x = fa st in
+                  let y = fb st in
+                  ch st;
+                  Float.rem x y))
+      | _ -> bad "mod expects 2 arguments")
+  | "float" | "real" | "dble" -> (
+      match args with
+      | [ a ] -> F (as_float (comp ctx a))
+      | _ -> bad "%s expects 1 argument" name)
+  | "int" -> (
+      match args with
+      | [ a ] -> I (as_int (comp ctx a))
+      | _ -> bad "int expects 1 argument")
+  | "sign" -> (
+      match args with
+      | [ a; b ] ->
+          let fa = as_float (comp ctx a) and fb = as_float (comp ctx b) in
+          F
+            (fun st ->
+              ch st;
+              let x = fa st in
+              let y = fb st in
+              if y >= 0.0 then Float.abs x else -.Float.abs x)
+      | _ -> bad "sign expects 2 arguments")
+  | _ ->
+      bad "'%s' is neither a declared array nor a supported intrinsic" name
+
+(* ------------------------------------------------------------------ *)
+(* Scalar stores                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* store an already-int value (DO variables) into a slot, converting per
+   the slot's assignment type like Machine.set_scalar on Value.Int *)
+let int_store ctx i : state -> int -> unit =
+  match ctx.x_kinds.(i) with
+  | KInt ->
+      fun st v ->
+        st.si.(i) <- v;
+        st.sset.(i) <- true
+  | KReal ->
+      fun st v ->
+        st.sf.(i) <- float_of_int v;
+        st.sset.(i) <- true
+  | KBool ->
+      fun st v ->
+        st.sb.(i) <- v <> 0;
+        st.sset.(i) <- true
+  | KDyn -> (
+      match ctx.x_types.(i) with
+      | Ast.Integer ->
+          fun st v ->
+            st.sd.(i) <- Value.Int v;
+            st.sset.(i) <- true
+      | Ast.Real | Ast.Double ->
+          fun st v ->
+            st.sd.(i) <- Value.Real (float_of_int v);
+            st.sset.(i) <- true
+      | Ast.Logical ->
+          fun st v ->
+            st.sd.(i) <- Value.Bool (v <> 0);
+            st.sset.(i) <- true)
+
+(* store a float (READ values arrive as Value.Real) *)
+let float_store ctx i : state -> float -> unit =
+  match ctx.x_kinds.(i) with
+  | KInt ->
+      fun st v ->
+        st.si.(i) <- truncate v;
+        st.sset.(i) <- true
+  | KReal ->
+      fun st v ->
+        st.sf.(i) <- v;
+        st.sset.(i) <- true
+  | KBool ->
+      fun st v ->
+        st.sb.(i) <- v <> 0.0;
+        st.sset.(i) <- true
+  | KDyn -> (
+      match ctx.x_types.(i) with
+      | Ast.Integer ->
+          fun st v ->
+            st.sd.(i) <- Value.Int (truncate v);
+            st.sset.(i) <- true
+      | Ast.Real | Ast.Double ->
+          fun st v ->
+            st.sd.(i) <- Value.Real v;
+            st.sset.(i) <- true
+      | Ast.Logical ->
+          fun st v ->
+            st.sd.(i) <- Value.Bool (v <> 0.0);
+            st.sset.(i) <- true)
+
+(* ------------------------------------------------------------------ *)
+(* Statement compilation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let comp_assign_var ctx x rhs =
+  match Hashtbl.find_opt ctx.x_sc x with
+  | None ->
+      (* every Var target is collected during slot assignment, so this is
+         unreachable; fail like the machine would on execution *)
+      fun _ -> error "variable '%s' has no slot (compiler bug)" x
+  | Some i -> (
+      match ctx.x_kinds.(i) with
+      | KInt ->
+          let f = as_int rhs in
+          fun st ->
+            st.si.(i) <- f st;
+            st.sset.(i) <- true
+      | KReal ->
+          let f = as_float rhs in
+          fun st ->
+            st.sf.(i) <- f st;
+            st.sset.(i) <- true
+      | KBool ->
+          let f = as_bool rhs in
+          fun st ->
+            st.sb.(i) <- f st;
+            st.sset.(i) <- true
+      | KDyn -> (
+          match ctx.x_types.(i) with
+          | Ast.Integer ->
+              let f = as_int rhs in
+              fun st ->
+                st.sd.(i) <- Value.Int (f st);
+                st.sset.(i) <- true
+          | Ast.Real | Ast.Double ->
+              let f = as_float rhs in
+              fun st ->
+                st.sd.(i) <- Value.Real (f st);
+                st.sset.(i) <- true
+          | Ast.Logical ->
+              let f = as_bool rhs in
+              fun st ->
+                st.sd.(i) <- Value.Bool (f st);
+                st.sset.(i) <- true))
+
+let rec comp_block ctx (block : Ast.block) : state -> unit =
+  let stmts = Array.of_list block in
+  let fns = Array.map (comp_stmt ctx) stmts in
+  let n = Array.length fns in
+  let labels =
+    List.concat
+      (List.mapi
+         (fun i st ->
+           match st.Ast.s_label with Some l -> [ (l, i) ] | None -> [])
+         block)
+  in
+  if labels = [] then fun st ->
+    for i = 0 to n - 1 do
+      fns.(i) st
+    done
+  else
+    fun st ->
+      let rec go i =
+        if i < n then
+          match fns.(i) st with
+          | () -> go (i + 1)
+          | exception Jump l -> (
+              match List.assoc_opt l labels with
+              | Some j -> go j
+              | None -> raise (Jump l))
+      in
+      go 0
+
+and comp_stmt ctx (st : Ast.stmt) : state -> unit =
+  match st.Ast.s_kind with
+  | Ast.Assign (Ast.Var x, rhs) -> comp_assign_var ctx x (comp ctx rhs)
+  | Ast.Assign (Ast.Ref (name, args), rhs) ->
+      if Hashtbl.mem ctx.x_ar name then begin
+        let fr = as_float (comp ctx rhs) in
+        let set = comp_ref_set ctx name args in
+        fun s ->
+          let v = fr s in
+          set s v
+      end
+      else begin
+        (* the machine evaluates rhs then the indices, then fails the
+           array lookup *)
+        let fr = as_scalar (comp ctx rhs) in
+        let idxf = List.map (fun a -> as_int (comp ctx a)) args in
+        fun s ->
+          ignore (fr s);
+          List.iter (fun f -> ignore (f s)) idxf;
+          error "array '%s' is not declared" name
+      end
+  | Ast.Assign (_, rhs) ->
+      let fr = as_scalar (comp ctx rhs) in
+      fun s ->
+        ignore (fr s);
+        error "invalid assignment target"
+  | Ast.Continue -> fun _ -> ()
+  | Ast.Goto l -> fun _ -> raise (Jump l)
+  | Ast.If (branches, els) -> (
+      let brs =
+        List.map
+          (fun (c, b) -> (as_bool (comp ctx c), comp_block ctx b))
+          branches
+      in
+      let els = Option.map (comp_block ctx) els in
+      fun s ->
+        let rec pick = function
+          | [] -> ( match els with Some f -> f s | None -> ())
+          | (c, f) :: rest -> if c s then f s else pick rest
+        in
+        pick brs)
+  | Ast.Do d -> comp_do ctx d
+  | Ast.Call (name, _) ->
+      fun _ ->
+        error "CALL %s: subroutine calls must be inlined before execution"
+          name
+  | Ast.Return | Ast.Stop -> fun _ -> raise Machine.Stop_run
+  | Ast.Read items ->
+      let setters = List.map (comp_read_target ctx) items in
+      let n = List.length items in
+      fun s ->
+        let values = s.hooks.h_read s n in
+        List.iteri (fun i set -> set s values.(i)) setters
+  | Ast.Write items ->
+      let fs = List.map (fun e -> as_scalar (comp ctx e)) items in
+      fun s -> s.hooks.h_write s (List.map (fun f -> f s) fs)
+  | Ast.Comm c ->
+      let sid = st.Ast.s_id in
+      fun s -> s.hooks.h_comm s ~sid c
+  | Ast.Pipeline_recv { dim; dir; arrays } ->
+      let sid = st.Ast.s_id in
+      fun s -> s.hooks.h_pipe_recv s ~sid ~dim ~dir arrays
+  | Ast.Pipeline_send { dim; dir; arrays } ->
+      let sid = st.Ast.s_id in
+      fun s -> s.hooks.h_pipe_send s ~sid ~dim ~dir arrays
+
+and comp_read_target ctx (item : Ast.expr) : state -> float -> unit =
+  match item with
+  | Ast.Var x -> (
+      match Hashtbl.find_opt ctx.x_sc x with
+      | Some i -> float_store ctx i
+      | None -> fun _ _ -> error "variable '%s' has no slot (compiler bug)" x)
+  | Ast.Ref (name, args) ->
+      if Hashtbl.mem ctx.x_ar name then comp_ref_set ctx name args
+      else begin
+        let idxf = List.map (fun a -> as_int (comp ctx a)) args in
+        fun s _ ->
+          List.iter (fun f -> ignore (f s)) idxf;
+          error "array '%s' is not declared" name
+      end
+  | _ -> fun _ _ -> error "invalid assignment target"
+
+and comp_do ctx (d : Ast.do_loop) : state -> unit =
+  let flo = as_int (comp ctx d.Ast.do_lo) in
+  let fhi = as_int (comp ctx d.Ast.do_hi) in
+  let fstep =
+    match d.Ast.do_step with
+    | Some e -> as_int (comp ctx e)
+    | None -> fun _ -> 1
+  in
+  let body = comp_block ctx d.Ast.do_body in
+  let set_var =
+    match Hashtbl.find_opt ctx.x_sc d.Ast.do_var with
+    | Some i -> int_store ctx i
+    | None ->
+        fun _ _ ->
+          error "variable '%s' has no slot (compiler bug)" d.Ast.do_var
+  in
+  fun st ->
+    let lo = flo st in
+    let hi = fhi st in
+    let step = fstep st in
+    if step = 0 then error "DO loop with zero step";
+    let i = ref lo in
+    if step > 0 then
+      while !i <= hi do
+        set_var st !i;
+        body st;
+        i := !i + step
+      done
+    else
+      while !i >= hi do
+        set_var st !i;
+        body st;
+        i := !i + step
+      done;
+    set_var st !i
+
+(* ------------------------------------------------------------------ *)
+(* Slot assignment and unit compilation                                *)
+(* ------------------------------------------------------------------ *)
+
+let collect_scalar_names (u : Ast.program_unit) ~is_array =
+  let seen = Hashtbl.create 64 in
+  let order = ref [] in
+  let add n =
+    if (not (is_array n)) && not (Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      order := n :: !order
+    end
+  in
+  List.iter (fun d -> if d.Ast.d_dims = [] then add d.Ast.d_name) u.Ast.u_decls;
+  List.iter (fun (n, _) -> add n) u.Ast.u_consts;
+  List.iter (fun (n, _) -> add n) u.Ast.u_data;
+  let add_expr e =
+    Ast.fold_exprs (fun () e -> match e with Ast.Var x -> add x | _ -> ()) () e
+  in
+  Ast.iter_stmts
+    (fun st ->
+      List.iter add_expr (Ast.stmt_exprs st);
+      match st.Ast.s_kind with
+      | Ast.Do d -> add d.Ast.do_var
+      | Ast.Comm (Ast.Allreduce_max v)
+      | Ast.Comm (Ast.Allreduce_min v)
+      | Ast.Comm (Ast.Allreduce_sum v) ->
+          add v
+      | Ast.Comm (Ast.Broadcast vars) -> List.iter add vars
+      | _ -> ())
+    u.Ast.u_body;
+  List.rev !order
+
+let kind_of_type = function
+  | Ast.Integer -> KInt
+  | Ast.Real | Ast.Double -> KReal
+  | Ast.Logical -> KBool
+
+let kind_matches kind (v : Value.scalar) =
+  match (kind, v) with
+  | KInt, Value.Int _ | KReal, Value.Real _ | KBool, Value.Bool _ -> true
+  | _ -> false
+
+let compile (u : Ast.program_unit) : cu =
+  (* snapshot the machine's initial environment: PARAMETER constants,
+     declared array bounds and DATA contents, with identical semantics
+     (and identical failure modes) by construction *)
+  let tm = Machine.create u in
+  let ar_names = Array.of_list (Machine.array_names tm) in
+  let ar_index = Hashtbl.create 32 in
+  Array.iteri (fun i n -> Hashtbl.replace ar_index n i) ar_names;
+  let ar_template = Array.map (Machine.array tm) ar_names in
+  let sc_names =
+    Array.of_list
+      (collect_scalar_names u ~is_array:(Hashtbl.mem ar_index))
+  in
+  let sc_index = Hashtbl.create 64 in
+  Array.iteri (fun i n -> Hashtbl.replace sc_index n i) sc_names;
+  let sc_types = Array.map (Machine.declared_type tm) sc_names in
+  let init_bindings = Machine.scalar_bindings tm in
+  let sc_kinds = Array.map kind_of_type sc_types in
+  let sc_init = ref [] in
+  Array.iteri
+    (fun i n ->
+      match List.assoc_opt n init_bindings with
+      | None -> ()
+      | Some v ->
+          (* a PARAMETER whose value class disagrees with the slot's
+             static type (e.g. an implicit-integer name bound to a real
+             expression) falls back to a dynamically-typed slot *)
+          if not (kind_matches sc_kinds.(i) v) then sc_kinds.(i) <- KDyn;
+          sc_init := (i, v) :: !sc_init)
+    sc_names;
+  let cu =
+    {
+      cu_unit = u;
+      sc_index;
+      sc_names;
+      sc_kinds;
+      sc_types;
+      sc_init = List.rev !sc_init;
+      ar_index;
+      ar_names;
+      ar_template;
+      cu_body = (fun _ -> assert false);
+    }
+  in
+  let ctx =
+    {
+      x_sc = sc_index;
+      x_kinds = sc_kinds;
+      x_types = sc_types;
+      x_ar = ar_index;
+      x_bounds = Array.map (fun a -> a.Value.bounds) ar_template;
+    }
+  in
+  cu.cu_body <- comp_block ctx u.Ast.u_body;
+  cu
+
+(* compiled units are pure functions of the AST: memoize per physical
+   unit so every rank of a run — and every run over the same program —
+   shares one compilation *)
+let memo : (Ast.program_unit * cu) list ref = ref []
+let memo_limit = 16
+
+let of_unit u =
+  match List.assq_opt u !memo with
+  | Some cu -> cu
+  | None ->
+      let cu = compile u in
+      let keep = List.filteri (fun i _ -> i < memo_limit - 1) !memo in
+      memo := (u, cu) :: keep;
+      cu
+
+(* ------------------------------------------------------------------ *)
+(* Runtime state                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let create ?(hooks = sequential_hooks) ?(input = []) cu =
+  let n = Array.length cu.sc_names in
+  let arrs = Array.map Value.copy cu.ar_template in
+  let st =
+    {
+      cu;
+      sf = Array.make n 0.0;
+      si = Array.make n 0;
+      sb = Array.make n false;
+      sd = Array.make n (Value.Int 0);
+      sset = Array.make n false;
+      arrs;
+      adata = Array.map (fun a -> a.Value.data) arrs;
+      flops = 0.0;
+      input;
+      out_rev = [];
+      hooks;
+    }
+  in
+  List.iter
+    (fun (i, v) ->
+      (match cu.sc_kinds.(i) with
+      | KInt -> st.si.(i) <- Value.to_int v
+      | KReal -> st.sf.(i) <- Value.to_float v
+      | KBool -> st.sb.(i) <- Value.to_bool v
+      | KDyn -> st.sd.(i) <- v);
+      st.sset.(i) <- true)
+    cu.sc_init;
+  st
+
+let run st =
+  try st.cu.cu_body st with
+  | Machine.Stop_run -> ()
+  | Jump l -> error "jump to unknown label %d" l
+
+let unit_of st = st.cu.cu_unit
+let flops st = st.flops
+let reset_flops st = st.flops <- 0.0
+let output st = List.rev st.out_rev
+
+let scalar_opt st name =
+  match Hashtbl.find_opt st.cu.sc_index name with
+  | None -> None
+  | Some i ->
+      if not st.sset.(i) then None
+      else
+        Some
+          (match st.cu.sc_kinds.(i) with
+          | KInt -> Value.Int st.si.(i)
+          | KReal -> Value.Real st.sf.(i)
+          | KBool -> Value.Bool st.sb.(i)
+          | KDyn -> st.sd.(i))
+
+let scalar st name =
+  match scalar_opt st name with
+  | Some v -> v
+  | None -> error "variable '%s' used before being set" name
+
+let set_scalar st name (v : Value.scalar) =
+  match Hashtbl.find_opt st.cu.sc_index name with
+  | None -> error "variable '%s' has no slot in the compiled unit" name
+  | Some i -> (
+      st.sset.(i) <- true;
+      match st.cu.sc_kinds.(i) with
+      | KInt -> st.si.(i) <- Value.to_int v
+      | KReal -> st.sf.(i) <- Value.to_float v
+      | KBool -> st.sb.(i) <- Value.to_bool v
+      | KDyn -> (
+          match st.cu.sc_types.(i) with
+          | Ast.Integer -> st.sd.(i) <- Value.Int (Value.to_int v)
+          | Ast.Real | Ast.Double -> st.sd.(i) <- Value.Real (Value.to_float v)
+          | Ast.Logical -> st.sd.(i) <- Value.Bool (Value.to_bool v)))
+
+let array st name =
+  match Hashtbl.find_opt st.cu.ar_index name with
+  | Some i -> st.arrs.(i)
+  | None -> error "array '%s' is not declared" name
+
+let has_array st name = Hashtbl.mem st.cu.ar_index name
+let array_names st = Array.to_list st.cu.ar_names

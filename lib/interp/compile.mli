@@ -1,0 +1,78 @@
+(** Compile-once execution engine for the Fortran subset.
+
+    {!compile} lowers a program unit into a closure-based IR exactly once:
+    every scalar name is resolved to an integer slot in a typed bank
+    (separate unboxed [float]/[int]/[bool] banks, so the hot real-arithmetic
+    path never boxes), every array reference is lowered to a fused
+    row-major-offset computation over strides precomputed from the declared
+    bounds, and int/real arithmetic is specialized at compile time (the
+    machine's dynamic [Value.scalar] dispatch survives only for the rare
+    statically-untypeable expression).
+
+    Semantics — results, WRITE output, flop charges, runtime-error messages,
+    GOTO/label behavior — are bit-identical to {!Machine} running the same
+    unit; the golden-equivalence test suite ([test/test_engine.ml]) enforces
+    this on every application program.  Dynamic errors raise
+    {!Machine.Runtime_error} so callers need not distinguish engines. *)
+
+open Autocfd_fortran
+
+type cu
+(** A compiled program unit: immutable, shareable across any number of
+    execution states (e.g. all ranks of an SPMD run). *)
+
+type state
+(** One execution of a compiled unit: slot banks, array storage, flop
+    counter, I/O queues, hooks. *)
+
+type hooks = {
+  h_block : (int -> int * int) option;
+      (** per grid dimension: the rank's (lo, hi) owned range; [None] on
+          the sequential engine (Local_lo/Local_hi become identities) *)
+  h_comm : state -> sid:int -> Ast.comm -> unit;
+  h_pipe_recv :
+    state -> sid:int -> dim:int -> dir:Ast.direction -> (string * int) list
+    -> unit;
+  h_pipe_send :
+    state -> sid:int -> dim:int -> dir:Ast.direction -> (string * int) list
+    -> unit;
+  h_read : state -> int -> float array;
+  h_write : state -> Value.scalar list -> unit;
+}
+
+val sequential_hooks : hooks
+(** Same behavior as {!Machine.sequential_hooks}. *)
+
+val compile : Ast.program_unit -> cu
+(** Lower the unit.  Evaluates PARAMETER constants, array bounds and DATA
+    statements through a template {!Machine} so initialization is
+    bit-identical; raises {!Machine.Runtime_error} on the same inputs
+    {!Machine.create} would. *)
+
+val of_unit : Ast.program_unit -> cu
+(** Memoized {!compile}: the same physical [program_unit] compiles once and
+    the result is shared (all ranks of a run, repeated runs in benchmarks
+    and tables). *)
+
+val create : ?hooks:hooks -> ?input:float list -> cu -> state
+(** Fresh state: arrays copied from the compiled template (bounds + DATA),
+    PARAMETER and scalar-DATA slots pre-set. *)
+
+val run : state -> unit
+(** Execute the unit body.  [Machine.Stop_run] is caught internally.
+    @raise Machine.Runtime_error on dynamic errors. *)
+
+(** Environment access, mirroring the {!Machine} accessors: *)
+
+val unit_of : state -> Ast.program_unit
+val flops : state -> float
+val reset_flops : state -> unit
+val output : state -> string list
+val scalar : state -> string -> Value.scalar
+val scalar_opt : state -> string -> Value.scalar option
+val set_scalar : state -> string -> Value.scalar -> unit
+val array : state -> string -> Value.arr
+val has_array : state -> string -> bool
+
+val array_names : state -> string list
+(** Sorted, same order as {!Machine.array_names}. *)

@@ -14,6 +14,8 @@ type t = {
   mutable input : float list;
   mutable out_rev : string list;
   mutable flops : float;
+  mutable names_memo : string list option;
+      (* sorted array names; declarations are fixed once the unit starts *)
   hooks : hooks;
 }
 
@@ -99,7 +101,21 @@ let array t name =
 let has_array t name = Hashtbl.mem t.arrays name
 
 let array_names t =
-  Hashtbl.fold (fun k _ acc -> k :: acc) t.arrays [] |> List.sort compare
+  match t.names_memo with
+  | Some names -> names
+  | None ->
+      let names =
+        Hashtbl.fold (fun k _ acc -> k :: acc) t.arrays []
+        |> List.sort compare
+      in
+      t.names_memo <- Some names;
+      names
+
+let scalar_bindings t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.scalars []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let declared_type t name = scalar_type t name
 
 (* ------------------------------------------------------------------ *)
 (* Expression evaluation                                               *)
@@ -349,6 +365,7 @@ let create ?(hooks = sequential_hooks) ?(input = []) (u : Ast.program_unit) =
       input;
       out_rev = [];
       flops = 0.0;
+      names_memo = None;
       hooks;
     }
   in

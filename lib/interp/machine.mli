@@ -55,7 +55,20 @@ val scalar : t -> string -> Value.scalar
 val set_scalar : t -> string -> Value.scalar -> unit
 val array : t -> string -> Value.arr
 val has_array : t -> string -> bool
+
 val array_names : t -> string list
+(** Sorted; memoized after the first call (declarations are fixed once the
+    unit starts). *)
+
+val scalar_bindings : t -> (string * Value.scalar) list
+(** Every currently-set scalar, sorted by name.  Right after {!create}
+    this is exactly the PARAMETER constants plus scalar DATA values — the
+    initial environment {!Compile} snapshots. *)
+
+val declared_type : t -> string -> Ast.dtype
+(** The type assignments to [name] convert to: the declared type, or the
+    Fortran implicit rule (I-N integer, otherwise real). *)
+
 val output : t -> string list
 (** Lines written so far, oldest first. *)
 

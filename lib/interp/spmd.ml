@@ -21,6 +21,8 @@ type result = {
   flops_per_rank : float array;
 }
 
+type engine = Tree | Compiled
+
 let tag_exchange = 3
 let tag_pipe = 5
 let tag_gather = 7
@@ -137,20 +139,6 @@ let plane_ranges gi topo ~owner_rank (arr : Value.arr)
           let ext = if g < xfer.Ast.xfer_dim then ext_of_dim g else 0 in
           (max alo (blo - ext), min ahi (bhi + ext)))
 
-let pack arr ranges =
-  let out = Array.make (box_size ranges) 0.0 in
-  let i = ref 0 in
-  iter_box ranges (fun idx ->
-      out.(!i) <- Value.get arr idx;
-      incr i);
-  out
-
-let unpack arr ranges data =
-  let i = ref 0 in
-  iter_box ranges (fun idx ->
-      Value.set arr idx data.(!i);
-      incr i)
-
 (* ranges of the pipeline payload planes sent by [owner_rank]: the owned
    boundary planes of the sweep dimension over the owned ranges of the
    other status dimensions *)
@@ -179,7 +167,78 @@ let pipe_ranges gi topo ~owner_rank (arr : Value.arr) ~dim ~dir ~depth array_nam
           and bhi = block.Autocfd_partition.Block.hi.(g) in
           (max alo blo, min ahi bhi))
 
-let run config (u : Ast.program_unit) =
+(* ------------------------------------------------------------------ *)
+(* Cached message plans                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything a sync point's boxes depend on — grid info, topology, array
+   bounds, the statement's transfer list — is fixed for the whole run, so
+   the element offsets each message packs from / unpacks into are computed
+   once per (rank, sync point) and every subsequent visit is a tight copy
+   over a flat offset vector instead of an n-dimensional index walk. *)
+
+let offsets_of arr ranges =
+  let out = Array.make (box_size ranges) 0 in
+  let i = ref 0 in
+  iter_box ranges (fun idx ->
+      out.(!i) <- Value.linear_index arr idx;
+      incr i);
+  out
+
+let pack_offs (data : float array) offs = Array.map (fun o -> data.(o)) offs
+
+let unpack_offs (data : float array) offs payload =
+  Array.iteri (fun i o -> data.(o) <- payload.(i)) offs
+
+type xfer_plan = {
+  xp_array : string;
+  xp_send : (int * int array) option;  (* dest rank, pack offsets *)
+  xp_recv : (int * int array) option;  (* src rank, unpack offsets *)
+}
+
+type plan =
+  | P_exchange of xfer_plan list
+  | P_pipe of (int * (string * int array) list) option  (* peer, per array *)
+  | P_allgather of (string * int array * int array array) list
+      (* per array: my pack offsets, then per-peer unpack offsets (index =
+         peer rank; my own entry unused) *)
+
+(* ------------------------------------------------------------------ *)
+(* Engine-generic execution                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The per-rank body is written once against this interface and wired to
+   either the tree-walking machine or the compiled engine; both raise
+   [Machine.Runtime_error] on dynamic errors. *)
+
+type 'm gen_hooks = {
+  g_block : int -> int * int;
+  g_comm : 'm -> sid:int -> Ast.comm -> unit;
+  g_pipe_recv :
+    'm -> sid:int -> dim:int -> dir:Ast.direction -> (string * int) list
+    -> unit;
+  g_pipe_send :
+    'm -> sid:int -> dim:int -> dir:Ast.direction -> (string * int) list
+    -> unit;
+  g_read : 'm -> int -> float array;
+  g_write : 'm -> Value.scalar list -> unit;
+}
+
+type 'm iface = {
+  i_spawn : 'm gen_hooks -> float list -> 'm;
+  i_run : 'm -> unit;
+  i_flops : 'm -> float;
+  i_array : 'm -> string -> Value.arr;
+  i_scalar : 'm -> string -> Value.scalar;
+  i_set_scalar : 'm -> string -> Value.scalar -> unit;
+  i_array_names : 'm -> string list;
+  i_output : 'm -> string list;
+  i_read0 : 'm -> int -> float array;  (* rank 0's actual READ source *)
+  i_write0 : 'm -> Value.scalar list -> unit;
+}
+
+let run_with : 'm. 'm iface -> config -> Ast.program_unit -> result =
+ fun iface config u ->
   let topo = config.topo and gi = config.gi in
   let nranks = Topology.nranks topo in
   let machines = Array.make nranks None in
@@ -193,6 +252,7 @@ let run config (u : Ast.program_unit) =
   let body (c : Sim.comm) =
     let r = Sim.rank c in
     let block = Topology.block topo r in
+    let plans : (int, plan) Hashtbl.t = Hashtbl.create 16 in
     (* lazy compute-time accounting: charge accumulated flops before any
        blocking operation *)
     let last_flops = ref 0.0 in
@@ -201,7 +261,7 @@ let run config (u : Ast.program_unit) =
       match !machine_ref with
       | None -> ()
       | Some m ->
-          let f = Machine.flops m in
+          let f = iface.i_flops m in
           let delta = f -. !last_flops in
           last_flops := f;
           if config.flop_time > 0.0 then
@@ -227,7 +287,7 @@ let run config (u : Ast.program_unit) =
                 match si.si_loop with
                 | None -> None
                 | Some v -> (
-                    match Machine.scalar m v with
+                    match iface.i_scalar m v with
                     | Value.Int i -> Some i
                     | Value.Real x -> Some (int_of_float x)
                     | Value.Bool _ | Value.Str _ -> None
@@ -242,177 +302,237 @@ let run config (u : Ast.program_unit) =
                 ~label:si.si_label ?loop:si.si_loop ?iter ())
     in
     let opposite = function Ast.Dplus -> Ast.Dminus | Ast.Dminus -> Ast.Dplus in
-    let do_exchange m transfers =
-      let transfers =
-        List.sort
-          (fun (a : Ast.transfer) b ->
-            compare
-              (a.Ast.xfer_dim, a.Ast.xfer_array, a.Ast.xfer_dir)
-              (b.Ast.xfer_dim, b.Ast.xfer_array, b.Ast.xfer_dir))
-          transfers
-      in
-      let ext_of_dim g =
-        List.fold_left
-          (fun acc (t : Ast.transfer) ->
-            if t.Ast.xfer_dim = g then max acc t.Ast.xfer_depth else acc)
-          0 transfers
-      in
-      List.iter
-        (fun (xfer : Ast.transfer) ->
-          let arr = Machine.array m xfer.Ast.xfer_array in
-          (* send my boundary planes towards xfer_dir *)
-          (match neighbor xfer.Ast.xfer_dim xfer.Ast.xfer_dir with
-          | Some dest ->
-              let ranges =
-                plane_ranges gi topo ~owner_rank:r arr xfer ~ext_of_dim
-              in
-              Sim.send c ~dest ~tag:tag_exchange (pack arr ranges)
-          | None -> ());
-          (* receive the matching planes from the opposite neighbor *)
-          match neighbor xfer.Ast.xfer_dim (opposite xfer.Ast.xfer_dir) with
-          | Some src ->
-              let ranges =
-                plane_ranges gi topo ~owner_rank:src arr xfer ~ext_of_dim
-              in
-              let data = Sim.recv c ~src ~tag:tag_exchange in
-              if Array.length data <> box_size ranges then
-                failwith "Spmd: halo exchange size mismatch";
-              unpack arr ranges data
-          | None -> ())
-        transfers
+    let exchange_plan m sid transfers =
+      match Hashtbl.find_opt plans sid with
+      | Some (P_exchange p) -> p
+      | _ ->
+          let transfers =
+            List.sort
+              (fun (a : Ast.transfer) b ->
+                compare
+                  (a.Ast.xfer_dim, a.Ast.xfer_array, a.Ast.xfer_dir)
+                  (b.Ast.xfer_dim, b.Ast.xfer_array, b.Ast.xfer_dir))
+              transfers
+          in
+          let ext_of_dim g =
+            List.fold_left
+              (fun acc (t : Ast.transfer) ->
+                if t.Ast.xfer_dim = g then max acc t.Ast.xfer_depth else acc)
+              0 transfers
+          in
+          let p =
+            List.map
+              (fun (xfer : Ast.transfer) ->
+                let arr = iface.i_array m xfer.Ast.xfer_array in
+                let send =
+                  match neighbor xfer.Ast.xfer_dim xfer.Ast.xfer_dir with
+                  | Some dest ->
+                      Some
+                        ( dest,
+                          offsets_of arr
+                            (plane_ranges gi topo ~owner_rank:r arr xfer
+                               ~ext_of_dim) )
+                  | None -> None
+                in
+                let recv =
+                  match
+                    neighbor xfer.Ast.xfer_dim (opposite xfer.Ast.xfer_dir)
+                  with
+                  | Some src ->
+                      Some
+                        ( src,
+                          offsets_of arr
+                            (plane_ranges gi topo ~owner_rank:src arr xfer
+                               ~ext_of_dim) )
+                  | None -> None
+                in
+                { xp_array = xfer.Ast.xfer_array; xp_send = send; xp_recv = recv })
+              transfers
+          in
+          Hashtbl.replace plans sid (P_exchange p);
+          p
     in
-    let do_pipe ~recv m ~dim ~dir arrays =
+    let do_exchange m sid transfers =
+      List.iter
+        (fun xp ->
+          let data = (iface.i_array m xp.xp_array).Value.data in
+          (* send my boundary planes towards xfer_dir, then receive the
+             matching planes from the opposite neighbor *)
+          (match xp.xp_send with
+          | Some (dest, offs) ->
+              Sim.send c ~dest ~tag:tag_exchange (pack_offs data offs)
+          | None -> ());
+          match xp.xp_recv with
+          | Some (src, offs) ->
+              let payload = Sim.recv c ~src ~tag:tag_exchange in
+              if Array.length payload <> Array.length offs then
+                failwith "Spmd: halo exchange size mismatch";
+              unpack_offs data offs payload
+          | None -> ())
+        (exchange_plan m sid transfers)
+    in
+    let pipe_plan ~recv m sid ~dim ~dir arrays =
+      match Hashtbl.find_opt plans sid with
+      | Some (P_pipe p) -> p
+      | _ ->
+          let peer_dir = if recv then opposite dir else dir in
+          let p =
+            match neighbor dim peer_dir with
+            | None -> None
+            | Some peer ->
+                Some
+                  ( peer,
+                    List.map
+                      (fun (name, depth) ->
+                        let arr = iface.i_array m name in
+                        let owner = if recv then peer else r in
+                        ( name,
+                          offsets_of arr
+                            (pipe_ranges gi topo ~owner_rank:owner arr ~dim
+                               ~dir ~depth name) ))
+                      arrays )
+          in
+          Hashtbl.replace plans sid (P_pipe p);
+          p
+    in
+    let do_pipe ~recv m sid ~dim ~dir arrays =
       (* recv: wait for the upstream neighbor's fresh planes before the
          sweep; send: forward my downstream boundary after it *)
-      let peer_dir = if recv then opposite dir else dir in
-      match neighbor dim peer_dir with
+      match pipe_plan ~recv m sid ~dim ~dir arrays with
       | None -> ()
-      | Some peer ->
+      | Some (peer, per_array) ->
           List.iter
-            (fun (name, depth) ->
-              let arr = Machine.array m name in
+            (fun (name, offs) ->
+              let data = (iface.i_array m name).Value.data in
               if recv then begin
-                let ranges =
-                  pipe_ranges gi topo ~owner_rank:peer arr ~dim ~dir ~depth
-                    name
-                in
-                let data = Sim.recv c ~src:peer ~tag:tag_pipe in
-                if Array.length data <> box_size ranges then
+                let payload = Sim.recv c ~src:peer ~tag:tag_pipe in
+                if Array.length payload <> Array.length offs then
                   failwith "Spmd: pipeline message size mismatch";
-                unpack arr ranges data
+                unpack_offs data offs payload
               end
-              else
-                let ranges =
-                  pipe_ranges gi topo ~owner_rank:r arr ~dim ~dir ~depth name
-                in
-                Sim.send c ~dest:peer ~tag:tag_pipe (pack arr ranges))
-            arrays
+              else Sim.send c ~dest:peer ~tag:tag_pipe (pack_offs data offs))
+            per_array
     in
-    let do_allgather m arrays =
+    let allgather_plan m sid arrays =
+      match Hashtbl.find_opt plans sid with
+      | Some (P_allgather p) -> p
+      | _ ->
+          let owned_offsets owner arr name =
+            let sa =
+              match GI.find_status gi name with
+              | Some sa -> sa
+              | None -> invalid_arg ("Spmd: allgather of non-status " ^ name)
+            in
+            let b = Topology.block topo owner in
+            offsets_of arr
+              (Array.init (Value.rank arr) (fun k ->
+                   let alo, ahi = arr.Value.bounds.(k) in
+                   match sa.GI.sa_dims.(k) with
+                   | None -> (alo, ahi)
+                   | Some g ->
+                       ( max alo b.Autocfd_partition.Block.lo.(g),
+                         min ahi b.Autocfd_partition.Block.hi.(g) )))
+          in
+          let p =
+            List.map
+              (fun name ->
+                let arr = iface.i_array m name in
+                let mine = owned_offsets r arr name in
+                let peers =
+                  Array.init nranks_total (fun peer ->
+                      if peer = r then [||] else owned_offsets peer arr name)
+                in
+                (name, mine, peers))
+              arrays
+          in
+          Hashtbl.replace plans sid (P_allgather p);
+          p
+    in
+    let do_allgather m sid arrays =
       (* exchange owned regions with every other rank so each rank holds
          the full fresh array *)
-      let owned_ranges owner arr name =
-        let sa =
-          match GI.find_status gi name with
-          | Some sa -> sa
-          | None -> invalid_arg ("Spmd: allgather of non-status " ^ name)
-        in
-        let b = Topology.block topo owner in
-        Array.init (Value.rank arr) (fun k ->
-            let alo, ahi = arr.Value.bounds.(k) in
-            match sa.GI.sa_dims.(k) with
-            | None -> (alo, ahi)
-            | Some g ->
-                ( max alo b.Autocfd_partition.Block.lo.(g),
-                  min ahi b.Autocfd_partition.Block.hi.(g) ))
-      in
       List.iter
-        (fun name ->
-          let arr = Machine.array m name in
+        (fun (name, mine, peers) ->
+          let data = (iface.i_array m name).Value.data in
+          let payload = pack_offs data mine in
           for peer = 0 to nranks_total - 1 do
-            if peer <> r then
-              Sim.send c ~dest:peer ~tag:tag_gather
-                (pack arr (owned_ranges r arr name))
+            if peer <> r then Sim.send c ~dest:peer ~tag:tag_gather payload
           done;
           for peer = 0 to nranks_total - 1 do
             if peer <> r then begin
-              let ranges = owned_ranges peer arr name in
-              let data = Sim.recv c ~src:peer ~tag:tag_gather in
-              if Array.length data <> box_size ranges then
+              let offs = peers.(peer) in
+              let pl = Sim.recv c ~src:peer ~tag:tag_gather in
+              if Array.length pl <> Array.length offs then
                 failwith "Spmd: allgather size mismatch";
-              unpack arr ranges data
+              unpack_offs data offs pl
             end
           done)
-        arrays
+        (allgather_plan m sid arrays)
     in
     let hooks =
       {
-        Machine.h_block =
-          Some
-            (fun d ->
-              (block.Autocfd_partition.Block.lo.(d),
-               block.Autocfd_partition.Block.hi.(d)));
-        h_comm =
+        g_block =
+          (fun d ->
+            (block.Autocfd_partition.Block.lo.(d),
+             block.Autocfd_partition.Block.hi.(d)));
+        g_comm =
           (fun m ~sid comm ->
             charge ();
             traced m sid (fun () ->
                 match comm with
-                | Ast.Exchange ts -> do_exchange m ts
+                | Ast.Exchange ts -> do_exchange m sid ts
                 | Ast.Allreduce_max v ->
-                    let x = Value.to_float (Machine.scalar m v) in
-                    Machine.set_scalar m v
+                    let x = Value.to_float (iface.i_scalar m v) in
+                    iface.i_set_scalar m v
                       (Value.Real (Sim.allreduce c `Max x))
                 | Ast.Allreduce_min v ->
-                    let x = Value.to_float (Machine.scalar m v) in
-                    Machine.set_scalar m v
+                    let x = Value.to_float (iface.i_scalar m v) in
+                    iface.i_set_scalar m v
                       (Value.Real (Sim.allreduce c `Min x))
                 | Ast.Allreduce_sum v ->
-                    let x = Value.to_float (Machine.scalar m v) in
-                    Machine.set_scalar m v
+                    let x = Value.to_float (iface.i_scalar m v) in
+                    iface.i_set_scalar m v
                       (Value.Real (Sim.allreduce c `Sum x))
                 | Ast.Broadcast vars ->
                     let data =
                       if r = 0 then
                         Array.of_list
                           (List.map
-                             (fun v -> Value.to_float (Machine.scalar m v))
+                             (fun v -> Value.to_float (iface.i_scalar m v))
                              vars)
                       else Array.make (List.length vars) 0.0
                     in
                     let data = Sim.bcast c ~root:0 data in
                     List.iteri
                       (fun i v ->
-                        Machine.set_scalar m v (Value.Real data.(i)))
+                        iface.i_set_scalar m v (Value.Real data.(i)))
                       vars
-                | Ast.Allgather arrays -> do_allgather m arrays
+                | Ast.Allgather arrays -> do_allgather m sid arrays
                 | Ast.Barrier -> Sim.barrier c));
-        h_pipe_recv =
+        g_pipe_recv =
           (fun m ~sid ~dim ~dir arrays ->
             charge ();
-            traced m sid (fun () -> do_pipe ~recv:true m ~dim ~dir arrays));
-        h_pipe_send =
+            traced m sid (fun () -> do_pipe ~recv:true m sid ~dim ~dir arrays));
+        g_pipe_send =
           (fun m ~sid ~dim ~dir arrays ->
             charge ();
-            traced m sid (fun () -> do_pipe ~recv:false m ~dim ~dir arrays));
-        h_read =
+            traced m sid (fun () -> do_pipe ~recv:false m sid ~dim ~dir arrays));
+        g_read =
           (fun m n ->
             charge ();
             let data =
-              if r = 0 then Machine.sequential_hooks.Machine.h_read m n
-              else Array.make n 0.0
+              if r = 0 then iface.i_read0 m n else Array.make n 0.0
             in
             Sim.bcast c ~root:0 data);
-        h_write =
-          (fun m values ->
-            if r = 0 then Machine.sequential_hooks.Machine.h_write m values);
+        g_write = (fun m values -> if r = 0 then iface.i_write0 m values);
       }
     in
-    let m = Machine.create ~hooks ~input:config.input u in
+    let m = iface.i_spawn hooks config.input in
     machine_ref := Some m;
     machines.(r) <- Some m;
-    Machine.run m;
+    iface.i_run m;
     charge ();
-    flops_per_rank.(r) <- Machine.flops (get_machine ())
+    flops_per_rank.(r) <- iface.i_flops (get_machine ())
   in
   let stats = Sim.run ~net:config.net ?tracer:config.tracer ~nranks body in
   let machine r = Option.get machines.(r) in
@@ -421,13 +541,13 @@ let run config (u : Ast.program_unit) =
   let gathered =
     List.map
       (fun name ->
-        let a0 = Machine.array m0 name in
+        let a0 = iface.i_array m0 name in
         match GI.find_status gi name with
         | None -> (name, Value.copy a0)
         | Some sa ->
             let out = Value.copy a0 in
             for r = 0 to nranks - 1 do
-              let src = Machine.array (machine r) name in
+              let src = iface.i_array (machine r) name in
               let block = Topology.block topo r in
               let ranges =
                 Array.init (Value.rank src) (fun k ->
@@ -442,13 +562,13 @@ let run config (u : Ast.program_unit) =
                   Value.set out idx (Value.get src idx))
             done;
             (name, out))
-      (Machine.array_names m0)
+      (iface.i_array_names m0)
   in
   let scalars =
     List.filter_map
       (fun u_decl ->
         if u_decl.Ast.d_dims = [] then
-          match Machine.scalar m0 u_decl.Ast.d_name with
+          match iface.i_scalar m0 u_decl.Ast.d_name with
           | v -> Some (u_decl.Ast.d_name, v)
           | exception Machine.Runtime_error _ -> None
         else None)
@@ -456,8 +576,70 @@ let run config (u : Ast.program_unit) =
   in
   {
     stats;
-    output = Machine.output m0;
+    output = iface.i_output m0;
     gathered;
     scalars;
     flops_per_rank;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Engine wiring                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let tree_iface (u : Ast.program_unit) : Machine.t iface =
+  {
+    i_spawn =
+      (fun g input ->
+        let hooks =
+          {
+            Machine.h_block = Some g.g_block;
+            h_comm = g.g_comm;
+            h_pipe_recv = g.g_pipe_recv;
+            h_pipe_send = g.g_pipe_send;
+            h_read = g.g_read;
+            h_write = g.g_write;
+          }
+        in
+        Machine.create ~hooks ~input u);
+    i_run = Machine.run;
+    i_flops = Machine.flops;
+    i_array = Machine.array;
+    i_scalar = Machine.scalar;
+    i_set_scalar = Machine.set_scalar;
+    i_array_names = Machine.array_names;
+    i_output = Machine.output;
+    i_read0 = Machine.sequential_hooks.Machine.h_read;
+    i_write0 = Machine.sequential_hooks.Machine.h_write;
+  }
+
+let compiled_iface (u : Ast.program_unit) : Compile.state iface =
+  let cu = Compile.of_unit u in
+  {
+    i_spawn =
+      (fun g input ->
+        let hooks =
+          {
+            Compile.h_block = Some g.g_block;
+            h_comm = g.g_comm;
+            h_pipe_recv = g.g_pipe_recv;
+            h_pipe_send = g.g_pipe_send;
+            h_read = g.g_read;
+            h_write = g.g_write;
+          }
+        in
+        Compile.create ~hooks ~input cu);
+    i_run = Compile.run;
+    i_flops = Compile.flops;
+    i_array = Compile.array;
+    i_scalar = Compile.scalar;
+    i_set_scalar = Compile.set_scalar;
+    i_array_names = Compile.array_names;
+    i_output = Compile.output;
+    i_read0 = Compile.sequential_hooks.Compile.h_read;
+    i_write0 = Compile.sequential_hooks.Compile.h_write;
+  }
+
+let run ?(engine = Compiled) config (u : Ast.program_unit) =
+  match engine with
+  | Tree -> run_with (tree_iface u) config u
+  | Compiled -> run_with (compiled_iface u) config u

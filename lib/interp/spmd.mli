@@ -32,7 +32,16 @@ type result = {
   flops_per_rank : float array;
 }
 
-val run : config -> Ast.program_unit -> result
+type engine = Tree | Compiled
+(** Which evaluator executes each rank's unit body: the tree-walking
+    {!Machine} or the slot-resolved closure IR of {!Compile}.  Results are
+    bit-identical (enforced by the golden-equivalence suite); [Compiled] is
+    the default and several times faster. *)
+
+val run : ?engine:engine -> config -> Ast.program_unit -> result
 (** Executes the SPMD unit produced by [Transform.run] on
-    [Topology.nranks config.topo] simulated ranks.
+    [Topology.nranks config.topo] simulated ranks.  The unit is compiled
+    (or analyzed) once and shared across ranks; halo-exchange, pipeline and
+    allgather boxes are resolved once per (rank, sync point) into flat
+    offset vectors and reused by every subsequent visit.
     @raise Sim.Deadlock / [Machine.Runtime_error] on malformed programs. *)

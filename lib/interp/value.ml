@@ -3,6 +3,8 @@ type scalar = Int of int | Real of float | Bool of bool | Str of string
 type arr = {
   bounds : (int * int) array;
   strides : int array;
+  base : int;
+  total : int;
   data : float array;
 }
 
@@ -18,16 +20,22 @@ let make_array bounds =
     strides.(d) <- !size;
     size := !size * (hi - lo + 1)
   done;
-  { bounds; strides; data = Array.make !size 0.0 }
+  let base = ref 0 in
+  for d = 0 to n - 1 do
+    base := !base + (fst bounds.(d) * strides.(d))
+  done;
+  { bounds; strides; base = !base; total = !size; data = Array.make !size 0.0 }
 
 let rank a = Array.length a.bounds
-let size a = Array.length a.data
+let size a = a.total
 
 let linear_index a idx =
   if Array.length idx <> rank a then
     invalid_arg
       (Printf.sprintf "Value.linear_index: %d subscripts for rank %d"
          (Array.length idx) (rank a));
+  (* fused offset: sum(i_d * stride_d) - precomputed base, one bounds
+     check per dimension (messages must stay stable — tests rely on them) *)
   let li = ref 0 in
   for d = 0 to rank a - 1 do
     let lo, hi = a.bounds.(d) in
@@ -37,9 +45,9 @@ let linear_index a idx =
         (Printf.sprintf
            "Value.linear_index: subscript %d out of bounds %d:%d in dim %d" i
            lo hi d);
-    li := !li + ((i - lo) * a.strides.(d))
+    li := !li + (i * a.strides.(d))
   done;
-  !li
+  !li - a.base
 
 let get a idx = a.data.(linear_index a idx)
 let set a idx v = a.data.(linear_index a idx) <- v

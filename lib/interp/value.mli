@@ -8,11 +8,15 @@ type scalar = Int of int | Real of float | Bool of bool | Str of string
 type arr = {
   bounds : (int * int) array;  (** inclusive (lower, upper) per dimension *)
   strides : int array;
+  base : int;  (** [sum lo_d * stride_d]: subtracted by the fused offset *)
+  total : int;  (** number of elements, [Array.length data] *)
   data : float array;
 }
 
 val make_array : (int * int) array -> arr
-(** Zero-initialized. @raise Invalid_argument on an empty dimension. *)
+(** Zero-initialized, with strides, total size and the base offset
+    precomputed once so element access never refolds [bounds].
+    @raise Invalid_argument on an empty dimension. *)
 
 val rank : arr -> int
 val size : arr -> int

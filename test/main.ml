@@ -11,6 +11,7 @@ let () =
       ("interp", Test_interp.suite);
       ("syncopt", Test_syncopt.suite);
       ("spmd", Test_spmd.suite);
+      ("engine", Test_engine.suite);
       ("apps", Test_apps.suite);
       ("perfmodel", Test_perfmodel.suite);
       ("driver", Test_driver.suite);

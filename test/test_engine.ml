@@ -1,0 +1,129 @@
+(** Golden equivalence of the two execution engines.
+
+    The compiled closure-IR engine ({!Autocfd_interp.Compile}) must be
+    bit-identical to the tree-walking interpreter ({!Autocfd_interp.Machine})
+    — not merely numerically close: gathered arrays, final scalars, WRITE
+    output, flop counts and the full simulator statistics (message/byte/
+    collective censuses, per-rank times) are compared with structural
+    equality on every bundled application program and the heat2d example,
+    over several partition shapes each. *)
+
+module D = Autocfd.Driver
+module I = Autocfd_interp
+
+let shape parts =
+  String.concat "x" (Array.to_list (Array.map string_of_int parts))
+
+let check_array_list what name (a : (string * I.Value.arr) list)
+    (b : (string * I.Value.arr) list) =
+  Alcotest.(check (list string))
+    (Printf.sprintf "%s: %s array names" name what)
+    (List.map fst a) (List.map fst b);
+  List.iter2
+    (fun (arr_name, aa) (_, ab) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %s %s bounds" name what arr_name)
+        true
+        (aa.I.Value.bounds = ab.I.Value.bounds);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %s %s bit-identical" name what arr_name)
+        true
+        (aa.I.Value.data = ab.I.Value.data))
+    a b
+
+let check_sequential name src =
+  let t = D.load src in
+  let tree = D.run_sequential ~engine:I.Spmd.Tree t in
+  let compiled = D.run_sequential ~engine:I.Spmd.Compiled t in
+  Alcotest.(check (list string))
+    (name ^ ": output") tree.D.sq_output compiled.D.sq_output;
+  Alcotest.(check (float 0.0))
+    (name ^ ": flops") tree.D.sq_flops compiled.D.sq_flops;
+  check_array_list "sequential" name tree.D.sq_arrays compiled.D.sq_arrays
+
+let check_parallel name src parts =
+  let t = D.load src in
+  let plan = D.plan t ~parts in
+  let tree = D.run_parallel ~engine:I.Spmd.Tree plan in
+  let compiled = D.run_parallel ~engine:I.Spmd.Compiled plan in
+  let ctx = Printf.sprintf "%s %s" name (shape parts) in
+  check_array_list "gathered" ctx tree.I.Spmd.gathered compiled.I.Spmd.gathered;
+  Alcotest.(check bool)
+    (ctx ^ ": scalars") true
+    (tree.I.Spmd.scalars = compiled.I.Spmd.scalars);
+  Alcotest.(check bool)
+    (ctx ^ ": flops per rank") true
+    (tree.I.Spmd.flops_per_rank = compiled.I.Spmd.flops_per_rank);
+  Alcotest.(check (list string))
+    (ctx ^ ": output") tree.I.Spmd.output compiled.I.Spmd.output;
+  Alcotest.(check bool)
+    (ctx ^ ": simulator stats") true
+    (tree.I.Spmd.stats = compiled.I.Spmd.stats)
+
+let check_both name src partitions =
+  check_sequential name src;
+  List.iter (check_parallel name src) partitions
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_sprayer () =
+  check_both "sprayer"
+    (Autocfd_apps.Sprayer.source ~ni:36 ~nj:18 ~ntime:6 ~npsi:3 ())
+    [ [| 2; 1 |]; [| 1; 2 |]; [| 2; 2 |]; [| 3; 2 |] ]
+
+let test_aerofoil () =
+  check_both "aerofoil"
+    (Autocfd_apps.Aerofoil.source ~ni:16 ~nj:10 ~nk:6 ~ntime:3 ~npres:2 ())
+    [ [| 2; 1; 1 |]; [| 2; 2; 1 |]; [| 2; 2; 2 |] ]
+
+let test_cavity () =
+  check_both "cavity"
+    (Autocfd_apps.Cavity.source ~n:17 ~maxit:5 ~npsi:3 ())
+    [ [| 2; 1 |]; [| 2; 2 |]; [| 3; 3 |] ]
+
+let heat2d_path () =
+  (* cwd is _build/default/test under `dune runtest`, the project root
+     under `dune exec test/main.exe` *)
+  List.find Sys.file_exists [ "../examples/heat2d.f"; "examples/heat2d.f" ]
+
+let test_heat2d () =
+  check_both "heat2d"
+    (read_file (heat2d_path ()))
+    [ [| 2; 1 |]; [| 1; 2 |]; [| 2; 2 |] ]
+
+(* flop-charge parity on a run with nontrivial timing: the simulated
+   elapsed time is derived from the flop census, so charge drift would
+   silently skew every timing table — compare with compute charging on *)
+let test_charged_timing_identical () =
+  let t =
+    D.load (Autocfd_apps.Sprayer.source ~ni:30 ~nj:16 ~ntime:4 ~npsi:3 ())
+  in
+  let plan = D.plan t ~parts:[| 2; 2 |] in
+  let machine = Autocfd.Experiments.machine in
+  let flop_time = D.calibrated_flop_time ~machine plan in
+  let run engine =
+    D.run_parallel ~engine
+      ~net:machine.Autocfd_perfmodel.Model.net ~flop_time plan
+  in
+  let tree = run I.Spmd.Tree and compiled = run I.Spmd.Compiled in
+  Alcotest.(check bool)
+    "charged stats identical" true
+    (tree.I.Spmd.stats = compiled.I.Spmd.stats);
+  Alcotest.(check bool)
+    "elapsed bit-identical" true
+    (tree.I.Spmd.stats.Autocfd_mpsim.Sim.elapsed
+    = compiled.I.Spmd.stats.Autocfd_mpsim.Sim.elapsed)
+
+let suite =
+  [
+    ("sprayer engines identical", `Slow, test_sprayer);
+    ("aerofoil engines identical", `Slow, test_aerofoil);
+    ("cavity engines identical", `Slow, test_cavity);
+    ("heat2d engines identical", `Slow, test_heat2d);
+    ("charged timing identical", `Quick, test_charged_timing_identical);
+  ]
