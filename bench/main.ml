@@ -8,7 +8,11 @@
       bench/main.exe tables      all tables, no micro-benchmarks
       bench/main.exe micro       micro-benchmarks only
       bench/main.exe ablation    optimal vs first-fit combining ablation
-      bench/main.exe engine      tree-walking vs compiled execution engine
+      bench/main.exe engine      tree-walking vs compiled vs fused-kernel
+                                 execution engines, plus per-loop kernel
+                                 coverage ([--check]: exit nonzero unless
+                                 results are identical and the fused tier
+                                 at least matches the compiled speedup)
       bench/main.exe --json      write BENCH_tables.json (tables 1-5 +
                                  model validation + engine speedup,
                                  machine-readable, for diffing the perf
@@ -131,6 +135,10 @@ let micro () =
              ignore
                (D.run_parallel ~engine:Autocfd_interp.Spmd.Compiled
                   small_plan)));
+      Test.make ~name:"engine:fused (sprayer 40x20, 4 ranks)"
+        (Staged.stage (fun () ->
+             ignore
+               (D.run_parallel ~engine:Autocfd_interp.Spmd.Fused small_plan)));
       Test.make ~name:"engine:tree-walk (aerofoil 16x10x6, 4 ranks)"
         (Staged.stage
            (let plan = D.plan small_aero ~parts:[| 2; 2; 1 |] in
@@ -143,6 +151,11 @@ let micro () =
             fun () ->
               ignore
                 (D.run_parallel ~engine:Autocfd_interp.Spmd.Compiled plan)));
+      Test.make ~name:"engine:fused (aerofoil 16x10x6, 4 ranks)"
+        (Staged.stage
+           (let plan = D.plan small_aero ~parts:[| 2; 2; 1 |] in
+            fun () ->
+              ignore (D.run_parallel ~engine:Autocfd_interp.Spmd.Fused plan)));
     ]
   in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
@@ -250,7 +263,31 @@ let () =
   | "advisor" -> print_advisor ()
   | "validate" ->
       print_string (E.render_validation (E.validate_model ()))
-  | "engine" -> print_string (E.render_engine (E.engine_bench ()))
+  | "engine" ->
+      let rows = E.engine_bench () in
+      print_string (E.render_engine rows);
+      print_newline ();
+      print_string (E.render_engine_coverage rows);
+      (* --check: CI smoke mode.  Fails if any engine disagrees or the
+         fused tier stops paying for itself (its speedup over the tree
+         walker drops below the plain compiled engine's). *)
+      if Array.length Sys.argv > 2 && Sys.argv.(2) = "--check" then
+        List.iter
+          (fun (r : E.engine_row) ->
+            if not r.E.er_identical then begin
+              Printf.eprintf "FAIL %s: engines disagree\n" r.E.er_program;
+              exit 1
+            end;
+            if r.E.er_fused_speedup < r.E.er_speedup then begin
+              Printf.eprintf
+                "FAIL %s: fused speedup %.2f below compiled speedup %.2f\n"
+                r.E.er_program r.E.er_fused_speedup r.E.er_speedup;
+              exit 1
+            end;
+            Printf.printf
+              "OK %s: fused %.2fx >= compiled %.2fx, results identical\n"
+              r.E.er_program r.E.er_fused_speedup r.E.er_speedup)
+          rows
   | "tables" -> all_tables ()
   | "--json" | "json" -> write_json ()
   | "micro" -> micro ()

@@ -151,7 +151,7 @@ type seq_result = {
   sq_flops : float;
 }
 
-let run_sequential ?(engine = I.Spmd.Compiled) ?(input = []) t =
+let run_sequential ?(engine = I.Spmd.Fused) ?(input = []) t =
   match engine with
   | I.Spmd.Tree ->
       let m = I.Machine.create ~input t.inlined in
@@ -164,8 +164,9 @@ let run_sequential ?(engine = I.Spmd.Compiled) ?(input = []) t =
             (I.Machine.array_names m);
         sq_flops = I.Machine.flops m;
       }
-  | I.Spmd.Compiled ->
-      let st = I.Compile.create ~input (I.Compile.of_unit t.inlined) in
+  | I.Spmd.Compiled | I.Spmd.Fused ->
+      let fuse = engine = I.Spmd.Fused in
+      let st = I.Compile.create ~input (I.Compile.of_unit ~fuse t.inlined) in
       I.Compile.run st;
       {
         sq_output = I.Compile.output st;

@@ -265,7 +265,7 @@ let validate_model () =
     cases
 
 (* ------------------------------------------------------------------ *)
-(* Execution-engine benchmark: tree-walking vs compiled                *)
+(* Execution-engine benchmark: tree-walking vs compiled vs fused       *)
 (* ------------------------------------------------------------------ *)
 
 type engine_row = {
@@ -273,8 +273,11 @@ type engine_row = {
   er_parts : int array;
   er_tree_s : float;
   er_compiled_s : float;
+  er_fused_s : float;
   er_speedup : float;
+  er_fused_speedup : float;
   er_identical : bool;
+  er_coverage : Autocfd_interp.Compile.coverage_entry list;
 }
 
 let results_identical (a : Autocfd_interp.Spmd.result)
@@ -312,16 +315,29 @@ let engine_bench () =
     let run engine () = Driver.run_parallel ~engine plan in
     let tree = run Autocfd_interp.Spmd.Tree in
     let compiled = run Autocfd_interp.Spmd.Compiled in
-    let identical = results_identical (tree ()) (compiled ()) in
+    let fused = run Autocfd_interp.Spmd.Fused in
+    let reference = tree () in
+    let identical =
+      results_identical reference (compiled ())
+      && results_identical reference (fused ())
+    in
     let tree_s = time_run tree in
     let compiled_s = time_run compiled in
+    let fused_s = time_run fused in
+    let coverage =
+      Autocfd_interp.Compile.coverage
+        (Autocfd_interp.Compile.of_unit ~fuse:true plan.Driver.spmd)
+    in
     {
       er_program = name;
       er_parts = parts;
       er_tree_s = tree_s;
       er_compiled_s = compiled_s;
+      er_fused_s = fused_s;
       er_speedup = tree_s /. compiled_s;
+      er_fused_speedup = tree_s /. fused_s;
       er_identical = identical;
+      er_coverage = coverage;
     }
   in
   [
@@ -414,29 +430,61 @@ let render_validation rows =
     rows;
   render t
 
+let coverage_counts cov =
+  ( List.length
+      (List.filter
+         (fun (c : Autocfd_interp.Compile.coverage_entry) ->
+           c.Autocfd_interp.Compile.cov_fused)
+         cov),
+    List.length cov )
+
 let render_engine rows =
   let open Autocfd_util.Table in
   let t =
     create
       ~title:
         "Execution engine: tree-walking interpreter vs compiled closure IR \
-         (simulated SPMD run, identical results)"
+         vs fused kernels (simulated SPMD run, identical results)"
       ~headers:
-        [ "program"; "partition"; "tree (s)"; "compiled (s)"; "speedup";
-          "identical" ]
+        [ "program"; "partition"; "tree (s)"; "compiled (s)"; "fused (s)";
+          "speedup"; "fused speedup"; "loops fused"; "identical" ]
   in
   List.iter
     (fun r ->
+      let fused, total = coverage_counts r.er_coverage in
       add_row t
         [
           r.er_program; shape r.er_parts;
           cell_float ~decimals:3 r.er_tree_s;
           cell_float ~decimals:3 r.er_compiled_s;
+          cell_float ~decimals:3 r.er_fused_s;
           cell_float r.er_speedup;
+          cell_float r.er_fused_speedup;
+          Printf.sprintf "%d/%d" fused total;
           (if r.er_identical then "yes" else "NO");
         ])
     rows;
   render t
+
+let render_engine_coverage rows =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (Printf.sprintf "%s (%s): field-loop kernel coverage\n" r.er_program
+           (shape r.er_parts));
+      List.iter
+        (fun (c : Autocfd_interp.Compile.coverage_entry) ->
+          Buffer.add_string b
+            (Printf.sprintf "  line %-4d do %-24s %s\n"
+               c.Autocfd_interp.Compile.cov_line
+               (String.concat "," c.Autocfd_interp.Compile.cov_vars)
+               (if c.Autocfd_interp.Compile.cov_fused then "fused"
+                else "fallback: " ^ c.Autocfd_interp.Compile.cov_reason)))
+        r.er_coverage;
+      Buffer.add_char b '\n')
+    rows;
+  Buffer.contents b
 
 let render_table4 rows =
   let open Autocfd_util.Table in
@@ -581,7 +629,13 @@ let tables_json () =
             ("partition", parts_json r.er_parts);
             ("tree_s", J.Float r.er_tree_s);
             ("compiled_s", J.Float r.er_compiled_s);
+            ("fused_s", J.Float r.er_fused_s);
             ("speedup", J.Float r.er_speedup);
+            ("fused_speedup", J.Float r.er_fused_speedup);
+            ( "loops_fused",
+              J.Int (fst (coverage_counts r.er_coverage)) );
+            ( "loops_total",
+              J.Int (snd (coverage_counts r.er_coverage)) );
             ("identical", J.Bool r.er_identical);
           ])
       (engine_bench ())

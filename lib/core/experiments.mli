@@ -93,19 +93,28 @@ type engine_row = {
   er_parts : int array;
   er_tree_s : float;  (** mean wall-clock of a tree-walking SPMD run *)
   er_compiled_s : float;  (** same run on the compiled closure IR *)
+  er_fused_s : float;  (** same run with the fused-kernel tier enabled *)
   er_speedup : float;  (** tree / compiled *)
+  er_fused_speedup : float;  (** tree / fused *)
   er_identical : bool;
       (** gathered arrays, scalars, WRITE output, per-rank flop counts and
-          simulator stats all bit-identical between the two engines *)
+          simulator stats all bit-identical across the three engines *)
+  er_coverage : Autocfd_interp.Compile.coverage_entry list;
+      (** static fusibility of every field-loop nest of the SPMD unit *)
 }
 
 val engine_bench : unit -> engine_row list
-(** Head-to-head of the two execution engines on a small aerofoil and
+(** Head-to-head of the three execution engines on a small aerofoil and
     sprayer instance: each case is executed on the simulated cluster with
-    both engines, results are checked for bit-identity, then each engine
+    every engine, results are checked for bit-identity, then each engine
     is timed over repeated runs. *)
 
 val render_engine : engine_row list -> string
+
+val render_engine_coverage : engine_row list -> string
+(** Per-loop kernel coverage detail: one line per field-loop nest of each
+    benchmarked SPMD unit, saying whether it fused and, if not, why it
+    fell back to the closure IR. *)
 
 val machine : Autocfd_perfmodel.Model.machine
 (** The calibrated cluster model used by every timing table. *)

@@ -12,6 +12,16 @@ exception Jump of int
 
 type slot_kind = KInt | KReal | KBool | KDyn
 
+(* Static fusibility of one field-loop nest (a DO whose nest writes at
+   least one declared array element): either it compiled to a fused
+   kernel, or the reason it stayed on the closure IR. *)
+type coverage_entry = {
+  cov_line : int;  (* source line of the nest's outermost DO *)
+  cov_vars : string list;  (* loop variables, outermost first *)
+  cov_fused : bool;
+  cov_reason : string;  (* "fused", or why the nest fell back *)
+}
+
 type cu = {
   cu_unit : Ast.program_unit;
   sc_index : (string, int) Hashtbl.t;
@@ -23,6 +33,7 @@ type cu = {
   ar_names : string array;  (* sorted *)
   ar_template : Value.arr array;  (* bounds + DATA contents, copied per state *)
   mutable cu_body : state -> unit;
+  mutable cu_cov : coverage_entry list;  (* field-loop nests, program order *)
 }
 
 and state = {
@@ -133,6 +144,12 @@ type ctx = {
   x_types : Ast.dtype array;
   x_ar : (string, int) Hashtbl.t;
   x_bounds : (int * int) array array;
+  x_fuse : bool;  (* attempt the fused-kernel tier on DO nests *)
+  x_record : bool;  (* record coverage entries (off inside fallbacks) *)
+  x_cov : coverage_entry list ref;
+  x_consts : (string, Value.scalar) Hashtbl.t;
+      (* PARAMETER constants never assigned in the body: foldable even
+         when the mangled name's implicit type forced a dynamic slot *)
 }
 
 let unset_var x : 'a = error "variable '%s' used before being set" x
@@ -697,6 +714,754 @@ let float_store ctx i : state -> float -> unit =
             st.sset.(i) <- true)
 
 (* ------------------------------------------------------------------ *)
+(* Fused-kernel tier                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A DO nest whose peeled body is a straight-line sequence of assignments
+   to declared array elements compiles to one specialized kernel instead
+   of a closure tree: loop bounds are evaluated once at entry, every
+   subscript is proven in-range for the whole trip space with
+   Autocfd_util.Interval arithmetic, element access goes through
+   Array.unsafe_get/set on the flat data with per-reference offset deltas,
+   and the nest's flops are charged in a single batched update of
+   [trips * flops-per-iteration] — bit-identical to the incremental
+   charges because flop totals are integer-valued floats (exact below
+   2^53).  Any precondition the analyzer or the runtime prover cannot
+   discharge falls back to the closure IR, which reproduces the
+   tree-walking machine's behavior (including error messages and partial
+   updates) exactly. *)
+
+exception Unfusable of string
+
+module Iv = Autocfd_util.Interval
+
+(* entry-invariant affine form of a subscript over the fused loop
+   variables: [sum coeff_l * var_l + const + sum mul_s * slot_s] *)
+type aff = {
+  af_coeff : int array;  (* per fused level, compile-time constant *)
+  af_const : int;
+  af_syms : (int * int) list;  (* (KInt slot, multiplier) *)
+}
+
+type fenv = {
+  e_ctx : ctx;
+  e_m : int;  (* nest depth *)
+  e_lvl : (string, int) Hashtbl.t;  (* fused loop var -> level *)
+  e_reads : int list ref;  (* scalar slots read anywhere in the kernel *)
+  e_refs : (int * aff array) list ref;  (* registered refs, reversed *)
+  e_nrefs : int ref;
+  e_flops : int ref;  (* float ops per innermost iteration *)
+  e_wrb : (string, unit) Hashtbl.t;
+      (* scalars assigned anywhere in the body: barred from bounds and
+         subscripts (those are resolved once at nest entry) *)
+  e_wrscal : (int, unit) Hashtbl.t;
+      (* scalar slots assigned by an earlier body statement: reads of
+         these observe the current iteration, never the entry value, so
+         they are exempt from the entry sset precheck *)
+}
+
+let aff_zero env = { af_coeff = Array.make env.e_m 0; af_const = 0; af_syms = [] }
+
+let aff_scale c a =
+  {
+    af_coeff = Array.map (fun k -> c * k) a.af_coeff;
+    af_const = c * a.af_const;
+    af_syms = List.map (fun (i, mu) -> (i, c * mu)) a.af_syms;
+  }
+
+let aff_add a b =
+  {
+    af_coeff = Array.mapi (fun l k -> k + b.af_coeff.(l)) a.af_coeff;
+    af_const = a.af_const + b.af_const;
+    af_syms = a.af_syms @ b.af_syms;
+  }
+
+(* literal integer folding (for constant subscript coefficients) *)
+let rec const_int (e : Ast.expr) : int option =
+  match e with
+  | Ast.Const_int c -> Some c
+  | Ast.Unop (Ast.Neg, a) -> Option.map (fun c -> -c) (const_int a)
+  | Ast.Binop (op, a, b) -> (
+      match (const_int a, const_int b) with
+      | Some x, Some y -> (
+          match op with
+          | Ast.Add -> Some (x + y)
+          | Ast.Sub -> Some (x - y)
+          | Ast.Mul -> Some (x * y)
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+(* affine decomposition of a subscript; rejects anything the machine
+   could fail on (so entry-time evaluation is exact).  The bool result is
+   true when the machine evaluates the expression in float arithmetic (an
+   integral real-typed constant appears): each float operation then
+   charges one flop per iteration, counted into [e_flops].  Scalars the
+   body assigns are barred — the kernel resolves subscript residuals once
+   at entry. *)
+let rec adecomp env (e : Ast.expr) : aff * bool =
+  match e with
+  | Ast.Const_int c -> ({ (aff_zero env) with af_const = c }, false)
+  | Ast.Const_real r when Float.is_integer r ->
+      ({ (aff_zero env) with af_const = truncate r }, true)
+  | Ast.Var x -> (
+      match Hashtbl.find_opt env.e_lvl x with
+      | Some l ->
+          let coeff = Array.make env.e_m 0 in
+          coeff.(l) <- 1;
+          ({ (aff_zero env) with af_coeff = coeff }, false)
+      | None ->
+          if Hashtbl.mem env.e_wrb x then
+            raise (Unfusable "subscript depends on a scalar assigned in the loop")
+          else (
+            match Hashtbl.find_opt env.e_ctx.x_sc x with
+            | Some i when env.e_ctx.x_kinds.(i) = KInt ->
+                env.e_reads := i :: !(env.e_reads);
+                ({ (aff_zero env) with af_syms = [ (i, 1) ] }, false)
+            | _ -> (
+                match Hashtbl.find_opt env.e_ctx.x_consts x with
+                | Some (Value.Int c) ->
+                    ({ (aff_zero env) with af_const = c }, false)
+                | Some (Value.Real r) when Float.is_integer r ->
+                    ({ (aff_zero env) with af_const = truncate r }, true)
+                | _ -> raise (Unfusable "non-affine subscript"))))
+  | Ast.Unop (Ast.Neg, a) ->
+      let fa, re = adecomp env a in
+      if re then incr env.e_flops;
+      (aff_scale (-1) fa, re)
+  | Ast.Binop (Ast.Add, a, b) ->
+      let fa, ra = adecomp env a in
+      let fb, rb = adecomp env b in
+      let re = ra || rb in
+      if re then incr env.e_flops;
+      (aff_add fa fb, re)
+  | Ast.Binop (Ast.Sub, a, b) ->
+      let fa, ra = adecomp env a in
+      let fb, rb = adecomp env b in
+      let re = ra || rb in
+      if re then incr env.e_flops;
+      (aff_add fa (aff_scale (-1) fb), re)
+  | Ast.Binop (Ast.Mul, a, b) -> (
+      match const_int a with
+      | Some c ->
+          let fb, re = adecomp env b in
+          if re then incr env.e_flops;
+          (aff_scale c fb, re)
+      | None -> (
+          match const_int b with
+          | Some c ->
+              let fa, re = adecomp env a in
+              if re then incr env.e_flops;
+              (aff_scale c fa, re)
+          | None -> raise (Unfusable "non-affine subscript")))
+  | _ -> raise (Unfusable "non-affine subscript")
+
+(* entry-invariant, error-free integer-valued expression (loop bounds);
+   anything else keeps the nest on the closure IR *)
+let rec icomp env (fl : int ref) (e : Ast.expr) : (state -> int) * bool =
+  (* the [bool] is true when the machine evaluates this subexpression in
+     float arithmetic (a real-typed constant appears somewhere inside):
+     every float operation then charges one flop, counted into [fl] so
+     the kernel can replay the machine's bound-evaluation charges
+     exactly.  Only integral float constants are admitted, which makes
+     truncating integer arithmetic bit-identical to the machine's
+     truncate-at-the-end float evaluation. *)
+  match e with
+  | Ast.Const_int c -> ((fun _ -> c), false)
+  | Ast.Const_real r when Float.is_integer r ->
+      let c = truncate r in
+      ((fun _ -> c), true)
+  | Ast.Var x ->
+      if Hashtbl.mem env.e_lvl x then
+        raise (Unfusable "loop bounds depend on a fused loop variable")
+      else if Hashtbl.mem env.e_wrb x then
+        raise (Unfusable "loop bounds depend on a scalar assigned in the loop")
+      else (
+        match Hashtbl.find_opt env.e_ctx.x_sc x with
+        | Some i when env.e_ctx.x_kinds.(i) = KInt ->
+            env.e_reads := i :: !(env.e_reads);
+            ((fun st -> Array.unsafe_get st.si i), false)
+        | _ -> (
+            match Hashtbl.find_opt env.e_ctx.x_consts x with
+            | Some (Value.Int c) -> ((fun _ -> c), false)
+            | Some (Value.Real r) when Float.is_integer r ->
+                let c = truncate r in
+                ((fun _ -> c), true)
+            | _ -> raise (Unfusable "loop bounds not integer-pure")))
+  | Ast.Unop (Ast.Neg, a) ->
+      let f, re = icomp env fl a in
+      if re then incr fl;
+      ((fun st -> -f st), re)
+  | Ast.Binop (((Ast.Add | Ast.Sub | Ast.Mul) as op), a, b) ->
+      let fa, ra = icomp env fl a in
+      let fb, rb = icomp env fl b in
+      let re = ra || rb in
+      if re then incr fl;
+      let g =
+        match op with Ast.Add -> ( + ) | Ast.Sub -> ( - ) | _ -> ( * )
+      in
+      ((fun st -> g (fa st) (fb st)), re)
+  | Ast.Local_lo (d, a) ->
+      let f, _ = icomp env fl a in
+      ( (fun st ->
+          let v = f st in
+          match st.hooks.h_block with
+          | None -> v
+          | Some g -> max v (fst (g d))),
+        false )
+  | Ast.Local_hi (d, a) ->
+      let f, _ = icomp env fl a in
+      ( (fun st ->
+          let v = f st in
+          match st.hooks.h_block with
+          | None -> v
+          | Some g -> min v (snd (g d))),
+        false )
+  | _ -> raise (Unfusable "loop bounds not integer-pure")
+
+(* body expressions: closures over (state, ref offsets, loop var values),
+   flops counted statically into [e_flops] (the kernel never touches
+   [st.flops] per iteration) *)
+type fe =
+  | Ff of (state -> int array -> int array -> float)
+  | Fi of (state -> int array -> int array -> int)
+
+let as_ff = function
+  | Ff f -> f
+  | Fi f -> fun st offs vals -> float_of_int (f st offs vals)
+
+let as_fi = function
+  | Fi f -> f
+  | Ff f -> fun st offs vals -> truncate (f st offs vals)
+
+let reg_ref env slot (args : Ast.expr list) : int =
+  let bounds = env.e_ctx.x_bounds.(slot) in
+  if List.length args <> Array.length bounds then
+    raise (Unfusable "subscript rank mismatch");
+  let affs = Array.of_list (List.map (fun e -> fst (adecomp env e)) args) in
+  let id = !(env.e_nrefs) in
+  incr env.e_nrefs;
+  env.e_refs := (slot, affs) :: !(env.e_refs);
+  id
+
+let rec fcomp env (e : Ast.expr) : fe =
+  match e with
+  | Ast.Const_int c -> Fi (fun _ _ _ -> c)
+  | Ast.Const_real f -> Ff (fun _ _ _ -> f)
+  | Ast.Const_bool _ | Ast.Const_str _ ->
+      raise (Unfusable "non-arithmetic value in body")
+  | Ast.Var x -> (
+      match Hashtbl.find_opt env.e_lvl x with
+      | Some l -> Fi (fun _ _ vals -> Array.unsafe_get vals l)
+      | None -> (
+          match Hashtbl.find_opt env.e_ctx.x_sc x with
+          | Some i when env.e_ctx.x_kinds.(i) = KInt ->
+              (* slots already assigned by an earlier body statement hold
+                 this iteration's value, never the entry value: exempt
+                 from the entry sset precheck *)
+              if not (Hashtbl.mem env.e_wrscal i) then
+                env.e_reads := i :: !(env.e_reads);
+              Fi (fun st _ _ -> Array.unsafe_get st.si i)
+          | Some i when env.e_ctx.x_kinds.(i) = KReal ->
+              if not (Hashtbl.mem env.e_wrscal i) then
+                env.e_reads := i :: !(env.e_reads);
+              Ff (fun st _ _ -> Array.unsafe_get st.sf i)
+          | _ -> (
+              match Hashtbl.find_opt env.e_ctx.x_consts x with
+              | Some (Value.Int c) -> Fi (fun _ _ _ -> c)
+              | Some (Value.Real r) -> Ff (fun _ _ _ -> r)
+              | _ -> raise (Unfusable "non-arithmetic scalar in body"))))
+  | Ast.Ref (name, args) -> (
+      match Hashtbl.find_opt env.e_ctx.x_ar name with
+      | Some slot ->
+          let id = reg_ref env slot args in
+          Ff
+            (fun st offs _ ->
+              Array.unsafe_get
+                (Array.unsafe_get st.adata slot)
+                (Array.unsafe_get offs id))
+      | None -> fintr env name args)
+  | Ast.Unop (Ast.Neg, a) -> (
+      match fcomp env a with
+      | Fi f -> Fi (fun st offs vals -> -f st offs vals)
+      | Ff f ->
+          incr env.e_flops;
+          Ff (fun st offs vals -> -.f st offs vals))
+  | Ast.Unop (Ast.Lnot, _) -> raise (Unfusable "logical expression in body")
+  | Ast.Binop (op, a, b) -> (
+      let ca = fcomp env a in
+      let cb = fcomp env b in
+      match op with
+      | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Pow -> (
+          match (ca, cb) with
+          | Fi fa, Fi fb -> (
+              match op with
+              | Ast.Add -> Fi (fun st o v -> fa st o v + fb st o v)
+              | Ast.Sub -> Fi (fun st o v -> fa st o v - fb st o v)
+              | Ast.Mul -> Fi (fun st o v -> fa st o v * fb st o v)
+              | Ast.Div -> raise (Unfusable "integer division in body")
+              | Ast.Pow -> (
+                  match b with
+                  | Ast.Const_int y when y >= 0 ->
+                      Fi
+                        (fun st o v ->
+                          let x = fa st o v in
+                          let rec pow acc n =
+                            if n = 0 then acc else pow (acc * x) (n - 1)
+                          in
+                          pow 1 y)
+                  | _ -> raise (Unfusable "dynamic integer exponent in body"))
+              | _ -> assert false)
+          | _ ->
+              let fa = as_ff ca and fb = as_ff cb in
+              incr env.e_flops;
+              let arith g = Ff (fun st o v -> g (fa st o v) (fb st o v)) in
+              (match op with
+              | Ast.Add -> arith (fun x y -> x +. y)
+              | Ast.Sub -> arith (fun x y -> x -. y)
+              | Ast.Mul -> arith (fun x y -> x *. y)
+              | Ast.Div -> arith (fun x y -> x /. y)
+              | Ast.Pow -> arith Float.pow
+              | _ -> assert false))
+      | _ -> raise (Unfusable "logical expression in body"))
+  | Ast.Local_lo _ | Ast.Local_hi _ ->
+      raise (Unfusable "local-bound expression in body")
+
+and fintr env name args : fe =
+  let f1 g =
+    match args with
+    | [ a ] ->
+        let f = as_ff (fcomp env a) in
+        incr env.e_flops;
+        Ff (fun st o v -> g (f st o v))
+    | _ -> raise (Unfusable ("intrinsic " ^ name ^ " arity"))
+  in
+  match name with
+  | "abs" -> (
+      match args with
+      | [ a ] -> (
+          match fcomp env a with
+          | Fi f -> Fi (fun st o v -> abs (f st o v))
+          | Ff f ->
+              incr env.e_flops;
+              Ff (fun st o v -> Float.abs (f st o v)))
+      | _ -> raise (Unfusable "intrinsic abs arity"))
+  | "sqrt" -> f1 Float.sqrt
+  | "exp" -> f1 Float.exp
+  | "log" -> f1 Float.log
+  | "sin" -> f1 Float.sin
+  | "cos" -> f1 Float.cos
+  | "tan" -> f1 Float.tan
+  | "atan" -> f1 Float.atan
+  | "max" | "amax1" | "min" | "amin1" -> (
+      let g = if name = "max" || name = "amax1" then Float.max else Float.min in
+      match args with
+      | a :: rest when rest <> [] ->
+          let fa = as_ff (fcomp env a) in
+          let frest =
+            Array.of_list (List.map (fun e -> as_ff (fcomp env e)) rest)
+          in
+          env.e_flops := !(env.e_flops) + Array.length frest;
+          Ff
+            (fun st o v ->
+              let acc = ref (fa st o v) in
+              for i = 0 to Array.length frest - 1 do
+                acc := g !acc ((Array.unsafe_get frest i) st o v)
+              done;
+              !acc)
+      | _ -> raise (Unfusable ("intrinsic " ^ name ^ " arity")))
+  | "max0" | "min0" -> (
+      match args with
+      | [ a; b ] ->
+          let fa = as_fi (fcomp env a) and fb = as_fi (fcomp env b) in
+          let g = if name = "max0" then max else min in
+          Fi (fun st o v -> g (fa st o v) (fb st o v))
+      | _ -> raise (Unfusable ("intrinsic " ^ name ^ " arity")))
+  | "mod" -> (
+      match args with
+      | [ a; b ] -> (
+          match (fcomp env a, fcomp env b) with
+          | Fi _, Fi _ -> raise (Unfusable "integer mod in body")
+          | ca, cb ->
+              let fa = as_ff ca and fb = as_ff cb in
+              incr env.e_flops;
+              Ff (fun st o v -> Float.rem (fa st o v) (fb st o v)))
+      | _ -> raise (Unfusable "intrinsic mod arity"))
+  | "float" | "real" | "dble" -> (
+      match args with
+      | [ a ] -> Ff (as_ff (fcomp env a))
+      | _ -> raise (Unfusable ("intrinsic " ^ name ^ " arity")))
+  | "int" -> (
+      match args with
+      | [ a ] -> Fi (as_fi (fcomp env a))
+      | _ -> raise (Unfusable "intrinsic int arity"))
+  | "sign" -> (
+      match args with
+      | [ a; b ] ->
+          let fa = as_ff (fcomp env a) and fb = as_ff (fcomp env b) in
+          incr env.e_flops;
+          Ff
+            (fun st o v ->
+              let x = fa st o v in
+              let y = fb st o v in
+              if y >= 0.0 then Float.abs x else -.Float.abs x)
+      | _ -> raise (Unfusable "intrinsic sign arity"))
+  | _ -> raise (Unfusable ("unsupported intrinsic " ^ name))
+
+(* one body assignment: rhs into an unsafe store through the target's
+   registered reference *)
+let comp_kstmt env (s : Ast.stmt) :
+    (state -> int array -> int array -> unit) option =
+  match s.Ast.s_kind with
+  | Ast.Continue -> None
+  | Ast.Assign (Ast.Ref (name, args), rhs) -> (
+      match Hashtbl.find_opt env.e_ctx.x_ar name with
+      | None -> raise (Unfusable "assignment to an undeclared array")
+      | Some slot ->
+          let rf = as_ff (fcomp env rhs) in
+          let wid = reg_ref env slot args in
+          Some
+            (fun st offs vals ->
+              let v = rf st offs vals in
+              Array.unsafe_set
+                (Array.unsafe_get st.adata slot)
+                (Array.unsafe_get offs wid)
+                v))
+  | Ast.Assign (Ast.Var x, rhs) -> (
+      (* iteration-local scratch scalar: backed by its own slot, written
+         each iteration exactly like the machine (the slot's exit value is
+         the last iteration's) *)
+      if Hashtbl.mem env.e_lvl x then
+        raise (Unfusable "assignment to a loop variable in body");
+      match Hashtbl.find_opt env.e_ctx.x_sc x with
+      | Some i when env.e_ctx.x_kinds.(i) = KReal ->
+          let rf = as_ff (fcomp env rhs) in
+          Hashtbl.replace env.e_wrscal i ();
+          Some
+            (fun st offs vals ->
+              Array.unsafe_set st.sf i (rf st offs vals);
+              Array.unsafe_set st.sset i true)
+      | Some i when env.e_ctx.x_kinds.(i) = KInt ->
+          let rf = as_fi (fcomp env rhs) in
+          Hashtbl.replace env.e_wrscal i ();
+          Some
+            (fun st offs vals ->
+              Array.unsafe_set st.si i (rf st offs vals);
+              Array.unsafe_set st.sset i true)
+      | _ -> raise (Unfusable "scalar assignment in body"))
+  | Ast.Assign _ -> raise (Unfusable "unsupported assignment target")
+  | _ -> raise (Unfusable "non-assignment statement in body")
+
+(* structural nest peeling *)
+type peeled =
+  | P_leaf of Ast.do_loop list * Ast.stmt list  (* levels outer-first *)
+  | P_descend  (* nested DOs mixed with other structure: recurse, no entry *)
+  | P_bad of string  (* innermost body holds a non-fusable statement *)
+
+let peel (d : Ast.do_loop) : peeled =
+  let rec go acc d =
+    let acc = d :: acc in
+    let body =
+      List.filter
+        (fun s -> match s.Ast.s_kind with Ast.Continue -> false | _ -> true)
+        d.Ast.do_body
+    in
+    match body with
+    | [ { Ast.s_kind = Ast.Do d'; _ } ] -> go acc d'
+    | _ ->
+        if
+          List.exists
+            (fun s -> match s.Ast.s_kind with Ast.Do _ -> true | _ -> false)
+            body
+        then P_descend
+        else if
+          List.for_all
+            (fun s ->
+              match s.Ast.s_kind with Ast.Assign _ -> true | _ -> false)
+            body
+        then P_leaf (List.rev acc, body)
+        else
+          P_bad
+            (match
+               List.find_opt
+                 (fun s ->
+                   match s.Ast.s_kind with Ast.Assign _ -> false | _ -> true)
+                 body
+             with
+            | Some { Ast.s_kind = Ast.If _; _ } -> "IF in loop body"
+            | Some { Ast.s_kind = Ast.Goto _; _ } -> "GOTO in loop body"
+            | Some { Ast.s_kind = (Ast.Read _ | Ast.Write _); _ } ->
+                "I/O in loop body"
+            | Some
+                {
+                  Ast.s_kind =
+                    (Ast.Comm _ | Ast.Pipeline_recv _ | Ast.Pipeline_send _);
+                  _;
+                } ->
+                "communication in loop body"
+            | _ -> "control flow in loop body")
+  in
+  go [] d
+
+(* does the nest write at least one declared array element? *)
+let is_field_loop ctx (d : Ast.do_loop) =
+  let found = ref false in
+  Ast.iter_stmts
+    (fun s ->
+      match s.Ast.s_kind with
+      | Ast.Assign (Ast.Ref (n, _), _) when Hashtbl.mem ctx.x_ar n ->
+          found := true
+      | _ -> ())
+    d.Ast.do_body;
+  !found
+
+(* flat per-reference kernel info *)
+type krf = {
+  k_slot : int;
+  k_bounds : (int * int) array;
+  k_strides : int array;
+  k_base : int;
+  k_coeff : int array array;  (* per dim, per level *)
+  k_resid : (state -> int) array;  (* per dim, entry-invariant *)
+  k_flat : int array;  (* per level: sum over dims of coeff * stride *)
+}
+
+(* Build the kernel for a peeled nest, or raise Unfusable.  The result
+   takes the closure-IR fallback (compiled separately) and yields the
+   nest's [state -> unit]. *)
+let kernel_of ctx (levels : Ast.do_loop list) (stmts : Ast.stmt list) :
+    (state -> unit) -> state -> unit =
+  let m = List.length levels in
+  let lvl = Hashtbl.create 8 in
+  let var_stores =
+    Array.of_list
+      (List.mapi
+         (fun l (d : Ast.do_loop) ->
+           let x = d.Ast.do_var in
+           if Hashtbl.mem lvl x then
+             raise (Unfusable "duplicate loop variable in nest");
+           match Hashtbl.find_opt ctx.x_sc x with
+           | Some i when ctx.x_kinds.(i) = KInt ->
+               Hashtbl.add lvl x l;
+               int_store ctx i
+           | Some _ -> raise (Unfusable "loop variable not integer")
+           | None -> raise (Unfusable "loop variable has no slot"))
+         levels)
+  in
+  let wrb = Hashtbl.create 8 in
+  List.iter
+    (fun (s : Ast.stmt) ->
+      match s.Ast.s_kind with
+      | Ast.Assign (Ast.Var x, _) -> Hashtbl.replace wrb x ()
+      | _ -> ())
+    stmts;
+  let env =
+    {
+      e_ctx = ctx;
+      e_m = m;
+      e_lvl = lvl;
+      e_reads = ref [];
+      e_refs = ref [];
+      e_nrefs = ref 0;
+      e_flops = ref 0;
+      e_wrb = wrb;
+      e_wrscal = Hashtbl.create 8;
+    }
+  in
+  (* fpb.(l): flops the machine charges for one evaluation of level l's
+     bounds (real-constant arithmetic); level l's bounds are evaluated
+     once per iteration of the enclosing levels *)
+  let fpb = Array.make m 0 in
+  let comp_bound l e =
+    let fl = ref 0 in
+    let f, _ = icomp env fl e in
+    fpb.(l) <- fpb.(l) + !fl;
+    f
+  in
+  let blos =
+    Array.of_list (List.mapi (fun l d -> comp_bound l d.Ast.do_lo) levels)
+  in
+  let bhis =
+    Array.of_list (List.mapi (fun l d -> comp_bound l d.Ast.do_hi) levels)
+  in
+  let bsteps =
+    Array.of_list
+      (List.mapi
+         (fun l (d : Ast.do_loop) ->
+           match d.Ast.do_step with
+           | Some e -> comp_bound l e
+           | None -> fun _ -> 1)
+         levels)
+  in
+  let stmt_fns = Array.of_list (List.filter_map (comp_kstmt env) stmts) in
+  if Array.length stmt_fns = 0 then raise (Unfusable "empty loop body");
+  let fpi = !(env.e_flops) in
+  let kinfo =
+    Array.of_list
+      (List.rev_map (* e_refs is newest-first; rev_map restores id order *)
+         (fun (slot, affs) ->
+           let bounds = ctx.x_bounds.(slot) in
+           let strides = strides_of bounds in
+           let base = base_of bounds strides in
+           let flat = Array.make m 0 in
+           Array.iteri
+             (fun d (a : aff) ->
+               for l = 0 to m - 1 do
+                 flat.(l) <- flat.(l) + (a.af_coeff.(l) * strides.(d))
+               done)
+             affs;
+           {
+             k_slot = slot;
+             k_bounds = bounds;
+             k_strides = strides;
+             k_base = base;
+             k_coeff = Array.map (fun a -> a.af_coeff) affs;
+             k_resid =
+               Array.map
+                 (fun (a : aff) ->
+                   match a.af_syms with
+                   | [] ->
+                       let c = a.af_const in
+                       fun _ -> c
+                   | syms ->
+                       let c = a.af_const in
+                       fun st ->
+                         List.fold_left
+                           (fun acc (i, mu) ->
+                             acc + (mu * Array.unsafe_get st.si i))
+                           c syms)
+                 affs;
+             k_flat = flat;
+           })
+         !(env.e_refs))
+  in
+  let nrefs = Array.length kinfo in
+  let pre = Array.of_list (List.sort_uniq compare !(env.e_reads)) in
+  let npre = Array.length pre in
+  let ns = Array.length stmt_fns in
+  fun fallback st ->
+    (* any entry-read slot unset, zero step, empty trip space, or an
+       unprovable subscript range: run the closure IR, which reproduces
+       the machine bit for bit (including errors and partial updates) *)
+    let ok = ref true in
+    for i = 0 to npre - 1 do
+      if not (Array.unsafe_get st.sset (Array.unsafe_get pre i)) then
+        ok := false
+    done;
+    if not !ok then fallback st
+    else begin
+      let los = Array.map (fun f -> f st) blos in
+      let his = Array.map (fun f -> f st) bhis in
+      let steps = Array.map (fun f -> f st) bsteps in
+      if Array.exists (fun s -> s = 0) steps then fallback st
+      else begin
+        let trips =
+          Array.init m (fun l ->
+              Machine.trip_count ~lo:los.(l) ~hi:his.(l) ~step:steps.(l))
+        in
+        if Array.exists (fun t -> t = 0) trips then fallback st
+        else begin
+          let ivs =
+            Array.init m (fun l ->
+                let last = los.(l) + ((trips.(l) - 1) * steps.(l)) in
+                if steps.(l) > 0 then Iv.make los.(l) last
+                else Iv.make last los.(l))
+          in
+          let safe = ref true in
+          Array.iter
+            (fun k ->
+              Array.iteri
+                (fun d (blo, bhi) ->
+                  if !safe then begin
+                    let r = k.k_resid.(d) st in
+                    let iv = ref (Iv.make r r) in
+                    let coeff = k.k_coeff.(d) in
+                    for l = 0 to m - 1 do
+                      if coeff.(l) <> 0 then
+                        iv :=
+                          Iv.sum !iv (Iv.affine ~mul:coeff.(l) ~add:0 ivs.(l))
+                    done;
+                    if Iv.lo !iv < blo || Iv.hi !iv > bhi then safe := false
+                  end)
+                k.k_bounds)
+            kinfo;
+          if not !safe then fallback st
+          else begin
+            let rbase =
+              Array.map
+                (fun k ->
+                  let s = ref (-k.k_base) in
+                  Array.iteri
+                    (fun d f -> s := !s + (f st * k.k_strides.(d)))
+                    k.k_resid;
+                  !s)
+                kinfo
+            in
+            let vals = Array.make m 0 in
+            let offs = Array.make nrefs 0 in
+            let kd =
+              Array.map (fun k -> k.k_flat.(m - 1) * steps.(m - 1)) kinfo
+            in
+            let lom = los.(m - 1) in
+            let stepm = steps.(m - 1) in
+            let tm = trips.(m - 1) in
+            let rec go l =
+              if l = m - 1 then begin
+                for r = 0 to nrefs - 1 do
+                  let k = kinfo.(r) in
+                  let o = ref (rbase.(r) + (k.k_flat.(m - 1) * lom)) in
+                  for l' = 0 to m - 2 do
+                    o := !o + (k.k_flat.(l') * vals.(l'))
+                  done;
+                  offs.(r) <- !o
+                done;
+                vals.(m - 1) <- lom;
+                for _ = 1 to tm do
+                  for s = 0 to ns - 1 do
+                    (Array.unsafe_get stmt_fns s) st offs vals
+                  done;
+                  for r = 0 to nrefs - 1 do
+                    Array.unsafe_set offs r
+                      (Array.unsafe_get offs r + Array.unsafe_get kd r)
+                  done;
+                  vals.(m - 1) <- vals.(m - 1) + stepm
+                done
+              end
+              else begin
+                vals.(l) <- los.(l);
+                for _ = 1 to trips.(l) do
+                  go (l + 1);
+                  vals.(l) <- vals.(l) + steps.(l)
+                done
+              end
+            in
+            go 0;
+            (* batched charge: body flops per point times the trip-space
+               size, plus the machine's bound-evaluation charges (level
+               l's bounds are re-evaluated once per enclosing iteration) *)
+            let bfl = ref 0 and evals = ref 1 in
+            for l = 0 to m - 1 do
+              bfl := !bfl + (fpb.(l) * !evals);
+              evals := !evals * trips.(l)
+            done;
+            let total = !evals in
+            st.flops <- st.flops +. float_of_int ((total * fpi) + !bfl);
+            for l = 0 to m - 1 do
+              var_stores.(l) st (los.(l) + (trips.(l) * steps.(l)))
+            done
+          end
+        end
+      end
+    end
+
+let record_cov ctx ~line ~vars ~fused reason =
+  if ctx.x_record then
+    ctx.x_cov :=
+      { cov_line = line; cov_vars = vars; cov_fused = fused;
+        cov_reason = reason }
+      :: !(ctx.x_cov)
+
+(* ------------------------------------------------------------------ *)
 (* Statement compilation                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -810,7 +1575,7 @@ and comp_stmt ctx (st : Ast.stmt) : state -> unit =
           | (c, f) :: rest -> if c s then f s else pick rest
         in
         pick brs)
-  | Ast.Do d -> comp_do ctx d
+  | Ast.Do d -> comp_do ctx ~line:st.Ast.s_line d
   | Ast.Call (name, _) ->
       fun _ ->
         error "CALL %s: subroutine calls must be inlined before execution"
@@ -851,7 +1616,30 @@ and comp_read_target ctx (item : Ast.expr) : state -> float -> unit =
       end
   | _ -> fun _ _ -> error "invalid assignment target"
 
-and comp_do ctx (d : Ast.do_loop) : state -> unit =
+and comp_do ctx ~line (d : Ast.do_loop) : state -> unit =
+  if not ctx.x_fuse then comp_do_plain ctx d
+  else
+    match peel d with
+    | P_descend -> comp_do_plain ctx d
+    | P_bad reason ->
+        if is_field_loop ctx d then
+          record_cov ctx ~line ~vars:[ d.Ast.do_var ] ~fused:false reason;
+        comp_do_plain ctx d
+    | P_leaf (levels, stmts) -> (
+        let vars = List.map (fun (l : Ast.do_loop) -> l.Ast.do_var) levels in
+        match kernel_of ctx levels stmts with
+        | kernel ->
+            record_cov ctx ~line ~vars ~fused:true "fused";
+            (* dynamic fall-back path: plain closure IR, no nested kernels *)
+            kernel (comp_do_plain { ctx with x_fuse = false } d)
+        | exception Unfusable reason ->
+            if is_field_loop ctx d then
+              record_cov ctx ~line ~vars ~fused:false reason;
+            (* inner sub-nests may still fuse (e.g. triangular bounds);
+               they just don't get their own coverage entries *)
+            comp_do_plain { ctx with x_record = false } d)
+
+and comp_do_plain ctx (d : Ast.do_loop) : state -> unit =
   let flo = as_int (comp ctx d.Ast.do_lo) in
   let fhi = as_int (comp ctx d.Ast.do_hi) in
   let fstep =
@@ -930,7 +1718,7 @@ let kind_matches kind (v : Value.scalar) =
   | KInt, Value.Int _ | KReal, Value.Real _ | KBool, Value.Bool _ -> true
   | _ -> false
 
-let compile (u : Ast.program_unit) : cu =
+let compile ?(fuse = false) (u : Ast.program_unit) : cu =
   (* snapshot the machine's initial environment: PARAMETER constants,
      declared array bounds and DATA contents, with identical semantics
      (and identical failure modes) by construction *)
@@ -972,8 +1760,33 @@ let compile (u : Ast.program_unit) : cu =
       ar_names;
       ar_template;
       cu_body = (fun _ -> assert false);
+      cu_cov = [];
     }
   in
+  let cov = ref [] in
+  let consts = Hashtbl.create 16 in
+  if fuse then begin
+    let assigned = Hashtbl.create 32 in
+    let mark = function
+      | Ast.Var x -> Hashtbl.replace assigned x ()
+      | _ -> ()
+    in
+    Ast.iter_stmts
+      (fun st ->
+        match st.Ast.s_kind with
+        | Ast.Assign (lhs, _) -> mark lhs
+        | Ast.Do d -> Hashtbl.replace assigned d.Ast.do_var ()
+        | Ast.Read items -> List.iter mark items
+        | _ -> ())
+      u.Ast.u_body;
+    List.iter
+      (fun (n, _) ->
+        if not (Hashtbl.mem assigned n) then
+          match List.assoc_opt n init_bindings with
+          | Some v -> Hashtbl.replace consts n v
+          | None -> ())
+      u.Ast.u_consts
+  end;
   let ctx =
     {
       x_sc = sc_index;
@@ -981,25 +1794,34 @@ let compile (u : Ast.program_unit) : cu =
       x_types = sc_types;
       x_ar = ar_index;
       x_bounds = Array.map (fun a -> a.Value.bounds) ar_template;
+      x_fuse = fuse;
+      x_record = fuse;
+      x_cov = cov;
+      x_consts = consts;
     }
   in
   cu.cu_body <- comp_block ctx u.Ast.u_body;
+  cu.cu_cov <- List.rev !cov;
   cu
 
-(* compiled units are pure functions of the AST: memoize per physical
-   unit so every rank of a run — and every run over the same program —
-   shares one compilation *)
-let memo : (Ast.program_unit * cu) list ref = ref []
+(* compiled units are pure functions of the AST (and the fuse flag):
+   memoize per physical unit so every rank of a run — and every run over
+   the same program — shares one compilation *)
+let memo : (Ast.program_unit * bool * cu) list ref = ref []
 let memo_limit = 16
 
-let of_unit u =
-  match List.assq_opt u !memo with
-  | Some cu -> cu
+let of_unit ?(fuse = false) u =
+  match
+    List.find_opt (fun (u', f, _) -> u' == u && f = fuse) !memo
+  with
+  | Some (_, _, cu) -> cu
   | None ->
-      let cu = compile u in
+      let cu = compile ~fuse u in
       let keep = List.filteri (fun i _ -> i < memo_limit - 1) !memo in
-      memo := (u, cu) :: keep;
+      memo := (u, fuse, cu) :: keep;
       cu
+
+let coverage cu = cu.cu_cov
 
 (* ------------------------------------------------------------------ *)
 (* Runtime state                                                       *)

@@ -43,16 +43,41 @@ type hooks = {
 val sequential_hooks : hooks
 (** Same behavior as {!Machine.sequential_hooks}. *)
 
-val compile : Ast.program_unit -> cu
+type coverage_entry = {
+  cov_line : int;  (** source line of the nest's outermost DO *)
+  cov_vars : string list;  (** loop variables, outermost first *)
+  cov_fused : bool;
+  cov_reason : string;  (** ["fused"], or why the nest fell back *)
+}
+(** Static fusibility of one field-loop nest (a DO nest that writes at
+    least one declared array element), recorded when compiling with
+    [~fuse:true]. *)
+
+val compile : ?fuse:bool -> Ast.program_unit -> cu
 (** Lower the unit.  Evaluates PARAMETER constants, array bounds and DATA
     statements through a template {!Machine} so initialization is
     bit-identical; raises {!Machine.Runtime_error} on the same inputs
-    {!Machine.create} would. *)
+    {!Machine.create} would.
 
-val of_unit : Ast.program_unit -> cu
-(** Memoized {!compile}: the same physical [program_unit] compiles once and
-    the result is shared (all ranks of a run, repeated runs in benchmarks
-    and tables). *)
+    With [~fuse:true] (default [false]) the compiler additionally emits a
+    fused kernel for every DO nest whose body is a straight-line sequence
+    of assignments to declared array elements over affine subscripts:
+    bounds are evaluated once at entry, every subscript is proven in-range
+    for the whole trip space with interval arithmetic, elements are
+    accessed unchecked through per-reference offset deltas, and the nest's
+    flops are charged as one batched [trips * flops-per-iteration] update.
+    Results, flop totals and error behavior stay bit-identical to the
+    closure IR (and hence to {!Machine}); nests the analyzer or the
+    runtime prover cannot discharge fall back to the closure IR. *)
+
+val of_unit : ?fuse:bool -> Ast.program_unit -> cu
+(** Memoized {!compile}: the same physical [program_unit] (and fuse flag)
+    compiles once and the result is shared (all ranks of a run, repeated
+    runs in benchmarks and tables). *)
+
+val coverage : cu -> coverage_entry list
+(** Field-loop nests in program order.  Empty unless the unit was
+    compiled with [~fuse:true]. *)
 
 val create : ?hooks:hooks -> ?input:float list -> cu -> state
 (** Fresh state: arrays copied from the compiled template (bounds + DATA),

@@ -123,6 +123,14 @@ let declared_type t name = scalar_type t name
 
 let charge t n = t.flops <- t.flops +. float_of_int n
 
+(* iterations of DO var = lo, hi [, step]; the loop body runs exactly this
+   many times and the variable's exit value is lo + trips*step *)
+let trip_count ~lo ~hi ~step =
+  if step = 0 then invalid_arg "Machine.trip_count: zero step"
+  else if step > 0 then if lo > hi then 0 else ((hi - lo) / step) + 1
+  else if lo < hi then 0
+  else ((lo - hi) / -step) + 1
+
 let rec eval t (e : Ast.expr) : Value.scalar =
   match e with
   | Ast.Const_int i -> Value.Int i
@@ -330,14 +338,12 @@ and exec t st =
         match d.Ast.do_step with Some e -> eval_int t e | None -> 1
       in
       if step = 0 then error "DO loop with zero step";
-      let continue_cond i = if step > 0 then i <= hi else i >= hi in
-      let i = ref lo in
-      while continue_cond !i do
-        set_scalar t d.Ast.do_var (Value.Int !i);
-        exec_block t d.Ast.do_body;
-        i := !i + step
+      let trips = trip_count ~lo ~hi ~step in
+      for k = 0 to trips - 1 do
+        set_scalar t d.Ast.do_var (Value.Int (lo + (k * step)));
+        exec_block t d.Ast.do_body
       done;
-      set_scalar t d.Ast.do_var (Value.Int !i)
+      set_scalar t d.Ast.do_var (Value.Int (lo + (trips * step)))
   | Ast.Call (name, _) ->
       error "CALL %s: subroutine calls must be inlined before execution" name
   | Ast.Return | Ast.Stop -> raise Stop_run

@@ -76,3 +76,10 @@ val eval : t -> Ast.expr -> Value.scalar
 (** Evaluate an expression in the current environment. *)
 
 val exec_block : t -> Ast.block -> unit
+
+val trip_count : lo:int -> hi:int -> step:int -> int
+(** Number of iterations of [DO var = lo, hi, step]: the body runs exactly
+    this many times and the variable's exit value is [lo + trips*step].
+    Shared by the tree-walking DO loop and the fused-kernel tier (which
+    charges [trips * flops-per-iteration] in one batched update).
+    @raise Invalid_argument on [step = 0]. *)

@@ -21,7 +21,7 @@ type result = {
   flops_per_rank : float array;
 }
 
-type engine = Tree | Compiled
+type engine = Tree | Compiled | Fused
 
 let tag_exchange = 3
 let tag_pipe = 5
@@ -185,22 +185,95 @@ let offsets_of arr ranges =
       incr i);
   out
 
-let pack_offs (data : float array) offs = Array.map (fun o -> data.(o)) offs
+(* A cached pack/unpack plan: the flat element offsets in payload order,
+   compressed into maximal contiguous runs.  When runs are long enough
+   (boundary planes along the fastest-varying dimension are fully
+   contiguous) packing becomes a few [Array.blit]s into a reusable payload
+   buffer instead of a per-element gather; the payload's element order is
+   unchanged either way, so message contents, sizes and simulator
+   statistics are identical.  Reusing [pp_buf] across visits is safe
+   because [Sim.send] copies its payload. *)
+type pack_plan = {
+  pp_total : int;
+  pp_offs : int array;
+  pp_segs : (int * int) array;  (* (start offset, length) runs, in order *)
+  pp_blit : bool;  (* segment copies win over the element walk *)
+  pp_buf : float array;
+}
 
-let unpack_offs (data : float array) offs payload =
-  Array.iteri (fun i o -> data.(o) <- payload.(i)) offs
+(* average run length at which per-segment Array.blit beats the
+   per-element loop (short runs pay blit's call overhead) *)
+let blit_threshold = 4
+
+let plan_of_offsets offs =
+  let n = Array.length offs in
+  let segs = ref [] in
+  let nsegs = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    let start = offs.(!i) in
+    let j = ref (!i + 1) in
+    while !j < n && offs.(!j) = offs.(!j - 1) + 1 do
+      incr j
+    done;
+    segs := (start, !j - !i) :: !segs;
+    incr nsegs;
+    i := !j
+  done;
+  {
+    pp_total = n;
+    pp_offs = offs;
+    pp_segs = Array.of_list (List.rev !segs);
+    pp_blit = n > 0 && !nsegs * blit_threshold <= n;
+    pp_buf = Array.make n 0.0;
+  }
+
+let plan_of arr ranges = plan_of_offsets (offsets_of arr ranges)
+
+let pack p (data : float array) =
+  let buf = p.pp_buf in
+  if p.pp_blit then begin
+    let pos = ref 0 in
+    Array.iter
+      (fun (start, len) ->
+        Array.blit data start buf !pos len;
+        pos := !pos + len)
+      p.pp_segs
+  end
+  else begin
+    let offs = p.pp_offs in
+    for i = 0 to p.pp_total - 1 do
+      Array.unsafe_set buf i (data.(Array.unsafe_get offs i))
+    done
+  end;
+  buf
+
+let unpack p (data : float array) payload =
+  if p.pp_blit then begin
+    let pos = ref 0 in
+    Array.iter
+      (fun (start, len) ->
+        Array.blit payload !pos data start len;
+        pos := !pos + len)
+      p.pp_segs
+  end
+  else
+    let offs = p.pp_offs in
+    for i = 0 to p.pp_total - 1 do
+      data.(Array.unsafe_get offs i) <- Array.unsafe_get payload i
+    done
 
 type xfer_plan = {
   xp_array : string;
-  xp_send : (int * int array) option;  (* dest rank, pack offsets *)
-  xp_recv : (int * int array) option;  (* src rank, unpack offsets *)
+  xp_send : (int * pack_plan) option;  (* dest rank, pack plan *)
+  xp_recv : (int * pack_plan) option;  (* src rank, unpack plan *)
 }
 
 type plan =
   | P_exchange of xfer_plan list
-  | P_pipe of (int * (string * int array) list) option  (* peer, per array *)
-  | P_allgather of (string * int array * int array array) list
-      (* per array: my pack offsets, then per-peer unpack offsets (index =
+  | P_pipe of (int * (string * pack_plan) list) option  (* peer, per array *)
+  | P_allgather of (string * pack_plan * pack_plan array) list
+      (* per array: my pack plan, then per-peer unpack plans (index =
          peer rank; my own entry unused) *)
 
 (* ------------------------------------------------------------------ *)
@@ -329,7 +402,7 @@ let run_with : 'm. 'm iface -> config -> Ast.program_unit -> result =
                   | Some dest ->
                       Some
                         ( dest,
-                          offsets_of arr
+                          plan_of arr
                             (plane_ranges gi topo ~owner_rank:r arr xfer
                                ~ext_of_dim) )
                   | None -> None
@@ -341,7 +414,7 @@ let run_with : 'm. 'm iface -> config -> Ast.program_unit -> result =
                   | Some src ->
                       Some
                         ( src,
-                          offsets_of arr
+                          plan_of arr
                             (plane_ranges gi topo ~owner_rank:src arr xfer
                                ~ext_of_dim) )
                   | None -> None
@@ -359,15 +432,15 @@ let run_with : 'm. 'm iface -> config -> Ast.program_unit -> result =
           (* send my boundary planes towards xfer_dir, then receive the
              matching planes from the opposite neighbor *)
           (match xp.xp_send with
-          | Some (dest, offs) ->
-              Sim.send c ~dest ~tag:tag_exchange (pack_offs data offs)
+          | Some (dest, p) ->
+              Sim.send c ~dest ~tag:tag_exchange (pack p data)
           | None -> ());
           match xp.xp_recv with
-          | Some (src, offs) ->
+          | Some (src, p) ->
               let payload = Sim.recv c ~src ~tag:tag_exchange in
-              if Array.length payload <> Array.length offs then
+              if Array.length payload <> p.pp_total then
                 failwith "Spmd: halo exchange size mismatch";
-              unpack_offs data offs payload
+              unpack p data payload
           | None -> ())
         (exchange_plan m sid transfers)
     in
@@ -387,7 +460,7 @@ let run_with : 'm. 'm iface -> config -> Ast.program_unit -> result =
                         let arr = iface.i_array m name in
                         let owner = if recv then peer else r in
                         ( name,
-                          offsets_of arr
+                          plan_of arr
                             (pipe_ranges gi topo ~owner_rank:owner arr ~dim
                                ~dir ~depth name) ))
                       arrays )
@@ -402,15 +475,15 @@ let run_with : 'm. 'm iface -> config -> Ast.program_unit -> result =
       | None -> ()
       | Some (peer, per_array) ->
           List.iter
-            (fun (name, offs) ->
+            (fun (name, p) ->
               let data = (iface.i_array m name).Value.data in
               if recv then begin
                 let payload = Sim.recv c ~src:peer ~tag:tag_pipe in
-                if Array.length payload <> Array.length offs then
+                if Array.length payload <> p.pp_total then
                   failwith "Spmd: pipeline message size mismatch";
-                unpack_offs data offs payload
+                unpack p data payload
               end
-              else Sim.send c ~dest:peer ~tag:tag_pipe (pack_offs data offs))
+              else Sim.send c ~dest:peer ~tag:tag_pipe (pack p data))
             per_array
     in
     let allgather_plan m sid arrays =
@@ -424,7 +497,7 @@ let run_with : 'm. 'm iface -> config -> Ast.program_unit -> result =
               | None -> invalid_arg ("Spmd: allgather of non-status " ^ name)
             in
             let b = Topology.block topo owner in
-            offsets_of arr
+            plan_of arr
               (Array.init (Value.rank arr) (fun k ->
                    let alo, ahi = arr.Value.bounds.(k) in
                    match sa.GI.sa_dims.(k) with
@@ -440,7 +513,8 @@ let run_with : 'm. 'm iface -> config -> Ast.program_unit -> result =
                 let mine = owned_offsets r arr name in
                 let peers =
                   Array.init nranks_total (fun peer ->
-                      if peer = r then [||] else owned_offsets peer arr name)
+                      if peer = r then plan_of_offsets [||]
+                      else owned_offsets peer arr name)
                 in
                 (name, mine, peers))
               arrays
@@ -454,17 +528,17 @@ let run_with : 'm. 'm iface -> config -> Ast.program_unit -> result =
       List.iter
         (fun (name, mine, peers) ->
           let data = (iface.i_array m name).Value.data in
-          let payload = pack_offs data mine in
+          let payload = pack mine data in
           for peer = 0 to nranks_total - 1 do
             if peer <> r then Sim.send c ~dest:peer ~tag:tag_gather payload
           done;
           for peer = 0 to nranks_total - 1 do
             if peer <> r then begin
-              let offs = peers.(peer) in
+              let p = peers.(peer) in
               let pl = Sim.recv c ~src:peer ~tag:tag_gather in
-              if Array.length pl <> Array.length offs then
+              if Array.length pl <> p.pp_total then
                 failwith "Spmd: allgather size mismatch";
-              unpack_offs data offs pl
+              unpack p data pl
             end
           done)
         (allgather_plan m sid arrays)
@@ -612,8 +686,9 @@ let tree_iface (u : Ast.program_unit) : Machine.t iface =
     i_write0 = Machine.sequential_hooks.Machine.h_write;
   }
 
-let compiled_iface (u : Ast.program_unit) : Compile.state iface =
-  let cu = Compile.of_unit u in
+let compiled_iface ?(fuse = false) (u : Ast.program_unit) :
+    Compile.state iface =
+  let cu = Compile.of_unit ~fuse u in
   {
     i_spawn =
       (fun g input ->
@@ -639,7 +714,8 @@ let compiled_iface (u : Ast.program_unit) : Compile.state iface =
     i_write0 = Compile.sequential_hooks.Compile.h_write;
   }
 
-let run ?(engine = Compiled) config (u : Ast.program_unit) =
+let run ?(engine = Fused) config (u : Ast.program_unit) =
   match engine with
   | Tree -> run_with (tree_iface u) config u
   | Compiled -> run_with (compiled_iface u) config u
+  | Fused -> run_with (compiled_iface ~fuse:true u) config u

@@ -32,16 +32,21 @@ type result = {
   flops_per_rank : float array;
 }
 
-type engine = Tree | Compiled
+type engine = Tree | Compiled | Fused
 (** Which evaluator executes each rank's unit body: the tree-walking
-    {!Machine} or the slot-resolved closure IR of {!Compile}.  Results are
-    bit-identical (enforced by the golden-equivalence suite); [Compiled] is
-    the default and several times faster. *)
+    {!Machine}, the slot-resolved closure IR of {!Compile}, or the closure
+    IR with the fused-kernel tier enabled ([Compile.of_unit ~fuse:true]):
+    straight-line affine DO nests run as bounds-hoisted tight loops with
+    batched flop charging.  Results of all three are bit-identical
+    (enforced by the golden-equivalence suite); [Fused] is the default and
+    the fastest. *)
 
 val run : ?engine:engine -> config -> Ast.program_unit -> result
 (** Executes the SPMD unit produced by [Transform.run] on
     [Topology.nranks config.topo] simulated ranks.  The unit is compiled
     (or analyzed) once and shared across ranks; halo-exchange, pipeline and
     allgather boxes are resolved once per (rank, sync point) into flat
-    offset vectors and reused by every subsequent visit.
+    offset vectors — contiguous offset runs collapse to [Array.blit]
+    segments over a reusable payload buffer — and reused by every
+    subsequent visit.
     @raise Sim.Deadlock / [Machine.Runtime_error] on malformed programs. *)

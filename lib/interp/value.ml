@@ -62,7 +62,7 @@ let to_float = function
 
 let to_int = function
   | Int i -> i
-  | Real f -> int_of_float (Float.of_int (truncate f))
+  | Real f -> truncate f
   | Bool b -> if b then 1 else 0
   | Str _ -> invalid_arg "Value.to_int: string value"
 
@@ -78,9 +78,30 @@ let pp_scalar ppf = function
   | Bool b -> Format.pp_print_string ppf (if b then "T" else "F")
   | Str s -> Format.pp_print_string ppf s
 
+let shape_string a =
+  "("
+  ^ String.concat ","
+      (Array.to_list
+         (Array.map (fun (lo, hi) -> Printf.sprintf "%d:%d" lo hi) a.bounds))
+  ^ ")"
+
+let same_shape a b =
+  rank a = rank b
+  && begin
+       let ok = ref true in
+       Array.iteri
+         (fun d (lo, hi) ->
+           let lo', hi' = b.bounds.(d) in
+           if lo <> lo' || hi <> hi' then ok := false)
+         a.bounds;
+       !ok
+     end
+
 let max_abs_diff a b =
-  if a.bounds <> b.bounds then
-    invalid_arg "Value.max_abs_diff: shape mismatch";
+  if not (same_shape a b) then
+    invalid_arg
+      (Printf.sprintf "Value.max_abs_diff: shape mismatch: %s vs %s"
+         (shape_string a) (shape_string b));
   let m = ref 0.0 in
   Array.iteri
     (fun i x -> m := Float.max !m (Float.abs (x -. b.data.(i))))

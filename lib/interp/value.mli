@@ -32,10 +32,16 @@ val to_float : scalar -> float
 (** @raise Invalid_argument on strings. *)
 
 val to_int : scalar -> int
-(** Truncation for reals, matching Fortran INT conversion. *)
+(** Truncation toward zero for reals ([truncate]), matching Fortran INT
+    conversion; exact for every real whose truncation fits in [int]. *)
 
 val to_bool : scalar -> bool
 val pp_scalar : Format.formatter -> scalar -> unit
 
+val same_shape : arr -> arr -> bool
+(** Rank and every per-dimension bound pair agree. *)
+
 val max_abs_diff : arr -> arr -> float
-(** Largest pointwise difference; raises if shapes differ. *)
+(** Largest pointwise difference.
+    @raise Invalid_argument if shapes differ (ranks or any dimension's
+    bounds); the message names both shapes. *)

@@ -17,6 +17,11 @@ let inter a b =
   else None
 
 let hull a b = { lo = min a.lo b.lo; hi = max a.hi b.hi }
+let sum a b = { lo = a.lo + b.lo; hi = a.hi + b.hi }
+
+let affine ~mul ~add t =
+  if mul >= 0 then { lo = (mul * t.lo) + add; hi = (mul * t.hi) + add }
+  else { lo = (mul * t.hi) + add; hi = (mul * t.lo) + add }
 
 let compare_start a b =
   match compare a.lo b.lo with 0 -> compare a.hi b.hi | c -> c

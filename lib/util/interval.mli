@@ -24,6 +24,15 @@ val inter : t -> t -> t option
 val hull : t -> t -> t
 (** Smallest interval covering both. *)
 
+val sum : t -> t -> t
+(** Minkowski sum: the exact range of [x + y] for [x] in the first
+    interval and [y] in the second. *)
+
+val affine : mul:int -> add:int -> t -> t
+(** Exact image of the interval under [x -> mul*x + add] (endpoints swap
+    when [mul] is negative).  Used by the fused-kernel bounds prover to
+    fold affine subscripts over loop trip spaces. *)
+
 val compare_start : t -> t -> int
 (** Order by [lo], ties broken by [hi]. *)
 

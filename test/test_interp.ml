@@ -300,6 +300,40 @@ let test_out_of_bounds_error () =
     | exception I.Machine.Runtime_error _ -> true
     | _ -> false)
 
+(* Fortran INT conversion truncates toward zero; [truncate] is exact for
+   every real whose truncation fits in int, where a float round-trip
+   ([int_of_float (Float.of_int ...)]) loses precision above 2^53 *)
+let test_to_int_truncation () =
+  Alcotest.(check int) "positive" 2 (I.Value.to_int (I.Value.Real 2.7));
+  Alcotest.(check int) "negative toward zero" (-2)
+    (I.Value.to_int (I.Value.Real (-2.7)));
+  Alcotest.(check int) "negative just below" (-1)
+    (I.Value.to_int (I.Value.Real (-1.999999)));
+  Alcotest.(check int) "exact negative" (-3)
+    (I.Value.to_int (I.Value.Real (-3.0)));
+  let big = 4503599627370497.0 (* 2^52 + 1, exactly representable *) in
+  Alcotest.(check int) "large real exact" 4503599627370497
+    (I.Value.to_int (I.Value.Real big));
+  Alcotest.(check int) "large negative exact" (-4503599627370497)
+    (I.Value.to_int (I.Value.Real (-.big)));
+  Alcotest.(check int) "int passthrough" 42 (I.Value.to_int (I.Value.Int 42))
+
+let test_max_abs_diff_shapes () =
+  let a = I.Value.make_array [| (1, 3); (1, 2) |] in
+  let b = I.Value.make_array [| (1, 3); (1, 2) |] in
+  I.Value.set b [| 2; 2 |] 1.5;
+  Alcotest.(check (float 0.0)) "same shape" 1.5 (I.Value.max_abs_diff a b);
+  let c = I.Value.make_array [| (1, 3); (0, 2) |] in
+  Alcotest.check_raises "mismatched bounds name both shapes"
+    (Invalid_argument
+       "Value.max_abs_diff: shape mismatch: (1:3,1:2) vs (1:3,0:2)")
+    (fun () -> ignore (I.Value.max_abs_diff a c));
+  let d = I.Value.make_array [| (1, 6) |] in
+  Alcotest.check_raises "mismatched ranks name both shapes"
+    (Invalid_argument
+       "Value.max_abs_diff: shape mismatch: (1:3,1:2) vs (1:6)")
+    (fun () -> ignore (I.Value.max_abs_diff a d))
+
 let test_flops_counted () =
   let m =
     run
@@ -320,6 +354,8 @@ let suite =
   [
     ("array column-major", `Quick, test_array_column_major);
     ("array custom bounds", `Quick, test_array_custom_bounds);
+    ("to_int truncation", `Quick, test_to_int_truncation);
+    ("max_abs_diff shape errors", `Quick, test_max_abs_diff_shapes);
     QCheck_alcotest.to_alcotest prop_linear_index_bijective;
     ("integer arithmetic", `Quick, test_integer_arithmetic);
     ("mixed arithmetic", `Quick, test_mixed_arithmetic);

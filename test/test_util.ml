@@ -29,6 +29,22 @@ let test_interval_set_ops () =
   Alcotest.(check bool) "contains" true
     (Interval.contains (Interval.make 0 10) a)
 
+let test_interval_arith () =
+  let a = Interval.make 2 5 and b = Interval.make (-3) 4 in
+  let s = Interval.sum a b in
+  Alcotest.(check int) "sum lo" (-1) (Interval.lo s);
+  Alcotest.(check int) "sum hi" 9 (Interval.hi s);
+  let p = Interval.affine ~mul:3 ~add:1 a in
+  Alcotest.(check int) "affine lo" 7 (Interval.lo p);
+  Alcotest.(check int) "affine hi" 16 (Interval.hi p);
+  (* negative multiplier swaps the endpoints *)
+  let n = Interval.affine ~mul:(-2) ~add:1 a in
+  Alcotest.(check int) "neg affine lo" (-9) (Interval.lo n);
+  Alcotest.(check int) "neg affine hi" (-3) (Interval.hi n);
+  let z = Interval.affine ~mul:0 ~add:4 a in
+  Alcotest.(check int) "zero mul lo" 4 (Interval.lo z);
+  Alcotest.(check int) "zero mul hi" 4 (Interval.hi z)
+
 let gen_interval =
   QCheck.Gen.(
     let* lo = int_range (-50) 50 in
@@ -114,6 +130,7 @@ let suite =
   [
     ("interval basics", `Quick, test_interval_basics);
     ("interval set ops", `Quick, test_interval_set_ops);
+    ("interval sum/affine", `Quick, test_interval_arith);
     QCheck_alcotest.to_alcotest prop_inter_comm;
     QCheck_alcotest.to_alcotest prop_inter_subset;
     QCheck_alcotest.to_alcotest prop_hull_superset;
