@@ -13,6 +13,11 @@
                                  coverage ([--check]: exit nonzero unless
                                  results are identical and the fused tier
                                  at least matches the compiled speedup)
+      bench/main.exe chaos       seeded fault schedules vs the reliable
+                                 transport and checkpoint/restart
+                                 ([--check]: exit nonzero unless every
+                                 recoverable schedule yields bit-identical
+                                 results within the overhead budget)
       bench/main.exe --json      write BENCH_tables.json (tables 1-5 +
                                  model validation + engine speedup,
                                  machine-readable, for diffing the perf
@@ -288,6 +293,31 @@ let () =
               "OK %s: fused %.2fx >= compiled %.2fx, results identical\n"
               r.E.er_program r.E.er_fused_speedup r.E.er_speedup)
           rows
+  | "chaos" ->
+      let rows = E.chaos_bench () in
+      print_string (E.render_chaos rows);
+      (* --check: CI smoke mode.  Every schedule in the bench is
+         recoverable, so any divergence is a transport/recovery bug; the
+         overhead ceiling catches retransmit storms and checkpoint
+         regressions. *)
+      if Array.length Sys.argv > 2 && Sys.argv.(2) = "--check" then begin
+        let max_overhead = 4.0 in
+        List.iter
+          (fun (r : E.chaos_row) ->
+            if not r.E.ch_identical then begin
+              Printf.eprintf "FAIL %s/%s: result diverged from fault-free run\n"
+                r.E.ch_program r.E.ch_schedule;
+              exit 1
+            end;
+            if r.E.ch_overhead > max_overhead then begin
+              Printf.eprintf "FAIL %s/%s: overhead %.2fx above budget %.1fx\n"
+                r.E.ch_program r.E.ch_schedule r.E.ch_overhead max_overhead;
+              exit 1
+            end;
+            Printf.printf "OK %s/%s: identical, overhead %.2fx\n"
+              r.E.ch_program r.E.ch_schedule r.E.ch_overhead)
+          rows
+      end
   | "tables" -> all_tables ()
   | "--json" | "json" -> write_json ()
   | "micro" -> micro ()

@@ -178,7 +178,7 @@ let run_sequential ?(engine = I.Spmd.Fused) ?(input = []) t =
       }
 
 let run_parallel ?engine ?(net = M.Netmodel.fast) ?(flop_time = 0.0)
-    ?(input = []) ?tracer plan =
+    ?(input = []) ?tracer ?faults ?recovery plan =
   let config =
     {
       I.Spmd.gi = plan.source.gi;
@@ -187,6 +187,8 @@ let run_parallel ?engine ?(net = M.Netmodel.fast) ?(flop_time = 0.0)
       flop_time;
       input;
       tracer;
+      faults;
+      recovery;
     }
   in
   I.Spmd.run ?engine config plan.spmd

@@ -82,8 +82,13 @@ val run_parallel :
   ?flop_time:float ->
   ?input:float list ->
   ?tracer:Autocfd_obs.Trace.t ->
+  ?faults:Autocfd_mpsim.Fault.plan ->
+  ?recovery:Autocfd_interp.Spmd.recovery ->
   plan ->
   Autocfd_interp.Spmd.result
+(** [faults] installs a deterministic fault schedule (messages then travel
+    over the reliable transport); [recovery] additionally enables
+    coordinated checkpoint/restart — see {!Autocfd_interp.Spmd.run}. *)
 
 val calibrated_flop_time :
   ?machine:Autocfd_perfmodel.Model.machine -> plan -> float

@@ -350,6 +350,115 @@ let engine_bench () =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Chaos benchmark: fault injection + reliable transport + recovery    *)
+(* ------------------------------------------------------------------ *)
+
+module Fault = Autocfd_mpsim.Fault
+
+type chaos_row = {
+  ch_program : string;
+  ch_schedule : string;
+  ch_identical : bool;
+      (** gathered arrays, WRITE output and final scalars bit-equal to
+          the fault-free run *)
+  ch_overhead : float;  (** faulty / fault-free virtual elapsed time *)
+  ch_resilience : Autocfd_interp.Spmd.resilience;
+  ch_counters : Fault.counters;
+}
+
+(* the resilience claim: same science out, faults or no faults *)
+let state_identical (a : Autocfd_interp.Spmd.result)
+    (b : Autocfd_interp.Spmd.result) =
+  let arrays_eq =
+    List.length a.Autocfd_interp.Spmd.gathered
+    = List.length b.Autocfd_interp.Spmd.gathered
+    && List.for_all2
+         (fun (na, aa) (nb, ab) ->
+           na = nb
+           && aa.Autocfd_interp.Value.bounds = ab.Autocfd_interp.Value.bounds
+           && aa.Autocfd_interp.Value.data = ab.Autocfd_interp.Value.data)
+         a.Autocfd_interp.Spmd.gathered b.Autocfd_interp.Spmd.gathered
+  in
+  arrays_eq
+  && a.Autocfd_interp.Spmd.scalars = b.Autocfd_interp.Spmd.scalars
+  && a.Autocfd_interp.Spmd.output = b.Autocfd_interp.Spmd.output
+
+(* Six seeded schedules per program, scaled to the fault-free run: message
+   loss alone, duplication+corruption, timing perturbations (jitter and a
+   degraded link), a transient straggler, a hard crash mid-run, and all of
+   them together.  Every schedule is recoverable, so each row must come
+   back bit-identical. *)
+let chaos_schedules ~seed ~clean_elapsed ~net =
+  let lat = net.Autocfd_mpsim.Netmodel.latency in
+  let mid p = Fault.At_time (p *. clean_elapsed) in
+  [
+    ("loss 3%", Fault.spec ~seed ~loss:0.03 ());
+    ( "dup+corrupt 2%",
+      Fault.spec ~seed:(seed + 1) ~duplication:0.02 ~corruption:0.02 () );
+    ( "jitter+slow link",
+      Fault.spec ~seed:(seed + 2) ~jitter:(8.0 *. lat)
+        ~degrade:[ (0, 1, 3.0); (1, 0, 3.0) ]
+        () );
+    ( "straggler",
+      Fault.spec ~seed:(seed + 3)
+        ~stalls:
+          [
+            {
+              Fault.sl_rank = 1;
+              sl_at = mid 0.3;
+              sl_duration = 0.2 *. clean_elapsed;
+            };
+          ]
+        () );
+    ( "crash+restart",
+      Fault.spec ~seed:(seed + 4)
+        ~crashes:[ { Fault.cr_rank = 1; cr_at = mid 0.4 } ]
+        () );
+    ( "kitchen sink",
+      Fault.spec ~seed:(seed + 5) ~loss:0.01 ~duplication:0.01
+        ~corruption:0.01 ~jitter:(4.0 *. lat)
+        ~crashes:[ { Fault.cr_rank = 1; cr_at = mid 0.5 } ]
+        () );
+  ]
+
+let chaos_case ?(seed = 42) ?(engine = Autocfd_interp.Spmd.Fused) name source
+    parts =
+  let t = Driver.load source in
+  let plan = Driver.plan t ~parts in
+  let net = machine.M.net in
+  let flop_time = Driver.calibrated_flop_time ~machine plan in
+  let clean = Driver.run_parallel ~engine ~net ~flop_time plan in
+  let clean_elapsed =
+    clean.Autocfd_interp.Spmd.stats.Autocfd_mpsim.Sim.elapsed
+  in
+  List.map
+    (fun (label, spec) ->
+      let faults = Fault.make spec in
+      let faulty =
+        Driver.run_parallel ~engine ~net ~flop_time ~faults
+          ~recovery:Autocfd_interp.Spmd.default_recovery plan
+      in
+      {
+        ch_program = name;
+        ch_schedule = label;
+        ch_identical = state_identical clean faulty;
+        ch_overhead =
+          faulty.Autocfd_interp.Spmd.stats.Autocfd_mpsim.Sim.elapsed
+          /. clean_elapsed;
+        ch_resilience = faulty.Autocfd_interp.Spmd.resilience;
+        ch_counters = Fault.counters faults;
+      })
+    (chaos_schedules ~seed ~clean_elapsed ~net)
+
+let chaos_bench ?seed () =
+  chaos_case ?seed "sprayer"
+    (Apps.Sprayer.source ~ni:40 ~nj:20 ~ntime:3 ())
+    [| 2; 2 |]
+  @ chaos_case ?seed "aerofoil"
+      (Apps.Aerofoil.source ~ni:16 ~nj:10 ~nk:6 ~ntime:2 ())
+      [| 2; 2; 1 |]
+
+(* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -485,6 +594,40 @@ let render_engine_coverage rows =
       Buffer.add_char b '\n')
     rows;
   Buffer.contents b
+
+let render_chaos rows =
+  let open Autocfd_util.Table in
+  let t =
+    create
+      ~title:
+        "Chaos: seeded fault schedules vs reliable transport + \
+         checkpoint/restart (result must stay bit-identical)"
+      ~headers:
+        [ "program"; "schedule"; "identical"; "overhead"; "injected";
+          "retransmits"; "dups dropped"; "cksum fails"; "ckpts";
+          "restarts" ]
+  in
+  List.iter
+    (fun r ->
+      let c = r.ch_counters and rs = r.ch_resilience in
+      let injected =
+        c.Fault.fc_drops + c.Fault.fc_duplicates + c.Fault.fc_corruptions
+        + c.Fault.fc_stalls + c.Fault.fc_crashes
+      in
+      add_row t
+        [
+          r.ch_program; r.ch_schedule;
+          (if r.ch_identical then "yes" else "NO");
+          cell_float ~decimals:2 r.ch_overhead;
+          cell_int injected;
+          cell_int rs.Autocfd_interp.Spmd.rs_retransmits;
+          cell_int rs.Autocfd_interp.Spmd.rs_dup_suppressed;
+          cell_int rs.Autocfd_interp.Spmd.rs_checksum_failures;
+          cell_int rs.Autocfd_interp.Spmd.rs_checkpoints;
+          cell_int rs.Autocfd_interp.Spmd.rs_restarts;
+        ])
+    rows;
+  render t
 
 let render_table4 rows =
   let open Autocfd_util.Table in
@@ -640,6 +783,32 @@ let tables_json () =
           ])
       (engine_bench ())
   in
+  let resilience =
+    List.map
+      (fun r ->
+        let c = r.ch_counters and rs = r.ch_resilience in
+        J.Obj
+          [
+            ("program", J.Str r.ch_program);
+            ("schedule", J.Str r.ch_schedule);
+            ("identical", J.Bool r.ch_identical);
+            ("overhead", J.Float r.ch_overhead);
+            ("drops", J.Int c.Fault.fc_drops);
+            ("duplicates", J.Int c.Fault.fc_duplicates);
+            ("corruptions", J.Int c.Fault.fc_corruptions);
+            ("stalls", J.Int c.Fault.fc_stalls);
+            ("crashes", J.Int c.Fault.fc_crashes);
+            ("retransmits", J.Int rs.Autocfd_interp.Spmd.rs_retransmits);
+            ( "dup_suppressed",
+              J.Int rs.Autocfd_interp.Spmd.rs_dup_suppressed );
+            ( "checksum_failures",
+              J.Int rs.Autocfd_interp.Spmd.rs_checksum_failures );
+            ("checkpoints", J.Int rs.Autocfd_interp.Spmd.rs_checkpoints);
+            ("restores", J.Int rs.Autocfd_interp.Spmd.rs_restores);
+            ("restarts", J.Int rs.Autocfd_interp.Spmd.rs_restarts);
+          ])
+      (chaos_bench ())
+  in
   J.Obj
     [
       ("schema", J.Str "autocfd-bench/1");
@@ -650,4 +819,5 @@ let tables_json () =
       ("table5", J.List t5);
       ("validation", J.List validation);
       ("engine", J.List engine);
+      ("resilience", J.List resilience);
     ]

@@ -116,6 +116,29 @@ val render_engine_coverage : engine_row list -> string
     benchmarked SPMD unit, saying whether it fused and, if not, why it
     fell back to the closure IR. *)
 
+type chaos_row = {
+  ch_program : string;
+  ch_schedule : string;  (** human label of the fault schedule *)
+  ch_identical : bool;
+      (** gathered arrays, WRITE output and final scalars bit-equal to
+          the fault-free run *)
+  ch_overhead : float;  (** faulty / fault-free virtual elapsed time *)
+  ch_resilience : Autocfd_interp.Spmd.resilience;
+  ch_counters : Autocfd_mpsim.Fault.counters;  (** faults injected *)
+}
+
+val chaos_bench : ?seed:int -> unit -> chaos_row list
+(** The resilience harness: a small sprayer (2 x 2) and aerofoil
+    (2 x 2 x 1) instance are first run fault-free, then re-run under six
+    seeded fault schedules each (loss, duplication+corruption,
+    jitter+degraded link, a straggler, a crash with checkpoint/restart,
+    and all combined), with the reliable transport and coordinated
+    checkpointing enabled.  Every schedule is recoverable, so every row
+    must report [ch_identical = true]; [ch_overhead] is the price paid in
+    simulated wall-clock. *)
+
+val render_chaos : chaos_row list -> string
+
 val machine : Autocfd_perfmodel.Model.machine
 (** The calibrated cluster model used by every timing table. *)
 
@@ -125,7 +148,8 @@ val sprayer_frames : int
     magnitudes (the paper does not state its iteration counts). *)
 
 val tables_json : unit -> Autocfd_obs.Json.t
-(** Every table (1-5), the model-validation rows and the execution-engine
-    benchmark (key ["engine"]) as one JSON document (schema
-    ["autocfd-bench/1"]) — the diffable perf trajectory written to
-    [BENCH_tables.json] by [bench/main.exe --json]. *)
+(** Every table (1-5), the model-validation rows, the execution-engine
+    benchmark (key ["engine"]) and the chaos/resilience benchmark (key
+    ["resilience"]) as one JSON document (schema ["autocfd-bench/1"]) —
+    the diffable perf trajectory written to [BENCH_tables.json] by
+    [bench/main.exe --json]. *)

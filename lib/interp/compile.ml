@@ -1907,3 +1907,9 @@ let array st name =
 
 let has_array st name = Hashtbl.mem st.cu.ar_index name
 let array_names st = Array.to_list st.cu.ar_names
+
+let scalar_bindings st =
+  Array.to_list st.cu.sc_names
+  |> List.filter_map (fun n ->
+         match scalar_opt st n with Some v -> Some (n, v) | None -> None)
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

@@ -101,3 +101,8 @@ val has_array : state -> string -> bool
 
 val array_names : state -> string list
 (** Sorted, same order as {!Machine.array_names}. *)
+
+val scalar_bindings : state -> (string * Value.scalar) list
+(** Every currently-set scalar, sorted by name — same contract as
+    {!Machine.scalar_bindings}; used by the recovery layer to snapshot
+    and restore the scalar banks. *)

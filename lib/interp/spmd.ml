@@ -4,6 +4,15 @@ module GI = Autocfd_analysis.Grid_info
 module Topology = Autocfd_partition.Topology
 module Trace = Autocfd_obs.Trace
 
+type recovery = {
+  rc_every : int;
+  rc_max_restarts : int;
+  rc_bandwidth : float;
+}
+
+let default_recovery =
+  { rc_every = 8; rc_max_restarts = 3; rc_bandwidth = 400e6 }
+
 type config = {
   gi : GI.t;
   topo : Topology.t;
@@ -11,7 +20,28 @@ type config = {
   flop_time : float;
   input : float list;
   tracer : Trace.t option;
+  faults : Fault.plan option;
+  recovery : recovery option;
 }
+
+type resilience = {
+  rs_restarts : int;
+  rs_checkpoints : int;
+  rs_restores : int;
+  rs_retransmits : int;
+  rs_dup_suppressed : int;
+  rs_checksum_failures : int;
+}
+
+let no_resilience =
+  {
+    rs_restarts = 0;
+    rs_checkpoints = 0;
+    rs_restores = 0;
+    rs_retransmits = 0;
+    rs_dup_suppressed = 0;
+    rs_checksum_failures = 0;
+  }
 
 type result = {
   stats : Sim.stats;
@@ -19,7 +49,26 @@ type result = {
   gathered : (string * Value.arr) list;
   scalars : (string * Value.scalar) list;
   flops_per_rank : float array;
+  resilience : resilience;
 }
+
+(* One rank's coordinated checkpoint, taken outside the simulation when
+   the rank passes a multiple-of-k sync-point visit.  Visits are counted
+   identically on every rank (the SPMD unit's communication hooks fire in
+   the same program order everywhere), so equal [ck_visits] across ranks
+   is a consistent global cut — provided no pipeline stream is mid-flight,
+   which the executor checks before snapshotting. *)
+type snapshot = {
+  ck_visits : int;
+  ck_scalars : (string * Value.scalar) list;
+  ck_arrays : (string * float array) list;
+  ck_output : string list;  (* cumulative WRITE lines; rank 0 only *)
+}
+
+let snapshot_bytes s =
+  8
+  * (List.length s.ck_scalars
+    + List.fold_left (fun acc (_, a) -> acc + Array.length a) 0 s.ck_arrays)
 
 type engine = Tree | Compiled | Fused
 
@@ -304,11 +353,18 @@ type 'm iface = {
   i_array : 'm -> string -> Value.arr;
   i_scalar : 'm -> string -> Value.scalar;
   i_set_scalar : 'm -> string -> Value.scalar -> unit;
+  i_scalar_bindings : 'm -> (string * Value.scalar) list;
   i_array_names : 'm -> string list;
   i_output : 'm -> string list;
   i_read0 : 'm -> int -> float array;  (* rank 0's actual READ source *)
   i_write0 : 'm -> Value.scalar list -> unit;
 }
+
+(* keep at most this many checkpoint generations per rank: after a crash,
+   surviving ranks may have raced ahead past further sync points before
+   stalling, so the common restore point can lie a little behind their
+   newest snapshot *)
+let snapshot_history = 3
 
 let run_with : 'm. 'm iface -> config -> Ast.program_unit -> result =
  fun iface config u ->
@@ -316,16 +372,79 @@ let run_with : 'm. 'm iface -> config -> Ast.program_unit -> result =
   let nranks = Topology.nranks topo in
   let machines = Array.make nranks None in
   let flops_per_rank = Array.make nranks 0.0 in
+  let endpoints : Reliable.t option array = Array.make nranks None in
+  (* per-rank checkpoint generations, most recent first; persists across
+     restart attempts *)
+  let snapshots : snapshot list array = Array.make nranks [] in
+  let saved = ref 0 and restored = ref 0 in
+  let output_prefix = ref [] in
   let nranks_total = nranks in
   let sync_tbl =
     match config.tracer with
     | None -> Hashtbl.create 1
     | Some _ -> sync_points u
   in
+  (* newest visit count for which EVERY rank holds a snapshot: checkpoint
+     decisions are deterministic in the visit counter, so a snapshot at
+     visit v on one rank implies every rank that reached v also took one *)
+  let restore_of () =
+    if Array.exists (fun l -> l = []) snapshots then None
+    else
+      let target =
+        Array.fold_left
+          (fun acc l -> min acc (List.hd l).ck_visits)
+          max_int snapshots
+      in
+      let picked =
+        Array.map
+          (List.find_opt (fun s -> s.ck_visits = target))
+          snapshots
+      in
+      if Array.for_all Option.is_some picked then
+        Some (Array.map Option.get picked)
+      else None
+  in
+  let attempt restore =
+    Array.fill machines 0 nranks None;
+    Array.fill flops_per_rank 0 nranks 0.0;
+    Array.fill endpoints 0 nranks None;
+    let restore_target =
+      match restore with
+      | Some snaps ->
+          output_prefix := snaps.(0).ck_output;
+          snaps.(0).ck_visits
+      | None ->
+          output_prefix := [];
+          0
+    in
   let body (c : Sim.comm) =
     let r = Sim.rank c in
     let block = Topology.block topo r in
     let plans : (int, plan) Hashtbl.t = Hashtbl.create 16 in
+    (* reliable transport: only paid for when faults are injected *)
+    let ep =
+      match config.faults with
+      | Some _ -> Some (Reliable.create c)
+      | None -> None
+    in
+    endpoints.(r) <- ep;
+    let p2p_send ~dest ~tag payload =
+      match ep with
+      | Some e -> Reliable.send e ~dest ~tag payload
+      | None -> Sim.send c ~dest ~tag payload
+    in
+    let p2p_recv ~src ~tag =
+      match ep with
+      | Some e -> Reliable.recv e ~src ~tag
+      | None -> Sim.recv c ~src ~tag
+    in
+    let flush () = match ep with Some e -> Reliable.flush e | None -> () in
+    (* recovery replay state: count sync-point visits (identical sequence
+       on every rank); until the restore target is reached, communication
+       is suppressed and the unit replays on local data only *)
+    let visits = ref 0 in
+    let pipe_open = ref 0 in
+    let live = ref (restore_target = 0) in
     (* lazy compute-time accounting: charge accumulated flops before any
        blocking operation *)
     let last_flops = ref 0.0 in
@@ -337,10 +456,80 @@ let run_with : 'm. 'm iface -> config -> Ast.program_unit -> result =
           let f = iface.i_flops m in
           let delta = f -. !last_flops in
           last_flops := f;
-          if config.flop_time > 0.0 then
+          if !live && config.flop_time > 0.0 then
             Sim.advance c (delta *. config.flop_time)
     in
     let get_machine () = Option.get !machine_ref in
+    let trace_ckpt ~save ~bytes =
+      match config.tracer with
+      | Some tr ->
+          let now = Sim.time c in
+          Trace.record tr ~rank:r ~t0:now ~t1:now
+            (Trace.Checkpoint { save; bytes })
+      | None -> ()
+    in
+    (* checkpoint I/O priced at the stable store's bandwidth (node-local
+       storage, not the cluster interconnect) *)
+    let ckpt_cost bytes =
+      let bw =
+        match config.recovery with
+        | Some rc -> rc.rc_bandwidth
+        | None -> default_recovery.rc_bandwidth
+      in
+      float_of_int bytes /. bw
+    in
+    let maybe_restore m =
+      if (not !live) && !visits >= restore_target then begin
+        (match restore with
+        | Some snaps ->
+            let s = snaps.(r) in
+            List.iter (fun (n, v) -> iface.i_set_scalar m n v) s.ck_scalars;
+            List.iter
+              (fun (n, data) ->
+                let dst = (iface.i_array m n).Value.data in
+                Array.blit data 0 dst 0 (Array.length data))
+              s.ck_arrays;
+            last_flops := iface.i_flops m;
+            let bytes = snapshot_bytes s in
+            Sim.advance c (ckpt_cost bytes);
+            trace_ckpt ~save:false ~bytes;
+            if r = 0 then incr restored
+        | None -> ());
+        live := true
+      end
+    in
+    let maybe_checkpoint m =
+      match config.recovery with
+      | Some rc
+        when rc.rc_every > 0 && !pipe_open = 0
+             && !visits mod rc.rc_every = 0 ->
+          let s =
+            {
+              ck_visits = !visits;
+              ck_scalars =
+                List.filter
+                  (fun (_, v) ->
+                    match v with Value.Str _ -> false | _ -> true)
+                  (iface.i_scalar_bindings m);
+              ck_arrays =
+                List.map
+                  (fun n ->
+                    (n, Array.copy (iface.i_array m n).Value.data))
+                  (iface.i_array_names m);
+              ck_output =
+                (if r = 0 then !output_prefix @ iface.i_output m else []);
+            }
+          in
+          snapshots.(r) <-
+            s
+            :: (List.filter (fun o -> o.ck_visits < s.ck_visits) snapshots.(r)
+               |> List.filteri (fun i _ -> i < snapshot_history - 1));
+          if r = 0 then incr saved;
+          let bytes = snapshot_bytes s in
+          Sim.advance c (ckpt_cost bytes);
+          trace_ckpt ~save:true ~bytes
+      | _ -> ()
+    in
     let neighbor dim dir =
       let d = match dir with Ast.Dplus -> Topology.Plus | Ast.Dminus -> Topology.Minus in
       Topology.neighbor topo ~rank:r ~dim ~dir:d
@@ -433,11 +622,11 @@ let run_with : 'm. 'm iface -> config -> Ast.program_unit -> result =
              matching planes from the opposite neighbor *)
           (match xp.xp_send with
           | Some (dest, p) ->
-              Sim.send c ~dest ~tag:tag_exchange (pack p data)
+              p2p_send ~dest ~tag:tag_exchange (pack p data)
           | None -> ());
           match xp.xp_recv with
           | Some (src, p) ->
-              let payload = Sim.recv c ~src ~tag:tag_exchange in
+              let payload = p2p_recv ~src ~tag:tag_exchange in
               if Array.length payload <> p.pp_total then
                 failwith "Spmd: halo exchange size mismatch";
               unpack p data payload
@@ -478,12 +667,12 @@ let run_with : 'm. 'm iface -> config -> Ast.program_unit -> result =
             (fun (name, p) ->
               let data = (iface.i_array m name).Value.data in
               if recv then begin
-                let payload = Sim.recv c ~src:peer ~tag:tag_pipe in
+                let payload = p2p_recv ~src:peer ~tag:tag_pipe in
                 if Array.length payload <> p.pp_total then
                   failwith "Spmd: pipeline message size mismatch";
                 unpack p data payload
               end
-              else Sim.send c ~dest:peer ~tag:tag_pipe (pack p data))
+              else p2p_send ~dest:peer ~tag:tag_pipe (pack p data))
             per_array
     in
     let allgather_plan m sid arrays =
@@ -530,12 +719,12 @@ let run_with : 'm. 'm iface -> config -> Ast.program_unit -> result =
           let data = (iface.i_array m name).Value.data in
           let payload = pack mine data in
           for peer = 0 to nranks_total - 1 do
-            if peer <> r then Sim.send c ~dest:peer ~tag:tag_gather payload
+            if peer <> r then p2p_send ~dest:peer ~tag:tag_gather payload
           done;
           for peer = 0 to nranks_total - 1 do
             if peer <> r then begin
               let p = peers.(peer) in
-              let pl = Sim.recv c ~src:peer ~tag:tag_gather in
+              let pl = p2p_recv ~src:peer ~tag:tag_gather in
               if Array.length pl <> p.pp_total then
                 failwith "Spmd: allgather size mismatch";
               unpack p data pl
@@ -552,63 +741,124 @@ let run_with : 'm. 'm iface -> config -> Ast.program_unit -> result =
         g_comm =
           (fun m ~sid comm ->
             charge ();
-            traced m sid (fun () ->
-                match comm with
-                | Ast.Exchange ts -> do_exchange m sid ts
-                | Ast.Allreduce_max v ->
-                    let x = Value.to_float (iface.i_scalar m v) in
-                    iface.i_set_scalar m v
-                      (Value.Real (Sim.allreduce c `Max x))
-                | Ast.Allreduce_min v ->
-                    let x = Value.to_float (iface.i_scalar m v) in
-                    iface.i_set_scalar m v
-                      (Value.Real (Sim.allreduce c `Min x))
-                | Ast.Allreduce_sum v ->
-                    let x = Value.to_float (iface.i_scalar m v) in
-                    iface.i_set_scalar m v
-                      (Value.Real (Sim.allreduce c `Sum x))
-                | Ast.Broadcast vars ->
-                    let data =
-                      if r = 0 then
-                        Array.of_list
-                          (List.map
-                             (fun v -> Value.to_float (iface.i_scalar m v))
-                             vars)
-                      else Array.make (List.length vars) 0.0
-                    in
-                    let data = Sim.bcast c ~root:0 data in
-                    List.iteri
-                      (fun i v ->
-                        iface.i_set_scalar m v (Value.Real data.(i)))
-                      vars
-                | Ast.Allgather arrays -> do_allgather m sid arrays
-                | Ast.Barrier -> Sim.barrier c));
+            incr visits;
+            if not !live then maybe_restore m
+            else begin
+              (* an unacknowledged envelope must not survive into a
+                 collective: its sender would park where no retransmit can
+                 happen *)
+              (match comm with
+              | Ast.Allreduce_max _ | Ast.Allreduce_min _
+              | Ast.Allreduce_sum _ | Ast.Broadcast _ | Ast.Barrier ->
+                  flush ()
+              | Ast.Exchange _ | Ast.Allgather _ -> ());
+              traced m sid (fun () ->
+                  match comm with
+                  | Ast.Exchange ts -> do_exchange m sid ts
+                  | Ast.Allreduce_max v ->
+                      let x = Value.to_float (iface.i_scalar m v) in
+                      iface.i_set_scalar m v
+                        (Value.Real (Sim.allreduce c `Max x))
+                  | Ast.Allreduce_min v ->
+                      let x = Value.to_float (iface.i_scalar m v) in
+                      iface.i_set_scalar m v
+                        (Value.Real (Sim.allreduce c `Min x))
+                  | Ast.Allreduce_sum v ->
+                      let x = Value.to_float (iface.i_scalar m v) in
+                      iface.i_set_scalar m v
+                        (Value.Real (Sim.allreduce c `Sum x))
+                  | Ast.Broadcast vars ->
+                      let data =
+                        if r = 0 then
+                          Array.of_list
+                            (List.map
+                               (fun v -> Value.to_float (iface.i_scalar m v))
+                               vars)
+                        else Array.make (List.length vars) 0.0
+                      in
+                      let data = Sim.bcast c ~root:0 data in
+                      List.iteri
+                        (fun i v ->
+                          iface.i_set_scalar m v (Value.Real data.(i)))
+                        vars
+                  | Ast.Allgather arrays -> do_allgather m sid arrays
+                  | Ast.Barrier -> Sim.barrier c);
+              maybe_checkpoint m
+            end);
         g_pipe_recv =
           (fun m ~sid ~dim ~dir arrays ->
             charge ();
-            traced m sid (fun () -> do_pipe ~recv:true m sid ~dim ~dir arrays));
+            incr visits;
+            (* a pipeline stream is now mid-flight: the matching send sits
+               at a LATER visit on the upstream rank, so a cut here would
+               not be consistent — no checkpoint until it closes *)
+            incr pipe_open;
+            if not !live then maybe_restore m
+            else
+              traced m sid (fun () ->
+                  do_pipe ~recv:true m sid ~dim ~dir arrays));
         g_pipe_send =
           (fun m ~sid ~dim ~dir arrays ->
             charge ();
-            traced m sid (fun () -> do_pipe ~recv:false m sid ~dim ~dir arrays));
+            incr visits;
+            decr pipe_open;
+            if not !live then maybe_restore m
+            else begin
+              traced m sid (fun () ->
+                  do_pipe ~recv:false m sid ~dim ~dir arrays);
+              maybe_checkpoint m
+            end);
         g_read =
           (fun m n ->
             charge ();
-            let data =
-              if r = 0 then iface.i_read0 m n else Array.make n 0.0
-            in
-            Sim.bcast c ~root:0 data);
-        g_write = (fun m values -> if r = 0 then iface.i_write0 m values);
+            incr visits;
+            if not !live then begin
+              (* replay: every rank reads its own copy of the input list —
+                 same values the broadcast delivered, no communication *)
+              let data = iface.i_read0 m n in
+              maybe_restore m;
+              data
+            end
+            else begin
+              flush ();
+              let data =
+                if r = 0 then iface.i_read0 m n else Array.make n 0.0
+              in
+              let out = Sim.bcast c ~root:0 data in
+              maybe_checkpoint m;
+              out
+            end);
+        g_write =
+          (fun m values -> if !live && r = 0 then iface.i_write0 m values);
       }
     in
     let m = iface.i_spawn hooks config.input in
     machine_ref := Some m;
     machines.(r) <- Some m;
     iface.i_run m;
+    if not !live then
+      failwith
+        "Spmd: restart replay never reached the checkpointed sync point \
+         (control flow depends on communication results?)";
     charge ();
+    flush ();
     flops_per_rank.(r) <- iface.i_flops (get_machine ())
   in
-  let stats = Sim.run ~net:config.net ?tracer:config.tracer ~nranks body in
+  Sim.run ~net:config.net ?tracer:config.tracer ?faults:config.faults
+    ~nranks body
+  in
+  let max_restarts =
+    match config.recovery with Some rc -> rc.rc_max_restarts | None -> 0
+  in
+  let rec attempts restarts =
+    let restore = if restarts = 0 then None else restore_of () in
+    match attempt restore with
+    | stats -> (stats, restarts)
+    | exception Sim.Timeout msg ->
+        if restarts >= max_restarts then raise (Sim.Timeout msg)
+        else attempts (restarts + 1)
+  in
+  let stats, restarts = attempts 0 in
   let machine r = Option.get machines.(r) in
   let m0 = machine 0 in
   (* gather status arrays from their owners *)
@@ -648,12 +898,29 @@ let run_with : 'm. 'm iface -> config -> Ast.program_unit -> result =
         else None)
       u.Ast.u_decls
   in
+  let resilience =
+    let sum f =
+      Array.fold_left
+        (fun acc ep ->
+          match ep with Some e -> acc + f (Reliable.stats e) | None -> acc)
+        0 endpoints
+    in
+    {
+      rs_restarts = restarts;
+      rs_checkpoints = !saved;
+      rs_restores = !restored;
+      rs_retransmits = sum (fun s -> s.Reliable.rl_retransmits);
+      rs_dup_suppressed = sum (fun s -> s.Reliable.rl_dup_suppressed);
+      rs_checksum_failures = sum (fun s -> s.Reliable.rl_checksum_failures);
+    }
+  in
   {
     stats;
-    output = iface.i_output m0;
+    output = !output_prefix @ iface.i_output m0;
     gathered;
     scalars;
     flops_per_rank;
+    resilience;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -680,6 +947,7 @@ let tree_iface (u : Ast.program_unit) : Machine.t iface =
     i_array = Machine.array;
     i_scalar = Machine.scalar;
     i_set_scalar = Machine.set_scalar;
+    i_scalar_bindings = Machine.scalar_bindings;
     i_array_names = Machine.array_names;
     i_output = Machine.output;
     i_read0 = Machine.sequential_hooks.Machine.h_read;
@@ -708,6 +976,7 @@ let compiled_iface ?(fuse = false) (u : Ast.program_unit) :
     i_array = Compile.array;
     i_scalar = Compile.scalar;
     i_set_scalar = Compile.set_scalar;
+    i_scalar_bindings = Compile.scalar_bindings;
     i_array_names = Compile.array_names;
     i_output = Compile.output;
     i_read0 = Compile.sequential_hooks.Compile.h_read;

@@ -1,10 +1,29 @@
 (** SPMD execution: runs the transformed parallel unit on every rank of the
     simulated cluster, implementing the inserted communication statements
     as halo exchanges, pipeline messages, reductions and broadcasts over
-    {!Autocfd_mpsim.Sim}. *)
+    {!Autocfd_mpsim.Sim}.
+
+    With a fault plan installed the executor becomes fault-tolerant:
+    point-to-point traffic travels over {!Reliable} (seq-numbered,
+    checksummed, acknowledged, retransmitted), and with [recovery] set the
+    run additionally takes coordinated checkpoints and restarts from the
+    newest consistent one when a crashed rank surfaces as {!Sim.Timeout}. *)
 
 open Autocfd_fortran
 open Autocfd_mpsim
+
+type recovery = {
+  rc_every : int;
+      (** take a coordinated checkpoint every [rc_every] sync-point visits
+          (at a visit where no pipeline stream is mid-flight) *)
+  rc_max_restarts : int;  (** give up and re-raise after this many *)
+  rc_bandwidth : float;
+      (** bytes/second of the stable store checkpoints are written to and
+          restored from (node-local storage, not the interconnect) *)
+}
+
+val default_recovery : recovery
+(** every 8 sync-point visits, at most 3 restarts, 400 MB/s store *)
 
 type config = {
   gi : Autocfd_analysis.Grid_info.t;
@@ -20,16 +39,34 @@ type config = {
           entry, tagged with the sync-point id (program order over the
           unit's communication statements), a human-readable label, the
           enclosing DO variable and its current iteration *)
+  faults : Fault.plan option;
+      (** deterministic fault schedule; when set, every point-to-point
+          message travels over the {!Reliable} transport *)
+  recovery : recovery option;
+      (** checkpoint/restart; only meaningful together with [faults] *)
 }
 
+type resilience = {
+  rs_restarts : int;  (** attempts abandoned to {!Sim.Timeout} *)
+  rs_checkpoints : int;  (** coordinated snapshots taken (counted once) *)
+  rs_restores : int;  (** restarts that resumed from a snapshot *)
+  rs_retransmits : int;  (** envelopes retransmitted, summed over ranks *)
+  rs_dup_suppressed : int;  (** duplicate envelopes discarded *)
+  rs_checksum_failures : int;  (** corrupted envelopes discarded *)
+}
+
+val no_resilience : resilience
+(** the all-zero record a fault-free run reports *)
+
 type result = {
-  stats : Sim.stats;
+  stats : Sim.stats;  (** of the final (successful) attempt *)
   output : string list;  (** rank 0's WRITE lines *)
   gathered : (string * Value.arr) list;
       (** status arrays assembled from their owners, plus replicated
           arrays taken from rank 0 *)
   scalars : (string * Value.scalar) list;  (** rank 0 final scalars *)
   flops_per_rank : float array;
+  resilience : resilience;
 }
 
 type engine = Tree | Compiled | Fused
@@ -49,4 +86,17 @@ val run : ?engine:engine -> config -> Ast.program_unit -> result
     offset vectors — contiguous offset runs collapse to [Array.blit]
     segments over a reusable payload buffer — and reused by every
     subsequent visit.
-    @raise Sim.Deadlock / [Machine.Runtime_error] on malformed programs. *)
+
+    Recovery works by skip-replay: a restarted attempt re-executes the
+    unit with communication suppressed, counting sync-point visits, and
+    bulk-restores scalars and array data from the snapshot once the
+    checkpointed visit is reached.  This requires the unit's control flow
+    up to the restore point not to depend on communication results
+    (unconditional sync points — true of the benchmark programs); a replay
+    that never reaches the restore point fails loudly.  Under a fault
+    schedule whose faults are all recoverable (no rank dead beyond
+    [rc_max_restarts]), [gathered], [output] and [scalars] are
+    bit-identical to the fault-free run.
+    @raise Sim.Deadlock / [Machine.Runtime_error] on malformed programs.
+    @raise Sim.Timeout when a crash or unrecoverable loss persists past
+    [rc_max_restarts] (or immediately without [recovery]). *)

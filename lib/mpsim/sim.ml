@@ -1,23 +1,32 @@
 module Trace = Autocfd_obs.Trace
 
 exception Deadlock of string
+exception Timeout of string
 exception Rank_failure of int * exn
 
 type red_op = [ `Max | `Min | `Sum ]
+
+let red_op_name = function `Max -> "max" | `Min -> "min" | `Sum -> "sum"
 
 type message = { arrival : float; data : float array }
 
 type _ Effect.t +=
   | E_recv : int * int -> float array Effect.t
+  | E_recv_t : int * int * float -> float array option Effect.t
   | E_barrier : unit Effect.t
   | E_allreduce : red_op * float -> float Effect.t
   | E_bcast : int * float array option -> float array Effect.t
+  | E_halt : unit Effect.t
 
 type status =
   | Not_started
   | Running  (** transient, while its continuation is on the OCaml stack *)
   | Done
+  | Crashed  (** halted by an injected fault; its fiber was abandoned *)
   | W_recv of int * int * (float array, unit) Effect.Deep.continuation
+  | W_recv_t of
+      int * int * float * (float array option, unit) Effect.Deep.continuation
+      (** like [W_recv] plus a deadline after which [None] is delivered *)
   | W_barrier of (unit, unit) Effect.Deep.continuation
   | W_allred of red_op * float * (float, unit) Effect.Deep.continuation
   | W_bcast of
@@ -37,6 +46,7 @@ type state = {
   rank_recvs : int array;
   rank_blocked : float array;
   tracer : Trace.t option;
+  faults : Fault.plan option;
 }
 
 type comm = { id : int; st : state }
@@ -44,62 +54,168 @@ type comm = { id : int; st : state }
 let rank c = c.id
 let nranks c = c.st.n
 let time c = c.st.times.(c.id)
+let tracer_of c = c.st.tracer
+let net_of c = c.st.net
+
+let trace_fault c ~what ~peer ~dur =
+  match c.st.tracer with
+  | Some tr ->
+      let t = c.st.times.(c.id) in
+      Trace.record tr ~rank:c.id ~t0:(t -. dur) ~t1:t
+        (Trace.Fault { what; peer })
+  | None -> ()
+
+(* Check the rank's stall/crash triggers.  A stall silently advances the
+   rank's clock (a straggler pause); a crash abandons the fiber via
+   [E_halt], leaving every in-flight message it owed other ranks
+   undelivered. *)
+let op_check c ~is_op =
+  match c.st.faults with
+  | None -> ()
+  | Some plan -> (
+      match Fault.on_op plan ~rank:c.id ~time:c.st.times.(c.id) ~is_op with
+      | Fault.Op_none -> ()
+      | Fault.Op_stall d ->
+          c.st.times.(c.id) <- c.st.times.(c.id) +. d;
+          c.st.rank_blocked.(c.id) <- c.st.rank_blocked.(c.id) +. d;
+          trace_fault c ~what:"stall" ~peer:(-1) ~dur:d
+      | Fault.Op_crash ->
+          trace_fault c ~what:"crash" ~peer:(-1) ~dur:0.0;
+          Effect.perform E_halt)
 
 let advance c dt =
   let t0 = c.st.times.(c.id) in
   c.st.times.(c.id) <- t0 +. dt;
-  match c.st.tracer with
+  (match c.st.tracer with
   | Some tr when dt <> 0.0 ->
       Trace.record tr ~rank:c.id ~t0 ~t1:(t0 +. dt) Trace.Compute
-  | _ -> ()
+  | _ -> ());
+  op_check c ~is_op:false
+
+let mailbox st key =
+  match Hashtbl.find_opt st.mailboxes key with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.replace st.mailboxes key q;
+      q
 
 let send c ~dest ~tag data =
   let st = c.st in
   if dest < 0 || dest >= st.n then invalid_arg "Sim.send: bad destination";
+  op_check c ~is_op:true;
   let t0 = st.times.(c.id) in
   st.times.(c.id) <- t0 +. st.net.Netmodel.send_overhead;
   let bytes = 8 * Array.length data in
+  let verdict =
+    match st.faults with
+    | None -> Fault.clean_verdict
+    | Some p -> Fault.on_send p ~src:c.id ~dest ~words:(Array.length data)
+  in
   let arrival =
-    st.times.(c.id) +. Netmodel.message_time st.net ~bytes
+    st.times.(c.id)
+    +. (Netmodel.message_time st.net ~bytes *. verdict.Fault.sv_factor)
+    +. verdict.Fault.sv_delay
   in
-  let key = (dest, c.id, tag) in
-  let q =
-    match Hashtbl.find_opt st.mailboxes key with
-    | Some q -> q
-    | None ->
-        let q = Queue.create () in
-        Hashtbl.replace st.mailboxes key q;
-        q
-  in
-  Queue.push { arrival; data = Array.copy data } q;
   st.messages <- st.messages + 1;
   st.bytes <- st.bytes + bytes;
   st.rank_sends.(c.id) <- st.rank_sends.(c.id) + 1;
-  match st.tracer with
+  (match st.tracer with
   | Some tr ->
       Trace.record tr ~rank:c.id ~t0 ~t1:st.times.(c.id)
         (Trace.Send { dest; tag; bytes })
-  | None -> ()
+  | None -> ());
+  if verdict.Fault.sv_drop then trace_fault c ~what:"loss" ~peer:dest ~dur:0.0
+  else begin
+    let payload = Array.copy data in
+    (match verdict.Fault.sv_corrupt with
+    | Some (w, b) when w < Array.length payload ->
+        payload.(w) <-
+          Int64.float_of_bits
+            (Int64.logxor
+               (Int64.bits_of_float payload.(w))
+               (Int64.shift_left 1L b));
+        trace_fault c ~what:"corrupt" ~peer:dest ~dur:0.0
+    | _ -> ());
+    let q = mailbox st (dest, c.id, tag) in
+    Queue.push { arrival; data = payload } q;
+    if verdict.Fault.sv_duplicate then begin
+      (* the duplicate trails the original by one degraded latency, so
+         queue order stays FIFO by arrival *)
+      Queue.push
+        {
+          arrival =
+            arrival +. (st.net.Netmodel.latency *. verdict.Fault.sv_factor);
+          data = Array.copy payload;
+        }
+        q;
+      st.messages <- st.messages + 1;
+      st.bytes <- st.bytes + bytes;
+      trace_fault c ~what:"duplicate" ~peer:dest ~dur:0.0
+    end
+  end
 
 let recv c ~src ~tag =
   if src < 0 || src >= c.st.n then invalid_arg "Sim.recv: bad source";
+  op_check c ~is_op:true;
   Effect.perform (E_recv (src, tag))
 
+let recv_deadline c ~src ~tag ~deadline =
+  if src < 0 || src >= c.st.n then invalid_arg "Sim.recv_deadline: bad source";
+  op_check c ~is_op:true;
+  Effect.perform (E_recv_t (src, tag, deadline))
+
+(* Nonblocking probe: deliver only a message that has already arrived on
+   the rank's virtual clock.  Never blocks, never advances time past the
+   recv overhead. *)
+let try_recv c ~src ~tag =
+  if src < 0 || src >= c.st.n then invalid_arg "Sim.try_recv: bad source";
+  op_check c ~is_op:false;
+  let st = c.st in
+  match Hashtbl.find_opt st.mailboxes (c.id, src, tag) with
+  | Some q when not (Queue.is_empty q) ->
+      let now = st.times.(c.id) in
+      if (Queue.peek q).arrival <= now then begin
+        let msg = Queue.pop q in
+        let t1 = now +. st.net.Netmodel.recv_overhead in
+        st.times.(c.id) <- t1;
+        st.rank_recvs.(c.id) <- st.rank_recvs.(c.id) + 1;
+        (match st.tracer with
+        | Some tr ->
+            Trace.record tr ~rank:c.id ~t0:now ~t1
+              (Trace.Recv { src; tag; bytes = 8 * Array.length msg.data })
+        | None -> ());
+        Some msg.data
+      end
+      else None
+  | _ -> None
+
 type request =
-  | R_send
+  | R_send of { dest : int; tag : int; mutable done_ : bool }
   | R_recv of { src : int; tag : int; mutable done_ : bool }
 
 let isend c ~dest ~tag data =
   send c ~dest ~tag data;
-  R_send
+  R_send { dest; tag; done_ = false }
 
 let irecv _c ~src ~tag = R_recv { src; tag; done_ = false }
 
 let wait c req =
   match req with
-  | R_send -> [||]
+  | R_send r ->
+      if r.done_ then
+        invalid_arg
+          (Printf.sprintf
+             "Sim.wait: send(dest=%d, tag=%d) request already completed"
+             r.dest r.tag);
+      r.done_ <- true;
+      [||]
   | R_recv r ->
-      if r.done_ then invalid_arg "Sim.wait: request already completed";
+      if r.done_ then
+        invalid_arg
+          (Printf.sprintf
+             "Sim.wait: recv(src=%d, tag=%d) request already completed" r.src
+             r.tag);
       r.done_ <- true;
       recv c ~src:r.src ~tag:r.tag
 
@@ -109,10 +225,16 @@ let sendrecv c ~dest ~send_tag data ~src ~recv_tag =
   send c ~dest ~tag:send_tag data;
   recv c ~src ~tag:recv_tag
 
-let barrier _c = Effect.perform E_barrier
-let allreduce _c op v = Effect.perform (E_allreduce (op, v))
+let barrier c =
+  op_check c ~is_op:true;
+  Effect.perform E_barrier
+
+let allreduce c op v =
+  op_check c ~is_op:true;
+  Effect.perform (E_allreduce (op, v))
 
 let bcast c ~root data =
+  op_check c ~is_op:true;
   Effect.perform (E_bcast (root, if c.id = root then Some data else None))
 
 type stats = {
@@ -132,9 +254,10 @@ let collective_cost st ~bytes =
   in
   float_of_int stages *. Netmodel.message_time st.net ~bytes
 
-let run ?(net = Netmodel.fast) ?tracer ~nranks body =
+let run ?(net = Netmodel.fast) ?tracer ?faults ~nranks body =
   if nranks < 1 then invalid_arg "Sim.run: nranks must be >= 1";
   (match tracer with Some tr -> Trace.prepare tr ~nranks | None -> ());
+  (match faults with Some p -> Fault.begin_run p | None -> ());
   let st =
     {
       n = nranks;
@@ -149,6 +272,7 @@ let run ?(net = Netmodel.fast) ?tracer ~nranks body =
       rank_recvs = Array.make nranks 0;
       rank_blocked = Array.make nranks 0.0;
       tracer;
+      faults;
     }
   in
   let handler i =
@@ -163,6 +287,10 @@ let run ?(net = Netmodel.fast) ?tracer ~nranks body =
               Some
                 (fun (k : (a, unit) continuation) ->
                   st.status.(i) <- W_recv (src, tag, k))
+          | E_recv_t (src, tag, deadline) ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  st.status.(i) <- W_recv_t (src, tag, deadline, k))
           | E_barrier ->
               Some (fun (k : (a, unit) continuation) ->
                   st.status.(i) <- W_barrier k)
@@ -174,6 +302,11 @@ let run ?(net = Netmodel.fast) ?tracer ~nranks body =
               Some
                 (fun (k : (a, unit) continuation) ->
                   st.status.(i) <- W_bcast (root, data, k))
+          | E_halt ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  ignore k;
+                  st.status.(i) <- Crashed)
           | _ -> None);
     }
   in
@@ -182,29 +315,61 @@ let run ?(net = Netmodel.fast) ?tracer ~nranks body =
     st.status.(i) <- Running;
     Effect.Deep.match_with body c (handler i)
   in
+  let deliver i ~src ~tag msg k =
+    let t0 = st.times.(i) in
+    let arrive = Float.max t0 msg.arrival in
+    let t1 = arrive +. net.Netmodel.recv_overhead in
+    st.times.(i) <- t1;
+    st.rank_recvs.(i) <- st.rank_recvs.(i) + 1;
+    st.rank_blocked.(i) <- st.rank_blocked.(i) +. (arrive -. t0);
+    (match st.tracer with
+    | Some tr ->
+        if arrive > t0 then
+          Trace.record tr ~rank:i ~t0 ~t1:arrive (Trace.Blocked { src; tag });
+        Trace.record tr ~rank:i ~t0:arrive ~t1
+          (Trace.Recv { src; tag; bytes = 8 * Array.length msg.data })
+    | None -> ());
+    st.status.(i) <- Running;
+    k msg.data
+  in
+  (* resume a deadline-receive with [None]: the rank idled until its
+     deadline and the watchdog hands control back empty-handed *)
+  let fire_deadline i ~src ~tag ~deadline k =
+    let t0 = st.times.(i) in
+    let t1 = Float.max t0 deadline in
+    st.times.(i) <- t1;
+    st.rank_blocked.(i) <- st.rank_blocked.(i) +. (t1 -. t0);
+    (match st.tracer with
+    | Some tr when t1 > t0 ->
+        Trace.record tr ~rank:i ~t0 ~t1 (Trace.Blocked { src; tag })
+    | _ -> ());
+    st.status.(i) <- Running;
+    Effect.Deep.continue k None
+  in
   let try_deliver i =
     match st.status.(i) with
     | W_recv (src, tag, k) -> (
         match Hashtbl.find_opt st.mailboxes (i, src, tag) with
         | Some q when not (Queue.is_empty q) ->
             let msg = Queue.pop q in
-            let t0 = st.times.(i) in
-            let arrive = Float.max t0 msg.arrival in
-            let t1 = arrive +. net.Netmodel.recv_overhead in
-            st.times.(i) <- t1;
-            st.rank_recvs.(i) <- st.rank_recvs.(i) + 1;
-            st.rank_blocked.(i) <- st.rank_blocked.(i) +. (arrive -. t0);
-            (match st.tracer with
-            | Some tr ->
-                if arrive > t0 then
-                  Trace.record tr ~rank:i ~t0 ~t1:arrive
-                    (Trace.Blocked { src; tag });
-                Trace.record tr ~rank:i ~t0:arrive ~t1
-                  (Trace.Recv { src; tag; bytes = 8 * Array.length msg.data })
-            | None -> ());
-            st.status.(i) <- Running;
-            Effect.Deep.continue k msg.data;
+            deliver i ~src ~tag msg (Effect.Deep.continue k);
             true
+        | _ -> false)
+    | W_recv_t (src, tag, deadline, k) -> (
+        match Hashtbl.find_opt st.mailboxes (i, src, tag) with
+        | Some q when not (Queue.is_empty q) ->
+            if (Queue.peek q).arrival <= deadline then begin
+              let msg = Queue.pop q in
+              deliver i ~src ~tag msg (fun d ->
+                  Effect.Deep.continue k (Some d));
+              true
+            end
+            else begin
+              (* the queued message cannot make the deadline: time out
+                 now rather than waiting for a global stall *)
+              fire_deadline i ~src ~tag ~deadline k;
+              true
+            end
         | _ -> false)
     | _ -> false
   in
@@ -227,6 +392,36 @@ let run ?(net = Netmodel.fast) ?tracer ~nranks body =
       st.times;
     Array.fill st.times 0 st.n t;
     st.collectives <- st.collectives + 1
+  in
+  let describe () =
+    let b = Buffer.create 128 in
+    Array.iteri
+      (fun i s ->
+        let d =
+          match s with
+          | Not_started -> "not started"
+          | Running -> "running"
+          | Done -> "done"
+          | Crashed -> Printf.sprintf "crashed at t=%.9g" st.times.(i)
+          | W_recv (src, tag, _) ->
+              Printf.sprintf "blocked on recv(src=%d, tag=%d) at t=%.9g" src
+                tag st.times.(i)
+          | W_recv_t (src, tag, deadline, _) ->
+              Printf.sprintf
+                "blocked on recv(src=%d, tag=%d, deadline=%.9g) at t=%.9g" src
+                tag deadline st.times.(i)
+          | W_barrier _ ->
+              Printf.sprintf "blocked in barrier at t=%.9g" st.times.(i)
+          | W_allred (op, _, _) ->
+              Printf.sprintf "blocked in allreduce(%s) at t=%.9g"
+                (red_op_name op) st.times.(i)
+          | W_bcast (root, _, _) ->
+              Printf.sprintf "blocked in bcast(root=%d) at t=%.9g" root
+                st.times.(i)
+        in
+        Buffer.add_string b (Printf.sprintf "rank %d: %s; " i d))
+      st.status;
+    Buffer.contents b
   in
   (* resolve a collective when every rank has arrived at a compatible one *)
   let try_collective () =
@@ -251,7 +446,8 @@ let run ?(net = Netmodel.fast) ?tracer ~nranks body =
         all (function W_allred (op, _, _) -> op = op0 | _ -> false)
       in
       if not compatible then
-        raise (Deadlock "allreduce with mismatched operations");
+        raise
+          (Deadlock ("allreduce with mismatched operations: " ^ describe ()));
       let combine a b =
         match op0 with
         | `Max -> Float.max a b
@@ -284,11 +480,11 @@ let run ?(net = Netmodel.fast) ?tracer ~nranks body =
         match st.status.(0) with W_bcast (r, _, _) -> r | _ -> assert false
       in
       if not (all (function W_bcast (r, _, _) -> r = root0 | _ -> false)) then
-        raise (Deadlock "bcast with mismatched roots");
+        raise (Deadlock ("bcast with mismatched roots: " ^ describe ()));
       let data =
         match st.status.(root0) with
         | W_bcast (_, Some d, _) -> d
-        | _ -> raise (Deadlock "bcast root provided no data")
+        | _ -> raise (Deadlock ("bcast root provided no data: " ^ describe ()))
       in
       let bytes = 8 * Array.length data in
       collective_advance ~op:"bcast" ~bytes
@@ -305,28 +501,27 @@ let run ?(net = Netmodel.fast) ?tracer ~nranks body =
     else false
   in
   let all_done () = Array.for_all (fun s -> s = Done) st.status in
-  let describe () =
-    let b = Buffer.create 128 in
+  (* when nothing else can move, let the earliest-deadline watchdog fire
+     (lowest rank on ties, so scheduling stays deterministic) *)
+  let fire_earliest_deadline () =
+    let best = ref None in
     Array.iteri
       (fun i s ->
-        let d =
-          match s with
-          | Not_started -> "not started"
-          | Running -> "running"
-          | Done -> "done"
-          | W_recv (src, tag, _) ->
-              Printf.sprintf "blocked on recv(src=%d, tag=%d) at t=%.9g" src
-                tag st.times.(i)
-          | W_barrier _ ->
-              Printf.sprintf "blocked in barrier at t=%.9g" st.times.(i)
-          | W_allred _ ->
-              Printf.sprintf "blocked in allreduce at t=%.9g" st.times.(i)
-          | W_bcast _ ->
-              Printf.sprintf "blocked in bcast at t=%.9g" st.times.(i)
-        in
-        Buffer.add_string b (Printf.sprintf "rank %d: %s; " i d))
+        match s with
+        | W_recv_t (_, _, d, _) -> (
+            match !best with
+            | Some (_, bd) when bd <= d -> ()
+            | _ -> best := Some (i, d))
+        | _ -> ())
       st.status;
-    Buffer.contents b
+    match !best with
+    | None -> false
+    | Some (i, _) -> (
+        match st.status.(i) with
+        | W_recv_t (src, tag, deadline, k) ->
+            fire_deadline i ~src ~tag ~deadline k;
+            true
+        | _ -> assert false)
   in
   while not (all_done ()) do
     let progressed = ref false in
@@ -338,8 +533,17 @@ let run ?(net = Netmodel.fast) ?tracer ~nranks body =
       | _ -> if try_deliver i then progressed := true
     done;
     if try_collective () then progressed := true;
-    if not !progressed && not (all_done ()) then
-      raise (Deadlock ("no progress possible: " ^ describe ()))
+    if (not !progressed) && not (all_done ()) then
+      if fire_earliest_deadline () then ()
+      else begin
+        let crashed = Array.exists (fun s -> s = Crashed) st.status in
+        let faulty =
+          match st.faults with Some p -> Fault.any_fired p | None -> false
+        in
+        let msg = "no progress possible: " ^ describe () in
+        if crashed || faulty then raise (Timeout msg)
+        else raise (Deadlock msg)
+      end
   done;
   {
     elapsed = Array.fold_left Float.max 0.0 st.times;

@@ -28,6 +28,19 @@ let event_json (e : Trace.event) =
           (match loop with Some v -> [ ("loop", Json.Str v) ] | None -> [])
           @ (match iter with Some i -> [ ("iter", Json.Int i) ] | None -> [])
         )
+    | Trace.Fault { what; peer } ->
+        ( Printf.sprintf "fault:%s" what,
+          "fault",
+          if peer >= 0 then [ ("peer", Json.Int peer) ] else [] )
+    | Trace.Retransmit { dest; tag; seq } ->
+        ( Printf.sprintf "retransmit \xe2\x86\x92%d" dest,
+          "proto",
+          [ ("dest", Json.Int dest); ("tag", Json.Int tag);
+            ("seq", Json.Int seq) ] )
+    | Trace.Checkpoint { save; bytes } ->
+        ( (if save then "checkpoint" else "restore"),
+          "checkpoint",
+          [ ("bytes", Json.Int bytes) ] )
   in
   let args =
     if e.Trace.ev_sync >= 0 then ("sync", Json.Int e.Trace.ev_sync) :: args

@@ -24,6 +24,10 @@ type t = {
   elapsed : float;
   messages : int;
   bytes : int;
+  faults : int;
+  retransmits : int;
+  checkpoints : int;
+  restores : int;
 }
 
 type sync_acc = {
@@ -44,6 +48,8 @@ let of_trace tr =
   and blocked = Array.make n 0.0
   and finish = Array.make n 0.0 in
   let messages = ref 0 and bytes = ref 0 in
+  let faults = ref 0 and retransmits = ref 0 in
+  let checkpoints = ref 0 and restores = ref 0 in
   let syncs : (int, sync_acc) Hashtbl.t = Hashtbl.create 16 in
   let acc id =
     match Hashtbl.find_opt syncs id with
@@ -93,7 +99,17 @@ let of_trace tr =
             (match loop with Some _ -> a.a_loop <- loop | None -> ());
             a.a_executions <- a.a_executions + 1;
             a.a_phase <- a.a_phase +. dur
-          end)
+          end
+      | Trace.Fault _ ->
+          (* stall faults carry their pause as duration: idle time *)
+          incr faults;
+          if r >= 0 && r < n then blocked.(r) <- blocked.(r) +. dur
+      | Trace.Retransmit _ -> incr retransmits
+      | Trace.Checkpoint { save; _ } ->
+          (* snapshot/restore cost is charged like communication (the
+             coordinated state movement of the recovery layer) *)
+          if save then incr checkpoints else incr restores;
+          if r >= 0 && r < n then comm.(r) <- comm.(r) +. dur)
     (Trace.events tr);
   let ranks =
     Array.init n (fun r ->
@@ -117,6 +133,10 @@ let of_trace tr =
     elapsed = Array.fold_left Float.max 0.0 finish;
     messages = !messages;
     bytes = !bytes;
+    faults = !faults;
+    retransmits = !retransmits;
+    checkpoints = !checkpoints;
+    restores = !restores;
   }
 
 let to_json m =
@@ -151,6 +171,10 @@ let to_json m =
       ("elapsed", Json.Float m.elapsed);
       ("messages", Json.Int m.messages);
       ("bytes", Json.Int m.bytes);
+      ("faults", Json.Int m.faults);
+      ("retransmits", Json.Int m.retransmits);
+      ("checkpoints", Json.Int m.checkpoints);
+      ("restores", Json.Int m.restores);
       ("ranks", Json.List (List.map rank_json (Array.to_list m.ranks)));
       ("sync_points", Json.List (List.map sync_json m.syncs));
     ]

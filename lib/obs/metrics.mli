@@ -29,6 +29,10 @@ type t = {
   elapsed : float;
   messages : int;
   bytes : int;
+  faults : int;  (** injected fault events (loss/corrupt/dup/stall/crash) *)
+  retransmits : int;  (** reliable-transport retransmissions *)
+  checkpoints : int;  (** recovery-layer snapshots taken (across ranks) *)
+  restores : int;  (** recovery-layer snapshot restores (across ranks) *)
 }
 
 val of_trace : Trace.t -> t

@@ -5,6 +5,9 @@ type kind =
   | Blocked of { src : int; tag : int }
   | Collective of { op : string; bytes : int }
   | Phase of { label : string; loop : string option; iter : int option }
+  | Fault of { what : string; peer : int }
+  | Retransmit of { dest : int; tag : int; seq : int }
+  | Checkpoint of { save : bool; bytes : int }
 
 type event = {
   ev_rank : int;

@@ -28,6 +28,14 @@ type kind =
           collective to assemble *)
   | Collective of { op : string; bytes : int }
   | Phase of { label : string; loop : string option; iter : int option }
+  | Fault of { what : string; peer : int }
+      (** an injected fault ("loss", "corrupt", "duplicate", "stall",
+          "crash"); [peer] is the destination rank, or [-1] when the
+          fault is not tied to a link *)
+  | Retransmit of { dest : int; tag : int; seq : int }
+      (** the reliable transport resent an unacknowledged envelope *)
+  | Checkpoint of { save : bool; bytes : int }
+      (** recovery layer snapshot ([save = true]) or restore *)
 
 type event = {
   ev_rank : int;

@@ -4,6 +4,7 @@ let () =
       ("util", Test_util.suite);
       ("partition", Test_partition.suite);
       ("mpsim", Test_mpsim.suite);
+      ("fault", Test_fault.suite);
       ("obs", Test_obs.suite);
       ("fortran", Test_fortran.suite);
       ("analysis", Test_analysis.suite);

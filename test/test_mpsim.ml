@@ -340,6 +340,77 @@ let test_deadlock_names_stuck_ranks () =
           "rank 2: blocked on recv(src=0, tag=9)"; "t=0.5" ]
   | _ -> Alcotest.fail "expected Deadlock"
 
+let test_deadlock_names_collectives () =
+  (* rank 0 parks in a barrier while rank 1 parks in an allreduce: the
+     diagnostic must name the collective each rank is stuck in, including
+     the reduction operation *)
+  match
+    run ~nranks:2 (fun c ->
+        if Sim.rank c = 0 then Sim.barrier c
+        else ignore (Sim.allreduce c `Sum 1.0))
+  with
+  | exception Sim.Deadlock msg ->
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) ("message mentions " ^ needle) true
+            (contains msg needle))
+        [ "rank 0: blocked in barrier"; "rank 1: blocked in allreduce(sum)" ]
+  | _ -> Alcotest.fail "expected Deadlock"
+
+let test_mismatched_allreduce_named () =
+  (* every rank is in an allreduce but the operations disagree: this is
+     diagnosed as a mismatch, with both operations visible *)
+  match
+    run ~nranks:2 (fun c ->
+        if Sim.rank c = 0 then ignore (Sim.allreduce c `Sum 1.0)
+        else ignore (Sim.allreduce c `Max 1.0))
+  with
+  | exception Sim.Deadlock msg ->
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) ("message mentions " ^ needle) true
+            (contains msg needle))
+        [ "mismatched operations"; "allreduce(sum)"; "allreduce(max)" ]
+  | _ -> Alcotest.fail "expected Deadlock"
+
+let test_wait_error_names_request () =
+  (* the double-completion message must say which request: kind + peer *)
+  match
+    run ~nranks:2 (fun c ->
+        if Sim.rank c = 0 then Sim.send c ~dest:1 ~tag:6 [| 1.0 |]
+        else begin
+          let r = Sim.irecv c ~src:0 ~tag:6 in
+          ignore (Sim.wait c r);
+          ignore (Sim.wait c r)
+        end)
+  with
+  | exception Sim.Rank_failure (1, Invalid_argument msg) ->
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) ("message mentions " ^ needle) true
+            (contains msg needle))
+        [ "recv(src=0, tag=6)"; "already completed" ]
+  | _ -> Alcotest.fail "expected Invalid_argument on rank 1"
+
+let test_waitall_duplicate_request_rejected () =
+  (* a request listed twice in a waitall is a double completion too, and
+     gets the same self-describing error *)
+  match
+    run ~nranks:2 (fun c ->
+        if Sim.rank c = 1 then ignore (Sim.recv c ~src:0 ~tag:3)
+        else begin
+          let r = Sim.isend c ~dest:1 ~tag:3 [| 2.0 |] in
+          ignore (Sim.waitall c [ r; r ])
+        end)
+  with
+  | exception Sim.Rank_failure (0, Invalid_argument msg) ->
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) ("message mentions " ^ needle) true
+            (contains msg needle))
+        [ "send(dest=1, tag=3)"; "already completed" ]
+  | _ -> Alcotest.fail "expected Invalid_argument on rank 0"
+
 let suite =
   [
     ("send/recv", `Quick, test_send_recv);
@@ -363,4 +434,9 @@ let suite =
     ("per-rank counts conserved", `Quick, test_per_rank_counts_conserved);
     ("blocked time attributed", `Quick, test_blocked_time_attributed);
     ("deadlock names stuck ranks", `Quick, test_deadlock_names_stuck_ranks);
+    ("deadlock names collectives", `Quick, test_deadlock_names_collectives);
+    ("mismatched allreduce named", `Quick, test_mismatched_allreduce_named);
+    ("wait error names request", `Quick, test_wait_error_names_request);
+    ( "waitall duplicate request rejected", `Quick,
+      test_waitall_duplicate_request_rejected );
   ]
