@@ -6,6 +6,11 @@
       bench/main.exe             print all tables + micro-benchmarks
       bench/main.exe table1      one table
       bench/main.exe tables      all tables, no micro-benchmarks
+                                 ([--check]: three-pass CI smoke — serial,
+                                 cold parallel and warm parallel sweeps
+                                 must render byte-identically, the warm
+                                 pass must be 100% cache hits and at
+                                 least 5x faster than the cold pass)
       bench/main.exe micro       micro-benchmarks only
       bench/main.exe ablation    optimal vs first-fit combining ablation
       bench/main.exe engine      tree-walking vs compiled vs fused-kernel
@@ -21,32 +26,127 @@
       bench/main.exe --json      write BENCH_tables.json (tables 1-5 +
                                  model validation + engine speedup,
                                  machine-readable, for diffing the perf
-                                 trajectory across PRs) *)
+                                 trajectory across PRs)
+
+    Sweep options (any verb that regenerates tables):
+      --jobs N        worker domains for the row sweep (default: all cores)
+      --no-cache      disable the persistent result cache
+      --cache-dir D   cache directory (default: _autocfd_cache)
+
+    Table output goes to stdout and is byte-identical for any --jobs value
+    and for cold vs warm caches; scheduler/cache statistics go to
+    stderr. *)
 
 module E = Autocfd.Experiments
 module D = Autocfd.Driver
 module S = Autocfd_syncopt
+module Sched = Autocfd_sched
 
-let print_table1 () = print_string (E.render_table1 (E.table1 ()))
+(* ------------------------------------------------------------------ *)
+(* Option parsing: verb [--check] [--jobs N] [--no-cache] [--cache-dir D] *)
+(* ------------------------------------------------------------------ *)
 
-let print_table2 () =
-  print_string
-    (E.render_perf
-       ~title:
-         "Table 2: overall performance of case study 1 (aerofoil, \
-          99 x 41 x 13; ours vs paper)"
-       (E.table2 ()))
+type opts = {
+  o_verb : string;
+  o_check : bool;
+  o_jobs : int;
+  o_cache : bool;
+  o_cache_dir : string;
+}
 
-let print_table3 () =
-  print_string
-    (E.render_perf
-       ~title:
-         "Table 3: overall performance of case study 2 (sprayer, \
-          300 x 100; ours vs paper)"
-       (E.table3 ()))
+let usage () =
+  Printf.eprintf
+    "usage: %s [table1..table5|tables|validate|engine|chaos|ablation|advisor|\
+     micro|--json|all] [--check] [--jobs N] [--no-cache] [--cache-dir D]\n"
+    Sys.argv.(0);
+  exit 1
 
-let print_table4 () = print_string (E.render_table4 (E.table4 ()))
-let print_table5 () = print_string (E.render_table5 (E.table5 ()))
+let parse_opts () =
+  let o =
+    ref
+      {
+        o_verb = "all";
+        o_check = false;
+        o_jobs = Sched.Pool.default_jobs ();
+        o_cache = true;
+        o_cache_dir = "_autocfd_cache";
+      }
+  in
+  let rec go i =
+    if i < Array.length Sys.argv then
+      match Sys.argv.(i) with
+      | "--check" ->
+          o := { !o with o_check = true };
+          go (i + 1)
+      | "--no-cache" ->
+          o := { !o with o_cache = false };
+          go (i + 1)
+      | "--jobs" when i + 1 < Array.length Sys.argv ->
+          (match int_of_string_opt Sys.argv.(i + 1) with
+          | Some n when n >= 1 -> o := { !o with o_jobs = n }
+          | _ ->
+              Printf.eprintf "--jobs: expected a positive integer\n";
+              exit 1);
+          go (i + 2)
+      | "--cache-dir" when i + 1 < Array.length Sys.argv ->
+          o := { !o with o_cache_dir = Sys.argv.(i + 1) };
+          go (i + 2)
+      | ("--jobs" | "--cache-dir") as a ->
+          Printf.eprintf "%s: missing argument\n" a;
+          exit 1
+      | a when i = 1 && (a = "--json" || (String.length a > 0 && a.[0] <> '-'))
+        ->
+          o := { !o with o_verb = a };
+          go (i + 1)
+      | a ->
+          Printf.eprintf "unknown option %S\n" a;
+          usage ()
+  in
+  go 1;
+  !o
+
+let make_sweep opts =
+  let cache =
+    if opts.o_cache then Some (Sched.Cache.create ~dir:opts.o_cache_dir ())
+    else None
+  in
+  E.sweep ~jobs:opts.o_jobs ?cache ()
+
+let report_sweep sw =
+  let stats = E.sweep_stats sw in
+  if stats <> [] then prerr_string (Autocfd.Report.sched_summary stats)
+
+(* ------------------------------------------------------------------ *)
+(* Table printing (stdout only; stats go to stderr afterwards)         *)
+(* ------------------------------------------------------------------ *)
+
+let table1_string sw = E.render_table1 (E.table1 ~sweep:sw ())
+
+let table2_string sw =
+  E.render_perf
+    ~title:
+      "Table 2: overall performance of case study 1 (aerofoil, \
+       99 x 41 x 13; ours vs paper)"
+    (E.table2 ~sweep:sw ())
+
+let table3_string sw =
+  E.render_perf
+    ~title:
+      "Table 3: overall performance of case study 2 (sprayer, \
+       300 x 100; ours vs paper)"
+    (E.table3 ~sweep:sw ())
+
+let table4_string sw = E.render_table4 (E.table4 ~sweep:sw ())
+let table5_string sw = E.render_table5 (E.table5 ~sweep:sw ())
+let validation_string sw = E.render_validation (E.validate_model ~sweep:sw ())
+
+(* the pooled part of `tables`: what the three-pass --check compares *)
+let sweep_tables_string sw =
+  String.concat "\n"
+    [
+      table1_string sw; table2_string sw; table3_string sw; table4_string sw;
+      table5_string sw; validation_string sw;
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Ablation: the paper's optimal combining (Fig. 6(b)) vs the          *)
@@ -101,6 +201,9 @@ let micro () =
   let small_aero =
     D.load (Autocfd_apps.Aerofoil.source ~ni:16 ~nj:10 ~nk:6 ~ntime:2 ())
   in
+  let run_engine engine plan () =
+    ignore (D.run ~spec:(Autocfd.Runspec.(with_engine engine default)) plan)
+  in
   let tests =
     [
       (* Table 1 pipeline stage: full analysis + sync optimization *)
@@ -129,38 +232,26 @@ let micro () =
              ignore (D.load (Autocfd_apps.Sprayer.source ~ni:160 ~nj:60 ()))));
       (* Table 5 stage / correctness path: simulated SPMD execution *)
       Test.make ~name:"table5:spmd-execute (sprayer 40x20, 4 ranks)"
-        (Staged.stage (fun () -> ignore (D.run_parallel small_plan)));
+        (Staged.stage (fun () -> ignore (D.run small_plan)));
       (* Execution engines head to head on the same simulated runs *)
       Test.make ~name:"engine:tree-walk (sprayer 40x20, 4 ranks)"
-        (Staged.stage (fun () ->
-             ignore
-               (D.run_parallel ~engine:Autocfd_interp.Spmd.Tree small_plan)));
+        (Staged.stage (run_engine Autocfd_interp.Spmd.Tree small_plan));
       Test.make ~name:"engine:compiled (sprayer 40x20, 4 ranks)"
-        (Staged.stage (fun () ->
-             ignore
-               (D.run_parallel ~engine:Autocfd_interp.Spmd.Compiled
-                  small_plan)));
+        (Staged.stage (run_engine Autocfd_interp.Spmd.Compiled small_plan));
       Test.make ~name:"engine:fused (sprayer 40x20, 4 ranks)"
-        (Staged.stage (fun () ->
-             ignore
-               (D.run_parallel ~engine:Autocfd_interp.Spmd.Fused small_plan)));
+        (Staged.stage (run_engine Autocfd_interp.Spmd.Fused small_plan));
       Test.make ~name:"engine:tree-walk (aerofoil 16x10x6, 4 ranks)"
         (Staged.stage
-           (let plan = D.plan small_aero ~parts:[| 2; 2; 1 |] in
-            fun () ->
-              ignore
-                (D.run_parallel ~engine:Autocfd_interp.Spmd.Tree plan)));
+           (run_engine Autocfd_interp.Spmd.Tree
+              (D.plan small_aero ~parts:[| 2; 2; 1 |])));
       Test.make ~name:"engine:compiled (aerofoil 16x10x6, 4 ranks)"
         (Staged.stage
-           (let plan = D.plan small_aero ~parts:[| 2; 2; 1 |] in
-            fun () ->
-              ignore
-                (D.run_parallel ~engine:Autocfd_interp.Spmd.Compiled plan)));
+           (run_engine Autocfd_interp.Spmd.Compiled
+              (D.plan small_aero ~parts:[| 2; 2; 1 |])));
       Test.make ~name:"engine:fused (aerofoil 16x10x6, 4 ranks)"
         (Staged.stage
-           (let plan = D.plan small_aero ~parts:[| 2; 2; 1 |] in
-            fun () ->
-              ignore (D.run_parallel ~engine:Autocfd_interp.Spmd.Fused plan)));
+           (run_engine Autocfd_interp.Spmd.Fused
+              (D.plan small_aero ~parts:[| 2; 2; 1 |])));
     ]
   in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
@@ -232,103 +323,161 @@ let print_advisor () =
     [ 4; 6 ];
   print table
 
-let write_json () =
+let write_json opts =
   let path = "BENCH_tables.json" in
-  let oc = open_out path in
-  output_string oc (Autocfd_obs.Json.pretty (E.tables_json ()));
-  output_char oc '\n';
-  close_out oc;
+  let sw = make_sweep opts in
+  let text = Autocfd_obs.Json.pretty (E.tables_json ~sweep:sw ()) ^ "\n" in
+  Sched.Cache.write_atomic ~path text;
+  report_sweep sw;
   Printf.printf "wrote %s\n" path
 
-let all_tables () =
-  print_table1 ();
-  print_newline ();
-  print_table2 ();
-  print_newline ();
-  print_table3 ();
-  print_newline ();
-  print_table4 ();
-  print_newline ();
-  print_table5 ();
+let all_tables sw =
+  print_string (sweep_tables_string sw);
   print_newline ();
   print_ablation ();
   print_newline ();
-  print_advisor ();
-  print_newline ();
-  print_string (E.render_validation (E.validate_model ()))
+  print_advisor ()
+
+(* ------------------------------------------------------------------ *)
+(* tables --check: the CI smoke for the sweep scheduler + cache.       *)
+(* Three passes over the pooled tables:                                 *)
+(*   0. serial, no cache            — the reference rendering           *)
+(*   1. parallel, cold cache        — must render byte-identically      *)
+(*   2. parallel, warm cache        — byte-identical, 100% hits, and    *)
+(*      at least 5x faster than the cold pass                           *)
+(* ------------------------------------------------------------------ *)
+
+let check_tables opts =
+  let cache_dir =
+    if opts.o_cache_dir = "_autocfd_cache" then "_autocfd_cache.check"
+    else opts.o_cache_dir
+  in
+  let cache = Sched.Cache.create ~dir:cache_dir () in
+  Sched.Cache.clear cache;
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let pass label sweep =
+    Printf.eprintf "pass %s...\n%!" label;
+    let (out, elapsed) = timed (fun () -> sweep_tables_string sweep) in
+    (out, elapsed, E.sweep_stats sweep)
+  in
+  let out0, _, _ = pass "0 (serial, no cache)" (E.sweep ()) in
+  let out1, t_cold, _ =
+    pass
+      (Printf.sprintf "1 (parallel --jobs %d, cold cache)" opts.o_jobs)
+      (E.sweep ~jobs:opts.o_jobs ~cache ())
+  in
+  let out2, t_warm, stats2 =
+    pass
+      (Printf.sprintf "2 (parallel --jobs %d, warm cache)" opts.o_jobs)
+      (E.sweep ~jobs:opts.o_jobs ~cache ())
+  in
+  let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt in
+  if out1 <> out0 then
+    fail "FAIL: cold parallel sweep diverged from the serial rendering";
+  if out2 <> out0 then
+    fail "FAIL: warm-cache sweep diverged from the serial rendering";
+  let hits, misses =
+    List.fold_left
+      (fun (h, m) (_, (s : Sched.Pool.stats)) ->
+        (h + s.Sched.Pool.ps_hits, m + s.Sched.Pool.ps_misses))
+      (0, 0) stats2
+  in
+  if misses > 0 then
+    fail "FAIL: warm pass had %d cache misses (%d hits) — expected 100%% hits"
+      misses hits;
+  let speedup = t_cold /. t_warm in
+  if speedup < 5.0 then
+    fail "FAIL: warm pass only %.1fx faster than cold (%.2fs vs %.2fs) — \
+          expected at least 5x"
+      speedup t_warm t_cold;
+  Printf.printf
+    "OK tables: 3 passes byte-identical, warm pass %d/%d hits, %.1fx \
+     faster than cold (%.2fs vs %.2fs)\n"
+    hits (hits + misses) speedup t_warm t_cold
 
 let () =
-  match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
-  | "table1" -> print_table1 ()
-  | "table2" -> print_table2 ()
-  | "table3" -> print_table3 ()
-  | "table4" -> print_table4 ()
-  | "table5" -> print_table5 ()
+  let opts = parse_opts () in
+  let with_sweep f =
+    let sw = make_sweep opts in
+    f sw;
+    report_sweep sw
+  in
+  match opts.o_verb with
+  | "table1" -> with_sweep (fun sw -> print_string (table1_string sw))
+  | "table2" -> with_sweep (fun sw -> print_string (table2_string sw))
+  | "table3" -> with_sweep (fun sw -> print_string (table3_string sw))
+  | "table4" -> with_sweep (fun sw -> print_string (table4_string sw))
+  | "table5" -> with_sweep (fun sw -> print_string (table5_string sw))
   | "ablation" -> print_ablation ()
   | "advisor" -> print_advisor ()
-  | "validate" ->
-      print_string (E.render_validation (E.validate_model ()))
+  | "validate" -> with_sweep (fun sw -> print_string (validation_string sw))
   | "engine" ->
-      let rows = E.engine_bench () in
-      print_string (E.render_engine rows);
-      print_newline ();
-      print_string (E.render_engine_coverage rows);
-      (* --check: CI smoke mode.  Fails if any engine disagrees or the
-         fused tier stops paying for itself (its speedup over the tree
-         walker drops below the plain compiled engine's). *)
-      if Array.length Sys.argv > 2 && Sys.argv.(2) = "--check" then
-        List.iter
-          (fun (r : E.engine_row) ->
-            if not r.E.er_identical then begin
-              Printf.eprintf "FAIL %s: engines disagree\n" r.E.er_program;
-              exit 1
-            end;
-            if r.E.er_fused_speedup < r.E.er_speedup then begin
-              Printf.eprintf
-                "FAIL %s: fused speedup %.2f below compiled speedup %.2f\n"
-                r.E.er_program r.E.er_fused_speedup r.E.er_speedup;
-              exit 1
-            end;
-            Printf.printf
-              "OK %s: fused %.2fx >= compiled %.2fx, results identical\n"
-              r.E.er_program r.E.er_fused_speedup r.E.er_speedup)
-          rows
+      with_sweep (fun sw ->
+          let rows = E.engine_bench ~sweep:sw () in
+          print_string (E.render_engine rows);
+          print_newline ();
+          print_string (E.render_engine_coverage rows);
+          (* --check: CI smoke mode.  Fails if any engine disagrees or the
+             fused tier stops paying for itself (its speedup over the tree
+             walker drops below the plain compiled engine's). *)
+          if opts.o_check then
+            List.iter
+              (fun (r : E.engine_row) ->
+                if not r.E.er_identical then begin
+                  Printf.eprintf "FAIL %s: engines disagree\n" r.E.er_program;
+                  exit 1
+                end;
+                if r.E.er_fused_speedup < r.E.er_speedup then begin
+                  Printf.eprintf
+                    "FAIL %s: fused speedup %.2f below compiled speedup %.2f\n"
+                    r.E.er_program r.E.er_fused_speedup r.E.er_speedup;
+                  exit 1
+                end;
+                Printf.printf
+                  "OK %s: fused %.2fx >= compiled %.2fx, results identical\n"
+                  r.E.er_program r.E.er_fused_speedup r.E.er_speedup)
+              rows)
   | "chaos" ->
-      let rows = E.chaos_bench () in
-      print_string (E.render_chaos rows);
-      (* --check: CI smoke mode.  Every schedule in the bench is
-         recoverable, so any divergence is a transport/recovery bug; the
-         overhead ceiling catches retransmit storms and checkpoint
-         regressions. *)
-      if Array.length Sys.argv > 2 && Sys.argv.(2) = "--check" then begin
-        let max_overhead = 4.0 in
-        List.iter
-          (fun (r : E.chaos_row) ->
-            if not r.E.ch_identical then begin
-              Printf.eprintf "FAIL %s/%s: result diverged from fault-free run\n"
-                r.E.ch_program r.E.ch_schedule;
-              exit 1
-            end;
-            if r.E.ch_overhead > max_overhead then begin
-              Printf.eprintf "FAIL %s/%s: overhead %.2fx above budget %.1fx\n"
-                r.E.ch_program r.E.ch_schedule r.E.ch_overhead max_overhead;
-              exit 1
-            end;
-            Printf.printf "OK %s/%s: identical, overhead %.2fx\n"
-              r.E.ch_program r.E.ch_schedule r.E.ch_overhead)
-          rows
-      end
-  | "tables" -> all_tables ()
-  | "--json" | "json" -> write_json ()
+      with_sweep (fun sw ->
+          let rows = E.chaos_bench ~sweep:sw () in
+          print_string (E.render_chaos rows);
+          (* --check: CI smoke mode.  Every schedule in the bench is
+             recoverable, so any divergence is a transport/recovery bug; the
+             overhead ceiling catches retransmit storms and checkpoint
+             regressions. *)
+          if opts.o_check then begin
+            let max_overhead = 4.0 in
+            List.iter
+              (fun (r : E.chaos_row) ->
+                if not r.E.ch_identical then begin
+                  Printf.eprintf
+                    "FAIL %s/%s: result diverged from fault-free run\n"
+                    r.E.ch_program r.E.ch_schedule;
+                  exit 1
+                end;
+                if r.E.ch_overhead > max_overhead then begin
+                  Printf.eprintf
+                    "FAIL %s/%s: overhead %.2fx above budget %.1fx\n"
+                    r.E.ch_program r.E.ch_schedule r.E.ch_overhead
+                    max_overhead;
+                  exit 1
+                end;
+                Printf.printf "OK %s/%s: identical, overhead %.2fx\n"
+                  r.E.ch_program r.E.ch_schedule r.E.ch_overhead)
+              rows
+          end)
+  | "tables" ->
+      if opts.o_check then check_tables opts
+      else with_sweep all_tables
+  | "--json" | "json" -> write_json opts
   | "micro" -> micro ()
   | "all" ->
-      all_tables ();
+      with_sweep all_tables;
       print_newline ();
       print_endline "Micro-benchmarks (Bechamel):";
       micro ()
-  | other ->
-      Printf.eprintf
-        "unknown command %S (expected: table1..table5, tables, --json, \
-         ablation, micro, all)\n"
-        other;
-      exit 1
+  | _ -> usage ()

@@ -147,57 +147,139 @@ let parallelize file parts nprocs mpi output =
       close_out oc;
       Printf.printf "wrote %s\n" path
 
-let run_cmd file parts nprocs json =
-  let t, plan = load_and_plan file parts nprocs in
-  let seq = D.run_sequential t in
-  let tracer = if json then Some (Obs.Trace.create ()) else None in
-  let par = D.run_parallel ?tracer plan in
-  let stats = par.Autocfd_interp.Spmd.stats in
-  let divergence = D.max_divergence seq par in
-  let worst =
-    List.fold_left (fun acc (_, d) -> Float.max acc d) 0.0 divergence
+(* The run verb goes through the sweep scheduler as a single job, so a
+   repeated `autocfd run` of an unchanged source is a cache hit: the
+   stored result document carries everything both renderings and the
+   divergence exit code need. *)
+let run_cmd file parts nprocs json jobs use_cache cache_dir =
+  let module J = Obs.Json in
+  let module Sched = Autocfd_sched in
+  let source = read_file file in
+  let t = D.load source in
+  let parts =
+    match parts with Some p -> p | None -> D.auto_parts t ~nprocs
+  in
+  let job =
+    Sched.Job.make
+      ~label:(Printf.sprintf "run %s" (Filename.basename file))
+      ~key:
+        (J.Obj
+           [
+             ("verb", J.Str "run");
+             ( "partition",
+               J.Str
+                 (String.concat "x"
+                    (Array.to_list (Array.map string_of_int parts))) );
+             ("traced", J.Bool json);
+             ("src", J.Str (Sched.Job.digest source));
+           ])
+      (fun () ->
+        let plan = D.plan t ~parts in
+        let seq = D.run_seq t in
+        let tracer = if json then Some (Obs.Trace.create ()) else None in
+        let par =
+          D.run ~spec:(Autocfd.Runspec.with_tracer tracer
+                         Autocfd.Runspec.default)
+            plan
+        in
+        let stats = par.Autocfd_interp.Spmd.stats in
+        let divergence = D.max_divergence seq par in
+        let worst =
+          List.fold_left (fun acc (_, d) -> Float.max acc d) 0.0 divergence
+        in
+        let strs l = J.List (List.map (fun s -> J.Str s) l) in
+        J.Obj
+          [
+            ("schema", J.Str "autocfd-run/1");
+            ("ranks", J.Int (Autocfd_partition.Topology.nranks plan.D.topo));
+            ("seq_output", strs seq.D.sq_output);
+            ("output", strs par.Autocfd_interp.Spmd.output);
+            ("messages", J.Int stats.Autocfd_mpsim.Sim.messages);
+            ("bytes", J.Int stats.Autocfd_mpsim.Sim.bytes);
+            ("collectives", J.Int stats.Autocfd_mpsim.Sim.collectives);
+            ( "divergence",
+              J.Obj (List.map (fun (n, d) -> (n, J.Float d)) divergence) );
+            ("equivalent", J.Bool (worst < 1e-9));
+            ( "metrics",
+              match tracer with
+              | Some tr -> Obs.Metrics.to_json (Obs.Metrics.of_trace tr)
+              | None -> J.Null );
+          ])
+  in
+  let cache =
+    if use_cache then Some (Sched.Cache.create ~dir:cache_dir ()) else None
+  in
+  let results, stats = Sched.Pool.run ~jobs ?cache [ job ] in
+  Printf.eprintf "scheduler: %d hit(s), %d miss(es)\n%!"
+    stats.Sched.Pool.ps_hits stats.Sched.Pool.ps_misses;
+  let doc =
+    match results.(0) with
+    | Ok doc -> doc
+    | Error msg ->
+        Printf.eprintf "run failed: %s\n" msg;
+        exit 1
+  in
+  let field name =
+    match J.member name doc with
+    | Some v -> v
+    | None ->
+        Printf.eprintf "corrupt run document: missing %S\n" name;
+        exit 1
+  in
+  let str_list name =
+    match field name with
+    | J.List l ->
+        List.filter_map (function J.Str s -> Some s | _ -> None) l
+    | _ -> []
+  in
+  let int_field name = match field name with J.Int i -> i | _ -> 0 in
+  let equivalent = field "equivalent" = J.Bool true in
+  let divergence =
+    match field "divergence" with
+    | J.Obj fields ->
+        List.map (fun (n, d) -> (n, J.to_float_exn d)) fields
+    | _ -> []
   in
   (if json then
-     let module J = Obs.Json in
+     (* the stored document minus the human-only sequential echo *)
      let doc =
-       J.Obj
-         [
-           ("schema", J.Str "autocfd-run/1");
-           ("ranks", J.Int (Autocfd_partition.Topology.nranks plan.D.topo));
-           ( "output",
-             J.List
-               (List.map (fun s -> J.Str s) par.Autocfd_interp.Spmd.output) );
-           ( "divergence",
-             J.Obj (List.map (fun (n, d) -> (n, J.Float d)) divergence) );
-           ("equivalent", J.Bool (worst < 1e-9));
-           ( "metrics",
-             match tracer with
-             | Some tr -> Obs.Metrics.to_json (Obs.Metrics.of_trace tr)
-             | None -> J.Null );
-         ]
+       match doc with
+       | J.Obj fields ->
+           J.Obj (List.filter (fun (n, _) -> n <> "seq_output") fields)
+       | d -> d
      in
      print_endline (J.pretty doc)
    else begin
      Format.printf "sequential output:@.";
-     List.iter (Format.printf "  %s@.") seq.D.sq_output;
+     List.iter (Format.printf "  %s@.") (str_list "seq_output");
      Format.printf "parallel output (%d simulated ranks):@."
-       (Autocfd_partition.Topology.nranks plan.D.topo);
-     List.iter (Format.printf "  %s@.") par.Autocfd_interp.Spmd.output;
+       (int_field "ranks");
+     List.iter (Format.printf "  %s@.") (str_list "output");
      Format.printf "messages: %d (%d bytes), collectives: %d@."
-       stats.Autocfd_mpsim.Sim.messages stats.Autocfd_mpsim.Sim.bytes
-       stats.Autocfd_mpsim.Sim.collectives;
+       (int_field "messages") (int_field "bytes") (int_field "collectives");
      Format.printf "max |sequential - parallel| per status array:@.";
      List.iter
        (fun (name, d) -> Format.printf "  %-10s %.3g@." name d)
        divergence;
-     if worst < 1e-9 then Format.printf "PASS: numerically equivalent@."
-     else Format.printf "FAIL: parallel run diverges (%.3g)@." worst
+     if equivalent then Format.printf "PASS: numerically equivalent@."
+     else
+       Format.printf "FAIL: parallel run diverges (%.3g)@."
+         (List.fold_left (fun acc (_, d) -> Float.max acc d) 0.0 divergence)
    end);
-  if worst >= 1e-9 then exit 1
+  if not equivalent then exit 1
 
 let trace_cmd file parts nprocs out metrics_out =
   let _, plan = load_and_plan file parts nprocs in
-  let result, tracer = D.run_traced plan in
+  let tracer = Obs.Trace.create () in
+  let result =
+    D.run
+      ~spec:
+        Autocfd.Runspec.(
+          default
+          |> with_machine (Some Autocfd_perfmodel.Model.pentium_cluster)
+          |> with_tracer (Some tracer))
+      plan
+  in
   write_file out (Obs.Chrome.to_string tracer);
   let m = Obs.Metrics.of_trace tracer in
   (match metrics_out with
@@ -228,32 +310,43 @@ let report file parts nprocs output =
       close_out oc;
       Printf.printf "wrote %s\n" path
 
-let tables which json =
+let tables which json jobs use_cache cache_dir =
   let module E = Autocfd.Experiments in
-  if json then print_endline (Obs.Json.pretty (E.tables_json ()))
-  else
-  let print1 () = print_string (E.render_table1 (E.table1 ())) in
-  let print2 () =
-    print_string (E.render_perf ~title:"Table 2: aerofoil 99x41x13" (E.table2 ()))
+  let cache =
+    if use_cache then Some (Autocfd_sched.Cache.create ~dir:cache_dir ())
+    else None
   in
-  let print3 () =
-    print_string (E.render_perf ~title:"Table 3: sprayer 300x100" (E.table3 ()))
-  in
-  let print4 () = print_string (E.render_table4 (E.table4 ())) in
-  let print5 () = print_string (E.render_table5 (E.table5 ())) in
-  match which with
-  | "1" -> print1 ()
-  | "2" -> print2 ()
-  | "3" -> print3 ()
-  | "4" -> print4 ()
-  | "5" -> print5 ()
-  | "all" ->
-      print1 (); print_newline ();
-      print2 (); print_newline ();
-      print3 (); print_newline ();
-      print4 (); print_newline ();
-      print5 ()
-  | other -> Printf.eprintf "unknown table %S\n" other; exit 1
+  let sw = E.sweep ~jobs ?cache () in
+  (if json then print_endline (Obs.Json.pretty (E.tables_json ~sweep:sw ()))
+   else
+     let print1 () = print_string (E.render_table1 (E.table1 ~sweep:sw ())) in
+     let print2 () =
+       print_string
+         (E.render_perf ~title:"Table 2: aerofoil 99x41x13"
+            (E.table2 ~sweep:sw ()))
+     in
+     let print3 () =
+       print_string
+         (E.render_perf ~title:"Table 3: sprayer 300x100"
+            (E.table3 ~sweep:sw ()))
+     in
+     let print4 () = print_string (E.render_table4 (E.table4 ~sweep:sw ())) in
+     let print5 () = print_string (E.render_table5 (E.table5 ~sweep:sw ())) in
+     match which with
+     | "1" -> print1 ()
+     | "2" -> print2 ()
+     | "3" -> print3 ()
+     | "4" -> print4 ()
+     | "5" -> print5 ()
+     | "all" ->
+         print1 (); print_newline ();
+         print2 (); print_newline ();
+         print3 (); print_newline ();
+         print4 (); print_newline ();
+         print5 ()
+     | other -> Printf.eprintf "unknown table %S\n" other; exit 1);
+  let stats = E.sweep_stats sw in
+  if stats <> [] then prerr_string (Autocfd.Report.sched_summary stats)
 
 let demo which =
   match which with
@@ -298,14 +391,34 @@ let parallelize_cmd =
 let json_flag ~what =
   Arg.(value & flag & info [ "json" ] ~doc:("Emit " ^ what ^ " as JSON."))
 
+let jobs_arg =
+  Arg.(value & opt int (Autocfd_sched.Pool.default_jobs ())
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains for the sweep scheduler (default: all \
+                 recommended cores).")
+
+let no_cache_arg =
+  Arg.(value & flag
+       & info [ "no-cache" ]
+           ~doc:"Disable the persistent content-addressed result cache.")
+
+let cache_dir_arg =
+  Arg.(value & opt string "_autocfd_cache"
+       & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Result cache directory (default: _autocfd_cache).")
+
 let run_cmd_ =
   Cmd.v
     (Cmd.info "run"
        ~doc:
          "Execute the program sequentially and on the simulated cluster, \
-          and compare the results")
+          and compare the results (memoized: a repeated run of an \
+          unchanged source is served from the result cache)")
     Term.(const run_cmd $ file_arg $ parts_arg $ nprocs_arg
-          $ json_flag ~what:"the comparison and per-rank metrics")
+          $ json_flag ~what:"the comparison and per-rank metrics"
+          $ jobs_arg
+          $ Term.app (const not) no_cache_arg
+          $ cache_dir_arg)
 
 let trace_cmd_ =
   let out =
@@ -347,7 +460,10 @@ let tables_cmd =
   in
   Cmd.v (Cmd.info "tables" ~doc:"Regenerate the paper's evaluation tables")
     Term.(const tables $ which
-          $ json_flag ~what:"every table (1-5) plus model validation")
+          $ json_flag ~what:"every table (1-5) plus model validation"
+          $ jobs_arg
+          $ Term.app (const not) no_cache_arg
+          $ cache_dir_arg)
 
 let demo_cmd =
   let which =

@@ -62,8 +62,8 @@ let () =
     D.load (Autocfd_apps.Aerofoil.source ~ni:20 ~nj:12 ~nk:6 ~ntime:5 ())
   in
   let splan = D.plan small ~parts:[| 3; 2; 1 |] in
-  let seq = D.run_sequential small in
-  let par = D.run_parallel splan in
+  let seq = D.run_seq small in
+  let par = D.run splan in
   Printf.printf "  sequential: %s\n" (String.concat "|" seq.D.sq_output);
   Printf.printf "  parallel:   %s\n"
     (String.concat "|" par.Autocfd_interp.Spmd.output);

@@ -37,8 +37,8 @@ let () =
         D.load (Autocfd_apps.Cavity.source ~n:21 ~maxit:15 ~npsi:4 ~ulid ())
       in
       let p = D.plan t ~parts:[| 2; 2 |] in
-      let seq = D.run_sequential t in
-      let par = D.run_parallel p in
+      let seq = D.run_seq t in
+      let par = D.run p in
       let worst =
         List.fold_left (fun a (_, d) -> Float.max a d) 0.0
           (D.max_divergence seq par)

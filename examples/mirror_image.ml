@@ -97,8 +97,8 @@ let show name source =
                (List.map (fun (d, _) -> string_of_int d) dims))
       | _ -> ())
     plan.D.strategies;
-  let seq = D.run_sequential t in
-  let par = D.run_parallel plan in
+  let seq = D.run_seq t in
+  let par = D.run plan in
   let worst =
     List.fold_left (fun a (_, d) -> Float.max a d) 0.0
       (D.max_divergence seq par)

@@ -66,9 +66,9 @@ let () =
   |> List.iter print_endline;
   print_endline "    ... (truncated)";
   print_endline "\n--- execution ---";
-  let seq = D.run_sequential t in
+  let seq = D.run_seq t in
   Printf.printf "sequential:  %s\n" (String.concat " | " seq.D.sq_output);
-  let par = D.run_parallel plan in
+  let par = D.run plan in
   Printf.printf "4 ranks:     %s\n"
     (String.concat " | " par.Autocfd_interp.Spmd.output);
   Printf.printf "messages exchanged: %d (%d bytes)\n"

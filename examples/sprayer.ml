@@ -35,8 +35,8 @@ let () =
       in
       let t = D.load src in
       let plan = D.plan t ~parts:[| 2; 2 |] in
-      let seq = D.run_sequential t in
-      let par = D.run_parallel plan in
+      let seq = D.run_seq t in
+      let par = D.run plan in
       let worst =
         List.fold_left
           (fun acc (_, d) -> Float.max acc d)

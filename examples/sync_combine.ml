@@ -136,8 +136,8 @@ let report name src =
                  g.S.Combine.gr_transfers))))
     optimal.D.opt.S.Optimizer.groups;
   (* validate on the simulator *)
-  let seq = D.run_sequential t in
-  let par = D.run_parallel optimal in
+  let seq = D.run_seq t in
+  let par = D.run optimal in
   let worst =
     List.fold_left (fun a (_, d) -> Float.max a d) 0.0
       (D.max_divergence seq par)

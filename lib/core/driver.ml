@@ -151,48 +151,6 @@ type seq_result = {
   sq_flops : float;
 }
 
-let run_sequential ?(engine = I.Spmd.Fused) ?(input = []) t =
-  match engine with
-  | I.Spmd.Tree ->
-      let m = I.Machine.create ~input t.inlined in
-      I.Machine.run m;
-      {
-        sq_output = I.Machine.output m;
-        sq_arrays =
-          List.map
-            (fun n -> (n, I.Machine.array m n))
-            (I.Machine.array_names m);
-        sq_flops = I.Machine.flops m;
-      }
-  | I.Spmd.Compiled | I.Spmd.Fused ->
-      let fuse = engine = I.Spmd.Fused in
-      let st = I.Compile.create ~input (I.Compile.of_unit ~fuse t.inlined) in
-      I.Compile.run st;
-      {
-        sq_output = I.Compile.output st;
-        sq_arrays =
-          List.map
-            (fun n -> (n, I.Compile.array st n))
-            (I.Compile.array_names st);
-        sq_flops = I.Compile.flops st;
-      }
-
-let run_parallel ?engine ?(net = M.Netmodel.fast) ?(flop_time = 0.0)
-    ?(input = []) ?tracer ?faults ?recovery plan =
-  let config =
-    {
-      I.Spmd.gi = plan.source.gi;
-      topo = plan.topo;
-      net;
-      flop_time;
-      input;
-      tracer;
-      faults;
-      recovery;
-    }
-  in
-  I.Spmd.run ?engine config plan.spmd
-
 (* per-flop charge matching the reference machine under the plan's per-rank
    working set (same calibration as the model-validation experiments) *)
 let calibrated_flop_time ?(machine = Autocfd_perfmodel.Model.pentium_cluster)
@@ -206,14 +164,85 @@ let calibrated_flop_time ?(machine = Autocfd_perfmodel.Model.pentium_cluster)
   let ws = PM.working_set_bytes ~gi:plan.source.gi ~points_per_rank in
   PM.memory_slowdown machine ws /. machine.PM.flop_rate
 
+let run_seq ?(spec = Runspec.default) t =
+  match spec.Runspec.engine with
+  | I.Spmd.Tree ->
+      let m = I.Machine.create ~input:spec.Runspec.input t.inlined in
+      I.Machine.run m;
+      {
+        sq_output = I.Machine.output m;
+        sq_arrays =
+          List.map
+            (fun n -> (n, I.Machine.array m n))
+            (I.Machine.array_names m);
+        sq_flops = I.Machine.flops m;
+      }
+  | I.Spmd.Compiled | I.Spmd.Fused ->
+      let fuse = spec.Runspec.engine = I.Spmd.Fused in
+      let st =
+        I.Compile.create ~input:spec.Runspec.input
+          (I.Compile.of_unit ~fuse t.inlined)
+      in
+      I.Compile.run st;
+      {
+        sq_output = I.Compile.output st;
+        sq_arrays =
+          List.map
+            (fun n -> (n, I.Compile.array st n))
+            (I.Compile.array_names st);
+        sq_flops = I.Compile.flops st;
+      }
+
+let run ?(spec = Runspec.default) plan =
+  let net, flop_time =
+    match spec.Runspec.machine with
+    | Some m ->
+        (m.Autocfd_perfmodel.Model.net, calibrated_flop_time ~machine:m plan)
+    | None -> (spec.Runspec.net, spec.Runspec.flop_time)
+  in
+  let config =
+    {
+      I.Spmd.gi = plan.source.gi;
+      topo = plan.topo;
+      net;
+      flop_time;
+      input = spec.Runspec.input;
+      tracer = spec.Runspec.tracer;
+      faults = spec.Runspec.faults;
+      recovery = spec.Runspec.recovery;
+    }
+  in
+  I.Spmd.run ~engine:spec.Runspec.engine config plan.spmd
+
+(* deprecated shims: the pre-Runspec entry points, kept for out-of-tree
+   callers; each is a pure delegation *)
+
+let run_sequential ?(engine = I.Spmd.Fused) ?(input = []) t =
+  run_seq
+    ~spec:Runspec.(default |> with_engine engine |> with_input input)
+    t
+
+let run_parallel ?(engine = I.Spmd.Fused) ?(net = M.Netmodel.fast)
+    ?(flop_time = 0.0) ?(input = []) ?tracer ?faults ?recovery plan =
+  run
+    ~spec:
+      Runspec.(
+        default |> with_engine engine |> with_net net
+        |> with_flop_time flop_time |> with_input input
+        |> with_tracer tracer |> with_faults faults
+        |> with_recovery recovery)
+    plan
+
 let run_traced ?(machine = Autocfd_perfmodel.Model.pentium_cluster)
     ?(input = []) plan =
-  let module PM = Autocfd_perfmodel.Model in
   let tracer = Autocfd_obs.Trace.create () in
   let result =
-    run_parallel ~net:machine.PM.net
-      ~flop_time:(calibrated_flop_time ~machine plan)
-      ~input ~tracer plan
+    run
+      ~spec:
+        Runspec.(
+          default |> with_machine (Some machine) |> with_input input
+          |> with_tracer (Some tracer))
+      plan
   in
   (result, tracer)
 

@@ -71,10 +71,33 @@ type seq_result = {
   sq_flops : float;
 }
 
+val run_seq : ?spec:Runspec.t -> t -> seq_result
+(** Executes the inlined sequential unit.  Only [spec.engine] (evaluator;
+    results are bit-identical across engines) and [spec.input] (READ
+    data) apply; the cluster-side fields are ignored. *)
+
+val run : ?spec:Runspec.t -> plan -> Autocfd_interp.Spmd.result
+(** Executes the SPMD unit on the simulated cluster under one
+    {!Runspec.t} (default {!Runspec.default}: fused engine, fast network,
+    zero flop cost, nothing optional).  With [spec.machine] set, the
+    machine's network and the plan-calibrated per-flop charge override
+    [spec.net]/[spec.flop_time] — add a tracer to get what the old
+    [run_traced] produced.  [spec.faults] installs a deterministic fault
+    schedule (messages then travel over the reliable transport);
+    [spec.recovery] additionally enables coordinated checkpoint/restart —
+    see {!Autocfd_interp.Spmd.run}. *)
+
+val calibrated_flop_time :
+  ?machine:Autocfd_perfmodel.Model.machine -> plan -> float
+(** Seconds per floating-point operation on the reference machine, with
+    the memory-pressure slowdown for the plan's per-rank working set
+    applied (the calibration the model-validation experiments use; this
+    is what [Runspec.machine] applies automatically). *)
+
 val run_sequential :
   ?engine:Autocfd_interp.Spmd.engine -> ?input:float list -> t -> seq_result
-(** Executes the inlined sequential unit.  [engine] selects the evaluator
-    (default [Compiled]); results are bit-identical either way. *)
+[@@ocaml.deprecated "Use Driver.run_seq with a Runspec.t."]
+(** @deprecated Thin shim over {!run_seq}. *)
 
 val run_parallel :
   ?engine:Autocfd_interp.Spmd.engine ->
@@ -86,26 +109,19 @@ val run_parallel :
   ?recovery:Autocfd_interp.Spmd.recovery ->
   plan ->
   Autocfd_interp.Spmd.result
-(** [faults] installs a deterministic fault schedule (messages then travel
-    over the reliable transport); [recovery] additionally enables
-    coordinated checkpoint/restart — see {!Autocfd_interp.Spmd.run}. *)
-
-val calibrated_flop_time :
-  ?machine:Autocfd_perfmodel.Model.machine -> plan -> float
-(** Seconds per floating-point operation on the reference machine, with
-    the memory-pressure slowdown for the plan's per-rank working set
-    applied (the calibration the model-validation experiments use). *)
+[@@ocaml.deprecated "Use Driver.run with a Runspec.t."]
+(** @deprecated Thin shim over {!run}; each optional argument maps to the
+    {!Runspec.t} field of the same name. *)
 
 val run_traced :
   ?machine:Autocfd_perfmodel.Model.machine ->
   ?input:float list ->
   plan ->
   Autocfd_interp.Spmd.result * Autocfd_obs.Trace.t
-(** Execute the plan on the simulated cluster with the reference machine's
-    network and calibrated per-flop charge, recording a full execution
-    trace: per-rank compute/comm/blocked events and per-sync-point phases
-    (see {!Autocfd_obs.Trace}); export with {!Autocfd_obs.Chrome} or
-    summarize with {!Autocfd_obs.Metrics}. *)
+[@@ocaml.deprecated
+  "Use Driver.run with Runspec.with_machine and Runspec.with_tracer."]
+(** @deprecated Thin shim over {!run}: creates a tracer, sets
+    [Runspec.machine], and returns the tracer alongside the result. *)
 
 val max_divergence :
   seq_result -> Autocfd_interp.Spmd.result -> (string * float) list

@@ -3,6 +3,8 @@ module S = Autocfd_syncopt
 module P = Autocfd_partition
 module M = Autocfd_perfmodel.Model
 module Apps = Autocfd_apps
+module Sched = Autocfd_sched
+module J = Autocfd_obs.Json
 
 let machine = M.pentium_cluster
 
@@ -10,6 +12,83 @@ let machine = M.pentium_cluster
    magnitudes (the paper does not state iteration counts) *)
 let aerofoil_frames = 3000
 let sprayer_frames = 1500
+
+let shape parts =
+  String.concat " x " (Array.to_list (Array.map string_of_int parts))
+
+(* ------------------------------------------------------------------ *)
+(* Sweep infrastructure: every table enumerates its rows as jobs       *)
+(* through the multicore pool; results come back in submission order   *)
+(* as JSON (the same form the cache stores), so serial, parallel and   *)
+(* warm-cache sweeps render byte-identically.                          *)
+(* ------------------------------------------------------------------ *)
+
+type sweep = {
+  sw_jobs : int;
+  sw_cache : Sched.Cache.t option;
+  sw_tracer : Autocfd_obs.Trace.t option;
+  mutable sw_stats : (string * Sched.Pool.stats) list;  (* newest first *)
+}
+
+let sweep ?(jobs = 1) ?cache ?tracer () =
+  { sw_jobs = jobs; sw_cache = cache; sw_tracer = tracer; sw_stats = [] }
+
+let sweep_stats sw = List.rev sw.sw_stats
+
+let fresh_sweep = function Some sw -> sw | None -> sweep ()
+
+let run_jobs sw ~table jobs =
+  let results, stats =
+    Sched.Pool.run ~jobs:sw.sw_jobs ?cache:sw.sw_cache ?tracer:sw.sw_tracer
+      jobs
+  in
+  sw.sw_stats <- (table, stats) :: sw.sw_stats;
+  List.mapi
+    (fun i (job : Sched.Job.t) ->
+      match results.(i) with
+      | Ok v -> v
+      | Error msg ->
+          failwith (Printf.sprintf "%s: %s" job.Sched.Job.jb_label msg))
+    jobs
+
+(* decoding helpers over job-result JSON *)
+let jfield name j =
+  match J.member name j with
+  | Some v -> v
+  | None -> raise (J.Parse_error ("missing result field " ^ name))
+
+let jf name j = J.to_float_exn (jfield name j)
+
+let ji name j =
+  match jfield name j with
+  | J.Int i -> i
+  | _ -> raise (J.Parse_error ("field " ^ name ^ ": expected int"))
+
+let jb name j =
+  match jfield name j with
+  | J.Bool b -> b
+  | _ -> raise (J.Parse_error ("field " ^ name ^ ": expected bool"))
+
+let js name j =
+  match jfield name j with
+  | J.Str s -> s
+  | _ -> raise (J.Parse_error ("field " ^ name ^ ": expected string"))
+
+let jl name j =
+  match jfield name j with
+  | J.List l -> l
+  | _ -> raise (J.Parse_error ("field " ^ name ^ ": expected list"))
+
+let parts_key p =
+  J.Str (String.concat "x" (Array.to_list (Array.map string_of_int p)))
+
+let machine_key = ("machine", Runspec.machine_to_json machine)
+
+let job ~table ~label ~params run =
+  Sched.Job.make
+    ~label:(table ^ ":" ^ label)
+    ~key:(J.Obj [ ("table", J.Str table); ("params", params) ])
+    run
 
 (* ------------------------------------------------------------------ *)
 (* Table 1                                                             *)
@@ -37,22 +116,46 @@ let paper_table1 =
     ("sprayer", [| 4; 4 |], 141, 7);
   ]
 
-let table1 () =
-  let aero = Driver.load (Apps.Aerofoil.source ()) in
-  let spray = Driver.load (Apps.Sprayer.source ()) in
-  List.map
-    (fun (prog, parts, pb, pa) ->
-      let t = if prog = "aerofoil" then aero else spray in
-      let plan = Driver.plan t ~parts in
+let table1 ?sweep () =
+  let sw = fresh_sweep sweep in
+  let jobs =
+    List.map
+      (fun (prog, parts, _, _) ->
+        let source =
+          if prog = "aerofoil" then Apps.Aerofoil.source ()
+          else Apps.Sprayer.source ()
+        in
+        job ~table:"table1"
+          ~label:(prog ^ " " ^ shape parts)
+          ~params:
+            (J.Obj
+               [
+                 ("program", J.Str prog);
+                 ("partition", parts_key parts);
+                 ("src", J.Str (Sched.Job.digest source));
+               ])
+          (fun () ->
+            let t = Driver.load source in
+            let plan = Driver.plan t ~parts in
+            J.Obj
+              [
+                ("before", J.Int plan.Driver.opt.S.Optimizer.before);
+                ("after", J.Int plan.Driver.opt.S.Optimizer.after);
+              ]))
+      paper_table1
+  in
+  List.map2
+    (fun (prog, parts, pb, pa) r ->
       {
         t1_program = prog;
         t1_partition = parts;
-        t1_before = plan.Driver.opt.S.Optimizer.before;
-        t1_after = plan.Driver.opt.S.Optimizer.after;
+        t1_before = ji "before" r;
+        t1_after = ji "after" r;
         t1_paper_before = pb;
         t1_paper_after = pa;
       })
     paper_table1
+    (run_jobs sw ~table:"table1" jobs)
 
 (* ------------------------------------------------------------------ *)
 (* Timing tables                                                       *)
@@ -68,50 +171,80 @@ type perf_row = {
   pr_paper_speedup : float option;
 }
 
-let seq_time t ~frames:_ =
-  let pred = M.predict_sequential machine ~gi:t.Driver.gi t.Driver.inlined in
-  pred.M.time
+let seq_time_job ~table source =
+  job ~table ~label:"sequential"
+    ~params:
+      (J.Obj
+         [
+           machine_key;
+           ("kind", J.Str "sequential");
+           ("src", J.Str (Sched.Job.digest source));
+         ])
+    (fun () ->
+      let t = Driver.load source in
+      let pred = M.predict_sequential machine ~gi:t.Driver.gi t.Driver.inlined in
+      J.Obj [ ("time", J.Float pred.M.time) ])
 
-let par_time t ~frames:_ ~parts =
-  let plan = Driver.plan t ~parts in
-  let pred =
-    M.predict_parallel machine ~gi:t.Driver.gi ~topo:plan.Driver.topo
-      plan.Driver.spmd
+let par_time_job ~table source parts =
+  job ~table ~label:(shape parts)
+    ~params:
+      (J.Obj
+         [
+           machine_key;
+           ("kind", J.Str "parallel");
+           ("partition", parts_key parts);
+           ("src", J.Str (Sched.Job.digest source));
+         ])
+    (fun () ->
+      let t = Driver.load source in
+      let plan = Driver.plan t ~parts in
+      let pred =
+        M.predict_parallel machine ~gi:t.Driver.gi ~topo:plan.Driver.topo
+          plan.Driver.spmd
+      in
+      J.Obj [ ("time", J.Float pred.M.time) ])
+
+let perf_rows sw ~table source ~paper_seq rows =
+  let jobs =
+    seq_time_job ~table source
+    :: List.map (fun (parts, _, _) -> par_time_job ~table source parts) rows
   in
-  pred.M.time
+  match run_jobs sw ~table jobs with
+  | [] -> assert false
+  | seq :: pars ->
+      let t1 = jf "time" seq in
+      { pr_procs = 1; pr_partition = None; pr_time = t1; pr_speedup = None;
+        pr_efficiency = None; pr_paper_time = paper_seq;
+        pr_paper_speedup = None }
+      :: List.map2
+           (fun (parts, paper_time, paper_speedup) r ->
+             let tp = jf "time" r in
+             let p = Array.fold_left ( * ) 1 parts in
+             {
+               pr_procs = p;
+               pr_partition = Some parts;
+               pr_time = tp;
+               pr_speedup = Some (t1 /. tp);
+               pr_efficiency = Some (t1 /. tp /. float_of_int p);
+               pr_paper_time = paper_time;
+               pr_paper_speedup = paper_speedup;
+             })
+           rows pars
 
-let perf_rows t ~frames ~paper_seq rows =
-  let t1 = seq_time t ~frames in
-  { pr_procs = 1; pr_partition = None; pr_time = t1; pr_speedup = None;
-    pr_efficiency = None; pr_paper_time = paper_seq;
-    pr_paper_speedup = None }
-  :: List.map
-       (fun (parts, paper_time, paper_speedup) ->
-         let tp = par_time t ~frames ~parts in
-         let p = Array.fold_left ( * ) 1 parts in
-         {
-           pr_procs = p;
-           pr_partition = Some parts;
-           pr_time = tp;
-           pr_speedup = Some (t1 /. tp);
-           pr_efficiency = Some (t1 /. tp /. float_of_int p);
-           pr_paper_time = paper_time;
-           pr_paper_speedup = paper_speedup;
-         })
-       rows
-
-let table2 () =
-  let t = Driver.load (Apps.Aerofoil.source ~ntime:aerofoil_frames ()) in
-  perf_rows t ~frames:aerofoil_frames ~paper_seq:1970.
+let table2 ?sweep () =
+  perf_rows (fresh_sweep sweep) ~table:"table2"
+    (Apps.Aerofoil.source ~ntime:aerofoil_frames ())
+    ~paper_seq:1970.
     [
       ([| 2; 1; 1 |], 1760., Some 1.12);
       ([| 4; 1; 1 |], 2341., Some 0.84);
       ([| 3; 2; 1 |], 1093., Some 1.80);
     ]
 
-let table3 () =
-  let t = Driver.load (Apps.Sprayer.source ~ntime:sprayer_frames ()) in
-  perf_rows t ~frames:sprayer_frames ~paper_seq:362.
+let table3 ?sweep () =
+  perf_rows (fresh_sweep sweep) ~table:"table3"
+    (Apps.Sprayer.source ~ntime:sprayer_frames ())
+    ~paper_seq:362.
     [
       ([| 2; 1 |], 254., Some 1.43);
       ([| 3; 1 |], 184., Some 1.97);
@@ -144,14 +277,41 @@ let paper_table4 =
     ((160, 60), 908., 519., 1.75);
   ]
 
-let table4 () =
-  List.map
-    (fun ((ni, nj), p1, p2, ps) ->
-      let t =
-        Driver.load (Apps.Sprayer.source ~ni ~nj ~ntime:sprayer_frames ())
-      in
-      let t1 = seq_time t ~frames:sprayer_frames in
-      let t2 = par_time t ~frames:sprayer_frames ~parts:[| 2; 1 |] in
+let table4 ?sweep () =
+  let sw = fresh_sweep sweep in
+  let parts = [| 2; 1 |] in
+  let jobs =
+    List.map
+      (fun ((ni, nj), _, _, _) ->
+        let source = Apps.Sprayer.source ~ni ~nj ~ntime:sprayer_frames () in
+        job ~table:"table4"
+          ~label:(Printf.sprintf "%dx%d" ni nj)
+          ~params:
+            (J.Obj
+               [
+                 machine_key;
+                 ("grid", J.Str (Printf.sprintf "%dx%d" ni nj));
+                 ("partition", parts_key parts);
+                 ("src", J.Str (Sched.Job.digest source));
+               ])
+          (fun () ->
+            let t = Driver.load source in
+            let t1 =
+              (M.predict_sequential machine ~gi:t.Driver.gi t.Driver.inlined)
+                .M.time
+            in
+            let plan = Driver.plan t ~parts in
+            let t2 =
+              (M.predict_parallel machine ~gi:t.Driver.gi
+                 ~topo:plan.Driver.topo plan.Driver.spmd)
+                .M.time
+            in
+            J.Obj [ ("t1", J.Float t1); ("t2", J.Float t2) ]))
+      paper_table4
+  in
+  List.map2
+    (fun ((ni, nj), p1, p2, ps) r ->
+      let t1 = jf "t1" r and t2 = jf "t2" r in
       {
         t4_grid = (ni, nj);
         t4_t1 = t1;
@@ -163,6 +323,7 @@ let table4 () =
         t4_paper_speedup = ps;
       })
     paper_table4
+    (run_jobs sw ~table:"table4" jobs)
 
 (* ------------------------------------------------------------------ *)
 (* Table 5: superlinear speedup                                        *)
@@ -177,10 +338,9 @@ type t5_row = {
   t5_paper_eff : float;
 }
 
-let table5 () =
-  let t =
-    Driver.load (Apps.Sprayer.source ~ni:800 ~nj:300 ~ntime:sprayer_frames ())
-  in
+let table5 ?sweep () =
+  let sw = fresh_sweep sweep in
+  let source = Apps.Sprayer.source ~ni:800 ~nj:300 ~ntime:sprayer_frames () in
   let rows =
     [
       ([| 2; 1 |], 2095., 1.00);
@@ -188,11 +348,16 @@ let table5 () =
       ([| 2; 2 |], 1012., 1.04);
     ]
   in
-  let times =
+  let jobs =
     List.map
-      (fun (parts, pt, pe) ->
-        (parts, par_time t ~frames:sprayer_frames ~parts, pt, pe))
+      (fun (parts, _, _) -> par_time_job ~table:"table5" source parts)
       rows
+  in
+  let times =
+    List.map2
+      (fun (parts, pt, pe) r -> (parts, jf "time" r, pt, pe))
+      rows
+      (run_jobs sw ~table:"table5" jobs)
   in
   let t2 =
     match times with (_, t2, _, _) :: _ -> t2 | [] -> assert false
@@ -222,7 +387,8 @@ type validation_row = {
   vr_ratio : float;
 }
 
-let validate_model () =
+let validate_model ?sweep () =
+  let sw = fresh_sweep sweep in
   let cases =
     [
       ((30, 16), [| 2; 1 |]);
@@ -232,29 +398,60 @@ let validate_model () =
       ((50, 24), [| 2; 2 |]);
     ]
   in
-  List.map
-    (fun ((ni, nj), parts) ->
-      let t = Driver.load (Apps.Sprayer.source ~ni ~nj ~ntime:4 ~npsi:3 ()) in
-      let plan = Driver.plan t ~parts in
-      let points_per_rank =
-        let g = P.Topology.grid plan.Driver.topo
-        and p = P.Topology.parts plan.Driver.topo in
-        Array.to_list (Array.mapi (fun d _ -> (g.(d) + p.(d) - 1) / p.(d)) g)
-        |> List.fold_left ( * ) 1
-      in
-      let ws = M.working_set_bytes ~gi:t.Driver.gi ~points_per_rank in
-      let flop_time = M.memory_slowdown machine ws /. machine.M.flop_rate in
-      let par =
-        Driver.run_parallel ~net:machine.M.net ~flop_time plan
-      in
-      let simulated =
-        par.Autocfd_interp.Spmd.stats.Autocfd_mpsim.Sim.elapsed
-      in
-      let modelled =
-        (M.predict_parallel machine ~gi:t.Driver.gi ~topo:plan.Driver.topo
-           plan.Driver.spmd)
-          .M.time
-      in
+  let jobs =
+    List.map
+      (fun ((ni, nj), parts) ->
+        let source = Apps.Sprayer.source ~ni ~nj ~ntime:4 ~npsi:3 () in
+        job ~table:"validation"
+          ~label:(Printf.sprintf "%dx%d %s" ni nj (shape parts))
+          ~params:
+            (J.Obj
+               [
+                 machine_key;
+                 ("grid", J.Str (Printf.sprintf "%dx%d" ni nj));
+                 ("partition", parts_key parts);
+                 ("src", J.Str (Sched.Job.digest source));
+               ])
+          (fun () ->
+            let t = Driver.load source in
+            let plan = Driver.plan t ~parts in
+            let points_per_rank =
+              let g = P.Topology.grid plan.Driver.topo
+              and p = P.Topology.parts plan.Driver.topo in
+              Array.to_list
+                (Array.mapi (fun d _ -> (g.(d) + p.(d) - 1) / p.(d)) g)
+              |> List.fold_left ( * ) 1
+            in
+            let ws = M.working_set_bytes ~gi:t.Driver.gi ~points_per_rank in
+            let flop_time =
+              M.memory_slowdown machine ws /. machine.M.flop_rate
+            in
+            let par =
+              Driver.run
+                ~spec:
+                  Runspec.(
+                    default |> with_net machine.M.net
+                    |> with_flop_time flop_time)
+                plan
+            in
+            let simulated =
+              par.Autocfd_interp.Spmd.stats.Autocfd_mpsim.Sim.elapsed
+            in
+            let modelled =
+              (M.predict_parallel machine ~gi:t.Driver.gi
+                 ~topo:plan.Driver.topo plan.Driver.spmd)
+                .M.time
+            in
+            J.Obj
+              [
+                ("simulated", J.Float simulated);
+                ("modelled", J.Float modelled);
+              ]))
+      cases
+  in
+  List.map2
+    (fun ((ni, nj), parts) r ->
+      let simulated = jf "simulated" r and modelled = jf "modelled" r in
       {
         vr_grid = (ni, nj);
         vr_parts = parts;
@@ -263,6 +460,7 @@ let validate_model () =
         vr_ratio = modelled /. simulated;
       })
     cases
+    (run_jobs sw ~table:"validation" jobs)
 
 (* ------------------------------------------------------------------ *)
 (* Execution-engine benchmark: tree-walking vs compiled vs fused       *)
@@ -298,7 +496,51 @@ let results_identical (a : Autocfd_interp.Spmd.result)
   && a.Autocfd_interp.Spmd.output = b.Autocfd_interp.Spmd.output
   && a.Autocfd_interp.Spmd.stats = b.Autocfd_interp.Spmd.stats
 
-let engine_bench () =
+let coverage_to_json cov =
+  J.List
+    (List.map
+       (fun (c : Autocfd_interp.Compile.coverage_entry) ->
+         J.Obj
+           [
+             ("line", J.Int c.Autocfd_interp.Compile.cov_line);
+             ( "vars",
+               J.List
+                 (List.map
+                    (fun v -> J.Str v)
+                    c.Autocfd_interp.Compile.cov_vars) );
+             ("fused", J.Bool c.Autocfd_interp.Compile.cov_fused);
+             ("reason", J.Str c.Autocfd_interp.Compile.cov_reason);
+           ])
+       cov)
+
+let coverage_of_json j =
+  List.map
+    (fun c ->
+      {
+        Autocfd_interp.Compile.cov_line = ji "line" c;
+        cov_vars =
+          List.map
+            (function
+              | J.Str s -> s
+              | _ -> raise (J.Parse_error "coverage var: expected string"))
+            (jl "vars" c);
+        cov_fused = jb "fused" c;
+        cov_reason = js "reason" c;
+      })
+    (jl "coverage" (J.Obj [ ("coverage", j) ]))
+
+let engine_cases =
+  [
+    ( "aerofoil",
+      (fun () -> Apps.Aerofoil.source ~ni:24 ~nj:12 ~nk:8 ~ntime:2 ()),
+      [| 2; 2; 1 |] );
+    ( "sprayer",
+      (fun () -> Apps.Sprayer.source ~ni:80 ~nj:40 ~ntime:4 ()),
+      [| 2; 2 |] );
+  ]
+
+let engine_bench ?sweep () =
+  let sw = fresh_sweep sweep in
   let time_run f =
     ignore (f ());
     (* warm: populate compile + plan caches *)
@@ -309,45 +551,68 @@ let engine_bench () =
     done;
     (Sys.time () -. t0) /. float_of_int reps
   in
-  let case name source parts =
-    let t = Driver.load source in
-    let plan = Driver.plan t ~parts in
-    let run engine () = Driver.run_parallel ~engine plan in
-    let tree = run Autocfd_interp.Spmd.Tree in
-    let compiled = run Autocfd_interp.Spmd.Compiled in
-    let fused = run Autocfd_interp.Spmd.Fused in
-    let reference = tree () in
-    let identical =
-      results_identical reference (compiled ())
-      && results_identical reference (fused ())
-    in
-    let tree_s = time_run tree in
-    let compiled_s = time_run compiled in
-    let fused_s = time_run fused in
-    let coverage =
-      Autocfd_interp.Compile.coverage
-        (Autocfd_interp.Compile.of_unit ~fuse:true plan.Driver.spmd)
-    in
-    {
-      er_program = name;
-      er_parts = parts;
-      er_tree_s = tree_s;
-      er_compiled_s = compiled_s;
-      er_fused_s = fused_s;
-      er_speedup = tree_s /. compiled_s;
-      er_fused_speedup = tree_s /. fused_s;
-      er_identical = identical;
-      er_coverage = coverage;
-    }
+  let jobs =
+    List.map
+      (fun (name, source, parts) ->
+        let source = source () in
+        job ~table:"engine" ~label:name
+          ~params:
+            (J.Obj
+               [
+                 ("program", J.Str name);
+                 ("partition", parts_key parts);
+                 ("src", J.Str (Sched.Job.digest source));
+               ])
+          (fun () ->
+            let t = Driver.load source in
+            let plan = Driver.plan t ~parts in
+            let run engine () =
+              Driver.run ~spec:(Runspec.with_engine engine Runspec.default)
+                plan
+            in
+            let tree = run Autocfd_interp.Spmd.Tree in
+            let compiled = run Autocfd_interp.Spmd.Compiled in
+            let fused = run Autocfd_interp.Spmd.Fused in
+            let reference = tree () in
+            let identical =
+              results_identical reference (compiled ())
+              && results_identical reference (fused ())
+            in
+            let tree_s = time_run tree in
+            let compiled_s = time_run compiled in
+            let fused_s = time_run fused in
+            let coverage =
+              Autocfd_interp.Compile.coverage
+                (Autocfd_interp.Compile.of_unit ~fuse:true plan.Driver.spmd)
+            in
+            J.Obj
+              [
+                ("tree_s", J.Float tree_s);
+                ("compiled_s", J.Float compiled_s);
+                ("fused_s", J.Float fused_s);
+                ("identical", J.Bool identical);
+                ("coverage", coverage_to_json coverage);
+              ]))
+      engine_cases
   in
-  [
-    case "aerofoil"
-      (Apps.Aerofoil.source ~ni:24 ~nj:12 ~nk:8 ~ntime:2 ())
-      [| 2; 2; 1 |];
-    case "sprayer"
-      (Apps.Sprayer.source ~ni:80 ~nj:40 ~ntime:4 ())
-      [| 2; 2 |];
-  ]
+  List.map2
+    (fun (name, _, parts) r ->
+      let tree_s = jf "tree_s" r in
+      let compiled_s = jf "compiled_s" r in
+      let fused_s = jf "fused_s" r in
+      {
+        er_program = name;
+        er_parts = parts;
+        er_tree_s = tree_s;
+        er_compiled_s = compiled_s;
+        er_fused_s = fused_s;
+        er_speedup = tree_s /. compiled_s;
+        er_fused_speedup = tree_s /. fused_s;
+        er_identical = jb "identical" r;
+        er_coverage = coverage_of_json (jfield "coverage" r);
+      })
+    engine_cases
+    (run_jobs sw ~table:"engine" jobs)
 
 (* ------------------------------------------------------------------ *)
 (* Chaos benchmark: fault injection + reliable transport + recovery    *)
@@ -421,49 +686,131 @@ let chaos_schedules ~seed ~clean_elapsed ~net =
         () );
   ]
 
-let chaos_case ?(seed = 42) ?(engine = Autocfd_interp.Spmd.Fused) name source
-    parts =
-  let t = Driver.load source in
-  let plan = Driver.plan t ~parts in
-  let net = machine.M.net in
-  let flop_time = Driver.calibrated_flop_time ~machine plan in
-  let clean = Driver.run_parallel ~engine ~net ~flop_time plan in
-  let clean_elapsed =
-    clean.Autocfd_interp.Spmd.stats.Autocfd_mpsim.Sim.elapsed
+let schedule_labels =
+  [
+    "loss 3%"; "dup+corrupt 2%"; "jitter+slow link"; "straggler";
+    "crash+restart"; "kitchen sink";
+  ]
+
+let resilience_to_json (rs : Autocfd_interp.Spmd.resilience)
+    (c : Fault.counters) =
+  [
+    ("drops", J.Int c.Fault.fc_drops);
+    ("duplicates", J.Int c.Fault.fc_duplicates);
+    ("corruptions", J.Int c.Fault.fc_corruptions);
+    ("stalls", J.Int c.Fault.fc_stalls);
+    ("crashes", J.Int c.Fault.fc_crashes);
+    ("restarts", J.Int rs.Autocfd_interp.Spmd.rs_restarts);
+    ("checkpoints", J.Int rs.Autocfd_interp.Spmd.rs_checkpoints);
+    ("restores", J.Int rs.Autocfd_interp.Spmd.rs_restores);
+    ("retransmits", J.Int rs.Autocfd_interp.Spmd.rs_retransmits);
+    ("dup_suppressed", J.Int rs.Autocfd_interp.Spmd.rs_dup_suppressed);
+    ("checksum_failures", J.Int rs.Autocfd_interp.Spmd.rs_checksum_failures);
+  ]
+
+let chaos_case ?(seed = 42) ?(engine = Autocfd_interp.Spmd.Fused) sw name
+    source parts =
+  let engine_name =
+    match engine with
+    | Autocfd_interp.Spmd.Tree -> "tree"
+    | Autocfd_interp.Spmd.Compiled -> "compiled"
+    | Autocfd_interp.Spmd.Fused -> "fused"
   in
-  List.map
-    (fun (label, spec) ->
-      let faults = Fault.make spec in
-      let faulty =
-        Driver.run_parallel ~engine ~net ~flop_time ~faults
-          ~recovery:Autocfd_interp.Spmd.default_recovery plan
-      in
+  let jobs =
+    List.mapi
+      (fun idx label ->
+        job ~table:"chaos"
+          ~label:(Printf.sprintf "%s %s" name label)
+          ~params:
+            (J.Obj
+               [
+                 machine_key;
+                 ("program", J.Str name);
+                 ("partition", parts_key parts);
+                 ("schedule", J.Str label);
+                 ("seed", J.Int seed);
+                 ("engine", J.Str engine_name);
+                 ("src", J.Str (Sched.Job.digest source));
+               ])
+          (fun () ->
+            let t = Driver.load source in
+            let plan = Driver.plan t ~parts in
+            let net = machine.M.net in
+            let flop_time = Driver.calibrated_flop_time ~machine plan in
+            let base =
+              Runspec.(
+                default |> with_engine engine |> with_net net
+                |> with_flop_time flop_time)
+            in
+            let clean = Driver.run ~spec:base plan in
+            let clean_elapsed =
+              clean.Autocfd_interp.Spmd.stats.Autocfd_mpsim.Sim.elapsed
+            in
+            let _, spec =
+              List.nth (chaos_schedules ~seed ~clean_elapsed ~net) idx
+            in
+            let faults = Fault.make spec in
+            let faulty =
+              Driver.run
+                ~spec:
+                  Runspec.(
+                    base
+                    |> with_faults (Some faults)
+                    |> with_recovery
+                         (Some Autocfd_interp.Spmd.default_recovery))
+                plan
+            in
+            J.Obj
+              (( "identical",
+                 J.Bool (state_identical clean faulty) )
+              :: ( "overhead",
+                   J.Float
+                     (faulty.Autocfd_interp.Spmd.stats
+                        .Autocfd_mpsim.Sim.elapsed /. clean_elapsed) )
+              :: resilience_to_json faulty.Autocfd_interp.Spmd.resilience
+                   (Fault.counters faults))))
+      schedule_labels
+  in
+  List.map2
+    (fun label r ->
       {
         ch_program = name;
         ch_schedule = label;
-        ch_identical = state_identical clean faulty;
-        ch_overhead =
-          faulty.Autocfd_interp.Spmd.stats.Autocfd_mpsim.Sim.elapsed
-          /. clean_elapsed;
-        ch_resilience = faulty.Autocfd_interp.Spmd.resilience;
-        ch_counters = Fault.counters faults;
+        ch_identical = jb "identical" r;
+        ch_overhead = jf "overhead" r;
+        ch_resilience =
+          {
+            Autocfd_interp.Spmd.rs_restarts = ji "restarts" r;
+            rs_checkpoints = ji "checkpoints" r;
+            rs_restores = ji "restores" r;
+            rs_retransmits = ji "retransmits" r;
+            rs_dup_suppressed = ji "dup_suppressed" r;
+            rs_checksum_failures = ji "checksum_failures" r;
+          };
+        ch_counters =
+          {
+            Fault.fc_drops = ji "drops" r;
+            fc_duplicates = ji "duplicates" r;
+            fc_corruptions = ji "corruptions" r;
+            fc_stalls = ji "stalls" r;
+            fc_crashes = ji "crashes" r;
+          };
       })
-    (chaos_schedules ~seed ~clean_elapsed ~net)
+    schedule_labels
+    (run_jobs sw ~table:"chaos" jobs)
 
-let chaos_bench ?seed () =
-  chaos_case ?seed "sprayer"
+let chaos_bench ?seed ?sweep () =
+  let sw = fresh_sweep sweep in
+  chaos_case ?seed sw "sprayer"
     (Apps.Sprayer.source ~ni:40 ~nj:20 ~ntime:3 ())
     [| 2; 2 |]
-  @ chaos_case ?seed "aerofoil"
+  @ chaos_case ?seed sw "aerofoil"
       (Apps.Aerofoil.source ~ni:16 ~nj:10 ~nk:6 ~ntime:2 ())
       [| 2; 2; 1 |]
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)
 (* ------------------------------------------------------------------ *)
-
-let shape parts =
-  String.concat " x " (Array.to_list (Array.map string_of_int parts))
 
 let render_table1 rows =
   let open Autocfd_util.Table in
@@ -682,9 +1029,8 @@ let render_table5 rows =
 (* Machine-readable rendering (BENCH_tables.json)                      *)
 (* ------------------------------------------------------------------ *)
 
-module J = Autocfd_obs.Json
-
-let tables_json () =
+let tables_json ?sweep () =
+  let sw = fresh_sweep sweep in
   let parts_json p =
     J.Str (String.concat "x" (Array.to_list (Array.map string_of_int p)))
   in
@@ -701,7 +1047,7 @@ let tables_json () =
             ("paper_before", J.Int r.t1_paper_before);
             ("paper_after", J.Int r.t1_paper_after);
           ])
-      (table1 ())
+      (table1 ~sweep:sw ())
   in
   let perf rows =
     List.map
@@ -733,7 +1079,7 @@ let tables_json () =
             ("paper_t2", J.Float r.t4_paper_t2);
             ("paper_speedup", J.Float r.t4_paper_speedup);
           ])
-      (table4 ())
+      (table4 ~sweep:sw ())
   in
   let t5 =
     List.map
@@ -747,7 +1093,7 @@ let tables_json () =
             ("paper_time", J.Float r.t5_paper_time);
             ("paper_eff", J.Float r.t5_paper_eff);
           ])
-      (table5 ())
+      (table5 ~sweep:sw ())
   in
   let validation =
     List.map
@@ -761,7 +1107,7 @@ let tables_json () =
             ("modelled", J.Float r.vr_modelled);
             ("ratio", J.Float r.vr_ratio);
           ])
-      (validate_model ())
+      (validate_model ~sweep:sw ())
   in
   let engine =
     List.map
@@ -781,7 +1127,7 @@ let tables_json () =
               J.Int (snd (coverage_counts r.er_coverage)) );
             ("identical", J.Bool r.er_identical);
           ])
-      (engine_bench ())
+      (engine_bench ~sweep:sw ())
   in
   let resilience =
     List.map
@@ -807,14 +1153,14 @@ let tables_json () =
             ("restores", J.Int rs.Autocfd_interp.Spmd.rs_restores);
             ("restarts", J.Int rs.Autocfd_interp.Spmd.rs_restarts);
           ])
-      (chaos_bench ())
+      (chaos_bench ~sweep:sw ())
   in
   J.Obj
     [
       ("schema", J.Str "autocfd-bench/1");
       ("table1", J.List t1);
-      ("table2", J.List (perf (table2 ())));
-      ("table3", J.List (perf (table3 ())));
+      ("table2", J.List (perf (table2 ~sweep:sw ())));
+      ("table3", J.List (perf (table3 ~sweep:sw ())));
       ("table4", J.List t4);
       ("table5", J.List t5);
       ("validation", J.List validation);

@@ -6,7 +6,34 @@
     EXPERIMENTS.md can print the side-by-side comparison.  Timing tables
     use the {!Autocfd_perfmodel.Model} cluster model (the substitute for
     the paper's 6-Pentium testbed); Table 1 is a pure static analysis of
-    the generated case-study programs. *)
+    the generated case-study programs.
+
+    Every table enumerates its rows as {!Autocfd_sched.Job}s and executes
+    them through {!Autocfd_sched.Pool}, so a single {!sweep} can spread
+    the whole evaluation across a multicore worker pool and memoize
+    completed rows in a content-addressed {!Autocfd_sched.Cache}.  Rows
+    come back in submission order and are decoded from the same JSON the
+    cache stores, so serial, parallel and warm-cache sweeps all render
+    byte-identically. *)
+
+type sweep
+(** One sweep context: worker count, optional result cache, optional
+    tracer for scheduler events, and the accumulated per-table pool
+    statistics. *)
+
+val sweep :
+  ?jobs:int ->
+  ?cache:Autocfd_sched.Cache.t ->
+  ?tracer:Autocfd_obs.Trace.t ->
+  unit ->
+  sweep
+(** A sweep running [jobs] worker domains (default 1) with an optional
+    persistent result cache.  Passing the same [sweep] to several tables
+    accumulates their pool statistics in call order. *)
+
+val sweep_stats : sweep -> (string * Autocfd_sched.Pool.stats) list
+(** Per-table scheduler statistics for every [run] the sweep has
+    performed so far, in call order (table name, pool stats). *)
 
 type t1_row = {
   t1_program : string;
@@ -17,7 +44,7 @@ type t1_row = {
   t1_paper_after : int;
 }
 
-val table1 : unit -> t1_row list
+val table1 : ?sweep:sweep -> unit -> t1_row list
 (** Synchronization optimization on both case studies (paper Table 1). *)
 
 type perf_row = {
@@ -30,10 +57,10 @@ type perf_row = {
   pr_paper_speedup : float option;
 }
 
-val table2 : unit -> perf_row list
+val table2 : ?sweep:sweep -> unit -> perf_row list
 (** Aerofoil overall performance, 99 x 41 x 13 (paper Table 2). *)
 
-val table3 : unit -> perf_row list
+val table3 : ?sweep:sweep -> unit -> perf_row list
 (** Sprayer overall performance, 300 x 100 (paper Table 3). *)
 
 type t4_row = {
@@ -47,7 +74,7 @@ type t4_row = {
   t4_paper_speedup : float;
 }
 
-val table4 : unit -> t4_row list
+val table4 : ?sweep:sweep -> unit -> t4_row list
 (** Sprayer 2-processor scaling with grid density (paper Table 4). *)
 
 type t5_row = {
@@ -59,7 +86,7 @@ type t5_row = {
   t5_paper_eff : float;
 }
 
-val table5 : unit -> t5_row list
+val table5 : ?sweep:sweep -> unit -> t5_row list
 (** Sprayer superlinear speedup at 800 x 300 (paper Table 5). *)
 
 val render_table1 : t1_row list -> string
@@ -78,7 +105,7 @@ type validation_row = {
   vr_ratio : float;  (** modelled / simulated *)
 }
 
-val validate_model : unit -> validation_row list
+val validate_model : ?sweep:sweep -> unit -> validation_row list
 (** Cross-validation of the analytic performance model against
     execution-driven timing: small sprayer instances are {e run} on the
     simulated cluster with per-flop time charging, and the same instances
@@ -103,11 +130,13 @@ type engine_row = {
       (** static fusibility of every field-loop nest of the SPMD unit *)
 }
 
-val engine_bench : unit -> engine_row list
+val engine_bench : ?sweep:sweep -> unit -> engine_row list
 (** Head-to-head of the three execution engines on a small aerofoil and
     sprayer instance: each case is executed on the simulated cluster with
     every engine, results are checked for bit-identity, then each engine
-    is timed over repeated runs. *)
+    is timed over repeated runs.  Note that the measured wall-clock
+    seconds are part of the cached row, so a warm-cache sweep reports the
+    timings of the run that populated the cache. *)
 
 val render_engine : engine_row list -> string
 
@@ -127,7 +156,7 @@ type chaos_row = {
   ch_counters : Autocfd_mpsim.Fault.counters;  (** faults injected *)
 }
 
-val chaos_bench : ?seed:int -> unit -> chaos_row list
+val chaos_bench : ?seed:int -> ?sweep:sweep -> unit -> chaos_row list
 (** The resilience harness: a small sprayer (2 x 2) and aerofoil
     (2 x 2 x 1) instance are first run fault-free, then re-run under six
     seeded fault schedules each (loss, duplication+corruption,
@@ -147,9 +176,10 @@ val sprayer_frames : int
 (** Frame counts used to scale modelled runs to the paper's wall-clock
     magnitudes (the paper does not state its iteration counts). *)
 
-val tables_json : unit -> Autocfd_obs.Json.t
+val tables_json : ?sweep:sweep -> unit -> Autocfd_obs.Json.t
 (** Every table (1-5), the model-validation rows, the execution-engine
     benchmark (key ["engine"]) and the chaos/resilience benchmark (key
     ["resilience"]) as one JSON document (schema ["autocfd-bench/1"]) —
     the diffable perf trajectory written to [BENCH_tables.json] by
-    [bench/main.exe --json]. *)
+    [bench/main.exe --json].  All tables run through the given [sweep]
+    (default: a fresh serial sweep). *)

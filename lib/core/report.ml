@@ -186,7 +186,20 @@ and measured_section b (plan : Driver.plan) =
   in
   line "## Measured execution (simulated cluster)";
   line "";
-  match Driver.run_traced plan with
+  let run_traced plan =
+    let tracer = Obs.Trace.create () in
+    let result =
+      Driver.run
+        ~spec:
+          Runspec.(
+            default
+            |> with_machine (Some M.pentium_cluster)
+            |> with_tracer (Some tracer))
+        plan
+    in
+    (result, tracer)
+  in
+  match run_traced plan with
   | exception e ->
       line "_not measured: execution failed (%s)_"
         (Printexc.to_string e)
@@ -232,3 +245,48 @@ and measured_section b (plan : Driver.plan) =
             s.Obs.Metrics.sr_bytes s.Obs.Metrics.sr_comm_time
             s.Obs.Metrics.sr_blocked_time)
         m.Obs.Metrics.syncs
+
+let sched_summary stats =
+  let module Pool = Autocfd_sched.Pool in
+  let b = Buffer.create 1024 in
+  let line fmt =
+    Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt
+  in
+  line "## Sweep scheduler";
+  line "";
+  line "| table | jobs | hits | misses | errors | elapsed (s) |";
+  line "|---|---|---|---|---|---|";
+  List.iter
+    (fun (table, (s : Pool.stats)) ->
+      line "| %s | %d | %d | %d | %d | %.3f |" table s.Pool.ps_jobs
+        s.Pool.ps_hits s.Pool.ps_misses s.Pool.ps_errors s.Pool.ps_elapsed)
+    stats;
+  line "";
+  let nworkers =
+    List.fold_left
+      (fun acc (_, (s : Pool.stats)) ->
+        max acc (Array.length s.Pool.ps_busy))
+      0 stats
+  in
+  if nworkers > 0 then begin
+    line "### Per-domain utilization";
+    line "";
+    line "| domain | jobs handled | busy (s) | utilization |";
+    line "|---|---|---|---|";
+    for w = 0 to nworkers - 1 do
+      let handled, busy, util_num, util_den =
+        List.fold_left
+          (fun (h, bs, un, ud) (_, (s : Pool.stats)) ->
+            if w < Array.length s.Pool.ps_busy then
+              ( h + s.Pool.ps_ran.(w),
+                bs +. s.Pool.ps_busy.(w),
+                un +. (Pool.utilization s w *. s.Pool.ps_elapsed),
+                ud +. s.Pool.ps_elapsed )
+            else (h, bs, un, ud))
+          (0, 0.0, 0.0, 0.0) stats
+      in
+      let util = if util_den > 0.0 then util_num /. util_den else 0.0 in
+      line "| %d | %d | %.3f | %.0f%% |" w handled busy (100. *. util)
+    done
+  end;
+  Buffer.contents b

@@ -12,3 +12,10 @@ val markdown : Driver.plan -> string
 val loop_census : Driver.plan -> (string * int) list
 (** (classification label, count) summary over the field-loop heads:
     how many loops are block-parallel, pipelined, serial. *)
+
+val sched_summary : (string * Autocfd_sched.Pool.stats) list -> string
+(** Markdown summary of a sweep's scheduler activity: one row per table
+    (jobs, cache hits/misses, errors, batch elapsed) plus a per-domain
+    utilization table aggregated over all batches (a domain's utilization
+    is its busy time over the batch elapsed, time-weighted across
+    batches).  The input is {!Experiments.sweep_stats}. *)

@@ -1,0 +1,59 @@
+(** One record for everything that parameterizes a run.
+
+    After the engine, observability and resilience work the driver's
+    entry points had sprouted seven independent optional arguments
+    ([?engine ?net ?flop_time ?input ?tracer ?faults ?recovery]); a
+    [Runspec.t] folds them — plus the optional reference-machine
+    calibration that [run_traced] used to imply — into one value that can
+    be built once, passed around, compared, and serialized.
+
+    The canonical JSON codec ({!to_json} / {!of_json}) is load-bearing:
+    it is the run-describing half of every sweep cache key
+    ({!Autocfd_sched}), and it makes CLI [--json] output self-describing
+    about what actually ran.  [to_json] is total and deterministic;
+    [of_json (to_json s)] re-renders to the same JSON text (round-trip
+    tested).  The one lossy field is [tracer]: a live tracer cannot be
+    serialized, so it encodes as the boolean ["traced"] and decodes to a
+    fresh empty tracer when true. *)
+
+type t = {
+  engine : Autocfd_interp.Spmd.engine;  (** default [Fused] *)
+  net : Autocfd_mpsim.Netmodel.t;  (** default [Netmodel.fast] *)
+  flop_time : float;  (** seconds per flop; default [0.0] (correctness) *)
+  machine : Autocfd_perfmodel.Model.machine option;
+      (** when set, overrides [net] and [flop_time] with the machine's
+          network and the plan-calibrated per-flop charge (what the old
+          [run_traced] did); default [None] *)
+  input : float list;  (** data served to READ statements *)
+  tracer : Autocfd_obs.Trace.t option;
+  faults : Autocfd_mpsim.Fault.plan option;
+  recovery : Autocfd_interp.Spmd.recovery option;
+}
+
+val default : t
+(** Fused engine, fast network, zero flop cost, no machine, no input, no
+    tracer, no faults, no recovery — exactly what the argument defaults
+    of the old entry points added up to. *)
+
+val with_engine : Autocfd_interp.Spmd.engine -> t -> t
+val with_net : Autocfd_mpsim.Netmodel.t -> t -> t
+val with_flop_time : float -> t -> t
+val with_machine : Autocfd_perfmodel.Model.machine option -> t -> t
+val with_input : float list -> t -> t
+val with_tracer : Autocfd_obs.Trace.t option -> t -> t
+val with_faults : Autocfd_mpsim.Fault.plan option -> t -> t
+val with_recovery : Autocfd_interp.Spmd.recovery option -> t -> t
+(** Functional setters, argument-first so they pipe:
+    [Runspec.(default |> with_engine Tree |> with_input [ 2.5 ])]. *)
+
+val to_json : t -> Autocfd_obs.Json.t
+(** Stable canonical encoding; fixed field set, deterministic rendering
+    through {!Autocfd_obs.Json.canonical}. *)
+
+val of_json : Autocfd_obs.Json.t -> t
+(** @raise Autocfd_obs.Json.Parse_error on a malformed document. *)
+
+val net_to_json : Autocfd_mpsim.Netmodel.t -> Autocfd_obs.Json.t
+val machine_to_json : Autocfd_perfmodel.Model.machine -> Autocfd_obs.Json.t
+(** Exposed for sweep cache keys that mention a machine or network
+    outside a full runspec. *)

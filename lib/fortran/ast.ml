@@ -144,13 +144,15 @@ type program = {
 (* Constructors and traversals                                         *)
 (* ------------------------------------------------------------------ *)
 
-let stmt_counter = ref 0
+(* atomic so concurrent parses (one per sweep-scheduler worker domain)
+   still mint unique, per-program strictly increasing ids *)
+let stmt_counter = Atomic.make 0
 
 let mk_stmt ?label ?(line = 0) kind =
-  incr stmt_counter;
-  { s_id = !stmt_counter; s_label = label; s_line = line; s_kind = kind }
+  let id = 1 + Atomic.fetch_and_add stmt_counter 1 in
+  { s_id = id; s_label = label; s_line = line; s_kind = kind }
 
-let reset_ids () = stmt_counter := 0
+let reset_ids () = Atomic.set stmt_counter 0
 
 (** [fold_stmts f acc block] folds [f] over every statement in pre-order,
     descending into loop bodies and branches. *)

@@ -1809,16 +1809,23 @@ let compile ?(fuse = false) (u : Ast.program_unit) : cu =
    the same program — shares one compilation *)
 let memo : (Ast.program_unit * bool * cu) list ref = ref []
 let memo_limit = 16
+let memo_lock = Mutex.create ()
 
 let of_unit ?(fuse = false) u =
-  match
-    List.find_opt (fun (u', f, _) -> u' == u && f = fuse) !memo
-  with
+  let hit =
+    Mutex.protect memo_lock (fun () ->
+        List.find_opt (fun (u', f, _) -> u' == u && f = fuse) !memo)
+  in
+  match hit with
   | Some (_, _, cu) -> cu
   | None ->
+      (* compile outside the lock: worker domains of a sweep never share
+         physical units, so serializing their compilations would only
+         cost parallelism, not save work *)
       let cu = compile ~fuse u in
-      let keep = List.filteri (fun i _ -> i < memo_limit - 1) !memo in
-      memo := (u, fuse, cu) :: keep;
+      Mutex.protect memo_lock (fun () ->
+          let keep = List.filteri (fun i _ -> i < memo_limit - 1) !memo in
+          memo := (u, fuse, cu) :: keep);
       cu
 
 let coverage cu = cu.cu_cov

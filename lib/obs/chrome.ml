@@ -41,6 +41,8 @@ let event_json (e : Trace.event) =
         ( (if save then "checkpoint" else "restore"),
           "checkpoint",
           [ ("bytes", Json.Int bytes) ] )
+    | Trace.Sched { what; job } ->
+        (Printf.sprintf "%s:%s" what job, "sched", [ ("job", Json.Str job) ])
   in
   let args =
     if e.Trace.ev_sync >= 0 then ("sync", Json.Int e.Trace.ev_sync) :: args

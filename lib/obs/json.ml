@@ -85,6 +85,17 @@ let render ~indent v =
 let to_string v = render ~indent:None v
 let pretty v = render ~indent:(Some 2) v
 
+let rec sort_keys = function
+  | (Null | Bool _ | Int _ | Float _ | Str _) as v -> v
+  | List items -> List (List.map sort_keys items)
+  | Obj fields ->
+      Obj
+        (List.stable_sort
+           (fun (a, _) (b, _) -> String.compare a b)
+           (List.map (fun (k, v) -> (k, sort_keys v)) fields))
+
+let canonical v = to_string (sort_keys v)
+
 (* ------------------------------------------------------------------ *)
 (* Parsing                                                             *)
 (* ------------------------------------------------------------------ *)

@@ -24,6 +24,13 @@ val to_string : t -> string
 val pretty : t -> string
 (** Two-space indented rendering, for human-facing output files. *)
 
+val canonical : t -> string
+(** Compact rendering with every object's keys sorted recursively: two
+    structurally equal documents produce byte-identical text regardless of
+    construction order.  This is the content-addressing substrate of the
+    result cache ({!Autocfd_sched}) — cache keys are FNV-64 hashes of this
+    form. *)
+
 val of_string : string -> t
 (** @raise Parse_error on malformed input or trailing garbage. *)
 

@@ -109,7 +109,11 @@ let of_trace tr =
           (* snapshot/restore cost is charged like communication (the
              coordinated state movement of the recovery layer) *)
           if save then incr checkpoints else incr restores;
-          if r >= 0 && r < n then comm.(r) <- comm.(r) +. dur)
+          if r >= 0 && r < n then comm.(r) <- comm.(r) +. dur
+      | Trace.Sched _ ->
+          (* sweep-scheduler events live on wall-clock, not the virtual
+             clock; they carry no simulator time to attribute *)
+          ())
     (Trace.events tr);
   let ranks =
     Array.init n (fun r ->

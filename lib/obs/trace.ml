@@ -8,6 +8,7 @@ type kind =
   | Fault of { what : string; peer : int }
   | Retransmit of { dest : int; tag : int; seq : int }
   | Checkpoint of { save : bool; bytes : int }
+  | Sched of { what : string; job : string }
 
 type event = {
   ev_rank : int;

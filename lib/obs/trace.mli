@@ -36,6 +36,14 @@ type kind =
       (** the reliable transport resent an unacknowledged envelope *)
   | Checkpoint of { save : bool; bytes : int }
       (** recovery layer snapshot ([save = true]) or restore *)
+  | Sched of { what : string; job : string }
+      (** sweep-scheduler event ({!Autocfd_sched.Pool}): [what] is
+          ["run"], ["hit"] (result served from the cache) or ["error"];
+          [job] is the job's label.  The "rank" of such an event is the
+          worker domain that handled the job, and its timestamps are
+          host wall-clock seconds since the pool started — a sweep trace
+          shares the event format, not the virtual clock, of a simulator
+          trace. *)
 
 type event = {
   ev_rank : int;

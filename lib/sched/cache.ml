@@ -1,0 +1,62 @@
+module J = Autocfd_obs.Json
+
+type t = { c_dir : string }
+
+let create ?(dir = "_autocfd_cache") () =
+  (if not (Sys.file_exists dir) then
+     try Sys.mkdir dir 0o755
+     with Sys_error _ when Sys.file_exists dir && Sys.is_directory dir ->
+       (* a racing domain or process created it first *)
+       ());
+  if not (Sys.is_directory dir) then
+    raise (Sys_error (dir ^ ": not a directory"));
+  { c_dir = dir }
+
+let dir t = t.c_dir
+
+let path_of t job = Filename.concat t.c_dir (Job.cache_name job ^ ".json")
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lookup t job =
+  let path = path_of t job in
+  if not (Sys.file_exists path) then None
+  else
+    match J.of_string (read_file path) with
+    | exception (Sys_error _ | J.Parse_error _) -> None
+    | doc -> (
+        match (J.member "key" doc, J.member "result" doc) with
+        | Some stored, Some result
+          when J.canonical stored = J.canonical job.Job.jb_key ->
+            Some result
+        | _ -> None)
+
+let write_atomic ~path text =
+  let dir = Filename.dirname path in
+  let tmp, oc =
+    Filename.open_temp_file ~temp_dir:dir ~mode:[ Open_binary ]
+      (Filename.basename path) ".tmp"
+  in
+  (try
+     output_string oc text;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let store t job result =
+  let doc = J.Obj [ ("key", job.Job.jb_key); ("result", result) ] in
+  write_atomic ~path:(path_of t job) (J.pretty doc)
+
+let clear t =
+  Array.iter
+    (fun name ->
+      if Filename.check_suffix name ".json" then
+        try Sys.remove (Filename.concat t.c_dir name) with Sys_error _ -> ())
+    (try Sys.readdir t.c_dir with Sys_error _ -> [||])

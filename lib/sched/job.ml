@@ -1,0 +1,31 @@
+module J = Autocfd_obs.Json
+
+type t = {
+  jb_label : string;
+  jb_key : J.t;
+  jb_run : unit -> J.t;
+}
+
+(* bump when a code change invalidates previously cached results *)
+let code_version = "autocfd-sched/1"
+
+let make ?(version = code_version) ~label ~key run =
+  {
+    jb_label = label;
+    jb_key = J.Obj [ ("code", J.Str version); ("spec", key) ];
+    jb_run = run;
+  }
+
+(* FNV-1a, 64-bit *)
+let digest s =
+  let offset_basis = 0xcbf29ce484222325L in
+  let prime = 0x100000001b3L in
+  let h = ref offset_basis in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+let cache_name job = digest (J.canonical job.jb_key)

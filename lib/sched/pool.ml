@@ -1,0 +1,179 @@
+module J = Autocfd_obs.Json
+module Trace = Autocfd_obs.Trace
+
+type outcome = Ran | Hit | Failed of string
+
+type event = {
+  pe_worker : int;
+  pe_index : int;
+  pe_label : string;
+  pe_t0 : float;
+  pe_t1 : float;
+  pe_outcome : outcome;
+}
+
+type stats = {
+  ps_jobs : int;
+  ps_hits : int;
+  ps_misses : int;
+  ps_errors : int;
+  ps_elapsed : float;
+  ps_busy : float array;
+  ps_ran : int array;
+  ps_events : event list;
+}
+
+let utilization stats w =
+  if stats.ps_elapsed <= 0.0 || w < 0 || w >= Array.length stats.ps_busy then
+    0.0
+  else Float.min 1.0 (stats.ps_busy.(w) /. stats.ps_elapsed)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* the work queue: submission indices, handed out under [lock].  With a
+   fixed job list the condition variable never blocks a worker for long,
+   but it keeps the queue correct if a future revision feeds the pool
+   incrementally. *)
+type queue = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  pending : int Queue.t;
+  mutable closed : bool;
+}
+
+let take q =
+  Mutex.protect q.lock (fun () ->
+      let rec wait () =
+        if not (Queue.is_empty q.pending) then Some (Queue.pop q.pending)
+        else if q.closed then None
+        else begin
+          Condition.wait q.nonempty q.lock;
+          wait ()
+        end
+      in
+      wait ())
+
+let run ?jobs ?cache ?tracer job_list =
+  let njobs =
+    match jobs with Some n -> max 1 n | None -> default_jobs ()
+  in
+  let arr = Array.of_list job_list in
+  let n = Array.length arr in
+  let nworkers = max 1 (min njobs (max 1 n)) in
+  let results = Array.make n (Error "job not run") in
+  let events = Array.make n None in
+  let busy = Array.make nworkers 0.0 in
+  let ran = Array.make nworkers 0 in
+  let merge_lock = Mutex.create () in
+  let t_start = Unix.gettimeofday () in
+  let now () = Unix.gettimeofday () -. t_start in
+  let exec w i =
+    let job = arr.(i) in
+    let t0 = now () in
+    let outcome, res =
+      match
+        match cache with Some c -> Cache.lookup c job | None -> None
+      with
+      | Some v -> (Hit, Ok v)
+      | None -> (
+          match job.Job.jb_run () with
+          | v ->
+              (match cache with Some c -> Cache.store c job v | None -> ());
+              (Ran, Ok v)
+          | exception e ->
+              let msg = Printexc.to_string e in
+              (Failed msg, Error msg))
+    in
+    let t1 = now () in
+    Mutex.protect merge_lock (fun () ->
+        results.(i) <- res;
+        events.(i) <-
+          Some
+            {
+              pe_worker = w;
+              pe_index = i;
+              pe_label = job.Job.jb_label;
+              pe_t0 = t0;
+              pe_t1 = t1;
+              pe_outcome = outcome;
+            };
+        busy.(w) <- busy.(w) +. (t1 -. t0);
+        ran.(w) <- ran.(w) + 1)
+  in
+  let q =
+    {
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      pending = Queue.create ();
+      closed = false;
+    }
+  in
+  Mutex.protect q.lock (fun () ->
+      for i = 0 to n - 1 do
+        Queue.push i q.pending
+      done;
+      q.closed <- true;
+      Condition.broadcast q.nonempty);
+  let worker w () =
+    let rec loop () =
+      match take q with
+      | Some i ->
+          exec w i;
+          loop ()
+      | None -> ()
+    in
+    loop ()
+  in
+  if nworkers = 1 then worker 0 ()
+  else begin
+    let domains =
+      Array.init (nworkers - 1) (fun k -> Domain.spawn (worker (k + 1)))
+    in
+    worker 0 ();
+    Array.iter Domain.join domains
+  end;
+  let elapsed = now () in
+  let ordered =
+    Array.to_list events |> List.filter_map Fun.id
+    |> List.sort (fun a b ->
+           match compare a.pe_t0 b.pe_t0 with
+           | 0 -> compare a.pe_index b.pe_index
+           | c -> c)
+  in
+  let hits =
+    List.length (List.filter (fun e -> e.pe_outcome = Hit) ordered)
+  in
+  let errors =
+    List.length
+      (List.filter
+         (fun e -> match e.pe_outcome with Failed _ -> true | _ -> false)
+         ordered)
+  in
+  (* record scheduler events from the calling domain only, after the
+     join: Trace is not thread-safe and sweep events do not need to be *)
+  (match tracer with
+  | None -> ()
+  | Some tr ->
+      Trace.prepare tr ~nranks:nworkers;
+      List.iter
+        (fun e ->
+          let what =
+            match e.pe_outcome with
+            | Ran -> "run"
+            | Hit -> "hit"
+            | Failed _ -> "error"
+          in
+          Trace.record tr ~rank:e.pe_worker ~t0:e.pe_t0 ~t1:e.pe_t1
+            (Trace.Sched { what; job = e.pe_label }))
+        ordered);
+  ( results,
+    {
+      ps_jobs = n;
+      ps_hits = hits;
+      ps_misses = n - hits;
+      ps_errors = errors;
+      ps_elapsed = elapsed;
+      ps_busy = busy;
+      ps_ran = ran;
+      ps_events = ordered;
+    } )

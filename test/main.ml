@@ -17,4 +17,5 @@ let () =
       ("perfmodel", Test_perfmodel.suite);
       ("driver", Test_driver.suite);
       ("mpi_backend", Test_mpi_backend.suite);
+      ("sched", Test_sched.suite);
     ]

@@ -103,8 +103,8 @@ let test_sprayer_direction_specific_counts () =
 
 let equiv name src parts =
   let t = D.load src in
-  let seq = D.run_sequential t in
-  let par = D.run_parallel (D.plan t ~parts) in
+  let seq = D.run_seq t in
+  let par = D.run (D.plan t ~parts) in
   let worst =
     List.fold_left (fun a (_, d) -> Float.max a d) 0.0
       (D.max_divergence seq par)
@@ -129,7 +129,7 @@ let test_aerofoil_equivalence () =
 let test_no_nan_or_blowup () =
   let check name src =
     let t = D.load src in
-    let seq = D.run_sequential t in
+    let seq = D.run_seq t in
     List.iter
       (fun (arr_name, arr) ->
         Array.iter
@@ -149,7 +149,7 @@ let test_fan_speed_influences_flow () =
     let t =
       D.load (Autocfd_apps.Sprayer.source ~ni:30 ~nj:16 ~ntime:6 ~npsi:3 ~ufan ())
     in
-    let seq = D.run_sequential t in
+    let seq = D.run_seq t in
     List.assoc "u" seq.D.sq_arrays
   in
   let slow = run 0.5 and fast = run 2.0 in
@@ -220,7 +220,7 @@ let test_cavity_physics () =
      scales with the lid speed *)
   let run ulid =
     let t = D.load (Autocfd_apps.Cavity.source ~n:17 ~maxit:10 ~npsi:4 ~ulid ()) in
-    let seq = D.run_sequential t in
+    let seq = D.run_seq t in
     let psi = List.assoc "psi" seq.D.sq_arrays in
     Array.fold_left (fun a x -> Float.max a (Float.abs x)) 0.0
       psi.I.Value.data
@@ -234,9 +234,9 @@ let test_many_ranks () =
   (* scheduler robustness: 18 cooperative ranks with 3-D pipelines *)
   let src = Autocfd_apps.Aerofoil.source ~ni:14 ~nj:9 ~nk:7 ~ntime:2 ~npres:2 () in
   let t = D.load src in
-  let seq = D.run_sequential t in
+  let seq = D.run_seq t in
   let plan = D.plan t ~parts:[| 3; 3; 2 |] in
-  let par = D.run_parallel plan in
+  let par = D.run plan in
   let worst =
     List.fold_left (fun a (_, d) -> Float.max a d) 0.0
       (D.max_divergence seq par)

@@ -63,7 +63,7 @@ let test_spmd_source_header () =
 
 let test_run_sequential_flops () =
   let t = D.load heat in
-  let seq = D.run_sequential t in
+  let seq = D.run_seq t in
   Alcotest.(check bool) "flops counted" true (seq.D.sq_flops > 100.0);
   Alcotest.(check bool) "arrays captured" true
     (List.mem_assoc "u" seq.D.sq_arrays && List.mem_assoc "w" seq.D.sq_arrays)
@@ -72,7 +72,12 @@ let test_run_parallel_with_timing () =
   let t = D.load heat in
   let plan = D.plan t ~parts:[| 2; 1 |] in
   let par =
-    D.run_parallel ~net:Autocfd_mpsim.Netmodel.ethernet_100 ~flop_time:1e-8
+    D.run
+      ~spec:
+        Autocfd.Runspec.(
+          default
+          |> with_net Autocfd_mpsim.Netmodel.ethernet_100
+          |> with_flop_time 1e-8)
       plan
   in
   Alcotest.(check bool) "virtual time advanced" true

@@ -13,6 +13,7 @@
     loops) and asserts the same three-way equivalence. *)
 
 module D = Autocfd.Driver
+module R = Autocfd.Runspec
 module I = Autocfd_interp
 module Prng = Autocfd_util.Prng
 
@@ -40,11 +41,11 @@ let check_array_list what name (a : (string * I.Value.arr) list)
 
 let check_sequential name src =
   let t = D.load src in
-  let tree = D.run_sequential ~engine:I.Spmd.Tree t in
+  let tree = D.run_seq ~spec:(R.with_engine I.Spmd.Tree R.default) t in
   List.iter
     (fun (ename, engine) ->
       let name = name ^ "/" ^ ename in
-      let r = D.run_sequential ~engine t in
+      let r = D.run_seq ~spec:(R.with_engine engine R.default) t in
       Alcotest.(check (list string))
         (name ^ ": output") tree.D.sq_output r.D.sq_output;
       Alcotest.(check (float 0.0))
@@ -55,10 +56,10 @@ let check_sequential name src =
 let check_parallel name src parts =
   let t = D.load src in
   let plan = D.plan t ~parts in
-  let tree = D.run_parallel ~engine:I.Spmd.Tree plan in
+  let tree = D.run ~spec:(R.with_engine I.Spmd.Tree R.default) plan in
   List.iter
     (fun (ename, engine) ->
-      let r = D.run_parallel ~engine plan in
+      let r = D.run ~spec:(R.with_engine engine R.default) plan in
       let ctx = Printf.sprintf "%s/%s %s" name ename (shape parts) in
       check_array_list "gathered" ctx tree.I.Spmd.gathered r.I.Spmd.gathered;
       Alcotest.(check bool)
@@ -121,8 +122,13 @@ let test_charged_timing_identical () =
   let machine = Autocfd.Experiments.machine in
   let flop_time = D.calibrated_flop_time ~machine plan in
   let run engine =
-    D.run_parallel ~engine
-      ~net:machine.Autocfd_perfmodel.Model.net ~flop_time plan
+    D.run
+      ~spec:
+        R.(
+          default |> with_engine engine
+          |> with_net machine.Autocfd_perfmodel.Model.net
+          |> with_flop_time flop_time)
+      plan
   in
   let tree = run I.Spmd.Tree in
   List.iter

@@ -6,6 +6,7 @@
 
 open Autocfd_mpsim
 module D = Autocfd.Driver
+module R = Autocfd.Runspec
 module I = Autocfd_interp
 
 let contains haystack needle =
@@ -287,10 +288,16 @@ let same_state (a : I.Spmd.result) (b : I.Spmd.result) =
 let recovery_case ~engine spec =
   let t = D.load jacobi_src in
   let plan = D.plan t ~parts:[| 2; 2 |] in
-  let clean = D.run_parallel ~engine plan in
+  let clean = D.run ~spec:(R.with_engine engine R.default) plan in
   let faults = Fault.make spec in
   let faulty =
-    D.run_parallel ~engine ~faults ~recovery:I.Spmd.default_recovery plan
+    D.run
+      ~spec:
+        R.(
+          default |> with_engine engine
+          |> with_faults (Some faults)
+          |> with_recovery (Some I.Spmd.default_recovery))
+      plan
   in
   (clean, faulty, faults)
 
@@ -316,7 +323,11 @@ let test_crash_recovery_tree () =
 let test_crash_without_recovery_times_out () =
   let t = D.load jacobi_src in
   let plan = D.plan t ~parts:[| 2; 2 |] in
-  match D.run_parallel ~faults:(Fault.make crash_spec) plan with
+  match
+    D.run
+      ~spec:(R.with_faults (Some (Fault.make crash_spec)) R.default)
+      plan
+  with
   | exception Sim.Timeout _ -> ()
   | _ -> Alcotest.fail "expected Sim.Timeout without recovery"
 
@@ -357,7 +368,7 @@ c$acfd status(u, w)
   let plan = D.plan t ~parts:[| 2; 1 |] in
   List.iter
     (fun engine ->
-      match D.run_parallel ~engine plan with
+      match D.run ~spec:(R.with_engine engine R.default) plan with
       | exception Sim.Rank_failure (r, I.Machine.Runtime_error _) ->
           Alcotest.(check int) "failure on the owning rank" 1 r
       | exception e ->
@@ -395,12 +406,17 @@ let chaos_schedule i =
 let test_chaos_property () =
   let t = D.load jacobi_src in
   let plan = D.plan t ~parts:[| 2; 2 |] in
-  let clean = D.run_parallel plan in
+  let clean = D.run plan in
   for i = 1 to 24 do
     let spec = chaos_schedule i in
     let run () =
-      D.run_parallel ~faults:(Fault.make spec)
-        ~recovery:I.Spmd.default_recovery plan
+      D.run
+        ~spec:
+          R.(
+            default
+            |> with_faults (Some (Fault.make spec))
+            |> with_recovery (Some I.Spmd.default_recovery))
+        plan
     in
     let faulty = run () in
     if not (same_state clean faulty) then

@@ -40,7 +40,16 @@ let traced_heat =
   lazy
     (let t = D.load heat in
      let plan = D.plan t ~parts:[| 2; 2 |] in
-     let result, tracer = D.run_traced plan in
+     let tracer = Autocfd_obs.Trace.create () in
+     let result =
+       D.run
+         ~spec:
+           Autocfd.Runspec.(
+             default
+             |> with_machine (Some Autocfd_perfmodel.Model.pentium_cluster)
+             |> with_tracer (Some tracer))
+         plan
+     in
      (result, tracer))
 
 (* a simulator-level workload exercising every event kind *)

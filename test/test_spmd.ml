@@ -11,9 +11,9 @@ module I = Autocfd_interp
 
 let max_div src parts =
   let t = D.load src in
-  let seq = D.run_sequential t in
+  let seq = D.run_seq t in
   let plan = D.plan t ~parts in
-  let par = D.run_parallel plan in
+  let par = D.run plan in
   List.fold_left (fun a (_, d) -> Float.max a d) 0.0
     (D.max_divergence seq par)
 
@@ -328,9 +328,9 @@ c$acfd status(u)
 |}
   in
   let t = D.load src in
-  let seq = D.run_sequential ~input:[ 2.5 ] t in
+  let seq = D.run_seq ~spec:(Autocfd.Runspec.with_input [ 2.5 ] Autocfd.Runspec.default) t in
   let plan = D.plan t ~parts:[| 3 |] in
-  let par = D.run_parallel ~input:[ 2.5 ] plan in
+  let par = D.run ~spec:(Autocfd.Runspec.with_input [ 2.5 ] Autocfd.Runspec.default) plan in
   Alcotest.(check (list string)) "same output" seq.D.sq_output
     par.I.Spmd.output;
   let d =
@@ -622,8 +622,8 @@ c$acfd status(u, w)
   in
   let t = D.load src in
   let plan = D.plan t ~parts:[| 3; 1 |] in
-  let seq = D.run_sequential t in
-  let par = D.run_parallel plan in
+  let seq = D.run_seq t in
+  let par = D.run plan in
   Alcotest.(check int) "no point-to-point messages" 0
     par.I.Spmd.stats.Autocfd_mpsim.Sim.messages;
   let worst =
