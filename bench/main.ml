@@ -24,9 +24,24 @@
                                  recoverable schedule yields bit-identical
                                  results within the overhead budget)
       bench/main.exe --json      write BENCH_tables.json (tables 1-5 +
-                                 model validation + engine speedup,
-                                 machine-readable, for diffing the perf
-                                 trajectory across PRs)
+                                 model validation + engine speedup +
+                                 sweep scheduler stats, machine-readable,
+                                 for diffing the perf trajectory across
+                                 PRs)
+
+    Baseline gate (perf-regression CI):
+      --baseline F       baseline document (default: BENCH_baseline.json)
+      --check-regress    regenerate the tables and gate them against the
+                         baseline ({!Autocfd.Baseline}): modelled times /
+                         sync counts must not rise, speedups must not
+                         fall, engine identity and chaos recovery must
+                         stay true; exit nonzero on any regression
+      --update-baseline  regenerate the tables and (over-)write the
+                         baseline file
+      --tolerance T      relative allowance for deterministic
+                         (virtual-clock) numbers (default 0.05); the
+                         host-wall-clock engine speedups always use the
+                         generous 0.5
 
     Sweep options (any verb that regenerates tables):
       --jobs N        worker domains for the row sweep (default: all cores)
@@ -52,12 +67,17 @@ type opts = {
   o_jobs : int;
   o_cache : bool;
   o_cache_dir : string;
+  o_baseline : string;
+  o_check_regress : bool;
+  o_update_baseline : bool;
+  o_tolerance : float;
 }
 
 let usage () =
   Printf.eprintf
     "usage: %s [table1..table5|tables|validate|engine|chaos|ablation|advisor|\
-     micro|--json|all] [--check] [--jobs N] [--no-cache] [--cache-dir D]\n"
+     micro|--json|all] [--check] [--jobs N] [--no-cache] [--cache-dir D] \
+     [--baseline F] [--check-regress] [--update-baseline] [--tolerance T]\n"
     Sys.argv.(0);
   exit 1
 
@@ -70,6 +90,10 @@ let parse_opts () =
         o_jobs = Sched.Pool.default_jobs ();
         o_cache = true;
         o_cache_dir = "_autocfd_cache";
+        o_baseline = "BENCH_baseline.json";
+        o_check_regress = false;
+        o_update_baseline = false;
+        o_tolerance = 0.05;
       }
   in
   let rec go i =
@@ -81,6 +105,12 @@ let parse_opts () =
       | "--no-cache" ->
           o := { !o with o_cache = false };
           go (i + 1)
+      | "--check-regress" ->
+          o := { !o with o_check_regress = true };
+          go (i + 1)
+      | "--update-baseline" ->
+          o := { !o with o_update_baseline = true };
+          go (i + 1)
       | "--jobs" when i + 1 < Array.length Sys.argv ->
           (match int_of_string_opt Sys.argv.(i + 1) with
           | Some n when n >= 1 -> o := { !o with o_jobs = n }
@@ -91,7 +121,17 @@ let parse_opts () =
       | "--cache-dir" when i + 1 < Array.length Sys.argv ->
           o := { !o with o_cache_dir = Sys.argv.(i + 1) };
           go (i + 2)
-      | ("--jobs" | "--cache-dir") as a ->
+      | "--baseline" when i + 1 < Array.length Sys.argv ->
+          o := { !o with o_baseline = Sys.argv.(i + 1) };
+          go (i + 2)
+      | "--tolerance" when i + 1 < Array.length Sys.argv ->
+          (match float_of_string_opt Sys.argv.(i + 1) with
+          | Some t when t >= 0.0 -> o := { !o with o_tolerance = t }
+          | _ ->
+              Printf.eprintf "--tolerance: expected a non-negative number\n";
+              exit 1);
+          go (i + 2)
+      | ("--jobs" | "--cache-dir" | "--baseline" | "--tolerance") as a ->
           Printf.eprintf "%s: missing argument\n" a;
           exit 1
       | a when i = 1 && (a = "--json" || (String.length a > 0 && a.[0] <> '-'))
@@ -323,13 +363,41 @@ let print_advisor () =
     [ 4; 6 ];
   print table
 
+let load_json path =
+  match
+    try Some (In_channel.with_open_text path In_channel.input_all)
+    with Sys_error _ -> None
+  with
+  | None ->
+      Printf.eprintf "cannot read %s\n" path;
+      exit 1
+  | Some text -> (
+      try Autocfd_obs.Json.of_string text
+      with Autocfd_obs.Json.Parse_error msg ->
+        Printf.eprintf "%s: malformed JSON: %s\n" path msg;
+        exit 1)
+
 let write_json opts =
   let path = "BENCH_tables.json" in
   let sw = make_sweep opts in
-  let text = Autocfd_obs.Json.pretty (E.tables_json ~sweep:sw ()) ^ "\n" in
+  let doc = E.tables_json ~sweep:sw () in
+  let text = Autocfd_obs.Json.pretty doc ^ "\n" in
   Sched.Cache.write_atomic ~path text;
   report_sweep sw;
-  Printf.printf "wrote %s\n" path
+  Printf.printf "wrote %s\n" path;
+  if opts.o_update_baseline then begin
+    Sched.Cache.write_atomic ~path:opts.o_baseline text;
+    Printf.printf "wrote %s\n" opts.o_baseline
+  end;
+  if opts.o_check_regress then begin
+    let baseline = load_json opts.o_baseline in
+    let failures =
+      Autocfd.Baseline.compare_tables ~tolerance:opts.o_tolerance ~baseline
+        ~current:doc ()
+    in
+    print_string (Autocfd.Baseline.render_failures failures);
+    if failures <> [] then exit 1
+  end
 
 let all_tables sw =
   print_string (sweep_tables_string sw);
@@ -401,6 +469,13 @@ let check_tables opts =
 
 let () =
   let opts = parse_opts () in
+  (* the baseline options operate on the JSON document, so they imply the
+     json verb unless another was given explicitly *)
+  let opts =
+    if (opts.o_check_regress || opts.o_update_baseline) && opts.o_verb = "all"
+    then { opts with o_verb = "--json" }
+    else opts
+  in
   let with_sweep f =
     let sw = make_sweep opts in
     f sw;

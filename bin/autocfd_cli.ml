@@ -12,6 +12,14 @@
                                              Perfetto / chrome://tracing), plus
                                              --metrics m.json for the compact
                                              per-rank / per-sync metrics
+    autocfd profile file.f --parts 2x2       kernel-level profile: hot-nest
+                                             table (top-N by self time, share
+                                             of compute, flop throughput),
+                                             per-sync-point latency histograms
+                                             and pool utilization; --json /
+                                             --prom for machine-readable and
+                                             Prometheus output, --check for
+                                             the >= 95% attribution gate
     autocfd tables [1-5|all] [--json]        regenerate the paper's tables
     autocfd demo [aerofoil|sprayer]          dump a bundled case study source
     v} *)
@@ -241,11 +249,18 @@ let run_cmd file parts nprocs json jobs use_cache cache_dir =
     | _ -> []
   in
   (if json then
-     (* the stored document minus the human-only sequential echo *)
+     (* the stored document minus the human-only sequential echo, plus
+        this invocation's scheduler statistics (not cached: they describe
+        the pool run that produced or fetched the document) *)
      let doc =
        match doc with
        | J.Obj fields ->
-           J.Obj (List.filter (fun (n, _) -> n <> "seq_output") fields)
+           J.Obj
+             (List.filter (fun (n, _) -> n <> "seq_output") fields
+             @ [
+                 ( "sched",
+                   Autocfd.Report.sched_summary_json [ ("run", stats) ] );
+               ])
        | d -> d
      in
      print_endline (J.pretty doc)
@@ -298,6 +313,35 @@ let trace_cmd file parts nprocs out metrics_out =
         r.Obs.Metrics.rr_rank r.Obs.Metrics.rr_compute r.Obs.Metrics.rr_comm
         r.Obs.Metrics.rr_blocked)
     m.Obs.Metrics.ranks
+
+let profile_cmd file parts nprocs engine top json prom check min_cov =
+  let _, plan = load_and_plan file parts nprocs in
+  let spec =
+    Autocfd.Runspec.(
+      default |> with_engine engine
+      |> with_machine (Some Autocfd_perfmodel.Model.pentium_cluster))
+  in
+  let label = Printf.sprintf "profile %s" (Filename.basename file) in
+  let p = Autocfd.Profile.run ~spec ~label plan in
+  if json then
+    print_endline (Obs.Json.pretty (Autocfd.Profile.to_json ~top p))
+  else if prom then print_string (Autocfd.Profile.to_prometheus p)
+  else print_string (Autocfd.Profile.render ~top p);
+  if check then begin
+    let cov = Autocfd.Profile.coverage p in
+    if cov < min_cov then begin
+      Printf.eprintf
+        "FAIL: %.2f%% of compute time attributed to named nests (need >= \
+         %.2f%%)\n"
+        (100. *. cov) (100. *. min_cov);
+      exit 1
+    end
+    else
+      Printf.printf
+        "OK: %.2f%% of compute time attributed to %d named nests\n"
+        (100. *. cov)
+        (List.length p.Autocfd.Profile.pf_metrics.Obs.Metrics.kernels)
+  end
 
 let report file parts nprocs output =
   let _, plan = load_and_plan file parts nprocs in
@@ -443,6 +487,64 @@ let trace_cmd_ =
           track per rank) plus optional machine-readable metrics")
     Term.(const trace_cmd $ file_arg $ parts_arg $ nprocs_arg $ out $ metrics)
 
+let profile_cmd_ =
+  let engine =
+    let parse = function
+      | "tree" -> Ok Autocfd_interp.Spmd.Tree
+      | "compiled" -> Ok Autocfd_interp.Spmd.Compiled
+      | "fused" -> Ok Autocfd_interp.Spmd.Fused
+      | s -> Error (`Msg (Printf.sprintf "bad engine %S (tree|compiled|fused)" s))
+    in
+    let print ppf e =
+      Format.pp_print_string ppf
+        (match e with
+        | Autocfd_interp.Spmd.Tree -> "tree"
+        | Autocfd_interp.Spmd.Compiled -> "compiled"
+        | Autocfd_interp.Spmd.Fused -> "fused")
+    in
+    Arg.(value & opt (conv (parse, print)) Autocfd_interp.Spmd.Fused
+         & info [ "engine" ] ~docv:"ENGINE"
+             ~doc:"Execution engine: tree, compiled or fused (default).  Only \
+                   the compiled and fused engines emit per-nest kernel \
+                   summaries.")
+  in
+  let top =
+    Arg.(value & opt int 10
+         & info [ "top" ] ~docv:"N"
+             ~doc:"Rows of the hot-nest table (default 10).")
+  in
+  let prom =
+    Arg.(value & flag
+         & info [ "prom" ]
+             ~doc:"Emit the unified metrics registry in Prometheus text \
+                   exposition format instead of the human-readable profile.")
+  in
+  let check =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Exit nonzero unless at least $(b,--min-coverage) of the \
+                   virtual compute time is attributed to named field-loop \
+                   nests (the CI attribution gate).")
+  in
+  let min_cov =
+    Arg.(value & opt float 0.95
+         & info [ "min-coverage" ] ~docv:"FRAC"
+             ~doc:"Attribution threshold for --check (default 0.95).")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Kernel-level profile of the program on the simulated reference \
+          cluster: run it through the sweep pool with tracing enabled, then \
+          print the hot-nest table (top-N field-loop nests by self time, \
+          with share of total compute and flop/byte throughput), \
+          per-sync-point latency histograms and scheduler utilization.  \
+          --json emits the full machine-readable profile, --prom the \
+          unified metrics registry in Prometheus text format.")
+    Term.(const profile_cmd $ file_arg $ parts_arg $ nprocs_arg $ engine $ top
+          $ json_flag ~what:"the full profile document"
+          $ prom $ check $ min_cov)
+
 let report_cmd =
   let output =
     Arg.(value & opt (some string) None
@@ -479,4 +581,4 @@ let () =
   let info = Cmd.info "autocfd" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
                     [ analyze_cmd; parallelize_cmd; run_cmd_; trace_cmd_;
-                      report_cmd; tables_cmd; demo_cmd ]))
+                      profile_cmd_; report_cmd; tables_cmd; demo_cmd ]))

@@ -1166,4 +1166,5 @@ let tables_json ?sweep () =
       ("validation", J.List validation);
       ("engine", J.List engine);
       ("resilience", J.List resilience);
+      ("sched", Report.sched_summary_json (sweep_stats sw));
     ]

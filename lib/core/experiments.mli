@@ -178,8 +178,11 @@ val sprayer_frames : int
 
 val tables_json : ?sweep:sweep -> unit -> Autocfd_obs.Json.t
 (** Every table (1-5), the model-validation rows, the execution-engine
-    benchmark (key ["engine"]) and the chaos/resilience benchmark (key
-    ["resilience"]) as one JSON document (schema ["autocfd-bench/1"]) —
-    the diffable perf trajectory written to [BENCH_tables.json] by
-    [bench/main.exe --json].  All tables run through the given [sweep]
-    (default: a fresh serial sweep). *)
+    benchmark (key ["engine"]), the chaos/resilience benchmark (key
+    ["resilience"]) and the sweep's scheduler statistics (key ["sched"],
+    {!Report.sched_summary_json}) as one JSON document (schema
+    ["autocfd-bench/1"]) — the diffable perf trajectory written to
+    [BENCH_tables.json] by [bench/main.exe --json].  All tables run
+    through the given [sweep] (default: a fresh serial sweep).  The
+    ["sched"] section is wall-clock (machine-dependent); the baseline
+    gate ({!Baseline}) never gates on it. *)

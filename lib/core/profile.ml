@@ -1,0 +1,309 @@
+(* Kernel-level profiler: run one plan traced, attribute virtual compute
+   time to named field-loop nests, and render the hot-nest table,
+   per-sync-point latency histograms and pool utilization that the
+   [autocfd profile] verb prints. *)
+
+module Obs = Autocfd_obs
+module Sched = Autocfd_sched
+module I = Autocfd_interp
+module J = Obs.Json
+
+type t = {
+  pf_label : string;
+  pf_trace : Obs.Trace.t;
+  pf_metrics : Obs.Metrics.t;
+  pf_pool : Sched.Pool.stats;
+  pf_flops : float;
+}
+
+let run ?(spec = Runspec.default) ?(label = "profile") plan =
+  let tracer =
+    match spec.Runspec.tracer with
+    | Some tr -> tr
+    | None -> Obs.Trace.create ()
+  in
+  let spec = Runspec.with_tracer (Some tracer) spec in
+  let flops = ref 0.0 in
+  let job =
+    Sched.Job.make ~label
+      ~key:(J.Obj [ ("profile", J.Str label); ("spec", Runspec.to_json spec) ])
+      (fun () ->
+        let r = Driver.run ~spec plan in
+        flops :=
+          Array.fold_left ( +. ) 0.0 r.I.Spmd.flops_per_rank;
+        J.Obj [ ("elapsed", J.Float r.I.Spmd.stats.Autocfd_mpsim.Sim.elapsed) ])
+  in
+  (* one uncached job through the pool, sharing the run's tracer, so the
+     scheduler's wall-clock events land in the same trace as the
+     simulator's virtual-clock events *)
+  let results, stats = Sched.Pool.run ~jobs:1 ~tracer [ job ] in
+  (match results.(0) with
+  | Ok _ -> ()
+  | Error msg -> failwith ("profile: " ^ msg));
+  {
+    pf_label = label;
+    pf_trace = tracer;
+    pf_metrics = Obs.Metrics.of_trace tracer;
+    pf_pool = stats;
+    pf_flops = !flops;
+  }
+
+let compute_seconds p =
+  Array.fold_left
+    (fun acc r -> acc +. r.Obs.Metrics.rr_compute)
+    0.0 p.pf_metrics.Obs.Metrics.ranks
+
+let attributed_seconds p =
+  List.fold_left
+    (fun acc k -> acc +. k.Obs.Metrics.kr_self)
+    0.0 p.pf_metrics.Obs.Metrics.kernels
+
+let attributed_flops p =
+  List.fold_left
+    (fun acc k -> acc +. k.Obs.Metrics.kr_flops)
+    0.0 p.pf_metrics.Obs.Metrics.kernels
+
+let coverage p =
+  let c = compute_seconds p in
+  if c > 0.0 then attributed_seconds p /. c
+  else if p.pf_flops > 0.0 then attributed_flops p /. p.pf_flops
+  else 1.0
+
+(* per-execution phase durations, grouped by sync id in ascending order *)
+let sync_durations p =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Obs.Trace.event) ->
+      match e.Obs.Trace.ev_kind with
+      | Obs.Trace.Phase _ ->
+          let prev =
+            Option.value ~default:[] (Hashtbl.find_opt tbl e.Obs.Trace.ev_sync)
+          in
+          Hashtbl.replace tbl e.Obs.Trace.ev_sync
+            ((e.Obs.Trace.ev_t1 -. e.Obs.Trace.ev_t0) :: prev)
+      | _ -> ())
+    (Obs.Trace.events p.pf_trace);
+  Hashtbl.fold (fun sync ds acc -> (sync, List.rev ds) :: acc) tbl []
+  |> List.sort compare
+
+let latency_bounds = Obs.Registry.seconds_buckets
+
+(* counts.(i) = observations in (bounds.(i-1), bounds.(i)]; the trailing
+   slot is the +Inf overflow — same "le" semantics as {!Obs.Registry} *)
+let bucketize ds =
+  let n = Array.length latency_bounds in
+  let counts = Array.make (n + 1) 0 in
+  List.iter
+    (fun v ->
+      let rec find i =
+        if i >= n then n else if v <= latency_bounds.(i) then i else find (i + 1)
+      in
+      let i = find 0 in
+      counts.(i) <- counts.(i) + 1)
+    ds;
+  counts
+
+let fmt_si v =
+  if v = 0.0 then "0"
+  else if Float.abs v >= 1e9 then Printf.sprintf "%.2fG" (v /. 1e9)
+  else if Float.abs v >= 1e6 then Printf.sprintf "%.2fM" (v /. 1e6)
+  else if Float.abs v >= 1e3 then Printf.sprintf "%.2fk" (v /. 1e3)
+  else Printf.sprintf "%.3g" v
+
+let fmt_seconds v =
+  if v = 0.0 then "0"
+  else if v >= 1.0 then Printf.sprintf "%.3fs" v
+  else if v >= 1e-3 then Printf.sprintf "%.3fms" (v *. 1e3)
+  else Printf.sprintf "%.3gus" (v *. 1e6)
+
+let hot_nests ?(top = 10) p =
+  let rec take n = function
+    | [] -> []
+    | _ when n <= 0 -> []
+    | x :: tl -> x :: take (n - 1) tl
+  in
+  take top p.pf_metrics.Obs.Metrics.kernels
+
+let render ?(top = 10) p =
+  let b = Buffer.create 4096 in
+  let m = p.pf_metrics in
+  let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let compute = compute_seconds p in
+  let nranks = Array.length m.Obs.Metrics.ranks in
+  pr "# profile: %s\n\n" p.pf_label;
+  pr "ranks %d, simulated elapsed %s; compute %s, messages %d, bytes %d\n\n"
+    nranks
+    (fmt_seconds m.Obs.Metrics.elapsed)
+    (fmt_seconds compute) m.Obs.Metrics.messages m.Obs.Metrics.bytes;
+  (* -- hot nests ---------------------------------------------------- *)
+  let kernels = m.Obs.Metrics.kernels in
+  let shown = hot_nests ~top p in
+  pr "## hot nests (top %d of %d by self time)\n\n" (List.length shown)
+    (List.length kernels);
+  pr "| nest | line | fused | calls | self | %% compute | flop/s | B/s |\n";
+  pr "|---|---|---|---|---|---|---|---|\n";
+  List.iter
+    (fun (k : Obs.Metrics.kernel_row) ->
+      let share =
+        if compute > 0.0 then 100.0 *. k.Obs.Metrics.kr_self /. compute
+        else 0.0
+      in
+      let rate den v = if den > 0.0 then fmt_si (v /. den) else "-" in
+      pr "| %s | %d | %s | %d | %s | %5.1f%% | %s | %s |\n"
+        k.Obs.Metrics.kr_name k.Obs.Metrics.kr_line
+        (if k.Obs.Metrics.kr_fused then "yes" else "no")
+        k.Obs.Metrics.kr_calls
+        (fmt_seconds k.Obs.Metrics.kr_self)
+        share
+        (rate k.Obs.Metrics.kr_self k.Obs.Metrics.kr_flops)
+        (rate k.Obs.Metrics.kr_self k.Obs.Metrics.kr_bytes))
+    shown;
+  pr "\nattributed: %.1f%% of compute time across %d named nests\n\n"
+    (100.0 *. coverage p) (List.length kernels);
+  (* -- per-sync latency --------------------------------------------- *)
+  let durs = sync_durations p in
+  if durs <> [] then begin
+    pr "## sync-point latency\n\n";
+    List.iter
+      (fun (sync, ds) ->
+        let label =
+          match
+            List.find_opt
+              (fun (s : Obs.Metrics.sync_row) -> s.Obs.Metrics.sr_id = sync)
+              m.Obs.Metrics.syncs
+          with
+          | Some s -> s.Obs.Metrics.sr_label
+          | None -> Printf.sprintf "sync %d" sync
+        in
+        let n = List.length ds in
+        let total = List.fold_left ( +. ) 0.0 ds in
+        let mx = List.fold_left Float.max 0.0 ds in
+        pr "sync %d %s — %d executions, mean %s, max %s\n" sync label n
+          (fmt_seconds (if n > 0 then total /. float_of_int n else 0.0))
+          (fmt_seconds mx);
+        let counts = bucketize ds in
+        let peak = Array.fold_left max 1 counts in
+        Array.iteri
+          (fun i c ->
+            if c > 0 then begin
+              let le =
+                if i < Array.length latency_bounds then
+                  "<= " ^ fmt_seconds latency_bounds.(i)
+                else "   +Inf"
+              in
+              let bar = String.make (max 1 (c * 24 / peak)) '#' in
+              pr "  %-12s %6d  %s\n" le c bar
+            end)
+          counts;
+        pr "\n")
+      durs
+  end;
+  (* -- pool --------------------------------------------------------- *)
+  pr "%s" (Report.sched_summary [ (p.pf_label, p.pf_pool) ]);
+  Buffer.contents b
+
+let nest_json compute (k : Obs.Metrics.kernel_row) =
+  J.Obj
+    [
+      ("name", J.Str k.Obs.Metrics.kr_name);
+      ("line", J.Int k.Obs.Metrics.kr_line);
+      ("fused", J.Bool k.Obs.Metrics.kr_fused);
+      ("calls", J.Int k.Obs.Metrics.kr_calls);
+      ("flops", J.Float k.Obs.Metrics.kr_flops);
+      ("bytes", J.Float k.Obs.Metrics.kr_bytes);
+      ("self_seconds", J.Float k.Obs.Metrics.kr_self);
+      ( "share",
+        J.Float
+          (if compute > 0.0 then k.Obs.Metrics.kr_self /. compute else 0.0) );
+      ( "flops_per_second",
+        if k.Obs.Metrics.kr_self > 0.0 then
+          J.Float (k.Obs.Metrics.kr_flops /. k.Obs.Metrics.kr_self)
+        else J.Null );
+    ]
+
+let sync_json m (sync, ds) =
+  let label =
+    match
+      List.find_opt
+        (fun (s : Obs.Metrics.sync_row) -> s.Obs.Metrics.sr_id = sync)
+        m.Obs.Metrics.syncs
+    with
+    | Some s -> s.Obs.Metrics.sr_label
+    | None -> Printf.sprintf "sync %d" sync
+  in
+  let n = List.length ds in
+  let total = List.fold_left ( +. ) 0.0 ds in
+  let counts = bucketize ds in
+  let buckets =
+    List.filter_map Fun.id
+      (Array.to_list
+         (Array.mapi
+            (fun i c ->
+              if c = 0 then None
+              else
+                Some
+                  (J.Obj
+                     [
+                       ( "le",
+                         if i < Array.length latency_bounds then
+                           J.Float latency_bounds.(i)
+                         else J.Null );
+                       ("count", J.Int c);
+                     ]))
+            counts))
+  in
+  J.Obj
+    [
+      ("sync", J.Int sync);
+      ("label", J.Str label);
+      ("executions", J.Int n);
+      ("mean", J.Float (if n > 0 then total /. float_of_int n else 0.0));
+      ("max", J.Float (List.fold_left Float.max 0.0 ds));
+      ("buckets", J.List buckets);
+    ]
+
+let to_json ?(top = 10) p =
+  let m = p.pf_metrics in
+  let compute = compute_seconds p in
+  J.Obj
+    [
+      ("schema", J.Str "autocfd-profile/1");
+      ("label", J.Str p.pf_label);
+      ("elapsed", J.Float m.Obs.Metrics.elapsed);
+      ("compute_seconds", J.Float compute);
+      ("attributed_seconds", J.Float (attributed_seconds p));
+      ("coverage", J.Float (coverage p));
+      ("nests", J.List (List.map (nest_json compute) (hot_nests ~top p)));
+      ("sync_latency", J.List (List.map (sync_json m) (sync_durations p)));
+      ("sched", Report.sched_summary_json [ (p.pf_label, p.pf_pool) ]);
+      ("metrics", Obs.Metrics.to_json m);
+    ]
+
+let registry p =
+  let reg = Obs.Registry.create () in
+  Obs.Registry.observe_trace reg p.pf_trace;
+  let s = p.pf_pool in
+  let probe outcome v =
+    Obs.Registry.inc reg "autocfd_pool_cache_probes_total" (float_of_int v)
+      ~labels:[ ("outcome", outcome) ]
+      ~help:"sweep-pool cache probes by outcome (hit / miss / corrupt)"
+  in
+  probe "hit" s.Sched.Pool.ps_hits;
+  probe "miss" s.Sched.Pool.ps_misses;
+  probe "corrupt" s.Sched.Pool.ps_corrupt;
+  List.iter
+    (fun (e : Sched.Pool.event) ->
+      Obs.Registry.observe reg "autocfd_sched_queue_wait_seconds"
+        e.Sched.Pool.pe_t0
+        ~help:"wall-clock delay between pool start and job pickup")
+    s.Sched.Pool.ps_events;
+  Array.iteri
+    (fun w _ ->
+      Obs.Registry.set reg "autocfd_pool_utilization"
+        (Sched.Pool.utilization s w)
+        ~labels:[ ("worker", string_of_int w) ]
+        ~help:"per-worker busy fraction of the batch elapsed")
+    s.Sched.Pool.ps_busy;
+  reg
+
+let to_prometheus p = Obs.Registry.to_prometheus (registry p)

@@ -1,0 +1,58 @@
+(** Kernel-level profiler over one traced run.
+
+    [run] executes a plan as a single uncached job through the sweep pool
+    with a shared tracer, so the simulator's virtual-clock events and the
+    scheduler's wall-clock events land in one trace; the derived profile
+    attributes virtual compute time to named field-loop nests (the
+    {!Autocfd_obs.Trace.Kernel} summaries emitted by the fused engine) and
+    renders the [autocfd profile] verb's output: hot-nest table,
+    per-sync-point latency histograms and pool utilization. *)
+
+type t = {
+  pf_label : string;
+  pf_trace : Autocfd_obs.Trace.t;
+  pf_metrics : Autocfd_obs.Metrics.t;
+  pf_pool : Autocfd_sched.Pool.stats;
+  pf_flops : float;  (** total executed flops, summed over ranks *)
+}
+
+val run : ?spec:Runspec.t -> ?label:string -> Driver.plan -> t
+(** Run the plan under [spec] (default {!Runspec.default}; its tracer is
+    reused when set, otherwise a fresh one is created) and derive the
+    profile.  Pass a spec with [machine] set to profile against the
+    calibrated reference cluster rather than zero-cost flops.
+    @raise Failure if the underlying run raises. *)
+
+val compute_seconds : t -> float
+(** Total virtual compute seconds, summed over ranks. *)
+
+val attributed_seconds : t -> float
+(** Virtual compute seconds attributed to named nests (sum of kernel
+    self times). *)
+
+val coverage : t -> float
+(** [attributed_seconds /. compute_seconds]; when the run charged no
+    compute time (zero [flop_time]) the flop fraction is used instead,
+    and 1.0 when no flops executed at all.  The [profile --check] gate
+    requires this to be at least its threshold (default 0.95). *)
+
+val hot_nests : ?top:int -> t -> Autocfd_obs.Metrics.kernel_row list
+(** The [top] (default 10) nests by descending self time. *)
+
+val render : ?top:int -> t -> string
+(** Human-readable profile: run summary, hot-nest table (self time, share
+    of compute, flop and byte throughput), per-sync-point latency
+    histograms (log₂ buckets) and the scheduler utilization table. *)
+
+val to_json : ?top:int -> t -> Autocfd_obs.Json.t
+(** Machine-readable profile (schema ["autocfd-profile/1"]): the same
+    sections plus the full embedded metrics document. *)
+
+val registry : t -> Autocfd_obs.Registry.t
+(** A metrics registry fed from the trace ({!Autocfd_obs.Registry.observe_trace})
+    plus the pool's stats: cache-probe outcome counters (hit / miss /
+    corruption-miss), a queue-wait histogram and per-worker utilization
+    gauges. *)
+
+val to_prometheus : t -> string
+(** [Registry.to_prometheus (registry t)] — the [profile --prom] body. *)

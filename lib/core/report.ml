@@ -254,12 +254,13 @@ let sched_summary stats =
   in
   line "## Sweep scheduler";
   line "";
-  line "| table | jobs | hits | misses | errors | elapsed (s) |";
-  line "|---|---|---|---|---|---|";
+  line "| table | jobs | hits | misses | corrupt | errors | elapsed (s) |";
+  line "|---|---|---|---|---|---|---|";
   List.iter
     (fun (table, (s : Pool.stats)) ->
-      line "| %s | %d | %d | %d | %d | %.3f |" table s.Pool.ps_jobs
-        s.Pool.ps_hits s.Pool.ps_misses s.Pool.ps_errors s.Pool.ps_elapsed)
+      line "| %s | %d | %d | %d | %d | %d | %.3f |" table s.Pool.ps_jobs
+        s.Pool.ps_hits s.Pool.ps_misses s.Pool.ps_corrupt s.Pool.ps_errors
+        s.Pool.ps_elapsed)
     stats;
   line "";
   let nworkers =
@@ -290,3 +291,34 @@ let sched_summary stats =
     done
   end;
   Buffer.contents b
+
+let sched_summary_json stats =
+  let module Pool = Autocfd_sched.Pool in
+  let module J = Obs.Json in
+  let batch_json (table, (s : Pool.stats)) =
+    J.Obj
+      [
+        ("table", J.Str table);
+        ("jobs", J.Int s.Pool.ps_jobs);
+        ("hits", J.Int s.Pool.ps_hits);
+        ("misses", J.Int s.Pool.ps_misses);
+        ("corrupt", J.Int s.Pool.ps_corrupt);
+        ("errors", J.Int s.Pool.ps_errors);
+        ("elapsed_wall", J.Float s.Pool.ps_elapsed);
+        ("workers",
+         J.List
+           (List.init (Array.length s.Pool.ps_busy) (fun w ->
+                J.Obj
+                  [
+                    ("worker", J.Int w);
+                    ("jobs", J.Int s.Pool.ps_ran.(w));
+                    ("busy_wall", J.Float s.Pool.ps_busy.(w));
+                    ("utilization", J.Float (Pool.utilization s w));
+                  ])));
+      ]
+  in
+  J.Obj
+    [
+      ("schema", J.Str "autocfd-sched/1");
+      ("batches", J.List (List.map batch_json stats));
+    ]

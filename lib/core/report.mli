@@ -15,7 +15,16 @@ val loop_census : Driver.plan -> (string * int) list
 
 val sched_summary : (string * Autocfd_sched.Pool.stats) list -> string
 (** Markdown summary of a sweep's scheduler activity: one row per table
-    (jobs, cache hits/misses, errors, batch elapsed) plus a per-domain
-    utilization table aggregated over all batches (a domain's utilization
-    is its busy time over the batch elapsed, time-weighted across
-    batches).  The input is {!Experiments.sweep_stats}. *)
+    (jobs, cache hits/misses/corruption-misses, errors, batch elapsed)
+    plus a per-domain utilization table aggregated over all batches (a
+    domain's utilization is its busy time over the batch elapsed,
+    time-weighted across batches).  The input is
+    {!Experiments.sweep_stats}. *)
+
+val sched_summary_json :
+  (string * Autocfd_sched.Pool.stats) list -> Autocfd_obs.Json.t
+(** The same scheduler activity as a machine-readable document (schema
+    ["autocfd-sched/1"]): per-batch job/hit/miss/corrupt/error counts,
+    wall-clock elapsed, and per-worker jobs, busy seconds and
+    utilization.  Embedded under the ["sched"] key of [run --json] and
+    [tables --json] ([BENCH_tables.json]) output. *)

@@ -49,6 +49,14 @@ and state = {
   mutable input : float list;
   mutable out_rev : string list;
   hooks : hooks;
+  (* per-nest profile, indexed like cu_cov (one slot per coverage entry);
+     self totals: an entry's own flops/bytes exclude inner profiled nests *)
+  kcalls : int array;
+  kflops : float array;
+  kbytes : float array;
+  mutable kmoved : float;  (* bytes touched by fused kernels, cumulative *)
+  mutable kattr_flops : float;  (* flops already attributed to some nest *)
+  mutable kattr_bytes : float;
 }
 
 and hooks = {
@@ -1446,6 +1454,7 @@ let kernel_of ctx (levels : Ast.do_loop list) (stmts : Ast.stmt list) :
             done;
             let total = !evals in
             st.flops <- st.flops +. float_of_int ((total * fpi) + !bfl);
+            st.kmoved <- st.kmoved +. float_of_int (total * nrefs * 8);
             for l = 0 to m - 1 do
               var_stores.(l) st (los.(l) + (trips.(l) * steps.(l)))
             done
@@ -1454,12 +1463,39 @@ let kernel_of ctx (levels : Ast.do_loop list) (stmts : Ast.stmt list) :
       end
     end
 
+(* Record one coverage entry and return its index (program order, the
+   final position in cu_cov); -1 when recording is off (inside fallback
+   bodies), which also disables profiling instrumentation. *)
 let record_cov ctx ~line ~vars ~fused reason =
-  if ctx.x_record then
+  if not ctx.x_record then -1
+  else begin
+    let idx = List.length !(ctx.x_cov) in
     ctx.x_cov :=
       { cov_line = line; cov_vars = vars; cov_fused = fused;
         cov_reason = reason }
-      :: !(ctx.x_cov)
+      :: !(ctx.x_cov);
+    idx
+  end
+
+(* Wrap a recorded nest's closure with self-profiling: calls, flop delta
+   and fused-kernel byte delta, minus whatever inner profiled nests
+   already claimed during this execution (recorded nests can contain
+   recorded nests when a fallback body is compiled with recording on) *)
+let profiled idx nest =
+  if idx < 0 then nest
+  else
+    fun st ->
+      let f0 = st.flops and b0 = st.kmoved in
+      let af0 = st.kattr_flops and ab0 = st.kattr_bytes in
+      nest st;
+      let df = st.flops -. f0 and db = st.kmoved -. b0 in
+      let self_f = df -. (st.kattr_flops -. af0) in
+      let self_b = db -. (st.kattr_bytes -. ab0) in
+      st.kcalls.(idx) <- st.kcalls.(idx) + 1;
+      st.kflops.(idx) <- st.kflops.(idx) +. self_f;
+      st.kbytes.(idx) <- st.kbytes.(idx) +. self_b;
+      st.kattr_flops <- af0 +. df;
+      st.kattr_bytes <- ab0 +. db
 
 (* ------------------------------------------------------------------ *)
 (* Statement compilation                                               *)
@@ -1622,22 +1658,29 @@ and comp_do ctx ~line (d : Ast.do_loop) : state -> unit =
     match peel d with
     | P_descend -> comp_do_plain ctx d
     | P_bad reason ->
-        if is_field_loop ctx d then
-          record_cov ctx ~line ~vars:[ d.Ast.do_var ] ~fused:false reason;
-        comp_do_plain ctx d
+        if is_field_loop ctx d then begin
+          let idx =
+            record_cov ctx ~line ~vars:[ d.Ast.do_var ] ~fused:false reason
+          in
+          profiled idx (comp_do_plain ctx d)
+        end
+        else comp_do_plain ctx d
     | P_leaf (levels, stmts) -> (
         let vars = List.map (fun (l : Ast.do_loop) -> l.Ast.do_var) levels in
         match kernel_of ctx levels stmts with
         | kernel ->
-            record_cov ctx ~line ~vars ~fused:true "fused";
+            let idx = record_cov ctx ~line ~vars ~fused:true "fused" in
             (* dynamic fall-back path: plain closure IR, no nested kernels *)
-            kernel (comp_do_plain { ctx with x_fuse = false } d)
+            profiled idx (kernel (comp_do_plain { ctx with x_fuse = false } d))
         | exception Unfusable reason ->
-            if is_field_loop ctx d then
-              record_cov ctx ~line ~vars ~fused:false reason;
+            let idx =
+              if is_field_loop ctx d then
+                record_cov ctx ~line ~vars ~fused:false reason
+              else -1
+            in
             (* inner sub-nests may still fuse (e.g. triangular bounds);
                they just don't get their own coverage entries *)
-            comp_do_plain { ctx with x_record = false } d)
+            profiled idx (comp_do_plain { ctx with x_record = false } d))
 
 and comp_do_plain ctx (d : Ast.do_loop) : state -> unit =
   let flo = as_int (comp ctx d.Ast.do_lo) in
@@ -1837,6 +1880,7 @@ let coverage cu = cu.cu_cov
 let create ?(hooks = sequential_hooks) ?(input = []) cu =
   let n = Array.length cu.sc_names in
   let arrs = Array.map Value.copy cu.ar_template in
+  let ncov = List.length cu.cu_cov in
   let st =
     {
       cu;
@@ -1851,6 +1895,12 @@ let create ?(hooks = sequential_hooks) ?(input = []) cu =
       input;
       out_rev = [];
       hooks;
+      kcalls = Array.make ncov 0;
+      kflops = Array.make ncov 0.0;
+      kbytes = Array.make ncov 0.0;
+      kmoved = 0.0;
+      kattr_flops = 0.0;
+      kattr_bytes = 0.0;
     }
   in
   List.iter
@@ -1873,6 +1923,30 @@ let unit_of st = st.cu.cu_unit
 let flops st = st.flops
 let reset_flops st = st.flops <- 0.0
 let output st = List.rev st.out_rev
+
+type kernel_stat = {
+  ks_line : int;
+  ks_vars : string list;
+  ks_fused : bool;
+  ks_reason : string;
+  ks_calls : int;
+  ks_flops : float;
+  ks_bytes : float;
+}
+
+let kernel_stats st =
+  List.mapi
+    (fun i (c : coverage_entry) ->
+      {
+        ks_line = c.cov_line;
+        ks_vars = c.cov_vars;
+        ks_fused = c.cov_fused;
+        ks_reason = c.cov_reason;
+        ks_calls = st.kcalls.(i);
+        ks_flops = st.kflops.(i);
+        ks_bytes = st.kbytes.(i);
+      })
+    st.cu.cu_cov
 
 let scalar_opt st name =
   match Hashtbl.find_opt st.cu.sc_index name with

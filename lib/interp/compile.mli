@@ -79,6 +79,22 @@ val coverage : cu -> coverage_entry list
 (** Field-loop nests in program order.  Empty unless the unit was
     compiled with [~fuse:true]. *)
 
+type kernel_stat = {
+  ks_line : int;  (** source line of the nest's outermost DO *)
+  ks_vars : string list;  (** loop variables, outermost first *)
+  ks_fused : bool;
+  ks_reason : string;  (** ["fused"], or why the nest fell back *)
+  ks_calls : int;  (** nest executions on this state *)
+  ks_flops : float;  (** self flops (inner profiled nests excluded) *)
+  ks_bytes : float;  (** bytes moved by the fused kernel (0 on fallback) *)
+}
+(** Per-nest execution profile of one state, one entry per {!coverage}
+    entry (same order).  Maintained whenever the unit was compiled with
+    [~fuse:true]; flop attribution is exact — every flop the state
+    charges inside a recorded nest lands in exactly one entry. *)
+
+val kernel_stats : state -> kernel_stat list
+
 val create : ?hooks:hooks -> ?input:float list -> cu -> state
 (** Fresh state: arrays copied from the compiled template (bounds + DATA),
     PARAMETER and scalar-DATA slots pre-set. *)

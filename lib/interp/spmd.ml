@@ -358,6 +358,8 @@ type 'm iface = {
   i_output : 'm -> string list;
   i_read0 : 'm -> int -> float array;  (* rank 0's actual READ source *)
   i_write0 : 'm -> Value.scalar list -> unit;
+  i_kernels : 'm -> Compile.kernel_stat list;
+      (* per-nest execution profile; [] on engines without one *)
 }
 
 (* keep at most this many checkpoint generations per rank: after a crash,
@@ -842,7 +844,34 @@ let run_with : 'm. 'm iface -> config -> Ast.program_unit -> result =
          (control flow depends on communication results?)";
     charge ();
     flush ();
-    flops_per_rank.(r) <- iface.i_flops (get_machine ())
+    flops_per_rank.(r) <- iface.i_flops (get_machine ());
+    (* per-nest profile summaries: one Kernel event per executed nest,
+       spanning [0, self-time] on the virtual clock.  Emitted after the
+       run so they are summaries, not timeline slices — Metrics folds
+       them into its kernel table instead of the rank accounting *)
+    match config.tracer with
+    | None -> ()
+    | Some tr ->
+        List.iter
+          (fun (k : Compile.kernel_stat) ->
+            if k.Compile.ks_calls > 0 then begin
+              let name =
+                Printf.sprintf "L%d do %s" k.Compile.ks_line
+                  (String.concat "," k.Compile.ks_vars)
+              in
+              Trace.record tr ~rank:r ~t0:0.0
+                ~t1:(k.Compile.ks_flops *. config.flop_time)
+                (Trace.Kernel
+                   {
+                     name;
+                     line = k.Compile.ks_line;
+                     fused = k.Compile.ks_fused;
+                     calls = k.Compile.ks_calls;
+                     flops = k.Compile.ks_flops;
+                     bytes = k.Compile.ks_bytes;
+                   })
+            end)
+          (iface.i_kernels (get_machine ()))
   in
   Sim.run ~net:config.net ?tracer:config.tracer ?faults:config.faults
     ~nranks body
@@ -952,6 +981,7 @@ let tree_iface (u : Ast.program_unit) : Machine.t iface =
     i_output = Machine.output;
     i_read0 = Machine.sequential_hooks.Machine.h_read;
     i_write0 = Machine.sequential_hooks.Machine.h_write;
+    i_kernels = (fun _ -> []);
   }
 
 let compiled_iface ?(fuse = false) (u : Ast.program_unit) :
@@ -981,6 +1011,7 @@ let compiled_iface ?(fuse = false) (u : Ast.program_unit) :
     i_output = Compile.output;
     i_read0 = Compile.sequential_hooks.Compile.h_read;
     i_write0 = Compile.sequential_hooks.Compile.h_write;
+    i_kernels = Compile.kernel_stats;
   }
 
 let run ?(engine = Fused) config (u : Ast.program_unit) =

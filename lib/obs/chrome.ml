@@ -1,5 +1,18 @@
 let us seconds = seconds *. 1e6
 
+(* lane (Chrome "process") assignment: the simulated cluster, the sweep
+   scheduler's worker domains (wall-clock), and per-nest kernel summaries
+   each get their own pid so viewers render them as separate groups *)
+let cluster_pid = 0
+let sched_pid = 1
+let kernel_pid = 2
+
+let pid_of (e : Trace.event) =
+  match e.Trace.ev_kind with
+  | Trace.Sched _ -> sched_pid
+  | Trace.Kernel _ -> kernel_pid
+  | _ -> cluster_pid
+
 let event_json (e : Trace.event) =
   let name, cat, args =
     match e.Trace.ev_kind with
@@ -43,6 +56,12 @@ let event_json (e : Trace.event) =
           [ ("bytes", Json.Int bytes) ] )
     | Trace.Sched { what; job } ->
         (Printf.sprintf "%s:%s" what job, "sched", [ ("job", Json.Str job) ])
+    | Trace.Kernel { name; line; fused; calls; flops; bytes } ->
+        ( name,
+          "kernel",
+          [ ("line", Json.Int line); ("fused", Json.Bool fused);
+            ("calls", Json.Int calls); ("flops", Json.Float flops);
+            ("bytes", Json.Float bytes) ] )
   in
   let args =
     if e.Trace.ev_sync >= 0 then ("sync", Json.Int e.Trace.ev_sync) :: args
@@ -55,27 +74,48 @@ let event_json (e : Trace.event) =
       ("ph", Json.Str "X");
       ("ts", Json.Float (us e.Trace.ev_t0));
       ("dur", Json.Float (us (e.Trace.ev_t1 -. e.Trace.ev_t0)));
-      ("pid", Json.Int 0);
+      ("pid", Json.Int (pid_of e));
       ("tid", Json.Int e.Trace.ev_rank);
       ("args", Json.Obj args);
     ]
 
-let metadata nranks =
-  let meta name tid args =
-    Json.Obj
-      [
-        ("name", Json.Str name);
-        ("ph", Json.Str "M");
-        ("pid", Json.Int 0);
-        ("tid", Json.Int tid);
-        ("args", Json.Obj args);
-      ]
+let meta ~pid name tid args =
+  Json.Obj
+    [
+      ("name", Json.Str name);
+      ("ph", Json.Str "M");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj args);
+    ]
+
+(* one metadata record per populated lane: the cluster lane always names
+   every rank; the scheduler and kernel lanes appear only when the trace
+   holds such events *)
+let metadata tr =
+  let nranks = Trace.nranks tr in
+  let sched_workers = ref (-1) and kernel_ranks = ref (-1) in
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.Trace.ev_kind with
+      | Trace.Sched _ -> sched_workers := max !sched_workers e.Trace.ev_rank
+      | Trace.Kernel _ -> kernel_ranks := max !kernel_ranks e.Trace.ev_rank
+      | _ -> ())
+    (Trace.events tr);
+  let lane ~pid ~pname ~tname n =
+    if n < 0 then []
+    else
+      meta ~pid "process_name" 0 [ ("name", Json.Str pname) ]
+      :: List.init (n + 1) (fun r ->
+             meta ~pid "thread_name" r
+               [ ("name", Json.Str (Printf.sprintf tname r)) ])
   in
-  meta "process_name" 0
-    [ ("name", Json.Str "autocfd simulated cluster") ]
-  :: List.init nranks (fun r ->
-         meta "thread_name" r
-           [ ("name", Json.Str (Printf.sprintf "rank %d" r)) ])
+  lane ~pid:cluster_pid ~pname:"autocfd simulated cluster"
+    ~tname:(format_of_string "rank %d") (nranks - 1)
+  @ lane ~pid:sched_pid ~pname:"sweep scheduler"
+      ~tname:(format_of_string "worker %d") !sched_workers
+  @ lane ~pid:kernel_pid ~pname:"kernel self time"
+      ~tname:(format_of_string "rank %d") !kernel_ranks
 
 let json tr =
   (* phase slices are emitted before the slices they contain so viewers
@@ -91,9 +131,7 @@ let json tr =
     [
       ("traceEvents",
        Json.List
-         (metadata (Trace.nranks tr)
-         @ List.map event_json phases
-         @ List.map event_json rest));
+         (metadata tr @ List.map event_json phases @ List.map event_json rest));
       ("displayTimeUnit", Json.Str "ms");
     ]
 

@@ -1,11 +1,21 @@
 (** Chrome [trace_event] export: the traced run as a JSON document loadable
     in [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}.
 
-    Each simulated rank becomes one thread (tid = rank) of a single
-    process; every trace event becomes a complete ("ph":"X") slice with
-    virtual-time timestamps in microseconds.  Slice categories: [compute],
-    [comm], [blocked], [collective] and [phase] (the combined
-    synchronization points, enclosing their constituent slices). *)
+    Events are grouped into up to three Chrome "processes" (lanes):
+
+    - pid 0 — the simulated cluster: one thread per rank (tid = rank),
+      virtual-time timestamps in microseconds.  Slice categories:
+      [compute], [comm], [blocked], [collective], [phase] (the combined
+      synchronization points, enclosing their constituent slices),
+      [fault], [proto] and [checkpoint].
+    - pid 1 — the sweep scheduler: one thread per worker domain, slices
+      on host wall-clock (category [sched]).
+    - pid 2 — kernel self-time summaries: one slice per field-loop nest
+      per rank, whose duration is the nest's self compute time on the
+      virtual clock (category [kernel]).
+
+    The scheduler and kernel lanes are emitted only when the trace holds
+    such events. *)
 
 val json : Trace.t -> Json.t
 val to_string : Trace.t -> string

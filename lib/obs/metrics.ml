@@ -18,12 +18,43 @@ type sync_row = {
   sr_phase_time : float;
 }
 
+type kind_row = {
+  kb_kind : string;
+  kb_events : int;
+  kb_bytes : int;
+  kb_time : float;
+}
+
+type kernel_row = {
+  kr_name : string;
+  kr_line : int;
+  kr_fused : bool;
+  kr_calls : int;
+  kr_flops : float;
+  kr_bytes : float;
+  kr_self : float;
+}
+
+type sched_worker = { sw_worker : int; sw_jobs : int; sw_busy : float }
+
+type sched_stats = {
+  sc_jobs : int;
+  sc_run : int;
+  sc_hits : int;
+  sc_errors : int;
+  sc_elapsed : float;
+  sc_workers : sched_worker list;
+}
+
 type t = {
   ranks : rank_row array;
   syncs : sync_row list;
   elapsed : float;
   messages : int;
   bytes : int;
+  by_kind : kind_row list;
+  kernels : kernel_row list;
+  sched : sched_stats option;
   faults : int;
   retransmits : int;
   checkpoints : int;
@@ -41,6 +72,25 @@ type sync_acc = {
   mutable a_phase : float;
 }
 
+type kind_acc = {
+  mutable ka_events : int;
+  mutable ka_bytes : int;
+  mutable ka_time : float;
+}
+
+type kernel_acc = {
+  mutable na_fused : bool;
+  mutable na_calls : int;
+  mutable na_flops : float;
+  mutable na_bytes : float;
+  mutable na_self : float;
+}
+
+type sched_acc = {
+  mutable wa_jobs : int;
+  mutable wa_busy : float;
+}
+
 let of_trace tr =
   let n = Trace.nranks tr in
   let compute = Array.make n 0.0
@@ -51,6 +101,12 @@ let of_trace tr =
   let faults = ref 0 and retransmits = ref 0 in
   let checkpoints = ref 0 and restores = ref 0 in
   let syncs : (int, sync_acc) Hashtbl.t = Hashtbl.create 16 in
+  let kinds : (string, kind_acc) Hashtbl.t = Hashtbl.create 8 in
+  let kind_order = ref [] in
+  let kernels : (int * string, kernel_acc) Hashtbl.t = Hashtbl.create 16 in
+  let sched_workers : (int, sched_acc) Hashtbl.t = Hashtbl.create 8 in
+  let sched_run = ref 0 and sched_hits = ref 0 and sched_errors = ref 0 in
+  let sched_seen = ref false and sched_elapsed = ref 0.0 in
   let acc id =
     match Hashtbl.find_opt syncs id with
     | Some a -> a
@@ -62,11 +118,32 @@ let of_trace tr =
         Hashtbl.replace syncs id a;
         a
   in
+  let kacc kind =
+    match Hashtbl.find_opt kinds kind with
+    | Some a -> a
+    | None ->
+        let a = { ka_events = 0; ka_bytes = 0; ka_time = 0.0 } in
+        Hashtbl.replace kinds kind a;
+        kind_order := kind :: !kind_order;
+        a
+  in
+  let by_kind ~kind ~b dur =
+    let a = kacc kind in
+    a.ka_events <- a.ka_events + 1;
+    a.ka_bytes <- a.ka_bytes + b;
+    a.ka_time <- a.ka_time +. dur
+  in
   List.iter
     (fun (e : Trace.event) ->
       let r = e.Trace.ev_rank in
       let dur = e.Trace.ev_t1 -. e.Trace.ev_t0 in
-      if r >= 0 && r < n then finish.(r) <- Float.max finish.(r) e.Trace.ev_t1;
+      (* kernel and sched events are summaries / wall-clock lanes: they do
+         not extend a rank's virtual finish time *)
+      (match e.Trace.ev_kind with
+      | Trace.Kernel _ | Trace.Sched _ -> ()
+      | _ ->
+          if r >= 0 && r < n then
+            finish.(r) <- Float.max finish.(r) e.Trace.ev_t1);
       let tagged = e.Trace.ev_sync >= 0 in
       match e.Trace.ev_kind with
       | Trace.Compute -> if r >= 0 && r < n then compute.(r) <- compute.(r) +. dur
@@ -74,16 +151,33 @@ let of_trace tr =
           if r >= 0 && r < n then comm.(r) <- comm.(r) +. dur;
           incr messages;
           bytes := !bytes + b;
+          by_kind ~kind:"send" ~b dur;
           if tagged then begin
             let a = acc e.Trace.ev_sync in
             a.a_messages <- a.a_messages + 1;
             a.a_bytes <- a.a_bytes + b;
             a.a_comm <- a.a_comm +. dur
           end
-      | Trace.Recv _ | Trace.Collective _ ->
+      | Trace.Recv { bytes = b; _ } ->
+          (* wire bytes are counted at origination (send / collective);
+             recv rows appear only in the per-kind breakdown *)
           if r >= 0 && r < n then comm.(r) <- comm.(r) +. dur;
+          by_kind ~kind:"recv" ~b dur;
           if tagged then begin
             let a = acc e.Trace.ev_sync in
+            a.a_comm <- a.a_comm +. dur
+          end
+      | Trace.Collective { bytes = b; _ } ->
+          (* one participation per rank: each counts as a message and
+             carries the collective's payload *)
+          if r >= 0 && r < n then comm.(r) <- comm.(r) +. dur;
+          incr messages;
+          bytes := !bytes + b;
+          by_kind ~kind:"collective" ~b dur;
+          if tagged then begin
+            let a = acc e.Trace.ev_sync in
+            a.a_messages <- a.a_messages + 1;
+            a.a_bytes <- a.a_bytes + b;
             a.a_comm <- a.a_comm +. dur
           end
       | Trace.Blocked _ ->
@@ -110,10 +204,44 @@ let of_trace tr =
              coordinated state movement of the recovery layer) *)
           if save then incr checkpoints else incr restores;
           if r >= 0 && r < n then comm.(r) <- comm.(r) +. dur
-      | Trace.Sched _ ->
+      | Trace.Sched { what; _ } ->
           (* sweep-scheduler events live on wall-clock, not the virtual
-             clock; they carry no simulator time to attribute *)
-          ())
+             clock: they get their own section instead of polluting the
+             per-rank virtual-time accounting *)
+          sched_seen := true;
+          sched_elapsed := Float.max !sched_elapsed e.Trace.ev_t1;
+          (match what with
+          | "hit" -> incr sched_hits
+          | "error" -> incr sched_errors
+          | _ -> incr sched_run);
+          let a =
+            match Hashtbl.find_opt sched_workers r with
+            | Some a -> a
+            | None ->
+                let a = { wa_jobs = 0; wa_busy = 0.0 } in
+                Hashtbl.replace sched_workers r a;
+                a
+          in
+          a.wa_jobs <- a.wa_jobs + 1;
+          a.wa_busy <- a.wa_busy +. dur
+      | Trace.Kernel { name; line; fused; calls; flops; bytes = kb } ->
+          let key = (line, name) in
+          let a =
+            match Hashtbl.find_opt kernels key with
+            | Some a -> a
+            | None ->
+                let a =
+                  { na_fused = fused; na_calls = 0; na_flops = 0.0;
+                    na_bytes = 0.0; na_self = 0.0 }
+                in
+                Hashtbl.replace kernels key a;
+                a
+          in
+          a.na_fused <- a.na_fused && fused;
+          a.na_calls <- a.na_calls + calls;
+          a.na_flops <- a.na_flops +. flops;
+          a.na_bytes <- a.na_bytes +. kb;
+          a.na_self <- a.na_self +. dur)
     (Trace.events tr);
   let ranks =
     Array.init n (fun r ->
@@ -131,12 +259,60 @@ let of_trace tr =
       syncs []
     |> List.sort (fun a b -> compare a.sr_id b.sr_id)
   in
+  let by_kind =
+    List.rev_map
+      (fun kind ->
+        let a = Hashtbl.find kinds kind in
+        { kb_kind = kind; kb_events = a.ka_events; kb_bytes = a.ka_bytes;
+          kb_time = a.ka_time })
+      !kind_order
+  in
+  let kernel_rows =
+    Hashtbl.fold
+      (fun (line, name) (a : kernel_acc) rows ->
+        { kr_name = name; kr_line = line; kr_fused = a.na_fused;
+          kr_calls = a.na_calls; kr_flops = a.na_flops;
+          kr_bytes = a.na_bytes; kr_self = a.na_self }
+        :: rows)
+      kernels []
+    |> List.sort (fun a b ->
+           match compare b.kr_self a.kr_self with
+           | 0 -> (
+               match compare b.kr_flops a.kr_flops with
+               | 0 -> compare a.kr_line b.kr_line
+               | c -> c)
+           | c -> c)
+  in
+  let sched =
+    if not !sched_seen then None
+    else
+      let workers =
+        Hashtbl.fold
+          (fun w (a : sched_acc) rows ->
+            { sw_worker = w; sw_jobs = a.wa_jobs; sw_busy = a.wa_busy }
+            :: rows)
+          sched_workers []
+        |> List.sort (fun a b -> compare a.sw_worker b.sw_worker)
+      in
+      Some
+        {
+          sc_jobs = !sched_run + !sched_hits + !sched_errors;
+          sc_run = !sched_run;
+          sc_hits = !sched_hits;
+          sc_errors = !sched_errors;
+          sc_elapsed = !sched_elapsed;
+          sc_workers = workers;
+        }
+  in
   {
     ranks;
     syncs;
     elapsed = Array.fold_left Float.max 0.0 finish;
     messages = !messages;
     bytes = !bytes;
+    by_kind;
+    kernels = kernel_rows;
+    sched;
     faults = !faults;
     retransmits = !retransmits;
     checkpoints = !checkpoints;
@@ -169,9 +345,51 @@ let to_json m =
         ("phase_time", Json.Float s.sr_phase_time);
       ]
   in
+  let kind_json (k : kind_row) =
+    Json.Obj
+      [
+        ("kind", Json.Str k.kb_kind);
+        ("events", Json.Int k.kb_events);
+        ("bytes", Json.Int k.kb_bytes);
+        ("time", Json.Float k.kb_time);
+      ]
+  in
+  let kernel_json (k : kernel_row) =
+    Json.Obj
+      [
+        ("name", Json.Str k.kr_name);
+        ("line", Json.Int k.kr_line);
+        ("fused", Json.Bool k.kr_fused);
+        ("calls", Json.Int k.kr_calls);
+        ("flops", Json.Float k.kr_flops);
+        ("bytes", Json.Float k.kr_bytes);
+        ("self_time", Json.Float k.kr_self);
+      ]
+  in
+  let sched_json (s : sched_stats) =
+    Json.Obj
+      [
+        ("jobs", Json.Int s.sc_jobs);
+        ("run", Json.Int s.sc_run);
+        ("hits", Json.Int s.sc_hits);
+        ("errors", Json.Int s.sc_errors);
+        ("elapsed_wall", Json.Float s.sc_elapsed);
+        ("workers",
+         Json.List
+           (List.map
+              (fun w ->
+                Json.Obj
+                  [
+                    ("worker", Json.Int w.sw_worker);
+                    ("jobs", Json.Int w.sw_jobs);
+                    ("busy_wall", Json.Float w.sw_busy);
+                  ])
+              s.sc_workers));
+      ]
+  in
   Json.Obj
     [
-      ("schema", Json.Str "autocfd-metrics/1");
+      ("schema", Json.Str "autocfd-metrics/2");
       ("elapsed", Json.Float m.elapsed);
       ("messages", Json.Int m.messages);
       ("bytes", Json.Int m.bytes);
@@ -179,6 +397,10 @@ let to_json m =
       ("retransmits", Json.Int m.retransmits);
       ("checkpoints", Json.Int m.checkpoints);
       ("restores", Json.Int m.restores);
+      ("by_kind", Json.List (List.map kind_json m.by_kind));
       ("ranks", Json.List (List.map rank_json (Array.to_list m.ranks)));
       ("sync_points", Json.List (List.map sync_json m.syncs));
+      ("kernels", Json.List (List.map kernel_json m.kernels));
+      ("sched",
+       match m.sched with Some s -> sched_json s | None -> Json.Null);
     ]

@@ -1,7 +1,9 @@
 (** Derived metrics of one traced run: where did every simulated second go
-    (per rank: compute / communication / blocked-idle), and which combined
+    (per rank: compute / communication / blocked-idle), which combined
     synchronization point is responsible for every message, byte and
-    blocked second. *)
+    blocked second, which field-loop nest is responsible for every
+    compute second, and — for sweep traces — what the scheduler's worker
+    domains did on the wall clock. *)
 
 type rank_row = {
   rr_rank : int;
@@ -16,19 +18,63 @@ type sync_row = {
   sr_label : string;
   sr_loop : string option;  (** enclosing DO variable, if any *)
   sr_executions : int;  (** phase entries across all ranks *)
-  sr_messages : int;
+  sr_messages : int;  (** p2p sends + per-rank collective participations *)
   sr_bytes : int;
   sr_comm_time : float;  (** summed over ranks *)
   sr_blocked_time : float;  (** summed over ranks *)
   sr_phase_time : float;  (** total rank-seconds inside the phase *)
 }
 
+type kind_row = {
+  kb_kind : string;  (** ["send"], ["recv"] or ["collective"] *)
+  kb_events : int;
+  kb_bytes : int;
+  kb_time : float;  (** comm seconds attributed to this kind *)
+}
+(** Per-kind communication breakdown.  The top-level [messages]/[bytes]
+    totals count sends and per-rank collective participations; recv rows
+    appear here only (their wire bytes were already counted at the
+    sending side). *)
+
+type kernel_row = {
+  kr_name : string;
+  kr_line : int;  (** source line of the nest's outermost DO *)
+  kr_fused : bool;
+  kr_calls : int;  (** nest executions, summed over ranks *)
+  kr_flops : float;  (** self flops (excluding inner profiled nests) *)
+  kr_bytes : float;  (** bytes moved by the fused kernel tier (0 = unknown) *)
+  kr_self : float;  (** self virtual-compute seconds, summed over ranks *)
+}
+(** One field-loop nest, aggregated over every {!Trace.Kernel} summary
+    event (i.e. over ranks).  Sorted by descending self time. *)
+
+type sched_worker = {
+  sw_worker : int;
+  sw_jobs : int;
+  sw_busy : float;  (** wall-clock seconds handling jobs *)
+}
+
+type sched_stats = {
+  sc_jobs : int;
+  sc_run : int;
+  sc_hits : int;  (** served from the result cache *)
+  sc_errors : int;
+  sc_elapsed : float;  (** wall-clock span of the recorded sweep events *)
+  sc_workers : sched_worker list;  (** ascending worker id *)
+}
+(** Wall-clock section for {!Trace.Sched} events.  Kept separate from the
+    virtual-clock rank rows: a sweep trace measures the host machine, not
+    the simulated cluster. *)
+
 type t = {
   ranks : rank_row array;
   syncs : sync_row list;  (** ascending sync-point id; executed points only *)
   elapsed : float;
-  messages : int;
-  bytes : int;
+  messages : int;  (** sends + per-rank collective participations *)
+  bytes : int;  (** payload bytes of the above *)
+  by_kind : kind_row list;  (** in first-appearance order *)
+  kernels : kernel_row list;  (** descending self time *)
+  sched : sched_stats option;  (** [None] when the trace has no sweep events *)
   faults : int;  (** injected fault events (loss/corrupt/dup/stall/crash) *)
   retransmits : int;  (** reliable-transport retransmissions *)
   checkpoints : int;  (** recovery-layer snapshots taken (across ranks) *)
@@ -38,4 +84,4 @@ type t = {
 val of_trace : Trace.t -> t
 
 val to_json : t -> Json.t
-(** Compact machine-readable document (schema version ["autocfd-metrics/1"]). *)
+(** Compact machine-readable document (schema version ["autocfd-metrics/2"]). *)

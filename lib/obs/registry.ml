@@ -1,0 +1,455 @@
+type kind = Counter | Gauge | Histogram
+
+type hist = {
+  hg_bounds : float array;  (* ascending bucket upper bounds (inclusive) *)
+  hg_counts : int array;  (* length = bounds + 1; last slot = +Inf overflow *)
+  mutable hg_sum : float;
+  mutable hg_count : int;
+}
+
+type cell = {
+  cl_labels : (string * string) list;  (* sorted by label name *)
+  mutable cl_value : float;
+  cl_hist : hist option;
+}
+
+type family = {
+  fm_name : string;
+  mutable fm_help : string;
+  fm_kind : kind;
+  fm_cells : (string, cell) Hashtbl.t;  (* keyed by canonical label text *)
+}
+
+type t = { fams : (string, family) Hashtbl.t }
+
+let create () = { fams = Hashtbl.create 32 }
+
+let kind_name = function
+  | Counter -> "counter"
+  | Gauge -> "gauge"
+  | Histogram -> "histogram"
+
+(* ------------------------------------------------------------------ *)
+(* Buckets                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let log_buckets ~lo ~hi =
+  if not (lo > 0.0 && hi > lo) then
+    invalid_arg "Registry.log_buckets: need 0 < lo < hi";
+  let rec go acc b = if b >= hi then List.rev (b :: acc) else go (b :: acc) (b *. 2.0) in
+  Array.of_list (go [] lo)
+
+(* power-of-two decades: 1 µs .. ~16 s *)
+let seconds_buckets = log_buckets ~lo:1e-6 ~hi:16.0
+
+(* 64 B .. 16 MiB *)
+let bytes_buckets = log_buckets ~lo:64.0 ~hi:16777216.0
+
+(* ------------------------------------------------------------------ *)
+(* Cells                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let canon_labels labels =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+
+let label_key labels =
+  String.concat "\x00"
+    (List.concat_map (fun (k, v) -> [ k; v ]) labels)
+
+let family t ~kind ~help name =
+  match Hashtbl.find_opt t.fams name with
+  | Some f ->
+      if f.fm_kind <> kind then
+        invalid_arg
+          (Printf.sprintf "Registry: %s is a %s, not a %s" name
+             (kind_name f.fm_kind) (kind_name kind));
+      if f.fm_help = "" then f.fm_help <- help;
+      f
+  | None ->
+      let f =
+        { fm_name = name; fm_help = help; fm_kind = kind;
+          fm_cells = Hashtbl.create 4 }
+      in
+      Hashtbl.replace t.fams name f;
+      f
+
+let cell f ~labels ~mk =
+  let labels = canon_labels labels in
+  let key = label_key labels in
+  match Hashtbl.find_opt f.fm_cells key with
+  | Some c -> c
+  | None ->
+      let c = mk labels in
+      Hashtbl.replace f.fm_cells key c;
+      c
+
+let scalar_cell labels = { cl_labels = labels; cl_value = 0.0; cl_hist = None }
+
+let inc t ?(help = "") ?(labels = []) name v =
+  let f = family t ~kind:Counter ~help name in
+  let c = cell f ~labels ~mk:scalar_cell in
+  c.cl_value <- c.cl_value +. v
+
+let set t ?(help = "") ?(labels = []) name v =
+  let f = family t ~kind:Gauge ~help name in
+  let c = cell f ~labels ~mk:scalar_cell in
+  c.cl_value <- v
+
+let observe t ?(help = "") ?(labels = []) ?(buckets = seconds_buckets) name v =
+  let f = family t ~kind:Histogram ~help name in
+  let c =
+    cell f ~labels ~mk:(fun labels ->
+        { cl_labels = labels; cl_value = 0.0;
+          cl_hist =
+            Some
+              { hg_bounds = Array.copy buckets;
+                hg_counts = Array.make (Array.length buckets + 1) 0;
+                hg_sum = 0.0; hg_count = 0 } })
+  in
+  let h = Option.get c.cl_hist in
+  let nb = Array.length h.hg_bounds in
+  (* first bucket whose upper bound is >= v ("le" semantics); the last
+     slot catches values above every bound *)
+  let rec find i = if i >= nb || v <= h.hg_bounds.(i) then i else find (i + 1) in
+  let i = find 0 in
+  h.hg_counts.(i) <- h.hg_counts.(i) + 1;
+  h.hg_sum <- h.hg_sum +. v;
+  h.hg_count <- h.hg_count + 1
+
+(* ------------------------------------------------------------------ *)
+(* Inspection                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let find_cell t ?(labels = []) name =
+  match Hashtbl.find_opt t.fams name with
+  | None -> None
+  | Some f -> Hashtbl.find_opt f.fm_cells (label_key (canon_labels labels))
+
+let value t ?labels name =
+  match find_cell t ?labels name with
+  | Some { cl_hist = None; cl_value; _ } -> Some cl_value
+  | _ -> None
+
+let hist_counts t ?labels name =
+  match find_cell t ?labels name with
+  | Some { cl_hist = Some h; _ } ->
+      Some (Array.copy h.hg_bounds, Array.copy h.hg_counts, h.hg_sum, h.hg_count)
+  | _ -> None
+
+let sorted_families t =
+  Hashtbl.fold (fun _ f acc -> f :: acc) t.fams []
+  |> List.sort (fun a b -> String.compare a.fm_name b.fm_name)
+
+let sorted_cells f =
+  Hashtbl.fold (fun _ c acc -> c :: acc) f.fm_cells []
+  |> List.sort (fun a b -> compare a.cl_labels b.cl_labels)
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus exposition                                               *)
+(* ------------------------------------------------------------------ *)
+
+let float_text f =
+  if f = Float.infinity then "+Inf"
+  else if f = Float.neg_infinity then "-Inf"
+  else if Float.is_nan f then "NaN"
+  else
+    let s = Printf.sprintf "%.15g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let escape_label_value v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let label_text labels =
+  if labels = [] then ""
+  else
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+           labels)
+    ^ "}"
+
+let to_prometheus t =
+  let b = Buffer.create 4096 in
+  let sample name labels v =
+    Buffer.add_string b name;
+    Buffer.add_string b (label_text labels);
+    Buffer.add_char b ' ';
+    Buffer.add_string b (float_text v);
+    Buffer.add_char b '\n'
+  in
+  List.iter
+    (fun f ->
+      if f.fm_help <> "" then
+        Buffer.add_string b
+          (Printf.sprintf "# HELP %s %s\n" f.fm_name f.fm_help);
+      Buffer.add_string b
+        (Printf.sprintf "# TYPE %s %s\n" f.fm_name (kind_name f.fm_kind));
+      List.iter
+        (fun c ->
+          match c.cl_hist with
+          | None -> sample f.fm_name c.cl_labels c.cl_value
+          | Some h ->
+              let cum = ref 0 in
+              Array.iteri
+                (fun i bound ->
+                  cum := !cum + h.hg_counts.(i);
+                  sample (f.fm_name ^ "_bucket")
+                    (c.cl_labels @ [ ("le", float_text bound) ])
+                    (float_of_int !cum))
+                h.hg_bounds;
+              sample (f.fm_name ^ "_bucket")
+                (c.cl_labels @ [ ("le", "+Inf") ])
+                (float_of_int h.hg_count);
+              sample (f.fm_name ^ "_sum") c.cl_labels h.hg_sum;
+              sample (f.fm_name ^ "_count") c.cl_labels
+                (float_of_int h.hg_count))
+        (sorted_cells f))
+    (sorted_families t);
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus parsing (round-trip checks and tooling)                  *)
+(* ------------------------------------------------------------------ *)
+
+type sample = {
+  s_name : string;
+  s_labels : (string * string) list;
+  s_value : float;
+}
+
+exception Parse_error of string
+
+let parse_value text =
+  match text with
+  | "+Inf" -> Float.infinity
+  | "-Inf" -> Float.neg_infinity
+  | "NaN" -> Float.nan
+  | _ -> (
+      match float_of_string_opt text with
+      | Some v -> v
+      | None -> raise (Parse_error ("bad sample value: " ^ text)))
+
+let parse_labels s =
+  (* s is the text between '{' and '}' *)
+  let n = String.length s in
+  let pos = ref 0 in
+  let labels = ref [] in
+  let fail msg = raise (Parse_error msg) in
+  while !pos < n do
+    let eq =
+      match String.index_from_opt s !pos '=' with
+      | Some i -> i
+      | None -> fail "label without '='"
+    in
+    let name = String.trim (String.sub s !pos (eq - !pos)) in
+    if eq + 1 >= n || s.[eq + 1] <> '"' then fail "label value not quoted";
+    let b = Buffer.create 16 in
+    let i = ref (eq + 2) in
+    let closed = ref false in
+    while not !closed do
+      if !i >= n then fail "unterminated label value"
+      else
+        match s.[!i] with
+        | '"' ->
+            closed := true;
+            incr i
+        | '\\' ->
+            if !i + 1 >= n then fail "truncated escape";
+            (match s.[!i + 1] with
+            | '\\' -> Buffer.add_char b '\\'
+            | '"' -> Buffer.add_char b '"'
+            | 'n' -> Buffer.add_char b '\n'
+            | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+            i := !i + 2
+        | c ->
+            Buffer.add_char b c;
+            incr i
+    done;
+    labels := (name, Buffer.contents b) :: !labels;
+    pos := !i;
+    if !pos < n then
+      if s.[!pos] = ',' then incr pos
+      else fail "expected ',' between labels"
+  done;
+  List.rev !labels
+
+let parse_prometheus text =
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None
+         else
+           match String.index_opt line '{' with
+           | Some lb ->
+               let rb =
+                 match String.rindex_opt line '}' with
+                 | Some i when i > lb -> i
+                 | _ -> raise (Parse_error ("unbalanced '{': " ^ line))
+               in
+               let name = String.sub line 0 lb in
+               let labels =
+                 parse_labels (String.sub line (lb + 1) (rb - lb - 1))
+               in
+               let rest = String.trim
+                   (String.sub line (rb + 1) (String.length line - rb - 1))
+               in
+               Some
+                 { s_name = name; s_labels = labels;
+                   s_value = parse_value rest }
+           | None -> (
+               match String.index_opt line ' ' with
+               | None -> raise (Parse_error ("sample without value: " ^ line))
+               | Some sp ->
+                   let name = String.sub line 0 sp in
+                   let rest =
+                     String.trim
+                       (String.sub line (sp + 1) (String.length line - sp - 1))
+                   in
+                   Some
+                     { s_name = name; s_labels = [];
+                       s_value = parse_value rest }))
+
+(* ------------------------------------------------------------------ *)
+(* JSON export                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let to_json t =
+  let cell_json (c : cell) =
+    let labels =
+      Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) c.cl_labels)
+    in
+    match c.cl_hist with
+    | None -> Json.Obj [ ("labels", labels); ("value", Json.Float c.cl_value) ]
+    | Some h ->
+        Json.Obj
+          [
+            ("labels", labels);
+            ("buckets",
+             Json.List
+               (List.init (Array.length h.hg_bounds) (fun i ->
+                    Json.Obj
+                      [
+                        ("le", Json.Float h.hg_bounds.(i));
+                        ("count", Json.Int h.hg_counts.(i));
+                      ])
+               @ [
+                   Json.Obj
+                     [
+                       ("le", Json.Null);  (* +Inf overflow slot *)
+                       ("count",
+                        Json.Int h.hg_counts.(Array.length h.hg_bounds));
+                     ];
+                 ]));
+            ("sum", Json.Float h.hg_sum);
+            ("count", Json.Int h.hg_count);
+          ]
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str "autocfd-registry/1");
+      ("metrics",
+       Json.List
+         (List.map
+            (fun f ->
+              Json.Obj
+                [
+                  ("name", Json.Str f.fm_name);
+                  ("type", Json.Str (kind_name f.fm_kind));
+                  ("help", Json.Str f.fm_help);
+                  ("series", Json.List (List.map cell_json (sorted_cells f)));
+                ])
+            (sorted_families t)));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Trace feeding                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let observe_trace t tr =
+  let soi = string_of_int in
+  List.iter
+    (fun (e : Trace.event) ->
+      let dur = e.Trace.ev_t1 -. e.Trace.ev_t0 in
+      match e.Trace.ev_kind with
+      | Trace.Compute ->
+          inc t "autocfd_compute_seconds_total" dur
+            ~help:"virtual compute seconds across ranks"
+      | Trace.Send { bytes; _ } ->
+          inc t "autocfd_messages_total" 1.0 ~labels:[ ("kind", "send") ]
+            ~help:"messages originated (p2p sends and collective participations)";
+          inc t "autocfd_comm_bytes_total" (float_of_int bytes)
+            ~labels:[ ("kind", "send") ]
+            ~help:"payload bytes originated, by communication kind";
+          inc t "autocfd_comm_seconds_total" dur ~labels:[ ("kind", "send") ]
+            ~help:"virtual communication seconds, by kind";
+          observe t "autocfd_message_bytes" (float_of_int bytes)
+            ~labels:[ ("kind", "send") ] ~buckets:bytes_buckets
+            ~help:"message size distribution"
+      | Trace.Recv { bytes = _; _ } ->
+          inc t "autocfd_comm_seconds_total" dur ~labels:[ ("kind", "recv") ]
+            ~help:"virtual communication seconds, by kind"
+      | Trace.Blocked _ ->
+          inc t "autocfd_blocked_seconds_total" dur
+            ~help:"virtual blocked-idle seconds across ranks"
+      | Trace.Collective { op; bytes } ->
+          inc t "autocfd_messages_total" 1.0 ~labels:[ ("kind", "collective") ]
+            ~help:"messages originated (p2p sends and collective participations)";
+          inc t "autocfd_comm_bytes_total" (float_of_int bytes)
+            ~labels:[ ("kind", "collective") ]
+            ~help:"payload bytes originated, by communication kind";
+          inc t "autocfd_comm_seconds_total" dur
+            ~labels:[ ("kind", "collective") ]
+            ~help:"virtual communication seconds, by kind";
+          inc t "autocfd_collectives_total" 1.0 ~labels:[ ("op", op) ]
+            ~help:"per-rank collective participations, by operation";
+          observe t "autocfd_message_bytes" (float_of_int bytes)
+            ~labels:[ ("kind", "collective") ] ~buckets:bytes_buckets
+            ~help:"message size distribution"
+      | Trace.Phase { label; _ } ->
+          inc t "autocfd_sync_executions_total" 1.0
+            ~labels:[ ("sync", label) ]
+            ~help:"phase entries per combined synchronization point";
+          observe t "autocfd_sync_latency_seconds" dur
+            ~labels:[ ("sync", label) ]
+            ~help:"per-execution latency of each combined sync point"
+      | Trace.Fault { what; _ } ->
+          inc t "autocfd_faults_total" 1.0 ~labels:[ ("what", what) ]
+            ~help:"injected fault events"
+      | Trace.Retransmit _ ->
+          inc t "autocfd_retransmits_total" 1.0
+            ~help:"reliable-transport retransmissions"
+      | Trace.Checkpoint { save; bytes } ->
+          inc t "autocfd_checkpoints_total" 1.0
+            ~labels:[ ("op", (if save then "save" else "restore")) ]
+            ~help:"recovery-layer snapshots and restores";
+          inc t "autocfd_checkpoint_bytes_total" (float_of_int bytes)
+            ~help:"bytes moved by the recovery layer"
+      | Trace.Sched { what; _ } ->
+          inc t "autocfd_sched_jobs_total" 1.0 ~labels:[ ("outcome", what) ]
+            ~help:"sweep jobs by outcome (run / hit / error)";
+          observe t "autocfd_sched_job_seconds" dur
+            ~help:"wall-clock job handling time in the sweep pool";
+          inc t "autocfd_sched_busy_seconds_total" dur
+            ~labels:[ ("worker", soi e.Trace.ev_rank) ]
+            ~help:"wall-clock busy seconds per pool worker"
+      | Trace.Kernel { name; calls; flops; bytes; _ } ->
+          let labels = [ ("kernel", name) ] in
+          inc t "autocfd_kernel_calls_total" (float_of_int calls) ~labels
+            ~help:"field-loop nest executions";
+          inc t "autocfd_kernel_flops_total" flops ~labels
+            ~help:"self flops per field-loop nest";
+          inc t "autocfd_kernel_bytes_total" bytes ~labels
+            ~help:"bytes moved by the fused kernel tier per nest";
+          inc t "autocfd_kernel_self_seconds_total" dur ~labels
+            ~help:"virtual self compute seconds per field-loop nest")
+    (Trace.events tr)

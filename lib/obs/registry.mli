@@ -1,0 +1,92 @@
+(** Unified metrics registry: named counters, gauges and log-bucketed
+    histograms with Prometheus-text and JSON exporters.
+
+    A metric is identified by its name plus a (sorted) label set; the
+    first use of a name fixes its kind (and, for histograms, its bucket
+    bounds).  Exports are deterministic: families sorted by name, series
+    by label set — independent of insertion order.
+
+    The registry itself is a passive container; {!observe_trace} feeds it
+    from a {!Trace} (interp kernel summaries, mpsim message sizes and
+    sync-point latencies, fault/retransmit/checkpoint counters, sweep
+    scheduler events), and callers with richer sources (e.g. the sweep
+    pool's stats record) add their own series on top. *)
+
+type t
+
+val create : unit -> t
+
+val inc : t -> ?help:string -> ?labels:(string * string) list -> string -> float -> unit
+(** Add to a counter (creating it at 0).
+    @raise Invalid_argument if [name] exists with a different kind. *)
+
+val set : t -> ?help:string -> ?labels:(string * string) list -> string -> float -> unit
+(** Set a gauge. *)
+
+val observe :
+  t ->
+  ?help:string ->
+  ?labels:(string * string) list ->
+  ?buckets:float array ->
+  string ->
+  float ->
+  unit
+(** Record one observation in a histogram.  [buckets] (ascending upper
+    bounds, "le" semantics: an observation lands in the first bucket
+    whose bound is [>=] the value; above every bound it lands in the
+    implicit [+Inf] slot) applies on first creation only; defaults to
+    {!seconds_buckets}. *)
+
+val log_buckets : lo:float -> hi:float -> float array
+(** Powers-of-two bounds [lo, 2lo, 4lo, ...] up to and including the
+    first bound [>= hi].
+    @raise Invalid_argument unless [0 < lo < hi]. *)
+
+val seconds_buckets : float array
+(** [log_buckets ~lo:1e-6 ~hi:16.0] — 1 µs to ~16 s. *)
+
+val bytes_buckets : float array
+(** [log_buckets ~lo:64.0 ~hi:16777216.0] — 64 B to 16 MiB. *)
+
+val value : t -> ?labels:(string * string) list -> string -> float option
+(** Current value of a counter or gauge series, if it exists. *)
+
+val hist_counts :
+  t ->
+  ?labels:(string * string) list ->
+  string ->
+  (float array * int array * float * int) option
+(** [(bounds, per-bucket counts, sum, count)] of a histogram series; the
+    counts array has one extra trailing slot for the [+Inf] overflow. *)
+
+val to_prometheus : t -> string
+(** Prometheus text exposition format: [# HELP]/[# TYPE] headers, one
+    sample line per series, histograms expanded into cumulative
+    [_bucket{le="..."}] samples plus [_sum] and [_count]. *)
+
+val to_json : t -> Json.t
+(** Schema ["autocfd-registry/1"]: metric families with kind, help and
+    series (histogram series carry per-bucket — non-cumulative — counts,
+    with a [le = null] overflow slot). *)
+
+type sample = {
+  s_name : string;
+  s_labels : (string * string) list;
+  s_value : float;
+}
+
+exception Parse_error of string
+
+val parse_prometheus : string -> sample list
+(** Parse text exposition format back into samples (comments and blank
+    lines skipped; histogram [_bucket]/[_sum]/[_count] samples appear
+    under those suffixed names).  Used by the round-trip tests and by
+    tooling that scrapes [profile --prom] output.
+    @raise Parse_error on malformed input. *)
+
+val observe_trace : t -> Trace.t -> unit
+(** Fold every trace event into the registry: compute/blocked seconds,
+    per-kind message counters and size histograms, per-sync-point latency
+    histograms, fault/retransmit/checkpoint counters, sweep-scheduler job
+    counters and per-worker busy seconds, and per-nest kernel counters
+    from {!Trace.Kernel} summaries. *)

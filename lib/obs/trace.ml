@@ -9,6 +9,14 @@ type kind =
   | Retransmit of { dest : int; tag : int; seq : int }
   | Checkpoint of { save : bool; bytes : int }
   | Sched of { what : string; job : string }
+  | Kernel of {
+      name : string;
+      line : int;
+      fused : bool;
+      calls : int;
+      flops : float;
+      bytes : float;
+    }
 
 type event = {
   ev_rank : int;

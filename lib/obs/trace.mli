@@ -44,6 +44,22 @@ type kind =
           host wall-clock seconds since the pool started — a sweep trace
           shares the event format, not the virtual clock, of a simulator
           trace. *)
+  | Kernel of {
+      name : string;
+      line : int;
+      fused : bool;
+      calls : int;
+      flops : float;
+      bytes : float;
+    }
+      (** per-nest profile summary emitted by the SPMD executor once per
+          rank at the end of a run (fused engine only): [name] identifies
+          the field-loop nest ([line] is its outermost DO's source line),
+          [calls]/[flops]/[bytes] are the rank's self totals, and the
+          event's span [ev_t1 - ev_t0] is the nest's self time on the
+          virtual clock ([flops * flop_time]).  A summary, not a timeline
+          slice: {!Metrics} excludes it from the per-rank accounting and
+          aggregates it into its kernel table instead. *)
 
 type event = {
   ev_rank : int;

@@ -1,6 +1,6 @@
 module J = Autocfd_obs.Json
 
-type t = { c_dir : string }
+type t = { c_dir : string; c_corrupt : int Atomic.t }
 
 let create ?(dir = "_autocfd_cache") () =
   (if not (Sys.file_exists dir) then
@@ -10,9 +10,10 @@ let create ?(dir = "_autocfd_cache") () =
        ());
   if not (Sys.is_directory dir) then
     raise (Sys_error (dir ^ ": not a directory"));
-  { c_dir = dir }
+  { c_dir = dir; c_corrupt = Atomic.make 0 }
 
 let dir t = t.c_dir
+let corruption_misses t = Atomic.get t.c_corrupt
 
 let path_of t job = Filename.concat t.c_dir (Job.cache_name job ^ ".json")
 
@@ -26,14 +27,18 @@ let lookup t job =
   let path = path_of t job in
   if not (Sys.file_exists path) then None
   else
+    let miss () =
+      Atomic.incr t.c_corrupt;
+      None
+    in
     match J.of_string (read_file path) with
-    | exception (Sys_error _ | J.Parse_error _) -> None
+    | exception (Sys_error _ | J.Parse_error _) -> miss ()
     | doc -> (
         match (J.member "key" doc, J.member "result" doc) with
         | Some stored, Some result
           when J.canonical stored = J.canonical job.Job.jb_key ->
             Some result
-        | _ -> None)
+        | _ -> miss ())
 
 let write_atomic ~path text =
   let dir = Filename.dirname path in

@@ -23,6 +23,13 @@ val create : ?dir:string -> unit -> t
 
 val dir : t -> string
 
+val corruption_misses : t -> int
+(** Lookups (since {!create}) that found an entry file but could not use
+    it: unreadable or malformed JSON, a missing [key]/[result] field, or
+    a stored key that differs from the probe key (hash collision or torn
+    write).  Each such probe counted once; ordinary cold misses (no entry
+    file) are not included. *)
+
 val lookup : t -> Job.t -> Autocfd_obs.Json.t option
 (** The stored result, iff an entry exists whose stored key is
     canonically equal to the job's key. *)

@@ -17,6 +17,7 @@ type stats = {
   ps_hits : int;
   ps_misses : int;
   ps_errors : int;
+  ps_corrupt : int;
   ps_elapsed : float;
   ps_busy : float array;
   ps_ran : int array;
@@ -65,6 +66,9 @@ let run ?jobs ?cache ?tracer job_list =
   let busy = Array.make nworkers 0.0 in
   let ran = Array.make nworkers 0 in
   let merge_lock = Mutex.create () in
+  let corrupt0 =
+    match cache with Some c -> Cache.corruption_misses c | None -> 0
+  in
   let t_start = Unix.gettimeofday () in
   let now () = Unix.gettimeofday () -. t_start in
   let exec w i =
@@ -172,6 +176,10 @@ let run ?jobs ?cache ?tracer job_list =
       ps_hits = hits;
       ps_misses = n - hits;
       ps_errors = errors;
+      ps_corrupt =
+        (match cache with
+        | Some c -> Cache.corruption_misses c - corrupt0
+        | None -> 0);
       ps_elapsed = elapsed;
       ps_busy = busy;
       ps_ran = ran;

@@ -33,6 +33,9 @@ type stats = {
   ps_hits : int;
   ps_misses : int;  (** jobs actually executed (including failures) *)
   ps_errors : int;
+  ps_corrupt : int;
+      (** cache probes during this batch that found an unusable entry
+          (see {!Cache.corruption_misses}); 0 without a cache *)
   ps_elapsed : float;  (** wall-clock seconds for the whole batch *)
   ps_busy : float array;  (** per-worker seconds spent handling jobs *)
   ps_ran : int array;  (** per-worker jobs handled *)

@@ -128,9 +128,30 @@ let test_breakdown_sums_to_finish () =
     m.Obs.Metrics.ranks;
   Alcotest.(check (float 1e-9)) "metrics elapsed = stats elapsed"
     stats.Sim.elapsed m.Obs.Metrics.elapsed;
-  Alcotest.(check int) "messages counted" stats.Sim.messages
+  (* the simulator's [messages]/[bytes] count p2p sends only; the metrics
+     totals add per-rank collective participations, with the split
+     recoverable from the by-kind breakdown *)
+  let kind k =
+    match
+      List.find_opt (fun r -> r.Obs.Metrics.kb_kind = k) m.Obs.Metrics.by_kind
+    with
+    | Some r -> r
+    | None -> Alcotest.failf "kind row %S missing" k
+  in
+  Alcotest.(check int) "p2p sends counted" stats.Sim.messages
+    (kind "send").Obs.Metrics.kb_events;
+  Alcotest.(check int) "p2p bytes counted" stats.Sim.bytes
+    (kind "send").Obs.Metrics.kb_bytes;
+  (* each of the 3 ranks participates in every collective *)
+  Alcotest.(check int) "collective participations"
+    (stats.Sim.collectives * 3)
+    (kind "collective").Obs.Metrics.kb_events;
+  Alcotest.(check int) "totals = sends + participations"
+    ((kind "send").Obs.Metrics.kb_events
+    + (kind "collective").Obs.Metrics.kb_events)
     m.Obs.Metrics.messages;
-  Alcotest.(check int) "bytes counted" stats.Sim.bytes m.Obs.Metrics.bytes
+  Alcotest.(check int) "recv row counts deliveries" stats.Sim.messages
+    (kind "recv").Obs.Metrics.kb_events
 
 let test_tracing_off_identical_stats () =
   let with_tracer = ring_body (Some (Obs.Trace.create ())) in
@@ -197,9 +218,29 @@ let test_chrome_export_roundtrip () =
     | Some (J.List l) -> l
     | _ -> Alcotest.fail "traceEvents missing"
   in
-  (* every trace event plus one process_name and one thread_name per rank *)
+  (* every trace event plus the metadata of each populated lane: the
+     cluster lane (one process_name + a thread_name per rank) always, the
+     kernel lane likewise when the fused engine emitted per-nest
+     summaries, the scheduler lane when the trace holds sweep events *)
+  let max_rank p =
+    List.fold_left
+      (fun acc (e : Obs.Trace.event) ->
+        if p e.Obs.Trace.ev_kind then max acc e.Obs.Trace.ev_rank else acc)
+      (-1)
+      (Obs.Trace.events tracer)
+  in
+  let lane n = if n < 0 then 0 else n + 2 in
+  let kernel_lane =
+    lane (max_rank (function Obs.Trace.Kernel _ -> true | _ -> false))
+  in
+  let sched_lane =
+    lane (max_rank (function Obs.Trace.Sched _ -> true | _ -> false))
+  in
+  Alcotest.(check bool) "fused run has a kernel lane" true (kernel_lane > 0);
   Alcotest.(check int) "event count"
-    (Obs.Trace.length tracer + Obs.Trace.nranks tracer + 1)
+    (Obs.Trace.length tracer
+    + (Obs.Trace.nranks tracer + 1)
+    + kernel_lane + sched_lane)
     (List.length evs);
   List.iter
     (fun e ->
@@ -218,6 +259,209 @@ let test_chrome_export_roundtrip () =
   Alcotest.(check string) "serialization fixpoint" (J.to_string doc)
     (J.to_string (J.of_string (J.to_string doc)))
 
+let test_chrome_empty_trace () =
+  let tracer = Obs.Trace.create () in
+  let doc = J.of_string (Obs.Chrome.to_string tracer) in
+  match J.member "traceEvents" doc with
+  | Some (J.List l) ->
+      Alcotest.(check int) "no events, no metadata" 0 (List.length l)
+  | _ -> Alcotest.fail "traceEvents missing"
+
+let test_chrome_name_escaping () =
+  let tracer = Obs.Trace.create () in
+  Obs.Trace.prepare tracer ~nranks:1;
+  let label = "quote \" backslash \\ newline \n tab \t" in
+  Obs.Trace.phase tracer ~rank:0 ~t0:0.0 ~t1:1.0 ~sync:0 ~label ();
+  let doc = J.of_string (Obs.Chrome.to_string tracer) in
+  let evs =
+    match J.member "traceEvents" doc with
+    | Some (J.List l) -> l
+    | _ -> Alcotest.fail "traceEvents missing"
+  in
+  Alcotest.(check bool) "hostile name survives the round trip" true
+    (List.exists (fun e -> J.member "name" e = Some (J.Str label)) evs)
+
+(* ------------------------------------------------------------------ *)
+(* Kernel self-time attribution (the profiler's data source)           *)
+(* ------------------------------------------------------------------ *)
+
+let test_kernel_attribution () =
+  let result, tracer = Lazy.force traced_heat in
+  let m = Obs.Metrics.of_trace tracer in
+  let kernels = m.Obs.Metrics.kernels in
+  Alcotest.(check bool) "kernel table nonempty" true (kernels <> []);
+  (* sorted by descending self time *)
+  let rec sorted = function
+    | a :: (b :: _ as tl) ->
+        a.Obs.Metrics.kr_self >= b.Obs.Metrics.kr_self && sorted tl
+    | _ -> true
+  in
+  Alcotest.(check bool) "descending self time" true (sorted kernels);
+  (* self flops are exact and disjoint: they sum to the executed total *)
+  let total_flops =
+    Array.fold_left ( +. ) 0.0 result.Autocfd_interp.Spmd.flops_per_rank
+  in
+  let attributed_flops =
+    List.fold_left (fun a k -> a +. k.Obs.Metrics.kr_flops) 0.0 kernels
+  in
+  Alcotest.(check (float 1e-6)) "all flops attributed to named nests"
+    total_flops attributed_flops;
+  (* and the >= 95% compute-time gate of [profile --check] holds *)
+  let compute =
+    Array.fold_left
+      (fun a (r : Obs.Metrics.rank_row) -> a +. r.Obs.Metrics.rr_compute)
+      0.0 m.Obs.Metrics.ranks
+  in
+  let self =
+    List.fold_left (fun a k -> a +. k.Obs.Metrics.kr_self) 0.0 kernels
+  in
+  Alcotest.(check bool) "at least 95% of compute time attributed" true
+    (compute > 0.0 && self /. compute >= 0.95)
+
+(* ------------------------------------------------------------------ *)
+(* Sched events: wall-clock section of Metrics + scheduler Chrome lane  *)
+(* ------------------------------------------------------------------ *)
+
+let test_sched_events_surface () =
+  let module Sched = Autocfd_sched in
+  let tracer = Obs.Trace.create () in
+  let jobs =
+    List.init 3 (fun i ->
+        Sched.Job.make
+          ~label:(Printf.sprintf "job%d" i)
+          ~key:(J.Obj [ ("i", J.Int i) ])
+          (fun () -> J.Int (i * i)))
+  in
+  let _results, stats = Sched.Pool.run ~jobs:2 ~tracer jobs in
+  let m = Obs.Metrics.of_trace tracer in
+  (match m.Obs.Metrics.sched with
+  | None -> Alcotest.fail "sched section missing"
+  | Some sc ->
+      Alcotest.(check int) "jobs counted" 3 sc.Obs.Metrics.sc_jobs;
+      Alcotest.(check int) "all ran (no cache)" 3 sc.Obs.Metrics.sc_run;
+      Alcotest.(check int) "no errors" 0 sc.Obs.Metrics.sc_errors;
+      (* only workers that handled at least one job appear as lanes *)
+      let lanes = List.length sc.Obs.Metrics.sc_workers in
+      Alcotest.(check bool) "worker lanes bounded by the pool" true
+        (lanes >= 1 && lanes <= Array.length stats.Sched.Pool.ps_busy);
+      Alcotest.(check int) "lane jobs sum to the batch"
+        sc.Obs.Metrics.sc_jobs
+        (List.fold_left
+           (fun a w -> a + w.Obs.Metrics.sw_jobs)
+           0 sc.Obs.Metrics.sc_workers));
+  (* sched events must not pollute the virtual-clock rank accounting:
+     the prepared rank rows exist but stay all-zero *)
+  Array.iter
+    (fun (r : Obs.Metrics.rank_row) ->
+      Alcotest.(check (float 0.0)) "virtual clock untouched" 0.0
+        r.Obs.Metrics.rr_finish)
+    m.Obs.Metrics.ranks;
+  (* the Chrome export renders them on the scheduler pid, not pid 0 *)
+  let doc = J.of_string (Obs.Chrome.to_string tracer) in
+  let evs =
+    match J.member "traceEvents" doc with
+    | Some (J.List l) -> l
+    | _ -> Alcotest.fail "traceEvents missing"
+  in
+  Alcotest.(check bool) "scheduler lane populated" true
+    (List.exists
+       (fun e ->
+         J.member "pid" e = Some (J.Int 1)
+         && J.member "ph" e = Some (J.Str "X"))
+       evs)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_registry_counters_gauges () =
+  let module R = Obs.Registry in
+  let reg = R.create () in
+  R.inc reg "requests_total" 1.0 ~labels:[ ("kind", "a") ];
+  R.inc reg "requests_total" 2.0 ~labels:[ ("kind", "a") ];
+  R.inc reg "requests_total" 5.0 ~labels:[ ("kind", "b") ];
+  R.set reg "temperature" 20.0;
+  R.set reg "temperature" 21.5;
+  Alcotest.(check (option (float 0.0))) "counter accumulates" (Some 3.0)
+    (R.value reg "requests_total" ~labels:[ ("kind", "a") ]);
+  Alcotest.(check (option (float 0.0))) "labels separate series" (Some 5.0)
+    (R.value reg "requests_total" ~labels:[ ("kind", "b") ]);
+  Alcotest.(check (option (float 0.0))) "gauge overwrites" (Some 21.5)
+    (R.value reg "temperature");
+  Alcotest.(check (option (float 0.0))) "label order is canonical"
+    (Some 3.0)
+    (R.value reg "requests_total" ~labels:[ ("kind", "a") ]);
+  Alcotest.(check bool) "kind conflict rejected" true
+    (match R.set reg "requests_total" 1.0 with
+    | exception Invalid_argument _ -> true
+    | () -> false)
+
+let test_registry_histogram_boundaries () =
+  let module R = Obs.Registry in
+  let reg = R.create () in
+  let buckets = [| 1.0; 2.0; 4.0 |] in
+  (* "le" semantics: a value exactly on a bound lands in that bucket *)
+  List.iter
+    (fun v -> R.observe reg "h" v ~buckets)
+    [ 0.5; 1.0; 1.5; 2.0; 4.0; 4.1 ];
+  (match R.hist_counts reg "h" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some (bounds, counts, sum, count) ->
+      Alcotest.(check bool) "bounds kept" true (bounds = buckets);
+      Alcotest.(check bool) "per-bucket counts" true
+        (counts = [| 2; 2; 1; 1 |]);
+      Alcotest.(check int) "total count" 6 count;
+      Alcotest.(check (float 1e-9)) "sum" 13.1 sum);
+  (* log_buckets: powers of two from lo up to the first bound >= hi *)
+  let lb = R.log_buckets ~lo:1.0 ~hi:10.0 in
+  Alcotest.(check bool) "log buckets" true (lb = [| 1.0; 2.0; 4.0; 8.0; 16.0 |])
+
+let test_prometheus_roundtrip () =
+  let module R = Obs.Registry in
+  let reg = R.create () in
+  R.inc reg "jobs_total" 7.0 ~labels:[ ("outcome", "run") ]
+    ~help:"jobs by outcome";
+  R.inc reg "jobs_total" 2.0 ~labels:[ ("outcome", "hit \"quoted\"") ];
+  R.set reg "pool_utilization" 0.75 ~labels:[ ("worker", "0") ];
+  List.iter
+    (fun v -> R.observe reg "latency_seconds" v ~buckets:[| 0.1; 1.0 |])
+    [ 0.05; 0.5; 5.0 ];
+  let samples = R.parse_prometheus (R.to_prometheus reg) in
+  let find name labels =
+    match
+      List.find_opt
+        (fun (s : R.sample) -> s.R.s_name = name && s.R.s_labels = labels)
+        samples
+    with
+    | Some s -> s.R.s_value
+    | None -> Alcotest.failf "sample %s not found" name
+  in
+  Alcotest.(check (float 0.0)) "counter" 7.0
+    (find "jobs_total" [ ("outcome", "run") ]);
+  Alcotest.(check (float 0.0)) "escaped label value" 2.0
+    (find "jobs_total" [ ("outcome", "hit \"quoted\"") ]);
+  Alcotest.(check (float 0.0)) "gauge" 0.75
+    (find "pool_utilization" [ ("worker", "0") ]);
+  (* histogram: cumulative buckets + sum + count *)
+  Alcotest.(check (float 0.0)) "le=0.1" 1.0
+    (find "latency_seconds_bucket" [ ("le", "0.1") ]);
+  Alcotest.(check (float 0.0)) "le=1 is cumulative" 2.0
+    (find "latency_seconds_bucket" [ ("le", "1") ]);
+  Alcotest.(check (float 0.0)) "le=+Inf sees all" 3.0
+    (find "latency_seconds_bucket" [ ("le", "+Inf") ]);
+  Alcotest.(check (float 0.0)) "count" 3.0 (find "latency_seconds_count" []);
+  Alcotest.(check (float 1e-9)) "sum" 5.55 (find "latency_seconds_sum" []);
+  (* a registry fed from a real trace also round-trips *)
+  let tracer = Obs.Trace.create () in
+  let _ = ring_body (Some tracer) in
+  let reg2 = R.create () in
+  R.observe_trace reg2 tracer;
+  let samples2 = R.parse_prometheus (R.to_prometheus reg2) in
+  Alcotest.(check bool) "trace-fed registry parses back" true
+    (List.exists
+       (fun (s : R.sample) -> s.R.s_name = "autocfd_compute_seconds_total")
+       samples2)
+
 let suite =
   [
     ("json roundtrip", `Quick, test_json_roundtrip);
@@ -228,4 +472,13 @@ let suite =
     ("spmd trace accounts elapsed", `Quick, test_spmd_trace_accounts_elapsed);
     ("spmd sync attribution", `Quick, test_spmd_sync_attribution);
     ("chrome export roundtrip", `Quick, test_chrome_export_roundtrip);
+    ("chrome empty trace", `Quick, test_chrome_empty_trace);
+    ("chrome name escaping", `Quick, test_chrome_name_escaping);
+    ("kernel attribution", `Quick, test_kernel_attribution);
+    ("sched events surface", `Quick, test_sched_events_surface);
+    ("registry counters and gauges", `Quick, test_registry_counters_gauges);
+    ( "registry histogram boundaries",
+      `Quick,
+      test_registry_histogram_boundaries );
+    ("prometheus roundtrip", `Quick, test_prometheus_roundtrip);
   ]

@@ -147,6 +147,57 @@ let test_cache_lookup_checks_key () =
       Alcotest.(check bool) "corrupt entry misses" true
         (Sched.Cache.lookup cache a = None))
 
+let test_corruption_miss_counter () =
+  with_cache (fun cache ->
+      let a = job ~label:"a" ~spec:"alpha" (fun () -> J.Int 1) in
+      Alcotest.(check int) "fresh cache: zero" 0
+        (Sched.Cache.corruption_misses cache);
+      (* a cold miss (no entry file) is not a corruption *)
+      ignore (Sched.Cache.lookup cache a);
+      Alcotest.(check int) "cold miss not counted" 0
+        (Sched.Cache.corruption_misses cache);
+      Sched.Cache.store cache a (J.Int 1);
+      (* a stored-key mismatch (hash collision / forged probe) counts *)
+      let forged =
+        { a with Sched.Job.jb_key = J.Obj [ ("spec", J.Str "beta") ] }
+      in
+      let path =
+        Filename.concat (Sched.Cache.dir cache)
+          (Sched.Job.cache_name forged ^ ".json")
+      in
+      let write text =
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc
+      in
+      write
+        (J.to_string
+           (J.Obj [ ("key", a.Sched.Job.jb_key); ("result", J.Int 1) ]));
+      Alcotest.(check bool) "key mismatch misses" true
+        (Sched.Cache.lookup cache forged = None);
+      Alcotest.(check int) "key mismatch counted" 1
+        (Sched.Cache.corruption_misses cache);
+      (* malformed JSON counts too *)
+      write "{ truncated";
+      ignore (Sched.Cache.lookup cache forged);
+      Alcotest.(check int) "malformed entry counted" 2
+        (Sched.Cache.corruption_misses cache);
+      Sys.remove path;
+      (* and the pool surfaces the per-batch delta in its stats *)
+      let _, stats = Sched.Pool.run ~jobs:1 ~cache [ a ] in
+      Alcotest.(check int) "clean batch: ps_corrupt = 0" 0
+        stats.Sched.Pool.ps_corrupt;
+      let corrupt_a =
+        Filename.concat (Sched.Cache.dir cache)
+          (Sched.Job.cache_name a ^ ".json")
+      in
+      let oc = open_out corrupt_a in
+      output_string oc "not json";
+      close_out oc;
+      let _, stats = Sched.Pool.run ~jobs:1 ~cache [ a ] in
+      Alcotest.(check int) "corrupt probe surfaces in ps_corrupt" 1
+        stats.Sched.Pool.ps_corrupt)
+
 (* ------------------------------------------------------------------ *)
 (* Error isolation                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -270,6 +321,7 @@ let suite =
     ("cache hit bit-identical", `Quick, test_cache_hit_identical);
     ("cache invalidation", `Quick, test_cache_invalidation);
     ("cache lookup checks stored key", `Quick, test_cache_lookup_checks_key);
+    ("corruption-miss counter", `Quick, test_corruption_miss_counter);
     ("raising job does not wedge pool", `Quick,
      test_raising_job_does_not_wedge);
     ("failed jobs are not cached", `Quick, test_failed_jobs_not_cached);
