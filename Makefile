@@ -1,6 +1,6 @@
 # Convenience wrapper around dune; `make check` is the PR gate CI runs.
 
-.PHONY: all build test check bench bench-json trace clean
+.PHONY: all build test check bench bench-json trace profile-domains clean
 
 all: build
 
@@ -23,6 +23,12 @@ bench-json:
 trace:
 	dune exec bin/autocfd_cli.exe -- trace examples/heat2d.f --parts 2x2 \
 	  --out trace.json --metrics metrics.json
+
+# kernel-level profile of the real shared-memory Domains execution (one
+# OCaml 5 domain per rank), with the >= 95% attribution gate armed
+profile-domains:
+	dune exec bin/autocfd_cli.exe -- profile examples/heat2d.f --parts 2x2 \
+	  --engine domains --check
 
 clean:
 	dune clean

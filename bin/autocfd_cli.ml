@@ -155,11 +155,31 @@ let parallelize file parts nprocs mpi output =
       close_out oc;
       Printf.printf "wrote %s\n" path
 
+let engine_name = function
+  | Autocfd_interp.Spmd.Tree -> "tree"
+  | Autocfd_interp.Spmd.Compiled -> "compiled"
+  | Autocfd_interp.Spmd.Fused -> "fused"
+  | Autocfd_interp.Spmd.Domains -> "domains"
+
+(* program state (gathered arrays, scalars, per-rank flops, output)
+   bit-identical — the Domains-vs-simulator equivalence contract, which
+   deliberately excludes stats (Domains stats are measured wall clock) *)
+let same_program_state (a : Autocfd_interp.Spmd.result)
+    (b : Autocfd_interp.Spmd.result) =
+  let module I = Autocfd_interp in
+  List.length a.I.Spmd.gathered = List.length b.I.Spmd.gathered
+  && List.for_all2
+       (fun (na, aa) (nb, ab) -> na = nb && aa.I.Value.data = ab.I.Value.data)
+       a.I.Spmd.gathered b.I.Spmd.gathered
+  && a.I.Spmd.scalars = b.I.Spmd.scalars
+  && a.I.Spmd.flops_per_rank = b.I.Spmd.flops_per_rank
+  && a.I.Spmd.output = b.I.Spmd.output
+
 (* The run verb goes through the sweep scheduler as a single job, so a
    repeated `autocfd run` of an unchanged source is a cache hit: the
    stored result document carries everything both renderings and the
    divergence exit code need. *)
-let run_cmd file parts nprocs json jobs use_cache cache_dir =
+let run_cmd file parts nprocs engine json jobs use_cache cache_dir =
   let module J = Obs.Json in
   let module Sched = Autocfd_sched in
   let source = read_file file in
@@ -178,6 +198,7 @@ let run_cmd file parts nprocs json jobs use_cache cache_dir =
                J.Str
                  (String.concat "x"
                     (Array.to_list (Array.map string_of_int parts))) );
+             ("engine", J.Str (engine_name engine));
              ("traced", J.Bool json);
              ("src", J.Str (Sched.Job.digest source));
            ])
@@ -186,9 +207,26 @@ let run_cmd file parts nprocs json jobs use_cache cache_dir =
         let seq = D.run_seq t in
         let tracer = if json then Some (Obs.Trace.create ()) else None in
         let par =
-          D.run ~spec:(Autocfd.Runspec.with_tracer tracer
-                         Autocfd.Runspec.default)
+          D.run
+            ~spec:
+              Autocfd.Runspec.(
+                default |> with_engine engine |> with_tracer tracer)
             plan
+        in
+        (* a Domains run is additionally held to bit-identity against
+           the simulated cluster (the CI equivalence gate) *)
+        let bit_identical =
+          match engine with
+          | Autocfd_interp.Spmd.Domains ->
+              let reference =
+                D.run
+                  ~spec:
+                    (Autocfd.Runspec.with_engine Autocfd_interp.Spmd.Fused
+                       Autocfd.Runspec.default)
+                  plan
+              in
+              J.Bool (same_program_state reference par)
+          | _ -> J.Null
         in
         let stats = par.Autocfd_interp.Spmd.stats in
         let divergence = D.max_divergence seq par in
@@ -200,6 +238,8 @@ let run_cmd file parts nprocs json jobs use_cache cache_dir =
           [
             ("schema", J.Str "autocfd-run/1");
             ("ranks", J.Int (Autocfd_partition.Topology.nranks plan.D.topo));
+            ("engine", J.Str (engine_name engine));
+            ("bit_identical", bit_identical);
             ("seq_output", strs seq.D.sq_output);
             ("output", strs par.Autocfd_interp.Spmd.output);
             ("messages", J.Int stats.Autocfd_mpsim.Sim.messages);
@@ -242,6 +282,12 @@ let run_cmd file parts nprocs json jobs use_cache cache_dir =
   in
   let int_field name = match field name with J.Int i -> i | _ -> 0 in
   let equivalent = field "equivalent" = J.Bool true in
+  (* absent on pre-engine cached documents and non-domains runs *)
+  let bit_identical =
+    match J.member "bit_identical" doc with
+    | Some (J.Bool b) -> Some b
+    | _ -> None
+  in
   let divergence =
     match field "divergence" with
     | J.Obj fields ->
@@ -276,21 +322,27 @@ let run_cmd file parts nprocs json jobs use_cache cache_dir =
      List.iter
        (fun (name, d) -> Format.printf "  %-10s %.3g@." name d)
        divergence;
+     (match bit_identical with
+     | Some true ->
+         Format.printf "PASS: domains run bit-identical to the simulator@."
+     | Some false ->
+         Format.printf "FAIL: domains run diverges from the simulator@."
+     | None -> ());
      if equivalent then Format.printf "PASS: numerically equivalent@."
      else
        Format.printf "FAIL: parallel run diverges (%.3g)@."
          (List.fold_left (fun acc (_, d) -> Float.max acc d) 0.0 divergence)
    end);
-  if not equivalent then exit 1
+  if (not equivalent) || bit_identical = Some false then exit 1
 
-let trace_cmd file parts nprocs out metrics_out =
+let trace_cmd file parts nprocs engine out metrics_out =
   let _, plan = load_and_plan file parts nprocs in
   let tracer = Obs.Trace.create () in
   let result =
     D.run
       ~spec:
         Autocfd.Runspec.(
-          default
+          default |> with_engine engine
           |> with_machine (Some Autocfd_perfmodel.Model.pentium_cluster)
           |> with_tracer (Some tracer))
       plan
@@ -451,14 +503,35 @@ let cache_dir_arg =
        & info [ "cache-dir" ] ~docv:"DIR"
            ~doc:"Result cache directory (default: _autocfd_cache).")
 
+let engine_arg =
+  let parse = function
+    | "tree" -> Ok Autocfd_interp.Spmd.Tree
+    | "compiled" -> Ok Autocfd_interp.Spmd.Compiled
+    | "fused" -> Ok Autocfd_interp.Spmd.Fused
+    | "domains" -> Ok Autocfd_interp.Spmd.Domains
+    | s ->
+        Error
+          (`Msg
+             (Printf.sprintf "bad engine %S (tree|compiled|fused|domains)" s))
+  in
+  let print ppf e = Format.pp_print_string ppf (engine_name e) in
+  Arg.(value & opt (conv (parse, print)) Autocfd_interp.Spmd.Fused
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"Execution engine: tree, compiled, fused (default) or \
+                 domains (real shared-memory execution on OCaml 5 \
+                 domains).  The compiled, fused and domains engines emit \
+                 per-nest kernel summaries.")
+
 let run_cmd_ =
   Cmd.v
     (Cmd.info "run"
        ~doc:
-         "Execute the program sequentially and on the simulated cluster, \
-          and compare the results (memoized: a repeated run of an \
-          unchanged source is served from the result cache)")
-    Term.(const run_cmd $ file_arg $ parts_arg $ nprocs_arg
+         "Execute the program sequentially and on the simulated cluster \
+          (or for real on OCaml 5 domains with --engine domains, which \
+          additionally gates on bit-identity against the simulator), and \
+          compare the results (memoized: a repeated run of an unchanged \
+          source is served from the result cache)")
+    Term.(const run_cmd $ file_arg $ parts_arg $ nprocs_arg $ engine_arg
           $ json_flag ~what:"the comparison and per-rank metrics"
           $ jobs_arg
           $ Term.app (const not) no_cache_arg
@@ -484,30 +557,13 @@ let trace_cmd_ =
           reference machine's calibrated network and per-flop cost while \
           recording every compute, send/recv, collective and blocked \
           interval, then export a Chrome trace_event JSON timeline (one \
-          track per rank) plus optional machine-readable metrics")
-    Term.(const trace_cmd $ file_arg $ parts_arg $ nprocs_arg $ out $ metrics)
+          track per rank) plus optional machine-readable metrics.  With \
+          --engine domains the timeline is the real shared-memory \
+          execution's wall clock on a dedicated process lane")
+    Term.(const trace_cmd $ file_arg $ parts_arg $ nprocs_arg $ engine_arg
+          $ out $ metrics)
 
 let profile_cmd_ =
-  let engine =
-    let parse = function
-      | "tree" -> Ok Autocfd_interp.Spmd.Tree
-      | "compiled" -> Ok Autocfd_interp.Spmd.Compiled
-      | "fused" -> Ok Autocfd_interp.Spmd.Fused
-      | s -> Error (`Msg (Printf.sprintf "bad engine %S (tree|compiled|fused)" s))
-    in
-    let print ppf e =
-      Format.pp_print_string ppf
-        (match e with
-        | Autocfd_interp.Spmd.Tree -> "tree"
-        | Autocfd_interp.Spmd.Compiled -> "compiled"
-        | Autocfd_interp.Spmd.Fused -> "fused")
-    in
-    Arg.(value & opt (conv (parse, print)) Autocfd_interp.Spmd.Fused
-         & info [ "engine" ] ~docv:"ENGINE"
-             ~doc:"Execution engine: tree, compiled or fused (default).  Only \
-                   the compiled and fused engines emit per-nest kernel \
-                   summaries.")
-  in
   let top =
     Arg.(value & opt int 10
          & info [ "top" ] ~docv:"N"
@@ -541,7 +597,8 @@ let profile_cmd_ =
           per-sync-point latency histograms and scheduler utilization.  \
           --json emits the full machine-readable profile, --prom the \
           unified metrics registry in Prometheus text format.")
-    Term.(const profile_cmd $ file_arg $ parts_arg $ nprocs_arg $ engine $ top
+    Term.(const profile_cmd $ file_arg $ parts_arg $ nprocs_arg $ engine_arg
+          $ top
           $ json_flag ~what:"the full profile document"
           $ prom $ check $ min_cov)
 

@@ -79,8 +79,10 @@ let gated_tables =
       [
         r "speedup" Higher_better Wallclock;
         r "fused_speedup" Higher_better Wallclock;
+        r "domains_speedup" Higher_better Wallclock;
         r "loops_fused" Higher_better Deterministic;
         r "identical" Must_be_true Deterministic;
+        r "domains_identical" Must_be_true Deterministic;
       ] );
     ( "resilience",
       [ "program"; "schedule" ],

@@ -177,8 +177,10 @@ let run_seq ?(spec = Runspec.default) t =
             (I.Machine.array_names m);
         sq_flops = I.Machine.flops m;
       }
-  | I.Spmd.Compiled | I.Spmd.Fused ->
-      let fuse = spec.Runspec.engine = I.Spmd.Fused in
+  | I.Spmd.Compiled | I.Spmd.Fused | I.Spmd.Domains ->
+      (* Domains differs from Fused only in how ranks execute; the
+         sequential reference is the same fused closure IR *)
+      let fuse = spec.Runspec.engine <> I.Spmd.Compiled in
       let st =
         I.Compile.create ~input:spec.Runspec.input
           (I.Compile.of_unit ~fuse t.inlined)

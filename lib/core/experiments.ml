@@ -476,9 +476,16 @@ type engine_row = {
   er_fused_speedup : float;
   er_identical : bool;
   er_coverage : Autocfd_interp.Compile.coverage_entry list;
+  er_domains_s : float;
+  er_domains_speedup : float;
+  er_domains_identical : bool;
+  er_calibration : M.calibration;
 }
 
-let results_identical (a : Autocfd_interp.Spmd.result)
+(* program state only — gathered arrays, scalars, flop census, WRITE
+   output.  This is the bit-equivalence contract the Domains engine can
+   meet: its [stats] are measured wall clock, not virtual time. *)
+let program_state_identical (a : Autocfd_interp.Spmd.result)
     (b : Autocfd_interp.Spmd.result) =
   let arrays_eq =
     List.length a.Autocfd_interp.Spmd.gathered
@@ -494,6 +501,10 @@ let results_identical (a : Autocfd_interp.Spmd.result)
   && a.Autocfd_interp.Spmd.scalars = b.Autocfd_interp.Spmd.scalars
   && a.Autocfd_interp.Spmd.flops_per_rank = b.Autocfd_interp.Spmd.flops_per_rank
   && a.Autocfd_interp.Spmd.output = b.Autocfd_interp.Spmd.output
+
+let results_identical (a : Autocfd_interp.Spmd.result)
+    (b : Autocfd_interp.Spmd.result) =
+  program_state_identical a b
   && a.Autocfd_interp.Spmd.stats = b.Autocfd_interp.Spmd.stats
 
 let coverage_to_json cov =
@@ -529,13 +540,18 @@ let coverage_of_json j =
       })
     (jl "coverage" (J.Obj [ ("coverage", j) ]))
 
+(* (name, small source, large source, partition): the small instance keeps
+   the tree-walking column affordable; the large one gives the Domains
+   engine enough compute per barrier for real parallel speedup to show *)
 let engine_cases =
   [
     ( "aerofoil",
       (fun () -> Apps.Aerofoil.source ~ni:24 ~nj:12 ~nk:8 ~ntime:2 ()),
+      (fun () -> Apps.Aerofoil.source ~ni:48 ~nj:24 ~nk:12 ~ntime:4 ()),
       [| 2; 2; 1 |] );
     ( "sprayer",
       (fun () -> Apps.Sprayer.source ~ni:80 ~nj:40 ~ntime:4 ()),
+      (fun () -> Apps.Sprayer.source ~ni:160 ~nj:80 ~ntime:8 ()),
       [| 2; 2 |] );
   ]
 
@@ -553,8 +569,9 @@ let engine_bench ?sweep () =
   in
   let jobs =
     List.map
-      (fun (name, source, parts) ->
+      (fun (name, source, large_source, parts) ->
         let source = source () in
+        let large_source = large_source () in
         job ~table:"engine" ~label:name
           ~params:
             (J.Obj
@@ -562,6 +579,10 @@ let engine_bench ?sweep () =
                  ("program", J.Str name);
                  ("partition", parts_key parts);
                  ("src", J.Str (Sched.Job.digest source));
+                 ("large_src", J.Str (Sched.Job.digest large_source));
+                 (* row-schema version: bumped when the measured columns
+                    change so stale cached rows are not replayed *)
+                 ("columns", J.Str "v2-domains");
                ])
           (fun () ->
             let t = Driver.load source in
@@ -581,6 +602,52 @@ let engine_bench ?sweep () =
             let tree_s = time_run tree in
             let compiled_s = time_run compiled in
             let fused_s = time_run fused in
+            (* fused vs domains: the same program at the large size, where
+               per-barrier compute dominates domain spawn/wakeup cost.  The
+               Domains engine is timed on the wall clock it measures
+               itself (Sys.time would sum CPU across domains); the fused
+               run is single-threaded, so its CPU time is its wall time *)
+            let lplan = Driver.plan (Driver.load large_source) ~parts in
+            let lrun engine () =
+              Driver.run ~spec:(Runspec.with_engine engine Runspec.default)
+                lplan
+            in
+            let lfused = lrun Autocfd_interp.Spmd.Fused in
+            let ldomains = lrun Autocfd_interp.Spmd.Domains in
+            let lref = lfused () in
+            let dres = ldomains () in
+            let domains_identical =
+              program_state_identical reference (run Autocfd_interp.Spmd.Domains ())
+              && program_state_identical lref dres
+            in
+            let fused_wall_s = time_run lfused in
+            let ds_wall r =
+              match r.Autocfd_interp.Spmd.domains with
+              | Some ds -> ds.Autocfd_interp.Spmd.ds_wall
+              | None -> 0.0
+            in
+            let domains_s =
+              let reps = 3 in
+              let tot = ref (ds_wall dres) in
+              for _ = 2 to reps do
+                tot := !tot +. ds_wall (ldomains ())
+              done;
+              !tot /. float_of_int reps
+            in
+            let cal =
+              match dres.Autocfd_interp.Spmd.domains with
+              | None -> M.calibrate ~compute:[] ~comm:[]
+              | Some ds ->
+                  let compute =
+                    Array.to_list
+                      (Array.map2
+                         (fun f s -> (f, s))
+                         ds.Autocfd_interp.Spmd.ds_flops
+                         ds.Autocfd_interp.Spmd.ds_compute)
+                  in
+                  M.calibrate ~compute
+                    ~comm:ds.Autocfd_interp.Spmd.ds_comm_samples
+            in
             let coverage =
               Autocfd_interp.Compile.coverage
                 (Autocfd_interp.Compile.of_unit ~fuse:true plan.Driver.spmd)
@@ -590,16 +657,30 @@ let engine_bench ?sweep () =
                 ("tree_s", J.Float tree_s);
                 ("compiled_s", J.Float compiled_s);
                 ("fused_s", J.Float fused_s);
+                ("fused_wall_s", J.Float fused_wall_s);
+                ("domains_s", J.Float domains_s);
                 ("identical", J.Bool identical);
+                ("domains_identical", J.Bool domains_identical);
+                ("cal_flop_time", J.Float cal.M.cal_flop_time);
+                ("cal_latency", J.Float cal.M.cal_latency);
+                ( "cal_bandwidth",
+                  J.Float
+                    (if Float.is_finite cal.M.cal_bandwidth then
+                       cal.M.cal_bandwidth
+                     else 0.0) );
+                ("cal_compute_r2", J.Float cal.M.cal_compute_r2);
+                ("cal_comm_r2", J.Float cal.M.cal_comm_r2);
                 ("coverage", coverage_to_json coverage);
               ]))
       engine_cases
   in
   List.map2
-    (fun (name, _, parts) r ->
+    (fun (name, _, _, parts) r ->
       let tree_s = jf "tree_s" r in
       let compiled_s = jf "compiled_s" r in
       let fused_s = jf "fused_s" r in
+      let fused_wall_s = jf "fused_wall_s" r in
+      let domains_s = jf "domains_s" r in
       {
         er_program = name;
         er_parts = parts;
@@ -610,6 +691,19 @@ let engine_bench ?sweep () =
         er_fused_speedup = tree_s /. fused_s;
         er_identical = jb "identical" r;
         er_coverage = coverage_of_json (jfield "coverage" r);
+        er_domains_s = domains_s;
+        er_domains_speedup = fused_wall_s /. domains_s;
+        er_domains_identical = jb "domains_identical" r;
+        er_calibration =
+          {
+            M.cal_flop_time = jf "cal_flop_time" r;
+            cal_latency = jf "cal_latency" r;
+            cal_bandwidth =
+              (let b = jf "cal_bandwidth" r in
+               if b = 0.0 then Float.infinity else b);
+            cal_compute_r2 = jf "cal_compute_r2" r;
+            cal_comm_r2 = jf "cal_comm_r2" r;
+          };
       })
     engine_cases
     (run_jobs sw ~table:"engine" jobs)
@@ -698,6 +792,7 @@ let resilience_to_json (rs : Autocfd_interp.Spmd.resilience)
     ("drops", J.Int c.Fault.fc_drops);
     ("duplicates", J.Int c.Fault.fc_duplicates);
     ("corruptions", J.Int c.Fault.fc_corruptions);
+    ("reorders", J.Int c.Fault.fc_reorders);
     ("stalls", J.Int c.Fault.fc_stalls);
     ("crashes", J.Int c.Fault.fc_crashes);
     ("restarts", J.Int rs.Autocfd_interp.Spmd.rs_restarts);
@@ -715,6 +810,7 @@ let chaos_case ?(seed = 42) ?(engine = Autocfd_interp.Spmd.Fused) sw name
     | Autocfd_interp.Spmd.Tree -> "tree"
     | Autocfd_interp.Spmd.Compiled -> "compiled"
     | Autocfd_interp.Spmd.Fused -> "fused"
+    | Autocfd_interp.Spmd.Domains -> "domains"
   in
   let jobs =
     List.mapi
@@ -792,6 +888,11 @@ let chaos_case ?(seed = 42) ?(engine = Autocfd_interp.Spmd.Fused) sw name
             Fault.fc_drops = ji "drops" r;
             fc_duplicates = ji "duplicates" r;
             fc_corruptions = ji "corruptions" r;
+            (* absent in cached rows written before the reorder knob *)
+            fc_reorders =
+              (match J.member "reorders" r with
+              | Some (J.Int n) -> n
+              | _ -> 0);
             fc_stalls = ji "stalls" r;
             fc_crashes = ji "crashes" r;
           };
@@ -900,10 +1001,11 @@ let render_engine rows =
     create
       ~title:
         "Execution engine: tree-walking interpreter vs compiled closure IR \
-         vs fused kernels (simulated SPMD run, identical results)"
+         vs fused kernels vs real OCaml 5 domains (identical results)"
       ~headers:
         [ "program"; "partition"; "tree (s)"; "compiled (s)"; "fused (s)";
-          "speedup"; "fused speedup"; "loops fused"; "identical" ]
+          "domains (s)"; "speedup"; "fused speedup"; "domains speedup";
+          "loops fused"; "identical" ]
   in
   List.iter
     (fun r ->
@@ -914,10 +1016,12 @@ let render_engine rows =
           cell_float ~decimals:3 r.er_tree_s;
           cell_float ~decimals:3 r.er_compiled_s;
           cell_float ~decimals:3 r.er_fused_s;
+          cell_float ~decimals:3 r.er_domains_s;
           cell_float r.er_speedup;
           cell_float r.er_fused_speedup;
+          cell_float r.er_domains_speedup;
           Printf.sprintf "%d/%d" fused total;
-          (if r.er_identical then "yes" else "NO");
+          (if r.er_identical && r.er_domains_identical then "yes" else "NO");
         ])
     rows;
   render t
@@ -1119,13 +1223,23 @@ let tables_json ?sweep () =
             ("tree_s", J.Float r.er_tree_s);
             ("compiled_s", J.Float r.er_compiled_s);
             ("fused_s", J.Float r.er_fused_s);
+            ("domains_s", J.Float r.er_domains_s);
             ("speedup", J.Float r.er_speedup);
             ("fused_speedup", J.Float r.er_fused_speedup);
+            ("domains_speedup", J.Float r.er_domains_speedup);
             ( "loops_fused",
               J.Int (fst (coverage_counts r.er_coverage)) );
             ( "loops_total",
               J.Int (snd (coverage_counts r.er_coverage)) );
             ("identical", J.Bool r.er_identical);
+            ("domains_identical", J.Bool r.er_domains_identical);
+            ("cal_flop_time", J.Float r.er_calibration.M.cal_flop_time);
+            ("cal_latency", J.Float r.er_calibration.M.cal_latency);
+            ( "cal_bandwidth",
+              J.Float
+                (if Float.is_finite r.er_calibration.M.cal_bandwidth then
+                   r.er_calibration.M.cal_bandwidth
+                 else 0.0) );
           ])
       (engine_bench ~sweep:sw ())
   in

@@ -128,15 +128,29 @@ type engine_row = {
           simulator stats all bit-identical across the three engines *)
   er_coverage : Autocfd_interp.Compile.coverage_entry list;
       (** static fusibility of every field-loop nest of the SPMD unit *)
+  er_domains_s : float;
+      (** mean wall-clock of the real shared-memory Domains engine (one
+          OCaml 5 domain per rank) on a larger instance of the same
+          program, where per-barrier compute dominates spawn cost *)
+  er_domains_speedup : float;
+      (** fused wall / domains wall on that larger instance — real
+          parallel speedup over the single-threaded fused simulation *)
+  er_domains_identical : bool;
+      (** gathered arrays, scalars, WRITE output and per-rank flop counts
+          bit-identical to the simulator (stats excluded: Domains stats
+          are measured wall clock) *)
+  er_calibration : Autocfd_perfmodel.Model.calibration;
+      (** model primitives fitted from the Domains run's measurements *)
 }
 
 val engine_bench : ?sweep:sweep -> unit -> engine_row list
-(** Head-to-head of the three execution engines on a small aerofoil and
+(** Head-to-head of the four execution engines on a small aerofoil and
     sprayer instance: each case is executed on the simulated cluster with
-    every engine, results are checked for bit-identity, then each engine
-    is timed over repeated runs.  Note that the measured wall-clock
-    seconds are part of the cached row, so a warm-cache sweep reports the
-    timings of the run that populated the cache. *)
+    every engine (and for real on OCaml 5 domains), results are checked
+    for bit-identity, then each engine is timed over repeated runs.  Note
+    that the measured wall-clock seconds are part of the cached row, so a
+    warm-cache sweep reports the timings of the run that populated the
+    cache. *)
 
 val render_engine : engine_row list -> string
 

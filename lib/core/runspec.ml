@@ -45,11 +45,13 @@ let engine_to_string = function
   | I.Spmd.Tree -> "tree"
   | I.Spmd.Compiled -> "compiled"
   | I.Spmd.Fused -> "fused"
+  | I.Spmd.Domains -> "domains"
 
 let engine_of_string = function
   | "tree" -> I.Spmd.Tree
   | "compiled" -> I.Spmd.Compiled
   | "fused" -> I.Spmd.Fused
+  | "domains" -> I.Spmd.Domains
   | s -> fail (Printf.sprintf "unknown engine %S" s)
 
 let net_to_json (n : M.Netmodel.t) =
@@ -128,6 +130,7 @@ let faults_to_json plan =
       ("duplication", J.Float s.M.Fault.fs_duplication);
       ("corruption", J.Float s.M.Fault.fs_corruption);
       ("jitter", J.Float s.M.Fault.fs_jitter);
+      ("reorder", J.Float s.M.Fault.fs_reorder);
       ( "degrade",
         J.List
           (List.map
@@ -191,11 +194,15 @@ let faults_of_json j =
         })
       (get_list "crashes" j)
   in
+  (* absent in documents written before the reorder knob existed *)
+  let reorder =
+    match J.member "reorder" j with Some v -> J.to_float_exn v | None -> 0.0
+  in
   M.Fault.make
     (M.Fault.spec ~seed:(get_int "seed" j) ~loss:(get_float "loss" j)
        ~duplication:(get_float "duplication" j)
        ~corruption:(get_float "corruption" j)
-       ~jitter:(get_float "jitter" j) ~degrade ~stalls ~crashes ())
+       ~jitter:(get_float "jitter" j) ~reorder ~degrade ~stalls ~crashes ())
 
 let recovery_to_json (r : I.Spmd.recovery) =
   J.Obj

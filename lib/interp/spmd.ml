@@ -43,6 +43,16 @@ let no_resilience =
     rs_checksum_failures = 0;
   }
 
+type domain_stats = {
+  ds_wall : float;
+  ds_rank_wall : float array;
+  ds_compute : float array;
+  ds_barrier_wait : float array;
+  ds_barrier_calls : int;
+  ds_flops : float array;
+  ds_comm_samples : (int * float) list;
+}
+
 type result = {
   stats : Sim.stats;
   output : string list;
@@ -50,6 +60,7 @@ type result = {
   scalars : (string * Value.scalar) list;
   flops_per_rank : float array;
   resilience : resilience;
+  domains : domain_stats option;
 }
 
 (* One rank's coordinated checkpoint, taken outside the simulation when
@@ -70,7 +81,7 @@ let snapshot_bytes s =
   * (List.length s.ck_scalars
     + List.fold_left (fun acc (_, a) -> acc + Array.length a) 0 s.ck_arrays)
 
-type engine = Tree | Compiled | Fused
+type engine = Tree | Compiled | Fused | Domains
 
 let tag_exchange = 3
 let tag_pipe = 5
@@ -314,6 +325,7 @@ let unpack p (data : float array) payload =
 
 type xfer_plan = {
   xp_array : string;
+  xp_dim : int;  (* grid dimension of the transfer, for phased blits *)
   xp_send : (int * pack_plan) option;  (* dest rank, pack plan *)
   xp_recv : (int * pack_plan) option;  (* src rank, unpack plan *)
 }
@@ -324,6 +336,75 @@ type plan =
   | P_allgather of (string * pack_plan * pack_plan array) list
       (* per array: my pack plan, then per-peer unpack plans (index =
          peer rank; my own entry unused) *)
+
+(* ------------------------------------------------------------------ *)
+(* Process-wide plan cache                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A plan depends only on (engine, sync point, rank, grid, partition) —
+   sync-point ids are process-unique, so the id pins down the program
+   unit too.  Caching process-wide means switching engines on the same
+   unit within one process (exactly what the bit-equivalence harness
+   does) replans each sync point at most once per engine instead of once
+   per run.  The cached offset/segment vectors are immutable and safe to
+   share across domains; [pp_buf] is private to a run, so every lookup
+   re-arms the plan with fresh buffers. *)
+let plan_cache : (string * int * int * int list * int list, plan) Hashtbl.t =
+  Hashtbl.create 256
+
+let plan_cache_mutex = Mutex.create ()
+
+(* far above any real sweep's working set; reset wholesale rather than
+   tracking LRU order for a cache this cheap to refill *)
+let plan_cache_cap = 4096
+
+let refresh_pack p = { p with pp_buf = Array.make (Array.length p.pp_buf) 0.0 }
+
+let refresh_plan = function
+  | P_exchange l ->
+      P_exchange
+        (List.map
+           (fun xp ->
+             {
+               xp with
+               xp_send =
+                 Option.map (fun (d, p) -> (d, refresh_pack p)) xp.xp_send;
+               xp_recv =
+                 Option.map (fun (s, p) -> (s, refresh_pack p)) xp.xp_recv;
+             })
+           l)
+  | P_pipe o ->
+      P_pipe
+        (Option.map
+           (fun (peer, per_array) ->
+             (peer, List.map (fun (n, p) -> (n, refresh_pack p)) per_array))
+           o)
+  | P_allgather l ->
+      P_allgather
+        (List.map
+           (fun (n, mine, peers) ->
+             (n, refresh_pack mine, Array.map refresh_pack peers))
+           l)
+
+let cached_plan ~etag ~topo ~rank ~sid build =
+  let key =
+    ( etag,
+      sid,
+      rank,
+      Array.to_list (Topology.grid topo),
+      Array.to_list (Topology.parts topo) )
+  in
+  match
+    Mutex.protect plan_cache_mutex (fun () -> Hashtbl.find_opt plan_cache key)
+  with
+  | Some p -> refresh_plan p
+  | None ->
+      let p = build () in
+      Mutex.protect plan_cache_mutex (fun () ->
+          if Hashtbl.length plan_cache >= plan_cache_cap then
+            Hashtbl.reset plan_cache;
+          Hashtbl.replace plan_cache key p);
+      refresh_plan p
 
 (* ------------------------------------------------------------------ *)
 (* Engine-generic execution                                            *)
@@ -368,8 +449,199 @@ type 'm iface = {
    newest snapshot *)
 let snapshot_history = 3
 
-let run_with : 'm. 'm iface -> config -> Ast.program_unit -> result =
- fun iface config u ->
+(* ------------------------------------------------------------------ *)
+(* Plan construction (engine-independent)                              *)
+(* ------------------------------------------------------------------ *)
+
+let opposite_dir = function Ast.Dplus -> Ast.Dminus | Ast.Dminus -> Ast.Dplus
+
+let topo_neighbor topo ~rank dim dir =
+  let d =
+    match dir with Ast.Dplus -> Topology.Plus | Ast.Dminus -> Topology.Minus
+  in
+  Topology.neighbor topo ~rank ~dim ~dir:d
+
+let build_exchange_plan :
+    'm.
+    'm iface ->
+    gi:GI.t ->
+    topo:Topology.t ->
+    rank:int ->
+    'm ->
+    Ast.transfer list ->
+    plan =
+ fun iface ~gi ~topo ~rank m transfers ->
+  let transfers =
+    List.sort
+      (fun (a : Ast.transfer) b ->
+        compare
+          (a.Ast.xfer_dim, a.Ast.xfer_array, a.Ast.xfer_dir)
+          (b.Ast.xfer_dim, b.Ast.xfer_array, b.Ast.xfer_dir))
+      transfers
+  in
+  let ext_of_dim g =
+    List.fold_left
+      (fun acc (t : Ast.transfer) ->
+        if t.Ast.xfer_dim = g then max acc t.Ast.xfer_depth else acc)
+      0 transfers
+  in
+  P_exchange
+    (List.map
+       (fun (xfer : Ast.transfer) ->
+         let arr = iface.i_array m xfer.Ast.xfer_array in
+         let send =
+           match topo_neighbor topo ~rank xfer.Ast.xfer_dim xfer.Ast.xfer_dir with
+           | Some dest ->
+               Some
+                 ( dest,
+                   plan_of arr
+                     (plane_ranges gi topo ~owner_rank:rank arr xfer
+                        ~ext_of_dim) )
+           | None -> None
+         in
+         let recv =
+           match
+             topo_neighbor topo ~rank xfer.Ast.xfer_dim
+               (opposite_dir xfer.Ast.xfer_dir)
+           with
+           | Some src ->
+               Some
+                 ( src,
+                   plan_of arr
+                     (plane_ranges gi topo ~owner_rank:src arr xfer
+                        ~ext_of_dim) )
+           | None -> None
+         in
+         {
+           xp_array = xfer.Ast.xfer_array;
+           xp_dim = xfer.Ast.xfer_dim;
+           xp_send = send;
+           xp_recv = recv;
+         })
+       transfers)
+
+let build_pipe_plan :
+    'm.
+    'm iface ->
+    gi:GI.t ->
+    topo:Topology.t ->
+    rank:int ->
+    recv:bool ->
+    dim:int ->
+    dir:Ast.direction ->
+    'm ->
+    (string * int) list ->
+    plan =
+ fun iface ~gi ~topo ~rank ~recv ~dim ~dir m arrays ->
+  let peer_dir = if recv then opposite_dir dir else dir in
+  P_pipe
+    (match topo_neighbor topo ~rank dim peer_dir with
+    | None -> None
+    | Some peer ->
+        Some
+          ( peer,
+            List.map
+              (fun (name, depth) ->
+                let arr = iface.i_array m name in
+                let owner = if recv then peer else rank in
+                ( name,
+                  plan_of arr
+                    (pipe_ranges gi topo ~owner_rank:owner arr ~dim ~dir
+                       ~depth name) ))
+              arrays ))
+
+let build_allgather_plan :
+    'm.
+    'm iface ->
+    gi:GI.t ->
+    topo:Topology.t ->
+    rank:int ->
+    nranks:int ->
+    'm ->
+    string list ->
+    plan =
+ fun iface ~gi ~topo ~rank ~nranks m arrays ->
+  let owned_offsets owner arr name =
+    let sa =
+      match GI.find_status gi name with
+      | Some sa -> sa
+      | None -> invalid_arg ("Spmd: allgather of non-status " ^ name)
+    in
+    let b = Topology.block topo owner in
+    plan_of arr
+      (Array.init (Value.rank arr) (fun k ->
+           let alo, ahi = arr.Value.bounds.(k) in
+           match sa.GI.sa_dims.(k) with
+           | None -> (alo, ahi)
+           | Some g ->
+               ( max alo b.Autocfd_partition.Block.lo.(g),
+                 min ahi b.Autocfd_partition.Block.hi.(g) )))
+  in
+  P_allgather
+    (List.map
+       (fun name ->
+         let arr = iface.i_array m name in
+         let mine = owned_offsets rank arr name in
+         let peers =
+           Array.init nranks (fun peer ->
+               if peer = rank then plan_of_offsets [||]
+               else owned_offsets peer arr name)
+         in
+         (name, mine, peers))
+       arrays)
+
+(* assemble the final global state from the per-rank machines: status
+   arrays stitched from their owners' blocks, scalars from rank 0 *)
+let gather_results :
+    'm.
+    'm iface ->
+    gi:GI.t ->
+    topo:Topology.t ->
+    nranks:int ->
+    machine:(int -> 'm) ->
+    Ast.program_unit ->
+    (string * Value.arr) list * (string * Value.scalar) list =
+ fun iface ~gi ~topo ~nranks ~machine u ->
+  let m0 = machine 0 in
+  let gathered =
+    List.map
+      (fun name ->
+        let a0 = iface.i_array m0 name in
+        match GI.find_status gi name with
+        | None -> (name, Value.copy a0)
+        | Some sa ->
+            let out = Value.copy a0 in
+            for r = 0 to nranks - 1 do
+              let src = iface.i_array (machine r) name in
+              let block = Topology.block topo r in
+              let ranges =
+                Array.init (Value.rank src) (fun k ->
+                    let alo, ahi = src.Value.bounds.(k) in
+                    match sa.GI.sa_dims.(k) with
+                    | None -> (alo, ahi)
+                    | Some g ->
+                        ( max alo block.Autocfd_partition.Block.lo.(g),
+                          min ahi block.Autocfd_partition.Block.hi.(g) ))
+              in
+              iter_box ranges (fun idx -> Value.set out idx (Value.get src idx))
+            done;
+            (name, out))
+      (iface.i_array_names m0)
+  in
+  let scalars =
+    List.filter_map
+      (fun u_decl ->
+        if u_decl.Ast.d_dims = [] then
+          match iface.i_scalar m0 u_decl.Ast.d_name with
+          | v -> Some (u_decl.Ast.d_name, v)
+          | exception Machine.Runtime_error _ -> None
+        else None)
+      u.Ast.u_decls
+  in
+  (gathered, scalars)
+
+let run_with : 'm. 'm iface -> etag:string -> config -> Ast.program_unit -> result =
+ fun iface ~etag config u ->
   let topo = config.topo and gi = config.gi in
   let nranks = Topology.nranks topo in
   let machines = Array.make nranks None in
@@ -532,10 +804,6 @@ let run_with : 'm. 'm iface -> config -> Ast.program_unit -> result =
           trace_ckpt ~save:true ~bytes
       | _ -> ()
     in
-    let neighbor dim dir =
-      let d = match dir with Ast.Dplus -> Topology.Plus | Ast.Dminus -> Topology.Minus in
-      Topology.neighbor topo ~rank:r ~dim ~dir:d
-    in
     (* run a communication hook body inside its sync-point phase: set the
        rank's sync context (so simulator events recorded within attribute
        their messages and blocked time to this point) and emit the phase
@@ -565,56 +833,16 @@ let run_with : 'm. 'm iface -> config -> Ast.program_unit -> result =
               Trace.phase tr ~rank:r ~t0 ~t1:(Sim.time c) ~sync:si.si_id
                 ~label:si.si_label ?loop:si.si_loop ?iter ())
     in
-    let opposite = function Ast.Dplus -> Ast.Dminus | Ast.Dminus -> Ast.Dplus in
     let exchange_plan m sid transfers =
       match Hashtbl.find_opt plans sid with
       | Some (P_exchange p) -> p
       | _ ->
-          let transfers =
-            List.sort
-              (fun (a : Ast.transfer) b ->
-                compare
-                  (a.Ast.xfer_dim, a.Ast.xfer_array, a.Ast.xfer_dir)
-                  (b.Ast.xfer_dim, b.Ast.xfer_array, b.Ast.xfer_dir))
-              transfers
-          in
-          let ext_of_dim g =
-            List.fold_left
-              (fun acc (t : Ast.transfer) ->
-                if t.Ast.xfer_dim = g then max acc t.Ast.xfer_depth else acc)
-              0 transfers
-          in
           let p =
-            List.map
-              (fun (xfer : Ast.transfer) ->
-                let arr = iface.i_array m xfer.Ast.xfer_array in
-                let send =
-                  match neighbor xfer.Ast.xfer_dim xfer.Ast.xfer_dir with
-                  | Some dest ->
-                      Some
-                        ( dest,
-                          plan_of arr
-                            (plane_ranges gi topo ~owner_rank:r arr xfer
-                               ~ext_of_dim) )
-                  | None -> None
-                in
-                let recv =
-                  match
-                    neighbor xfer.Ast.xfer_dim (opposite xfer.Ast.xfer_dir)
-                  with
-                  | Some src ->
-                      Some
-                        ( src,
-                          plan_of arr
-                            (plane_ranges gi topo ~owner_rank:src arr xfer
-                               ~ext_of_dim) )
-                  | None -> None
-                in
-                { xp_array = xfer.Ast.xfer_array; xp_send = send; xp_recv = recv })
-              transfers
+            cached_plan ~etag ~topo ~rank:r ~sid (fun () ->
+                build_exchange_plan iface ~gi ~topo ~rank:r m transfers)
           in
-          Hashtbl.replace plans sid (P_exchange p);
-          p
+          Hashtbl.replace plans sid p;
+          (match p with P_exchange l -> l | _ -> assert false)
     in
     let do_exchange m sid transfers =
       List.iter
@@ -639,25 +867,13 @@ let run_with : 'm. 'm iface -> config -> Ast.program_unit -> result =
       match Hashtbl.find_opt plans sid with
       | Some (P_pipe p) -> p
       | _ ->
-          let peer_dir = if recv then opposite dir else dir in
           let p =
-            match neighbor dim peer_dir with
-            | None -> None
-            | Some peer ->
-                Some
-                  ( peer,
-                    List.map
-                      (fun (name, depth) ->
-                        let arr = iface.i_array m name in
-                        let owner = if recv then peer else r in
-                        ( name,
-                          plan_of arr
-                            (pipe_ranges gi topo ~owner_rank:owner arr ~dim
-                               ~dir ~depth name) ))
-                      arrays )
+            cached_plan ~etag ~topo ~rank:r ~sid (fun () ->
+                build_pipe_plan iface ~gi ~topo ~rank:r ~recv ~dim ~dir m
+                  arrays)
           in
-          Hashtbl.replace plans sid (P_pipe p);
-          p
+          Hashtbl.replace plans sid p;
+          (match p with P_pipe o -> o | _ -> assert false)
     in
     let do_pipe ~recv m sid ~dim ~dir arrays =
       (* recv: wait for the upstream neighbor's fresh planes before the
@@ -681,37 +897,13 @@ let run_with : 'm. 'm iface -> config -> Ast.program_unit -> result =
       match Hashtbl.find_opt plans sid with
       | Some (P_allgather p) -> p
       | _ ->
-          let owned_offsets owner arr name =
-            let sa =
-              match GI.find_status gi name with
-              | Some sa -> sa
-              | None -> invalid_arg ("Spmd: allgather of non-status " ^ name)
-            in
-            let b = Topology.block topo owner in
-            plan_of arr
-              (Array.init (Value.rank arr) (fun k ->
-                   let alo, ahi = arr.Value.bounds.(k) in
-                   match sa.GI.sa_dims.(k) with
-                   | None -> (alo, ahi)
-                   | Some g ->
-                       ( max alo b.Autocfd_partition.Block.lo.(g),
-                         min ahi b.Autocfd_partition.Block.hi.(g) )))
-          in
           let p =
-            List.map
-              (fun name ->
-                let arr = iface.i_array m name in
-                let mine = owned_offsets r arr name in
-                let peers =
-                  Array.init nranks_total (fun peer ->
-                      if peer = r then plan_of_offsets [||]
-                      else owned_offsets peer arr name)
-                in
-                (name, mine, peers))
-              arrays
+            cached_plan ~etag ~topo ~rank:r ~sid (fun () ->
+                build_allgather_plan iface ~gi ~topo ~rank:r
+                  ~nranks:nranks_total m arrays)
           in
-          Hashtbl.replace plans sid (P_allgather p);
-          p
+          Hashtbl.replace plans sid p;
+          (match p with P_allgather l -> l | _ -> assert false)
     in
     let do_allgather m sid arrays =
       (* exchange owned regions with every other rank so each rank holds
@@ -890,43 +1082,7 @@ let run_with : 'm. 'm iface -> config -> Ast.program_unit -> result =
   let stats, restarts = attempts 0 in
   let machine r = Option.get machines.(r) in
   let m0 = machine 0 in
-  (* gather status arrays from their owners *)
-  let gathered =
-    List.map
-      (fun name ->
-        let a0 = iface.i_array m0 name in
-        match GI.find_status gi name with
-        | None -> (name, Value.copy a0)
-        | Some sa ->
-            let out = Value.copy a0 in
-            for r = 0 to nranks - 1 do
-              let src = iface.i_array (machine r) name in
-              let block = Topology.block topo r in
-              let ranges =
-                Array.init (Value.rank src) (fun k ->
-                    let alo, ahi = src.Value.bounds.(k) in
-                    match sa.GI.sa_dims.(k) with
-                    | None -> (alo, ahi)
-                    | Some g ->
-                        ( max alo block.Autocfd_partition.Block.lo.(g),
-                          min ahi block.Autocfd_partition.Block.hi.(g) ))
-              in
-              iter_box ranges (fun idx ->
-                  Value.set out idx (Value.get src idx))
-            done;
-            (name, out))
-      (iface.i_array_names m0)
-  in
-  let scalars =
-    List.filter_map
-      (fun u_decl ->
-        if u_decl.Ast.d_dims = [] then
-          match iface.i_scalar m0 u_decl.Ast.d_name with
-          | v -> Some (u_decl.Ast.d_name, v)
-          | exception Machine.Runtime_error _ -> None
-        else None)
-      u.Ast.u_decls
-  in
+  let gathered, scalars = gather_results iface ~gi ~topo ~nranks ~machine u in
   let resilience =
     let sum f =
       Array.fold_left
@@ -950,6 +1106,7 @@ let run_with : 'm. 'm iface -> config -> Ast.program_unit -> result =
     scalars;
     flops_per_rank;
     resilience;
+    domains = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -1014,8 +1171,393 @@ let compiled_iface ?(fuse = false) (u : Ast.program_unit) :
     i_kernels = Compile.kernel_stats;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Domains engine: real parallel execution on OCaml 5 domains          *)
+(* ------------------------------------------------------------------ *)
+
+(* one wall-clock sync-point span, buffered per rank during the run (the
+   tracer is not thread-safe) and replayed after the domains are joined *)
+type pending_phase = {
+  pe_t0 : float;
+  pe_t1 : float;
+  pe_sync : int;
+  pe_label : string;
+  pe_loop : string option;
+  pe_iter : int option;
+}
+
+(* split an exchange plan (sorted by dim) into its dim groups *)
+let dim_groups xps =
+  let rec span d = function
+    | x :: rest when x.xp_dim = d ->
+        let g, tail = span d rest in
+        (x :: g, tail)
+    | l -> ([], l)
+  in
+  let rec go = function
+    | [] -> []
+    | x :: _ as l ->
+        let g, tail = span x.xp_dim l in
+        g :: go tail
+  in
+  go xps
+
+(* Every rank executes on its own domain; fields stay plain [float
+   array]s, which the OCaml 5 shared heap makes visible to every other
+   domain, so a halo exchange is a bounds-checked blit straight out of
+   the neighbour's array.  The element offsets are the PR 3 pack plans:
+   both sides of a transfer compute identical offsets (all ranks allocate
+   full-extent arrays), so the simulator's pack -> message -> unpack
+   pipeline collapses to [dst.(o) <- src.(o)] over the recv plan.
+
+   Ordering protocol: a barrier opens every exchange (the neighbours'
+   producing compute must be complete) and closes every dim group —
+   higher-dim transfers read lower-dim halo cells through the diagonal
+   extension, so those writes must land first.  Within one group, cells
+   written (my halo in that dim) and cells peers read from me (my owned
+   boundary, plus lower-dim halo written in earlier groups) are disjoint,
+   so no intra-group fence is needed.  Collectives run through {!Shm},
+   whose allreduce folds contributions in rank order with exactly the
+   simulator's combine — the whole run is bit-identical to [Fused]. *)
+let run_domains : 'm. 'm iface -> config -> Ast.program_unit -> result =
+ fun iface config u ->
+  if config.faults <> None then
+    invalid_arg "Spmd: the Domains engine does not support fault injection";
+  if config.recovery <> None then
+    invalid_arg "Spmd: the Domains engine does not support recovery";
+  let etag = "domains" in
+  let topo = config.topo and gi = config.gi in
+  let nranks = Topology.nranks topo in
+  let machines = Array.make nranks None in
+  let flops_per_rank = Array.make nranks 0.0 in
+  let compute_wall = Array.make nranks 0.0 in
+  let comm_samples : (int * float) list array = Array.make nranks [] in
+  let pending : pending_phase list array = Array.make nranks [] in
+  let sync_tbl =
+    match config.tracer with
+    | None -> Hashtbl.create 1
+    | Some _ -> sync_points u
+  in
+  let body (c : Shm.comm) =
+    let r = Shm.rank c in
+    let block = Topology.block topo r in
+    let plans : (int, plan) Hashtbl.t = Hashtbl.create 16 in
+    let last = ref 0.0 in
+    let compute = ref 0.0 in
+    let copy_bytes = ref 0 in
+    let samples = ref [] in
+    (* close the open compute interval at a communication hook; reopen
+       it when the hook returns *)
+    let enter () =
+      let t = Shm.time c in
+      compute := !compute +. (t -. !last);
+      t
+    in
+    let leave () = last := Shm.time c in
+    let peer_data name peer =
+      match machines.(peer) with
+      | Some m -> (iface.i_array m name).Value.data
+      | None -> failwith "Spmd: Domains peer machine not published"
+    in
+    let blit_in p ~src ~dst =
+      if Array.length src <> Array.length dst then
+        failwith "Spmd: halo blit shape mismatch";
+      if p.pp_blit then
+        Array.iter
+          (fun (start, len) -> Array.blit src start dst start len)
+          p.pp_segs
+      else begin
+        let offs = p.pp_offs in
+        for i = 0 to p.pp_total - 1 do
+          let o = offs.(i) in
+          dst.(o) <- src.(o)
+        done
+      end;
+      copy_bytes := !copy_bytes + (8 * p.pp_total)
+    in
+    let get_plan sid build extract =
+      match Hashtbl.find_opt plans sid with
+      | Some p -> extract p
+      | None ->
+          let p = cached_plan ~etag ~topo ~rank:r ~sid build in
+          Hashtbl.replace plans sid p;
+          extract p
+    in
+    let do_exchange m sid transfers =
+      let xps =
+        get_plan sid
+          (fun () -> build_exchange_plan iface ~gi ~topo ~rank:r m transfers)
+          (function P_exchange l -> l | _ -> assert false)
+      in
+      Shm.barrier c;
+      List.iter
+        (fun group ->
+          List.iter
+            (fun xp ->
+              match xp.xp_recv with
+              | Some (src, p) ->
+                  blit_in p ~src:(peer_data xp.xp_array src)
+                    ~dst:(iface.i_array m xp.xp_array).Value.data
+              | None -> ())
+            group;
+          Shm.barrier c)
+        (dim_groups xps)
+    in
+    let do_allgather m sid arrays =
+      let per_array =
+        get_plan sid
+          (fun () ->
+            build_allgather_plan iface ~gi ~topo ~rank:r ~nranks m arrays)
+          (function P_allgather l -> l | _ -> assert false)
+      in
+      Shm.barrier c;
+      List.iter
+        (fun (name, _mine, peers) ->
+          let dst = (iface.i_array m name).Value.data in
+          for peer = 0 to nranks - 1 do
+            if peer <> r then blit_in peers.(peer) ~src:(peer_data name peer) ~dst
+          done)
+        per_array;
+      Shm.barrier c
+    in
+    let do_pipe ~recv m sid ~dim ~dir arrays =
+      let p =
+        get_plan sid
+          (fun () ->
+            build_pipe_plan iface ~gi ~topo ~rank:r ~recv ~dim ~dir m arrays)
+          (function P_pipe o -> o | _ -> assert false)
+      in
+      match p with
+      | None -> ()
+      | Some (peer, per_array) ->
+          List.iter
+            (fun (name, p) ->
+              let data = (iface.i_array m name).Value.data in
+              if recv then begin
+                let payload = Shm.recv c ~src:peer ~tag:tag_pipe in
+                if Array.length payload <> p.pp_total then
+                  failwith "Spmd: pipeline message size mismatch";
+                unpack p data payload
+              end
+              else Shm.send c ~dest:peer ~tag:tag_pipe (pack p data))
+            per_array
+    in
+    let traced m sid f =
+      match config.tracer with
+      | None -> f ()
+      | Some _ -> (
+          match Hashtbl.find_opt sync_tbl sid with
+          | None -> f ()
+          | Some si ->
+              let iter =
+                match si.si_loop with
+                | None -> None
+                | Some v -> (
+                    match iface.i_scalar m v with
+                    | Value.Int i -> Some i
+                    | Value.Real x -> Some (int_of_float x)
+                    | Value.Bool _ | Value.Str _ -> None
+                    | exception Machine.Runtime_error _ -> None)
+              in
+              let t0 = Shm.time c in
+              f ();
+              pending.(r) <-
+                {
+                  pe_t0 = t0;
+                  pe_t1 = Shm.time c;
+                  pe_sync = si.si_id;
+                  pe_label = si.si_label;
+                  pe_loop = si.si_loop;
+                  pe_iter = iter;
+                }
+                :: pending.(r))
+    in
+    let hooks =
+      {
+        g_block =
+          (fun d ->
+            (block.Autocfd_partition.Block.lo.(d),
+             block.Autocfd_partition.Block.hi.(d)));
+        g_comm =
+          (fun m ~sid comm ->
+            let t_in = enter () in
+            let b0 = !copy_bytes in
+            traced m sid (fun () ->
+                match comm with
+                | Ast.Exchange ts -> do_exchange m sid ts
+                | Ast.Allreduce_max v ->
+                    let x = Value.to_float (iface.i_scalar m v) in
+                    iface.i_set_scalar m v
+                      (Value.Real (Shm.allreduce c `Max x))
+                | Ast.Allreduce_min v ->
+                    let x = Value.to_float (iface.i_scalar m v) in
+                    iface.i_set_scalar m v
+                      (Value.Real (Shm.allreduce c `Min x))
+                | Ast.Allreduce_sum v ->
+                    let x = Value.to_float (iface.i_scalar m v) in
+                    iface.i_set_scalar m v
+                      (Value.Real (Shm.allreduce c `Sum x))
+                | Ast.Broadcast vars ->
+                    let data =
+                      if r = 0 then
+                        Array.of_list
+                          (List.map
+                             (fun v -> Value.to_float (iface.i_scalar m v))
+                             vars)
+                      else Array.make (List.length vars) 0.0
+                    in
+                    let data = Shm.bcast c ~root:0 data in
+                    List.iteri
+                      (fun i v -> iface.i_set_scalar m v (Value.Real data.(i)))
+                      vars
+                | Ast.Allgather arrays -> do_allgather m sid arrays
+                | Ast.Barrier -> Shm.barrier c);
+            (match comm with
+            | Ast.Exchange _ | Ast.Allgather _ ->
+                samples :=
+                  (!copy_bytes - b0, Shm.time c -. t_in) :: !samples
+            | _ -> ());
+            leave ());
+        g_pipe_recv =
+          (fun m ~sid ~dim ~dir arrays ->
+            ignore (enter () : float);
+            traced m sid (fun () -> do_pipe ~recv:true m sid ~dim ~dir arrays);
+            leave ());
+        g_pipe_send =
+          (fun m ~sid ~dim ~dir arrays ->
+            ignore (enter () : float);
+            traced m sid (fun () ->
+                do_pipe ~recv:false m sid ~dim ~dir arrays);
+            leave ());
+        g_read =
+          (fun m n ->
+            ignore (enter () : float);
+            let data =
+              if r = 0 then iface.i_read0 m n else Array.make n 0.0
+            in
+            let out = Shm.bcast c ~root:0 data in
+            leave ();
+            out);
+        g_write = (fun m values -> if r = 0 then iface.i_write0 m values);
+      }
+    in
+    let m = iface.i_spawn hooks config.input in
+    machines.(r) <- Some m;
+    (* publish before anyone's first exchange can read a peer's array *)
+    Shm.barrier c;
+    last := Shm.time c;
+    iface.i_run m;
+    let t_end = Shm.time c in
+    compute := !compute +. (t_end -. !last);
+    compute_wall.(r) <- !compute;
+    comm_samples.(r) <- List.rev !samples;
+    flops_per_rank.(r) <- iface.i_flops m
+  in
+  let shm =
+    try Shm.run ~nranks body
+    with Shm.Rank_failure (r, e) -> raise (Sim.Rank_failure (r, e))
+  in
+  let ranks = shm.Shm.ranks in
+  let sum_i f = Array.fold_left (fun acc rs -> acc + f rs) 0 ranks in
+  let stats =
+    {
+      Sim.elapsed = shm.Shm.elapsed;
+      rank_times = Array.map (fun rs -> rs.Shm.rs_wall) ranks;
+      messages = sum_i (fun rs -> rs.Shm.rs_sends);
+      bytes = sum_i (fun rs -> rs.Shm.rs_bytes);
+      collectives = ranks.(0).Shm.rs_collectives;
+      rank_sends = Array.map (fun rs -> rs.Shm.rs_sends) ranks;
+      rank_recvs = Array.map (fun rs -> rs.Shm.rs_recvs) ranks;
+      rank_blocked =
+        Array.map (fun rs -> rs.Shm.rs_barrier_wait +. rs.Shm.rs_recv_wait) ranks;
+    }
+  in
+  let machine r = Option.get machines.(r) in
+  (match config.tracer with
+  | None -> ()
+  | Some tr ->
+      Trace.prepare tr ~nranks;
+      Array.iteri
+        (fun r pend ->
+          List.iter
+            (fun pe ->
+              Trace.phase tr ~wall:true ~rank:r ~t0:pe.pe_t0 ~t1:pe.pe_t1
+                ~sync:pe.pe_sync ~label:pe.pe_label ?loop:pe.pe_loop
+                ?iter:pe.pe_iter ())
+            (List.rev pend))
+        pending;
+      Array.iteri
+        (fun r rs ->
+          List.iter
+            (fun (w : Shm.wait) ->
+              if w.Shm.w_dur > 0.0 then
+                Trace.record tr ~wall:true ~rank:r ~t0:w.Shm.w_start
+                  ~t1:(w.Shm.w_start +. w.Shm.w_dur)
+                  (Trace.Blocked
+                     {
+                       src = -1;
+                       tag = (if w.Shm.w_barrier then -1 else tag_pipe);
+                     }))
+            rs.Shm.rs_waits)
+        ranks;
+      (* kernel summaries in measured wall seconds: the rank's compute
+         wall split across nests by their flop shares *)
+      Array.iteri
+        (fun r _ ->
+          let ks = iface.i_kernels (machine r) in
+          let total =
+            List.fold_left (fun a k -> a +. k.Compile.ks_flops) 0.0 ks
+          in
+          List.iter
+            (fun (k : Compile.kernel_stat) ->
+              if k.Compile.ks_calls > 0 then begin
+                let frac =
+                  if total > 0.0 then k.Compile.ks_flops /. total else 0.0
+                in
+                let name =
+                  Printf.sprintf "L%d do %s" k.Compile.ks_line
+                    (String.concat "," k.Compile.ks_vars)
+                in
+                Trace.record tr ~wall:true ~rank:r ~t0:0.0
+                  ~t1:(compute_wall.(r) *. frac)
+                  (Trace.Kernel
+                     {
+                       name;
+                       line = k.Compile.ks_line;
+                       fused = k.Compile.ks_fused;
+                       calls = k.Compile.ks_calls;
+                       flops = k.Compile.ks_flops;
+                       bytes = k.Compile.ks_bytes;
+                     })
+              end)
+            ks)
+        machines);
+  let m0 = machine 0 in
+  let gathered, scalars = gather_results iface ~gi ~topo ~nranks ~machine u in
+  let dstats =
+    {
+      ds_wall = shm.Shm.elapsed;
+      ds_rank_wall = Array.map (fun rs -> rs.Shm.rs_wall) ranks;
+      ds_compute = Array.copy compute_wall;
+      ds_barrier_wait = Array.map (fun rs -> rs.Shm.rs_barrier_wait) ranks;
+      ds_barrier_calls = ranks.(0).Shm.rs_barrier_calls;
+      ds_flops = Array.copy flops_per_rank;
+      ds_comm_samples = List.concat (Array.to_list comm_samples);
+    }
+  in
+  {
+    stats;
+    output = iface.i_output m0;
+    gathered;
+    scalars;
+    flops_per_rank;
+    resilience = no_resilience;
+    domains = Some dstats;
+  }
+
 let run ?(engine = Fused) config (u : Ast.program_unit) =
   match engine with
-  | Tree -> run_with (tree_iface u) config u
-  | Compiled -> run_with (compiled_iface u) config u
-  | Fused -> run_with (compiled_iface ~fuse:true u) config u
+  | Tree -> run_with (tree_iface u) ~etag:"tree" config u
+  | Compiled -> run_with (compiled_iface u) ~etag:"compiled" config u
+  | Fused -> run_with (compiled_iface ~fuse:true u) ~etag:"fused" config u
+  | Domains -> run_domains (compiled_iface ~fuse:true u) config u

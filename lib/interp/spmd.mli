@@ -58,6 +58,23 @@ type resilience = {
 val no_resilience : resilience
 (** the all-zero record a fault-free run reports *)
 
+type domain_stats = {
+  ds_wall : float;  (** whole-run wall-clock seconds (spawn to join) *)
+  ds_rank_wall : float array;  (** per-rank wall seconds inside the body *)
+  ds_compute : float array;
+      (** per-rank wall seconds spent outside communication hooks *)
+  ds_barrier_wait : float array;
+      (** per-rank wall seconds blocked in barriers/collectives *)
+  ds_barrier_calls : int;  (** barrier entries per rank (identical) *)
+  ds_flops : float array;  (** per-rank flop counts (same as simulator) *)
+  ds_comm_samples : (int * float) list;
+      (** (bytes moved, wall seconds) per halo-exchange / allgather
+          episode on rank 0 — calibration input for
+          {!Autocfd_perfmodel.Model.calibrate} *)
+}
+(** Measured wall-clock profile of a [Domains] run; the simulated-time
+    fields of [stats] are synthesized from these measurements. *)
+
 type result = {
   stats : Sim.stats;  (** of the final (successful) attempt *)
   output : string list;  (** rank 0's WRITE lines *)
@@ -67,16 +84,23 @@ type result = {
   scalars : (string * Value.scalar) list;  (** rank 0 final scalars *)
   flops_per_rank : float array;
   resilience : resilience;
+  domains : domain_stats option;
+      (** wall-clock measurements; [Some _] iff the engine was [Domains] *)
 }
 
-type engine = Tree | Compiled | Fused
+type engine = Tree | Compiled | Fused | Domains
 (** Which evaluator executes each rank's unit body: the tree-walking
     {!Machine}, the slot-resolved closure IR of {!Compile}, or the closure
     IR with the fused-kernel tier enabled ([Compile.of_unit ~fuse:true]):
     straight-line affine DO nests run as bounds-hoisted tight loops with
-    batched flop charging.  Results of all three are bit-identical
-    (enforced by the golden-equivalence suite); [Fused] is the default and
-    the fastest. *)
+    batched flop charging.  [Domains] runs the fused program for real: one
+    OCaml 5 domain per rank, fields in shared memory, halo exchange as
+    direct bounds-checked blits between neighbouring ranks' arrays, and
+    sense-reversing barriers in place of the simulator's virtual-clock
+    sync ({!Autocfd_mpsim.Shm}).  Results of all four are bit-identical
+    (enforced by the golden-equivalence suite and the Domains identity
+    gate); [Fused] is the default.  [Domains] rejects fault plans and
+    recovery (simulator-only features). *)
 
 val run : ?engine:engine -> config -> Ast.program_unit -> result
 (** Executes the SPMD unit produced by [Transform.run] on

@@ -11,13 +11,15 @@ type spec = {
   fs_duplication : float;
   fs_corruption : float;
   fs_jitter : float;
+  fs_reorder : float;
   fs_degrade : (int * int * float) list;
   fs_stalls : stall_spec list;
   fs_crashes : crash_spec list;
 }
 
 let spec ~seed ?(loss = 0.0) ?(duplication = 0.0) ?(corruption = 0.0)
-    ?(jitter = 0.0) ?(degrade = []) ?(stalls = []) ?(crashes = []) () =
+    ?(jitter = 0.0) ?(reorder = 0.0) ?(degrade = []) ?(stalls = [])
+    ?(crashes = []) () =
   let prob name p =
     if p < 0.0 || p > 1.0 then
       invalid_arg (Printf.sprintf "Fault.spec: %s=%g not in [0, 1]" name p)
@@ -25,6 +27,7 @@ let spec ~seed ?(loss = 0.0) ?(duplication = 0.0) ?(corruption = 0.0)
   prob "loss" loss;
   prob "duplication" duplication;
   prob "corruption" corruption;
+  prob "reorder" reorder;
   if jitter < 0.0 then invalid_arg "Fault.spec: negative jitter";
   List.iter
     (fun (s, d, f) ->
@@ -44,6 +47,7 @@ let spec ~seed ?(loss = 0.0) ?(duplication = 0.0) ?(corruption = 0.0)
     fs_duplication = duplication;
     fs_corruption = corruption;
     fs_jitter = jitter;
+    fs_reorder = reorder;
     fs_degrade = degrade;
     fs_stalls = stalls;
     fs_crashes = crashes;
@@ -53,6 +57,7 @@ type counters = {
   fc_drops : int;
   fc_duplicates : int;
   fc_corruptions : int;
+  fc_reorders : int;
   fc_stalls : int;
   fc_crashes : int;
 }
@@ -66,6 +71,7 @@ type plan = {
   mutable p_drops : int;
   mutable p_duplicates : int;
   mutable p_corruptions : int;
+  mutable p_reorders : int;
   mutable p_stalls : int;
   mutable p_crashes : int;
 }
@@ -80,6 +86,7 @@ let make s =
     p_drops = 0;
     p_duplicates = 0;
     p_corruptions = 0;
+    p_reorders = 0;
     p_stalls = 0;
     p_crashes = 0;
   }
@@ -91,6 +98,7 @@ let counters p =
     fc_drops = p.p_drops;
     fc_duplicates = p.p_duplicates;
     fc_corruptions = p.p_corruptions;
+    fc_reorders = p.p_reorders;
     fc_stalls = p.p_stalls;
     fc_crashes = p.p_crashes;
   }
@@ -103,7 +111,9 @@ let crashed_ranks p =
   List.sort_uniq compare !out
 
 let any_fired p =
-  p.p_drops + p.p_duplicates + p.p_corruptions + p.p_stalls + p.p_crashes > 0
+  p.p_drops + p.p_duplicates + p.p_corruptions + p.p_reorders + p.p_stalls
+  + p.p_crashes
+  > 0
 
 let begin_run p =
   Hashtbl.reset p.p_link_idx;
@@ -115,6 +125,7 @@ type send_verdict = {
   sv_duplicate : bool;
   sv_corrupt : (int * int) option;
   sv_delay : float;
+  sv_reorder : bool;
   sv_factor : float;
 }
 
@@ -124,6 +135,7 @@ let clean_verdict =
     sv_duplicate = false;
     sv_corrupt = None;
     sv_delay = 0.0;
+    sv_reorder = false;
     sv_factor = 1.0;
   }
 
@@ -158,7 +170,7 @@ let on_send p ~src ~dest ~words =
   in
   let randomized =
     s.fs_loss > 0.0 || s.fs_duplication > 0.0 || s.fs_corruption > 0.0
-    || s.fs_jitter > 0.0
+    || s.fs_jitter > 0.0 || s.fs_reorder > 0.0
   in
   if not randomized then { clean_verdict with sv_factor = factor }
   else begin
@@ -175,14 +187,23 @@ let on_send p ~src ~dest ~words =
         Some (Prng.int g words, Prng.int g 64)
       else None
     in
+    (* drawn after the original fields so pre-existing schedules replay
+       unchanged when reorder stays 0 *)
+    let reorder =
+      (not drop)
+      && s.fs_reorder > 0.0
+      && Prng.float g 1.0 < s.fs_reorder
+    in
     if drop then p.p_drops <- p.p_drops + 1;
     if dup then p.p_duplicates <- p.p_duplicates + 1;
     if corrupt <> None then p.p_corruptions <- p.p_corruptions + 1;
+    if reorder then p.p_reorders <- p.p_reorders + 1;
     {
       sv_drop = drop;
       sv_duplicate = dup;
       sv_corrupt = corrupt;
       sv_delay = delay;
+      sv_reorder = reorder;
       sv_factor = factor;
     }
   end

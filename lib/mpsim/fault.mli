@@ -38,6 +38,9 @@ type spec = {
   fs_duplication : float;  (** probability a message is delivered twice *)
   fs_corruption : float;  (** probability one payload bit is flipped *)
   fs_jitter : float;  (** max uniform extra latency per message, seconds *)
+  fs_reorder : float;
+      (** probability a message overtakes the one queued just before it
+          on the same link, shuffling delivery order at the receiver *)
   fs_degrade : (int * int * float) list;
       (** (src, dest, factor): wire time of that link multiplied by factor *)
   fs_stalls : stall_spec list;
@@ -50,6 +53,7 @@ val spec :
   ?duplication:float ->
   ?corruption:float ->
   ?jitter:float ->
+  ?reorder:float ->
   ?degrade:(int * int * float) list ->
   ?stalls:stall_spec list ->
   ?crashes:crash_spec list ->
@@ -68,6 +72,9 @@ type counters = {
   fc_drops : int;
   fc_duplicates : int;
   fc_corruptions : int;
+  fc_reorders : int;
+      (** reorder verdicts drawn; one with no earlier message pending on
+          its link is a delivery-order no-op *)
   fc_stalls : int;
   fc_crashes : int;
 }
@@ -94,6 +101,8 @@ type send_verdict = {
   sv_duplicate : bool;  (** deliver a second copy (ignored when dropped) *)
   sv_corrupt : (int * int) option;  (** (word index, bit index) to flip *)
   sv_delay : float;  (** extra seconds of flight time (jitter), >= 0 *)
+  sv_reorder : bool;
+      (** deliver this message ahead of the previously queued one *)
   sv_factor : float;  (** wire-time multiplier for this link, >= 1 *)
 }
 

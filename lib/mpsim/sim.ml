@@ -138,7 +138,25 @@ let send c ~dest ~tag data =
         trace_fault c ~what:"corrupt" ~peer:dest ~dur:0.0
     | _ -> ());
     let q = mailbox st (dest, c.id, tag) in
-    Queue.push { arrival; data = payload } q;
+    let msg = { arrival; data = payload } in
+    if verdict.Fault.sv_reorder && Queue.length q > 0 then begin
+      (* adversarial delivery shuffle: the fresh message overtakes the
+         one queued just before it, so the receiver pops them swapped *)
+      let items = List.rev (Queue.fold (fun acc m -> m :: acc) [] q) in
+      Queue.clear q;
+      let rec repush = function
+        | [ last ] ->
+            Queue.push msg q;
+            Queue.push last q
+        | earlier :: rest ->
+            Queue.push earlier q;
+            repush rest
+        | [] -> Queue.push msg q
+      in
+      repush items;
+      trace_fault c ~what:"reorder" ~peer:dest ~dur:0.0
+    end
+    else Queue.push msg q;
     if verdict.Fault.sv_duplicate then begin
       (* the duplicate trails the original by one degraded latency, so
          queue order stays FIFO by arrival *)

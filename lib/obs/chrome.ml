@@ -1,16 +1,21 @@
 let us seconds = seconds *. 1e6
 
 (* lane (Chrome "process") assignment: the simulated cluster, the sweep
-   scheduler's worker domains (wall-clock), and per-nest kernel summaries
-   each get their own pid so viewers render them as separate groups *)
+   scheduler's worker domains (wall-clock), per-nest kernel summaries and
+   the real Domains engine's wall-clock ranks each get their own pid so
+   viewers render them as separate groups.  Wall-clock events ([ev_wall])
+   must not share the virtual-clock lanes — their timestamps are on a
+   different axis *)
 let cluster_pid = 0
 let sched_pid = 1
 let kernel_pid = 2
+let domains_pid = 3
 
 let pid_of (e : Trace.event) =
   match e.Trace.ev_kind with
   | Trace.Sched _ -> sched_pid
-  | Trace.Kernel _ -> kernel_pid
+  | Trace.Kernel _ when not e.Trace.ev_wall -> kernel_pid
+  | _ when e.Trace.ev_wall -> domains_pid
   | _ -> cluster_pid
 
 let event_json (e : Trace.event) =
@@ -94,13 +99,20 @@ let meta ~pid name tid args =
    holds such events *)
 let metadata tr =
   let nranks = Trace.nranks tr in
-  let sched_workers = ref (-1) and kernel_ranks = ref (-1) in
+  let sched_workers = ref (-1)
+  and kernel_ranks = ref (-1)
+  and domain_ranks = ref (-1) in
   List.iter
     (fun (e : Trace.event) ->
-      match e.Trace.ev_kind with
-      | Trace.Sched _ -> sched_workers := max !sched_workers e.Trace.ev_rank
-      | Trace.Kernel _ -> kernel_ranks := max !kernel_ranks e.Trace.ev_rank
-      | _ -> ())
+      if e.Trace.ev_wall then
+        match e.Trace.ev_kind with
+        | Trace.Sched _ -> sched_workers := max !sched_workers e.Trace.ev_rank
+        | _ -> domain_ranks := max !domain_ranks e.Trace.ev_rank
+      else
+        match e.Trace.ev_kind with
+        | Trace.Sched _ -> sched_workers := max !sched_workers e.Trace.ev_rank
+        | Trace.Kernel _ -> kernel_ranks := max !kernel_ranks e.Trace.ev_rank
+        | _ -> ())
     (Trace.events tr);
   let lane ~pid ~pname ~tname n =
     if n < 0 then []
@@ -116,6 +128,8 @@ let metadata tr =
       ~tname:(format_of_string "worker %d") !sched_workers
   @ lane ~pid:kernel_pid ~pname:"kernel self time"
       ~tname:(format_of_string "rank %d") !kernel_ranks
+  @ lane ~pid:domains_pid ~pname:"domains engine (wall clock)"
+      ~tname:(format_of_string "rank %d") !domain_ranks
 
 let json tr =
   (* phase slices are emitted before the slices they contain so viewers

@@ -13,9 +13,14 @@
     - pid 2 — kernel self-time summaries: one slice per field-loop nest
       per rank, whose duration is the nest's self compute time on the
       virtual clock (category [kernel]).
+    - pid 3 — the real shared-memory Domains engine: one thread per
+      domain rank, every slice timed on the host wall clock
+      ([Trace.event.ev_wall]); phases, barrier/recv blocked intervals
+      and per-nest kernel summaries all live in this lane so the
+      wall-clock timeline never interleaves with virtual-clock lanes.
 
-    The scheduler and kernel lanes are emitted only when the trace holds
-    such events. *)
+    The scheduler, kernel and domains lanes are emitted only when the
+    trace holds such events. *)
 
 val json : Trace.t -> Json.t
 val to_string : Trace.t -> string

@@ -398,6 +398,18 @@ let observe_trace t tr =
       | Trace.Recv { bytes = _; _ } ->
           inc t "autocfd_comm_seconds_total" dur ~labels:[ ("kind", "recv") ]
             ~help:"virtual communication seconds, by kind"
+      | Trace.Blocked { tag; _ } when e.Trace.ev_wall ->
+          (* real Domains-engine waits, measured on the host wall clock:
+             tag = -1 marks a barrier/collective, anything else a
+             point-to-point receive *)
+          let kind = if tag < 0 then "barrier" else "recv" in
+          inc t "autocfd_domains_wait_seconds_total" dur
+            ~labels:[ ("kind", kind) ]
+            ~help:"wall-clock seconds Domains-engine ranks spent blocked";
+          observe t "autocfd_domains_barrier_wait_seconds" dur
+            ~labels:[ ("kind", kind); ("rank", soi e.Trace.ev_rank) ]
+            ~help:
+              "per-rank wall-clock wait distribution of the Domains engine"
       | Trace.Blocked _ ->
           inc t "autocfd_blocked_seconds_total" dur
             ~help:"virtual blocked-idle seconds across ranks"
@@ -450,6 +462,11 @@ let observe_trace t tr =
             ~help:"self flops per field-loop nest";
           inc t "autocfd_kernel_bytes_total" bytes ~labels
             ~help:"bytes moved by the fused kernel tier per nest";
-          inc t "autocfd_kernel_self_seconds_total" dur ~labels
-            ~help:"virtual self compute seconds per field-loop nest")
+          if e.Trace.ev_wall then
+            inc t "autocfd_domains_kernel_seconds_total" dur ~labels
+              ~help:
+                "measured wall-clock self seconds per nest (Domains engine)"
+          else
+            inc t "autocfd_kernel_self_seconds_total" dur ~labels
+              ~help:"virtual self compute seconds per field-loop nest")
     (Trace.events tr)

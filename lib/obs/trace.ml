@@ -23,6 +23,7 @@ type event = {
   ev_t0 : float;
   ev_t1 : float;
   ev_sync : int;
+  ev_wall : bool;
   ev_kind : kind;
 }
 
@@ -55,15 +56,15 @@ let push t ev =
   t.rev_events <- ev :: t.rev_events;
   t.count <- t.count + 1
 
-let record t ~rank ~t0 ~t1 kind =
+let record t ?(wall = false) ~rank ~t0 ~t1 kind =
   push t
     { ev_rank = rank; ev_t0 = t0; ev_t1 = t1;
-      ev_sync = current_sync t rank; ev_kind = kind }
+      ev_sync = current_sync t rank; ev_wall = wall; ev_kind = kind }
 
-let phase t ~rank ~t0 ~t1 ~sync ~label ?loop ?iter () =
+let phase t ?(wall = false) ~rank ~t0 ~t1 ~sync ~label ?loop ?iter () =
   push t
     { ev_rank = rank; ev_t0 = t0; ev_t1 = t1; ev_sync = sync;
-      ev_kind = Phase { label; loop; iter } }
+      ev_wall = wall; ev_kind = Phase { label; loop; iter } }
 
 let events t = List.rev t.rev_events
 let nranks t = t.nranks

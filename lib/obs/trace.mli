@@ -63,9 +63,13 @@ type kind =
 
 type event = {
   ev_rank : int;
-  ev_t0 : float;  (** virtual seconds *)
+  ev_t0 : float;  (** virtual seconds — or wall seconds when [ev_wall] *)
   ev_t1 : float;
   ev_sync : int;  (** combined sync-point id; [-1] outside any phase *)
+  ev_wall : bool;
+      (** [true] for events timed on the host wall clock by the real
+          shared-memory [Domains] engine; they live on a separate
+          timeline (and Chrome lane) from virtual-clock events *)
   ev_kind : kind;
 }
 
@@ -77,14 +81,16 @@ val prepare : t -> nranks:int -> unit
 (** Called by the simulator at the start of a run; sizes the per-rank sync
     context.  Idempotent; events recorded earlier are kept. *)
 
-val record : t -> rank:int -> t0:float -> t1:float -> kind -> unit
-(** Append one event; its sync id is the rank's current context. *)
+val record : t -> ?wall:bool -> rank:int -> t0:float -> t1:float -> kind -> unit
+(** Append one event; its sync id is the rank's current context.
+    [wall] (default [false]) marks the timestamps as host wall-clock. *)
 
 val set_sync : t -> rank:int -> sync:int -> unit
 val clear_sync : t -> rank:int -> unit
 
 val phase :
   t ->
+  ?wall:bool ->
   rank:int ->
   t0:float ->
   t1:float ->

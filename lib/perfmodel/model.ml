@@ -428,3 +428,76 @@ let predict_sequential machine ~gi u =
     P.Topology.create ~grid ~parts:(Array.make (Array.length grid) 1)
   in
   predict machine ~gi ~topo (census ~gi ~topo u)
+
+(* ------------------------------------------------------------------ *)
+(* Calibration from measured wall clock                                *)
+(* ------------------------------------------------------------------ *)
+
+type calibration = {
+  cal_flop_time : float;
+  cal_latency : float;
+  cal_bandwidth : float;
+  cal_compute_r2 : float;
+  cal_comm_r2 : float;
+}
+
+let r2 actual predicted =
+  let n = List.length actual in
+  if n = 0 then 0.0
+  else
+    let mean = List.fold_left ( +. ) 0.0 actual /. float_of_int n in
+    let ss_tot =
+      List.fold_left (fun a y -> a +. ((y -. mean) ** 2.0)) 0.0 actual
+    in
+    let ss_res =
+      List.fold_left2
+        (fun a y p -> a +. ((y -. p) ** 2.0))
+        0.0 actual predicted
+    in
+    if ss_tot <= 0.0 then if ss_res <= 0.0 then 1.0 else 0.0
+    else 1.0 -. (ss_res /. ss_tot)
+
+let calibrate ~compute ~comm =
+  (* per-flop cost: least squares through the origin, seconds = ft * flops *)
+  let sxx, sxy =
+    List.fold_left
+      (fun (sxx, sxy) (f, s) -> (sxx +. (f *. f), sxy +. (f *. s)))
+      (0.0, 0.0) compute
+  in
+  let flop_time = if sxx > 0.0 then sxy /. sxx else 0.0 in
+  (* network: ordinary linear least squares, seconds = latency + bytes/bw *)
+  let pts = List.filter (fun (b, _) -> b > 0) comm in
+  let n = float_of_int (List.length pts) in
+  let latency, slope =
+    if List.length pts < 2 then (0.0, 0.0)
+    else
+      let sx, sy, sxx, sxy =
+        List.fold_left
+          (fun (sx, sy, sxx, sxy) (b, s) ->
+            let x = float_of_int b in
+            (sx +. x, sy +. s, sxx +. (x *. x), sxy +. (x *. s)))
+          (0.0, 0.0, 0.0, 0.0) pts
+      in
+      let det = (n *. sxx) -. (sx *. sx) in
+      if det <= 0.0 then (sy /. n, 0.0)
+      else
+        let slope = ((n *. sxy) -. (sx *. sy)) /. det in
+        let icept = (sy -. (slope *. sx)) /. n in
+        (Float.max 0.0 icept, Float.max 0.0 slope)
+  in
+  let bandwidth = if slope > 0.0 then 1.0 /. slope else Float.infinity in
+  let cal_compute_r2 =
+    r2 (List.map snd compute)
+      (List.map (fun (f, _) -> flop_time *. f) compute)
+  in
+  let cal_comm_r2 =
+    r2 (List.map snd pts)
+      (List.map (fun (b, _) -> latency +. (slope *. float_of_int b)) pts)
+  in
+  {
+    cal_flop_time = flop_time;
+    cal_latency = latency;
+    cal_bandwidth = bandwidth;
+    cal_compute_r2;
+    cal_comm_r2;
+  }

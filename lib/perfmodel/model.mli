@@ -92,3 +92,28 @@ val predict_parallel :
 val predict_sequential :
   machine -> gi:Autocfd_analysis.Grid_info.t -> Ast.program_unit -> prediction
 (** Predicted uniprocessor wall-clock of the inlined sequential unit. *)
+
+(** {1 Calibration from measured wall clock}
+
+    The real shared-memory Domains engine measures what the simulator only
+    models: wall seconds per rank of compute and per halo-exchange episode.
+    [calibrate] fits the model's primitive costs to those measurements so a
+    simulated machine can be parameterized from a real run. *)
+
+type calibration = {
+  cal_flop_time : float;
+      (** fitted seconds per flop (least squares through the origin) *)
+  cal_latency : float;  (** fitted per-episode fixed cost, seconds *)
+  cal_bandwidth : float;
+      (** fitted bytes/second; [infinity] when the byte term does not
+          improve the fit (too few or degenerate samples) *)
+  cal_compute_r2 : float;  (** goodness of the compute fit, 0..1 *)
+  cal_comm_r2 : float;  (** goodness of the communication fit, 0..1 *)
+}
+
+val calibrate :
+  compute:(float * float) list -> comm:(int * float) list -> calibration
+(** [calibrate ~compute ~comm] fits [compute = (flops, seconds)] samples to
+    [seconds = flop_time * flops] and [comm = (bytes, seconds)] samples to
+    [seconds = latency + bytes / bandwidth].  Degenerate inputs (empty
+    lists, all-equal abscissae) yield zero costs rather than raising. *)

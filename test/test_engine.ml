@@ -79,6 +79,35 @@ let check_both name src partitions =
   check_sequential name src;
   List.iter (check_parallel name src) partitions
 
+(* the Domains engine runs for real on OCaml 5 domains: program state
+   (gathered arrays, scalars, WRITE output, flop censuses) must be
+   bit-identical to the simulator, but [stats] is measured wall clock and
+   is excluded from the comparison *)
+let check_domains name src parts =
+  let t = D.load src in
+  let plan = D.plan t ~parts in
+  let fused = D.run ~spec:(R.with_engine I.Spmd.Fused R.default) plan in
+  let r = D.run ~spec:(R.with_engine I.Spmd.Domains R.default) plan in
+  let ctx = Printf.sprintf "%s/domains %s" name (shape parts) in
+  check_array_list "gathered" ctx fused.I.Spmd.gathered r.I.Spmd.gathered;
+  Alcotest.(check bool)
+    (ctx ^ ": scalars") true
+    (fused.I.Spmd.scalars = r.I.Spmd.scalars);
+  Alcotest.(check bool)
+    (ctx ^ ": flops per rank") true
+    (fused.I.Spmd.flops_per_rank = r.I.Spmd.flops_per_rank);
+  Alcotest.(check (list string))
+    (ctx ^ ": output") fused.I.Spmd.output r.I.Spmd.output;
+  match r.I.Spmd.domains with
+  | None -> Alcotest.fail (ctx ^ ": missing domain_stats")
+  | Some ds ->
+      let nranks = Autocfd_partition.Topology.nranks plan.D.topo in
+      Alcotest.(check int)
+        (ctx ^ ": per-rank wall array") nranks
+        (Array.length ds.I.Spmd.ds_rank_wall);
+      Alcotest.(check bool)
+        (ctx ^ ": nonzero wall clock") true (ds.I.Spmd.ds_wall > 0.0)
+
 let read_file path =
   let ic = open_in path in
   let n = in_channel_length ic in
@@ -90,6 +119,18 @@ let test_sprayer () =
   check_both "sprayer"
     (Autocfd_apps.Sprayer.source ~ni:36 ~nj:18 ~ntime:6 ~npsi:3 ())
     [ [| 2; 1 |]; [| 1; 2 |]; [| 2; 2 |]; [| 3; 2 |] ]
+
+let test_domains_sprayer () =
+  List.iter
+    (check_domains "sprayer"
+       (Autocfd_apps.Sprayer.source ~ni:36 ~nj:18 ~ntime:6 ~npsi:3 ()))
+    [ [| 2; 1 |]; [| 1; 2 |]; [| 2; 2 |]; [| 3; 2 |] ]
+
+let test_domains_aerofoil () =
+  List.iter
+    (check_domains "aerofoil"
+       (Autocfd_apps.Aerofoil.source ~ni:16 ~nj:10 ~nk:6 ~ntime:3 ~npres:2 ()))
+    [ [| 2; 1; 1 |]; [| 2; 2; 1 |]; [| 2; 2; 2 |] ]
 
 let test_aerofoil () =
   check_both "aerofoil"
@@ -110,6 +151,9 @@ let test_heat2d () =
   check_both "heat2d"
     (read_file (heat2d_path ()))
     [ [| 2; 1 |]; [| 1; 2 |]; [| 2; 2 |] ]
+
+let test_domains_heat2d () =
+  check_domains "heat2d" (read_file (heat2d_path ())) [| 2; 2 |]
 
 (* flop-charge parity on a run with nontrivial timing: the simulated
    elapsed time is derived from the flop census, so charge drift would
@@ -366,6 +410,9 @@ let suite =
     ("cavity engines identical", `Slow, test_cavity);
     ("heat2d engines identical", `Slow, test_heat2d);
     ("charged timing identical", `Quick, test_charged_timing_identical);
+    ("domains sprayer identical", `Slow, test_domains_sprayer);
+    ("domains aerofoil identical", `Slow, test_domains_aerofoil);
+    ("domains heat2d identical", `Quick, test_domains_heat2d);
     ("random nests three-way identical", `Slow, test_random_nests);
     ("fused kernel coverage >= 80%", `Quick, test_app_coverage);
   ]

@@ -122,6 +122,64 @@ let test_everything_at_once () =
   Alcotest.(check bool) "transport actually worked for it" true
     (s0.Reliable.rl_retransmits > 0 || s1.Reliable.rl_dup_suppressed > 0)
 
+let test_reorder_property () =
+  (* adversarial delivery shuffle: across many seeds a heavy reorder
+     rate — alone and mixed with loss and duplication — must never break
+     exactly-once in-order delivery.  The schedule is drawn per-link, so
+     the shuffle verdicts replay deterministically; we also require that
+     the shuffles actually fired (fc_reorders > 0 overall) so the suite
+     cannot silently pass against a wire that stayed FIFO. *)
+  let total_reorders = ref 0 and total_buffered = ref 0 in
+  for seed = 1 to 12 do
+    let loss = if seed mod 2 = 0 then 0.15 else 0.0 in
+    let duplication = if seed mod 3 = 0 then 0.2 else 0.0 in
+    let spec = Fault.spec ~seed ~reorder:0.6 ~loss ~duplication () in
+    let faults = Fault.make spec in
+    let got = ref [] in
+    let stats = Array.make 2 None in
+    let _ =
+      Sim.run ~net:Netmodel.fast ~faults ~nranks:2 (fun c ->
+          let t = Reliable.create c in
+          if Sim.rank c = 0 then
+            for i = 1 to 30 do
+              Reliable.send t ~dest:1 ~tag:2 [| float_of_int i; 0.5 |]
+            done
+          else
+            for _ = 1 to 30 do
+              got := (Reliable.recv t ~src:0 ~tag:2).(0) :: !got
+            done;
+          Reliable.flush t;
+          stats.(Sim.rank c) <- Some (Reliable.stats t))
+    in
+    if List.rev !got <> expect_seq 30 then
+      Alcotest.failf "seed %d: delivery not exactly-once in-order" seed;
+    let c = Fault.counters faults in
+    if c.Fault.fc_reorders < 0 then Alcotest.fail "negative reorder count";
+    total_reorders := !total_reorders + c.Fault.fc_reorders;
+    let s1 = Option.get stats.(1) in
+    (* an overtaken envelope arrives early: the receiver either buffers
+       it (out-of-order seq) or, after a retransmit, suppresses it *)
+    total_buffered :=
+      !total_buffered + s1.Reliable.rl_dup_suppressed
+      + s1.Reliable.rl_checksum_failures
+  done;
+  Alcotest.(check bool) "some schedules actually shuffled the wire" true
+    (!total_reorders > 0)
+
+let test_reorder_verdicts_deterministic () =
+  (* the seeded shuffle must replay: same spec, same sv_reorder stream *)
+  let spec = Fault.spec ~seed:17 ~reorder:0.5 () in
+  let draw () =
+    let p = Fault.make spec in
+    Fault.begin_run p;
+    List.init 40 (fun _ ->
+        (Fault.on_send p ~src:0 ~dest:1 ~words:8).Fault.sv_reorder)
+  in
+  let a = draw () in
+  Alcotest.(check bool) "replayable" true (a = draw ());
+  Alcotest.(check bool) "both outcomes drawn" true
+    (List.mem true a && List.mem false a)
+
 let test_degraded_link_slows_elapsed () =
   let elapsed faults =
     let stats =
@@ -438,6 +496,9 @@ let suite =
     ("corruption recovered", `Quick, test_corruption_recovered);
     ("duplication suppressed", `Quick, test_duplication_suppressed);
     ("combined schedule survives", `Quick, test_everything_at_once);
+    ("reorder property (12 seeds)", `Quick, test_reorder_property);
+    ( "reorder verdicts deterministic", `Quick,
+      test_reorder_verdicts_deterministic );
     ("degraded link slows elapsed", `Quick, test_degraded_link_slows_elapsed);
     ("stall adds blocked time", `Quick, test_stall_adds_blocked_time);
     ("recv_deadline expires", `Quick, test_recv_deadline_expires);

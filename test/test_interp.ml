@@ -39,6 +39,57 @@ let test_array_custom_bounds () =
     | exception Invalid_argument _ -> true
     | _ -> false)
 
+let test_array_rank3_boundaries () =
+  (* rank-3 stride/base accessors at the corners: mixed lower bounds
+     (positive, zero, negative), so the precomputed base offset is load
+     bearing — the halo blit planner indexes neighbour slabs through
+     exactly these strides *)
+  let a = I.Value.make_array [| (2, 5); (0, 3); (-1, 2) |] in
+  Alcotest.(check int) "rank" 3 (I.Value.rank a);
+  Alcotest.(check int) "size" 64 (I.Value.size a);
+  Alcotest.(check int) "strides: first dim fastest" 1 a.I.Value.strides.(0);
+  Alcotest.(check int) "strides: second dim" 4 a.I.Value.strides.(1);
+  Alcotest.(check int) "strides: third dim is a full plane" 16
+    a.I.Value.strides.(2);
+  Alcotest.(check int) "base = sum lo_d * stride_d" (2 + 0 - 16)
+    a.I.Value.base;
+  (* the eight corners map to distinct in-range flat cells; the low and
+     high corner hit the exact ends of the data array *)
+  Alcotest.(check int) "low corner is cell 0" 0
+    (I.Value.linear_index a [| 2; 0; -1 |]);
+  Alcotest.(check int) "high corner is the last cell" 63
+    (I.Value.linear_index a [| 5; 3; 2 |]);
+  let corners =
+    [ [| 2; 0; -1 |]; [| 5; 0; -1 |]; [| 2; 3; -1 |]; [| 5; 3; -1 |];
+      [| 2; 0; 2 |]; [| 5; 0; 2 |]; [| 2; 3; 2 |]; [| 5; 3; 2 |] ]
+  in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun idx ->
+      let li = I.Value.linear_index a idx in
+      Alcotest.(check bool) "corner in range" true (li >= 0 && li < 64);
+      Alcotest.(check bool) "corner distinct" false (Hashtbl.mem seen li);
+      Hashtbl.replace seen li ();
+      I.Value.set a idx 1.0)
+    corners;
+  (* one step outside any single dimension must raise, in both
+     directions, without perturbing the stored corners *)
+  List.iter
+    (fun idx ->
+      match I.Value.get a idx with
+      | exception Invalid_argument _ -> ()
+      | v -> Alcotest.failf "expected bounds failure, got %g" v)
+    [ [| 1; 0; -1 |]; [| 6; 3; 2 |]; [| 2; -1; -1 |]; [| 5; 4; 2 |];
+      [| 2; 0; -2 |]; [| 5; 3; 3 |] ];
+  Alcotest.(check int) "wrong arity rejected" 0
+    (match I.Value.linear_index a [| 2; 0 |] with
+    | exception Invalid_argument _ -> 0
+    | li -> li + 1);
+  let total =
+    Array.fold_left ( +. ) 0.0 a.I.Value.data
+  in
+  Alcotest.(check (float 0.0)) "exactly the 8 corners written" 8.0 total
+
 let prop_linear_index_bijective =
   QCheck.Test.make ~count:100 ~name:"linear_index is a bijection"
     QCheck.(pair (int_range 1 5) (int_range 1 5))
@@ -354,6 +405,7 @@ let suite =
   [
     ("array column-major", `Quick, test_array_column_major);
     ("array custom bounds", `Quick, test_array_custom_bounds);
+    ("array rank-3 boundaries", `Quick, test_array_rank3_boundaries);
     ("to_int truncation", `Quick, test_to_int_truncation);
     ("max_abs_diff shape errors", `Quick, test_max_abs_diff_shapes);
     QCheck_alcotest.to_alcotest prop_linear_index_bijective;

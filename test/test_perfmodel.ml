@@ -192,6 +192,47 @@ let test_working_set () =
   (* 8 status arrays x 1000 pts x 8 bytes *)
   Alcotest.(check (float 1.0)) "ws bytes" 64000.0 ws
 
+let test_calibrate_exact_fit () =
+  (* synthetic measurements drawn from a known machine must be recovered
+     exactly: flop_time from proportional compute samples, latency and
+     bandwidth from affine message timings *)
+  let ft = 2.5e-9 and lat = 1.2e-4 and bw = 8e6 in
+  let compute =
+    List.map (fun f -> (f, ft *. f)) [ 1e6; 3e6; 7e6; 2.2e7 ]
+  in
+  let comm =
+    List.map
+      (fun b -> (b, lat +. (float_of_int b /. bw)))
+      [ 256; 1024; 8192; 65536 ]
+  in
+  let c = M.calibrate ~compute ~comm in
+  Alcotest.(check (float 1e-15)) "flop_time" ft c.M.cal_flop_time;
+  Alcotest.(check (float 1e-8)) "latency" lat c.M.cal_latency;
+  Alcotest.(check bool) "bandwidth within 0.1%" true
+    (Float.abs (c.M.cal_bandwidth -. bw) /. bw < 1e-3);
+  Alcotest.(check (float 1e-9)) "compute R^2 = 1" 1.0 c.M.cal_compute_r2;
+  Alcotest.(check (float 1e-9)) "comm R^2 = 1" 1.0 c.M.cal_comm_r2
+
+let test_calibrate_degenerate () =
+  (* empty / underdetermined inputs yield zeros (and an infinite
+     bandwidth when no slope can be fitted), never an exception *)
+  let c = M.calibrate ~compute:[] ~comm:[] in
+  Alcotest.(check (float 0.0)) "no compute samples" 0.0 c.M.cal_flop_time;
+  Alcotest.(check (float 0.0)) "no comm samples" 0.0 c.M.cal_latency;
+  Alcotest.(check bool) "bandwidth unbounded" true
+    (c.M.cal_bandwidth = Float.infinity);
+  let one = M.calibrate ~compute:[ (1e6, 2e-3) ] ~comm:[ (512, 1e-4) ] in
+  Alcotest.(check (float 1e-12)) "single compute point still fits" 2e-9
+    one.M.cal_flop_time;
+  Alcotest.(check (float 0.0)) "one comm point cannot fit a line" 0.0
+    one.M.cal_latency;
+  (* identical byte sizes: zero determinant falls back to the mean *)
+  let flat =
+    M.calibrate ~compute:[] ~comm:[ (1024, 3e-4); (1024, 5e-4) ]
+  in
+  Alcotest.(check (float 1e-12)) "degenerate line falls back to mean"
+    4e-4 flat.M.cal_latency
+
 let suite =
   [
     ("census accounting", `Quick, test_census_basic_accounting);
@@ -206,4 +247,6 @@ let suite =
     ("table 5 needs memory knee", `Slow, test_table5_needs_memory_knee);
     ("model vs simulation", `Slow, test_model_vs_simulation);
     ("working set", `Quick, test_working_set);
+    ("calibrate exact fit", `Quick, test_calibrate_exact_fit);
+    ("calibrate degenerate inputs", `Quick, test_calibrate_degenerate);
   ]
