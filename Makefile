@@ -1,6 +1,6 @@
 # Convenience wrapper around dune; `make check` is the PR gate CI runs.
 
-.PHONY: all build test check bench bench-json trace profile-domains clean
+.PHONY: all build test check bench bench-json coverage trace profile-domains clean
 
 all: build
 
@@ -17,6 +17,11 @@ bench:
 
 bench-json:
 	dune exec bench/main.exe -- --json
+
+# before/after loop-fission fused-kernel coverage of the bundled apps,
+# then the regression gate against the committed COVERAGE.json manifest
+coverage:
+	dune exec bench/main.exe -- coverage
 
 # profile the bundled example on 4 simulated ranks; load trace.json in
 # https://ui.perfetto.dev or chrome://tracing

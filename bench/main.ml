@@ -18,6 +18,11 @@
                                  coverage ([--check]: exit nonzero unless
                                  results are identical and the fused tier
                                  at least matches the compiled speedup)
+      bench/main.exe coverage    per-nest fused-kernel coverage of the
+                                 bundled applications, before/after the
+                                 loop-fission pass, gated against the
+                                 committed COVERAGE.json manifest
+                                 ([--update-coverage]: rewrite it)
       bench/main.exe chaos       seeded fault schedules vs the reliable
                                  transport and checkpoint/restart
                                  ([--check]: exit nonzero unless every
@@ -38,6 +43,11 @@
                          stay true; exit nonzero on any regression
       --update-baseline  regenerate the tables and (over-)write the
                          baseline file
+      --coverage F       coverage manifest (default: COVERAGE.json); any
+                         nest it lists as fused must still fuse — the
+                         [engine --check] and [coverage] verbs gate on it
+      --update-coverage  (over-)write the coverage manifest instead of
+                         gating against it
       --tolerance T      relative allowance for deterministic
                          (virtual-clock) numbers (default 0.05); the
                          host-wall-clock engine speedups always use the
@@ -70,14 +80,17 @@ type opts = {
   o_baseline : string;
   o_check_regress : bool;
   o_update_baseline : bool;
+  o_coverage : string;
+  o_update_coverage : bool;
   o_tolerance : float;
 }
 
 let usage () =
   Printf.eprintf
-    "usage: %s [table1..table5|tables|validate|engine|chaos|ablation|advisor|\
-     micro|--json|all] [--check] [--jobs N] [--no-cache] [--cache-dir D] \
-     [--baseline F] [--check-regress] [--update-baseline] [--tolerance T]\n"
+    "usage: %s [table1..table5|tables|validate|engine|coverage|chaos|\
+     ablation|advisor|micro|--json|all] [--check] [--jobs N] [--no-cache] \
+     [--cache-dir D] [--baseline F] [--check-regress] [--update-baseline] \
+     [--coverage F] [--update-coverage] [--tolerance T]\n"
     Sys.argv.(0);
   exit 1
 
@@ -93,6 +106,8 @@ let parse_opts () =
         o_baseline = "BENCH_baseline.json";
         o_check_regress = false;
         o_update_baseline = false;
+        o_coverage = "COVERAGE.json";
+        o_update_coverage = false;
         o_tolerance = 0.05;
       }
   in
@@ -111,6 +126,12 @@ let parse_opts () =
       | "--update-baseline" ->
           o := { !o with o_update_baseline = true };
           go (i + 1)
+      | "--update-coverage" ->
+          o := { !o with o_update_coverage = true };
+          go (i + 1)
+      | "--coverage" when i + 1 < Array.length Sys.argv ->
+          o := { !o with o_coverage = Sys.argv.(i + 1) };
+          go (i + 2)
       | "--jobs" when i + 1 < Array.length Sys.argv ->
           (match int_of_string_opt Sys.argv.(i + 1) with
           | Some n when n >= 1 -> o := { !o with o_jobs = n }
@@ -131,7 +152,8 @@ let parse_opts () =
               Printf.eprintf "--tolerance: expected a non-negative number\n";
               exit 1);
           go (i + 2)
-      | ("--jobs" | "--cache-dir" | "--baseline" | "--tolerance") as a ->
+      | ("--jobs" | "--cache-dir" | "--baseline" | "--coverage"
+        | "--tolerance") as a ->
           Printf.eprintf "%s: missing argument\n" a;
           exit 1
       | a when i = 1 && (a = "--json" || (String.length a > 0 && a.[0] <> '-'))
@@ -377,6 +399,39 @@ let load_json path =
         Printf.eprintf "%s: malformed JSON: %s\n" path msg;
         exit 1)
 
+(* per-nest coverage manifest gate ([engine --check] sub-gate, also run
+   standalone by the [coverage] verb): the current build's fused-kernel
+   coverage of the bundled applications must not regress against the
+   committed COVERAGE.json *)
+let coverage_gate opts =
+  let current = E.coverage_manifest () in
+  if opts.o_update_coverage then begin
+    Sched.Cache.write_atomic ~path:opts.o_coverage
+      (Autocfd_obs.Json.pretty current ^ "\n");
+    Printf.printf "wrote %s\n" opts.o_coverage
+  end
+  else begin
+    if not (Sys.file_exists opts.o_coverage) then begin
+      Printf.eprintf
+        "FAIL: coverage manifest %s not found (generate it with \
+         --update-coverage)\n"
+        opts.o_coverage;
+      exit 1
+    end;
+    let committed = load_json opts.o_coverage in
+    let regressions =
+      try E.check_coverage_manifest ~committed ~current
+      with Autocfd_obs.Json.Parse_error msg ->
+        Printf.eprintf "FAIL: malformed coverage manifest %s: %s\n"
+          opts.o_coverage msg;
+        exit 1
+    in
+    List.iter (fun m -> Printf.eprintf "FAIL coverage: %s\n" m) regressions;
+    if regressions <> [] then exit 1;
+    Printf.printf "OK coverage: no fused nest regressed vs %s\n"
+      opts.o_coverage
+  end
+
 let write_json opts =
   let path = "BENCH_tables.json" in
   let sw = make_sweep opts in
@@ -543,7 +598,23 @@ let () =
                    wall-clock, results identical\n"
                   r.E.er_program r.E.er_fused_speedup r.E.er_speedup
                   r.E.er_domains_speedup)
-              rows)
+              rows;
+          (* coverage-manifest sub-gate: a nest that was fused in the
+             committed COVERAGE.json must never fall back again *)
+          if opts.o_check then
+            List.iter
+              (fun (r : E.engine_row) ->
+                if not r.E.er_fission_identical then begin
+                  Printf.eprintf
+                    "FAIL %s: loop fission changed program state\n"
+                    r.E.er_program;
+                  exit 1
+                end)
+              rows;
+          if opts.o_check || opts.o_update_coverage then coverage_gate opts)
+  | "coverage" ->
+      print_string (E.render_coverage_fission ());
+      coverage_gate opts
   | "chaos" ->
       with_sweep (fun sw ->
           let rows = E.chaos_bench ~sweep:sw () in

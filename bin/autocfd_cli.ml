@@ -71,8 +71,15 @@ let nprocs_arg =
        & info [ "n"; "nprocs" ] ~docv:"N"
            ~doc:"Number of processors for the automatic partition search.")
 
-let load_and_plan file parts nprocs =
-  let t = D.load (read_file file) in
+let fission_arg =
+  Arg.(value & flag
+       & info [ "no-fission" ]
+           ~doc:"Disable the loop-fission pass (mixed DO nests are not \
+                 distributed into independent sub-nests before analysis \
+                 and execution).")
+
+let load_and_plan ?(no_fission = false) file parts nprocs =
+  let t = D.load ~fission:(not no_fission) (read_file file) in
   let parts =
     match parts with Some p -> p | None -> D.auto_parts t ~nprocs
   in
@@ -89,12 +96,12 @@ let write_file path text =
 
 (* ------------------------------------------------------------------ *)
 
-let analyze file parts nprocs report =
+let analyze file parts nprocs no_fission report =
   if report then
-    let _, plan = load_and_plan file parts nprocs in
+    let _, plan = load_and_plan ~no_fission file parts nprocs in
     print_string (Autocfd.Report.markdown plan)
   else
-  let t, plan = load_and_plan file parts nprocs in
+  let t, plan = load_and_plan ~no_fission file parts nprocs in
   let gi = t.D.gi in
   Format.printf "flow field: %a@." A.Grid_info.pp gi;
   Format.printf "partition:  %s (%d subtasks)@."
@@ -144,8 +151,8 @@ let analyze file parts nprocs report =
         (List.length g.S.Combine.gr_transfers))
     plan.D.opt.S.Optimizer.groups
 
-let parallelize file parts nprocs mpi output =
-  let _, plan = load_and_plan file parts nprocs in
+let parallelize file parts nprocs no_fission mpi output =
+  let _, plan = load_and_plan ~no_fission file parts nprocs in
   let text = if mpi then D.mpi_source plan else D.spmd_source plan in
   match output with
   | None -> print_string text
@@ -179,11 +186,12 @@ let same_program_state (a : Autocfd_interp.Spmd.result)
    repeated `autocfd run` of an unchanged source is a cache hit: the
    stored result document carries everything both renderings and the
    divergence exit code need. *)
-let run_cmd file parts nprocs engine json jobs use_cache cache_dir =
+let run_cmd file parts nprocs no_fission engine json jobs use_cache cache_dir
+    =
   let module J = Obs.Json in
   let module Sched = Autocfd_sched in
   let source = read_file file in
-  let t = D.load source in
+  let t = D.load ~fission:(not no_fission) source in
   let parts =
     match parts with Some p -> p | None -> D.auto_parts t ~nprocs
   in
@@ -192,16 +200,19 @@ let run_cmd file parts nprocs engine json jobs use_cache cache_dir =
       ~label:(Printf.sprintf "run %s" (Filename.basename file))
       ~key:
         (J.Obj
-           [
-             ("verb", J.Str "run");
-             ( "partition",
-               J.Str
-                 (String.concat "x"
-                    (Array.to_list (Array.map string_of_int parts))) );
-             ("engine", J.Str (engine_name engine));
-             ("traced", J.Bool json);
-             ("src", J.Str (Sched.Job.digest source));
-           ])
+           ([
+              ("verb", J.Str "run");
+              ( "partition",
+                J.Str
+                  (String.concat "x"
+                     (Array.to_list (Array.map string_of_int parts))) );
+              ("engine", J.Str (engine_name engine));
+              ("traced", J.Bool json);
+              ("src", J.Str (Sched.Job.digest source));
+            ]
+           (* only keyed when disabled, so caches written before the
+              loop-fission pass existed stay valid *)
+           @ if no_fission then [ ("fission", J.Bool false) ] else []))
       (fun () ->
         let plan = D.plan t ~parts in
         let seq = D.run_seq t in
@@ -335,8 +346,8 @@ let run_cmd file parts nprocs engine json jobs use_cache cache_dir =
    end);
   if (not equivalent) || bit_identical = Some false then exit 1
 
-let trace_cmd file parts nprocs engine out metrics_out =
-  let _, plan = load_and_plan file parts nprocs in
+let trace_cmd file parts nprocs no_fission engine out metrics_out =
+  let _, plan = load_and_plan ~no_fission file parts nprocs in
   let tracer = Obs.Trace.create () in
   let result =
     D.run
@@ -366,8 +377,9 @@ let trace_cmd file parts nprocs engine out metrics_out =
         r.Obs.Metrics.rr_blocked)
     m.Obs.Metrics.ranks
 
-let profile_cmd file parts nprocs engine top json prom check min_cov =
-  let _, plan = load_and_plan file parts nprocs in
+let profile_cmd file parts nprocs no_fission engine top json prom check min_cov
+    =
+  let _, plan = load_and_plan ~no_fission file parts nprocs in
   let spec =
     Autocfd.Runspec.(
       default |> with_engine engine
@@ -395,8 +407,8 @@ let profile_cmd file parts nprocs engine top json prom check min_cov =
         (List.length p.Autocfd.Profile.pf_metrics.Obs.Metrics.kernels)
   end
 
-let report file parts nprocs output =
-  let _, plan = load_and_plan file parts nprocs in
+let report file parts nprocs no_fission output =
+  let _, plan = load_and_plan ~no_fission file parts nprocs in
   let text = Autocfd.Report.markdown plan in
   match output with
   | None -> print_string text
@@ -465,7 +477,8 @@ let analyze_cmd =
                    traffic tables).")
   in
   Cmd.v (Cmd.info "analyze" ~doc:"Dependency and synchronization analysis report")
-    Term.(const analyze $ file_arg $ parts_arg $ nprocs_arg $ report)
+    Term.(const analyze $ file_arg $ parts_arg $ nprocs_arg $ fission_arg
+          $ report)
 
 let parallelize_cmd =
   let output =
@@ -482,7 +495,8 @@ let parallelize_cmd =
   Cmd.v
     (Cmd.info "parallelize"
        ~doc:"Transform a sequential CFD program into an SPMD program")
-    Term.(const parallelize $ file_arg $ parts_arg $ nprocs_arg $ mpi $ output)
+    Term.(const parallelize $ file_arg $ parts_arg $ nprocs_arg
+          $ fission_arg $ mpi $ output)
 
 let json_flag ~what =
   Arg.(value & flag & info [ "json" ] ~doc:("Emit " ^ what ^ " as JSON."))
@@ -531,7 +545,8 @@ let run_cmd_ =
           additionally gates on bit-identity against the simulator), and \
           compare the results (memoized: a repeated run of an unchanged \
           source is served from the result cache)")
-    Term.(const run_cmd $ file_arg $ parts_arg $ nprocs_arg $ engine_arg
+    Term.(const run_cmd $ file_arg $ parts_arg $ nprocs_arg $ fission_arg
+          $ engine_arg
           $ json_flag ~what:"the comparison and per-rank metrics"
           $ jobs_arg
           $ Term.app (const not) no_cache_arg
@@ -560,8 +575,8 @@ let trace_cmd_ =
           track per rank) plus optional machine-readable metrics.  With \
           --engine domains the timeline is the real shared-memory \
           execution's wall clock on a dedicated process lane")
-    Term.(const trace_cmd $ file_arg $ parts_arg $ nprocs_arg $ engine_arg
-          $ out $ metrics)
+    Term.(const trace_cmd $ file_arg $ parts_arg $ nprocs_arg $ fission_arg
+          $ engine_arg $ out $ metrics)
 
 let profile_cmd_ =
   let top =
@@ -597,7 +612,8 @@ let profile_cmd_ =
           per-sync-point latency histograms and scheduler utilization.  \
           --json emits the full machine-readable profile, --prom the \
           unified metrics registry in Prometheus text format.")
-    Term.(const profile_cmd $ file_arg $ parts_arg $ nprocs_arg $ engine_arg
+    Term.(const profile_cmd $ file_arg $ parts_arg $ nprocs_arg
+          $ fission_arg $ engine_arg
           $ top
           $ json_flag ~what:"the full profile document"
           $ prom $ check $ min_cov)
@@ -611,7 +627,8 @@ let report_cmd =
     (Cmd.info "report"
        ~doc:"Emit a markdown pre-compilation report (loops, S_LDP, \
              synchronization points, modelled performance)")
-    Term.(const report $ file_arg $ parts_arg $ nprocs_arg $ output)
+    Term.(const report $ file_arg $ parts_arg $ nprocs_arg $ fission_arg
+          $ output)
 
 let tables_cmd =
   let which =

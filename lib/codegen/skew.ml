@@ -112,6 +112,7 @@ let skew_stmt (st : Ast.stmt) =
                    do_step = None;
                    do_body = body;
                    do_sched = Ast.Sched_seq;
+                   do_fission = None;
                  })
           in
           Some
@@ -124,6 +125,7 @@ let skew_stmt (st : Ast.stmt) =
                     do_step = None;
                     do_body = [ new_inner ];
                     do_sched = Ast.Sched_seq;
+                    do_fission = None;
                   }))
       | _ -> None)
   | _ -> None

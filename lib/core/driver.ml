@@ -10,13 +10,17 @@ type t = {
   program : Ast.program;
   inlined : Ast.program_unit;
   gi : A.Grid_info.t;
+  splits : A.Fission.split list;
 }
 
-let load source =
+let load ?(fission = true) source =
   let program = Parser.parse source in
   let gi = A.Grid_info.of_program program in
   let inlined = Inline.program program in
-  { program; inlined; gi }
+  let inlined, splits =
+    if fission then A.Fission.distribute inlined else (inlined, [])
+  in
+  { program; inlined; gi; splits }
 
 type plan = {
   source : t;

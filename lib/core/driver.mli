@@ -19,10 +19,15 @@ type t = {
   program : Ast.program;
   inlined : Ast.program_unit;
   gi : A.Grid_info.t;
+  splits : A.Fission.split list;
+      (** nests the loop-fission pass distributed, in body order *)
 }
 
-val load : string -> t
-(** Parse and inline a complete source text.
+val load : ?fission:bool -> string -> t
+(** Parse, inline and (unless [~fission:false]) loop-fission a complete
+    source text.  Fission splits mixed DO nests into independent
+    sub-nests before any analysis or engine sees the unit, so every
+    execution tier runs the same fissioned program.
     @raise Loc.Error / Failure on malformed input. *)
 
 (** Everything the pre-compiler derives for one partition choice. *)

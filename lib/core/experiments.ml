@@ -476,6 +476,9 @@ type engine_row = {
   er_fused_speedup : float;
   er_identical : bool;
   er_coverage : Autocfd_interp.Compile.coverage_entry list;
+  er_nofission_fused_s : float;
+  er_fission_identical : bool;
+  er_nofission_coverage : Autocfd_interp.Compile.coverage_entry list;
   er_domains_s : float;
   er_domains_speedup : float;
   er_domains_identical : bool;
@@ -520,13 +523,30 @@ let coverage_to_json cov =
                     (fun v -> J.Str v)
                     c.Autocfd_interp.Compile.cov_vars) );
              ("fused", J.Bool c.Autocfd_interp.Compile.cov_fused);
-             ("reason", J.Str c.Autocfd_interp.Compile.cov_reason);
+             ( "reason",
+               J.Str
+                 (Autocfd_interp.Compile.reason_to_string
+                    c.Autocfd_interp.Compile.cov_reason) );
+             ( "frag",
+               J.Int
+                 (match c.Autocfd_interp.Compile.cov_frag with
+                 | Some t -> t.Autocfd_fortran.Ast.fi_frag
+                 | None -> 0) );
+             ( "nfrags",
+               J.Int
+                 (match c.Autocfd_interp.Compile.cov_frag with
+                 | Some t -> t.Autocfd_fortran.Ast.fi_nfrags
+                 | None -> 0) );
            ])
        cov)
 
 let coverage_of_json j =
   List.map
     (fun c ->
+      (* frag/nfrags absent on rows serialized before the fission pass *)
+      let opt_i name =
+        match J.member name c with Some (J.Int i) -> i | _ -> 0
+      in
       {
         Autocfd_interp.Compile.cov_line = ji "line" c;
         cov_vars =
@@ -536,7 +556,11 @@ let coverage_of_json j =
               | _ -> raise (J.Parse_error "coverage var: expected string"))
             (jl "vars" c);
         cov_fused = jb "fused" c;
-        cov_reason = js "reason" c;
+        cov_reason = Autocfd_interp.Compile.reason_of_string (js "reason" c);
+        cov_frag =
+          (match (opt_i "frag", opt_i "nfrags") with
+          | 0, _ | _, 0 -> None
+          | f, n -> Some { Autocfd_fortran.Ast.fi_frag = f; fi_nfrags = n });
       })
     (jl "coverage" (J.Obj [ ("coverage", j) ]))
 
@@ -582,7 +606,7 @@ let engine_bench ?sweep () =
                  ("large_src", J.Str (Sched.Job.digest large_source));
                  (* row-schema version: bumped when the measured columns
                     change so stale cached rows are not replayed *)
-                 ("columns", J.Str "v2-domains");
+                 ("columns", J.Str "v3-fission");
                ])
           (fun () ->
             let t = Driver.load source in
@@ -652,9 +676,35 @@ let engine_bench ?sweep () =
               Autocfd_interp.Compile.coverage
                 (Autocfd_interp.Compile.of_unit ~fuse:true plan.Driver.spmd)
             in
+            (* the same program with the loop-fission pass disabled: the
+               before side of the fission before/after coverage and
+               timing columns, plus a bit-identity check that fission
+               changes no program state *)
+            let plan_nof =
+              Driver.plan (Driver.load ~fission:false source) ~parts
+            in
+            let nof_fused () =
+              Driver.run
+                ~spec:
+                  (Runspec.with_engine Autocfd_interp.Spmd.Fused
+                     Runspec.default)
+                plan_nof
+            in
+            let fission_identical =
+              program_state_identical reference (nof_fused ())
+            in
+            let nofission_fused_s = time_run nof_fused in
+            let nofission_coverage =
+              Autocfd_interp.Compile.coverage
+                (Autocfd_interp.Compile.of_unit ~fuse:true
+                   plan_nof.Driver.spmd)
+            in
             J.Obj
               [
                 ("tree_s", J.Float tree_s);
+                ("nofission_fused_s", J.Float nofission_fused_s);
+                ("fission_identical", J.Bool fission_identical);
+                ("nofission_coverage", coverage_to_json nofission_coverage);
                 ("compiled_s", J.Float compiled_s);
                 ("fused_s", J.Float fused_s);
                 ("fused_wall_s", J.Float fused_wall_s);
@@ -691,6 +741,10 @@ let engine_bench ?sweep () =
         er_fused_speedup = tree_s /. fused_s;
         er_identical = jb "identical" r;
         er_coverage = coverage_of_json (jfield "coverage" r);
+        er_nofission_fused_s = jf "nofission_fused_s" r;
+        er_fission_identical = jb "fission_identical" r;
+        er_nofission_coverage =
+          coverage_of_json (jfield "nofission_coverage" r);
         er_domains_s = domains_s;
         er_domains_speedup = fused_wall_s /. domains_s;
         er_domains_identical = jb "domains_identical" r;
@@ -1004,24 +1058,29 @@ let render_engine rows =
          vs fused kernels vs real OCaml 5 domains (identical results)"
       ~headers:
         [ "program"; "partition"; "tree (s)"; "compiled (s)"; "fused (s)";
-          "domains (s)"; "speedup"; "fused speedup"; "domains speedup";
-          "loops fused"; "identical" ]
+          "no-fission fused (s)"; "domains (s)"; "speedup"; "fused speedup";
+          "domains speedup"; "loops fused (pre->post fission)"; "identical" ]
   in
   List.iter
     (fun r ->
       let fused, total = coverage_counts r.er_coverage in
+      let nf_fused, nf_total = coverage_counts r.er_nofission_coverage in
       add_row t
         [
           r.er_program; shape r.er_parts;
           cell_float ~decimals:3 r.er_tree_s;
           cell_float ~decimals:3 r.er_compiled_s;
           cell_float ~decimals:3 r.er_fused_s;
+          cell_float ~decimals:3 r.er_nofission_fused_s;
           cell_float ~decimals:3 r.er_domains_s;
           cell_float r.er_speedup;
           cell_float r.er_fused_speedup;
           cell_float r.er_domains_speedup;
-          Printf.sprintf "%d/%d" fused total;
-          (if r.er_identical && r.er_domains_identical then "yes" else "NO");
+          Printf.sprintf "%d/%d -> %d/%d" nf_fused nf_total fused total;
+          (if r.er_identical && r.er_domains_identical
+              && r.er_fission_identical
+           then "yes"
+           else "NO");
         ])
     rows;
   render t
@@ -1035,15 +1094,142 @@ let render_engine_coverage rows =
            (shape r.er_parts));
       List.iter
         (fun (c : Autocfd_interp.Compile.coverage_entry) ->
+          let frag =
+            match c.Autocfd_interp.Compile.cov_frag with
+            | None -> ""
+            | Some f ->
+                Printf.sprintf " #%d/%d" f.Autocfd_fortran.Ast.fi_frag
+                  f.Autocfd_fortran.Ast.fi_nfrags
+          in
           Buffer.add_string b
             (Printf.sprintf "  line %-4d do %-24s %s\n"
                c.Autocfd_interp.Compile.cov_line
-               (String.concat "," c.Autocfd_interp.Compile.cov_vars)
+               (String.concat "," c.Autocfd_interp.Compile.cov_vars ^ frag)
                (if c.Autocfd_interp.Compile.cov_fused then "fused"
-                else "fallback: " ^ c.Autocfd_interp.Compile.cov_reason)))
+                else
+                  "fallback: "
+                  ^ Autocfd_interp.Compile.reason_to_string
+                      c.Autocfd_interp.Compile.cov_reason)))
         r.er_coverage;
       Buffer.add_char b '\n')
     rows;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Committed per-nest coverage manifest (COVERAGE.json): the full-size  *)
+(* bundled applications' fused-kernel coverage, one row per field-loop  *)
+(* nest of the inlined sequential unit.  [bench engine --check] gates   *)
+(* the current build against the committed manifest so a nest that was  *)
+(* fused can never silently fall back to the closure IR again.          *)
+(* ------------------------------------------------------------------ *)
+
+let coverage_apps () =
+  [
+    ("sprayer", Apps.Sprayer.source ());
+    ("aerofoil", Apps.Aerofoil.source ());
+    ("cavity", Apps.Cavity.source ());
+  ]
+
+let app_coverage ?fission src =
+  let t = Driver.load ?fission src in
+  Autocfd_interp.Compile.coverage
+    (Autocfd_interp.Compile.of_unit ~fuse:true t.Driver.inlined)
+
+let coverage_manifest () =
+  J.Obj
+    [
+      ("schema", J.Str "autocfd-coverage/1");
+      ( "programs",
+        J.List
+          (List.map
+             (fun (name, src) ->
+               let cov = app_coverage src in
+               let fused, total = coverage_counts cov in
+               J.Obj
+                 [
+                   ("program", J.Str name);
+                   ("fused", J.Int fused);
+                   ("total", J.Int total);
+                   ("nests", coverage_to_json cov);
+                 ])
+             (coverage_apps ())) );
+    ]
+
+let manifest_programs j =
+  match J.member "programs" j with
+  | Some (J.List ps) ->
+      List.map
+        (fun p -> (js "program" p, coverage_of_json (jfield "nests" p)))
+        ps
+  | _ -> raise (J.Parse_error "coverage manifest: missing programs list")
+
+let check_coverage_manifest ~committed ~current =
+  let cur = manifest_programs current in
+  List.concat_map
+    (fun (name, bnests) ->
+      match List.assoc_opt name cur with
+      | None ->
+          [ Printf.sprintf "%s: program missing from current coverage" name ]
+      | Some cnests ->
+          let key (c : Autocfd_interp.Compile.coverage_entry) =
+            ( c.Autocfd_interp.Compile.cov_line,
+              c.Autocfd_interp.Compile.cov_vars,
+              c.Autocfd_interp.Compile.cov_frag )
+          in
+          List.filter_map
+            (fun (b : Autocfd_interp.Compile.coverage_entry) ->
+              if not b.Autocfd_interp.Compile.cov_fused then None
+              else
+                let where =
+                  Printf.sprintf "%s: line %d do %s" name
+                    b.Autocfd_interp.Compile.cov_line
+                    (String.concat "," b.Autocfd_interp.Compile.cov_vars)
+                in
+                match List.find_opt (fun c -> key c = key b) cnests with
+                | Some c when c.Autocfd_interp.Compile.cov_fused -> None
+                | Some c ->
+                    Some
+                      (Printf.sprintf "%s was fused, now falls back (%s)"
+                         where
+                         (Autocfd_interp.Compile.reason_to_string
+                            c.Autocfd_interp.Compile.cov_reason))
+                | None ->
+                    Some (Printf.sprintf "%s: fused nest disappeared" where))
+            bnests)
+    (manifest_programs committed)
+
+let render_coverage_fission () =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (name, src) ->
+      let before = app_coverage ~fission:false src in
+      let after = app_coverage src in
+      let bf, bt = coverage_counts before in
+      let af, at = coverage_counts after in
+      Buffer.add_string b
+        (Printf.sprintf
+           "%s: fused %d/%d without fission -> %d/%d with fission\n" name bf
+           bt af at);
+      let describe (c : Autocfd_interp.Compile.coverage_entry) =
+        let frag =
+          match c.Autocfd_interp.Compile.cov_frag with
+          | None -> ""
+          | Some f ->
+              Printf.sprintf " #%d/%d" f.Autocfd_fortran.Ast.fi_frag
+                f.Autocfd_fortran.Ast.fi_nfrags
+        in
+        Printf.sprintf "  line %-4d do %-24s %s\n"
+          c.Autocfd_interp.Compile.cov_line
+          (String.concat "," c.Autocfd_interp.Compile.cov_vars ^ frag)
+          (if c.Autocfd_interp.Compile.cov_fused then "fused"
+           else
+             "fallback: "
+             ^ Autocfd_interp.Compile.reason_to_string
+                 c.Autocfd_interp.Compile.cov_reason)
+      in
+      List.iter (fun c -> Buffer.add_string b (describe c)) after;
+      Buffer.add_char b '\n')
+    (coverage_apps ());
   Buffer.contents b
 
 let render_chaos rows =
@@ -1231,8 +1417,14 @@ let tables_json ?sweep () =
               J.Int (fst (coverage_counts r.er_coverage)) );
             ( "loops_total",
               J.Int (snd (coverage_counts r.er_coverage)) );
+            ("nofission_fused_s", J.Float r.er_nofission_fused_s);
+            ( "loops_fused_nofission",
+              J.Int (fst (coverage_counts r.er_nofission_coverage)) );
+            ( "loops_total_nofission",
+              J.Int (snd (coverage_counts r.er_nofission_coverage)) );
             ("identical", J.Bool r.er_identical);
             ("domains_identical", J.Bool r.er_domains_identical);
+            ("fission_identical", J.Bool r.er_fission_identical);
             ("cal_flop_time", J.Float r.er_calibration.M.cal_flop_time);
             ("cal_latency", J.Float r.er_calibration.M.cal_latency);
             ( "cal_bandwidth",

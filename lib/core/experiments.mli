@@ -128,6 +128,14 @@ type engine_row = {
           simulator stats all bit-identical across the three engines *)
   er_coverage : Autocfd_interp.Compile.coverage_entry list;
       (** static fusibility of every field-loop nest of the SPMD unit *)
+  er_nofission_fused_s : float;
+      (** fused-engine wall-clock of the same run with the loop-fission
+          pass disabled — the before side of the fission columns *)
+  er_fission_identical : bool;
+      (** program state (gathered arrays, scalars, WRITE output, flop
+          counts) bit-identical with fission on and off *)
+  er_nofission_coverage : Autocfd_interp.Compile.coverage_entry list;
+      (** static fusibility with the loop-fission pass disabled *)
   er_domains_s : float;
       (** mean wall-clock of the real shared-memory Domains engine (one
           OCaml 5 domain per rank) on a larger instance of the same
@@ -158,6 +166,37 @@ val render_engine_coverage : engine_row list -> string
 (** Per-loop kernel coverage detail: one line per field-loop nest of each
     benchmarked SPMD unit, saying whether it fused and, if not, why it
     fell back to the closure IR. *)
+
+val coverage_to_json :
+  Autocfd_interp.Compile.coverage_entry list -> Autocfd_obs.Json.t
+(** Serialize per-nest coverage rows (line, vars, fused, reason prose,
+    loop-fission provenance as [frag]/[nfrags] ints, 0 = unsplit). *)
+
+val coverage_of_json :
+  Autocfd_obs.Json.t -> Autocfd_interp.Compile.coverage_entry list
+(** Inverse of {!coverage_to_json}; rows without [frag]/[nfrags] (written
+    before the loop-fission pass existed) parse as unsplit.
+    @raise Autocfd_obs.Json.Parse_error on malformed rows. *)
+
+val coverage_manifest : unit -> Autocfd_obs.Json.t
+(** Per-nest fused-kernel coverage of the full-size bundled applications
+    (sequential inlined unit, loop fission on) — the document committed
+    as [COVERAGE.json] (schema ["autocfd-coverage/1"]). *)
+
+val check_coverage_manifest :
+  committed:Autocfd_obs.Json.t -> current:Autocfd_obs.Json.t -> string list
+(** Coverage regressions of [current] against the [committed] manifest:
+    one message per nest that was fused in the committed manifest but is
+    now missing or falls back to the closure IR, and per program that
+    disappeared entirely.  Empty means the gate passes; new nests and
+    newly-fused nests are never regressions.
+    @raise Autocfd_obs.Json.Parse_error on a malformed manifest. *)
+
+val render_coverage_fission : unit -> string
+(** Human-readable before/after loop-fission coverage of the bundled
+    applications: per program, fused counts with the pass disabled and
+    enabled, then one line per nest (fission fragments annotated
+    [#i/n]) — the [bench coverage] verb and CI coverage artifact. *)
 
 type chaos_row = {
   ch_program : string;

@@ -116,13 +116,96 @@ let fmt_seconds v =
   else if v >= 1e-3 then Printf.sprintf "%.3fms" (v *. 1e3)
   else Printf.sprintf "%.3gus" (v *. 1e6)
 
+type nest_group = {
+  ng_nest : Obs.Metrics.kernel_row;
+  ng_frags : Obs.Metrics.kernel_row list;
+}
+
+(* "L12 do j,i #2/3" -> "L12 do j,i" *)
+let strip_frag name =
+  match String.rindex_opt name '#' with
+  | Some i when i >= 1 && name.[i - 1] = ' ' -> String.sub name 0 (i - 1)
+  | _ -> name
+
+(* Fold the flat kernel table into per-source-nest groups: fragments the
+   loop-fission pass split out of one source nest (kr_nfrags > 0, same
+   source line) collapse under a synthesized aggregate row so the
+   hot-nest table ranks source nests, with the fragments as indented
+   children.  The aggregate sums self time / flops / bytes; calls is the
+   max over fragments (each fragment executes once per source-nest
+   execution, so the max is the source nest's call count even if some
+   fragment was skipped). *)
+let nest_groups p =
+  let split, whole =
+    List.partition
+      (fun (k : Obs.Metrics.kernel_row) -> k.Obs.Metrics.kr_nfrags > 0)
+      p.pf_metrics.Obs.Metrics.kernels
+  in
+  let by_line = Hashtbl.create 8 in
+  List.iter
+    (fun (k : Obs.Metrics.kernel_row) ->
+      let line = k.Obs.Metrics.kr_line in
+      Hashtbl.replace by_line line
+        (k :: Option.value ~default:[] (Hashtbl.find_opt by_line line)))
+    split;
+  let groups =
+    Hashtbl.fold
+      (fun _ frags acc ->
+        let frags =
+          List.sort
+            (fun (a : Obs.Metrics.kernel_row) b ->
+              compare a.Obs.Metrics.kr_frag b.Obs.Metrics.kr_frag)
+            frags
+        in
+        let f0 = List.hd frags in
+        let sum get = List.fold_left (fun a k -> a +. get k) 0.0 frags in
+        let nest =
+          {
+            Obs.Metrics.kr_name = strip_frag f0.Obs.Metrics.kr_name;
+            kr_line = f0.Obs.Metrics.kr_line;
+            kr_fused =
+              List.for_all (fun k -> k.Obs.Metrics.kr_fused) frags;
+            kr_frag = 0;
+            kr_nfrags = f0.Obs.Metrics.kr_nfrags;
+            kr_calls =
+              List.fold_left
+                (fun a k -> max a k.Obs.Metrics.kr_calls)
+                0 frags;
+            kr_flops = sum (fun k -> k.Obs.Metrics.kr_flops);
+            kr_bytes = sum (fun k -> k.Obs.Metrics.kr_bytes);
+            kr_self = sum (fun k -> k.Obs.Metrics.kr_self);
+          }
+        in
+        { ng_nest = nest; ng_frags = frags } :: acc)
+      by_line []
+  in
+  let groups =
+    groups
+    @ List.map (fun k -> { ng_nest = k; ng_frags = [] }) whole
+  in
+  List.sort
+    (fun a b ->
+      match compare b.ng_nest.Obs.Metrics.kr_self a.ng_nest.Obs.Metrics.kr_self
+      with
+      | 0 -> (
+          match
+            compare b.ng_nest.Obs.Metrics.kr_flops
+              a.ng_nest.Obs.Metrics.kr_flops
+          with
+          | 0 ->
+              compare a.ng_nest.Obs.Metrics.kr_line
+                b.ng_nest.Obs.Metrics.kr_line
+          | c -> c)
+      | c -> c)
+    groups
+
 let hot_nests ?(top = 10) p =
   let rec take n = function
     | [] -> []
     | _ when n <= 0 -> []
     | x :: tl -> x :: take (n - 1) tl
   in
-  take top p.pf_metrics.Obs.Metrics.kernels
+  take top (nest_groups p)
 
 let render ?(top = 10) p =
   let b = Buffer.create 4096 in
@@ -136,30 +219,41 @@ let render ?(top = 10) p =
     (fmt_seconds m.Obs.Metrics.elapsed)
     (fmt_seconds compute) m.Obs.Metrics.messages m.Obs.Metrics.bytes;
   (* -- hot nests ---------------------------------------------------- *)
-  let kernels = m.Obs.Metrics.kernels in
+  let groups = nest_groups p in
   let shown = hot_nests ~top p in
   pr "## hot nests (top %d of %d by self time)\n\n" (List.length shown)
-    (List.length kernels);
+    (List.length groups);
   pr "| nest | line | fused | calls | self | %% compute | flop/s | B/s |\n";
   pr "|---|---|---|---|---|---|---|---|\n";
+  let row name (k : Obs.Metrics.kernel_row) =
+    let share =
+      if compute > 0.0 then 100.0 *. k.Obs.Metrics.kr_self /. compute
+      else 0.0
+    in
+    let rate den v = if den > 0.0 then fmt_si (v /. den) else "-" in
+    pr "| %s | %d | %s | %d | %s | %5.1f%% | %s | %s |\n" name
+      k.Obs.Metrics.kr_line
+      (if k.Obs.Metrics.kr_fused then "yes" else "no")
+      k.Obs.Metrics.kr_calls
+      (fmt_seconds k.Obs.Metrics.kr_self)
+      share
+      (rate k.Obs.Metrics.kr_self k.Obs.Metrics.kr_flops)
+      (rate k.Obs.Metrics.kr_self k.Obs.Metrics.kr_bytes)
+  in
   List.iter
-    (fun (k : Obs.Metrics.kernel_row) ->
-      let share =
-        if compute > 0.0 then 100.0 *. k.Obs.Metrics.kr_self /. compute
-        else 0.0
-      in
-      let rate den v = if den > 0.0 then fmt_si (v /. den) else "-" in
-      pr "| %s | %d | %s | %d | %s | %5.1f%% | %s | %s |\n"
-        k.Obs.Metrics.kr_name k.Obs.Metrics.kr_line
-        (if k.Obs.Metrics.kr_fused then "yes" else "no")
-        k.Obs.Metrics.kr_calls
-        (fmt_seconds k.Obs.Metrics.kr_self)
-        share
-        (rate k.Obs.Metrics.kr_self k.Obs.Metrics.kr_flops)
-        (rate k.Obs.Metrics.kr_self k.Obs.Metrics.kr_bytes))
+    (fun g ->
+      row g.ng_nest.Obs.Metrics.kr_name g.ng_nest;
+      (* fission fragments: indented children of the source nest *)
+      List.iter
+        (fun (k : Obs.Metrics.kernel_row) ->
+          row
+            (Printf.sprintf "  ↳ #%d/%d" k.Obs.Metrics.kr_frag
+               k.Obs.Metrics.kr_nfrags)
+            k)
+        g.ng_frags)
     shown;
   pr "\nattributed: %.1f%% of compute time across %d named nests\n\n"
-    (100.0 *. coverage p) (List.length kernels);
+    (100.0 *. coverage p) (List.length groups);
   (* -- per-sync latency --------------------------------------------- *)
   let durs = sync_durations p in
   if durs <> [] then begin
@@ -202,24 +296,42 @@ let render ?(top = 10) p =
   pr "%s" (Report.sched_summary [ (p.pf_label, p.pf_pool) ]);
   Buffer.contents b
 
-let nest_json compute (k : Obs.Metrics.kernel_row) =
+let kernel_json compute (k : Obs.Metrics.kernel_row) =
+  [
+    ("name", J.Str k.Obs.Metrics.kr_name);
+    ("line", J.Int k.Obs.Metrics.kr_line);
+    ("fused", J.Bool k.Obs.Metrics.kr_fused);
+    ("calls", J.Int k.Obs.Metrics.kr_calls);
+    ("flops", J.Float k.Obs.Metrics.kr_flops);
+    ("bytes", J.Float k.Obs.Metrics.kr_bytes);
+    ("self_seconds", J.Float k.Obs.Metrics.kr_self);
+    ( "share",
+      J.Float
+        (if compute > 0.0 then k.Obs.Metrics.kr_self /. compute else 0.0) );
+    ( "flops_per_second",
+      if k.Obs.Metrics.kr_self > 0.0 then
+        J.Float (k.Obs.Metrics.kr_flops /. k.Obs.Metrics.kr_self)
+      else J.Null );
+  ]
+
+let nest_json compute g =
   J.Obj
-    [
-      ("name", J.Str k.Obs.Metrics.kr_name);
-      ("line", J.Int k.Obs.Metrics.kr_line);
-      ("fused", J.Bool k.Obs.Metrics.kr_fused);
-      ("calls", J.Int k.Obs.Metrics.kr_calls);
-      ("flops", J.Float k.Obs.Metrics.kr_flops);
-      ("bytes", J.Float k.Obs.Metrics.kr_bytes);
-      ("self_seconds", J.Float k.Obs.Metrics.kr_self);
-      ( "share",
-        J.Float
-          (if compute > 0.0 then k.Obs.Metrics.kr_self /. compute else 0.0) );
-      ( "flops_per_second",
-        if k.Obs.Metrics.kr_self > 0.0 then
-          J.Float (k.Obs.Metrics.kr_flops /. k.Obs.Metrics.kr_self)
-        else J.Null );
-    ]
+    (kernel_json compute g.ng_nest
+    @
+    match g.ng_frags with
+    | [] -> []
+    | frags ->
+        [
+          ( "fragments",
+            J.List
+              (List.map
+                 (fun (k : Obs.Metrics.kernel_row) ->
+                   J.Obj
+                     (("frag", J.Int k.Obs.Metrics.kr_frag)
+                     :: ("nfrags", J.Int k.Obs.Metrics.kr_nfrags)
+                     :: kernel_json compute k))
+                 frags) );
+        ])
 
 let sync_json m (sync, ds) =
   let label =

@@ -36,8 +36,24 @@ val coverage : t -> float
     and 1.0 when no flops executed at all.  The [profile --check] gate
     requires this to be at least its threshold (default 0.95). *)
 
-val hot_nests : ?top:int -> t -> Autocfd_obs.Metrics.kernel_row list
-(** The [top] (default 10) nests by descending self time. *)
+type nest_group = {
+  ng_nest : Autocfd_obs.Metrics.kernel_row;
+      (** the source nest — when the loop-fission pass split it, a
+          synthesized aggregate over the fragments (self time / flops /
+          bytes summed, calls the max over fragments) *)
+  ng_frags : Autocfd_obs.Metrics.kernel_row list;
+      (** the fission fragments in fragment order, [[]] when unsplit *)
+}
+(** One source field-loop nest of the hot-nest table.  Fragments the
+    loop-fission pass split out of a nest are grouped under their source
+    nest so the table ranks what the programmer wrote; the [render]ed
+    table indents them beneath the aggregate row. *)
+
+val nest_groups : t -> nest_group list
+(** Every source nest by descending (aggregate) self time. *)
+
+val hot_nests : ?top:int -> t -> nest_group list
+(** The [top] (default 10) source nests by descending self time. *)
 
 val render : ?top:int -> t -> string
 (** Human-readable profile: run summary, hot-nest table (self time, share

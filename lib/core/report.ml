@@ -108,7 +108,7 @@ let rec markdown (plan : Driver.plan) =
       line "| %d | `do %s` | %s |" c.Autocfd_interp.Compile.cov_line
         (String.concat "," c.Autocfd_interp.Compile.cov_vars)
         (if c.Autocfd_interp.Compile.cov_fused then "fused"
-         else "fallback: " ^ c.Autocfd_interp.Compile.cov_reason))
+         else "fallback: " ^ Autocfd_interp.Compile.reason_to_string c.Autocfd_interp.Compile.cov_reason))
     cov;
   line "";
   line "## Dependence pairs (S_LDP)";

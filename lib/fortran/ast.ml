@@ -109,6 +109,14 @@ and do_loop = {
   do_step : expr option;
   do_body : block;
   do_sched : sched;
+  do_fission : fission_tag option;
+      (** provenance when the nest is a fragment emitted by the
+          loop-fission pass; [None] on source nests *)
+}
+
+and fission_tag = {
+  fi_frag : int;  (** 1-based fragment index within the source nest *)
+  fi_nfrags : int;  (** total fragments the source nest split into *)
 }
 
 and block = stmt list [@@deriving show { with_path = false }]

@@ -120,6 +120,7 @@ and expand_stmt st path env stmt =
              do_step = Option.map re d.do_step;
              do_body = expand_block st path env d.do_body;
              do_sched = d.do_sched;
+             do_fission = d.do_fission;
            })
   | Goto l -> mk (Goto (map_label env l))
   | Continue -> mk Continue

@@ -494,7 +494,7 @@ and parse_do st mk =
         body
   in
   mk (Do { do_var = var; do_lo = lo; do_hi = hi; do_step = step;
-           do_body = body; do_sched = Sched_seq })
+           do_body = body; do_sched = Sched_seq; do_fission = None })
 
 and parse_labeled_body st l =
   let stmts = ref [] in

@@ -12,6 +12,111 @@ exception Jump of int
 
 type slot_kind = KInt | KReal | KBool | KDyn
 
+(* Why a field-loop nest did or did not compile to a fused kernel.  A
+   closed variant so coverage reports group fallback causes
+   deterministically and tests can match constructors; [Other] only
+   appears when parsing a reason string this build does not know. *)
+type reason =
+  | Fused
+  | Scalar_subscript  (* subscript reads a scalar the body assigns *)
+  | Non_affine_subscript
+  | Bound_loop_var
+  | Bound_written_scalar
+  | Bound_not_integer
+  | Rank_mismatch
+  | Non_arith_value
+  | Non_arith_scalar
+  | Logical_in_body
+  | Int_division
+  | Int_mod
+  | Dynamic_exponent
+  | Local_bound_in_body
+  | Intrinsic_arity of string
+  | Unknown_intrinsic of string
+  | Undeclared_array
+  | Assign_to_loop_var
+  | Scalar_assign
+  | Bad_assign_target
+  | Non_assign_stmt
+  | Duplicate_loop_var
+  | Loop_var_not_int
+  | Loop_var_no_slot
+  | Empty_body
+  | If_in_body
+  | Goto_in_body
+  | Io_in_body
+  | Comm_in_body
+  | Control_in_body
+  | Other of string
+
+(* the historical prose, kept verbatim so rendered coverage tables and
+   serialized rows are stable across the string->variant change *)
+let reason_to_string = function
+  | Fused -> "fused"
+  | Scalar_subscript -> "subscript depends on a scalar assigned in the loop"
+  | Non_affine_subscript -> "non-affine subscript"
+  | Bound_loop_var -> "loop bounds depend on a fused loop variable"
+  | Bound_written_scalar ->
+      "loop bounds depend on a scalar assigned in the loop"
+  | Bound_not_integer -> "loop bounds not integer-pure"
+  | Rank_mismatch -> "subscript rank mismatch"
+  | Non_arith_value -> "non-arithmetic value in body"
+  | Non_arith_scalar -> "non-arithmetic scalar in body"
+  | Logical_in_body -> "logical expression in body"
+  | Int_division -> "integer division in body"
+  | Int_mod -> "integer mod in body"
+  | Dynamic_exponent -> "dynamic integer exponent in body"
+  | Local_bound_in_body -> "local-bound expression in body"
+  | Intrinsic_arity name -> "intrinsic " ^ name ^ " arity"
+  | Unknown_intrinsic name -> "unsupported intrinsic " ^ name
+  | Undeclared_array -> "assignment to an undeclared array"
+  | Assign_to_loop_var -> "assignment to a loop variable in body"
+  | Scalar_assign -> "scalar assignment in body"
+  | Bad_assign_target -> "unsupported assignment target"
+  | Non_assign_stmt -> "non-assignment statement in body"
+  | Duplicate_loop_var -> "duplicate loop variable in nest"
+  | Loop_var_not_int -> "loop variable not integer"
+  | Loop_var_no_slot -> "loop variable has no slot"
+  | Empty_body -> "empty loop body"
+  | If_in_body -> "IF in loop body"
+  | Goto_in_body -> "GOTO in loop body"
+  | Io_in_body -> "I/O in loop body"
+  | Comm_in_body -> "communication in loop body"
+  | Control_in_body -> "control flow in loop body"
+  | Other s -> s
+
+let reason_of_string s =
+  let fixed =
+    [
+      Fused; Scalar_subscript; Non_affine_subscript; Bound_loop_var;
+      Bound_written_scalar; Bound_not_integer; Rank_mismatch; Non_arith_value;
+      Non_arith_scalar; Logical_in_body; Int_division; Int_mod;
+      Dynamic_exponent; Local_bound_in_body; Undeclared_array;
+      Assign_to_loop_var; Scalar_assign; Bad_assign_target; Non_assign_stmt;
+      Duplicate_loop_var; Loop_var_not_int; Loop_var_no_slot; Empty_body;
+      If_in_body; Goto_in_body; Io_in_body; Comm_in_body; Control_in_body;
+    ]
+  in
+  match List.find_opt (fun r -> reason_to_string r = s) fixed with
+  | Some r -> r
+  | None ->
+      let strip ~prefix ~suffix s =
+        let lp = String.length prefix and ls = String.length suffix in
+        let n = String.length s in
+        if
+          n > lp + ls
+          && String.sub s 0 lp = prefix
+          && String.sub s (n - ls) ls = suffix
+        then Some (String.sub s lp (n - lp - ls))
+        else None
+      in
+      (match strip ~prefix:"intrinsic " ~suffix:" arity" s with
+      | Some name -> Intrinsic_arity name
+      | None -> (
+          match strip ~prefix:"unsupported intrinsic " ~suffix:"" s with
+          | Some name -> Unknown_intrinsic name
+          | None -> Other s))
+
 (* Static fusibility of one field-loop nest (a DO whose nest writes at
    least one declared array element): either it compiled to a fused
    kernel, or the reason it stayed on the closure IR. *)
@@ -19,7 +124,9 @@ type coverage_entry = {
   cov_line : int;  (* source line of the nest's outermost DO *)
   cov_vars : string list;  (* loop variables, outermost first *)
   cov_fused : bool;
-  cov_reason : string;  (* "fused", or why the nest fell back *)
+  cov_reason : reason;  (* [Fused], or why the nest fell back *)
+  cov_frag : Ast.fission_tag option;
+      (* provenance when the nest is a loop-fission fragment *)
 }
 
 type cu = {
@@ -739,7 +846,7 @@ let float_store ctx i : state -> float -> unit =
    tree-walking machine's behavior (including error messages and partial
    updates) exactly. *)
 
-exception Unfusable of string
+exception Unfusable of reason
 
 module Iv = Autocfd_util.Interval
 
@@ -784,18 +891,31 @@ let aff_add a b =
     af_syms = a.af_syms @ b.af_syms;
   }
 
-(* literal integer folding (for constant subscript coefficients) *)
-let rec const_int (e : Ast.expr) : int option =
+(* compile-time integer folding through never-assigned PARAMETER
+   constants (x_consts).  Only [Value.Int] constants participate, so a
+   folded expression is exactly what the machine's integer arithmetic
+   computes, charges no flops, and cannot fail: OCaml's [/] truncates
+   toward zero like the machine's integer division, and a zero divisor
+   refuses to fold (the nest then stays on the closure IR, which
+   reproduces the machine's runtime error).  This is what lets nests
+   like [i - ni/2] in a body or [nj / 2] in a bound reach the fused
+   tier. *)
+let rec cfold env (e : Ast.expr) : int option =
   match e with
   | Ast.Const_int c -> Some c
-  | Ast.Unop (Ast.Neg, a) -> Option.map (fun c -> -c) (const_int a)
+  | Ast.Var x -> (
+      match Hashtbl.find_opt env.e_ctx.x_consts x with
+      | Some (Value.Int c) -> Some c
+      | _ -> None)
+  | Ast.Unop (Ast.Neg, a) -> Option.map (fun c -> -c) (cfold env a)
   | Ast.Binop (op, a, b) -> (
-      match (const_int a, const_int b) with
+      match (cfold env a, cfold env b) with
       | Some x, Some y -> (
           match op with
           | Ast.Add -> Some (x + y)
           | Ast.Sub -> Some (x - y)
           | Ast.Mul -> Some (x * y)
+          | Ast.Div -> if y = 0 then None else Some (x / y)
           | _ -> None)
       | _ -> None)
   | _ -> None
@@ -820,7 +940,7 @@ let rec adecomp env (e : Ast.expr) : aff * bool =
           ({ (aff_zero env) with af_coeff = coeff }, false)
       | None ->
           if Hashtbl.mem env.e_wrb x then
-            raise (Unfusable "subscript depends on a scalar assigned in the loop")
+            raise (Unfusable Scalar_subscript)
           else (
             match Hashtbl.find_opt env.e_ctx.x_sc x with
             | Some i when env.e_ctx.x_kinds.(i) = KInt ->
@@ -832,7 +952,7 @@ let rec adecomp env (e : Ast.expr) : aff * bool =
                     ({ (aff_zero env) with af_const = c }, false)
                 | Some (Value.Real r) when Float.is_integer r ->
                     ({ (aff_zero env) with af_const = truncate r }, true)
-                | _ -> raise (Unfusable "non-affine subscript"))))
+                | _ -> raise (Unfusable Non_affine_subscript))))
   | Ast.Unop (Ast.Neg, a) ->
       let fa, re = adecomp env a in
       if re then incr env.e_flops;
@@ -850,19 +970,24 @@ let rec adecomp env (e : Ast.expr) : aff * bool =
       if re then incr env.e_flops;
       (aff_add fa (aff_scale (-1) fb), re)
   | Ast.Binop (Ast.Mul, a, b) -> (
-      match const_int a with
+      match cfold env a with
       | Some c ->
           let fb, re = adecomp env b in
           if re then incr env.e_flops;
           (aff_scale c fb, re)
       | None -> (
-          match const_int b with
+          match cfold env b with
           | Some c ->
               let fa, re = adecomp env a in
               if re then incr env.e_flops;
               (aff_scale c fa, re)
-          | None -> raise (Unfusable "non-affine subscript")))
-  | _ -> raise (Unfusable "non-affine subscript")
+          | None -> raise (Unfusable Non_affine_subscript)))
+  | _ -> (
+      (* e.g. an integer division of constants: fold the whole
+         subexpression (no flops — machine integer arithmetic) *)
+      match cfold env e with
+      | Some c -> ({ (aff_zero env) with af_const = c }, false)
+      | None -> raise (Unfusable Non_affine_subscript))
 
 (* entry-invariant, error-free integer-valued expression (loop bounds);
    anything else keeps the nest on the closure IR *)
@@ -881,9 +1006,9 @@ let rec icomp env (fl : int ref) (e : Ast.expr) : (state -> int) * bool =
       ((fun _ -> c), true)
   | Ast.Var x ->
       if Hashtbl.mem env.e_lvl x then
-        raise (Unfusable "loop bounds depend on a fused loop variable")
+        raise (Unfusable Bound_loop_var)
       else if Hashtbl.mem env.e_wrb x then
-        raise (Unfusable "loop bounds depend on a scalar assigned in the loop")
+        raise (Unfusable Bound_written_scalar)
       else (
         match Hashtbl.find_opt env.e_ctx.x_sc x with
         | Some i when env.e_ctx.x_kinds.(i) = KInt ->
@@ -895,7 +1020,7 @@ let rec icomp env (fl : int ref) (e : Ast.expr) : (state -> int) * bool =
             | Some (Value.Real r) when Float.is_integer r ->
                 let c = truncate r in
                 ((fun _ -> c), true)
-            | _ -> raise (Unfusable "loop bounds not integer-pure")))
+            | _ -> raise (Unfusable Bound_not_integer)))
   | Ast.Unop (Ast.Neg, a) ->
       let f, re = icomp env fl a in
       if re then incr fl;
@@ -909,8 +1034,21 @@ let rec icomp env (fl : int ref) (e : Ast.expr) : (state -> int) * bool =
         match op with Ast.Add -> ( + ) | Ast.Sub -> ( - ) | _ -> ( * )
       in
       ((fun st -> g (fa st) (fb st)), re)
+  | Ast.Binop (Ast.Div, a, b) -> (
+      (* integer division by a nonzero constant: error-free, truncates
+         toward zero exactly like the machine.  The float-arithmetic
+         path (truncate-at-the-end of a float division) is rejected —
+         float rounding could disagree with integer division.  (At a
+         truncation boundary [icomp_trunc] admits the float path.) *)
+      match cfold env b with
+      | Some c when c <> 0 ->
+          let fa, ra = icomp env fl a in
+          if ra then raise (Unfusable Bound_not_integer);
+          ((fun st -> fa st / c), false)
+      | _ -> raise (Unfusable Bound_not_integer))
   | Ast.Local_lo (d, a) ->
-      let f, _ = icomp env fl a in
+      (* the machine truncates the operand (eval_int) before clamping *)
+      let f = icomp_trunc env fl a in
       ( (fun st ->
           let v = f st in
           match st.hooks.h_block with
@@ -918,14 +1056,36 @@ let rec icomp env (fl : int ref) (e : Ast.expr) : (state -> int) * bool =
           | Some g -> max v (fst (g d))),
         false )
   | Ast.Local_hi (d, a) ->
-      let f, _ = icomp env fl a in
+      let f = icomp_trunc env fl a in
       ( (fun st ->
           let v = f st in
           match st.hooks.h_block with
           | None -> v
           | Some g -> min v (snd (g d))),
         false )
-  | _ -> raise (Unfusable "loop bounds not integer-pure")
+  | _ -> raise (Unfusable Bound_not_integer)
+
+(* integer value at a truncation boundary — a whole DO bound or the
+   operand of Local_lo/Local_hi, where the machine evaluates the full
+   Value and truncates once ([Machine.eval_int]).  A division whose
+   quotient feeds directly into that truncation may take the machine's
+   float path: the numerator is integer-valued (icomp truncates only at
+   integral leaves, which is lossless), so [truncate (va /. c)] is the
+   machine's truncate-at-the-end result bit-for-bit, and the division
+   charges the one flop the machine charges for real arithmetic. *)
+and icomp_trunc env (fl : int ref) (e : Ast.expr) : state -> int =
+  match e with
+  | Ast.Binop (Ast.Div, a, b) -> (
+      match cfold env b with
+      | Some c when c <> 0 ->
+          let fa, ra = icomp env fl a in
+          if ra then begin
+            incr fl;
+            fun st -> truncate (float_of_int (fa st) /. float_of_int c)
+          end
+          else fun st -> fa st / c
+      | _ -> raise (Unfusable Bound_not_integer))
+  | e -> fst (icomp env fl e)
 
 (* body expressions: closures over (state, ref offsets, loop var values),
    flops counted statically into [e_flops] (the kernel never touches
@@ -945,7 +1105,7 @@ let as_fi = function
 let reg_ref env slot (args : Ast.expr list) : int =
   let bounds = env.e_ctx.x_bounds.(slot) in
   if List.length args <> Array.length bounds then
-    raise (Unfusable "subscript rank mismatch");
+    raise (Unfusable Rank_mismatch);
   let affs = Array.of_list (List.map (fun e -> fst (adecomp env e)) args) in
   let id = !(env.e_nrefs) in
   incr env.e_nrefs;
@@ -957,7 +1117,7 @@ let rec fcomp env (e : Ast.expr) : fe =
   | Ast.Const_int c -> Fi (fun _ _ _ -> c)
   | Ast.Const_real f -> Ff (fun _ _ _ -> f)
   | Ast.Const_bool _ | Ast.Const_str _ ->
-      raise (Unfusable "non-arithmetic value in body")
+      raise (Unfusable Non_arith_value)
   | Ast.Var x -> (
       match Hashtbl.find_opt env.e_lvl x with
       | Some l -> Fi (fun _ _ vals -> Array.unsafe_get vals l)
@@ -978,7 +1138,7 @@ let rec fcomp env (e : Ast.expr) : fe =
               match Hashtbl.find_opt env.e_ctx.x_consts x with
               | Some (Value.Int c) -> Fi (fun _ _ _ -> c)
               | Some (Value.Real r) -> Ff (fun _ _ _ -> r)
-              | _ -> raise (Unfusable "non-arithmetic scalar in body"))))
+              | _ -> raise (Unfusable Non_arith_scalar))))
   | Ast.Ref (name, args) -> (
       match Hashtbl.find_opt env.e_ctx.x_ar name with
       | Some slot ->
@@ -995,7 +1155,7 @@ let rec fcomp env (e : Ast.expr) : fe =
       | Ff f ->
           incr env.e_flops;
           Ff (fun st offs vals -> -.f st offs vals))
-  | Ast.Unop (Ast.Lnot, _) -> raise (Unfusable "logical expression in body")
+  | Ast.Unop (Ast.Lnot, _) -> raise (Unfusable Logical_in_body)
   | Ast.Binop (op, a, b) -> (
       let ca = fcomp env a in
       let cb = fcomp env b in
@@ -1007,10 +1167,16 @@ let rec fcomp env (e : Ast.expr) : fe =
               | Ast.Add -> Fi (fun st o v -> fa st o v + fb st o v)
               | Ast.Sub -> Fi (fun st o v -> fa st o v - fb st o v)
               | Ast.Mul -> Fi (fun st o v -> fa st o v * fb st o v)
-              | Ast.Div -> raise (Unfusable "integer division in body")
+              | Ast.Div -> (
+                  (* by a nonzero constant only: error-free, and OCaml's
+                     [/] truncates toward zero like the machine's
+                     integer division; charges no flops *)
+                  match cfold env b with
+                  | Some c when c <> 0 -> Fi (fun st o v -> fa st o v / c)
+                  | _ -> raise (Unfusable Int_division))
               | Ast.Pow -> (
-                  match b with
-                  | Ast.Const_int y when y >= 0 ->
+                  match cfold env b with
+                  | Some y when y >= 0 ->
                       Fi
                         (fun st o v ->
                           let x = fa st o v in
@@ -1018,7 +1184,7 @@ let rec fcomp env (e : Ast.expr) : fe =
                             if n = 0 then acc else pow (acc * x) (n - 1)
                           in
                           pow 1 y)
-                  | _ -> raise (Unfusable "dynamic integer exponent in body"))
+                  | _ -> raise (Unfusable Dynamic_exponent))
               | _ -> assert false)
           | _ ->
               let fa = as_ff ca and fb = as_ff cb in
@@ -1031,9 +1197,9 @@ let rec fcomp env (e : Ast.expr) : fe =
               | Ast.Div -> arith (fun x y -> x /. y)
               | Ast.Pow -> arith Float.pow
               | _ -> assert false))
-      | _ -> raise (Unfusable "logical expression in body"))
+      | _ -> raise (Unfusable Logical_in_body))
   | Ast.Local_lo _ | Ast.Local_hi _ ->
-      raise (Unfusable "local-bound expression in body")
+      raise (Unfusable Local_bound_in_body)
 
 and fintr env name args : fe =
   let f1 g =
@@ -1042,7 +1208,7 @@ and fintr env name args : fe =
         let f = as_ff (fcomp env a) in
         incr env.e_flops;
         Ff (fun st o v -> g (f st o v))
-    | _ -> raise (Unfusable ("intrinsic " ^ name ^ " arity"))
+    | _ -> raise (Unfusable (Intrinsic_arity name))
   in
   match name with
   | "abs" -> (
@@ -1053,7 +1219,7 @@ and fintr env name args : fe =
           | Ff f ->
               incr env.e_flops;
               Ff (fun st o v -> Float.abs (f st o v)))
-      | _ -> raise (Unfusable "intrinsic abs arity"))
+      | _ -> raise (Unfusable (Intrinsic_arity "abs")))
   | "sqrt" -> f1 Float.sqrt
   | "exp" -> f1 Float.exp
   | "log" -> f1 Float.log
@@ -1077,32 +1243,32 @@ and fintr env name args : fe =
                 acc := g !acc ((Array.unsafe_get frest i) st o v)
               done;
               !acc)
-      | _ -> raise (Unfusable ("intrinsic " ^ name ^ " arity")))
+      | _ -> raise (Unfusable (Intrinsic_arity name)))
   | "max0" | "min0" -> (
       match args with
       | [ a; b ] ->
           let fa = as_fi (fcomp env a) and fb = as_fi (fcomp env b) in
           let g = if name = "max0" then max else min in
           Fi (fun st o v -> g (fa st o v) (fb st o v))
-      | _ -> raise (Unfusable ("intrinsic " ^ name ^ " arity")))
+      | _ -> raise (Unfusable (Intrinsic_arity name)))
   | "mod" -> (
       match args with
       | [ a; b ] -> (
           match (fcomp env a, fcomp env b) with
-          | Fi _, Fi _ -> raise (Unfusable "integer mod in body")
+          | Fi _, Fi _ -> raise (Unfusable Int_mod)
           | ca, cb ->
               let fa = as_ff ca and fb = as_ff cb in
               incr env.e_flops;
               Ff (fun st o v -> Float.rem (fa st o v) (fb st o v)))
-      | _ -> raise (Unfusable "intrinsic mod arity"))
+      | _ -> raise (Unfusable (Intrinsic_arity "mod")))
   | "float" | "real" | "dble" -> (
       match args with
       | [ a ] -> Ff (as_ff (fcomp env a))
-      | _ -> raise (Unfusable ("intrinsic " ^ name ^ " arity")))
+      | _ -> raise (Unfusable (Intrinsic_arity name)))
   | "int" -> (
       match args with
       | [ a ] -> Fi (as_fi (fcomp env a))
-      | _ -> raise (Unfusable "intrinsic int arity"))
+      | _ -> raise (Unfusable (Intrinsic_arity "int")))
   | "sign" -> (
       match args with
       | [ a; b ] ->
@@ -1113,8 +1279,8 @@ and fintr env name args : fe =
               let x = fa st o v in
               let y = fb st o v in
               if y >= 0.0 then Float.abs x else -.Float.abs x)
-      | _ -> raise (Unfusable "intrinsic sign arity"))
-  | _ -> raise (Unfusable ("unsupported intrinsic " ^ name))
+      | _ -> raise (Unfusable (Intrinsic_arity "sign")))
+  | _ -> raise (Unfusable (Unknown_intrinsic name))
 
 (* one body assignment: rhs into an unsafe store through the target's
    registered reference *)
@@ -1124,7 +1290,7 @@ let comp_kstmt env (s : Ast.stmt) :
   | Ast.Continue -> None
   | Ast.Assign (Ast.Ref (name, args), rhs) -> (
       match Hashtbl.find_opt env.e_ctx.x_ar name with
-      | None -> raise (Unfusable "assignment to an undeclared array")
+      | None -> raise (Unfusable Undeclared_array)
       | Some slot ->
           let rf = as_ff (fcomp env rhs) in
           let wid = reg_ref env slot args in
@@ -1140,7 +1306,7 @@ let comp_kstmt env (s : Ast.stmt) :
          each iteration exactly like the machine (the slot's exit value is
          the last iteration's) *)
       if Hashtbl.mem env.e_lvl x then
-        raise (Unfusable "assignment to a loop variable in body");
+        raise (Unfusable Assign_to_loop_var);
       match Hashtbl.find_opt env.e_ctx.x_sc x with
       | Some i when env.e_ctx.x_kinds.(i) = KReal ->
           let rf = as_ff (fcomp env rhs) in
@@ -1156,15 +1322,15 @@ let comp_kstmt env (s : Ast.stmt) :
             (fun st offs vals ->
               Array.unsafe_set st.si i (rf st offs vals);
               Array.unsafe_set st.sset i true)
-      | _ -> raise (Unfusable "scalar assignment in body"))
-  | Ast.Assign _ -> raise (Unfusable "unsupported assignment target")
-  | _ -> raise (Unfusable "non-assignment statement in body")
+      | _ -> raise (Unfusable Scalar_assign))
+  | Ast.Assign _ -> raise (Unfusable Bad_assign_target)
+  | _ -> raise (Unfusable Non_assign_stmt)
 
 (* structural nest peeling *)
 type peeled =
   | P_leaf of Ast.do_loop list * Ast.stmt list  (* levels outer-first *)
   | P_descend  (* nested DOs mixed with other structure: recurse, no entry *)
-  | P_bad of string  (* innermost body holds a non-fusable statement *)
+  | P_bad of reason  (* innermost body holds a non-fusable statement *)
 
 let peel (d : Ast.do_loop) : peeled =
   let rec go acc d =
@@ -1196,18 +1362,18 @@ let peel (d : Ast.do_loop) : peeled =
                    match s.Ast.s_kind with Ast.Assign _ -> false | _ -> true)
                  body
              with
-            | Some { Ast.s_kind = Ast.If _; _ } -> "IF in loop body"
-            | Some { Ast.s_kind = Ast.Goto _; _ } -> "GOTO in loop body"
+            | Some { Ast.s_kind = Ast.If _; _ } -> If_in_body
+            | Some { Ast.s_kind = Ast.Goto _; _ } -> Goto_in_body
             | Some { Ast.s_kind = (Ast.Read _ | Ast.Write _); _ } ->
-                "I/O in loop body"
+                Io_in_body
             | Some
                 {
                   Ast.s_kind =
                     (Ast.Comm _ | Ast.Pipeline_recv _ | Ast.Pipeline_send _);
                   _;
                 } ->
-                "communication in loop body"
-            | _ -> "control flow in loop body")
+                Comm_in_body
+            | _ -> Control_in_body)
   in
   go [] d
 
@@ -1247,13 +1413,13 @@ let kernel_of ctx (levels : Ast.do_loop list) (stmts : Ast.stmt list) :
          (fun l (d : Ast.do_loop) ->
            let x = d.Ast.do_var in
            if Hashtbl.mem lvl x then
-             raise (Unfusable "duplicate loop variable in nest");
+             raise (Unfusable Duplicate_loop_var);
            match Hashtbl.find_opt ctx.x_sc x with
            | Some i when ctx.x_kinds.(i) = KInt ->
                Hashtbl.add lvl x l;
                int_store ctx i
-           | Some _ -> raise (Unfusable "loop variable not integer")
-           | None -> raise (Unfusable "loop variable has no slot"))
+           | Some _ -> raise (Unfusable Loop_var_not_int)
+           | None -> raise (Unfusable Loop_var_no_slot))
          levels)
   in
   let wrb = Hashtbl.create 8 in
@@ -1282,7 +1448,7 @@ let kernel_of ctx (levels : Ast.do_loop list) (stmts : Ast.stmt list) :
   let fpb = Array.make m 0 in
   let comp_bound l e =
     let fl = ref 0 in
-    let f, _ = icomp env fl e in
+    let f = icomp_trunc env fl e in
     fpb.(l) <- fpb.(l) + !fl;
     f
   in
@@ -1302,7 +1468,7 @@ let kernel_of ctx (levels : Ast.do_loop list) (stmts : Ast.stmt list) :
          levels)
   in
   let stmt_fns = Array.of_list (List.filter_map (comp_kstmt env) stmts) in
-  if Array.length stmt_fns = 0 then raise (Unfusable "empty loop body");
+  if Array.length stmt_fns = 0 then raise (Unfusable Empty_body);
   let fpi = !(env.e_flops) in
   let kinfo =
     Array.of_list
@@ -1466,13 +1632,13 @@ let kernel_of ctx (levels : Ast.do_loop list) (stmts : Ast.stmt list) :
 (* Record one coverage entry and return its index (program order, the
    final position in cu_cov); -1 when recording is off (inside fallback
    bodies), which also disables profiling instrumentation. *)
-let record_cov ctx ~line ~vars ~fused reason =
+let record_cov ctx ~line ~vars ~fused ~frag reason =
   if not ctx.x_record then -1
   else begin
     let idx = List.length !(ctx.x_cov) in
     ctx.x_cov :=
       { cov_line = line; cov_vars = vars; cov_fused = fused;
-        cov_reason = reason }
+        cov_reason = reason; cov_frag = frag }
       :: !(ctx.x_cov);
     idx
   end
@@ -1660,7 +1826,8 @@ and comp_do ctx ~line (d : Ast.do_loop) : state -> unit =
     | P_bad reason ->
         if is_field_loop ctx d then begin
           let idx =
-            record_cov ctx ~line ~vars:[ d.Ast.do_var ] ~fused:false reason
+            record_cov ctx ~line ~vars:[ d.Ast.do_var ] ~fused:false
+              ~frag:d.Ast.do_fission reason
           in
           profiled idx (comp_do_plain ctx d)
         end
@@ -1669,13 +1836,17 @@ and comp_do ctx ~line (d : Ast.do_loop) : state -> unit =
         let vars = List.map (fun (l : Ast.do_loop) -> l.Ast.do_var) levels in
         match kernel_of ctx levels stmts with
         | kernel ->
-            let idx = record_cov ctx ~line ~vars ~fused:true "fused" in
+            let idx =
+              record_cov ctx ~line ~vars ~fused:true ~frag:d.Ast.do_fission
+                Fused
+            in
             (* dynamic fall-back path: plain closure IR, no nested kernels *)
             profiled idx (kernel (comp_do_plain { ctx with x_fuse = false } d))
         | exception Unfusable reason ->
             let idx =
               if is_field_loop ctx d then
-                record_cov ctx ~line ~vars ~fused:false reason
+                record_cov ctx ~line ~vars ~fused:false
+                  ~frag:d.Ast.do_fission reason
               else -1
             in
             (* inner sub-nests may still fuse (e.g. triangular bounds);
@@ -1928,7 +2099,8 @@ type kernel_stat = {
   ks_line : int;
   ks_vars : string list;
   ks_fused : bool;
-  ks_reason : string;
+  ks_reason : reason;
+  ks_frag : Ast.fission_tag option;
   ks_calls : int;
   ks_flops : float;
   ks_bytes : float;
@@ -1942,6 +2114,7 @@ let kernel_stats st =
         ks_vars = c.cov_vars;
         ks_fused = c.cov_fused;
         ks_reason = c.cov_reason;
+        ks_frag = c.cov_frag;
         ks_calls = st.kcalls.(i);
         ks_flops = st.kflops.(i);
         ks_bytes = st.kbytes.(i);

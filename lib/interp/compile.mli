@@ -43,11 +43,60 @@ type hooks = {
 val sequential_hooks : hooks
 (** Same behavior as {!Machine.sequential_hooks}. *)
 
+(** Why a field-loop nest did or did not compile to a fused kernel — a
+    closed variant so tests and reports can match on constructors.
+    [Other] appears only when {!reason_of_string} meets prose this build
+    does not produce. *)
+type reason =
+  | Fused
+  | Scalar_subscript
+  | Non_affine_subscript
+  | Bound_loop_var
+  | Bound_written_scalar
+  | Bound_not_integer
+  | Rank_mismatch
+  | Non_arith_value
+  | Non_arith_scalar
+  | Logical_in_body
+  | Int_division
+  | Int_mod
+  | Dynamic_exponent
+  | Local_bound_in_body
+  | Intrinsic_arity of string
+  | Unknown_intrinsic of string
+  | Undeclared_array
+  | Assign_to_loop_var
+  | Scalar_assign
+  | Bad_assign_target
+  | Non_assign_stmt
+  | Duplicate_loop_var
+  | Loop_var_not_int
+  | Loop_var_no_slot
+  | Empty_body
+  | If_in_body
+  | Goto_in_body
+  | Io_in_body
+  | Comm_in_body
+  | Control_in_body
+  | Other of string
+
+val reason_to_string : reason -> string
+(** Stable human-readable prose (["fused"], ["IF in loop body"], ...);
+    exactly what older builds stored as raw strings, so serialized
+    coverage rows are unchanged. *)
+
+val reason_of_string : string -> reason
+(** Inverse of {!reason_to_string}; unknown prose maps to [Other]. *)
+
 type coverage_entry = {
   cov_line : int;  (** source line of the nest's outermost DO *)
   cov_vars : string list;  (** loop variables, outermost first *)
   cov_fused : bool;
-  cov_reason : string;  (** ["fused"], or why the nest fell back *)
+  cov_reason : reason;  (** [Fused], or why the nest fell back *)
+  cov_frag : Ast.fission_tag option;
+      (** provenance when the nest is a loop-fission fragment: its index
+          and the total fragment count of the source nest (which shares
+          [cov_line]) *)
 }
 (** Static fusibility of one field-loop nest (a DO nest that writes at
     least one declared array element), recorded when compiling with
@@ -83,7 +132,8 @@ type kernel_stat = {
   ks_line : int;  (** source line of the nest's outermost DO *)
   ks_vars : string list;  (** loop variables, outermost first *)
   ks_fused : bool;
-  ks_reason : string;  (** ["fused"], or why the nest fell back *)
+  ks_reason : reason;  (** [Fused], or why the nest fell back *)
+  ks_frag : Ast.fission_tag option;  (** loop-fission provenance *)
   ks_calls : int;  (** nest executions on this state *)
   ks_flops : float;  (** self flops (inner profiled nests excluded) *)
   ks_bytes : float;  (** bytes moved by the fused kernel (0 on fallback) *)

@@ -116,6 +116,32 @@ let describe_comm = function
   | Ast.Allgather arrays -> "allgather " ^ String.concat "," arrays
   | Ast.Barrier -> "barrier"
 
+(* one rank's profile summary of a nest as a trace event; loop-fission
+   fragments are named "L<line> do <vars> #<frag>/<nfrags>" so all
+   fragments of one source nest share a line and a name prefix *)
+let kernel_event (k : Compile.kernel_stat) =
+  let frag, nfrags =
+    match k.Compile.ks_frag with
+    | Some f -> (f.Ast.fi_frag, f.Ast.fi_nfrags)
+    | None -> (0, 0)
+  in
+  let name =
+    Printf.sprintf "L%d do %s%s" k.Compile.ks_line
+      (String.concat "," k.Compile.ks_vars)
+      (if nfrags = 0 then "" else Printf.sprintf " #%d/%d" frag nfrags)
+  in
+  Trace.Kernel
+    {
+      name;
+      line = k.Compile.ks_line;
+      fused = k.Compile.ks_fused;
+      frag;
+      nfrags;
+      calls = k.Compile.ks_calls;
+      flops = k.Compile.ks_flops;
+      bytes = k.Compile.ks_bytes;
+    }
+
 let sync_points (u : Ast.program_unit) =
   let tbl = Hashtbl.create 32 in
   let next = ref 0 in
@@ -1046,23 +1072,10 @@ let run_with : 'm. 'm iface -> etag:string -> config -> Ast.program_unit -> resu
     | Some tr ->
         List.iter
           (fun (k : Compile.kernel_stat) ->
-            if k.Compile.ks_calls > 0 then begin
-              let name =
-                Printf.sprintf "L%d do %s" k.Compile.ks_line
-                  (String.concat "," k.Compile.ks_vars)
-              in
+            if k.Compile.ks_calls > 0 then
               Trace.record tr ~rank:r ~t0:0.0
                 ~t1:(k.Compile.ks_flops *. config.flop_time)
-                (Trace.Kernel
-                   {
-                     name;
-                     line = k.Compile.ks_line;
-                     fused = k.Compile.ks_fused;
-                     calls = k.Compile.ks_calls;
-                     flops = k.Compile.ks_flops;
-                     bytes = k.Compile.ks_bytes;
-                   })
-            end)
+                (kernel_event k))
           (iface.i_kernels (get_machine ()))
   in
   Sim.run ~net:config.net ?tracer:config.tracer ?faults:config.faults
@@ -1514,21 +1527,9 @@ let run_domains : 'm. 'm iface -> config -> Ast.program_unit -> result =
                 let frac =
                   if total > 0.0 then k.Compile.ks_flops /. total else 0.0
                 in
-                let name =
-                  Printf.sprintf "L%d do %s" k.Compile.ks_line
-                    (String.concat "," k.Compile.ks_vars)
-                in
                 Trace.record tr ~wall:true ~rank:r ~t0:0.0
                   ~t1:(compute_wall.(r) *. frac)
-                  (Trace.Kernel
-                     {
-                       name;
-                       line = k.Compile.ks_line;
-                       fused = k.Compile.ks_fused;
-                       calls = k.Compile.ks_calls;
-                       flops = k.Compile.ks_flops;
-                       bytes = k.Compile.ks_bytes;
-                     })
+                  (kernel_event k)
               end)
             ks)
         machines);

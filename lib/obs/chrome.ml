@@ -61,12 +61,16 @@ let event_json (e : Trace.event) =
           [ ("bytes", Json.Int bytes) ] )
     | Trace.Sched { what; job } ->
         (Printf.sprintf "%s:%s" what job, "sched", [ ("job", Json.Str job) ])
-    | Trace.Kernel { name; line; fused; calls; flops; bytes } ->
+    | Trace.Kernel { name; line; fused; frag; nfrags; calls; flops; bytes }
+      ->
         ( name,
           "kernel",
-          [ ("line", Json.Int line); ("fused", Json.Bool fused);
-            ("calls", Json.Int calls); ("flops", Json.Float flops);
-            ("bytes", Json.Float bytes) ] )
+          ("line", Json.Int line) :: ("fused", Json.Bool fused)
+          :: (if nfrags = 0 then []
+              else
+                [ ("frag", Json.Int frag); ("nfrags", Json.Int nfrags) ])
+          @ [ ("calls", Json.Int calls); ("flops", Json.Float flops);
+              ("bytes", Json.Float bytes) ] )
   in
   let args =
     if e.Trace.ev_sync >= 0 then ("sync", Json.Int e.Trace.ev_sync) :: args

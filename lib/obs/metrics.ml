@@ -29,6 +29,8 @@ type kernel_row = {
   kr_name : string;
   kr_line : int;
   kr_fused : bool;
+  kr_frag : int;
+  kr_nfrags : int;
   kr_calls : int;
   kr_flops : float;
   kr_bytes : float;
@@ -80,6 +82,8 @@ type kind_acc = {
 
 type kernel_acc = {
   mutable na_fused : bool;
+  mutable na_frag : int;
+  mutable na_nfrags : int;
   mutable na_calls : int;
   mutable na_flops : float;
   mutable na_bytes : float;
@@ -224,14 +228,16 @@ let of_trace tr =
           in
           a.wa_jobs <- a.wa_jobs + 1;
           a.wa_busy <- a.wa_busy +. dur
-      | Trace.Kernel { name; line; fused; calls; flops; bytes = kb } ->
+      | Trace.Kernel { name; line; fused; frag; nfrags; calls; flops;
+                       bytes = kb } ->
           let key = (line, name) in
           let a =
             match Hashtbl.find_opt kernels key with
             | Some a -> a
             | None ->
                 let a =
-                  { na_fused = fused; na_calls = 0; na_flops = 0.0;
+                  { na_fused = fused; na_frag = frag; na_nfrags = nfrags;
+                    na_calls = 0; na_flops = 0.0;
                     na_bytes = 0.0; na_self = 0.0 }
                 in
                 Hashtbl.replace kernels key a;
@@ -271,6 +277,7 @@ let of_trace tr =
     Hashtbl.fold
       (fun (line, name) (a : kernel_acc) rows ->
         { kr_name = name; kr_line = line; kr_fused = a.na_fused;
+          kr_frag = a.na_frag; kr_nfrags = a.na_nfrags;
           kr_calls = a.na_calls; kr_flops = a.na_flops;
           kr_bytes = a.na_bytes; kr_self = a.na_self }
         :: rows)
@@ -360,6 +367,8 @@ let to_json m =
         ("name", Json.Str k.kr_name);
         ("line", Json.Int k.kr_line);
         ("fused", Json.Bool k.kr_fused);
+        ("frag", Json.Int k.kr_frag);
+        ("nfrags", Json.Int k.kr_nfrags);
         ("calls", Json.Int k.kr_calls);
         ("flops", Json.Float k.kr_flops);
         ("bytes", Json.Float k.kr_bytes);

@@ -40,6 +40,8 @@ type kernel_row = {
   kr_name : string;
   kr_line : int;  (** source line of the nest's outermost DO *)
   kr_fused : bool;
+  kr_frag : int;  (** loop-fission fragment index (1-based), 0 = unsplit *)
+  kr_nfrags : int;  (** fragment count of the source nest, 0 = unsplit *)
   kr_calls : int;  (** nest executions, summed over ranks *)
   kr_flops : float;  (** self flops (excluding inner profiled nests) *)
   kr_bytes : float;  (** bytes moved by the fused kernel tier (0 = unknown) *)

@@ -13,6 +13,8 @@ type kind =
       name : string;
       line : int;
       fused : bool;
+      frag : int;
+      nfrags : int;
       calls : int;
       flops : float;
       bytes : float;

@@ -48,6 +48,8 @@ type kind =
       name : string;
       line : int;
       fused : bool;
+      frag : int;
+      nfrags : int;
       calls : int;
       flops : float;
       bytes : float;
@@ -55,6 +57,9 @@ type kind =
       (** per-nest profile summary emitted by the SPMD executor once per
           rank at the end of a run (fused engine only): [name] identifies
           the field-loop nest ([line] is its outermost DO's source line),
+          [frag]/[nfrags] carry loop-fission provenance — fragment index
+          (1-based) and fragment count of the source nest the loop-fission
+          pass split, or [0]/[0] for an unsplit nest —
           [calls]/[flops]/[bytes] are the rank's self totals, and the
           event's span [ev_t1 - ev_t0] is the nest's self time on the
           virtual clock ([flops * flop_time]).  A summary, not a timeline

@@ -13,6 +13,7 @@ let () =
       ("syncopt", Test_syncopt.suite);
       ("spmd", Test_spmd.suite);
       ("engine", Test_engine.suite);
+      ("fission", Test_fission.suite);
       ("apps", Test_apps.suite);
       ("perfmodel", Test_perfmodel.suite);
       ("driver", Test_driver.suite);

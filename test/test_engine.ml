@@ -367,7 +367,7 @@ let test_random_nests () =
    application's field loops compile to kernels *)
 let test_app_coverage () =
   List.iter
-    (fun (name, src) ->
+    (fun (name, nests, src) ->
       let t = D.load src in
       let cov =
         I.Compile.coverage (I.Compile.of_unit ~fuse:true t.D.inlined)
@@ -377,7 +377,7 @@ let test_app_coverage () =
         List.length
           (List.filter (fun c -> c.I.Compile.cov_fused) cov)
       in
-      Alcotest.(check bool) (name ^ ": has field loops") true (total > 0);
+      Alcotest.(check int) (name ^ ": field-loop nests") nests total;
       let reasons =
         String.concat "; "
           (List.filter_map
@@ -387,20 +387,19 @@ let test_app_coverage () =
                  Some
                    (Printf.sprintf "line %d (%s): %s" c.I.Compile.cov_line
                       (String.concat "," c.I.Compile.cov_vars)
-                      c.I.Compile.cov_reason))
+                      (I.Compile.reason_to_string c.I.Compile.cov_reason)))
              cov)
       in
-      Alcotest.(check bool)
-        (Printf.sprintf "%s: fused %d/%d field loops (>= 80%%)%s" name fused
-           total
+      Alcotest.(check int)
+        (Printf.sprintf "%s: fused %d/%d field loops (expect 100%%)%s" name
+           fused total
            (if reasons = "" then "" else " — fallbacks: " ^ reasons))
-        true
-        (float_of_int fused >= 0.8 *. float_of_int total))
+        total fused)
     [
-      ("sprayer", Autocfd_apps.Sprayer.source ());
-      ("aerofoil", Autocfd_apps.Aerofoil.source ());
-      ("cavity", Autocfd_apps.Cavity.source ());
-      ("heat2d", read_file (heat2d_path ()));
+      ("sprayer", 23, Autocfd_apps.Sprayer.source ());
+      ("aerofoil", 23, Autocfd_apps.Aerofoil.source ());
+      ("cavity", 7, Autocfd_apps.Cavity.source ());
+      ("heat2d", 3, read_file (heat2d_path ()));
     ]
 
 let suite =
@@ -414,5 +413,5 @@ let suite =
     ("domains aerofoil identical", `Slow, test_domains_aerofoil);
     ("domains heat2d identical", `Quick, test_domains_heat2d);
     ("random nests three-way identical", `Slow, test_random_nests);
-    ("fused kernel coverage >= 80%", `Quick, test_app_coverage);
+    ("fused kernel coverage 100%", `Quick, test_app_coverage);
   ]

@@ -503,7 +503,8 @@ let test_pretty_sched_annotations () =
   let open Ast in
   let d =
     { do_var = "i"; do_lo = Const_int 1; do_hi = Const_int 4; do_step = None;
-      do_body = [ mk_stmt Continue ]; do_sched = Sched_block 0 }
+      do_body = [ mk_stmt Continue ]; do_sched = Sched_block 0;
+      do_fission = None }
   in
   let text = Pretty.stmt (mk_stmt (Do d)) in
   Alcotest.(check bool) "sched comment" true
