@@ -1,6 +1,6 @@
 # Convenience wrapper around dune; `make check` is the PR gate CI runs.
 
-.PHONY: all build test check bench bench-json coverage trace profile-domains clean
+.PHONY: all build test check bench bench-json coverage trace profile-domains fabric clean
 
 all: build
 
@@ -34,6 +34,12 @@ trace:
 profile-domains:
 	dune exec bin/autocfd_cli.exe -- profile examples/heat2d.f --parts 2x2 \
 	  --engine domains --check
+
+# the distributed-sweep chaos gate: master + 3 socket worker processes,
+# one SIGKILLed mid-sweep; tables must stay byte-identical with >= 1
+# requeue, and a worker-less master must degrade rather than hang
+fabric:
+	dune exec bench/main.exe -- fabric --check
 
 clean:
 	dune clean

@@ -28,6 +28,21 @@
                                  ([--check]: exit nonzero unless every
                                  recoverable schedule yields bit-identical
                                  results within the overhead budget)
+      bench/main.exe fabric      the pooled tables over the distributed
+                                 master/worker fabric (spawns --workers
+                                 processes, default 3)
+                                 ([--check]: three-pass chaos gate —
+                                 serial reference, master + 3 workers
+                                 with one SIGKILLed mid-sweep (must
+                                 render byte-identically with >= 1
+                                 requeue and leave fabric_trace.json),
+                                 and a worker-less master that must
+                                 degrade to the in-process pool)
+      bench/main.exe worker --connect ADDR
+                                 one fabric worker process: lease job
+                                 specs from the master at ADDR, heartbeat
+                                 while resolving, stream results back
+                                 (exits nonzero if ADDR is unreachable)
       bench/main.exe --json      write BENCH_tables.json (tables 1-5 +
                                  model validation + engine speedup +
                                  sweep scheduler stats, machine-readable,
@@ -55,6 +70,10 @@
 
     Sweep options (any verb that regenerates tables):
       --jobs N        worker domains for the row sweep (default: all cores)
+      --workers N     spawn N fabric worker processes and run the sweep
+                      over the distributed fabric instead of in-process
+      --connect ADDR  (worker verb) fabric master address: unix:/path,
+                      a bare socket path, or host:port
       --no-cache      disable the persistent result cache
       --cache-dir D   cache directory (default: _autocfd_cache)
 
@@ -75,6 +94,8 @@ type opts = {
   o_verb : string;
   o_check : bool;
   o_jobs : int;
+  o_workers : int;
+  o_connect : string option;
   o_cache : bool;
   o_cache_dir : string;
   o_baseline : string;
@@ -88,7 +109,8 @@ type opts = {
 let usage () =
   Printf.eprintf
     "usage: %s [table1..table5|tables|validate|engine|coverage|chaos|\
-     ablation|advisor|micro|--json|all] [--check] [--jobs N] [--no-cache] \
+     fabric|worker|ablation|advisor|micro|--json|all] [--check] [--jobs N] \
+     [--workers N] [--connect ADDR] [--no-cache] \
      [--cache-dir D] [--baseline F] [--check-regress] [--update-baseline] \
      [--coverage F] [--update-coverage] [--tolerance T]\n"
     Sys.argv.(0);
@@ -101,6 +123,8 @@ let parse_opts () =
         o_verb = "all";
         o_check = false;
         o_jobs = Sched.Pool.default_jobs ();
+        o_workers = 0;
+        o_connect = None;
         o_cache = true;
         o_cache_dir = "_autocfd_cache";
         o_baseline = "BENCH_baseline.json";
@@ -139,6 +163,16 @@ let parse_opts () =
               Printf.eprintf "--jobs: expected a positive integer\n";
               exit 1);
           go (i + 2)
+      | "--workers" when i + 1 < Array.length Sys.argv ->
+          (match int_of_string_opt Sys.argv.(i + 1) with
+          | Some n when n >= 0 -> o := { !o with o_workers = n }
+          | _ ->
+              Printf.eprintf "--workers: expected a non-negative integer\n";
+              exit 1);
+          go (i + 2)
+      | "--connect" when i + 1 < Array.length Sys.argv ->
+          o := { !o with o_connect = Some Sys.argv.(i + 1) };
+          go (i + 2)
       | "--cache-dir" when i + 1 < Array.length Sys.argv ->
           o := { !o with o_cache_dir = Sys.argv.(i + 1) };
           go (i + 2)
@@ -152,8 +186,8 @@ let parse_opts () =
               Printf.eprintf "--tolerance: expected a non-negative number\n";
               exit 1);
           go (i + 2)
-      | ("--jobs" | "--cache-dir" | "--baseline" | "--coverage"
-        | "--tolerance") as a ->
+      | ("--jobs" | "--workers" | "--connect" | "--cache-dir" | "--baseline"
+        | "--coverage" | "--tolerance") as a ->
           Printf.eprintf "%s: missing argument\n" a;
           exit 1
       | a when i = 1 && (a = "--json" || (String.length a > 0 && a.[0] <> '-'))
@@ -167,16 +201,66 @@ let parse_opts () =
   go 1;
   !o
 
-let make_sweep opts =
-  let cache =
-    if opts.o_cache then Some (Sched.Cache.create ~dir:opts.o_cache_dir ())
-    else None
-  in
-  E.sweep ~jobs:opts.o_jobs ?cache ()
+let make_cache opts =
+  if opts.o_cache then
+    try Some (Sched.Cache.create ~dir:opts.o_cache_dir ())
+    with Sys_error msg ->
+      Printf.eprintf "bench: unusable cache directory: %s\n" msg;
+      exit 1
+  else None
 
-let report_sweep sw =
+(* a fabric master listening on a private unix socket, with [n] worker
+   processes re-execing this very binary's [worker] verb *)
+let make_fabric ?cfg n =
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "autocfd-bench-%d.sock" (Unix.getpid ()))
+  in
+  let fb = Sched.Fabric.create ?cfg ~listen:(Sched.Fabric.Unix_path sock) () in
+  let addr = Sched.Fabric.addr_to_string (Sched.Fabric.addr fb) in
+  for _ = 1 to n do
+    ignore
+      (Sched.Fabric.spawn_worker fb
+         ~argv:[| Sys.executable_name; "worker"; "--connect"; addr |])
+  done;
+  fb
+
+let make_sweep ?fabric opts =
+  E.sweep ~jobs:opts.o_jobs ?cache:(make_cache opts) ?fabric ()
+
+let report_sweep ?fabric sw =
   let stats = E.sweep_stats sw in
-  if stats <> [] then prerr_string (Autocfd.Report.sched_summary stats)
+  if stats <> [] then
+    prerr_string
+      (Autocfd.Report.sched_summary ~stale:(E.sweep_stale sw) stats);
+  match fabric with
+  | Some fb ->
+      prerr_string (Autocfd.Report.fabric_summary (Sched.Fabric.stats fb));
+      Sched.Fabric.shutdown fb
+  | None -> ()
+
+(* one fabric worker process (the [worker] verb): resolve job specs
+   through the shared Experiments dispatcher until the master hangs up *)
+let run_worker opts =
+  let addr_str =
+    match opts.o_connect with
+    | Some a -> a
+    | None ->
+        Printf.eprintf "worker: --connect ADDR is required\n";
+        exit 1
+  in
+  match Sched.Fabric.addr_of_string addr_str with
+  | Error msg ->
+      Printf.eprintf "worker: %s\n" msg;
+      exit 1
+  | Ok addr -> (
+      match
+        Sched.Fabric.serve ~connect:addr ~resolve:E.exec_spec ()
+      with
+      | Ok () -> ()
+      | Error msg ->
+          Printf.eprintf "worker: %s\n" msg;
+          exit 1)
 
 (* ------------------------------------------------------------------ *)
 (* Table printing (stdout only; stats go to stderr afterwards)         *)
@@ -522,6 +606,69 @@ let check_tables opts =
      faster than cold (%.2fs vs %.2fs)\n"
     hits (hits + misses) speedup t_warm t_cold
 
+(* ------------------------------------------------------------------ *)
+(* fabric --check: the distributed-sweep chaos gate.                    *)
+(* Three passes over the pooled tables:                                 *)
+(*   0. serial, in-process           — the reference rendering          *)
+(*   1. master + 3 worker processes, one SIGKILLed mid-sweep — must     *)
+(*      render byte-identically, observe >= 1 worker death and >= 1     *)
+(*      requeue, and leave a Chrome trace (fabric_trace.json)           *)
+(*   2. master with no workers at all — must degrade to the in-process  *)
+(*      pool (not hang) and still render byte-identically               *)
+(* ------------------------------------------------------------------ *)
+
+let check_fabric opts =
+  let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt in
+  Printf.eprintf "pass 0 (serial, in-process)...\n%!";
+  let out0 = sweep_tables_string (E.sweep ()) in
+  Printf.eprintf "pass 1 (fabric: 3 workers, 1 chaos-killed mid-sweep)...\n%!";
+  let cache_dir =
+    if opts.o_cache_dir = "_autocfd_cache" then "_autocfd_cache.fabric"
+    else opts.o_cache_dir
+  in
+  let cache = Sched.Cache.create ~dir:cache_dir () in
+  Sched.Cache.clear cache;
+  let cfg =
+    { Sched.Fabric.default_cfg with Sched.Fabric.fb_chaos_kill = Some 3 }
+  in
+  let fabric = make_fabric ~cfg 3 in
+  let tracer = Autocfd_obs.Trace.create () in
+  let sw = E.sweep ~cache ~tracer ~fabric () in
+  let out1 = sweep_tables_string sw in
+  let st = Sched.Fabric.stats fabric in
+  prerr_string (Autocfd.Report.fabric_summary st);
+  let reg = Autocfd_obs.Registry.create () in
+  Sched.Fabric.observe_registry reg st;
+  Sched.Cache.write_atomic ~path:"fabric_trace.json"
+    (Autocfd_obs.Chrome.to_string tracer);
+  Printf.eprintf "wrote fabric_trace.json\n%!";
+  Sched.Fabric.shutdown fabric;
+  if out1 <> out0 then
+    fail "FAIL: fabric sweep diverged from the serial rendering";
+  if st.Sched.Fabric.fs_worker_deaths < 1 then
+    fail "FAIL: chaos kill did not register a worker death";
+  if st.Sched.Fabric.fs_requeues < 1 then
+    fail "FAIL: the killed worker's lease was not requeued";
+  if st.Sched.Fabric.fs_degraded then
+    fail "FAIL: the 3-worker pass unexpectedly degraded";
+  Printf.eprintf "pass 2 (fabric: no workers, short grace)...\n%!";
+  let cfg2 = { Sched.Fabric.default_cfg with Sched.Fabric.fb_grace = 0.3 } in
+  let fabric2 = make_fabric ~cfg:cfg2 0 in
+  let sw2 = E.sweep ~fabric:fabric2 () in
+  let out2 = sweep_tables_string sw2 in
+  let st2 = Sched.Fabric.stats fabric2 in
+  Sched.Fabric.shutdown fabric2;
+  if out2 <> out0 then
+    fail "FAIL: degraded sweep diverged from the serial rendering";
+  if not st2.Sched.Fabric.fs_degraded then
+    fail "FAIL: worker-less sweep did not report degradation";
+  Printf.printf
+    "OK fabric: 3 passes byte-identical; chaos pass survived %d worker \
+     death(s) with %d requeue(s) and %d retries; worker-less pass degraded \
+     to the in-process pool\n"
+    st.Sched.Fabric.fs_worker_deaths st.Sched.Fabric.fs_requeues
+    st.Sched.Fabric.fs_retries
+
 let () =
   let opts = parse_opts () in
   (* the baseline options operate on the JSON document, so they imply the
@@ -532,9 +679,12 @@ let () =
     else opts
   in
   let with_sweep f =
-    let sw = make_sweep opts in
+    let fabric =
+      if opts.o_workers > 0 then Some (make_fabric opts.o_workers) else None
+    in
+    let sw = make_sweep ?fabric opts in
     f sw;
-    report_sweep sw
+    report_sweep ?fabric sw
   in
   match opts.o_verb with
   | "table1" -> with_sweep (fun sw -> print_string (table1_string sw))
@@ -647,6 +797,16 @@ let () =
   | "tables" ->
       if opts.o_check then check_tables opts
       else with_sweep all_tables
+  | "worker" -> run_worker opts
+  | "fabric" ->
+      if opts.o_check then check_fabric opts
+      else begin
+        let n = if opts.o_workers > 0 then opts.o_workers else 3 in
+        let fabric = make_fabric n in
+        let sw = make_sweep ~fabric opts in
+        print_string (sweep_tables_string sw);
+        report_sweep ~fabric sw
+      end
   | "--json" | "json" -> write_json opts
   | "micro" -> micro ()
   | "all" ->

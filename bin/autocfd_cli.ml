@@ -266,7 +266,12 @@ let run_cmd file parts nprocs no_fission engine json jobs use_cache cache_dir
           ])
   in
   let cache =
-    if use_cache then Some (Sched.Cache.create ~dir:cache_dir ()) else None
+    if use_cache then
+      try Some (Sched.Cache.create ~dir:cache_dir ())
+      with Sys_error msg ->
+        Printf.eprintf "autocfd: unusable cache directory: %s\n" msg;
+        exit 1
+    else None
   in
   let results, stats = Sched.Pool.run ~jobs ?cache [ job ] in
   Printf.eprintf "scheduler: %d hit(s), %d miss(es)\n%!"
@@ -418,13 +423,35 @@ let report file parts nprocs no_fission output =
       close_out oc;
       Printf.printf "wrote %s\n" path
 
-let tables which json jobs use_cache cache_dir =
+let tables which json jobs workers use_cache cache_dir =
   let module E = Autocfd.Experiments in
+  let module Fabric = Autocfd_sched.Fabric in
   let cache =
-    if use_cache then Some (Autocfd_sched.Cache.create ~dir:cache_dir ())
+    if use_cache then
+      try Some (Autocfd_sched.Cache.create ~dir:cache_dir ())
+      with Sys_error msg ->
+        Printf.eprintf "autocfd: unusable cache directory: %s\n" msg;
+        exit 1
     else None
   in
-  let sw = E.sweep ~jobs ?cache () in
+  let fabric =
+    if workers <= 0 then None
+    else begin
+      let sock =
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "autocfd-fabric-%d.sock" (Unix.getpid ()))
+      in
+      let fb = Fabric.create ~listen:(Fabric.Unix_path sock) () in
+      let addr = Fabric.addr_to_string (Fabric.addr fb) in
+      for _ = 1 to workers do
+        ignore
+          (Fabric.spawn_worker fb
+             ~argv:[| Sys.executable_name; "worker"; "--connect"; addr |])
+      done;
+      Some fb
+    end
+  in
+  let sw = E.sweep ~jobs ?cache ?fabric () in
   (if json then print_endline (Obs.Json.pretty (E.tables_json ~sweep:sw ()))
    else
      let print1 () = print_string (E.render_table1 (E.table1 ~sweep:sw ())) in
@@ -454,7 +481,35 @@ let tables which json jobs use_cache cache_dir =
          print5 ()
      | other -> Printf.eprintf "unknown table %S\n" other; exit 1);
   let stats = E.sweep_stats sw in
-  if stats <> [] then prerr_string (Autocfd.Report.sched_summary stats)
+  if stats <> [] then
+    prerr_string
+      (Autocfd.Report.sched_summary ~stale:(E.sweep_stale sw) stats);
+  match fabric with
+  | Some fb ->
+      prerr_string (Autocfd.Report.fabric_summary (Fabric.stats fb));
+      Fabric.shutdown fb
+  | None -> ()
+
+(* one fabric worker process: connect back to the master, resolve each
+   assigned spec through the shared Experiments dispatcher, stream the
+   results home.  Normally spawned by the master itself (tables
+   --workers / bench --workers), but any host that can reach the socket
+   may contribute. *)
+let worker connect id =
+  let module Fabric = Autocfd_sched.Fabric in
+  match Fabric.addr_of_string connect with
+  | Error msg ->
+      Printf.eprintf "autocfd worker: %s\n" msg;
+      exit 1
+  | Ok addr -> (
+      match
+        Fabric.serve ~connect:addr ?id
+          ~resolve:Autocfd.Experiments.exec_spec ()
+      with
+      | Ok () -> ()
+      | Error msg ->
+          Printf.eprintf "autocfd worker: %s\n" msg;
+          exit 1)
 
 let demo which =
   match which with
@@ -630,6 +685,14 @@ let report_cmd =
     Term.(const report $ file_arg $ parts_arg $ nprocs_arg $ fission_arg
           $ output)
 
+let workers_arg =
+  Arg.(value & opt int 0
+       & info [ "workers" ] ~docv:"N"
+           ~doc:"Spawn $(docv) fabric worker processes and run the sweep \
+                 over the distributed fabric (leases, retries, crash \
+                 recovery) instead of the in-process pool.  0 (default) \
+                 stays in-process.")
+
 let tables_cmd =
   let which =
     Arg.(value & pos 0 string "all" & info [] ~docv:"N" ~doc:"1-5 or 'all'.")
@@ -637,9 +700,31 @@ let tables_cmd =
   Cmd.v (Cmd.info "tables" ~doc:"Regenerate the paper's evaluation tables")
     Term.(const tables $ which
           $ json_flag ~what:"every table (1-5) plus model validation"
-          $ jobs_arg
+          $ jobs_arg $ workers_arg
           $ Term.app (const not) no_cache_arg
           $ cache_dir_arg)
+
+let worker_cmd =
+  let connect =
+    Arg.(required & opt (some string) None
+         & info [ "connect" ] ~docv:"ADDR"
+             ~doc:"Fabric master address: a Unix-domain socket path \
+                   (unix:/path or /path) or host:port.")
+  in
+  let id =
+    Arg.(value & opt (some string) None
+         & info [ "id" ] ~docv:"NAME"
+             ~doc:"Worker name reported to the master (default: \
+                   host/pid-derived).")
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "Run one fabric worker: connect to a sweep master, heartbeat \
+          while executing each leased job spec, and stream result JSON \
+          back in checksummed frames.  Exits nonzero with a one-line \
+          diagnostic when the master is unreachable.")
+    Term.(const worker $ connect $ id)
 
 let demo_cmd =
   let which =
@@ -655,4 +740,5 @@ let () =
   let info = Cmd.info "autocfd" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
                     [ analyze_cmd; parallelize_cmd; run_cmd_; trace_cmd_;
-                      profile_cmd_; report_cmd; tables_cmd; demo_cmd ]))
+                      profile_cmd_; report_cmd; tables_cmd; worker_cmd;
+                      demo_cmd ]))

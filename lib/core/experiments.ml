@@ -27,20 +27,33 @@ type sweep = {
   sw_jobs : int;
   sw_cache : Sched.Cache.t option;
   sw_tracer : Autocfd_obs.Trace.t option;
+  sw_fabric : Sched.Fabric.t option;
   mutable sw_stats : (string * Sched.Pool.stats) list;  (* newest first *)
 }
 
-let sweep ?(jobs = 1) ?cache ?tracer () =
-  { sw_jobs = jobs; sw_cache = cache; sw_tracer = tracer; sw_stats = [] }
+let sweep ?(jobs = 1) ?cache ?tracer ?fabric () =
+  {
+    sw_jobs = jobs;
+    sw_cache = cache;
+    sw_tracer = tracer;
+    sw_fabric = fabric;
+    sw_stats = [];
+  }
 
 let sweep_stats sw = List.rev sw.sw_stats
+
+let sweep_stale sw =
+  match sw.sw_cache with Some c -> Sched.Cache.stale_cleaned c | None -> 0
 
 let fresh_sweep = function Some sw -> sw | None -> sweep ()
 
 let run_jobs sw ~table jobs =
   let results, stats =
-    Sched.Pool.run ~jobs:sw.sw_jobs ?cache:sw.sw_cache ?tracer:sw.sw_tracer
-      jobs
+    match sw.sw_fabric with
+    | Some fb -> Sched.Fabric.run fb ?cache:sw.sw_cache ?tracer:sw.sw_tracer jobs
+    | None ->
+        Sched.Pool.run ~jobs:sw.sw_jobs ?cache:sw.sw_cache ?tracer:sw.sw_tracer
+          jobs
   in
   sw.sw_stats <- (table, stats) :: sw.sw_stats;
   List.mapi
@@ -84,11 +97,438 @@ let parts_key p =
 
 let machine_key = ("machine", Runspec.machine_to_json machine)
 
-let job ~table ~label ~params run =
+(* ------------------------------------------------------------------ *)
+(* Self-contained execution specs.  Every job body lives in exec_spec, *)
+(* dispatched on a JSON spec that carries the full program source and  *)
+(* parameters — so the in-process pool (which closes over the spec)    *)
+(* and a remote fabric worker (which receives it over the wire)        *)
+(* compute through the same code path, and a distributed sweep is      *)
+(* byte-identical to a serial one by construction.                     *)
+(* ------------------------------------------------------------------ *)
+
+module Fault = Autocfd_mpsim.Fault
+
+(* program state only — gathered arrays, scalars, flop census, WRITE
+   output.  This is the bit-equivalence contract the Domains engine can
+   meet: its [stats] are measured wall clock, not virtual time. *)
+let program_state_identical (a : Autocfd_interp.Spmd.result)
+    (b : Autocfd_interp.Spmd.result) =
+  let arrays_eq =
+    List.length a.Autocfd_interp.Spmd.gathered
+    = List.length b.Autocfd_interp.Spmd.gathered
+    && List.for_all2
+         (fun (na, aa) (nb, ab) ->
+           na = nb
+           && aa.Autocfd_interp.Value.bounds = ab.Autocfd_interp.Value.bounds
+           && aa.Autocfd_interp.Value.data = ab.Autocfd_interp.Value.data)
+         a.Autocfd_interp.Spmd.gathered b.Autocfd_interp.Spmd.gathered
+  in
+  arrays_eq
+  && a.Autocfd_interp.Spmd.scalars = b.Autocfd_interp.Spmd.scalars
+  && a.Autocfd_interp.Spmd.flops_per_rank = b.Autocfd_interp.Spmd.flops_per_rank
+  && a.Autocfd_interp.Spmd.output = b.Autocfd_interp.Spmd.output
+
+let results_identical (a : Autocfd_interp.Spmd.result)
+    (b : Autocfd_interp.Spmd.result) =
+  program_state_identical a b
+  && a.Autocfd_interp.Spmd.stats = b.Autocfd_interp.Spmd.stats
+
+(* the resilience claim: same science out, faults or no faults *)
+let state_identical (a : Autocfd_interp.Spmd.result)
+    (b : Autocfd_interp.Spmd.result) =
+  let arrays_eq =
+    List.length a.Autocfd_interp.Spmd.gathered
+    = List.length b.Autocfd_interp.Spmd.gathered
+    && List.for_all2
+         (fun (na, aa) (nb, ab) ->
+           na = nb
+           && aa.Autocfd_interp.Value.bounds = ab.Autocfd_interp.Value.bounds
+           && aa.Autocfd_interp.Value.data = ab.Autocfd_interp.Value.data)
+         a.Autocfd_interp.Spmd.gathered b.Autocfd_interp.Spmd.gathered
+  in
+  arrays_eq
+  && a.Autocfd_interp.Spmd.scalars = b.Autocfd_interp.Spmd.scalars
+  && a.Autocfd_interp.Spmd.output = b.Autocfd_interp.Spmd.output
+
+let coverage_to_json cov =
+  J.List
+    (List.map
+       (fun (c : Autocfd_interp.Compile.coverage_entry) ->
+         J.Obj
+           [
+             ("line", J.Int c.Autocfd_interp.Compile.cov_line);
+             ( "vars",
+               J.List
+                 (List.map
+                    (fun v -> J.Str v)
+                    c.Autocfd_interp.Compile.cov_vars) );
+             ("fused", J.Bool c.Autocfd_interp.Compile.cov_fused);
+             ( "reason",
+               J.Str
+                 (Autocfd_interp.Compile.reason_to_string
+                    c.Autocfd_interp.Compile.cov_reason) );
+             ( "frag",
+               J.Int
+                 (match c.Autocfd_interp.Compile.cov_frag with
+                 | Some t -> t.Autocfd_fortran.Ast.fi_frag
+                 | None -> 0) );
+             ( "nfrags",
+               J.Int
+                 (match c.Autocfd_interp.Compile.cov_frag with
+                 | Some t -> t.Autocfd_fortran.Ast.fi_nfrags
+                 | None -> 0) );
+           ])
+       cov)
+
+let coverage_of_json j =
+  List.map
+    (fun c ->
+      (* frag/nfrags absent on rows serialized before the fission pass *)
+      let opt_i name =
+        match J.member name c with Some (J.Int i) -> i | _ -> 0
+      in
+      {
+        Autocfd_interp.Compile.cov_line = ji "line" c;
+        cov_vars =
+          List.map
+            (function
+              | J.Str s -> s
+              | _ -> raise (J.Parse_error "coverage var: expected string"))
+            (jl "vars" c);
+        cov_fused = jb "fused" c;
+        cov_reason = Autocfd_interp.Compile.reason_of_string (js "reason" c);
+        cov_frag =
+          (match (opt_i "frag", opt_i "nfrags") with
+          | 0, _ | _, 0 -> None
+          | f, n -> Some { Autocfd_fortran.Ast.fi_frag = f; fi_nfrags = n });
+      })
+    (jl "coverage" (J.Obj [ ("coverage", j) ]))
+
+(* Six seeded schedules per program, scaled to the fault-free run: message
+   loss alone, duplication+corruption, timing perturbations (jitter and a
+   degraded link), a transient straggler, a hard crash mid-run, and all of
+   them together.  Every schedule is recoverable, so each row must come
+   back bit-identical. *)
+let chaos_schedules ~seed ~clean_elapsed ~net =
+  let lat = net.Autocfd_mpsim.Netmodel.latency in
+  let mid p = Fault.At_time (p *. clean_elapsed) in
+  [
+    ("loss 3%", Fault.spec ~seed ~loss:0.03 ());
+    ( "dup+corrupt 2%",
+      Fault.spec ~seed:(seed + 1) ~duplication:0.02 ~corruption:0.02 () );
+    ( "jitter+slow link",
+      Fault.spec ~seed:(seed + 2) ~jitter:(8.0 *. lat)
+        ~degrade:[ (0, 1, 3.0); (1, 0, 3.0) ]
+        () );
+    ( "straggler",
+      Fault.spec ~seed:(seed + 3)
+        ~stalls:
+          [
+            {
+              Fault.sl_rank = 1;
+              sl_at = mid 0.3;
+              sl_duration = 0.2 *. clean_elapsed;
+            };
+          ]
+        () );
+    ( "crash+restart",
+      Fault.spec ~seed:(seed + 4)
+        ~crashes:[ { Fault.cr_rank = 1; cr_at = mid 0.4 } ]
+        () );
+    ( "kitchen sink",
+      Fault.spec ~seed:(seed + 5) ~loss:0.01 ~duplication:0.01
+        ~corruption:0.01 ~jitter:(4.0 *. lat)
+        ~crashes:[ { Fault.cr_rank = 1; cr_at = mid 0.5 } ]
+        () );
+  ]
+
+let schedule_labels =
+  [
+    "loss 3%"; "dup+corrupt 2%"; "jitter+slow link"; "straggler";
+    "crash+restart"; "kitchen sink";
+  ]
+
+let resilience_to_json (rs : Autocfd_interp.Spmd.resilience)
+    (c : Fault.counters) =
+  [
+    ("drops", J.Int c.Fault.fc_drops);
+    ("duplicates", J.Int c.Fault.fc_duplicates);
+    ("corruptions", J.Int c.Fault.fc_corruptions);
+    ("reorders", J.Int c.Fault.fc_reorders);
+    ("stalls", J.Int c.Fault.fc_stalls);
+    ("crashes", J.Int c.Fault.fc_crashes);
+    ("restarts", J.Int rs.Autocfd_interp.Spmd.rs_restarts);
+    ("checkpoints", J.Int rs.Autocfd_interp.Spmd.rs_checkpoints);
+    ("restores", J.Int rs.Autocfd_interp.Spmd.rs_restores);
+    ("retransmits", J.Int rs.Autocfd_interp.Spmd.rs_retransmits);
+    ("dup_suppressed", J.Int rs.Autocfd_interp.Spmd.rs_dup_suppressed);
+    ("checksum_failures", J.Int rs.Autocfd_interp.Spmd.rs_checksum_failures);
+  ]
+
+let engine_name = function
+  | Autocfd_interp.Spmd.Tree -> "tree"
+  | Autocfd_interp.Spmd.Compiled -> "compiled"
+  | Autocfd_interp.Spmd.Fused -> "fused"
+  | Autocfd_interp.Spmd.Domains -> "domains"
+
+let engine_of_name = function
+  | "tree" -> Autocfd_interp.Spmd.Tree
+  | "compiled" -> Autocfd_interp.Spmd.Compiled
+  | "fused" -> Autocfd_interp.Spmd.Fused
+  | "domains" -> Autocfd_interp.Spmd.Domains
+  | other -> raise (J.Parse_error ("unknown engine " ^ other))
+
+let time_run f =
+  ignore (f ());
+  (* warm: populate compile + plan caches *)
+  let reps = 3 in
+  let t0 = Sys.time () in
+  for _ = 1 to reps do
+    ignore (f ())
+  done;
+  (Sys.time () -. t0) /. float_of_int reps
+
+let exec_spec spec =
+  let source () = js "source" spec in
+  let parts () =
+    let s = js "partition" spec in
+    try
+      Array.of_list (List.map int_of_string (String.split_on_char 'x' s))
+    with Failure _ -> raise (J.Parse_error ("bad partition " ^ s))
+  in
+  match js "kind" spec with
+  | "plan-sync" ->
+      let t = Driver.load (source ()) in
+      let plan = Driver.plan t ~parts:(parts ()) in
+      J.Obj
+        [
+          ("before", J.Int plan.Driver.opt.S.Optimizer.before);
+          ("after", J.Int plan.Driver.opt.S.Optimizer.after);
+        ]
+  | "predict-seq" ->
+      let t = Driver.load (source ()) in
+      let pred = M.predict_sequential machine ~gi:t.Driver.gi t.Driver.inlined in
+      J.Obj [ ("time", J.Float pred.M.time) ]
+  | "predict-par" ->
+      let t = Driver.load (source ()) in
+      let plan = Driver.plan t ~parts:(parts ()) in
+      let pred =
+        M.predict_parallel machine ~gi:t.Driver.gi ~topo:plan.Driver.topo
+          plan.Driver.spmd
+      in
+      J.Obj [ ("time", J.Float pred.M.time) ]
+  | "predict-both" ->
+      let t = Driver.load (source ()) in
+      let t1 =
+        (M.predict_sequential machine ~gi:t.Driver.gi t.Driver.inlined)
+          .M.time
+      in
+      let plan = Driver.plan t ~parts:(parts ()) in
+      let t2 =
+        (M.predict_parallel machine ~gi:t.Driver.gi
+           ~topo:plan.Driver.topo plan.Driver.spmd)
+          .M.time
+      in
+      J.Obj [ ("t1", J.Float t1); ("t2", J.Float t2) ]
+  | "validate" ->
+      let t = Driver.load (source ()) in
+      let plan = Driver.plan t ~parts:(parts ()) in
+      let points_per_rank =
+        let g = P.Topology.grid plan.Driver.topo
+        and p = P.Topology.parts plan.Driver.topo in
+        Array.to_list
+          (Array.mapi (fun d _ -> (g.(d) + p.(d) - 1) / p.(d)) g)
+        |> List.fold_left ( * ) 1
+      in
+      let ws = M.working_set_bytes ~gi:t.Driver.gi ~points_per_rank in
+      let flop_time =
+        M.memory_slowdown machine ws /. machine.M.flop_rate
+      in
+      let par =
+        Driver.run
+          ~spec:
+            Runspec.(
+              default |> with_net machine.M.net
+              |> with_flop_time flop_time)
+          plan
+      in
+      let simulated =
+        par.Autocfd_interp.Spmd.stats.Autocfd_mpsim.Sim.elapsed
+      in
+      let modelled =
+        (M.predict_parallel machine ~gi:t.Driver.gi
+           ~topo:plan.Driver.topo plan.Driver.spmd)
+          .M.time
+      in
+      J.Obj
+        [
+          ("simulated", J.Float simulated);
+          ("modelled", J.Float modelled);
+        ]
+  | "engine-bench" ->
+      let source = source () in
+      let large_source = js "large_source" spec in
+      let parts = parts () in
+      let t = Driver.load source in
+      let plan = Driver.plan t ~parts in
+      let run engine () =
+        Driver.run ~spec:(Runspec.with_engine engine Runspec.default) plan
+      in
+      let tree = run Autocfd_interp.Spmd.Tree in
+      let compiled = run Autocfd_interp.Spmd.Compiled in
+      let fused = run Autocfd_interp.Spmd.Fused in
+      let reference = tree () in
+      let identical =
+        results_identical reference (compiled ())
+        && results_identical reference (fused ())
+      in
+      let tree_s = time_run tree in
+      let compiled_s = time_run compiled in
+      let fused_s = time_run fused in
+      (* fused vs domains: the same program at the large size, where
+         per-barrier compute dominates domain spawn/wakeup cost.  The
+         Domains engine is timed on the wall clock it measures
+         itself (Sys.time would sum CPU across domains); the fused
+         run is single-threaded, so its CPU time is its wall time *)
+      let lplan = Driver.plan (Driver.load large_source) ~parts in
+      let lrun engine () =
+        Driver.run ~spec:(Runspec.with_engine engine Runspec.default)
+          lplan
+      in
+      let lfused = lrun Autocfd_interp.Spmd.Fused in
+      let ldomains = lrun Autocfd_interp.Spmd.Domains in
+      let lref = lfused () in
+      let dres = ldomains () in
+      let domains_identical =
+        program_state_identical reference (run Autocfd_interp.Spmd.Domains ())
+        && program_state_identical lref dres
+      in
+      let fused_wall_s = time_run lfused in
+      let ds_wall r =
+        match r.Autocfd_interp.Spmd.domains with
+        | Some ds -> ds.Autocfd_interp.Spmd.ds_wall
+        | None -> 0.0
+      in
+      let domains_s =
+        let reps = 3 in
+        let tot = ref (ds_wall dres) in
+        for _ = 2 to reps do
+          tot := !tot +. ds_wall (ldomains ())
+        done;
+        !tot /. float_of_int reps
+      in
+      let cal =
+        match dres.Autocfd_interp.Spmd.domains with
+        | None -> M.calibrate ~compute:[] ~comm:[]
+        | Some ds ->
+            let compute =
+              Array.to_list
+                (Array.map2
+                   (fun f s -> (f, s))
+                   ds.Autocfd_interp.Spmd.ds_flops
+                   ds.Autocfd_interp.Spmd.ds_compute)
+            in
+            M.calibrate ~compute
+              ~comm:ds.Autocfd_interp.Spmd.ds_comm_samples
+      in
+      let coverage =
+        Autocfd_interp.Compile.coverage
+          (Autocfd_interp.Compile.of_unit ~fuse:true plan.Driver.spmd)
+      in
+      (* the same program with the loop-fission pass disabled: the
+         before side of the fission before/after coverage and
+         timing columns, plus a bit-identity check that fission
+         changes no program state *)
+      let plan_nof =
+        Driver.plan (Driver.load ~fission:false source) ~parts
+      in
+      let nof_fused () =
+        Driver.run
+          ~spec:
+            (Runspec.with_engine Autocfd_interp.Spmd.Fused
+               Runspec.default)
+          plan_nof
+      in
+      let fission_identical =
+        program_state_identical reference (nof_fused ())
+      in
+      let nofission_fused_s = time_run nof_fused in
+      let nofission_coverage =
+        Autocfd_interp.Compile.coverage
+          (Autocfd_interp.Compile.of_unit ~fuse:true
+             plan_nof.Driver.spmd)
+      in
+      J.Obj
+        [
+          ("tree_s", J.Float tree_s);
+          ("nofission_fused_s", J.Float nofission_fused_s);
+          ("fission_identical", J.Bool fission_identical);
+          ("nofission_coverage", coverage_to_json nofission_coverage);
+          ("compiled_s", J.Float compiled_s);
+          ("fused_s", J.Float fused_s);
+          ("fused_wall_s", J.Float fused_wall_s);
+          ("domains_s", J.Float domains_s);
+          ("identical", J.Bool identical);
+          ("domains_identical", J.Bool domains_identical);
+          ("cal_flop_time", J.Float cal.M.cal_flop_time);
+          ("cal_latency", J.Float cal.M.cal_latency);
+          ( "cal_bandwidth",
+            J.Float
+              (if Float.is_finite cal.M.cal_bandwidth then
+                 cal.M.cal_bandwidth
+               else 0.0) );
+          ("cal_compute_r2", J.Float cal.M.cal_compute_r2);
+          ("cal_comm_r2", J.Float cal.M.cal_comm_r2);
+          ("coverage", coverage_to_json coverage);
+        ]
+  | "chaos" ->
+      let seed = ji "seed" spec in
+      let engine = engine_of_name (js "engine" spec) in
+      let idx = ji "schedule" spec in
+      let t = Driver.load (source ()) in
+      let plan = Driver.plan t ~parts:(parts ()) in
+      let net = machine.M.net in
+      let flop_time = Driver.calibrated_flop_time ~machine plan in
+      let base =
+        Runspec.(
+          default |> with_engine engine |> with_net net
+          |> with_flop_time flop_time)
+      in
+      let clean = Driver.run ~spec:base plan in
+      let clean_elapsed =
+        clean.Autocfd_interp.Spmd.stats.Autocfd_mpsim.Sim.elapsed
+      in
+      let _, fspec =
+        List.nth (chaos_schedules ~seed ~clean_elapsed ~net) idx
+      in
+      let faults = Fault.make fspec in
+      let faulty =
+        Driver.run
+          ~spec:
+            Runspec.(
+              base
+              |> with_faults (Some faults)
+              |> with_recovery
+                   (Some Autocfd_interp.Spmd.default_recovery))
+          plan
+      in
+      J.Obj
+        (( "identical",
+           J.Bool (state_identical clean faulty) )
+        :: ( "overhead",
+             J.Float
+               (faulty.Autocfd_interp.Spmd.stats
+                  .Autocfd_mpsim.Sim.elapsed /. clean_elapsed) )
+        :: resilience_to_json faulty.Autocfd_interp.Spmd.resilience
+             (Fault.counters faults))
+  | other -> raise (J.Parse_error ("unknown job spec kind: " ^ other))
+
+let job ~table ~label ~params ~spec =
   Sched.Job.make
     ~label:(table ^ ":" ^ label)
     ~key:(J.Obj [ ("table", J.Str table); ("params", params) ])
-    run
+    ~spec
+    (fun () -> exec_spec spec)
 
 (* ------------------------------------------------------------------ *)
 (* Table 1                                                             *)
@@ -134,14 +574,13 @@ let table1 ?sweep () =
                  ("partition", parts_key parts);
                  ("src", J.Str (Sched.Job.digest source));
                ])
-          (fun () ->
-            let t = Driver.load source in
-            let plan = Driver.plan t ~parts in
-            J.Obj
-              [
-                ("before", J.Int plan.Driver.opt.S.Optimizer.before);
-                ("after", J.Int plan.Driver.opt.S.Optimizer.after);
-              ]))
+          ~spec:
+            (J.Obj
+               [
+                 ("kind", J.Str "plan-sync");
+                 ("source", J.Str source);
+                 ("partition", parts_key parts);
+               ]))
       paper_table1
   in
   List.map2
@@ -180,10 +619,8 @@ let seq_time_job ~table source =
            ("kind", J.Str "sequential");
            ("src", J.Str (Sched.Job.digest source));
          ])
-    (fun () ->
-      let t = Driver.load source in
-      let pred = M.predict_sequential machine ~gi:t.Driver.gi t.Driver.inlined in
-      J.Obj [ ("time", J.Float pred.M.time) ])
+    ~spec:
+      (J.Obj [ ("kind", J.Str "predict-seq"); ("source", J.Str source) ])
 
 let par_time_job ~table source parts =
   job ~table ~label:(shape parts)
@@ -195,14 +632,13 @@ let par_time_job ~table source parts =
            ("partition", parts_key parts);
            ("src", J.Str (Sched.Job.digest source));
          ])
-    (fun () ->
-      let t = Driver.load source in
-      let plan = Driver.plan t ~parts in
-      let pred =
-        M.predict_parallel machine ~gi:t.Driver.gi ~topo:plan.Driver.topo
-          plan.Driver.spmd
-      in
-      J.Obj [ ("time", J.Float pred.M.time) ])
+    ~spec:
+      (J.Obj
+         [
+           ("kind", J.Str "predict-par");
+           ("source", J.Str source);
+           ("partition", parts_key parts);
+         ])
 
 let perf_rows sw ~table source ~paper_seq rows =
   let jobs =
@@ -294,19 +730,13 @@ let table4 ?sweep () =
                  ("partition", parts_key parts);
                  ("src", J.Str (Sched.Job.digest source));
                ])
-          (fun () ->
-            let t = Driver.load source in
-            let t1 =
-              (M.predict_sequential machine ~gi:t.Driver.gi t.Driver.inlined)
-                .M.time
-            in
-            let plan = Driver.plan t ~parts in
-            let t2 =
-              (M.predict_parallel machine ~gi:t.Driver.gi
-                 ~topo:plan.Driver.topo plan.Driver.spmd)
-                .M.time
-            in
-            J.Obj [ ("t1", J.Float t1); ("t2", J.Float t2) ]))
+          ~spec:
+            (J.Obj
+               [
+                 ("kind", J.Str "predict-both");
+                 ("source", J.Str source);
+                 ("partition", parts_key parts);
+               ]))
       paper_table4
   in
   List.map2
@@ -412,41 +842,13 @@ let validate_model ?sweep () =
                  ("partition", parts_key parts);
                  ("src", J.Str (Sched.Job.digest source));
                ])
-          (fun () ->
-            let t = Driver.load source in
-            let plan = Driver.plan t ~parts in
-            let points_per_rank =
-              let g = P.Topology.grid plan.Driver.topo
-              and p = P.Topology.parts plan.Driver.topo in
-              Array.to_list
-                (Array.mapi (fun d _ -> (g.(d) + p.(d) - 1) / p.(d)) g)
-              |> List.fold_left ( * ) 1
-            in
-            let ws = M.working_set_bytes ~gi:t.Driver.gi ~points_per_rank in
-            let flop_time =
-              M.memory_slowdown machine ws /. machine.M.flop_rate
-            in
-            let par =
-              Driver.run
-                ~spec:
-                  Runspec.(
-                    default |> with_net machine.M.net
-                    |> with_flop_time flop_time)
-                plan
-            in
-            let simulated =
-              par.Autocfd_interp.Spmd.stats.Autocfd_mpsim.Sim.elapsed
-            in
-            let modelled =
-              (M.predict_parallel machine ~gi:t.Driver.gi
-                 ~topo:plan.Driver.topo plan.Driver.spmd)
-                .M.time
-            in
-            J.Obj
-              [
-                ("simulated", J.Float simulated);
-                ("modelled", J.Float modelled);
-              ]))
+          ~spec:
+            (J.Obj
+               [
+                 ("kind", J.Str "validate");
+                 ("source", J.Str source);
+                 ("partition", parts_key parts);
+               ]))
       cases
   in
   List.map2
@@ -485,85 +887,6 @@ type engine_row = {
   er_calibration : M.calibration;
 }
 
-(* program state only — gathered arrays, scalars, flop census, WRITE
-   output.  This is the bit-equivalence contract the Domains engine can
-   meet: its [stats] are measured wall clock, not virtual time. *)
-let program_state_identical (a : Autocfd_interp.Spmd.result)
-    (b : Autocfd_interp.Spmd.result) =
-  let arrays_eq =
-    List.length a.Autocfd_interp.Spmd.gathered
-    = List.length b.Autocfd_interp.Spmd.gathered
-    && List.for_all2
-         (fun (na, aa) (nb, ab) ->
-           na = nb
-           && aa.Autocfd_interp.Value.bounds = ab.Autocfd_interp.Value.bounds
-           && aa.Autocfd_interp.Value.data = ab.Autocfd_interp.Value.data)
-         a.Autocfd_interp.Spmd.gathered b.Autocfd_interp.Spmd.gathered
-  in
-  arrays_eq
-  && a.Autocfd_interp.Spmd.scalars = b.Autocfd_interp.Spmd.scalars
-  && a.Autocfd_interp.Spmd.flops_per_rank = b.Autocfd_interp.Spmd.flops_per_rank
-  && a.Autocfd_interp.Spmd.output = b.Autocfd_interp.Spmd.output
-
-let results_identical (a : Autocfd_interp.Spmd.result)
-    (b : Autocfd_interp.Spmd.result) =
-  program_state_identical a b
-  && a.Autocfd_interp.Spmd.stats = b.Autocfd_interp.Spmd.stats
-
-let coverage_to_json cov =
-  J.List
-    (List.map
-       (fun (c : Autocfd_interp.Compile.coverage_entry) ->
-         J.Obj
-           [
-             ("line", J.Int c.Autocfd_interp.Compile.cov_line);
-             ( "vars",
-               J.List
-                 (List.map
-                    (fun v -> J.Str v)
-                    c.Autocfd_interp.Compile.cov_vars) );
-             ("fused", J.Bool c.Autocfd_interp.Compile.cov_fused);
-             ( "reason",
-               J.Str
-                 (Autocfd_interp.Compile.reason_to_string
-                    c.Autocfd_interp.Compile.cov_reason) );
-             ( "frag",
-               J.Int
-                 (match c.Autocfd_interp.Compile.cov_frag with
-                 | Some t -> t.Autocfd_fortran.Ast.fi_frag
-                 | None -> 0) );
-             ( "nfrags",
-               J.Int
-                 (match c.Autocfd_interp.Compile.cov_frag with
-                 | Some t -> t.Autocfd_fortran.Ast.fi_nfrags
-                 | None -> 0) );
-           ])
-       cov)
-
-let coverage_of_json j =
-  List.map
-    (fun c ->
-      (* frag/nfrags absent on rows serialized before the fission pass *)
-      let opt_i name =
-        match J.member name c with Some (J.Int i) -> i | _ -> 0
-      in
-      {
-        Autocfd_interp.Compile.cov_line = ji "line" c;
-        cov_vars =
-          List.map
-            (function
-              | J.Str s -> s
-              | _ -> raise (J.Parse_error "coverage var: expected string"))
-            (jl "vars" c);
-        cov_fused = jb "fused" c;
-        cov_reason = Autocfd_interp.Compile.reason_of_string (js "reason" c);
-        cov_frag =
-          (match (opt_i "frag", opt_i "nfrags") with
-          | 0, _ | _, 0 -> None
-          | f, n -> Some { Autocfd_fortran.Ast.fi_frag = f; fi_nfrags = n });
-      })
-    (jl "coverage" (J.Obj [ ("coverage", j) ]))
-
 (* (name, small source, large source, partition): the small instance keeps
    the tree-walking column affordable; the large one gives the Domains
    engine enough compute per barrier for real parallel speedup to show *)
@@ -581,16 +904,6 @@ let engine_cases =
 
 let engine_bench ?sweep () =
   let sw = fresh_sweep sweep in
-  let time_run f =
-    ignore (f ());
-    (* warm: populate compile + plan caches *)
-    let reps = 3 in
-    let t0 = Sys.time () in
-    for _ = 1 to reps do
-      ignore (f ())
-    done;
-    (Sys.time () -. t0) /. float_of_int reps
-  in
   let jobs =
     List.map
       (fun (name, source, large_source, parts) ->
@@ -608,120 +921,14 @@ let engine_bench ?sweep () =
                     change so stale cached rows are not replayed *)
                  ("columns", J.Str "v3-fission");
                ])
-          (fun () ->
-            let t = Driver.load source in
-            let plan = Driver.plan t ~parts in
-            let run engine () =
-              Driver.run ~spec:(Runspec.with_engine engine Runspec.default)
-                plan
-            in
-            let tree = run Autocfd_interp.Spmd.Tree in
-            let compiled = run Autocfd_interp.Spmd.Compiled in
-            let fused = run Autocfd_interp.Spmd.Fused in
-            let reference = tree () in
-            let identical =
-              results_identical reference (compiled ())
-              && results_identical reference (fused ())
-            in
-            let tree_s = time_run tree in
-            let compiled_s = time_run compiled in
-            let fused_s = time_run fused in
-            (* fused vs domains: the same program at the large size, where
-               per-barrier compute dominates domain spawn/wakeup cost.  The
-               Domains engine is timed on the wall clock it measures
-               itself (Sys.time would sum CPU across domains); the fused
-               run is single-threaded, so its CPU time is its wall time *)
-            let lplan = Driver.plan (Driver.load large_source) ~parts in
-            let lrun engine () =
-              Driver.run ~spec:(Runspec.with_engine engine Runspec.default)
-                lplan
-            in
-            let lfused = lrun Autocfd_interp.Spmd.Fused in
-            let ldomains = lrun Autocfd_interp.Spmd.Domains in
-            let lref = lfused () in
-            let dres = ldomains () in
-            let domains_identical =
-              program_state_identical reference (run Autocfd_interp.Spmd.Domains ())
-              && program_state_identical lref dres
-            in
-            let fused_wall_s = time_run lfused in
-            let ds_wall r =
-              match r.Autocfd_interp.Spmd.domains with
-              | Some ds -> ds.Autocfd_interp.Spmd.ds_wall
-              | None -> 0.0
-            in
-            let domains_s =
-              let reps = 3 in
-              let tot = ref (ds_wall dres) in
-              for _ = 2 to reps do
-                tot := !tot +. ds_wall (ldomains ())
-              done;
-              !tot /. float_of_int reps
-            in
-            let cal =
-              match dres.Autocfd_interp.Spmd.domains with
-              | None -> M.calibrate ~compute:[] ~comm:[]
-              | Some ds ->
-                  let compute =
-                    Array.to_list
-                      (Array.map2
-                         (fun f s -> (f, s))
-                         ds.Autocfd_interp.Spmd.ds_flops
-                         ds.Autocfd_interp.Spmd.ds_compute)
-                  in
-                  M.calibrate ~compute
-                    ~comm:ds.Autocfd_interp.Spmd.ds_comm_samples
-            in
-            let coverage =
-              Autocfd_interp.Compile.coverage
-                (Autocfd_interp.Compile.of_unit ~fuse:true plan.Driver.spmd)
-            in
-            (* the same program with the loop-fission pass disabled: the
-               before side of the fission before/after coverage and
-               timing columns, plus a bit-identity check that fission
-               changes no program state *)
-            let plan_nof =
-              Driver.plan (Driver.load ~fission:false source) ~parts
-            in
-            let nof_fused () =
-              Driver.run
-                ~spec:
-                  (Runspec.with_engine Autocfd_interp.Spmd.Fused
-                     Runspec.default)
-                plan_nof
-            in
-            let fission_identical =
-              program_state_identical reference (nof_fused ())
-            in
-            let nofission_fused_s = time_run nof_fused in
-            let nofission_coverage =
-              Autocfd_interp.Compile.coverage
-                (Autocfd_interp.Compile.of_unit ~fuse:true
-                   plan_nof.Driver.spmd)
-            in
-            J.Obj
-              [
-                ("tree_s", J.Float tree_s);
-                ("nofission_fused_s", J.Float nofission_fused_s);
-                ("fission_identical", J.Bool fission_identical);
-                ("nofission_coverage", coverage_to_json nofission_coverage);
-                ("compiled_s", J.Float compiled_s);
-                ("fused_s", J.Float fused_s);
-                ("fused_wall_s", J.Float fused_wall_s);
-                ("domains_s", J.Float domains_s);
-                ("identical", J.Bool identical);
-                ("domains_identical", J.Bool domains_identical);
-                ("cal_flop_time", J.Float cal.M.cal_flop_time);
-                ("cal_latency", J.Float cal.M.cal_latency);
-                ( "cal_bandwidth",
-                  J.Float
-                    (if Float.is_finite cal.M.cal_bandwidth then
-                       cal.M.cal_bandwidth
-                     else 0.0) );
-                ("cal_compute_r2", J.Float cal.M.cal_compute_r2);
-                ("cal_comm_r2", J.Float cal.M.cal_comm_r2);
-                ("coverage", coverage_to_json coverage);
-              ]))
+          ~spec:
+            (J.Obj
+               [
+                 ("kind", J.Str "engine-bench");
+                 ("source", J.Str source);
+                 ("large_source", J.Str large_source);
+                 ("partition", parts_key parts);
+               ]))
       engine_cases
   in
   List.map2
@@ -766,8 +973,6 @@ let engine_bench ?sweep () =
 (* Chaos benchmark: fault injection + reliable transport + recovery    *)
 (* ------------------------------------------------------------------ *)
 
-module Fault = Autocfd_mpsim.Fault
-
 type chaos_row = {
   ch_program : string;
   ch_schedule : string;
@@ -779,93 +984,8 @@ type chaos_row = {
   ch_counters : Fault.counters;
 }
 
-(* the resilience claim: same science out, faults or no faults *)
-let state_identical (a : Autocfd_interp.Spmd.result)
-    (b : Autocfd_interp.Spmd.result) =
-  let arrays_eq =
-    List.length a.Autocfd_interp.Spmd.gathered
-    = List.length b.Autocfd_interp.Spmd.gathered
-    && List.for_all2
-         (fun (na, aa) (nb, ab) ->
-           na = nb
-           && aa.Autocfd_interp.Value.bounds = ab.Autocfd_interp.Value.bounds
-           && aa.Autocfd_interp.Value.data = ab.Autocfd_interp.Value.data)
-         a.Autocfd_interp.Spmd.gathered b.Autocfd_interp.Spmd.gathered
-  in
-  arrays_eq
-  && a.Autocfd_interp.Spmd.scalars = b.Autocfd_interp.Spmd.scalars
-  && a.Autocfd_interp.Spmd.output = b.Autocfd_interp.Spmd.output
-
-(* Six seeded schedules per program, scaled to the fault-free run: message
-   loss alone, duplication+corruption, timing perturbations (jitter and a
-   degraded link), a transient straggler, a hard crash mid-run, and all of
-   them together.  Every schedule is recoverable, so each row must come
-   back bit-identical. *)
-let chaos_schedules ~seed ~clean_elapsed ~net =
-  let lat = net.Autocfd_mpsim.Netmodel.latency in
-  let mid p = Fault.At_time (p *. clean_elapsed) in
-  [
-    ("loss 3%", Fault.spec ~seed ~loss:0.03 ());
-    ( "dup+corrupt 2%",
-      Fault.spec ~seed:(seed + 1) ~duplication:0.02 ~corruption:0.02 () );
-    ( "jitter+slow link",
-      Fault.spec ~seed:(seed + 2) ~jitter:(8.0 *. lat)
-        ~degrade:[ (0, 1, 3.0); (1, 0, 3.0) ]
-        () );
-    ( "straggler",
-      Fault.spec ~seed:(seed + 3)
-        ~stalls:
-          [
-            {
-              Fault.sl_rank = 1;
-              sl_at = mid 0.3;
-              sl_duration = 0.2 *. clean_elapsed;
-            };
-          ]
-        () );
-    ( "crash+restart",
-      Fault.spec ~seed:(seed + 4)
-        ~crashes:[ { Fault.cr_rank = 1; cr_at = mid 0.4 } ]
-        () );
-    ( "kitchen sink",
-      Fault.spec ~seed:(seed + 5) ~loss:0.01 ~duplication:0.01
-        ~corruption:0.01 ~jitter:(4.0 *. lat)
-        ~crashes:[ { Fault.cr_rank = 1; cr_at = mid 0.5 } ]
-        () );
-  ]
-
-let schedule_labels =
-  [
-    "loss 3%"; "dup+corrupt 2%"; "jitter+slow link"; "straggler";
-    "crash+restart"; "kitchen sink";
-  ]
-
-let resilience_to_json (rs : Autocfd_interp.Spmd.resilience)
-    (c : Fault.counters) =
-  [
-    ("drops", J.Int c.Fault.fc_drops);
-    ("duplicates", J.Int c.Fault.fc_duplicates);
-    ("corruptions", J.Int c.Fault.fc_corruptions);
-    ("reorders", J.Int c.Fault.fc_reorders);
-    ("stalls", J.Int c.Fault.fc_stalls);
-    ("crashes", J.Int c.Fault.fc_crashes);
-    ("restarts", J.Int rs.Autocfd_interp.Spmd.rs_restarts);
-    ("checkpoints", J.Int rs.Autocfd_interp.Spmd.rs_checkpoints);
-    ("restores", J.Int rs.Autocfd_interp.Spmd.rs_restores);
-    ("retransmits", J.Int rs.Autocfd_interp.Spmd.rs_retransmits);
-    ("dup_suppressed", J.Int rs.Autocfd_interp.Spmd.rs_dup_suppressed);
-    ("checksum_failures", J.Int rs.Autocfd_interp.Spmd.rs_checksum_failures);
-  ]
-
 let chaos_case ?(seed = 42) ?(engine = Autocfd_interp.Spmd.Fused) sw name
     source parts =
-  let engine_name =
-    match engine with
-    | Autocfd_interp.Spmd.Tree -> "tree"
-    | Autocfd_interp.Spmd.Compiled -> "compiled"
-    | Autocfd_interp.Spmd.Fused -> "fused"
-    | Autocfd_interp.Spmd.Domains -> "domains"
-  in
   let jobs =
     List.mapi
       (fun idx label ->
@@ -879,46 +999,19 @@ let chaos_case ?(seed = 42) ?(engine = Autocfd_interp.Spmd.Fused) sw name
                  ("partition", parts_key parts);
                  ("schedule", J.Str label);
                  ("seed", J.Int seed);
-                 ("engine", J.Str engine_name);
+                 ("engine", J.Str (engine_name engine));
                  ("src", J.Str (Sched.Job.digest source));
                ])
-          (fun () ->
-            let t = Driver.load source in
-            let plan = Driver.plan t ~parts in
-            let net = machine.M.net in
-            let flop_time = Driver.calibrated_flop_time ~machine plan in
-            let base =
-              Runspec.(
-                default |> with_engine engine |> with_net net
-                |> with_flop_time flop_time)
-            in
-            let clean = Driver.run ~spec:base plan in
-            let clean_elapsed =
-              clean.Autocfd_interp.Spmd.stats.Autocfd_mpsim.Sim.elapsed
-            in
-            let _, spec =
-              List.nth (chaos_schedules ~seed ~clean_elapsed ~net) idx
-            in
-            let faults = Fault.make spec in
-            let faulty =
-              Driver.run
-                ~spec:
-                  Runspec.(
-                    base
-                    |> with_faults (Some faults)
-                    |> with_recovery
-                         (Some Autocfd_interp.Spmd.default_recovery))
-                plan
-            in
-            J.Obj
-              (( "identical",
-                 J.Bool (state_identical clean faulty) )
-              :: ( "overhead",
-                   J.Float
-                     (faulty.Autocfd_interp.Spmd.stats
-                        .Autocfd_mpsim.Sim.elapsed /. clean_elapsed) )
-              :: resilience_to_json faulty.Autocfd_interp.Spmd.resilience
-                   (Fault.counters faults))))
+          ~spec:
+            (J.Obj
+               [
+                 ("kind", J.Str "chaos");
+                 ("source", J.Str source);
+                 ("partition", parts_key parts);
+                 ("seed", J.Int seed);
+                 ("engine", J.Str (engine_name engine));
+                 ("schedule", J.Int idx);
+               ]))
       schedule_labels
   in
   List.map2
@@ -1472,5 +1565,5 @@ let tables_json ?sweep () =
       ("validation", J.List validation);
       ("engine", J.List engine);
       ("resilience", J.List resilience);
-      ("sched", Report.sched_summary_json (sweep_stats sw));
+      ("sched", Report.sched_summary_json ~stale:(sweep_stale sw) (sweep_stats sw));
     ]

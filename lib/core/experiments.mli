@@ -25,15 +25,30 @@ val sweep :
   ?jobs:int ->
   ?cache:Autocfd_sched.Cache.t ->
   ?tracer:Autocfd_obs.Trace.t ->
+  ?fabric:Autocfd_sched.Fabric.t ->
   unit ->
   sweep
 (** A sweep running [jobs] worker domains (default 1) with an optional
-    persistent result cache.  Passing the same [sweep] to several tables
-    accumulates their pool statistics in call order. *)
+    persistent result cache.  With [fabric] set, jobs are dispatched
+    over the distributed {!Autocfd_sched.Fabric} instead of the local
+    pool (and [jobs] is ignored).  Passing the same [sweep] to several
+    tables accumulates their pool statistics in call order. *)
 
 val sweep_stats : sweep -> (string * Autocfd_sched.Pool.stats) list
 (** Per-table scheduler statistics for every [run] the sweep has
     performed so far, in call order (table name, pool stats). *)
+
+val sweep_stale : sweep -> int
+(** Stale cache temp files swept when this sweep's cache was opened
+    (see {!Autocfd_sched.Cache.stale_cleaned}); 0 without a cache. *)
+
+val exec_spec : Autocfd_obs.Json.t -> Autocfd_obs.Json.t
+(** Execute one self-contained job spec (the [jb_spec] attached to
+    every sweep job) and return its result JSON.  This is the resolver a
+    fabric worker runs: each table's job body lives here, keyed on the
+    spec's ["kind"], so local and remote execution share one code path.
+    @raise Autocfd_obs.Json.Parse_error on an unknown or malformed
+    spec. *)
 
 type t1_row = {
   t1_program : string;

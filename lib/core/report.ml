@@ -246,7 +246,7 @@ and measured_section b (plan : Driver.plan) =
             s.Obs.Metrics.sr_blocked_time)
         m.Obs.Metrics.syncs
 
-let sched_summary stats =
+let sched_summary ?(stale = 0) stats =
   let module Pool = Autocfd_sched.Pool in
   let b = Buffer.create 1024 in
   let line fmt =
@@ -290,9 +290,14 @@ let sched_summary stats =
       line "| %d | %d | %.3f | %.0f%% |" w handled busy (100. *. util)
     done
   end;
+  if stale > 0 then begin
+    line "";
+    line "Swept %d stale cache temp file%s on open." stale
+      (if stale = 1 then "" else "s")
+  end;
   Buffer.contents b
 
-let sched_summary_json stats =
+let sched_summary_json ?(stale = 0) stats =
   let module Pool = Autocfd_sched.Pool in
   let module J = Obs.Json in
   let batch_json (table, (s : Pool.stats)) =
@@ -320,5 +325,79 @@ let sched_summary_json stats =
   J.Obj
     [
       ("schema", J.Str "autocfd-sched/1");
+      ("stale_cleaned", J.Int stale);
       ("batches", J.List (List.map batch_json stats));
+    ]
+
+let fabric_summary (fs : Autocfd_sched.Fabric.stats) =
+  let module Fabric = Autocfd_sched.Fabric in
+  let b = Buffer.create 1024 in
+  let line fmt =
+    Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt
+  in
+  line "## Distributed fabric";
+  line "";
+  line
+    "| requeues | retries | lease expiries | worker deaths | quarantined \
+     | stale results | corrupt frames | retransmits | dups dropped |";
+  line "|---|---|---|---|---|---|---|---|---|";
+  line "| %d | %d | %d | %d | %d | %d | %d | %d | %d |" fs.Fabric.fs_requeues
+    fs.Fabric.fs_retries fs.Fabric.fs_lease_expiries fs.Fabric.fs_worker_deaths
+    fs.Fabric.fs_quarantined fs.Fabric.fs_stale_results
+    fs.Fabric.fs_corrupt_frames fs.Fabric.fs_retransmits
+    fs.Fabric.fs_dup_suppressed;
+  line "";
+  if fs.Fabric.fs_degraded then
+    line "Degraded: at least one batch fell back to the in-process pool.";
+  if fs.Fabric.fs_workers <> [] then begin
+    line "### Workers";
+    line "";
+    line "| worker | pid | alive | leases | done | retransmits | dups | corrupt |";
+    line "|---|---|---|---|---|---|---|---|";
+    List.iter
+      (fun (w : Fabric.worker_stats) ->
+        line "| %s | %s | %s | %d | %d | %d | %d | %d |" w.Fabric.ws_id
+          (match w.Fabric.ws_pid with Some p -> string_of_int p | None -> "—")
+          (if w.Fabric.ws_alive then "yes" else "no")
+          w.Fabric.ws_leases w.Fabric.ws_done w.Fabric.ws_retransmits
+          w.Fabric.ws_dup_suppressed w.Fabric.ws_corrupt)
+      fs.Fabric.fs_workers
+  end;
+  Buffer.contents b
+
+let fabric_summary_json (fs : Autocfd_sched.Fabric.stats) =
+  let module Fabric = Autocfd_sched.Fabric in
+  let module J = Obs.Json in
+  J.Obj
+    [
+      ("schema", J.Str "autocfd-fabric/1");
+      ("requeues", J.Int fs.Fabric.fs_requeues);
+      ("retries", J.Int fs.Fabric.fs_retries);
+      ("lease_expiries", J.Int fs.Fabric.fs_lease_expiries);
+      ("worker_deaths", J.Int fs.Fabric.fs_worker_deaths);
+      ("quarantined", J.Int fs.Fabric.fs_quarantined);
+      ("stale_results", J.Int fs.Fabric.fs_stale_results);
+      ("corrupt_frames", J.Int fs.Fabric.fs_corrupt_frames);
+      ("retransmits", J.Int fs.Fabric.fs_retransmits);
+      ("dup_suppressed", J.Int fs.Fabric.fs_dup_suppressed);
+      ("degraded", J.Bool fs.Fabric.fs_degraded);
+      ("workers",
+       J.List
+         (List.map
+            (fun (w : Fabric.worker_stats) ->
+              J.Obj
+                [
+                  ("id", J.Str w.Fabric.ws_id);
+                  ("pid",
+                   match w.Fabric.ws_pid with
+                   | Some p -> J.Int p
+                   | None -> J.Null);
+                  ("alive", J.Bool w.Fabric.ws_alive);
+                  ("leases", J.Int w.Fabric.ws_leases);
+                  ("done", J.Int w.Fabric.ws_done);
+                  ("retransmits", J.Int w.Fabric.ws_retransmits);
+                  ("dup_suppressed", J.Int w.Fabric.ws_dup_suppressed);
+                  ("corrupt", J.Int w.Fabric.ws_corrupt);
+                ])
+            fs.Fabric.fs_workers));
     ]

@@ -1,0 +1,102 @@
+(** {!Reliable}'s envelope discipline over real file descriptors.
+
+    {!Reliable} protects messages between {e simulated} ranks; this module
+    carries the same guarantees — sequence numbers, FNV-64 checksums,
+    retransmission, duplicate suppression, in-order delivery — over an
+    actual byte stream (a Unix-domain or TCP socket) between real
+    processes, for the sweep fabric ({!Autocfd_sched.Fabric}).
+
+    Wire format of one frame (all integers big-endian):
+
+    {v "ACFD" | kind:1 | seq:8 | len:4 | fnv64(kind,seq,payload):8 | payload v}
+
+    The reader is incremental and self-resynchronizing: after garbled
+    bytes it scans forward to the next magic, and a frame whose checksum
+    does not match is dropped whole (framing survives, the payload does
+    not), counted in {!type-stats}[.cs_corrupt] and recovered by
+    retransmission.  Control frames (ack/nack) are unsequenced: [Ack s]
+    acknowledges every data frame with sequence [<= s]; [Nack s] asks the
+    peer to retransmit everything unacknowledged from [s] on.
+
+    A {!conn} may be written from several threads (the fabric worker's
+    heartbeat thread writes concurrently with its job loop); all writes
+    are serialized on an internal lock.  [pump]/[tick] must stay on one
+    thread. *)
+
+type kind = Data | Ack | Nack
+
+type frame = { fr_kind : kind; fr_seq : int; fr_payload : string }
+
+val header_len : int
+(** Bytes before the payload: 25. *)
+
+val max_payload : int
+(** Payload length sanity cap; longer lengths in a header are treated as
+    corruption. *)
+
+val checksum : kind:kind -> seq:int -> string -> int64
+(** FNV-1a 64 over the kind byte, the 8 sequence bytes and the payload. *)
+
+val encode : kind:kind -> seq:int -> string -> Bytes.t
+(** One complete wire frame. *)
+
+type reader
+(** Incremental decoder state over a byte stream. *)
+
+val reader : unit -> reader
+val reader_corrupt : reader -> int
+(** Garbled stretches skipped and checksum-failed frames dropped. *)
+
+val feed : reader -> Bytes.t -> int -> int -> unit
+(** [feed r buf off n] appends [n] bytes to the reader's buffer. *)
+
+val next : reader -> frame option
+(** The next complete, checksum-valid frame, if the buffer holds one. *)
+
+exception Closed
+(** The peer is gone: EOF on read, or EPIPE/ECONNRESET on write. *)
+
+type chaos = { ch_seed : int; ch_corrupt : float; ch_duplicate : float }
+(** Deterministic fault injection for tests: each {e fresh} data frame is
+    corrupted (one byte of its checksum/payload region flipped, framing
+    preserved) with probability [ch_corrupt] and written twice with
+    probability [ch_duplicate].  Retransmissions and control frames are
+    sent clean, so every schedule terminates. *)
+
+type conn
+
+val conn : ?chaos:chaos -> ?rto:float -> Unix.file_descr -> conn
+(** Wrap a connected stream socket.  [rto] (default 0.2s) is the base
+    retransmission timeout; unacknowledged frames back off exponentially
+    from it. *)
+
+val fd : conn -> Unix.file_descr
+
+val send : conn -> string -> unit
+(** Send one payload as a sequenced data frame and remember it for
+    retransmission until acknowledged.  Thread-safe.
+    @raise Closed if the peer is gone. *)
+
+val pump : conn -> string list
+(** Read once from the socket (call after [select] says readable) and
+    return the newly deliverable payloads in sequence order.  Handles
+    acks, nacks, duplicates and out-of-order arrivals internally; sends
+    its own acks/nacks as needed.
+    @raise Closed on EOF or a reset connection. *)
+
+val tick : conn -> unit
+(** Retransmit unacknowledged frames whose (backed-off) timeout expired.
+    Call periodically, e.g. on every [select] timeout. *)
+
+type stats = {
+  cs_sent : int;  (** data frames sent (first transmissions) *)
+  cs_delivered : int;  (** payloads delivered in order by [pump] *)
+  cs_retransmits : int;
+  cs_dup_suppressed : int;  (** duplicate data frames discarded *)
+  cs_corrupt : int;  (** see {!reader_corrupt} *)
+}
+
+val stats : conn -> stats
+
+val close : conn -> unit
+(** Close the descriptor (idempotent); later sends raise {!Closed}. *)

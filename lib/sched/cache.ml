@@ -1,8 +1,30 @@
 module J = Autocfd_obs.Json
 
-type t = { c_dir : string; c_corrupt : int Atomic.t }
+type t = { c_dir : string; c_corrupt : int Atomic.t; c_stale : int }
 
-let create ?(dir = "_autocfd_cache") () =
+(* temp files left behind by a writer that was killed between
+   [open_temp_file] and [rename]: anything matching [*.tmp] older than
+   [stale_age] seconds cannot belong to a live writer and is removed *)
+let sweep_stale ~stale_age dir =
+  let now = Unix.gettimeofday () in
+  Array.fold_left
+    (fun cleaned name ->
+      if not (Filename.check_suffix name ".tmp") then cleaned
+      else
+        let path = Filename.concat dir name in
+        match Unix.stat path with
+        | exception Unix.Unix_error _ -> cleaned
+        | st when st.Unix.st_kind = Unix.S_REG
+                  && now -. st.Unix.st_mtime >= stale_age -> (
+            try
+              Sys.remove path;
+              cleaned + 1
+            with Sys_error _ -> cleaned)
+        | _ -> cleaned)
+    0
+    (try Sys.readdir dir with Sys_error _ -> [||])
+
+let create ?(dir = "_autocfd_cache") ?(stale_age = 600.0) () =
   (if not (Sys.file_exists dir) then
      try Sys.mkdir dir 0o755
      with Sys_error _ when Sys.file_exists dir && Sys.is_directory dir ->
@@ -10,10 +32,14 @@ let create ?(dir = "_autocfd_cache") () =
        ());
   if not (Sys.is_directory dir) then
     raise (Sys_error (dir ^ ": not a directory"));
-  { c_dir = dir; c_corrupt = Atomic.make 0 }
+  (try Unix.access dir [ Unix.W_OK; Unix.X_OK ]
+   with Unix.Unix_error (e, _, _) ->
+     raise (Sys_error (dir ^ ": " ^ Unix.error_message e)));
+  { c_dir = dir; c_corrupt = Atomic.make 0; c_stale = sweep_stale ~stale_age dir }
 
 let dir t = t.c_dir
 let corruption_misses t = Atomic.get t.c_corrupt
+let stale_cleaned t = t.c_stale
 
 let path_of t job = Filename.concat t.c_dir (Job.cache_name job ^ ".json")
 

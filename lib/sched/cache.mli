@@ -16,12 +16,18 @@
 
 type t
 
-val create : ?dir:string -> unit -> t
+val create : ?dir:string -> ?stale_age:float -> unit -> t
 (** [create ()] opens (creating if needed) the cache directory, default
-    ["_autocfd_cache"].  @raise Sys_error if the directory cannot be
-    created. *)
+    ["_autocfd_cache"], and sweeps away stale [*.tmp] files left by
+    writers that were killed mid-store: any temp file older than
+    [stale_age] seconds (default 600; the count is {!stale_cleaned}).
+    @raise Sys_error if the directory cannot be created or is not
+    writable. *)
 
 val dir : t -> string
+
+val stale_cleaned : t -> int
+(** Stale temp files deleted when this handle opened the directory. *)
 
 val corruption_misses : t -> int
 (** Lookups (since {!create}) that found an entry file but could not use

@@ -4,16 +4,18 @@ type t = {
   jb_label : string;
   jb_key : J.t;
   jb_run : unit -> J.t;
+  jb_spec : J.t option;
 }
 
 (* bump when a code change invalidates previously cached results *)
 let code_version = "autocfd-sched/1"
 
-let make ?(version = code_version) ~label ~key run =
+let make ?(version = code_version) ?spec ~label ~key run =
   {
     jb_label = label;
     jb_key = J.Obj [ ("code", J.Str version); ("spec", key) ];
     jb_run = run;
+    jb_spec = spec;
   }
 
 (* FNV-1a, 64-bit *)

@@ -15,6 +15,12 @@ type t = {
   jb_run : unit -> Autocfd_obs.Json.t;
       (** compute the result; must be self-contained (no shared mutable
           state) — it may execute on any worker domain of a {!Pool} *)
+  jb_spec : Autocfd_obs.Json.t option;
+      (** a self-contained execution spec equivalent to [jb_run], for
+          jobs that can run in another {e process}: a {!Fabric} worker
+          receives the spec over the wire and resolves it (for the
+          experiment sweeps, through [Experiments.exec_spec]).  [None]
+          pins the job to the submitting process. *)
 }
 
 val code_version : string
@@ -24,12 +30,16 @@ val code_version : string
 
 val make :
   ?version:string ->
+  ?spec:Autocfd_obs.Json.t ->
   label:string ->
   key:Autocfd_obs.Json.t ->
   (unit -> Autocfd_obs.Json.t) ->
   t
 (** [make ~label ~key run] wraps [key] together with the code-version
-    stamp ([?version], default {!code_version}). *)
+    stamp ([?version], default {!code_version}).  [spec] (default: none)
+    makes the job eligible for remote execution — it must describe the
+    computation completely, and resolving it must produce exactly what
+    [run] returns. *)
 
 val digest : string -> string
 (** FNV-1a 64-bit hash of a string as 16 lowercase hex digits — used for

@@ -128,14 +128,31 @@ let run ?jobs ?cache ?tracer job_list =
     in
     loop ()
   in
-  if nworkers = 1 then worker 0 ()
+  (* exceptions from job thunks are captured per-slot in [exec]; anything
+     escaping a worker here is pool machinery failing (e.g. the cache
+     store raising).  Capture the first such failure with its backtrace,
+     let every domain finish, then re-raise it at the original trace —
+     [Domain.join] alone would lose the backtrace of a spawned domain. *)
+  let failure = ref None in
+  let failure_lock = Mutex.create () in
+  let guarded w () =
+    try worker w ()
+    with e ->
+      let bt = Printexc.get_raw_backtrace () in
+      Mutex.protect failure_lock (fun () ->
+          if !failure = None then failure := Some (e, bt))
+  in
+  if nworkers = 1 then guarded 0 ()
   else begin
     let domains =
-      Array.init (nworkers - 1) (fun k -> Domain.spawn (worker (k + 1)))
+      Array.init (nworkers - 1) (fun k -> Domain.spawn (guarded (k + 1)))
     in
-    worker 0 ();
+    guarded 0 ();
     Array.iter Domain.join domains
   end;
+  (match !failure with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ());
   let elapsed = now () in
   let ordered =
     Array.to_list events |> List.filter_map Fun.id

@@ -12,7 +12,11 @@
     A job that raises does not wedge the pool: its slot reports the error
     while every other job still completes.  Errors are returned as
     strings (the exception's printable form) so callers can attribute the
-    failure to the original row. *)
+    failure to the original row.  An exception in the pool machinery
+    itself (e.g. the cache store failing) is different: every domain is
+    still joined, then the first such failure is re-raised {e with its
+    original backtrace} ([Printexc.raise_with_backtrace]) — a trace that
+    [Domain.join] alone would lose. *)
 
 type outcome =
   | Ran  (** executed (and stored, when a cache is attached) *)

@@ -19,4 +19,5 @@ let () =
       ("driver", Test_driver.suite);
       ("mpi_backend", Test_mpi_backend.suite);
       ("sched", Test_sched.suite);
+      ("fabric", Test_fabric.suite);
     ]

@@ -122,6 +122,47 @@ let test_everything_at_once () =
   Alcotest.(check bool) "transport actually worked for it" true
     (s0.Reliable.rl_retransmits > 0 || s1.Reliable.rl_dup_suppressed > 0)
 
+let test_hostile_wire_survived () =
+  (* the worst wire we can draw from one seeded schedule: high-rate
+     loss, duplication, reordering and corruption all at once.  Delivery
+     must stay exactly-once in-order, and every fault class must
+     actually have fired so the schedule cannot quietly go easy. *)
+  let spec =
+    Fault.spec ~seed:21 ~loss:0.3 ~duplication:0.3 ~corruption:0.3
+      ~reorder:0.6 ()
+  in
+  let faults = Fault.make spec in
+  let got = ref [] in
+  let stats = Array.make 2 None in
+  let _ =
+    Sim.run ~net:Netmodel.fast ~faults ~nranks:2 (fun c ->
+        let t = Reliable.create c in
+        if Sim.rank c = 0 then
+          for i = 1 to 50 do
+            Reliable.send t ~dest:1 ~tag:2 [| float_of_int i; 0.5 |]
+          done
+        else
+          for _ = 1 to 50 do
+            got := (Reliable.recv t ~src:0 ~tag:2).(0) :: !got
+          done;
+        Reliable.flush t;
+        stats.(Sim.rank c) <- Some (Reliable.stats t))
+  in
+  Alcotest.(check (list (float 0.0))) "exactly once, in order"
+    (expect_seq 50) (List.rev !got);
+  let c = Fault.counters faults in
+  Alcotest.(check bool) "drops fired" true (c.Fault.fc_drops > 0);
+  Alcotest.(check bool) "duplicates fired" true (c.Fault.fc_duplicates > 0);
+  Alcotest.(check bool) "corruptions fired" true (c.Fault.fc_corruptions > 0);
+  Alcotest.(check bool) "reorders fired" true (c.Fault.fc_reorders > 0);
+  let s0 = Option.get stats.(0) and s1 = Option.get stats.(1) in
+  Alcotest.(check bool) "sender retransmitted" true
+    (s0.Reliable.rl_retransmits > 0);
+  Alcotest.(check bool) "receiver rejected corruption" true
+    (s1.Reliable.rl_checksum_failures > 0);
+  Alcotest.(check bool) "receiver suppressed duplicates" true
+    (s1.Reliable.rl_dup_suppressed > 0)
+
 let test_reorder_property () =
   (* adversarial delivery shuffle: across many seeds a heavy reorder
      rate — alone and mixed with loss and duplication — must never break
@@ -496,6 +537,7 @@ let suite =
     ("corruption recovered", `Quick, test_corruption_recovered);
     ("duplication suppressed", `Quick, test_duplication_suppressed);
     ("combined schedule survives", `Quick, test_everything_at_once);
+    ("hostile wire survived", `Quick, test_hostile_wire_survived);
     ("reorder property (12 seeds)", `Quick, test_reorder_property);
     ( "reorder verdicts deterministic", `Quick,
       test_reorder_verdicts_deterministic );

@@ -314,9 +314,72 @@ let test_runspec_canonical_key_stable () =
   Alcotest.(check string) "same content address"
     (Sched.Job.cache_name ja) (Sched.Job.cache_name jb)
 
+let test_stale_tmp_swept () =
+  (* a crashed writer's abandoned cache temp file: opening the cache
+     must sweep it (and count it), while a fresh temp file survives *)
+  let dir = tmp_cache_dir () in
+  let stale = Filename.concat dir "abandoned.json.tmp" in
+  let fresh = Filename.concat dir "inflight.json.tmp" in
+  List.iter
+    (fun p ->
+      let oc = open_out p in
+      output_string oc "{}";
+      close_out oc)
+    [ stale; fresh ];
+  (* backdate the stale one past any plausible cutoff *)
+  let old = Unix.gettimeofday () -. 3600.0 in
+  Unix.utimes stale old old;
+  let cache = Sched.Cache.create ~dir ~stale_age:600.0 () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove fresh with Sys_error _ -> ());
+      Sched.Cache.clear cache;
+      try Sys.rmdir dir with Sys_error _ -> ())
+    (fun () ->
+      Alcotest.(check int) "one stale temp swept" 1
+        (Sched.Cache.stale_cleaned cache);
+      Alcotest.(check bool) "stale temp removed" false (Sys.file_exists stale);
+      Alcotest.(check bool) "fresh temp kept" true (Sys.file_exists fresh))
+
+let test_unwritable_cache_dir_rejected () =
+  if Unix.getuid () = 0 then ()
+    (* root ignores permission bits; the probe cannot fail *)
+  else begin
+    let dir = tmp_cache_dir () in
+    Unix.chmod dir 0o500;
+    Fun.protect
+      ~finally:(fun () ->
+        Unix.chmod dir 0o755;
+        try Sys.rmdir dir with Sys_error _ -> ())
+      (fun () ->
+        match Sched.Cache.create ~dir () with
+        | _ -> Alcotest.fail "expected Sys_error for unwritable cache dir"
+        | exception Sys_error _ -> ())
+  end
+
+let test_machinery_failure_propagates () =
+  (* job-thunk exceptions are isolated per slot, but an exception from
+     the pool machinery itself — here the cache store writing into a
+     directory deleted mid-run — must re-raise out of Pool.run (with its
+     original backtrace) instead of being swallowed by Domain.join *)
+  let dir = tmp_cache_dir () in
+  let cache = Sched.Cache.create ~dir () in
+  Sys.rmdir dir;
+  match
+    Sched.Pool.run ~jobs:1 ~cache
+      [ job ~label:"store-fails" ~spec:"store-fails" (fun () -> J.Int 1) ]
+  with
+  | _ -> Alcotest.fail "expected the cache-store failure to propagate"
+  | exception Sys_error _ -> ()
+
 let suite =
   [
     ("pool deterministic (jobs 1 vs 4)", `Quick, test_pool_deterministic);
+    ("stale cache temp files swept", `Quick, test_stale_tmp_swept);
+    ("unwritable cache dir rejected", `Quick,
+     test_unwritable_cache_dir_rejected);
+    ("machinery failure propagates", `Quick,
+     test_machinery_failure_propagates);
     ("table1 rows deterministic", `Quick, test_table_rows_deterministic);
     ("cache hit bit-identical", `Quick, test_cache_hit_identical);
     ("cache invalidation", `Quick, test_cache_invalidation);
