@@ -1,6 +1,6 @@
 # Convenience wrapper around dune; `make check` is the PR gate CI runs.
 
-.PHONY: all build test check bench bench-json coverage trace profile-domains fabric clean
+.PHONY: all build test check bench bench-json coverage trace profile-domains fabric tune clean
 
 all: build
 
@@ -40,6 +40,13 @@ profile-domains:
 # requeue, and a worker-less master must degrade rather than hang
 fabric:
 	dune exec bench/main.exe -- fabric --check
+
+# the auto-tuning gate: three byte-identical passes over the tune
+# tables (serial/no-cache, parallel cold, parallel warm with 100%
+# hits), winner must beat every hand-picked paper config, frontier
+# must be Pareto-minimal
+tune:
+	dune exec bench/main.exe -- tune --check
 
 clean:
 	dune clean

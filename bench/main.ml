@@ -28,6 +28,21 @@
                                  ([--check]: exit nonzero unless every
                                  recoverable schedule yields bit-identical
                                  results within the overhead budget)
+      bench/main.exe tune        auto-tune both case studies: every point
+                                 of the configuration product space
+                                 (rank count x feasible partition shape x
+                                 sync combining, [--grid wide] adds
+                                 fission/fusion ablations and the real
+                                 Domains engine) as cached sweep jobs;
+                                 prints the winner plus the Pareto
+                                 frontier per program
+                                 ([--check]: three-pass gate — serial,
+                                 cold parallel and warm parallel tunes
+                                 must render byte-identically, the warm
+                                 pass must be 100% cache hits, the tuned
+                                 winner must not lose to any hand-picked
+                                 Table 2/3 row, and the frontier must
+                                 contain no dominated entry)
       bench/main.exe fabric      the pooled tables over the distributed
                                  master/worker fabric (spawns --workers
                                  processes, default 3)
@@ -83,6 +98,8 @@
 
 module E = Autocfd.Experiments
 module D = Autocfd.Driver
+
+let parts_spec p = Autocfd.Runspec.(default |> with_parts (Some p))
 module S = Autocfd_syncopt
 module Sched = Autocfd_sched
 
@@ -104,15 +121,17 @@ type opts = {
   o_coverage : string;
   o_update_coverage : bool;
   o_tolerance : float;
+  o_grid : Autocfd.Tune.grid;
 }
 
 let usage () =
   Printf.eprintf
     "usage: %s [table1..table5|tables|validate|engine|coverage|chaos|\
-     fabric|worker|ablation|advisor|micro|--json|all] [--check] [--jobs N] \
-     [--workers N] [--connect ADDR] [--no-cache] \
+     tune|fabric|worker|ablation|advisor|micro|--json|all] [--check] \
+     [--jobs N] [--workers N] [--connect ADDR] [--no-cache] \
      [--cache-dir D] [--baseline F] [--check-regress] [--update-baseline] \
-     [--coverage F] [--update-coverage] [--tolerance T]\n"
+     [--coverage F] [--update-coverage] [--tolerance T] \
+     [--grid narrow|default|wide]\n"
     Sys.argv.(0);
   exit 1
 
@@ -133,6 +152,7 @@ let parse_opts () =
         o_coverage = "COVERAGE.json";
         o_update_coverage = false;
         o_tolerance = 0.05;
+        o_grid = Autocfd.Tune.Default;
       }
   in
   let rec go i =
@@ -179,6 +199,13 @@ let parse_opts () =
       | "--baseline" when i + 1 < Array.length Sys.argv ->
           o := { !o with o_baseline = Sys.argv.(i + 1) };
           go (i + 2)
+      | "--grid" when i + 1 < Array.length Sys.argv ->
+          (match Autocfd.Tune.grid_of_string Sys.argv.(i + 1) with
+          | Ok g -> o := { !o with o_grid = g }
+          | Error msg ->
+              Printf.eprintf "--grid: %s\n" msg;
+              exit 1);
+          go (i + 2)
       | "--tolerance" when i + 1 < Array.length Sys.argv ->
           (match float_of_string_opt Sys.argv.(i + 1) with
           | Some t when t >= 0.0 -> o := { !o with o_tolerance = t }
@@ -187,7 +214,7 @@ let parse_opts () =
               exit 1);
           go (i + 2)
       | ("--jobs" | "--workers" | "--connect" | "--cache-dir" | "--baseline"
-        | "--coverage" | "--tolerance") as a ->
+        | "--coverage" | "--tolerance" | "--grid") as a ->
           Printf.eprintf "%s: missing argument\n" a;
           exit 1
       | a when i = 1 && (a = "--json" || (String.length a > 0 && a.[0] <> '-'))
@@ -313,8 +340,14 @@ let print_ablation () =
     let t = D.load src in
     List.iter
       (fun parts ->
-        let opt = D.plan t ~parts in
-        let ff = D.plan ~combine:S.Optimizer.First_fit t ~parts in
+        let opt = D.plan ~spec:(parts_spec parts) t in
+        let ff =
+          D.plan
+            ~spec:
+              (Autocfd.Runspec.with_combine S.Optimizer.First_fit
+                 (parts_spec parts))
+            t
+        in
         add_row table
           [
             name;
@@ -343,7 +376,7 @@ let micro () =
   let aero = D.load aero_src in
   let spray = D.load spray_src in
   let small = D.load (Autocfd_apps.Sprayer.source ~ni:40 ~nj:20 ~ntime:3 ()) in
-  let small_plan = D.plan small ~parts:[| 2; 2 |] in
+  let small_plan = D.plan ~spec:(parts_spec [| 2; 2 |]) small in
   let small_aero =
     D.load (Autocfd_apps.Aerofoil.source ~ni:16 ~nj:10 ~nk:6 ~ntime:2 ())
   in
@@ -354,20 +387,20 @@ let micro () =
     [
       (* Table 1 pipeline stage: full analysis + sync optimization *)
       Test.make ~name:"table1:analyze+optimize (aerofoil 4x1x1)"
-        (Staged.stage (fun () -> ignore (D.plan aero ~parts:[| 4; 1; 1 |])));
+        (Staged.stage (fun () -> ignore (D.plan ~spec:(parts_spec [| 4; 1; 1 |]) aero)));
       Test.make ~name:"table1:analyze+optimize (sprayer 4x4)"
-        (Staged.stage (fun () -> ignore (D.plan spray ~parts:[| 4; 4 |])));
+        (Staged.stage (fun () -> ignore (D.plan ~spec:(parts_spec [| 4; 4 |]) spray)));
       (* Tables 2/3: the analytic performance prediction *)
       Test.make ~name:"table2:predict (aerofoil 3x2x1)"
         (Staged.stage
-           (let plan = D.plan aero ~parts:[| 3; 2; 1 |] in
+           (let plan = D.plan ~spec:(parts_spec [| 3; 2; 1 |]) aero in
             fun () ->
               ignore
                 (Autocfd_perfmodel.Model.predict_parallel E.machine
                    ~gi:aero.D.gi ~topo:plan.D.topo plan.D.spmd)));
       Test.make ~name:"table3:predict (sprayer 2x2)"
         (Staged.stage
-           (let plan = D.plan spray ~parts:[| 2; 2 |] in
+           (let plan = D.plan ~spec:(parts_spec [| 2; 2 |]) spray in
             fun () ->
               ignore
                 (Autocfd_perfmodel.Model.predict_parallel E.machine
@@ -389,15 +422,15 @@ let micro () =
       Test.make ~name:"engine:tree-walk (aerofoil 16x10x6, 4 ranks)"
         (Staged.stage
            (run_engine Autocfd_interp.Spmd.Tree
-              (D.plan small_aero ~parts:[| 2; 2; 1 |])));
+              (D.plan ~spec:(parts_spec [| 2; 2; 1 |]) small_aero)));
       Test.make ~name:"engine:compiled (aerofoil 16x10x6, 4 ranks)"
         (Staged.stage
            (run_engine Autocfd_interp.Spmd.Compiled
-              (D.plan small_aero ~parts:[| 2; 2; 1 |])));
+              (D.plan ~spec:(parts_spec [| 2; 2; 1 |]) small_aero)));
       Test.make ~name:"engine:fused (aerofoil 16x10x6, 4 ranks)"
         (Staged.stage
            (run_engine Autocfd_interp.Spmd.Fused
-              (D.plan small_aero ~parts:[| 2; 2; 1 |])));
+              (D.plan ~spec:(parts_spec [| 2; 2; 1 |]) small_aero)));
     ]
   in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
@@ -448,7 +481,7 @@ let print_advisor () =
         let pv = D.auto_parts t ~nprocs in
         let pm = D.auto_parts_by_model t ~nprocs in
         let time parts =
-          let plan = D.plan t ~parts in
+          let plan = D.plan ~spec:(parts_spec parts) t in
           (M.predict_parallel E.machine ~gi:t.D.gi ~topo:plan.D.topo
              plan.D.spmd)
             .M.time
@@ -605,6 +638,117 @@ let check_tables opts =
     "OK tables: 3 passes byte-identical, warm pass %d/%d hits, %.1fx \
      faster than cold (%.2fs vs %.2fs)\n"
     hits (hits + misses) speedup t_warm t_cold
+
+(* ------------------------------------------------------------------ *)
+(* tune: auto-search the configuration space of both case studies.      *)
+(* tune --check gates the CI on four properties:                        *)
+(*   - three passes (serial/no-cache, parallel/cold, parallel/warm)     *)
+(*     render byte-identically, and the warm pass is 100% cache hits    *)
+(*   - the tuned winner's modelled time does not lose to any            *)
+(*     hand-picked Table 2/3 configuration                              *)
+(*   - the reported Pareto frontier contains no dominated entry         *)
+(* ------------------------------------------------------------------ *)
+
+let tune_string ~grid sw =
+  String.concat "\n"
+    (List.map Autocfd.Tune.render (E.tune_table ~grid ~sweep:sw ()))
+
+let check_tune opts =
+  let module T = Autocfd.Tune in
+  let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt in
+  let cache_dir =
+    if opts.o_cache_dir = "_autocfd_cache" then "_autocfd_cache.tune"
+    else opts.o_cache_dir
+  in
+  let cache = Sched.Cache.create ~dir:cache_dir () in
+  Sched.Cache.clear cache;
+  (* the gate runs the deterministic default grid regardless of --grid:
+     wide-grid wall measurements would break byte-identity *)
+  let grid = T.Default in
+  let pass label sweep =
+    Printf.eprintf "pass %s...\n%!" label;
+    let results = E.tune_table ~grid ~sweep () in
+    ( String.concat "\n" (List.map T.render results),
+      results,
+      E.sweep_stats sweep )
+  in
+  let out0, results, _ = pass "0 (serial, no cache)" (E.sweep ()) in
+  let out1, _, _ =
+    pass
+      (Printf.sprintf "1 (parallel --jobs %d, cold cache)" opts.o_jobs)
+      (E.sweep ~jobs:opts.o_jobs ~cache ())
+  in
+  let out2, _, stats2 =
+    pass
+      (Printf.sprintf "2 (parallel --jobs %d, warm cache)" opts.o_jobs)
+      (E.sweep ~jobs:opts.o_jobs ~cache ())
+  in
+  if out1 <> out0 then
+    fail "FAIL: cold parallel tune diverged from the serial rendering";
+  if out2 <> out0 then
+    fail "FAIL: warm-cache tune diverged from the serial rendering";
+  let hits, misses =
+    List.fold_left
+      (fun (h, m) (_, (s : Sched.Pool.stats)) ->
+        (h + s.Sched.Pool.ps_hits, m + s.Sched.Pool.ps_misses))
+      (0, 0) stats2
+  in
+  if misses > 0 then
+    fail "FAIL: warm pass had %d cache misses (%d hits) — expected 100%% hits"
+      misses hits;
+  (* the winner must not lose to any hand-picked default configuration
+     of the same program's timing table *)
+  let sw = E.sweep () in
+  let defaults =
+    [ ("aerofoil", E.table2 ~sweep:sw ()); ("sprayer", E.table3 ~sweep:sw ()) ]
+  in
+  List.iter
+    (fun (r : T.result) ->
+      let w = r.T.tr_winner in
+      List.iter
+        (fun (row : E.perf_row) ->
+          match row.E.pr_partition with
+          | None -> ()  (* the sequential reference row *)
+          | Some parts ->
+              if w.T.te_metrics.T.tm_time > row.E.pr_time then
+                fail
+                  "FAIL %s: tuned winner %.1f s loses to the hand-picked \
+                   %s row (%.1f s)"
+                  r.T.tr_program w.T.te_metrics.T.tm_time
+                  (Autocfd.Runspec.parts_to_string parts)
+                  row.E.pr_time)
+        (List.assoc r.T.tr_program defaults))
+    results;
+  (* no frontier entry may dominate another: the published frontier is
+     actually Pareto-minimal *)
+  List.iter
+    (fun (r : T.result) ->
+      List.iter
+        (fun (e : T.entry) ->
+          if
+            List.exists
+              (fun (o : T.entry) ->
+                o != e && T.dominates o.T.te_metrics e.T.te_metrics)
+              r.T.tr_frontier
+          then
+            fail "FAIL %s: frontier contains a dominated entry (%s)"
+              r.T.tr_program
+              (Autocfd.Runspec.parts_to_string e.T.te_parts))
+        r.T.tr_frontier)
+    results;
+  List.iter
+    (fun (r : T.result) ->
+      Printf.printf
+        "OK %s: winner %s at %.1f s beats every hand-picked row; frontier \
+         of %d/%d is Pareto-minimal\n"
+        r.T.tr_program
+        (Autocfd.Runspec.parts_to_string r.T.tr_winner.T.te_parts)
+        r.T.tr_winner.T.te_metrics.T.tm_time
+        (List.length r.T.tr_frontier) r.T.tr_total)
+    results;
+  Printf.printf
+    "OK tune: 3 passes byte-identical, warm pass %d/%d hits\n" hits
+    (hits + misses)
 
 (* ------------------------------------------------------------------ *)
 (* fabric --check: the distributed-sweep chaos gate.                    *)
@@ -797,6 +941,11 @@ let () =
   | "tables" ->
       if opts.o_check then check_tables opts
       else with_sweep all_tables
+  | "tune" ->
+      if opts.o_check then check_tune opts
+      else
+        with_sweep (fun sw ->
+            print_string (tune_string ~grid:opts.o_grid sw))
   | "worker" -> run_worker opts
   | "fabric" ->
       if opts.o_check then check_fabric opts

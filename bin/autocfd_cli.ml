@@ -21,7 +21,17 @@
                                              Prometheus output, --check for
                                              the >= 95% attribution gate
     autocfd tables [1-5|all] [--json]        regenerate the paper's tables
+    autocfd tune file.f [--grid wide]        auto-search the configuration
+                                             space (rank count x partition
+                                             shape x sync combining x fission
+                                             x engine/fusion): winner plus
+                                             Pareto frontier over predicted
+                                             time / comm volume / memory
     autocfd demo [aerofoil|sprayer]          dump a bundled case study source
+
+    Every program-running verb accepts --spec FILE (a Runspec JSON
+    document) as the single source of configuration; individual flags
+    override single fields, and run --json echoes the resolved spec.
     v} *)
 
 open Cmdliner
@@ -67,9 +77,10 @@ let parts_arg =
            ~doc:"Partition shape, e.g. 4x1x1. Default: automatic for --nprocs.")
 
 let nprocs_arg =
-  Arg.(value & opt int 4
+  Arg.(value & opt (some int) None
        & info [ "n"; "nprocs" ] ~docv:"N"
-           ~doc:"Number of processors for the automatic partition search.")
+           ~doc:"Number of processors for the automatic partition search \
+                 (default 4, or whatever --spec says).")
 
 let fission_arg =
   Arg.(value & flag
@@ -78,12 +89,41 @@ let fission_arg =
                  distributed into independent sub-nests before analysis \
                  and execution).")
 
-let load_and_plan ?(no_fission = false) file parts nprocs =
-  let t = D.load ~fission:(not no_fission) (read_file file) in
-  let parts =
-    match parts with Some p -> p | None -> D.auto_parts t ~nprocs
+let spec_arg =
+  Arg.(value & opt (some file) None
+       & info [ "spec" ] ~docv:"FILE"
+           ~doc:"Runspec JSON file: the single source of configuration \
+                 (engine, partition shape or rank count, sync combining, \
+                 fission, fusion, faults...).  Command-line flags override \
+                 individual fields.  `run --json` echoes the resolved \
+                 spec, so any run's output names the spec that reproduces \
+                 it.")
+
+(* one resolved Runspec per invocation: --spec FILE (default
+   Runspec.default), then each explicitly given flag overrides its
+   field *)
+let resolve_spec ?parts ?nprocs ?(no_fission = false) ?engine spec_file =
+  let base =
+    match spec_file with
+    | None -> Autocfd.Runspec.default
+    | Some path -> (
+        match Autocfd.Runspec.of_json (Obs.Json.of_string (read_file path))
+        with
+        | spec -> spec
+        | exception Obs.Json.Parse_error msg ->
+            Printf.eprintf "autocfd: bad runspec %s: %s\n" path msg;
+            exit 1)
   in
-  (t, D.plan t ~parts)
+  let ( |? ) v f = match v with Some x -> f x | None -> Fun.id in
+  base
+  |> (nprocs |? Autocfd.Runspec.with_nprocs)
+  |> (parts |? fun p -> Autocfd.Runspec.with_parts (Some p))
+  |> (if no_fission then Autocfd.Runspec.with_fission false else Fun.id)
+  |> (engine |? Autocfd.Runspec.with_engine)
+
+let load_and_plan spec file =
+  let t = D.load ~spec (read_file file) in
+  (t, D.plan ~spec t)
 
 let shape parts =
   String.concat " x " (Array.to_list (Array.map string_of_int parts))
@@ -96,12 +136,13 @@ let write_file path text =
 
 (* ------------------------------------------------------------------ *)
 
-let analyze file parts nprocs no_fission report =
+let analyze file spec_file parts nprocs no_fission report =
+  let spec = resolve_spec ?parts ?nprocs ~no_fission spec_file in
   if report then
-    let _, plan = load_and_plan ~no_fission file parts nprocs in
+    let _, plan = load_and_plan spec file in
     print_string (Autocfd.Report.markdown plan)
   else
-  let t, plan = load_and_plan ~no_fission file parts nprocs in
+  let t, plan = load_and_plan spec file in
   let gi = t.D.gi in
   Format.printf "flow field: %a@." A.Grid_info.pp gi;
   Format.printf "partition:  %s (%d subtasks)@."
@@ -151,8 +192,9 @@ let analyze file parts nprocs no_fission report =
         (List.length g.S.Combine.gr_transfers))
     plan.D.opt.S.Optimizer.groups
 
-let parallelize file parts nprocs no_fission mpi output =
-  let _, plan = load_and_plan ~no_fission file parts nprocs in
+let parallelize file spec_file parts nprocs no_fission mpi output =
+  let spec = resolve_spec ?parts ?nprocs ~no_fission spec_file in
+  let _, plan = load_and_plan spec file in
   let text = if mpi then D.mpi_source plan else D.spmd_source plan in
   match output with
   | None -> print_string text
@@ -186,44 +228,34 @@ let same_program_state (a : Autocfd_interp.Spmd.result)
    repeated `autocfd run` of an unchanged source is a cache hit: the
    stored result document carries everything both renderings and the
    divergence exit code need. *)
-let run_cmd file parts nprocs no_fission engine json jobs use_cache cache_dir
-    =
+let run_cmd file spec_file parts nprocs no_fission engine json jobs use_cache
+    cache_dir =
   let module J = Obs.Json in
   let module Sched = Autocfd_sched in
   let source = read_file file in
-  let t = D.load ~fission:(not no_fission) source in
-  let parts =
-    match parts with Some p -> p | None -> D.auto_parts t ~nprocs
+  let tracer = if json then Some (Obs.Trace.create ()) else None in
+  let run_spec =
+    Autocfd.Runspec.with_tracer tracer
+      (resolve_spec ?parts ?nprocs ~no_fission ?engine spec_file)
   in
+  let engine = run_spec.Autocfd.Runspec.engine in
   let job =
     Sched.Job.make
       ~label:(Printf.sprintf "run %s" (Filename.basename file))
+      (* the serialized resolved spec IS the run-describing half of the
+         key: one JSON value names everything that shapes the result *)
       ~key:
         (J.Obj
-           ([
-              ("verb", J.Str "run");
-              ( "partition",
-                J.Str
-                  (String.concat "x"
-                     (Array.to_list (Array.map string_of_int parts))) );
-              ("engine", J.Str (engine_name engine));
-              ("traced", J.Bool json);
-              ("src", J.Str (Sched.Job.digest source));
-            ]
-           (* only keyed when disabled, so caches written before the
-              loop-fission pass existed stay valid *)
-           @ if no_fission then [ ("fission", J.Bool false) ] else []))
+           [
+             ("verb", J.Str "run");
+             ("spec", Autocfd.Runspec.to_json run_spec);
+             ("src", J.Str (Sched.Job.digest source));
+           ])
       (fun () ->
-        let plan = D.plan t ~parts in
+        let t = D.load ~spec:run_spec source in
+        let plan = D.plan ~spec:run_spec t in
         let seq = D.run_seq t in
-        let tracer = if json then Some (Obs.Trace.create ()) else None in
-        let par =
-          D.run
-            ~spec:
-              Autocfd.Runspec.(
-                default |> with_engine engine |> with_tracer tracer)
-            plan
-        in
+        let par = D.run ~spec:run_spec plan in
         (* a Domains run is additionally held to bit-identity against
            the simulated cluster (the CI equivalence gate) *)
         let bit_identical =
@@ -232,8 +264,10 @@ let run_cmd file parts nprocs no_fission engine json jobs use_cache cache_dir
               let reference =
                 D.run
                   ~spec:
-                    (Autocfd.Runspec.with_engine Autocfd_interp.Spmd.Fused
-                       Autocfd.Runspec.default)
+                    Autocfd.Runspec.(
+                      run_spec
+                      |> with_engine Autocfd_interp.Spmd.Fused
+                      |> with_tracer None)
                   plan
               in
               J.Bool (same_program_state reference par)
@@ -247,7 +281,8 @@ let run_cmd file parts nprocs no_fission engine json jobs use_cache cache_dir
         let strs l = J.List (List.map (fun s -> J.Str s) l) in
         J.Obj
           [
-            ("schema", J.Str "autocfd-run/1");
+            ("schema", J.Str "autocfd-run/2");
+            ("spec", Autocfd.Runspec.to_json run_spec);
             ("ranks", J.Int (Autocfd_partition.Topology.nranks plan.D.topo));
             ("engine", J.Str (engine_name engine));
             ("bit_identical", bit_identical);
@@ -351,18 +386,24 @@ let run_cmd file parts nprocs no_fission engine json jobs use_cache cache_dir
    end);
   if (not equivalent) || bit_identical = Some false then exit 1
 
-let trace_cmd file parts nprocs no_fission engine out metrics_out =
-  let _, plan = load_and_plan ~no_fission file parts nprocs in
+(* trace and profile charge the reference machine's calibrated costs
+   unless the spec already names a machine *)
+let with_default_machine spec =
+  match spec.Autocfd.Runspec.machine with
+  | Some _ -> spec
+  | None ->
+      Autocfd.Runspec.with_machine
+        (Some Autocfd_perfmodel.Model.pentium_cluster) spec
+
+let trace_cmd file spec_file parts nprocs no_fission engine out metrics_out =
   let tracer = Obs.Trace.create () in
-  let result =
-    D.run
-      ~spec:
-        Autocfd.Runspec.(
-          default |> with_engine engine
-          |> with_machine (Some Autocfd_perfmodel.Model.pentium_cluster)
-          |> with_tracer (Some tracer))
-      plan
+  let spec =
+    resolve_spec ?parts ?nprocs ~no_fission ?engine spec_file
+    |> with_default_machine
+    |> Autocfd.Runspec.with_tracer (Some tracer)
   in
+  let _, plan = load_and_plan spec file in
+  let result = D.run ~spec plan in
   write_file out (Obs.Chrome.to_string tracer);
   let m = Obs.Metrics.of_trace tracer in
   (match metrics_out with
@@ -382,14 +423,13 @@ let trace_cmd file parts nprocs no_fission engine out metrics_out =
         r.Obs.Metrics.rr_blocked)
     m.Obs.Metrics.ranks
 
-let profile_cmd file parts nprocs no_fission engine top json prom check min_cov
-    =
-  let _, plan = load_and_plan ~no_fission file parts nprocs in
+let profile_cmd file spec_file parts nprocs no_fission engine top json prom
+    check min_cov =
   let spec =
-    Autocfd.Runspec.(
-      default |> with_engine engine
-      |> with_machine (Some Autocfd_perfmodel.Model.pentium_cluster))
+    resolve_spec ?parts ?nprocs ~no_fission ?engine spec_file
+    |> with_default_machine
   in
+  let _, plan = load_and_plan spec file in
   let label = Printf.sprintf "profile %s" (Filename.basename file) in
   let p = Autocfd.Profile.run ~spec ~label plan in
   if json then
@@ -412,8 +452,9 @@ let profile_cmd file parts nprocs no_fission engine top json prom check min_cov
         (List.length p.Autocfd.Profile.pf_metrics.Obs.Metrics.kernels)
   end
 
-let report file parts nprocs no_fission output =
-  let _, plan = load_and_plan ~no_fission file parts nprocs in
+let report file spec_file parts nprocs no_fission output =
+  let spec = resolve_spec ?parts ?nprocs ~no_fission spec_file in
+  let _, plan = load_and_plan spec file in
   let text = Autocfd.Report.markdown plan in
   match output with
   | None -> print_string text
@@ -423,8 +464,10 @@ let report file parts nprocs no_fission output =
       close_out oc;
       Printf.printf "wrote %s\n" path
 
-let tables which json jobs workers use_cache cache_dir =
-  let module E = Autocfd.Experiments in
+(* sweep wiring shared by the tables and tune verbs: a persistent cache
+   unless disabled, plus an optional distributed fabric with [workers]
+   spawned worker processes *)
+let make_sweep ~jobs ~workers ~use_cache ~cache_dir =
   let module Fabric = Autocfd_sched.Fabric in
   let cache =
     if use_cache then
@@ -451,7 +494,24 @@ let tables which json jobs workers use_cache cache_dir =
       Some fb
     end
   in
-  let sw = E.sweep ~jobs ?cache ?fabric () in
+  (Autocfd.Experiments.sweep ~jobs ?cache ?fabric (), fabric)
+
+let finish_sweep sw fabric =
+  let module E = Autocfd.Experiments in
+  let module Fabric = Autocfd_sched.Fabric in
+  let stats = E.sweep_stats sw in
+  if stats <> [] then
+    prerr_string
+      (Autocfd.Report.sched_summary ~stale:(E.sweep_stale sw) stats);
+  match fabric with
+  | Some fb ->
+      prerr_string (Autocfd.Report.fabric_summary (Fabric.stats fb));
+      Fabric.shutdown fb
+  | None -> ()
+
+let tables which json jobs workers use_cache cache_dir =
+  let module E = Autocfd.Experiments in
+  let sw, fabric = make_sweep ~jobs ~workers ~use_cache ~cache_dir in
   (if json then print_endline (Obs.Json.pretty (E.tables_json ~sweep:sw ()))
    else
      let print1 () = print_string (E.render_table1 (E.table1 ~sweep:sw ())) in
@@ -480,15 +540,27 @@ let tables which json jobs workers use_cache cache_dir =
          print4 (); print_newline ();
          print5 ()
      | other -> Printf.eprintf "unknown table %S\n" other; exit 1);
-  let stats = E.sweep_stats sw in
-  if stats <> [] then
-    prerr_string
-      (Autocfd.Report.sched_summary ~stale:(E.sweep_stale sw) stats);
-  match fabric with
-  | Some fb ->
-      prerr_string (Autocfd.Report.fabric_summary (Fabric.stats fb));
-      Fabric.shutdown fb
-  | None -> ()
+  finish_sweep sw fabric
+
+(* auto-tune one program: every point of the configuration product
+   space, dispatched as cached (and optionally distributed) jobs, pruned
+   to the Pareto frontier *)
+let tune file spec_file grid json jobs workers use_cache cache_dir =
+  let module E = Autocfd.Experiments in
+  let module T = Autocfd.Tune in
+  let sw, fabric = make_sweep ~jobs ~workers ~use_cache ~cache_dir in
+  let base = resolve_spec spec_file in
+  let source = read_file file in
+  (* wide-grid Domains points execute the program for real; narrower
+     grids are pure model predictions *)
+  let measure_source = match grid with T.Wide -> Some source | _ -> None in
+  let r =
+    E.tune_program ~grid ~base ~sweep:sw ?measure_source
+      ~program:(Filename.basename file) ~source ()
+  in
+  (if json then print_endline (Obs.Json.pretty (T.result_to_json r))
+   else print_string (T.render r));
+  finish_sweep sw fabric
 
 (* one fabric worker process: connect back to the master, resolve each
    assigned spec through the shared Experiments dispatcher, stream the
@@ -532,8 +604,8 @@ let analyze_cmd =
                    traffic tables).")
   in
   Cmd.v (Cmd.info "analyze" ~doc:"Dependency and synchronization analysis report")
-    Term.(const analyze $ file_arg $ parts_arg $ nprocs_arg $ fission_arg
-          $ report)
+    Term.(const analyze $ file_arg $ spec_arg $ parts_arg $ nprocs_arg
+          $ fission_arg $ report)
 
 let parallelize_cmd =
   let output =
@@ -550,7 +622,7 @@ let parallelize_cmd =
   Cmd.v
     (Cmd.info "parallelize"
        ~doc:"Transform a sequential CFD program into an SPMD program")
-    Term.(const parallelize $ file_arg $ parts_arg $ nprocs_arg
+    Term.(const parallelize $ file_arg $ spec_arg $ parts_arg $ nprocs_arg
           $ fission_arg $ mpi $ output)
 
 let json_flag ~what =
@@ -584,12 +656,12 @@ let engine_arg =
              (Printf.sprintf "bad engine %S (tree|compiled|fused|domains)" s))
   in
   let print ppf e = Format.pp_print_string ppf (engine_name e) in
-  Arg.(value & opt (conv (parse, print)) Autocfd_interp.Spmd.Fused
+  Arg.(value & opt (some (conv (parse, print))) None
        & info [ "engine" ] ~docv:"ENGINE"
-           ~doc:"Execution engine: tree, compiled, fused (default) or \
-                 domains (real shared-memory execution on OCaml 5 \
-                 domains).  The compiled, fused and domains engines emit \
-                 per-nest kernel summaries.")
+           ~doc:"Execution engine: tree, compiled, fused (default, or \
+                 whatever --spec says) or domains (real shared-memory \
+                 execution on OCaml 5 domains).  The compiled, fused and \
+                 domains engines emit per-nest kernel summaries.")
 
 let run_cmd_ =
   Cmd.v
@@ -600,8 +672,8 @@ let run_cmd_ =
           additionally gates on bit-identity against the simulator), and \
           compare the results (memoized: a repeated run of an unchanged \
           source is served from the result cache)")
-    Term.(const run_cmd $ file_arg $ parts_arg $ nprocs_arg $ fission_arg
-          $ engine_arg
+    Term.(const run_cmd $ file_arg $ spec_arg $ parts_arg $ nprocs_arg
+          $ fission_arg $ engine_arg
           $ json_flag ~what:"the comparison and per-rank metrics"
           $ jobs_arg
           $ Term.app (const not) no_cache_arg
@@ -630,8 +702,8 @@ let trace_cmd_ =
           track per rank) plus optional machine-readable metrics.  With \
           --engine domains the timeline is the real shared-memory \
           execution's wall clock on a dedicated process lane")
-    Term.(const trace_cmd $ file_arg $ parts_arg $ nprocs_arg $ fission_arg
-          $ engine_arg $ out $ metrics)
+    Term.(const trace_cmd $ file_arg $ spec_arg $ parts_arg $ nprocs_arg
+          $ fission_arg $ engine_arg $ out $ metrics)
 
 let profile_cmd_ =
   let top =
@@ -667,7 +739,7 @@ let profile_cmd_ =
           per-sync-point latency histograms and scheduler utilization.  \
           --json emits the full machine-readable profile, --prom the \
           unified metrics registry in Prometheus text format.")
-    Term.(const profile_cmd $ file_arg $ parts_arg $ nprocs_arg
+    Term.(const profile_cmd $ file_arg $ spec_arg $ parts_arg $ nprocs_arg
           $ fission_arg $ engine_arg
           $ top
           $ json_flag ~what:"the full profile document"
@@ -682,8 +754,8 @@ let report_cmd =
     (Cmd.info "report"
        ~doc:"Emit a markdown pre-compilation report (loops, S_LDP, \
              synchronization points, modelled performance)")
-    Term.(const report $ file_arg $ parts_arg $ nprocs_arg $ fission_arg
-          $ output)
+    Term.(const report $ file_arg $ spec_arg $ parts_arg $ nprocs_arg
+          $ fission_arg $ output)
 
 let workers_arg =
   Arg.(value & opt int 0
@@ -700,6 +772,41 @@ let tables_cmd =
   Cmd.v (Cmd.info "tables" ~doc:"Regenerate the paper's evaluation tables")
     Term.(const tables $ which
           $ json_flag ~what:"every table (1-5) plus model validation"
+          $ jobs_arg $ workers_arg
+          $ Term.app (const not) no_cache_arg
+          $ cache_dir_arg)
+
+let tune_cmd =
+  let grid =
+    let parse s =
+      match Autocfd.Tune.grid_of_string s with
+      | Ok g -> Ok g
+      | Error msg -> Error (`Msg msg)
+    in
+    let print ppf g =
+      Format.pp_print_string ppf (Autocfd.Tune.grid_to_string g)
+    in
+    Arg.(value & opt (conv (parse, print)) Autocfd.Tune.Default
+         & info [ "grid" ] ~docv:"GRID"
+             ~doc:"Search-space width: narrow (single smoke-test point), \
+                   default (every rank count and feasible partition shape \
+                   x sync-combining strategy) or wide (adds odd rank \
+                   counts, fission/fusion ablations and the real Domains \
+                   engine with measured wall clock).")
+  in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:
+         "Auto-search the full configuration space of a program: every \
+          rank count, feasible partition shape, synchronization-combining \
+          strategy (and on the wide grid: fission/fusion ablations and \
+          the real Domains engine) is one cached job through the sweep \
+          scheduler; the result is the winning configuration plus the \
+          Pareto frontier over predicted time, communication volume and \
+          per-rank memory.  Each frontier row's spec is a complete \
+          Runspec: feed it back with --spec to reproduce that exact run.")
+    Term.(const tune $ file_arg $ spec_arg $ grid
+          $ json_flag ~what:"the winner and Pareto frontier"
           $ jobs_arg $ workers_arg
           $ Term.app (const not) no_cache_arg
           $ cache_dir_arg)
@@ -740,5 +847,5 @@ let () =
   let info = Cmd.info "autocfd" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
                     [ analyze_cmd; parallelize_cmd; run_cmd_; trace_cmd_;
-                      profile_cmd_; report_cmd; tables_cmd; worker_cmd;
-                      demo_cmd ]))
+                      profile_cmd_; report_cmd; tables_cmd; tune_cmd;
+                      worker_cmd; demo_cmd ]))

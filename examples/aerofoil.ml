@@ -10,6 +10,8 @@
     run. *)
 
 module D = Autocfd.Driver
+
+let parts_spec p = Autocfd.Runspec.(default |> with_parts (Some p))
 module A = Autocfd_analysis
 module S = Autocfd_syncopt
 module M = Autocfd_perfmodel.Model
@@ -24,12 +26,12 @@ let () =
   print_endline "synchronization census (full 99 x 41 x 13 grid):";
   List.iter
     (fun parts ->
-      let plan = D.plan full ~parts in
+      let plan = D.plan ~spec:(parts_spec parts) full in
       Printf.printf "  %-9s  %3d before -> %2d after\n" (shape parts)
         plan.D.opt.S.Optimizer.before plan.D.opt.S.Optimizer.after)
     [ [| 4; 1; 1 |]; [| 1; 4; 1 |]; [| 1; 1; 4 |]; [| 4; 4; 1 |] ];
   (* strategies on the interesting loops *)
-  let plan = D.plan full ~parts:[| 3; 2; 1 |] in
+  let plan = D.plan ~spec:(parts_spec [| 3; 2; 1 |]) full in
   print_endline "\nparallelization strategies (3 x 2 x 1):";
   List.iter2
     (fun (s : A.Field_loop.summary) (_, strat) ->
@@ -61,7 +63,7 @@ let () =
   let small =
     D.load (Autocfd_apps.Aerofoil.source ~ni:20 ~nj:12 ~nk:6 ~ntime:5 ())
   in
-  let splan = D.plan small ~parts:[| 3; 2; 1 |] in
+  let splan = D.plan ~spec:(parts_spec [| 3; 2; 1 |]) small in
   let seq = D.run_seq small in
   let par = D.run splan in
   Printf.printf "  sequential: %s\n" (String.concat "|" seq.D.sq_output);

@@ -11,6 +11,8 @@
     each parallel run against its sequential one. *)
 
 module D = Autocfd.Driver
+
+let parts_spec p = Autocfd.Runspec.(default |> with_parts (Some p))
 module I = Autocfd_interp
 
 let vortex_strength (arrays : (string * I.Value.arr) list) =
@@ -23,7 +25,7 @@ let vortex_strength (arrays : (string * I.Value.arr) list) =
 let () =
   print_endline "=== Lid-driven cavity (mirror-image SOR + goto while loop) ===";
   let t0 = D.load (Autocfd_apps.Cavity.source ~n:21 ~maxit:15 ~npsi:4 ()) in
-  let plan = D.plan t0 ~parts:[| 2; 2 |] in
+  let plan = D.plan ~spec:(parts_spec [| 2; 2 |]) t0 in
   Printf.printf "synchronizations: %d before -> %d after\n"
     plan.D.opt.Autocfd_syncopt.Optimizer.before
     plan.D.opt.Autocfd_syncopt.Optimizer.after;
@@ -36,7 +38,7 @@ let () =
       let t =
         D.load (Autocfd_apps.Cavity.source ~n:21 ~maxit:15 ~npsi:4 ~ulid ())
       in
-      let p = D.plan t ~parts:[| 2; 2 |] in
+      let p = D.plan ~spec:(parts_spec [| 2; 2 |]) t in
       let seq = D.run_seq t in
       let par = D.run p in
       let worst =

@@ -16,6 +16,8 @@
     the sequential result. *)
 
 module D = Autocfd.Driver
+
+let parts_spec p = Autocfd.Runspec.(default |> with_parts (Some p))
 module A = Autocfd_analysis
 
 let fig3a =
@@ -69,7 +71,7 @@ c$acfd status(v)
 let show name source =
   Printf.printf "--- %s ---\n" name;
   let t = D.load source in
-  let plan = D.plan t ~parts:[| 2; 2 |] in
+  let plan = D.plan ~spec:(parts_spec [| 2; 2 |]) t in
   let env = A.Env.of_unit t.D.inlined in
   List.iter
     (fun (s : A.Field_loop.summary) ->

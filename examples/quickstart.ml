@@ -50,11 +50,13 @@ c  Jacobi iteration until the field is stable
       end
 |}
 
+let parts_spec p = Autocfd.Runspec.(default |> with_parts (Some p))
+
 let () =
   let module D = Autocfd.Driver in
   print_endline "=== Auto-CFD quickstart: 24 x 16 heat diffusion ===";
   let t = D.load source in
-  let plan = D.plan t ~parts:[| 2; 2 |] in
+  let plan = D.plan ~spec:(parts_spec [| 2; 2 |]) t in
   Printf.printf
     "synchronization points: %d before optimization -> %d after\n"
     plan.D.opt.Autocfd_syncopt.Optimizer.before

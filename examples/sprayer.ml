@@ -10,6 +10,8 @@
     run. *)
 
 module D = Autocfd.Driver
+
+let parts_spec p = Autocfd.Runspec.(default |> with_parts (Some p))
 module I = Autocfd_interp
 
 let mean_outlet_speed (par : I.Spmd.result) =
@@ -34,7 +36,7 @@ let () =
           ~jfan ()
       in
       let t = D.load src in
-      let plan = D.plan t ~parts:[| 2; 2 |] in
+      let plan = D.plan ~spec:(parts_spec [| 2; 2 |]) t in
       let seq = D.run_seq t in
       let par = D.run plan in
       let worst =

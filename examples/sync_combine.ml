@@ -12,6 +12,8 @@
     synchronization point. *)
 
 module D = Autocfd.Driver
+
+let parts_spec p = Autocfd.Runspec.(default |> with_parts (Some p))
 module S = Autocfd_syncopt
 
 (* six writer loops followed by six reader loops, interleaved so the
@@ -118,8 +120,14 @@ c$acfd status(u, v)
 let report name src =
   Printf.printf "--- %s ---\n" name;
   let t = D.load src in
-  let optimal = D.plan t ~parts:[| 4 |] in
-  let first_fit = D.plan ~combine:S.Optimizer.First_fit t ~parts:[| 4 |] in
+  let optimal = D.plan ~spec:(parts_spec [| 4 |]) t in
+  let first_fit =
+    D.plan
+      ~spec:
+        (Autocfd.Runspec.with_combine S.Optimizer.First_fit
+           (parts_spec [| 4 |]))
+      t
+  in
   Printf.printf
     "synchronizations: %d before; combined: %d (optimal) vs %d (first-fit)\n"
     optimal.D.opt.S.Optimizer.before optimal.D.opt.S.Optimizer.after

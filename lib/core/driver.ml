@@ -13,12 +13,13 @@ type t = {
   splits : A.Fission.split list;
 }
 
-let load ?(fission = true) source =
+let load ?(spec = Runspec.default) source =
   let program = Parser.parse source in
   let gi = A.Grid_info.of_program program in
   let inlined = Inline.program program in
   let inlined, splits =
-    if fission then A.Fission.distribute inlined else (inlined, [])
+    if spec.Runspec.fission then A.Fission.distribute inlined
+    else (inlined, [])
   in
   { program; inlined; gi; splits }
 
@@ -33,7 +34,18 @@ type plan = {
   spmd : Ast.program_unit;
 }
 
-let plan ?(combine = S.Optimizer.Optimal) t ~parts =
+let auto_parts t ~nprocs =
+  let grid = t.gi.A.Grid_info.grid in
+  let depth = Array.make (Array.length grid) 1 in
+  P.Topology.search ~grid ~nprocs ~depth
+
+let plan ?(spec = Runspec.default) t =
+  let combine = spec.Runspec.combine in
+  let parts =
+    match spec.Runspec.parts with
+    | Some p -> p
+    | None -> auto_parts t ~nprocs:spec.Runspec.nprocs
+  in
   let topo = P.Topology.create ~grid:t.gi.A.Grid_info.grid ~parts in
   let loops = A.Loops.build t.inlined in
   let summaries = A.Field_loop.analyze_unit t.gi t.inlined in
@@ -54,11 +66,6 @@ let plan ?(combine = S.Optimizer.Optimal) t ~parts =
   let spmd = C.Transform.run input in
   { source = t; topo; summaries; sldp; layout; opt; strategies; spmd }
 
-let auto_parts t ~nprocs =
-  let grid = t.gi.A.Grid_info.grid in
-  let depth = Array.make (Array.length grid) 1 in
-  P.Topology.search ~grid ~nprocs ~depth
-
 let auto_parts_by_model ?(machine = Autocfd_perfmodel.Model.pentium_cluster) t
     ~nprocs =
   let grid = t.gi.A.Grid_info.grid in
@@ -73,7 +80,7 @@ let auto_parts_by_model ?(machine = Autocfd_perfmodel.Model.pentium_cluster) t
   | [] -> invalid_arg "Driver.auto_parts_by_model: no feasible partition"
   | first :: _ ->
       let time parts =
-        let p = plan t ~parts in
+        let p = plan ~spec:(Runspec.with_parts (Some parts) Runspec.default) t in
         (Autocfd_perfmodel.Model.predict_parallel machine ~gi:t.gi
            ~topo:p.topo p.spmd)
           .Autocfd_perfmodel.Model.time
@@ -168,8 +175,15 @@ let calibrated_flop_time ?(machine = Autocfd_perfmodel.Model.pentium_cluster)
   let ws = PM.working_set_bytes ~gi:plan.source.gi ~points_per_rank in
   PM.memory_slowdown machine ws /. machine.PM.flop_rate
 
-let run_seq ?(spec = Runspec.default) t =
+(* [spec.fuse = false] demotes the fused engine to the unfused closure
+   IR; the other engines are unaffected (Domains always runs fused) *)
+let effective_engine (spec : Runspec.t) =
   match spec.Runspec.engine with
+  | I.Spmd.Fused when not spec.Runspec.fuse -> I.Spmd.Compiled
+  | e -> e
+
+let run_seq ?(spec = Runspec.default) t =
+  match effective_engine spec with
   | I.Spmd.Tree ->
       let m = I.Machine.create ~input:spec.Runspec.input t.inlined in
       I.Machine.run m;
@@ -181,10 +195,10 @@ let run_seq ?(spec = Runspec.default) t =
             (I.Machine.array_names m);
         sq_flops = I.Machine.flops m;
       }
-  | I.Spmd.Compiled | I.Spmd.Fused | I.Spmd.Domains ->
+  | I.Spmd.Compiled | I.Spmd.Fused | I.Spmd.Domains as engine ->
       (* Domains differs from Fused only in how ranks execute; the
          sequential reference is the same fused closure IR *)
-      let fuse = spec.Runspec.engine <> I.Spmd.Compiled in
+      let fuse = engine <> I.Spmd.Compiled in
       let st =
         I.Compile.create ~input:spec.Runspec.input
           (I.Compile.of_unit ~fuse t.inlined)
@@ -218,39 +232,7 @@ let run ?(spec = Runspec.default) plan =
       recovery = spec.Runspec.recovery;
     }
   in
-  I.Spmd.run ~engine:spec.Runspec.engine config plan.spmd
-
-(* deprecated shims: the pre-Runspec entry points, kept for out-of-tree
-   callers; each is a pure delegation *)
-
-let run_sequential ?(engine = I.Spmd.Fused) ?(input = []) t =
-  run_seq
-    ~spec:Runspec.(default |> with_engine engine |> with_input input)
-    t
-
-let run_parallel ?(engine = I.Spmd.Fused) ?(net = M.Netmodel.fast)
-    ?(flop_time = 0.0) ?(input = []) ?tracer ?faults ?recovery plan =
-  run
-    ~spec:
-      Runspec.(
-        default |> with_engine engine |> with_net net
-        |> with_flop_time flop_time |> with_input input
-        |> with_tracer tracer |> with_faults faults
-        |> with_recovery recovery)
-    plan
-
-let run_traced ?(machine = Autocfd_perfmodel.Model.pentium_cluster)
-    ?(input = []) plan =
-  let tracer = Autocfd_obs.Trace.create () in
-  let result =
-    run
-      ~spec:
-        Runspec.(
-          default |> with_machine (Some machine) |> with_input input
-          |> with_tracer (Some tracer))
-      plan
-  in
-  (result, tracer)
+  I.Spmd.run ~engine:(effective_engine spec) config plan.spmd
 
 let max_divergence seq par =
   List.filter_map

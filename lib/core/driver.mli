@@ -23,11 +23,12 @@ type t = {
       (** nests the loop-fission pass distributed, in body order *)
 }
 
-val load : ?fission:bool -> string -> t
-(** Parse, inline and (unless [~fission:false]) loop-fission a complete
-    source text.  Fission splits mixed DO nests into independent
+val load : ?spec:Runspec.t -> string -> t
+(** Parse, inline and (unless [spec.fission] is false) loop-fission a
+    complete source text.  Fission splits mixed DO nests into independent
     sub-nests before any analysis or engine sees the unit, so every
-    execution tier runs the same fissioned program.
+    execution tier runs the same fissioned program.  Only [spec.fission]
+    applies here; the other fields matter to {!plan} and {!run}.
     @raise Loc.Error / Failure on malformed input. *)
 
 (** Everything the pre-compiler derives for one partition choice. *)
@@ -42,9 +43,12 @@ type plan = {
   spmd : Ast.program_unit;  (** the executable parallel unit *)
 }
 
-val plan :
-  ?combine:S.Optimizer.combine_strategy -> t -> parts:int array -> plan
-(** Run the full analysis and restructuring for a partition shape.
+val plan : ?spec:Runspec.t -> t -> plan
+(** Run the full analysis and restructuring for the partition choice the
+    spec names: [spec.parts] when set, else {!auto_parts} for
+    [spec.nprocs]; synchronization points are combined with
+    [spec.combine].  The default spec therefore plans the automatic
+    4-rank partition with optimal combining.
     @raise Invalid_argument for an infeasible partition. *)
 
 val auto_parts : t -> nprocs:int -> int array
@@ -78,8 +82,9 @@ type seq_result = {
 
 val run_seq : ?spec:Runspec.t -> t -> seq_result
 (** Executes the inlined sequential unit.  Only [spec.engine] (evaluator;
-    results are bit-identical across engines) and [spec.input] (READ
-    data) apply; the cluster-side fields are ignored. *)
+    results are bit-identical across engines), [spec.fuse] and
+    [spec.input] (READ data) apply; the cluster-side fields are
+    ignored. *)
 
 val run : ?spec:Runspec.t -> plan -> Autocfd_interp.Spmd.result
 (** Executes the SPMD unit on the simulated cluster under one
@@ -98,35 +103,6 @@ val calibrated_flop_time :
     the memory-pressure slowdown for the plan's per-rank working set
     applied (the calibration the model-validation experiments use; this
     is what [Runspec.machine] applies automatically). *)
-
-val run_sequential :
-  ?engine:Autocfd_interp.Spmd.engine -> ?input:float list -> t -> seq_result
-[@@ocaml.deprecated "Use Driver.run_seq with a Runspec.t."]
-(** @deprecated Thin shim over {!run_seq}. *)
-
-val run_parallel :
-  ?engine:Autocfd_interp.Spmd.engine ->
-  ?net:Autocfd_mpsim.Netmodel.t ->
-  ?flop_time:float ->
-  ?input:float list ->
-  ?tracer:Autocfd_obs.Trace.t ->
-  ?faults:Autocfd_mpsim.Fault.plan ->
-  ?recovery:Autocfd_interp.Spmd.recovery ->
-  plan ->
-  Autocfd_interp.Spmd.result
-[@@ocaml.deprecated "Use Driver.run with a Runspec.t."]
-(** @deprecated Thin shim over {!run}; each optional argument maps to the
-    {!Runspec.t} field of the same name. *)
-
-val run_traced :
-  ?machine:Autocfd_perfmodel.Model.machine ->
-  ?input:float list ->
-  plan ->
-  Autocfd_interp.Spmd.result * Autocfd_obs.Trace.t
-[@@ocaml.deprecated
-  "Use Driver.run with Runspec.with_machine and Runspec.with_tracer."]
-(** @deprecated Thin shim over {!run}: creates a tracer, sets
-    [Runspec.machine], and returns the tracer alongside the result. *)
 
 val max_divergence :
   seq_result -> Autocfd_interp.Spmd.result -> (string * float) list

@@ -97,6 +97,11 @@ let parts_key p =
 
 let machine_key = ("machine", Runspec.machine_to_json machine)
 
+(* the runspec naming "plan this explicit shape" (all other knobs at
+   their defaults) — the bridge from the tables' partition columns to
+   the spec-driven Driver API *)
+let parts_spec parts = Runspec.(default |> with_parts (Some parts))
+
 (* ------------------------------------------------------------------ *)
 (* Self-contained execution specs.  Every job body lives in exec_spec, *)
 (* dispatched on a JSON spec that carries the full program source and  *)
@@ -299,7 +304,7 @@ let exec_spec spec =
   match js "kind" spec with
   | "plan-sync" ->
       let t = Driver.load (source ()) in
-      let plan = Driver.plan t ~parts:(parts ()) in
+      let plan = Driver.plan ~spec:(parts_spec (parts ())) t in
       J.Obj
         [
           ("before", J.Int plan.Driver.opt.S.Optimizer.before);
@@ -311,7 +316,7 @@ let exec_spec spec =
       J.Obj [ ("time", J.Float pred.M.time) ]
   | "predict-par" ->
       let t = Driver.load (source ()) in
-      let plan = Driver.plan t ~parts:(parts ()) in
+      let plan = Driver.plan ~spec:(parts_spec (parts ())) t in
       let pred =
         M.predict_parallel machine ~gi:t.Driver.gi ~topo:plan.Driver.topo
           plan.Driver.spmd
@@ -323,7 +328,7 @@ let exec_spec spec =
         (M.predict_sequential machine ~gi:t.Driver.gi t.Driver.inlined)
           .M.time
       in
-      let plan = Driver.plan t ~parts:(parts ()) in
+      let plan = Driver.plan ~spec:(parts_spec (parts ())) t in
       let t2 =
         (M.predict_parallel machine ~gi:t.Driver.gi
            ~topo:plan.Driver.topo plan.Driver.spmd)
@@ -332,7 +337,7 @@ let exec_spec spec =
       J.Obj [ ("t1", J.Float t1); ("t2", J.Float t2) ]
   | "validate" ->
       let t = Driver.load (source ()) in
-      let plan = Driver.plan t ~parts:(parts ()) in
+      let plan = Driver.plan ~spec:(parts_spec (parts ())) t in
       let points_per_rank =
         let g = P.Topology.grid plan.Driver.topo
         and p = P.Topology.parts plan.Driver.topo in
@@ -370,7 +375,7 @@ let exec_spec spec =
       let large_source = js "large_source" spec in
       let parts = parts () in
       let t = Driver.load source in
-      let plan = Driver.plan t ~parts in
+      let plan = Driver.plan ~spec:(parts_spec parts) t in
       let run engine () =
         Driver.run ~spec:(Runspec.with_engine engine Runspec.default) plan
       in
@@ -390,7 +395,7 @@ let exec_spec spec =
          Domains engine is timed on the wall clock it measures
          itself (Sys.time would sum CPU across domains); the fused
          run is single-threaded, so its CPU time is its wall time *)
-      let lplan = Driver.plan (Driver.load large_source) ~parts in
+      let lplan = Driver.plan ~spec:(parts_spec parts) (Driver.load large_source) in
       let lrun engine () =
         Driver.run ~spec:(Runspec.with_engine engine Runspec.default)
           lplan
@@ -439,8 +444,9 @@ let exec_spec spec =
          before side of the fission before/after coverage and
          timing columns, plus a bit-identity check that fission
          changes no program state *)
+      let nof_spec = Runspec.with_fission false (parts_spec parts) in
       let plan_nof =
-        Driver.plan (Driver.load ~fission:false source) ~parts
+        Driver.plan ~spec:nof_spec (Driver.load ~spec:nof_spec source)
       in
       let nof_fused () =
         Driver.run
@@ -486,7 +492,7 @@ let exec_spec spec =
       let engine = engine_of_name (js "engine" spec) in
       let idx = ji "schedule" spec in
       let t = Driver.load (source ()) in
-      let plan = Driver.plan t ~parts:(parts ()) in
+      let plan = Driver.plan ~spec:(parts_spec (parts ())) t in
       let net = machine.M.net in
       let flop_time = Driver.calibrated_flop_time ~machine plan in
       let base =
@@ -521,6 +527,15 @@ let exec_spec spec =
                   .Autocfd_mpsim.Sim.elapsed /. clean_elapsed) )
         :: resilience_to_json faulty.Autocfd_interp.Spmd.resilience
              (Fault.counters faults))
+  | "tune" ->
+      let rspec = Runspec.of_json (jfield "spec" spec) in
+      let measure_source =
+        match J.member "measure_source" spec with
+        | Some (J.Str s) -> Some s
+        | _ -> None
+      in
+      Tune.entry_to_json
+        (Tune.eval ?measure_source ~machine ~source:(source ()) rspec)
   | other -> raise (J.Parse_error ("unknown job spec kind: " ^ other))
 
 let job ~table ~label ~params ~spec =
@@ -1223,8 +1238,8 @@ let coverage_apps () =
     ("cavity", Apps.Cavity.source ());
   ]
 
-let app_coverage ?fission src =
-  let t = Driver.load ?fission src in
+let app_coverage ?(fission = true) src =
+  let t = Driver.load ~spec:(Runspec.with_fission fission Runspec.default) src in
   Autocfd_interp.Compile.coverage
     (Autocfd_interp.Compile.of_unit ~fuse:true t.Driver.inlined)
 
@@ -1412,6 +1427,91 @@ let render_table5 rows =
 (* Machine-readable rendering (BENCH_tables.json)                      *)
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Auto-tuning                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* (program, frame-scaled source whose model predictions line up with
+   the Table 2/3 rows, small instance the wide grid's Domains points
+   can actually execute for a real wall clock) *)
+let tune_cases =
+  [
+    ( "aerofoil",
+      (fun () -> Apps.Aerofoil.source ~ntime:aerofoil_frames ()),
+      (fun () -> Apps.Aerofoil.source ~ni:24 ~nj:12 ~nk:8 ~ntime:2 ()) );
+    ( "sprayer",
+      (fun () -> Apps.Sprayer.source ~ntime:sprayer_frames ()),
+      (fun () -> Apps.Sprayer.source ~ni:80 ~nj:40 ~ntime:4 ()) );
+  ]
+
+(* one search point = one cached job; the serialized runspec IS the
+   run-describing half of the key, so tune results survive cache reuse
+   across grids and verbs and a warm re-tune is pure hits *)
+let tune_point_job ~program ~source ?measure_source rspec =
+  let spec_json = Runspec.to_json rspec in
+  job ~table:"tune"
+    ~label:
+      (Printf.sprintf "%s %s" program
+         (match rspec.Runspec.parts with
+         | Some p -> Runspec.parts_to_string p
+         | None -> Printf.sprintf "auto/%d" rspec.Runspec.nprocs))
+    ~params:
+      (J.Obj
+         ([
+            machine_key;
+            ("program", J.Str program);
+            ("spec", spec_json);
+            ("src", J.Str (Sched.Job.digest source));
+          ]
+         @
+         match measure_source with
+         | Some m -> [ ("measure_src", J.Str (Sched.Job.digest m)) ]
+         | None -> []))
+    ~spec:
+      (J.Obj
+         ([
+            ("kind", J.Str "tune");
+            ("source", J.Str source);
+            ("spec", spec_json);
+          ]
+         @
+         match measure_source with
+         | Some m -> [ ("measure_source", J.Str m) ]
+         | None -> []))
+
+let tune_program ?(grid = Tune.Default) ?base ?sweep ?measure_source
+    ~program ~source () =
+  let sw = fresh_sweep sweep in
+  let t = Driver.load source in
+  let jobs =
+    List.map
+      (fun rspec ->
+        (* the measurement instance only enters the job (and its cache
+           key) for points that will actually execute it *)
+        let measure_source =
+          match rspec.Runspec.engine with
+          | Autocfd_interp.Spmd.Domains -> measure_source
+          | _ -> None
+        in
+        tune_point_job ~program ~source ?measure_source rspec)
+      (Tune.points ?base grid t)
+  in
+  Tune.make_result ~program ~grid
+    (List.map Tune.entry_of_json (run_jobs sw ~table:"tune" jobs))
+
+let tune_table ?(grid = Tune.Default) ?sweep () =
+  let sw = fresh_sweep sweep in
+  List.map
+    (fun (program, source, measure) ->
+      let measure_source =
+        (* wall measurement is nondeterministic, so it is confined to
+           the wide grid: default-grid tables stay byte-reproducible *)
+        match grid with Tune.Wide -> Some (measure ()) | _ -> None
+      in
+      tune_program ~grid ?measure_source ~sweep:sw ~program
+        ~source:(source ()) ())
+    tune_cases
+
 let tables_json ?sweep () =
   let sw = fresh_sweep sweep in
   let parts_json p =
@@ -1554,6 +1654,9 @@ let tables_json ?sweep () =
           ])
       (chaos_bench ~sweep:sw ())
   in
+  let tune =
+    List.map Tune.result_to_json (tune_table ~sweep:sw ())
+  in
   J.Obj
     [
       ("schema", J.Str "autocfd-bench/1");
@@ -1565,5 +1668,6 @@ let tables_json ?sweep () =
       ("validation", J.List validation);
       ("engine", J.List engine);
       ("resilience", J.List resilience);
+      ("tune", J.List tune);
       ("sched", Report.sched_summary_json ~stale:(sweep_stale sw) (sweep_stats sw));
     ]

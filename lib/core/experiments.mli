@@ -236,6 +236,30 @@ val chaos_bench : ?seed:int -> ?sweep:sweep -> unit -> chaos_row list
 
 val render_chaos : chaos_row list -> string
 
+val tune_program :
+  ?grid:Tune.grid ->
+  ?base:Runspec.t ->
+  ?sweep:sweep ->
+  ?measure_source:string ->
+  program:string ->
+  source:string ->
+  unit ->
+  Tune.result
+(** Auto-tune one program: enumerate {!Tune.points} for [grid], dispatch
+    each point as a cached job through the sweep (one job per point; the
+    serialized runspec is the run-describing half of the cache key, so a
+    warm re-tune is pure hits), and prune to the Pareto frontier.
+    [base] seeds the non-searched runspec fields; [measure_source] is
+    the small instance Domains-engine points execute for a real wall
+    clock (it only enters the job — and its cache key — for those
+    points). *)
+
+val tune_table : ?grid:Tune.grid -> ?sweep:sweep -> unit -> Tune.result list
+(** {!tune_program} over both paper case studies on their frame-scaled
+    sources (so tuned times line up with the Table 2/3 rows).  Wall
+    measurement is confined to the [Wide] grid; [Narrow] and [Default]
+    results are fully deterministic and byte-reproducible. *)
+
 val machine : Autocfd_perfmodel.Model.machine
 (** The calibrated cluster model used by every timing table. *)
 
@@ -247,7 +271,9 @@ val sprayer_frames : int
 val tables_json : ?sweep:sweep -> unit -> Autocfd_obs.Json.t
 (** Every table (1-5), the model-validation rows, the execution-engine
     benchmark (key ["engine"]), the chaos/resilience benchmark (key
-    ["resilience"]) and the sweep's scheduler statistics (key ["sched"],
+    ["resilience"]), the default-grid auto-tune results (key ["tune"],
+    {!Tune.result_to_json} per program) and the sweep's scheduler
+    statistics (key ["sched"],
     {!Report.sched_summary_json}) as one JSON document (schema
     ["autocfd-bench/1"]) — the diffable perf trajectory written to
     [BENCH_tables.json] by [bench/main.exe --json].  All tables run

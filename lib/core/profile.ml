@@ -26,6 +26,9 @@ let run ?(spec = Runspec.default) ?(label = "profile") plan =
   let flops = ref 0.0 in
   let job =
     Sched.Job.make ~label
+      (* the serialized spec is the whole configuration point — run-time
+         knobs and the plan-time knobs the plan was built under — so the
+         key names exactly what this profile measured *)
       ~key:(J.Obj [ ("profile", J.Str label); ("spec", Runspec.to_json spec) ])
       (fun () ->
         let r = Driver.run ~spec plan in

@@ -20,7 +20,10 @@ val run : ?spec:Runspec.t -> ?label:string -> Driver.plan -> t
 (** Run the plan under [spec] (default {!Runspec.default}; its tracer is
     reused when set, otherwise a fresh one is created) and derive the
     profile.  Pass a spec with [machine] set to profile against the
-    calibrated reference cluster rather than zero-cost flops.
+    calibrated reference cluster rather than zero-cost flops.  Pass the
+    {e same} spec the plan was built with ({!Driver.plan}): the spec is
+    one value naming the whole configuration point, and the profile job
+    key serializes it as the record of what was measured.
     @raise Failure if the underlying run raises. *)
 
 val compute_seconds : t -> float

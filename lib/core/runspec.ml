@@ -1,6 +1,7 @@
 module I = Autocfd_interp
 module M = Autocfd_mpsim
 module PM = Autocfd_perfmodel.Model
+module S = Autocfd_syncopt
 module J = Autocfd_obs.Json
 
 type t = {
@@ -12,6 +13,11 @@ type t = {
   tracer : Autocfd_obs.Trace.t option;
   faults : M.Fault.plan option;
   recovery : I.Spmd.recovery option;
+  nprocs : int;
+  parts : int array option;
+  combine : S.Optimizer.combine_strategy;
+  fission : bool;
+  fuse : bool;
 }
 
 let default =
@@ -24,6 +30,11 @@ let default =
     tracer = None;
     faults = None;
     recovery = None;
+    nprocs = 4;
+    parts = None;
+    combine = S.Optimizer.Optimal;
+    fission = true;
+    fuse = true;
   }
 
 let with_engine engine t = { t with engine }
@@ -34,6 +45,11 @@ let with_input input t = { t with input }
 let with_tracer tracer t = { t with tracer }
 let with_faults faults t = { t with faults }
 let with_recovery recovery t = { t with recovery }
+let with_nprocs nprocs t = { t with nprocs }
+let with_parts parts t = { t with parts }
+let with_combine combine t = { t with combine }
+let with_fission fission t = { t with fission }
+let with_fuse fuse t = { t with fuse }
 
 (* ------------------------------------------------------------------ *)
 (* Canonical JSON codec                                                *)
@@ -219,6 +235,22 @@ let recovery_of_json j =
     rc_bandwidth = get_float "bandwidth" j;
   }
 
+let combine_to_string = function
+  | S.Optimizer.Optimal -> "optimal"
+  | S.Optimizer.First_fit -> "first-fit"
+
+let combine_of_string = function
+  | "optimal" -> S.Optimizer.Optimal
+  | "first-fit" -> S.Optimizer.First_fit
+  | s -> fail (Printf.sprintf "unknown combine strategy %S" s)
+
+let parts_to_string p =
+  String.concat "x" (Array.to_list (Array.map string_of_int p))
+
+let parts_of_string s =
+  try Array.of_list (List.map int_of_string (String.split_on_char 'x' s))
+  with Failure _ -> fail (Printf.sprintf "bad partition shape %S" s)
+
 let opt f = function Some v -> f v | None -> J.Null
 
 let to_json t =
@@ -232,10 +264,30 @@ let to_json t =
       ("traced", J.Bool (t.tracer <> None));
       ("faults", opt faults_to_json t.faults);
       ("recovery", opt recovery_to_json t.recovery);
+      ("nprocs", J.Int t.nprocs);
+      ("parts", opt (fun p -> J.Str (parts_to_string p)) t.parts);
+      ("combine", J.Str (combine_to_string t.combine));
+      ("fission", J.Bool t.fission);
+      ("fuse", J.Bool t.fuse);
     ]
 
 let opt_of name f j =
   match get name j with J.Null -> None | v -> Some (f v)
+
+(* the plan-time fields are absent in documents written before the
+   tune-era codec; each decodes to its [default] value so an old spec
+   still names the run it always named *)
+let get_or name fallback decode j =
+  match J.member name j with
+  | None | Some J.Null -> fallback
+  | Some v -> decode v
+
+let get_bool_or name fallback j =
+  get_or name fallback
+    (function
+      | J.Bool b -> b
+      | _ -> fail (Printf.sprintf "field %S: expected a boolean" name))
+    j
 
 let of_json j =
   {
@@ -251,4 +303,23 @@ let of_json j =
       | _ -> fail "field \"traced\": expected a boolean");
     faults = opt_of "faults" faults_of_json j;
     recovery = opt_of "recovery" recovery_of_json j;
+    nprocs =
+      get_or "nprocs" default.nprocs
+        (function
+          | J.Int i -> i
+          | _ -> fail "field \"nprocs\": expected an integer")
+        j;
+    parts =
+      (match J.member "parts" j with
+      | None | Some J.Null -> None
+      | Some (J.Str s) -> Some (parts_of_string s)
+      | Some _ -> fail "field \"parts\": expected a shape string");
+    combine =
+      get_or "combine" default.combine
+        (function
+          | J.Str s -> combine_of_string s
+          | _ -> fail "field \"combine\": expected a string")
+        j;
+    fission = get_bool_or "fission" default.fission j;
+    fuse = get_bool_or "fuse" default.fuse j;
   }

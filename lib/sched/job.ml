@@ -8,7 +8,10 @@ type t = {
 }
 
 (* bump when a code change invalidates previously cached results *)
-let code_version = "autocfd-sched/1"
+(* /2: the Runspec JSON codec grew plan-time fields (nprocs, parts,
+   combine, fission, fuse), changing the content of every spec-keyed
+   result *)
+let code_version = "autocfd-sched/2"
 
 let make ?(version = code_version) ?spec ~label ~key run =
   {

@@ -19,5 +19,6 @@ let () =
       ("driver", Test_driver.suite);
       ("mpi_backend", Test_mpi_backend.suite);
       ("sched", Test_sched.suite);
+      ("tune", Test_tune.suite);
       ("fabric", Test_fabric.suite);
     ]

@@ -3,6 +3,8 @@
     equivalence at reduced sizes. *)
 
 module D = Autocfd.Driver
+
+let parts_spec p = Autocfd.Runspec.(default |> with_parts (Some p))
 module A = Autocfd_analysis
 module S = Autocfd_syncopt
 module I = Autocfd_interp
@@ -16,7 +18,7 @@ let shape parts =
 (* ------------------------------------------------------------------ *)
 
 let census t parts =
-  let plan = D.plan t ~parts in
+  let plan = D.plan ~spec:(parts_spec parts) t in
   (plan.D.opt.S.Optimizer.before, plan.D.opt.S.Optimizer.after)
 
 let test_aerofoil_census () =
@@ -53,7 +55,7 @@ let test_sprayer_census () =
 let test_reduction_percentages_in_paper_range () =
   (* the paper reports 88-95% reduction; ours must be comparable *)
   let check t parts =
-    let plan = D.plan t ~parts in
+    let plan = D.plan ~spec:(parts_spec parts) t in
     let pct = S.Optimizer.reduction_pct plan.D.opt in
     Alcotest.(check bool)
       (Printf.sprintf "reduction %.0f%% in [80, 98]" (100. *. pct))
@@ -71,7 +73,7 @@ let test_reduction_percentages_in_paper_range () =
 
 let test_aerofoil_has_mirror_image_loops () =
   let t = D.load (Autocfd_apps.Aerofoil.source ()) in
-  let plan = D.plan t ~parts:[| 4; 1; 1 |] in
+  let plan = D.plan ~spec:(parts_spec [| 4; 1; 1 |]) t in
   let pipelines =
     List.filter
       (fun (_, s) -> match s with A.Mirror.Pipeline _ -> true | _ -> false)
@@ -104,7 +106,7 @@ let test_sprayer_direction_specific_counts () =
 let equiv name src parts =
   let t = D.load src in
   let seq = D.run_seq t in
-  let par = D.run (D.plan t ~parts) in
+  let par = D.run (D.plan ~spec:(parts_spec parts) t) in
   let worst =
     List.fold_left (fun a (_, d) -> Float.max a d) 0.0
       (D.max_divergence seq par)
@@ -161,15 +163,15 @@ let test_paper_partitions_full_size_parse () =
   let aero = D.load (Autocfd_apps.Aerofoil.source ()) in
   let spray = D.load (Autocfd_apps.Sprayer.source ()) in
   List.iter
-    (fun parts -> ignore (D.plan aero ~parts))
+    (fun parts -> ignore (D.plan ~spec:(parts_spec parts) aero))
     [ [| 2; 1; 1 |]; [| 3; 2; 1 |]; [| 6; 1; 1 |] ];
   List.iter
-    (fun parts -> ignore (D.plan spray ~parts))
+    (fun parts -> ignore (D.plan ~spec:(parts_spec parts) spray))
     [ [| 2; 1 |]; [| 3; 1 |]; [| 2; 2 |] ]
 
 let test_spmd_source_renders () =
   let t = D.load (Autocfd_apps.Sprayer.source ~ni:30 ~nj:16 ()) in
-  let plan = D.plan t ~parts:[| 2; 2 |] in
+  let plan = D.plan ~spec:(parts_spec [| 2; 2 |]) t in
   let text = D.spmd_source plan in
   let contains needle =
     let nh = String.length text and nn = String.length needle in
@@ -195,7 +197,7 @@ let test_cavity_equivalence () =
 
 let test_cavity_structure () =
   let t = D.load Autocfd_apps.Cavity.default in
-  let plan = D.plan t ~parts:[| 2; 2 |] in
+  let plan = D.plan ~spec:(parts_spec [| 2; 2 |]) t in
   (* the SOR sweep is mirror-image pipelined in both dimensions *)
   Alcotest.(check bool) "psisor pipelined" true
     (List.exists
@@ -235,7 +237,7 @@ let test_many_ranks () =
   let src = Autocfd_apps.Aerofoil.source ~ni:14 ~nj:9 ~nk:7 ~ntime:2 ~npres:2 () in
   let t = D.load src in
   let seq = D.run_seq t in
-  let plan = D.plan t ~parts:[| 3; 3; 2 |] in
+  let plan = D.plan ~spec:(parts_spec [| 3; 3; 2 |]) t in
   let par = D.run plan in
   let worst =
     List.fold_left (fun a (_, d) -> Float.max a d) 0.0

@@ -1,6 +1,8 @@
 (** Tests for the top-level driver and the experiments harness. *)
 
 module D = Autocfd.Driver
+
+let parts_spec p = Autocfd.Runspec.(default |> with_parts (Some p))
 module E = Autocfd.Experiments
 module S = Autocfd_syncopt
 
@@ -47,7 +49,7 @@ let test_auto_parts () =
 
 let test_plan_components () =
   let t = D.load heat in
-  let plan = D.plan t ~parts:[| 2; 2 |] in
+  let plan = D.plan ~spec:(parts_spec [| 2; 2 |]) t in
   Alcotest.(check bool) "summaries found" true (plan.D.summaries <> []);
   Alcotest.(check bool) "pairs found" true (plan.D.sldp.Autocfd_analysis.Sldp.pairs <> []);
   Alcotest.(check bool) "groups placed" true (plan.D.opt.S.Optimizer.groups <> []);
@@ -56,7 +58,7 @@ let test_plan_components () =
 
 let test_spmd_source_header () =
   let t = D.load heat in
-  let plan = D.plan t ~parts:[| 2; 1 |] in
+  let plan = D.plan ~spec:(parts_spec [| 2; 1 |]) t in
   let src = D.spmd_source plan in
   Alcotest.(check bool) "header mentions Auto-CFD" true
     (String.length src > 30 && String.sub src 0 2 = "c ")
@@ -70,7 +72,7 @@ let test_run_sequential_flops () =
 
 let test_run_parallel_with_timing () =
   let t = D.load heat in
-  let plan = D.plan t ~parts:[| 2; 1 |] in
+  let plan = D.plan ~spec:(parts_spec [| 2; 1 |]) t in
   let par =
     D.run
       ~spec:
@@ -106,7 +108,7 @@ let test_auto_parts_by_model () =
   (* the model choice is never worse than the volume choice *)
   let module M = Autocfd_perfmodel.Model in
   let time parts =
-    let plan = D.plan t ~parts in
+    let plan = D.plan ~spec:(parts_spec parts) t in
     (M.predict_parallel M.pentium_cluster ~gi:t.D.gi ~topo:plan.D.topo
        plan.D.spmd)
       .M.time
@@ -116,7 +118,7 @@ let test_auto_parts_by_model () =
 
 let test_report_markdown () =
   let t = D.load heat in
-  let plan = D.plan t ~parts:[| 2; 2 |] in
+  let plan = D.plan ~spec:(parts_spec [| 2; 2 |]) t in
   let text = Autocfd.Report.markdown plan in
   let contains needle =
     let nh = String.length text and nn = String.length needle in
@@ -157,7 +159,7 @@ let test_load_diagnostics () =
 let test_infeasible_partition () =
   let t = D.load heat in
   Alcotest.(check bool) "too many parts" true
-    (match D.plan t ~parts:[| 50; 1 |] with
+    (match D.plan ~spec:(parts_spec [| 50; 1 |]) t with
     | exception Invalid_argument _ -> true
     | _ -> false)
 

@@ -13,6 +13,8 @@
     loops) and asserts the same three-way equivalence. *)
 
 module D = Autocfd.Driver
+
+let parts_spec p = Autocfd.Runspec.(default |> with_parts (Some p))
 module R = Autocfd.Runspec
 module I = Autocfd_interp
 module Prng = Autocfd_util.Prng
@@ -55,7 +57,7 @@ let check_sequential name src =
 
 let check_parallel name src parts =
   let t = D.load src in
-  let plan = D.plan t ~parts in
+  let plan = D.plan ~spec:(parts_spec parts) t in
   let tree = D.run ~spec:(R.with_engine I.Spmd.Tree R.default) plan in
   List.iter
     (fun (ename, engine) ->
@@ -85,7 +87,7 @@ let check_both name src partitions =
    is excluded from the comparison *)
 let check_domains name src parts =
   let t = D.load src in
-  let plan = D.plan t ~parts in
+  let plan = D.plan ~spec:(parts_spec parts) t in
   let fused = D.run ~spec:(R.with_engine I.Spmd.Fused R.default) plan in
   let r = D.run ~spec:(R.with_engine I.Spmd.Domains R.default) plan in
   let ctx = Printf.sprintf "%s/domains %s" name (shape parts) in
@@ -162,7 +164,7 @@ let test_charged_timing_identical () =
   let t =
     D.load (Autocfd_apps.Sprayer.source ~ni:30 ~nj:16 ~ntime:4 ~npsi:3 ())
   in
-  let plan = D.plan t ~parts:[| 2; 2 |] in
+  let plan = D.plan ~spec:(parts_spec [| 2; 2 |]) t in
   let machine = Autocfd.Experiments.machine in
   let flop_time = D.calibrated_flop_time ~machine plan in
   let run engine =

@@ -6,6 +6,8 @@
 
 open Autocfd_mpsim
 module D = Autocfd.Driver
+
+let parts_spec p = Autocfd.Runspec.(default |> with_parts (Some p))
 module R = Autocfd.Runspec
 module I = Autocfd_interp
 
@@ -386,7 +388,7 @@ let same_state (a : I.Spmd.result) (b : I.Spmd.result) =
 
 let recovery_case ~engine spec =
   let t = D.load jacobi_src in
-  let plan = D.plan t ~parts:[| 2; 2 |] in
+  let plan = D.plan ~spec:(parts_spec [| 2; 2 |]) t in
   let clean = D.run ~spec:(R.with_engine engine R.default) plan in
   let faults = Fault.make spec in
   let faulty =
@@ -421,7 +423,7 @@ let test_crash_recovery_tree () =
 
 let test_crash_without_recovery_times_out () =
   let t = D.load jacobi_src in
-  let plan = D.plan t ~parts:[| 2; 2 |] in
+  let plan = D.plan ~spec:(parts_spec [| 2; 2 |]) t in
   match
     D.run
       ~spec:(R.with_faults (Some (Fault.make crash_spec)) R.default)
@@ -464,7 +466,7 @@ c$acfd status(u, w)
 |}
   in
   let t = D.load src in
-  let plan = D.plan t ~parts:[| 2; 1 |] in
+  let plan = D.plan ~spec:(parts_spec [| 2; 1 |]) t in
   List.iter
     (fun engine ->
       match D.run ~spec:(R.with_engine engine R.default) plan with
@@ -504,7 +506,7 @@ let chaos_schedule i =
 
 let test_chaos_property () =
   let t = D.load jacobi_src in
-  let plan = D.plan t ~parts:[| 2; 2 |] in
+  let plan = D.plan ~spec:(parts_spec [| 2; 2 |]) t in
   let clean = D.run plan in
   for i = 1 to 24 do
     let spec = chaos_schedule i in

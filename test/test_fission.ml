@@ -10,6 +10,8 @@
 
 open Autocfd_fortran
 module D = Autocfd.Driver
+
+let parts_spec p = Autocfd.Runspec.(default |> with_parts (Some p))
 module E = Autocfd.Experiments
 module R = Autocfd.Runspec
 module I = Autocfd_interp
@@ -98,7 +100,10 @@ let frags_of_line unit line =
 
 let check_identical_runs name src =
   (* fission on vs off: same outputs, arrays, flops *)
-  let t = D.load src and t0 = D.load ~fission:false src in
+  let t = D.load src
+  and t0 =
+    D.load ~spec:Autocfd.Runspec.(default |> with_fission false) src
+  in
   List.iter
     (fun (ename, engine) ->
       let spec = R.with_engine engine R.default in
@@ -120,7 +125,7 @@ let check_identical_runs name src =
    and the real Domains engine (program state; stats are wall clock) *)
 let check_four_engines name src parts =
   let t = D.load src in
-  let plan = D.plan t ~parts in
+  let plan = D.plan ~spec:(parts_spec parts) t in
   let run engine =
     D.run ~spec:(R.with_engine engine R.default) plan
   in

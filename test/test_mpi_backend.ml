@@ -5,6 +5,8 @@
 open Autocfd_fortran
 module D = Autocfd.Driver
 
+let parts_spec p = Autocfd.Runspec.(default |> with_parts (Some p))
+
 let heat_src =
   {|
 c$acfd grid(m, n)
@@ -46,7 +48,7 @@ let contains hay needle =
 
 let emit parts =
   let t = D.load heat_src in
-  let plan = D.plan t ~parts in
+  let plan = D.plan ~spec:(parts_spec parts) t in
   D.mpi_source plan
 
 let test_emitted_reparses () =
@@ -126,7 +128,7 @@ c$acfd status(v)
 |}
   in
   let t = D.load gs in
-  let plan = D.plan t ~parts:[| 2; 2 |] in
+  let plan = D.plan ~spec:(parts_spec [| 2; 2 |]) t in
   let text = D.mpi_source plan in
   Alcotest.(check bool) "pipeline wait subroutine" true
     (contains text "subroutine acfdp");
@@ -162,7 +164,7 @@ c$acfd status(v)
 |}
   in
   let t = D.load diag in
-  let plan = D.plan t ~parts:[| 2; 1 |] in
+  let plan = D.plan ~spec:(parts_spec [| 2; 1 |]) t in
   let text = D.mpi_source plan in
   Alcotest.(check bool) "gather subroutine emitted" true
     (contains text "subroutine acfdg");
@@ -178,7 +180,7 @@ let test_case_studies_emit_and_reparse () =
   List.iter
     (fun (src, parts) ->
       let t = D.load src in
-      let plan = D.plan t ~parts in
+      let plan = D.plan ~spec:(parts_spec parts) t in
       let text = D.mpi_source plan in
       match Parser.parse text with
       | p ->

@@ -7,6 +7,8 @@ module J = Obs.Json
 open Autocfd_mpsim
 module D = Autocfd.Driver
 
+let parts_spec p = Autocfd.Runspec.(default |> with_parts (Some p))
+
 let heat =
   {|
 c$acfd grid(m, n)
@@ -39,7 +41,7 @@ c$acfd status(u, w)
 let traced_heat =
   lazy
     (let t = D.load heat in
-     let plan = D.plan t ~parts:[| 2; 2 |] in
+     let plan = D.plan ~spec:(parts_spec [| 2; 2 |]) t in
      let tracer = Autocfd_obs.Trace.create () in
      let result =
        D.run

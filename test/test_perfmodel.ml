@@ -4,6 +4,8 @@
     growth with grid density, superlinear speedup past the memory knee). *)
 
 module D = Autocfd.Driver
+
+let parts_spec p = Autocfd.Runspec.(default |> with_parts (Some p))
 module M = Autocfd_perfmodel.Model
 module P = Autocfd_partition
 
@@ -11,7 +13,7 @@ let machine = M.pentium_cluster
 
 let plan_of src parts =
   let t = D.load src in
-  (t, D.plan t ~parts)
+  (t, D.plan ~spec:(parts_spec parts) t)
 
 let test_census_basic_accounting () =
   let src =
@@ -101,7 +103,7 @@ let test_prediction_consistency () =
   let t = D.load src in
   let seq = M.predict_sequential machine ~gi:t.D.gi t.D.inlined in
   Alcotest.(check bool) "positive time" true (seq.M.time > 0.);
-  let plan = D.plan t ~parts:[| 1; 1 |] in
+  let plan = D.plan ~spec:(parts_spec [| 1; 1 |]) t in
   let par =
     M.predict_parallel machine ~gi:t.D.gi ~topo:plan.D.topo plan.D.spmd
   in
@@ -165,7 +167,7 @@ let test_table5_needs_memory_knee () =
   let t = D.load src in
   let flat = { machine with M.mem_penalty = 0.0; cache_penalty = 0.0 } in
   let time parts =
-    let plan = D.plan t ~parts in
+    let plan = D.plan ~spec:(parts_spec parts) t in
     (M.predict_parallel flat ~gi:t.D.gi ~topo:plan.D.topo plan.D.spmd).M.time
   in
   let t2 = time [| 2; 1 |] and t3 = time [| 3; 1 |] in

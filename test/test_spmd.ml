@@ -7,12 +7,14 @@
     under random partitions. *)
 
 module D = Autocfd.Driver
+
+let parts_spec p = Autocfd.Runspec.(default |> with_parts (Some p))
 module I = Autocfd_interp
 
 let max_div src parts =
   let t = D.load src in
   let seq = D.run_seq t in
-  let plan = D.plan t ~parts in
+  let plan = D.plan ~spec:(parts_spec parts) t in
   let par = D.run plan in
   List.fold_left (fun a (_, d) -> Float.max a d) 0.0
     (D.max_divergence seq par)
@@ -329,7 +331,7 @@ c$acfd status(u)
   in
   let t = D.load src in
   let seq = D.run_seq ~spec:(Autocfd.Runspec.with_input [ 2.5 ] Autocfd.Runspec.default) t in
-  let plan = D.plan t ~parts:[| 3 |] in
+  let plan = D.plan ~spec:(parts_spec [| 3 |]) t in
   let par = D.run ~spec:(Autocfd.Runspec.with_input [ 2.5 ] Autocfd.Runspec.default) plan in
   Alcotest.(check (list string)) "same output" seq.D.sq_output
     par.I.Spmd.output;
@@ -621,7 +623,7 @@ c$acfd status(u, w)
 |}
   in
   let t = D.load src in
-  let plan = D.plan t ~parts:[| 3; 1 |] in
+  let plan = D.plan ~spec:(parts_spec [| 3; 1 |]) t in
   let seq = D.run_seq t in
   let par = D.run plan in
   Alcotest.(check int) "no point-to-point messages" 0
@@ -708,7 +710,7 @@ c$acfd status(p)
     [ [| 2; 1 |]; [| 1; 2 |]; [| 2; 2 |]; [| 1; 4 |] ];
   (* the transform must use the guard, not the allgather fallback *)
   let t = D.load src in
-  let plan = D.plan t ~parts:[| 1; 2 |] in
+  let plan = D.plan ~spec:(parts_spec [| 1; 2 |]) t in
   let has_allgather = ref false in
   Autocfd_fortran.Ast.iter_stmts
     (fun st ->
